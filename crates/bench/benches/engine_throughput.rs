@@ -1,0 +1,67 @@
+//! Engine throughput: simulated ticks per second for the SAN engine (the
+//! paper's Mobius-style execution) and the direct engine, across system
+//! sizes — the quantitative backing for the paper's "rapid evaluation"
+//! claim and for our own SAN-overhead accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vsched_core::{direct::DirectSim, san_model::SanSystem, PolicyKind, SystemConfig};
+
+const TICKS: u64 = 2_000;
+
+fn config(pcpus: usize, vms: &[usize]) -> SystemConfig {
+    let mut b = SystemConfig::builder().pcpus(pcpus).sync_ratio(1, 5);
+    for &n in vms {
+        b = b.vm(n);
+    }
+    b.build().expect("valid config")
+}
+
+fn scale_cases() -> Vec<(String, usize, Vec<usize>)> {
+    vec![
+        ("small_2vm_3vcpu".into(), 2, vec![2, 1]),
+        ("paper_2vm_6vcpu".into(), 4, vec![2, 4]),
+        ("large_4vm_12vcpu".into(), 8, vec![4, 4, 2, 2]),
+        ("huge_8vm_24vcpu".into(), 16, vec![4, 4, 4, 4, 2, 2, 2, 2]),
+    ]
+}
+
+fn bench_san(c: &mut Criterion) {
+    let mut group = c.benchmark_group("san_engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TICKS));
+    for (name, pcpus, vms) in scale_cases() {
+        group.bench_with_input(BenchmarkId::new("ticks", &name), &(), |b, ()| {
+            b.iter(|| {
+                let mut sys = SanSystem::new(
+                    config(pcpus, &vms),
+                    PolicyKind::RoundRobin.create(),
+                    42,
+                )
+                .expect("model builds");
+                sys.run(TICKS).expect("runs");
+                sys.metrics()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("direct_engine");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(TICKS));
+    for (name, pcpus, vms) in scale_cases() {
+        group.bench_with_input(BenchmarkId::new("ticks", &name), &(), |b, ()| {
+            b.iter(|| {
+                let mut sim =
+                    DirectSim::new(config(pcpus, &vms), PolicyKind::RoundRobin.create(), 42);
+                sim.run(TICKS).expect("runs");
+                sim.metrics()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_san, bench_direct);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Microbenchmarks of the DES kernel's future-event list — the hot path of
+//! every simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vsched_des::{EventQueue, SimTime, Xoshiro256StarStar};
+
+fn bench_schedule_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.sample_size(30);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("schedule_then_drain", n), &n, |b, &n| {
+            let mut rng = Xoshiro256StarStar::seed_from(1);
+            b.iter_batched(
+                || {
+                    (0..n)
+                        .map(|_| rng.next_f64() * 1000.0)
+                        .collect::<Vec<f64>>()
+                },
+                |times| {
+                    let mut q = EventQueue::new();
+                    for &t in &times {
+                        q.schedule(SimTime::new(t), 0, ());
+                    }
+                    while let Some(ev) = q.pop() {
+                        black_box(ev);
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_hold_model(c: &mut Criterion) {
+    // The classic "hold" benchmark: steady-state queue of fixed size, each
+    // operation pops one event and schedules another.
+    let mut group = c.benchmark_group("event_queue_hold");
+    group.sample_size(30);
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("hold", n), &n, |b, &n| {
+            let mut q = EventQueue::new();
+            let mut rng = Xoshiro256StarStar::seed_from(2);
+            let mut now = 0.0;
+            for _ in 0..n {
+                q.schedule(SimTime::new(rng.next_f64() * 100.0), 0, ());
+            }
+            b.iter(|| {
+                let (t, _, ()) = q.pop().expect("queue never empties");
+                now = t.as_f64();
+                q.schedule(SimTime::new(now + rng.next_f64() * 100.0), 0, ());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cancellation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_cancel");
+    group.sample_size(30);
+    group.bench_function("schedule_cancel_half_drain_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = Xoshiro256StarStar::seed_from(3);
+            let ids: Vec<_> = (0..10_000)
+                .map(|_| q.schedule(SimTime::new(rng.next_f64() * 1000.0), 0, ()))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                q.cancel(*id);
+            }
+            while let Some(ev) = q.pop() {
+                black_box(ev);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule_pop, bench_hold_model, bench_cancellation);
+criterion_main!(benches);

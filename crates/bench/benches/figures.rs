@@ -1,0 +1,55 @@
+//! Wall-clock cost of regenerating one replication of each paper figure —
+//! the "rapid evaluation" claim (§I) quantified. One criterion benchmark
+//! per figure cell, on the SAN engine, at the paper's horizons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vsched_core::{san_model::SanSystem, PolicyKind, SystemConfig};
+
+fn config(pcpus: usize, vms: &[usize], sync: (u32, u32)) -> SystemConfig {
+    let mut b = SystemConfig::builder()
+        .pcpus(pcpus)
+        .sync_ratio(sync.0, sync.1);
+    for &n in vms {
+        b = b.vm(n);
+    }
+    b.build().expect("valid config")
+}
+
+fn one_replication(cfg: SystemConfig, policy: &PolicyKind) -> vsched_core::SampleMetrics {
+    let mut sys = SanSystem::new(cfg, policy.create(), 7).expect("model builds");
+    sys.run(1_000).expect("warmup");
+    sys.reset_metrics();
+    sys.run(20_000).expect("measurement");
+    sys.metrics()
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_replication");
+    group.sample_size(10);
+    for pcpus in [1usize, 4] {
+        for policy in PolicyKind::paper_trio() {
+            let label = format!("{}pcpu_{}", pcpus, policy.label());
+            group.bench_with_input(BenchmarkId::new("cell", label), &(), |b, ()| {
+                b.iter(|| one_replication(config(pcpus, &[2, 1, 1], (1, 5)), &policy));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig9_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_fig10_replication");
+    group.sample_size(10);
+    for (set_name, set) in [("2+2", &[2usize, 2][..]), ("2+4", &[2, 4])] {
+        for policy in PolicyKind::paper_trio() {
+            let label = format!("{set_name}_{}", policy.label());
+            group.bench_with_input(BenchmarkId::new("cell", label), &(), |b, ()| {
+                b.iter(|| one_replication(config(4, set, (1, 5)), &policy));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8, bench_fig9_fig10);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Benchmarks of the CTMC solver (state-space generation + steady-state
+//! power iteration) across chain sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vsched_des::Dist;
+use vsched_san::{solve_steady_state, solve_transient, CtmcOptions, Model, ModelBuilder};
+
+fn mm1k(k: i64) -> Model {
+    let mut mb = ModelBuilder::new();
+    let queue = mb.place("queue", 0).expect("fresh model");
+    mb.activity("arrive")
+        .expect("fresh model")
+        .timed(Dist::exponential(1.0).expect("valid"))
+        .guard("capacity", move |m| m.tokens(queue) < k)
+        .output_arc(queue, 1)
+        .done()
+        .expect("valid");
+    mb.activity("serve")
+        .expect("fresh model")
+        .timed(Dist::exponential(0.8).expect("valid"))
+        .input_arc(queue, 1)
+        .done()
+        .expect("valid");
+    mb.build().expect("valid")
+}
+
+/// A tandem of queues — the state space grows as K^n.
+fn tandem(stages: usize, k: i64) -> Model {
+    let mut mb = ModelBuilder::new();
+    let places: Vec<_> = (0..stages)
+        .map(|i| mb.place(&format!("q{i}"), 0).expect("fresh"))
+        .collect();
+    let first = places[0];
+    mb.activity("arrive")
+        .expect("fresh")
+        .timed(Dist::exponential(1.0).expect("valid"))
+        .guard("cap", move |m| m.tokens(first) < k)
+        .output_arc(first, 1)
+        .done()
+        .expect("valid");
+    for i in 0..stages {
+        let mut a = mb
+            .activity(&format!("serve{i}"))
+            .expect("fresh")
+            .timed(Dist::exponential(0.7).expect("valid"))
+            .input_arc(places[i], 1);
+        if i + 1 < stages {
+            let next = places[i + 1];
+            a = a
+                .guard("cap", move |m| m.tokens(next) < k)
+                .output_arc(next, 1);
+        }
+        a.done().expect("valid");
+    }
+    mb.build().expect("valid")
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctmc_steady_state");
+    group.sample_size(20);
+    for k in [10i64, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("mm1k", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut model = mm1k(k);
+                solve_steady_state(&mut model, CtmcOptions::default()).expect("solves")
+            });
+        });
+    }
+    for stages in [2usize, 3] {
+        let label = format!("tandem{stages}_k8");
+        group.bench_with_input(BenchmarkId::new("tandem", label), &stages, |b, &s| {
+            b.iter(|| {
+                let mut model = tandem(s, 8);
+                solve_steady_state(&mut model, CtmcOptions::default()).expect("solves")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctmc_transient");
+    group.sample_size(20);
+    for t in [10.0f64, 100.0] {
+        group.bench_with_input(BenchmarkId::new("mm1k100_at", t as u64), &t, |b, &t| {
+            b.iter(|| {
+                let mut model = mm1k(100);
+                solve_transient(&mut model, t, CtmcOptions::default()).expect("solves")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steady_state, bench_transient);
+criterion_main!(benches);

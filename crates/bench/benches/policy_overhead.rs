@@ -1,0 +1,81 @@
+//! Per-tick decision cost of each scheduling policy, isolated from the
+//! simulation engines: how expensive is the pluggable `schedule()` call
+//! itself?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vsched_core::{PcpuView, PolicyKind, VcpuId, VcpuStatus, VcpuView};
+
+/// A half-loaded snapshot: even globals INACTIVE with pending work, odd
+/// globals BUSY on PCPU `g/2`.
+fn snapshot(vm_sizes: &[usize], pcpus: usize) -> (Vec<VcpuView>, Vec<PcpuView>) {
+    let mut vcpus = Vec::new();
+    for (vm, &n) in vm_sizes.iter().enumerate() {
+        for sibling in 0..n {
+            let global = vcpus.len();
+            let busy = global % 2 == 1 && global / 2 < pcpus;
+            vcpus.push(VcpuView {
+                id: VcpuId {
+                    vm,
+                    sibling,
+                    global,
+                },
+                status: if busy {
+                    VcpuStatus::Busy
+                } else {
+                    VcpuStatus::Inactive
+                },
+                remaining_load: 5,
+                sync_point: global % 5 == 0,
+                assigned_pcpu: busy.then_some(global / 2),
+                timeslice_remaining: u64::from(busy) * 7,
+                last_scheduled_in: Some(100),
+                vm_weight: 1,
+            });
+        }
+    }
+    let pcpu_views = (0..pcpus)
+        .map(|id| PcpuView {
+            id,
+            assigned: vcpus
+                .iter()
+                .find(|v| v.assigned_pcpu == Some(id))
+                .map(|v| v.id),
+        })
+        .collect();
+    (vcpus, pcpu_views)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_decision");
+    group.sample_size(50);
+    let kinds = [
+        PolicyKind::RoundRobin,
+        PolicyKind::StrictCo,
+        PolicyKind::relaxed_co_default(),
+        PolicyKind::Balance,
+        PolicyKind::credit_default(),
+        PolicyKind::sedf_default(),
+        PolicyKind::bvt_default(),
+        PolicyKind::Fcfs,
+    ];
+    for kind in kinds {
+        for &(vms, pcpus) in &[(4usize, 4usize), (16, 16)] {
+            let sizes = vec![2usize; vms];
+            let (vcpus, pcpu_views) = snapshot(&sizes, pcpus);
+            let label = format!("{}_{}vcpus", kind.label(), vcpus.len());
+            group.bench_with_input(BenchmarkId::new("schedule", label), &(), |b, ()| {
+                let mut policy = kind.create();
+                let mut t = 0u64;
+                b.iter(|| {
+                    t += 1;
+                    black_box(policy.schedule(&vcpus, &pcpu_views, t, 30))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

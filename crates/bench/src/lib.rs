@@ -1,0 +1,72 @@
+//! Shared harness code for the figure-regeneration binaries and the
+//! criterion benches.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the experiment index) by driving `vsched-core`'s
+//! experiment runner, printing an aligned text table, and dumping the raw
+//! numbers as JSON under `bench_results/`.
+
+pub mod report;
+
+use vsched_core::{Engine, ExperimentBuilder, MetricsReport, PolicyKind, SystemConfig};
+use vsched_stats::StoppingRule;
+
+/// Builds the paper's standard configuration: `pcpus` physical CPUs, VMs
+/// of the given sizes, sync ratio `points:per_workloads`.
+///
+/// # Panics
+///
+/// Panics on an invalid combination (never happens for the values the
+/// binaries use).
+#[must_use]
+pub fn paper_config(pcpus: usize, vm_sizes: &[usize], sync: (u32, u32)) -> SystemConfig {
+    let mut b = SystemConfig::builder()
+        .pcpus(pcpus)
+        .sync_ratio(sync.0, sync.1);
+    for &n in vm_sizes {
+        b = b.vm(n);
+    }
+    b.build().expect("benchmark configurations are valid")
+}
+
+/// Runs one experiment cell with the paper's stopping rule (95% level,
+/// interval < 0.1), capped at 20 replications to keep figure regeneration
+/// quick.
+///
+/// # Panics
+///
+/// Panics if the simulation fails — benchmark configurations must run.
+#[must_use]
+pub fn run_cell(config: SystemConfig, policy: PolicyKind, engine: Engine) -> MetricsReport {
+    ExperimentBuilder::new(config, policy)
+        .engine(engine)
+        .warmup(1_000)
+        .horizon(20_000)
+        .stopping_rule(
+            StoppingRule::paper_default()
+                .with_min_replications(5)
+                .with_max_replications(20),
+        )
+        .run()
+        .expect("benchmark experiment must run")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_builds() {
+        let c = paper_config(4, &[2, 1, 1], (1, 5));
+        assert_eq!(c.pcpus(), 4);
+        assert_eq!(c.total_vcpus(), 4);
+    }
+
+    #[test]
+    fn run_cell_produces_report() {
+        let c = paper_config(2, &[1, 1], (1, 5));
+        let r = run_cell(c, PolicyKind::RoundRobin, Engine::Direct);
+        assert!(r.replications >= 5);
+        assert_eq!(r.vcpu_availability.len(), 2);
+    }
+}

@@ -1,0 +1,444 @@
+//! JSON experiment configuration and its mapping onto `vsched-core`.
+
+use serde::{Deserialize, Serialize};
+use vsched_core::{
+    config::SyncMechanism, CoreError, Engine, PolicyKind, SystemConfig, VmSpec, WorkloadSpec,
+};
+use vsched_des::Dist;
+
+/// A load or interarrival distribution, as written in config files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum DistSpec {
+    /// Constant value.
+    Deterministic {
+        /// The constant.
+        value: f64,
+    },
+    /// Continuous uniform on `[low, high)`.
+    Uniform {
+        /// Inclusive lower bound.
+        low: f64,
+        /// Exclusive upper bound.
+        high: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Erlang with `k` stages and total mean `mean`.
+    Erlang {
+        /// Number of stages.
+        k: u32,
+        /// Mean of the sum.
+        mean: f64,
+    },
+    /// Normal truncated at zero.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+    /// Geometric number of trials (support 1, 2, …).
+    Geometric {
+        /// Success probability.
+        p: f64,
+    },
+    /// Discrete uniform over `low..=high`.
+    DiscreteUniform {
+        /// Inclusive lower bound.
+        low: u64,
+        /// Inclusive upper bound.
+        high: u64,
+    },
+}
+
+impl DistSpec {
+    /// Converts to a validated kernel distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Des`] for out-of-domain parameters.
+    pub fn to_dist(&self) -> Result<Dist, CoreError> {
+        Ok(match *self {
+            DistSpec::Deterministic { value } => Dist::deterministic(value)?,
+            DistSpec::Uniform { low, high } => Dist::uniform(low, high)?,
+            DistSpec::Exponential { mean } => Dist::exponential(mean)?,
+            DistSpec::Erlang { k, mean } => Dist::erlang(k, mean)?,
+            DistSpec::Normal { mean, std_dev } => Dist::normal(mean, std_dev)?,
+            DistSpec::Geometric { p } => Dist::geometric(p)?,
+            DistSpec::DiscreteUniform { low, high } => Dist::discrete_uniform(low, high)?,
+        })
+    }
+}
+
+/// Workload section of a VM config. Every field is optional; omissions
+/// fall back to the paper's defaults (uniform[5,15), sync 1:5, barrier,
+/// saturated generation).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Job-duration distribution.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub load: Option<DistSpec>,
+    /// Synchronization ratio as the paper writes it: `[1, 5]` is 1:5.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sync_ratio: Option<(u32, u32)>,
+    /// `"barrier"` (default) or `"spinlock"`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sync_mechanism: Option<String>,
+    /// Deterministic pattern: every `k`-th workload is a sync point
+    /// (overrides the Bernoulli ratio).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sync_every: Option<u32>,
+    /// Interarrival distribution; omit for a saturated generator.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub interarrival: Option<DistSpec>,
+}
+
+impl WorkloadConfig {
+    fn to_spec(&self) -> Result<WorkloadSpec, CoreError> {
+        let mut spec = WorkloadSpec::paper_default();
+        if let Some(load) = &self.load {
+            spec.load = load.to_dist()?;
+        }
+        if let Some((a, b)) = self.sync_ratio {
+            spec = spec.with_sync_ratio(a, b)?;
+        }
+        if let Some(mechanism) = &self.sync_mechanism {
+            spec.sync_mechanism = match mechanism.as_str() {
+                "barrier" => SyncMechanism::Barrier,
+                "spinlock" => SyncMechanism::SpinLock,
+                other => {
+                    return Err(CoreError::InvalidConfig {
+                        reason: format!(
+                            "unknown sync_mechanism `{other}` (expected `barrier` or `spinlock`)"
+                        ),
+                    })
+                }
+            };
+        }
+        if let Some(k) = self.sync_every {
+            spec = spec.with_sync_every(k)?;
+        }
+        if let Some(inter) = &self.interarrival {
+            spec.interarrival = Some(inter.to_dist()?);
+        }
+        Ok(spec)
+    }
+}
+
+/// One VM in the config file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmConfig {
+    /// Number of VCPUs.
+    pub vcpus: usize,
+    /// Proportional-share weight (default 1).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub weight: Option<u32>,
+    /// Workload overrides (default: the paper's workload).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub workload: Option<WorkloadConfig>,
+}
+
+/// A scheduling policy in the config file: a bare label (`"rrs"`) or a
+/// parameterized object (`{"rcs": {"skew_threshold": 5, "skew_resume": 2}}`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum PolicySpec {
+    /// Bare label: `rrs`, `scs`, `rcs`, `balance`, `credit`, `fcfs`.
+    Label(String),
+    /// Parameterized relaxed co-scheduling.
+    Rcs {
+        /// The RCS parameters.
+        rcs: RcsParams,
+    },
+    /// Parameterized credit scheduler.
+    Credit {
+        /// The credit parameters.
+        credit: CreditParams,
+    },
+}
+
+/// RCS parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RcsParams {
+    /// Co-stop threshold (progress lead, in ticks).
+    pub skew_threshold: u64,
+    /// Resume level.
+    pub skew_resume: u64,
+}
+
+/// Credit-scheduler parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CreditParams {
+    /// Credit refill period in ticks.
+    pub refill_period: u64,
+}
+
+impl PolicySpec {
+    /// Resolves to a [`PolicyKind`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for an unknown label.
+    pub fn to_kind(&self) -> Result<PolicyKind, CoreError> {
+        match self {
+            PolicySpec::Label(label) => match label.to_ascii_lowercase().as_str() {
+                "rrs" | "round-robin" | "roundrobin" => Ok(PolicyKind::RoundRobin),
+                "scs" | "strict-co" | "strictco" => Ok(PolicyKind::StrictCo),
+                "rcs" | "relaxed-co" | "relaxedco" => Ok(PolicyKind::relaxed_co_default()),
+                "balance" | "bal" => Ok(PolicyKind::Balance),
+                "credit" | "crd" => Ok(PolicyKind::credit_default()),
+                "sedf" => Ok(PolicyKind::sedf_default()),
+                "bvt" => Ok(PolicyKind::bvt_default()),
+                "fcfs" => Ok(PolicyKind::Fcfs),
+                other => Err(CoreError::InvalidConfig {
+                    reason: format!("unknown policy `{other}`"),
+                }),
+            },
+            PolicySpec::Rcs { rcs } => Ok(PolicyKind::RelaxedCo {
+                skew_threshold: rcs.skew_threshold,
+                skew_resume: rcs.skew_resume,
+            }),
+            PolicySpec::Credit { credit } => Ok(PolicyKind::Credit {
+                refill_period: credit.refill_period,
+            }),
+        }
+    }
+}
+
+fn default_policies() -> Vec<PolicySpec> {
+    vec![
+        PolicySpec::Label("rrs".into()),
+        PolicySpec::Label("scs".into()),
+        PolicySpec::Label("rcs".into()),
+    ]
+}
+
+fn default_engine() -> String {
+    "san".into()
+}
+
+fn default_warmup() -> u64 {
+    1_000
+}
+
+fn default_horizon() -> u64 {
+    20_000
+}
+
+/// A complete experiment: the system, the policies to compare, and the
+/// simulation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of physical CPUs.
+    pub pcpus: usize,
+    /// The VMs.
+    pub vms: Vec<VmConfig>,
+    /// Scheduler timeslice in ticks (default 30).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub timeslice: Option<u64>,
+    /// Policies to compare (default: the paper's RRS/SCS/RCS trio).
+    #[serde(default = "default_policies")]
+    pub policies: Vec<PolicySpec>,
+    /// `"san"` (default) or `"direct"`.
+    #[serde(default = "default_engine")]
+    pub engine: String,
+    /// Warm-up ticks per replication (default 1000).
+    #[serde(default = "default_warmup")]
+    pub warmup: u64,
+    /// Observed ticks per replication (default 20000).
+    #[serde(default = "default_horizon")]
+    pub horizon: u64,
+    /// Exact replication count; omit to use the paper's stopping rule.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub replications: Option<usize>,
+    /// Base RNG seed (default 0x5eed).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub seed: Option<u64>,
+}
+
+impl ExperimentConfig {
+    /// Parses a config from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] with the JSON error message.
+    pub fn from_json(text: &str) -> Result<Self, CoreError> {
+        serde_json::from_str(text).map_err(|e| CoreError::InvalidConfig {
+            reason: format!("config parse error: {e}"),
+        })
+    }
+
+    /// Builds the [`SystemConfig`] this experiment describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from the builder.
+    pub fn system(&self) -> Result<SystemConfig, CoreError> {
+        let mut b = SystemConfig::builder().pcpus(self.pcpus);
+        if let Some(ts) = self.timeslice {
+            b = b.timeslice(ts);
+        }
+        for vm in &self.vms {
+            let workload = match &vm.workload {
+                Some(w) => w.to_spec()?,
+                None => WorkloadSpec::paper_default(),
+            };
+            b = b.vm_spec(VmSpec {
+                vcpus: vm.vcpus,
+                workload,
+                weight: vm.weight.unwrap_or(1),
+            });
+        }
+        b.build()
+    }
+
+    /// The policies to compare.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for an unknown policy.
+    pub fn policy_kinds(&self) -> Result<Vec<PolicyKind>, CoreError> {
+        self.policies.iter().map(PolicySpec::to_kind).collect()
+    }
+
+    /// The engine selection.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for an unknown engine name.
+    pub fn engine_kind(&self) -> Result<Engine, CoreError> {
+        match self.engine.as_str() {
+            "san" => Ok(Engine::San),
+            "direct" => Ok(Engine::Direct),
+            other => Err(CoreError::InvalidConfig {
+                reason: format!("unknown engine `{other}` (expected `san` or `direct`)"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"{
+        "pcpus": 4,
+        "vms": [
+            { "vcpus": 2 },
+            { "vcpus": 4, "weight": 2, "workload": {
+                "load": { "uniform": { "low": 5.0, "high": 15.0 } },
+                "sync_ratio": [1, 3],
+                "sync_mechanism": "spinlock" } }
+        ],
+        "timeslice": 12,
+        "policies": ["rrs", { "rcs": { "skew_threshold": 7, "skew_resume": 3 } }],
+        "engine": "direct",
+        "warmup": 500,
+        "horizon": 5000,
+        "replications": 3,
+        "seed": 42
+    }"#;
+
+    #[test]
+    fn full_config_round_trips() {
+        let cfg = ExperimentConfig::from_json(FULL).unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back = ExperimentConfig::from_json(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn full_config_builds_system() {
+        let cfg = ExperimentConfig::from_json(FULL).unwrap();
+        let system = cfg.system().unwrap();
+        assert_eq!(system.pcpus(), 4);
+        assert_eq!(system.total_vcpus(), 6);
+        assert_eq!(system.timeslice(), 12);
+        assert_eq!(system.vms()[1].weight, 2);
+        assert_eq!(
+            system.vms()[1].workload.sync_mechanism,
+            SyncMechanism::SpinLock
+        );
+        assert!((system.vms()[1].workload.sync_probability - 1.0 / 3.0).abs() < 1e-12);
+        // VM 0 uses the paper defaults.
+        assert_eq!(system.vms()[0].workload.sync_probability, 0.2);
+    }
+
+    #[test]
+    fn policies_resolve() {
+        let cfg = ExperimentConfig::from_json(FULL).unwrap();
+        let kinds = cfg.policy_kinds().unwrap();
+        assert_eq!(kinds[0], PolicyKind::RoundRobin);
+        assert_eq!(
+            kinds[1],
+            PolicyKind::RelaxedCo {
+                skew_threshold: 7,
+                skew_resume: 3
+            }
+        );
+        assert_eq!(cfg.engine_kind().unwrap(), Engine::Direct);
+    }
+
+    #[test]
+    fn minimal_config_uses_defaults() {
+        let cfg =
+            ExperimentConfig::from_json(r#"{ "pcpus": 2, "vms": [{ "vcpus": 1 }] }"#).unwrap();
+        assert_eq!(cfg.policy_kinds().unwrap().len(), 3, "paper trio default");
+        assert_eq!(cfg.engine_kind().unwrap(), Engine::San);
+        assert_eq!(cfg.warmup, 1_000);
+        assert_eq!(cfg.horizon, 20_000);
+        assert!(cfg.replications.is_none());
+        let system = cfg.system().unwrap();
+        assert_eq!(system.timeslice(), 30);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(ExperimentConfig::from_json("{").is_err());
+        let cfg = ExperimentConfig::from_json(
+            r#"{ "pcpus": 1, "vms": [{ "vcpus": 1 }], "policies": ["nope"] }"#,
+        )
+        .unwrap();
+        assert!(cfg.policy_kinds().is_err());
+        let cfg = ExperimentConfig::from_json(
+            r#"{ "pcpus": 1, "vms": [{ "vcpus": 1 }], "engine": "quantum" }"#,
+        )
+        .unwrap();
+        assert!(cfg.engine_kind().is_err());
+        let cfg = ExperimentConfig::from_json(
+            r#"{ "pcpus": 1, "vms": [{ "vcpus": 1, "workload": { "sync_mechanism": "mutex" } }] }"#,
+        )
+        .unwrap();
+        assert!(cfg.system().is_err());
+    }
+
+    #[test]
+    fn every_dist_spec_converts() {
+        let specs = vec![
+            DistSpec::Deterministic { value: 3.0 },
+            DistSpec::Uniform {
+                low: 1.0,
+                high: 2.0,
+            },
+            DistSpec::Exponential { mean: 4.0 },
+            DistSpec::Erlang { k: 3, mean: 6.0 },
+            DistSpec::Normal {
+                mean: 5.0,
+                std_dev: 1.0,
+            },
+            DistSpec::Geometric { p: 0.5 },
+            DistSpec::DiscreteUniform { low: 1, high: 9 },
+        ];
+        for spec in specs {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: DistSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back);
+            spec.to_dist().unwrap();
+        }
+        assert!(DistSpec::Exponential { mean: -1.0 }.to_dist().is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! # vsched-cli — experiment configs and the `vsched` command
+//!
+//! The paper's pitch is that a user assembles a virtualization system,
+//! plugs in an algorithm, and simulates — without writing simulator code.
+//! The `vsched` binary delivers that workflow from the shell: experiments
+//! are JSON files (see [`ExperimentConfig`]), results print as tables and
+//! optionally dump as JSON.
+//!
+//! ```json
+//! {
+//!   "pcpus": 4,
+//!   "vms": [
+//!     { "vcpus": 2 },
+//!     { "vcpus": 4, "weight": 2, "workload": {
+//!         "load": { "uniform": { "low": 5.0, "high": 15.0 } },
+//!         "sync_ratio": [1, 3],
+//!         "sync_mechanism": "barrier" } }
+//!   ],
+//!   "timeslice": 30,
+//!   "policies": ["rrs", "scs", { "rcs": { "skew_threshold": 5, "skew_resume": 2 } }],
+//!   "engine": "san",
+//!   "warmup": 1000,
+//!   "horizon": 20000
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod output;
+
+pub use config::{DistSpec, ExperimentConfig, PolicySpec, VmConfig, WorkloadConfig};
+pub use output::render_report;

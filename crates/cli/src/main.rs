@@ -1,0 +1,141 @@
+//! The `vsched` command: run VCPU-scheduling experiments from JSON configs.
+//!
+//! ```text
+//! vsched run <config.json> [--out results.json]   run an experiment file
+//! vsched example                                  print a starter config
+//! vsched help                                     this message
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use vsched_cli::output::{render_report, report_to_json};
+use vsched_cli::ExperimentConfig;
+use vsched_core::ExperimentBuilder;
+
+const HELP: &str = "\
+vsched — simulate and compare VCPU scheduling algorithms
+
+USAGE:
+    vsched run <config.json> [--out <results.json>]
+    vsched example
+    vsched help
+
+COMMANDS:
+    run       Simulate the experiment described by a JSON config file and
+              print a comparison of the configured policies.
+    example   Print a commented starter config to stdout.
+
+The config format is documented in the vsched-cli crate docs; `vsched
+example > exp.json` is the quickest start.";
+
+const EXAMPLE: &str = r#"{
+  "pcpus": 4,
+  "vms": [
+    { "vcpus": 2 },
+    { "vcpus": 4,
+      "workload": {
+        "load": { "uniform": { "low": 5.0, "high": 15.0 } },
+        "sync_ratio": [1, 3],
+        "sync_mechanism": "barrier"
+      }
+    }
+  ],
+  "timeslice": 30,
+  "policies": ["rrs", "scs", "rcs"],
+  "engine": "san",
+  "warmup": 1000,
+  "horizon": 20000
+}"#;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("example") => {
+            println!("{EXAMPLE}");
+            ExitCode::SUCCESS
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{HELP}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`\n\n{HELP}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut config_path: Option<&str> = None;
+    let mut out_path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(p),
+                None => {
+                    eprintln!("error: --out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            p if config_path.is_none() => config_path = Some(p),
+            p => {
+                eprintln!("error: unexpected argument `{p}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(config_path) = config_path else {
+        eprintln!("error: `vsched run` needs a config file\n\n{HELP}");
+        return ExitCode::FAILURE;
+    };
+    match run_experiment(config_path, out_path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_experiment(config_path: &str, out_path: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
+    let text = fs::read_to_string(config_path)
+        .map_err(|e| format!("cannot read {config_path}: {e}"))?;
+    let config = ExperimentConfig::from_json(&text)?;
+    let system = config.system()?;
+    let engine = config.engine_kind()?;
+    println!(
+        "system: {}   engine: {}   warmup {} / horizon {} ticks",
+        system.describe(),
+        config.engine,
+        config.warmup,
+        config.horizon
+    );
+    let mut json_results = Vec::new();
+    for policy in config.policy_kinds()? {
+        let mut builder = ExperimentBuilder::new(system.clone(), policy.clone())
+            .engine(engine)
+            .warmup(config.warmup)
+            .horizon(config.horizon);
+        if let Some(n) = config.replications {
+            builder = builder.replications_exact(n);
+        }
+        if let Some(seed) = config.seed {
+            builder = builder.seed(seed);
+        }
+        let report = builder.run()?;
+        print!("{}", render_report(&system, &policy, &report));
+        json_results.push(report_to_json(&system, &policy, &report));
+    }
+    if let Some(out) = out_path {
+        let body = serde_json::to_string_pretty(&serde_json::json!({
+            "config": config,
+            "results": json_results,
+        }))?;
+        fs::write(out, body).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("[wrote {out}]");
+    }
+    Ok(())
+}

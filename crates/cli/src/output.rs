@@ -1,0 +1,91 @@
+//! Result rendering for the `vsched` command.
+
+use vsched_core::{MetricsReport, PolicyKind, SystemConfig};
+
+/// Renders one policy's report as an aligned text block.
+#[must_use]
+pub fn render_report(
+    system: &SystemConfig,
+    policy: &PolicyKind,
+    report: &MetricsReport,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "policy {} ({} replications)\n",
+        policy.label(),
+        report.replications
+    ));
+    out.push_str(&format!(
+        "  averages: VCPU avail {:.3}   VCPU util {:.3}   PCPU util {:.3}",
+        report.avg_vcpu_availability(),
+        report.avg_vcpu_utilization(),
+        report.avg_pcpu_utilization(),
+    ));
+    if report.avg_vcpu_spin() > 0.0 {
+        out.push_str(&format!("   spin {:.3}", report.avg_vcpu_spin()));
+    }
+    out.push('\n');
+    for (id, ci) in system.vcpu_ids().iter().zip(&report.vcpu_availability) {
+        out.push_str(&format!("  {id}: availability {ci}\n"));
+    }
+    out
+}
+
+/// Serializes one policy's report as a JSON value.
+#[must_use]
+pub fn report_to_json(
+    system: &SystemConfig,
+    policy: &PolicyKind,
+    report: &MetricsReport,
+) -> serde_json::Value {
+    serde_json::json!({
+        "policy": policy.label(),
+        "system": system.describe(),
+        "replications": report.replications,
+        "avg_vcpu_availability": report.avg_vcpu_availability(),
+        "avg_vcpu_utilization": report.avg_vcpu_utilization(),
+        "avg_pcpu_utilization": report.avg_pcpu_utilization(),
+        "avg_vcpu_spin": report.avg_vcpu_spin(),
+        "vcpu_availability": report.vcpu_availability_means(),
+        "vcpu_utilization": report.vcpu_utilization_means(),
+        "pcpu_utilization": report.pcpu_utilization_means(),
+        "vcpu_spin": report.vcpu_spin_means(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsched_core::{Engine, ExperimentBuilder};
+
+    fn report() -> (SystemConfig, PolicyKind, MetricsReport) {
+        let system = SystemConfig::builder().pcpus(1).vm(1).build().unwrap();
+        let policy = PolicyKind::RoundRobin;
+        let report = ExperimentBuilder::new(system.clone(), policy.clone())
+            .engine(Engine::Direct)
+            .warmup(100)
+            .horizon(1_000)
+            .replications_exact(2)
+            .run()
+            .unwrap();
+        (system, policy, report)
+    }
+
+    #[test]
+    fn text_render_contains_metrics() {
+        let (system, policy, report) = report();
+        let text = render_report(&system, &policy, &report);
+        assert!(text.contains("policy RRS"));
+        assert!(text.contains("VCPU avail"));
+        assert!(text.contains("VCPU1.1"));
+    }
+
+    #[test]
+    fn json_render_has_all_fields() {
+        let (system, policy, report) = report();
+        let json = report_to_json(&system, &policy, &report);
+        assert_eq!(json["policy"], "RRS");
+        assert!(json["avg_pcpu_utilization"].as_f64().unwrap() > 0.9);
+        assert_eq!(json["vcpu_availability"].as_array().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Integration: every shipped config file under `configs/` parses, builds,
+//! and runs end to end (with shortened horizons).
+
+use std::fs;
+use vsched_cli::ExperimentConfig;
+use vsched_core::ExperimentBuilder;
+
+fn configs_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../configs")
+}
+
+#[test]
+fn shipped_configs_parse_and_build() {
+    let mut found = 0;
+    for entry in fs::read_dir(configs_dir()).expect("configs/ exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        found += 1;
+        let text = fs::read_to_string(&path).expect("readable config");
+        let config = ExperimentConfig::from_json(&text)
+            .unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        let system = config.system().unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        assert!(system.total_vcpus() > 0);
+        config.policy_kinds().unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        config.engine_kind().unwrap_or_else(|e| panic!("{path:?}: {e}"));
+    }
+    assert!(found >= 4, "expected the shipped configs, found {found}");
+}
+
+#[test]
+fn shipped_configs_run_quickly() {
+    for entry in fs::read_dir(configs_dir()).expect("configs/ exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).expect("readable config");
+        let config = ExperimentConfig::from_json(&text).expect("valid config");
+        let system = config.system().expect("valid system");
+        // Shortened run: first policy only, tiny horizon, direct engine.
+        let policy = config.policy_kinds().expect("valid policies")[0].clone();
+        let report = ExperimentBuilder::new(system, policy)
+            .engine(vsched_core::Engine::Direct)
+            .warmup(200)
+            .horizon(2_000)
+            .replications_exact(2)
+            .run()
+            .unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        assert!(report.avg_pcpu_utilization() > 0.0, "{path:?} ran");
+    }
+}

@@ -1,0 +1,294 @@
+//! Event tracing for the direct engine.
+//!
+//! The paper's framework reports only aggregate reward variables; when a
+//! scheduling algorithm misbehaves, aggregates don't say *why*. The trace
+//! recorder captures every scheduling-relevant transition — schedule
+//! in/out, dispatch, completion, barrier block/unblock, lock hand-off —
+//! and can render a Gantt-style timeline for a window of ticks.
+//!
+//! Enable with [`crate::direct::DirectSim::enable_trace`]; recording is
+//! off by default and costs nothing when disabled.
+
+use serde::{Deserialize, Serialize};
+
+/// One scheduling-relevant transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A VCPU was assigned a PCPU.
+    ScheduleIn {
+        /// Tick of the event.
+        tick: u64,
+        /// Global VCPU index.
+        vcpu: usize,
+        /// PCPU granted.
+        pcpu: usize,
+        /// Timeslice granted.
+        timeslice: u64,
+    },
+    /// A VCPU relinquished its PCPU (expiry or preemption).
+    ScheduleOut {
+        /// Tick of the event.
+        tick: u64,
+        /// Global VCPU index.
+        vcpu: usize,
+    },
+    /// A workload was dispatched to a VCPU.
+    Dispatch {
+        /// Tick of the event.
+        tick: u64,
+        /// Global VCPU index.
+        vcpu: usize,
+        /// Job duration in ticks.
+        load: u64,
+        /// Whether the job is a synchronization point.
+        sync: bool,
+    },
+    /// A VCPU finished its job.
+    JobComplete {
+        /// Tick of the event.
+        tick: u64,
+        /// Global VCPU index.
+        vcpu: usize,
+    },
+    /// A VM blocked at a barrier.
+    Blocked {
+        /// Tick of the event.
+        tick: u64,
+        /// VM index.
+        vm: usize,
+    },
+    /// A VM's barrier cleared.
+    Unblocked {
+        /// Tick of the event.
+        tick: u64,
+        /// VM index.
+        vm: usize,
+    },
+    /// A VCPU acquired its VM's spinlock (spinlock extension).
+    LockAcquired {
+        /// Tick of the event.
+        tick: u64,
+        /// Global VCPU index.
+        vcpu: usize,
+    },
+    /// A VCPU released its VM's spinlock (spinlock extension).
+    LockReleased {
+        /// Tick of the event.
+        tick: u64,
+        /// Global VCPU index.
+        vcpu: usize,
+    },
+}
+
+impl TraceEvent {
+    /// Tick at which the event occurred.
+    #[must_use]
+    pub fn tick(&self) -> u64 {
+        match *self {
+            TraceEvent::ScheduleIn { tick, .. }
+            | TraceEvent::ScheduleOut { tick, .. }
+            | TraceEvent::Dispatch { tick, .. }
+            | TraceEvent::JobComplete { tick, .. }
+            | TraceEvent::Blocked { tick, .. }
+            | TraceEvent::Unblocked { tick, .. }
+            | TraceEvent::LockAcquired { tick, .. }
+            | TraceEvent::LockReleased { tick, .. } => tick,
+        }
+    }
+}
+
+/// A bounded recording of [`TraceEvent`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a recorder holding at most `capacity` events; further
+    /// events are counted but discarded.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Recorded events, in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events discarded after the capacity was reached.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders a Gantt-style timeline of `num_vcpus` lanes over the tick
+    /// window `[from, to)`.
+    ///
+    /// Legend: `.` descheduled, `r` READY (scheduled, no work), `#` BUSY,
+    /// `S` BUSY on a synchronization-point job.
+    #[must_use]
+    pub fn render_gantt(&self, num_vcpus: usize, from: u64, to: u64) -> String {
+        #[derive(Clone, Copy, Default)]
+        struct LaneState {
+            active: bool,
+            busy: bool,
+            sync: bool,
+        }
+        let width = to.saturating_sub(from) as usize;
+        let mut lanes = vec![vec!['.'; width]; num_vcpus];
+        let mut state = vec![LaneState::default(); num_vcpus];
+        let mut cursor = from;
+        let fill = |state: &[LaneState], lanes: &mut [Vec<char>], upto: u64, cursor: &mut u64| {
+            let end = upto.clamp(from, to);
+            while *cursor < end {
+                let col = (*cursor - from) as usize;
+                for (lane, s) in lanes.iter_mut().zip(state) {
+                    lane[col] = match (s.active, s.busy, s.sync) {
+                        (false, _, _) => '.',
+                        (true, false, _) => 'r',
+                        (true, true, false) => '#',
+                        (true, true, true) => 'S',
+                    };
+                }
+                *cursor += 1;
+            }
+        };
+        for ev in &self.events {
+            // The state set at tick t holds from t (inclusive) onwards, so
+            // paint the columns *before* t with the previous state first.
+            fill(&state, &mut lanes, ev.tick(), &mut cursor);
+            match *ev {
+                TraceEvent::ScheduleIn { vcpu, .. } if vcpu < num_vcpus => {
+                    state[vcpu].active = true;
+                }
+                TraceEvent::ScheduleOut { vcpu, .. } if vcpu < num_vcpus => {
+                    state[vcpu].active = false;
+                }
+                TraceEvent::Dispatch { vcpu, sync, .. } if vcpu < num_vcpus => {
+                    state[vcpu].busy = true;
+                    state[vcpu].sync = sync;
+                }
+                TraceEvent::JobComplete { vcpu, .. } if vcpu < num_vcpus => {
+                    state[vcpu].busy = false;
+                    state[vcpu].sync = false;
+                }
+                _ => {}
+            }
+        }
+        fill(&state, &mut lanes, to, &mut cursor);
+        let mut out = String::new();
+        for (g, lane) in lanes.iter().enumerate() {
+            out.push_str(&format!("vcpu{g:<2} |"));
+            out.extend(lane.iter());
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_bounds_recording() {
+        let mut t = Trace::new(2);
+        for tick in 0..5 {
+            t.push(TraceEvent::JobComplete { tick, vcpu: 0 });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn event_tick_accessor() {
+        let e = TraceEvent::Blocked { tick: 7, vm: 1 };
+        assert_eq!(e.tick(), 7);
+        let e = TraceEvent::ScheduleIn {
+            tick: 9,
+            vcpu: 0,
+            pcpu: 1,
+            timeslice: 30,
+        };
+        assert_eq!(e.tick(), 9);
+    }
+
+    #[test]
+    fn gantt_renders_states() {
+        let mut t = Trace::new(100);
+        t.push(TraceEvent::ScheduleIn {
+            tick: 1,
+            vcpu: 0,
+            pcpu: 0,
+            timeslice: 10,
+        });
+        t.push(TraceEvent::Dispatch {
+            tick: 2,
+            vcpu: 0,
+            load: 3,
+            sync: false,
+        });
+        t.push(TraceEvent::JobComplete { tick: 5, vcpu: 0 });
+        t.push(TraceEvent::Dispatch {
+            tick: 6,
+            vcpu: 0,
+            load: 2,
+            sync: true,
+        });
+        t.push(TraceEvent::ScheduleOut { tick: 8, vcpu: 0 });
+        let g = t.render_gantt(1, 0, 10);
+        // tick:   0123456789
+        // state:  .r###rSS..
+        assert!(g.contains("|.r###rSS..|"), "got: {g}");
+    }
+
+    #[test]
+    fn gantt_window_clips() {
+        let mut t = Trace::new(100);
+        t.push(TraceEvent::ScheduleIn {
+            tick: 0,
+            vcpu: 0,
+            pcpu: 0,
+            timeslice: 10,
+        });
+        let g = t.render_gantt(1, 5, 8);
+        assert!(g.contains("|rrr|"), "got: {g}");
+    }
+
+    #[test]
+    fn gantt_ignores_out_of_range_vcpus() {
+        let mut t = Trace::new(100);
+        t.push(TraceEvent::ScheduleIn {
+            tick: 0,
+            vcpu: 5,
+            pcpu: 0,
+            timeslice: 10,
+        });
+        let g = t.render_gantt(1, 0, 3);
+        assert!(g.contains("|...|"));
+    }
+
+    #[test]
+    fn events_serialize() {
+        let e = TraceEvent::LockAcquired { tick: 3, vcpu: 2 };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

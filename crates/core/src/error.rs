@@ -1,0 +1,102 @@
+//! Error type for the framework.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from configuring or running a virtualization-system simulation.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The system configuration is invalid (e.g. no PCPUs, a VM with zero
+    /// VCPUs, or more VCPUs in one VM than PCPUs — the paper requires "at
+    /// most the same number of VCPUs as the number of physical cores").
+    InvalidConfig {
+        /// What is wrong.
+        reason: String,
+    },
+    /// A scheduling policy produced an inconsistent decision; the message
+    /// names the policy and the violated invariant.
+    PolicyViolation {
+        /// Policy name.
+        policy: String,
+        /// Violated invariant.
+        reason: String,
+    },
+    /// Error bubbled up from the SAN engine.
+    San(vsched_san::SanError),
+    /// Error bubbled up from the statistics layer.
+    Stats(vsched_stats::StatsError),
+    /// Error bubbled up from the DES kernel (invalid distribution).
+    Des(vsched_des::DesError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { reason } => {
+                write!(f, "invalid system configuration: {reason}")
+            }
+            CoreError::PolicyViolation { policy, reason } => {
+                write!(f, "scheduling policy `{policy}` violated an invariant: {reason}")
+            }
+            CoreError::San(e) => write!(f, "SAN engine error: {e}"),
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::Des(e) => write!(f, "kernel error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::San(e) => Some(e),
+            CoreError::Stats(e) => Some(e),
+            CoreError::Des(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vsched_san::SanError> for CoreError {
+    fn from(e: vsched_san::SanError) -> Self {
+        CoreError::San(e)
+    }
+}
+
+impl From<vsched_stats::StatsError> for CoreError {
+    fn from(e: vsched_stats::StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+impl From<vsched_des::DesError> for CoreError {
+    fn from(e: vsched_des::DesError) -> Self {
+        CoreError::Des(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::InvalidConfig {
+            reason: "no PCPUs".into(),
+        };
+        assert!(e.to_string().contains("no PCPUs"));
+        assert!(e.source().is_none());
+
+        let e: CoreError = vsched_san::SanError::UnknownPlace { name: "p".into() }.into();
+        assert!(e.source().is_some());
+
+        let e: CoreError = vsched_stats::StatsError::NotEnoughData { have: 0, need: 2 }.into();
+        assert!(e.to_string().contains("statistics"));
+
+        let e: CoreError = vsched_des::DesError::InvalidDistribution {
+            family: "uniform",
+            reason: "bad".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("kernel"));
+    }
+}

@@ -1,0 +1,391 @@
+//! Compiles a [`SystemConfig`] + policy into a SAN model.
+//!
+//! The composed model mirrors the paper's structure:
+//!
+//! * **Figure 5 (Workload Generator)** → per-VM `WL_Generate` activity with
+//!   the `WL_Output` gate sampling `load` and `sync_point` into the
+//!   `Workload` buffer; enabled only when a VCPU is READY and the VM is
+//!   not `Blocked`.
+//! * **Figure 3 (Job Scheduler)** → per-VM `Scheduling` activity whose
+//!   input conditions are the paper's "(i) there is a pending workload and
+//!   (ii) there is at least one READY VCPU"; its gate moves the workload
+//!   fields into the chosen `VCPU_slot`.
+//! * **Figure 4 (VCPU)** → per-VCPU `Processing_load` activity decrementing
+//!   `remaining_load` on each Clock tick; completion flips the status to
+//!   READY and increments `Num_VCPUs_ready`.
+//! * **Figure 6 (VCPU Scheduler)** → the `Clock` timed activity (period 1),
+//!   the `Timeslice` bookkeeping activity, and the `Scheduling_Func` gate
+//!   that calls the user-defined policy over the full VCPU/PCPU state —
+//!   the paper's C-function interface, as a Rust closure.
+//! * **Figure 7 / Tables 1–2 (composition)** → all of the above are built
+//!   into one flattened model whose shared places (`Blocked`,
+//!   `Num_VCPUs_ready`, `VCPUx_slot`, `Schedule_In/Out` ≙ the `pcpu`
+//!   assignment fields) are the join places.
+//!
+//! Intra-tick ordering is enforced by instantaneous-activity priorities:
+//! `Processing_load` (50) → `Unblock` (40) → `Timeslice` (30) →
+//! `Scheduling_Func` (20) → `WL_Generate` (12) → `Scheduling` (10) →
+//! `End_Tick` (1).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use vsched_des::Dist;
+use vsched_san::{Model, ModelBuilder, PlaceId, SanError};
+
+use crate::config::{SyncMechanism, SystemConfig};
+use crate::error::CoreError;
+use crate::san_model::layout::{Layout, VcpuPlaces, VmPlaces};
+use crate::sched::{validate_decision, SchedulingPolicy};
+use crate::types::VcpuStatus;
+use crate::util::sample_ticks;
+
+/// Intra-tick phase priorities (higher completes first).
+pub(crate) mod priority {
+    /// `Processing_load` — BUSY VCPUs advance their jobs.
+    pub const PROCESS: i32 = 50;
+    /// `Unblock` — barriers whose jobs completed clear.
+    pub const UNBLOCK: i32 = 40;
+    /// `Timeslice` — slice bookkeeping and expiry.
+    pub const EXPIRE: i32 = 30;
+    /// `Scheduling_Func` — the pluggable policy runs.
+    pub const SCHED: i32 = 20;
+    /// `WL_Generate` — workload generation into the buffer.
+    pub const GENERATE: i32 = 12;
+    /// `Scheduling` (job scheduler) — dispatch to READY VCPUs.
+    pub const DISPATCH: i32 = 10;
+    /// `End_Tick` — the dispatch window closes.
+    pub const END_TICK: i32 = 1;
+}
+
+/// Error slot shared between the `Scheduling_Func` gate and [`super::SanSystem`].
+pub(crate) type ErrorCell = Rc<RefCell<Option<CoreError>>>;
+
+/// Builds the flattened composed model. Returns the model, its place
+/// layout, and the shared error cell for policy violations.
+pub(crate) fn build_model(
+    config: &SystemConfig,
+    policy: Box<dyn SchedulingPolicy>,
+    ) -> Result<(Model, Layout, ErrorCell), SanError> {
+    let mut mb = ModelBuilder::new();
+
+    // ----- Places ---------------------------------------------------------
+    let clock = mb.place("clock", 0)?;
+    let halt = mb.place("halt", 0)?;
+    let tick_expire = mb.place("tick_expire", 0)?;
+    let tick_sched = mb.place("tick_sched", 0)?;
+
+    let mut vcpu_places = Vec::new();
+    let mut vm_places = Vec::new();
+    let mut vm_of_table = Vec::new();
+    for (k, vm) in config.vms().iter().enumerate() {
+        let places = mb.scope(&format!("vm{k}"), |mb| {
+            Ok(VmPlaces {
+                blocked: mb.place("Blocked", 0)?,
+                ready_count: mb.place("Num_VCPUs_ready", 0)?,
+                wl_pending: mb.place("Workload.pending", 0)?,
+                wl_load: mb.place("Workload.load", 0)?,
+                wl_sync: mb.place("Workload.sync_point", 0)?,
+                window: mb.place("window", 0)?,
+                tick_unblock: mb.place("tick_unblock", 0)?,
+                lock_holder: mb.place("lock_holder", 0)?,
+                generated: mb.place("generated", 0)?,
+            })
+        })?;
+        vm_places.push(places);
+        for j in 0..vm.vcpus {
+            let vp = mb.scope(&format!("vm{k}"), |mb| {
+                mb.scope(&format!("vcpu{j}"), |mb| {
+                    Ok(VcpuPlaces {
+                        status: mb.place("slot.status", 0)?,
+                        remaining_load: mb.place("slot.remaining_load", 0)?,
+                        sync_point: mb.place("slot.sync_point", 0)?,
+                        timeslice: mb.place("Timeslice", 0)?,
+                        last_in: mb.place("Last_Scheduled_In", 0)?,
+                        pcpu: mb.place("Schedule_In", 0)?,
+                        tick: mb.place("tick", 0)?,
+                        spinning: mb.place("spinning", 0)?,
+                    })
+                })
+            })?;
+            vcpu_places.push(vp);
+            vm_of_table.push(k);
+        }
+    }
+    let pcpu_places: Vec<PlaceId> = (0..config.pcpus())
+        .map(|p| mb.place(&format!("pcpu{p}.assigned"), 0))
+        .collect::<Result<_, _>>()?;
+
+    let layout = Layout::new(
+        vcpu_places,
+        pcpu_places,
+        vm_places,
+        clock,
+        halt,
+        tick_expire,
+        tick_sched,
+        vm_of_table,
+    );
+
+    // ----- Clock (Figure 6): period-1 timed activity ----------------------
+    {
+        let mut clock_act = mb
+            .activity("Clock")?
+            .timed(Dist::Deterministic { value: 1.0 })
+            .guard("not_halted", move |m| m.tokens(halt) == 0)
+            .output_arc(clock, 1)
+            .output_arc(tick_expire, 1)
+            .output_arc(tick_sched, 1);
+        for v in &layout.vcpus {
+            clock_act = clock_act.output_arc(v.tick, 1);
+        }
+        for vm in &layout.vms {
+            clock_act = clock_act
+                .output_arc(vm.tick_unblock, 1)
+                .output_arc(vm.window, 1);
+        }
+        clock_act.done()?;
+    }
+
+    // ----- Processing_load (Figure 4), one per VCPU ------------------------
+    //
+    // Per-VCPU instantaneous activities at equal priority complete in
+    // activity-declaration (= global VCPU index) order, so spinlock
+    // hand-off within a tick is index-ordered — identical to the direct
+    // engine's phase-1 loop.
+    for (g, v) in layout.vcpus.iter().copied().enumerate() {
+        let vm = layout.vms[layout.vm_of(g)];
+        let mechanism = config.vms()[layout.vm_of(g)].workload.sync_mechanism;
+        mb.scope(&format!("vm{}", layout.vm_of(g)), |mb| {
+            mb.scope(&format!("vcpu{}", config.vcpu_ids()[g].sibling), |mb| {
+                mb.activity("Processing_load")?
+                    .instantaneous(priority::PROCESS)
+                    .input_arc(v.tick, 1)
+                    .output_gate("process", move |m, _| {
+                        if m.tokens(v.status) != VcpuStatus::Busy.to_token() {
+                            m.set(v.spinning, 0);
+                            return;
+                        }
+                        // Spinlock extension: a critical-section job must
+                        // hold the VM lock to make progress.
+                        if mechanism == SyncMechanism::SpinLock
+                            && m.tokens(v.sync_point) == 1
+                        {
+                            let me = g as i64 + 1;
+                            let holder = m.tokens(vm.lock_holder);
+                            if holder == 0 {
+                                m.set(vm.lock_holder, me); // acquire
+                            } else if holder != me {
+                                m.set(v.spinning, 1); // spin, no progress
+                                return;
+                            }
+                        }
+                        m.set(v.spinning, 0);
+                        m.add(v.remaining_load, -1);
+                        if m.tokens(v.remaining_load) == 0 {
+                            if mechanism == SyncMechanism::SpinLock
+                                && m.tokens(v.sync_point) == 1
+                                && m.tokens(vm.lock_holder) == g as i64 + 1
+                            {
+                                m.set(vm.lock_holder, 0); // release
+                            }
+                            m.set(v.status, VcpuStatus::Ready.to_token());
+                            m.set(v.sync_point, 0);
+                            m.add(vm.ready_count, 1);
+                        }
+                    })
+                    .done()
+            })
+        })?;
+    }
+
+    // ----- Unblock (barrier clearing), one per VM --------------------------
+    for (k, vm) in layout.vms.iter().copied().enumerate() {
+        let members: Vec<_> = layout
+            .vcpus
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(g, _)| layout.vm_of(g) == k)
+            .map(|(_, v)| v)
+            .collect();
+        mb.scope(&format!("vm{k}"), |mb| {
+            mb.activity("Unblock")?
+                .instantaneous(priority::UNBLOCK)
+                .input_arc(vm.tick_unblock, 1)
+                .output_gate("clear_barrier", move |m, _| {
+                    if m.tokens(vm.blocked) == 1
+                        && members.iter().all(|v| m.tokens(v.remaining_load) == 0)
+                    {
+                        m.set(vm.blocked, 0);
+                    }
+                })
+                .done()
+        })?;
+    }
+
+    // ----- Timeslice bookkeeping (Figure 6) --------------------------------
+    {
+        let l = layout.clone();
+        mb.activity("Timeslice")?
+            .instantaneous(priority::EXPIRE)
+            .input_arc(tick_expire, 1)
+            .output_gate("expire", move |m, _| {
+                for (g, v) in l.vcpus.iter().enumerate() {
+                    if VcpuStatus::from_token(m.tokens(v.status)).is_active() {
+                        m.add(v.timeslice, -1);
+                        if m.tokens(v.timeslice) == 0 {
+                            l.schedule_out(m, g);
+                        }
+                    }
+                }
+            })
+            .done()?;
+    }
+
+    // ----- Scheduling_Func (Figure 6): the pluggable policy ----------------
+    let error_cell: ErrorCell = Rc::new(RefCell::new(None));
+    {
+        let l = layout.clone();
+        let cfg = config.clone();
+        let cell = Rc::clone(&error_cell);
+        let mut policy = policy;
+        mb.activity("Scheduling_Func")?
+            .instantaneous(priority::SCHED)
+            .input_arc(tick_sched, 1)
+            .guard("not_halted", move |m| m.tokens(halt) == 0)
+            .output_gate("schedule", move |m, _| {
+                let vcpus = l.vcpu_views(m, &cfg);
+                let pcpus = l.pcpu_views(m, &cfg);
+                let now = m.tokens(l.clock);
+                let decision =
+                    policy.schedule(&vcpus, &pcpus, now as u64, cfg.timeslice());
+                match validate_decision(policy.name(), &vcpus, &pcpus, &decision) {
+                    Ok(()) => l.apply_decision(m, &decision, now),
+                    Err(e) => {
+                        *cell.borrow_mut() = Some(e);
+                        m.set(l.halt, 1);
+                    }
+                }
+            })
+            .done()?;
+    }
+
+    // ----- Workload Generator (Figure 5) + Job Scheduler (Figure 3) -------
+    for (k, vm) in layout.vms.iter().copied().enumerate() {
+        let spec = config.vms()[k].workload.clone();
+        let mechanism = spec.sync_mechanism;
+        mb.scope(&format!("vm{k}"), |mb| {
+            match spec.interarrival.clone() {
+                None => {
+                    // Saturated generator: a new workload materializes
+                    // whenever the buffer is free, a VCPU is READY, and the
+                    // VM is not blocked — the paper's Figure 5 conditions.
+                    let load_dist = spec.load.clone();
+                    let sync_p = spec.sync_probability;
+                    let sync_every = spec.sync_every;
+                    mb.activity("WL_Generate")?
+                        .instantaneous(priority::GENERATE)
+                        .guard("can_generate", move |m| {
+                            m.tokens(halt) == 0
+                                && m.tokens(vm.wl_pending) == 0
+                                && m.tokens(vm.blocked) == 0
+                                && m.tokens(vm.ready_count) > 0
+                                && m.tokens(vm.window) > 0
+                        })
+                        .output_gate("WL_Output", move |m, rng| {
+                            let load = sample_ticks(&load_dist, rng) as i64;
+                            m.add(vm.generated, 1);
+                            let sync = match sync_every {
+                                Some(k) => {
+                                    i64::from(m.tokens(vm.generated) % i64::from(k) == 0)
+                                }
+                                None => i64::from(rng.next_bool(sync_p)),
+                            };
+                            m.set(vm.wl_load, load);
+                            m.set(vm.wl_sync, sync);
+                            m.set(vm.wl_pending, 1);
+                        })
+                        .done()?;
+                }
+                Some(inter) => {
+                    // Rate-limited generator: arrivals accumulate in the
+                    // buffer as a counter; fields are sampled at dispatch.
+                    mb.activity("WL_Generate")?
+                        .timed(inter)
+                        .guard("not_halted", move |m| m.tokens(halt) == 0)
+                        .output_arc(vm.wl_pending, 1)
+                        .done()?;
+                }
+            }
+
+            // Job Scheduler: dispatch one buffered workload to the lowest
+            // READY sibling; fires repeatedly within the tick window until
+            // the buffer or the READY set drains.
+            let members: Vec<_> = layout
+                .vcpus
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(g, _)| layout.vm_of(g) == k)
+                .map(|(_, v)| v)
+                .collect();
+            let members_gate = members.clone();
+            let load_dist = spec.load.clone();
+            let sync_p = spec.sync_probability;
+            let sync_every = spec.sync_every;
+            let sample_at_dispatch = spec.interarrival.is_some();
+            mb.activity("Scheduling")?
+                .instantaneous(priority::DISPATCH)
+                .guard("can_dispatch", move |m| {
+                    m.tokens(halt) == 0
+                        && m.tokens(vm.wl_pending) > 0
+                        && m.tokens(vm.blocked) == 0
+                        && m.tokens(vm.ready_count) > 0
+                        && m.tokens(vm.window) > 0
+                        && members_gate
+                            .iter()
+                            .any(|v| m.tokens(v.status) == VcpuStatus::Ready.to_token())
+                })
+                .output_gate("dispatch", move |m, rng| {
+                    let Some(v) = members
+                        .iter()
+                        .find(|v| m.tokens(v.status) == VcpuStatus::Ready.to_token())
+                    else {
+                        return;
+                    };
+                    let (load, sync) = if sample_at_dispatch {
+                        m.add(vm.generated, 1);
+                        let sync = match sync_every {
+                            Some(k) => {
+                                i64::from(m.tokens(vm.generated) % i64::from(k) == 0)
+                            }
+                            None => i64::from(rng.next_bool(sync_p)),
+                        };
+                        (sample_ticks(&load_dist, rng) as i64, sync)
+                    } else {
+                        (m.tokens(vm.wl_load), m.tokens(vm.wl_sync))
+                    };
+                    m.set(v.remaining_load, load);
+                    m.set(v.sync_point, sync);
+                    m.set(v.status, VcpuStatus::Busy.to_token());
+                    m.add(vm.ready_count, -1);
+                    m.add(vm.wl_pending, -1);
+                    if sync == 1 && mechanism == SyncMechanism::Barrier {
+                        m.set(vm.blocked, 1);
+                    }
+                })
+                .done()?;
+
+            // The dispatch window closes at the end of the tick instant.
+            mb.activity("End_Tick")?
+                .instantaneous(priority::END_TICK)
+                .input_arc(vm.window, 1)
+                .done()?;
+            Ok(())
+        })?;
+    }
+
+    let model = mb.build()?;
+    Ok((model, layout, error_cell))
+}

@@ -1,0 +1,238 @@
+//! The SAN-based engine: the paper's virtualization model, faithfully.
+//!
+//! [`SanSystem`] compiles a [`SystemConfig`] and a [`SchedulingPolicy`]
+//! into a Stochastic Activity Network (see the `build` module source for
+//! the mapping to the
+//! paper's figures), runs it on the `vsched-san` simulator, and reads the
+//! three metrics off rate reward variables:
+//!
+//! * VCPU availability — reward `1` while `status ∈ {READY, BUSY}`,
+//! * VCPU utilization — reward `1` while `status = BUSY`,
+//! * PCPU utilization — reward `1` while the PCPU is ASSIGNED,
+//!
+//! exactly the "reward variable that monitors the state transition" the
+//! paper describes for each figure.
+
+mod build;
+mod layout;
+
+#[cfg(test)]
+mod tests;
+
+pub use layout::{Layout, VcpuPlaces, VmPlaces};
+
+use vsched_san::{RewardId, Simulator};
+
+use crate::config::SystemConfig;
+use crate::error::CoreError;
+use crate::metrics::SampleMetrics;
+use crate::sched::SchedulingPolicy;
+use crate::types::{PcpuView, VcpuView};
+
+use build::ErrorCell;
+
+/// The SAN engine for one simulation run. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use vsched_core::{san_model::SanSystem, PolicyKind, SystemConfig};
+///
+/// let config = SystemConfig::builder().pcpus(2).vm(2).build()?;
+/// let mut system = SanSystem::new(config, PolicyKind::StrictCo.create(), 7)?;
+/// system.run(500)?;
+/// assert_eq!(system.time(), 500);
+/// assert!(system.metrics().avg_pcpu_utilization() > 0.9);
+/// # Ok::<(), vsched_core::CoreError>(())
+/// ```
+pub struct SanSystem {
+    sim: Simulator,
+    config: SystemConfig,
+    layout: Layout,
+    error: ErrorCell,
+    avail: Vec<RewardId>,
+    util: Vec<RewardId>,
+    spin: Vec<RewardId>,
+    putil: Vec<RewardId>,
+    horizon: f64,
+}
+
+impl std::fmt::Debug for SanSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SanSystem")
+            .field("config", &self.config.describe())
+            .field("time", &self.sim.time())
+            .finish()
+    }
+}
+
+impl SanSystem {
+    /// Compiles `config` + `policy` into a SAN and prepares the simulator
+    /// with randomness derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::San`] if model construction fails (cannot happen for a
+    /// validated [`SystemConfig`], but the SAN layer's errors are surfaced
+    /// rather than unwrapped).
+    pub fn new(
+        config: SystemConfig,
+        policy: Box<dyn SchedulingPolicy>,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        let (model, layout, error) = build::build_model(&config, policy)?;
+        let mut sim = Simulator::new(model, seed);
+        let mut avail = Vec::with_capacity(config.total_vcpus());
+        let mut util = Vec::with_capacity(config.total_vcpus());
+        let mut spin = Vec::with_capacity(config.total_vcpus());
+        for (g, v) in layout.vcpus.iter().copied().enumerate() {
+            let id = config.vcpu_ids()[g];
+            avail.push(sim.add_rate_reward(format!("availability {id}"), move |m| {
+                f64::from(m.tokens(v.status) >= 1)
+            }));
+            util.push(sim.add_rate_reward(format!("utilization {id}"), move |m| {
+                f64::from(m.tokens(v.status) == 2)
+            }));
+            spin.push(sim.add_rate_reward(format!("spin {id}"), move |m| {
+                f64::from(m.tokens(v.spinning) == 1)
+            }));
+        }
+        let putil = layout
+            .pcpus
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(p, place)| {
+                sim.add_rate_reward(format!("PCPU {p} utilization"), move |m| {
+                    f64::from(m.tokens(place) > 0)
+                })
+            })
+            .collect();
+        Ok(SanSystem {
+            sim,
+            config,
+            layout,
+            error,
+            avail,
+            util,
+            spin,
+            putil,
+            horizon: 0.0,
+        })
+    }
+
+    /// Advances the model by `ticks` clock periods.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::PolicyViolation`] if the plugged-in scheduling
+    ///   function produced an invalid decision (the model halts at the
+    ///   offending tick);
+    /// * [`CoreError::San`] for SAN-level failures.
+    pub fn run(&mut self, ticks: u64) -> Result<(), CoreError> {
+        self.horizon += ticks as f64;
+        self.sim.run_until(self.horizon)?;
+        if let Some(e) = self.error.borrow_mut().take() {
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Current tick (value of the hypervisor clock place).
+    #[must_use]
+    pub fn time(&self) -> u64 {
+        self.sim.marking().tokens(self.layout.clock) as u64
+    }
+
+    /// The configuration being simulated.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Restarts the metric observation windows (warm-up deletion).
+    pub fn reset_metrics(&mut self) {
+        self.sim.reset_rewards();
+    }
+
+    /// The three paper metrics over the current observation window.
+    ///
+    /// VCPU utilization is the ratio of the useful-BUSY-fraction reward
+    /// (BUSY minus spinning) to the ACTIVE-fraction reward — the fraction
+    /// of scheduled time spent making progress (see [`crate::metrics`]).
+    #[must_use]
+    pub fn metrics(&self) -> SampleMetrics {
+        let availability: Vec<f64> = self
+            .avail
+            .iter()
+            .map(|&r| self.sim.rate_reward_average(r))
+            .collect();
+        let spin_avg: Vec<f64> = self
+            .spin
+            .iter()
+            .map(|&r| self.sim.rate_reward_average(r))
+            .collect();
+        let utilization = self
+            .util
+            .iter()
+            .zip(&availability)
+            .zip(&spin_avg)
+            .map(|((&r, &active), &spinning)| {
+                if active == 0.0 {
+                    0.0
+                } else {
+                    (self.sim.rate_reward_average(r) - spinning).max(0.0) / active
+                }
+            })
+            .collect();
+        let vcpu_spin = spin_avg
+            .iter()
+            .zip(&availability)
+            .map(|(&spinning, &active)| if active == 0.0 { 0.0 } else { spinning / active })
+            .collect();
+        SampleMetrics {
+            vcpu_availability: availability,
+            vcpu_utilization: utilization,
+            pcpu_utilization: self
+                .putil
+                .iter()
+                .map(|&r| self.sim.rate_reward_average(r))
+                .collect(),
+            vcpu_spin,
+        }
+    }
+
+    /// Snapshot of every VCPU from the current marking.
+    #[must_use]
+    pub fn vcpu_views(&self) -> Vec<VcpuView> {
+        self.layout.vcpu_views(self.sim.marking(), &self.config)
+    }
+
+    /// Snapshot of every PCPU from the current marking.
+    #[must_use]
+    pub fn pcpu_views(&self) -> Vec<PcpuView> {
+        self.layout.pcpu_views(self.sim.marking(), &self.config)
+    }
+
+    /// Whether VM `vm` is currently blocked on a synchronization point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is out of range.
+    #[must_use]
+    pub fn vm_blocked(&self, vm: usize) -> bool {
+        self.sim.marking().tokens(self.layout.vms[vm].blocked) == 1
+    }
+
+    /// The underlying SAN simulator (for reward/statistics inspection).
+    #[must_use]
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// White-box access to the place layout for invariant tests.
+    #[cfg(test)]
+    pub(crate) fn layout_for_tests(&self) -> &Layout {
+        &self.layout
+    }
+}

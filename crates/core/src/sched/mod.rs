@@ -1,0 +1,559 @@
+//! Pluggable VCPU scheduling algorithms.
+//!
+//! The paper exposes scheduling algorithms through a C function-call
+//! interface:
+//!
+//! ```c
+//! bool schedule(VCPU_host_external* vcpus, int num_vcpu,
+//!               PCPU_external* pcpus, int num_pcpu, long timestamp)
+//! ```
+//!
+//! The Rust analogue is [`SchedulingPolicy`]: once per clock tick the
+//! hypervisor hands the policy a snapshot of every VCPU ([`VcpuView`]) and
+//! PCPU ([`PcpuView`]) plus the timestamp, and the policy returns a
+//! [`ScheduleDecision`] — which VCPUs to assign to which PCPUs (with a
+//! timeslice) and which to preempt. The engine validates the decision
+//! against the model invariants before applying it, so a buggy user
+//! algorithm fails loudly instead of silently corrupting state.
+//!
+//! Built-in policies: [`RoundRobin`] (RRS), [`StrictCo`] (SCS),
+//! [`RelaxedCo`] (RCS), [`Balance`], [`Credit`], [`Sedf`], [`Bvt`],
+//! [`Fcfs`].
+
+mod balance;
+mod bvt;
+mod credit;
+mod fcfs;
+mod rcs;
+mod rrs;
+mod scs;
+mod sedf;
+
+pub use balance::Balance;
+pub use bvt::Bvt;
+pub use credit::Credit;
+pub use fcfs::Fcfs;
+pub use rcs::RelaxedCo;
+pub use rrs::RoundRobin;
+pub use scs::StrictCo;
+pub use sedf::Sedf;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::types::{PcpuView, VcpuView};
+
+/// One PCPU-to-VCPU assignment produced by a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Global index of the VCPU to schedule in.
+    pub vcpu: usize,
+    /// PCPU to assign.
+    pub pcpu: usize,
+    /// Ticks the VCPU may keep the PCPU.
+    pub timeslice: u64,
+}
+
+/// The output of one scheduling invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleDecision {
+    /// VCPUs to preempt (schedule out) this tick, before assignments.
+    pub preemptions: Vec<usize>,
+    /// New assignments, applied after preemptions.
+    pub assignments: Vec<Assignment>,
+}
+
+impl ScheduleDecision {
+    /// An empty decision (change nothing).
+    #[must_use]
+    pub fn none() -> Self {
+        ScheduleDecision::default()
+    }
+
+    /// Convenience: records an assignment.
+    pub fn assign(&mut self, vcpu: usize, pcpu: usize, timeslice: u64) {
+        self.assignments.push(Assignment {
+            vcpu,
+            pcpu,
+            timeslice,
+        });
+    }
+
+    /// Convenience: records a preemption.
+    pub fn preempt(&mut self, vcpu: usize) {
+        self.preemptions.push(vcpu);
+    }
+}
+
+/// A VCPU scheduling algorithm.
+///
+/// Implementations may keep arbitrary internal state (round-robin cursors,
+/// per-VCPU skew counters, credits) across invocations; the engine calls
+/// [`SchedulingPolicy::schedule`] exactly once per clock tick.
+pub trait SchedulingPolicy {
+    /// Human-readable name used in reports and error messages.
+    fn name(&self) -> &str;
+
+    /// Decides PCPU assignments for this tick.
+    ///
+    /// * `vcpus` — every VCPU in the system, indexed by global id;
+    /// * `pcpus` — every PCPU, indexed by id;
+    /// * `timestamp` — the current tick (the paper's `timestamp` argument);
+    /// * `default_timeslice` — the configured timeslice, which policies
+    ///   typically pass through to their assignments.
+    fn schedule(
+        &mut self,
+        vcpus: &[VcpuView],
+        pcpus: &[PcpuView],
+        timestamp: u64,
+        default_timeslice: u64,
+    ) -> ScheduleDecision;
+}
+
+/// Checks a decision against the model invariants.
+///
+/// Invariants:
+///
+/// 1. preempted VCPUs must currently be ACTIVE;
+/// 2. assigned VCPUs must be INACTIVE and not also preempted this tick;
+/// 3. no VCPU may receive two assignments;
+/// 4. each target PCPU must be IDLE (or freed by a preemption this tick)
+///    and may be assigned at most once;
+/// 5. every timeslice must be at least one tick.
+///
+/// # Errors
+///
+/// [`CoreError::PolicyViolation`] naming the policy and the violated
+/// invariant.
+pub fn validate_decision(
+    policy_name: &str,
+    vcpus: &[VcpuView],
+    pcpus: &[PcpuView],
+    decision: &ScheduleDecision,
+) -> Result<(), CoreError> {
+    let violation = |reason: String| CoreError::PolicyViolation {
+        policy: policy_name.to_string(),
+        reason,
+    };
+    let mut freed = vec![false; pcpus.len()];
+    let mut preempted = vec![false; vcpus.len()];
+    for &v in &decision.preemptions {
+        let view = vcpus
+            .get(v)
+            .ok_or_else(|| violation(format!("preemption of unknown VCPU index {v}")))?;
+        if preempted[v] {
+            return Err(violation(format!("VCPU {v} preempted twice")));
+        }
+        preempted[v] = true;
+        match view.assigned_pcpu {
+            Some(p) => freed[p] = true,
+            None => {
+                return Err(violation(format!(
+                    "preempted VCPU {v} is not ACTIVE (status {:?})",
+                    view.status
+                )))
+            }
+        }
+    }
+    let mut pcpu_taken = vec![false; pcpus.len()];
+    let mut vcpu_assigned = vec![false; vcpus.len()];
+    for a in &decision.assignments {
+        let view = vcpus
+            .get(a.vcpu)
+            .ok_or_else(|| violation(format!("assignment of unknown VCPU index {}", a.vcpu)))?;
+        if a.pcpu >= pcpus.len() {
+            return Err(violation(format!("assignment to unknown PCPU {}", a.pcpu)));
+        }
+        if a.timeslice == 0 {
+            return Err(violation(format!("VCPU {} assigned a zero timeslice", a.vcpu)));
+        }
+        if preempted[a.vcpu] {
+            return Err(violation(format!(
+                "VCPU {} both preempted and assigned in one tick",
+                a.vcpu
+            )));
+        }
+        if !view.is_schedulable() {
+            return Err(violation(format!(
+                "assigned VCPU {} is not INACTIVE (status {:?})",
+                a.vcpu, view.status
+            )));
+        }
+        if vcpu_assigned[a.vcpu] {
+            return Err(violation(format!("VCPU {} assigned twice", a.vcpu)));
+        }
+        vcpu_assigned[a.vcpu] = true;
+        let idle = pcpus[a.pcpu].is_idle() || freed[a.pcpu];
+        if !idle || pcpu_taken[a.pcpu] {
+            return Err(violation(format!("PCPU {} is not available", a.pcpu)));
+        }
+        pcpu_taken[a.pcpu] = true;
+    }
+    Ok(())
+}
+
+/// Collects the indices of currently idle PCPUs.
+#[must_use]
+pub(crate) fn idle_pcpus(pcpus: &[PcpuView]) -> Vec<usize> {
+    pcpus
+        .iter()
+        .filter(|p| p.is_idle())
+        .map(|p| p.id)
+        .collect()
+}
+
+/// The built-in algorithms, as data — convenient for experiment configs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Round-Robin Scheduling (the paper's RRS).
+    RoundRobin,
+    /// Strict Co-Scheduling (the paper's SCS).
+    StrictCo,
+    /// Relaxed Co-Scheduling (the paper's RCS).
+    RelaxedCo {
+        /// Skew at which a VM enters catch-up mode (leaders co-stopped,
+        /// laggard fast-tracked).
+        skew_threshold: u64,
+        /// Skew below which the laggard is considered caught up.
+        skew_resume: u64,
+    },
+    /// Balance scheduling (Sukwong & Kim) — spreads sibling VCPUs.
+    Balance,
+    /// Xen-like proportional-share credit scheduler.
+    Credit {
+        /// Credit refill period in ticks.
+        refill_period: u64,
+    },
+    /// Xen's Simple Earliest Deadline First scheduler (the paper's
+    /// reference \[8\]).
+    Sedf {
+        /// Reservation period in ticks.
+        period: u64,
+    },
+    /// Borrowed Virtual Time (the paper's reference \[8\], via Duda &
+    /// Cheriton).
+    Bvt {
+        /// Maximum wake-up lag in weighted virtual-time units.
+        max_lag: u64,
+    },
+    /// First-come-first-served run queue.
+    Fcfs,
+}
+
+impl PolicyKind {
+    /// The paper's RCS with default thresholds (co-stop at a 5-tick lead,
+    /// resume at 2 — divergence is corrected within a fraction of the
+    /// default 30-tick timeslice, long before a round-robin rotation
+    /// would).
+    #[must_use]
+    pub fn relaxed_co_default() -> Self {
+        PolicyKind::RelaxedCo {
+            skew_threshold: 5,
+            skew_resume: 2,
+        }
+    }
+
+    /// The credit scheduler with its default 30-tick refill period.
+    #[must_use]
+    pub fn credit_default() -> Self {
+        PolicyKind::Credit { refill_period: 30 }
+    }
+
+    /// SEDF with its default 100-tick reservation period.
+    #[must_use]
+    pub fn sedf_default() -> Self {
+        PolicyKind::Sedf { period: 100 }
+    }
+
+    /// BVT with its default wake-up lag of 3000 weighted units
+    /// (≈ 3 ticks of a weight-1 VCPU).
+    #[must_use]
+    pub fn bvt_default() -> Self {
+        PolicyKind::Bvt { max_lag: 3_000 }
+    }
+
+    /// The three algorithms evaluated by the paper, in figure order.
+    #[must_use]
+    pub fn paper_trio() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::RoundRobin,
+            PolicyKind::StrictCo,
+            PolicyKind::relaxed_co_default(),
+        ]
+    }
+
+    /// Instantiates a fresh policy object.
+    #[must_use]
+    pub fn create(&self) -> Box<dyn SchedulingPolicy> {
+        match self {
+            PolicyKind::RoundRobin => Box::new(RoundRobin::new()),
+            PolicyKind::StrictCo => Box::new(StrictCo::new()),
+            PolicyKind::RelaxedCo {
+                skew_threshold,
+                skew_resume,
+            } => Box::new(RelaxedCo::new(*skew_threshold, *skew_resume)),
+            PolicyKind::Balance => Box::new(Balance::new()),
+            PolicyKind::Credit { refill_period } => Box::new(Credit::new(*refill_period)),
+            PolicyKind::Sedf { period } => Box::new(Sedf::new(*period)),
+            PolicyKind::Bvt { max_lag } => Box::new(Bvt::new(*max_lag)),
+            PolicyKind::Fcfs => Box::new(Fcfs::new()),
+        }
+    }
+
+    /// Short label used in tables (RRS / SCS / RCS / BAL / CRD / FCFS).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::RoundRobin => "RRS",
+            PolicyKind::StrictCo => "SCS",
+            PolicyKind::RelaxedCo { .. } => "RCS",
+            PolicyKind::Balance => "BAL",
+            PolicyKind::Credit { .. } => "CRD",
+            PolicyKind::Sedf { .. } => "SEDF",
+            PolicyKind::Bvt { .. } => "BVT",
+            PolicyKind::Fcfs => "FCFS",
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Shared fixtures for policy unit tests.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use crate::types::{PcpuView, VcpuId, VcpuStatus, VcpuView};
+
+    /// Builds all-INACTIVE VCPU views for VMs of the given sizes.
+    pub(crate) fn vcpus_with_vms(sizes: &[usize]) -> Vec<VcpuView> {
+        let mut views = Vec::new();
+        for (vm, &n) in sizes.iter().enumerate() {
+            for sibling in 0..n {
+                views.push(VcpuView {
+                    id: VcpuId {
+                        vm,
+                        sibling,
+                        global: views.len(),
+                    },
+                    status: VcpuStatus::Inactive,
+                    remaining_load: 0,
+                    sync_point: false,
+                    assigned_pcpu: None,
+                    timeslice_remaining: 0,
+                    last_scheduled_in: None,
+                    vm_weight: 1,
+                });
+            }
+        }
+        views
+    }
+
+    /// `n` single-VCPU VMs, all INACTIVE.
+    pub(crate) fn vcpus_inactive(n: usize) -> Vec<VcpuView> {
+        vcpus_with_vms(&vec![1; n])
+    }
+
+    /// Marks VCPU `v` as running on PCPU `pcpu`.
+    pub(crate) fn activate(vcpus: &mut [VcpuView], v: usize, pcpu: usize) {
+        vcpus[v].status = VcpuStatus::Busy;
+        vcpus[v].assigned_pcpu = Some(pcpu);
+        vcpus[v].timeslice_remaining = 5;
+    }
+
+    /// Marks VCPU `v` as scheduled out.
+    pub(crate) fn deactivate(vcpus: &mut [VcpuView], v: usize) {
+        vcpus[v].status = VcpuStatus::Inactive;
+        vcpus[v].assigned_pcpu = None;
+        vcpus[v].timeslice_remaining = 0;
+    }
+
+    /// Derives `n` PCPU views consistent with the VCPUs' `assigned_pcpu`.
+    pub(crate) fn pcpus_for(n: usize, vcpus: &[VcpuView]) -> Vec<PcpuView> {
+        (0..n)
+            .map(|id| PcpuView {
+                id,
+                assigned: vcpus
+                    .iter()
+                    .find(|v| v.assigned_pcpu == Some(id))
+                    .map(|v| v.id),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{VcpuId, VcpuStatus};
+
+    fn vcpu(global: usize, status: VcpuStatus, pcpu: Option<usize>) -> VcpuView {
+        VcpuView {
+            id: VcpuId {
+                vm: 0,
+                sibling: global,
+                global,
+            },
+            status,
+            remaining_load: 0,
+            sync_point: false,
+            assigned_pcpu: pcpu,
+            timeslice_remaining: if pcpu.is_some() { 5 } else { 0 },
+            last_scheduled_in: None,
+            vm_weight: 1,
+        }
+    }
+
+    fn pcpu(id: usize, assigned: Option<usize>) -> PcpuView {
+        PcpuView {
+            id,
+            assigned: assigned.map(|g| VcpuId {
+                vm: 0,
+                sibling: g,
+                global: g,
+            }),
+        }
+    }
+
+    #[test]
+    fn valid_assignment_passes() {
+        let vcpus = [vcpu(0, VcpuStatus::Inactive, None)];
+        let pcpus = [pcpu(0, None)];
+        let mut d = ScheduleDecision::none();
+        d.assign(0, 0, 10);
+        validate_decision("t", &vcpus, &pcpus, &d).unwrap();
+    }
+
+    #[test]
+    fn preempt_then_reuse_pcpu_passes() {
+        let vcpus = [
+            vcpu(0, VcpuStatus::Ready, Some(0)),
+            vcpu(1, VcpuStatus::Inactive, None),
+        ];
+        let pcpus = [pcpu(0, Some(0))];
+        let mut d = ScheduleDecision::none();
+        d.preempt(0);
+        d.assign(1, 0, 10);
+        validate_decision("t", &vcpus, &pcpus, &d).unwrap();
+    }
+
+    #[test]
+    fn rejects_double_pcpu_use() {
+        let vcpus = [
+            vcpu(0, VcpuStatus::Inactive, None),
+            vcpu(1, VcpuStatus::Inactive, None),
+        ];
+        let pcpus = [pcpu(0, None)];
+        let mut d = ScheduleDecision::none();
+        d.assign(0, 0, 10);
+        d.assign(1, 0, 10);
+        assert!(validate_decision("t", &vcpus, &pcpus, &d).is_err());
+    }
+
+    #[test]
+    fn rejects_busy_pcpu() {
+        let vcpus = [
+            vcpu(0, VcpuStatus::Busy, Some(0)),
+            vcpu(1, VcpuStatus::Inactive, None),
+        ];
+        let pcpus = [pcpu(0, Some(0))];
+        let mut d = ScheduleDecision::none();
+        d.assign(1, 0, 10);
+        assert!(validate_decision("t", &vcpus, &pcpus, &d).is_err());
+    }
+
+    #[test]
+    fn rejects_assigning_active_vcpu() {
+        let vcpus = [vcpu(0, VcpuStatus::Ready, Some(0))];
+        let pcpus = [pcpu(0, Some(0)), pcpu(1, None)];
+        let mut d = ScheduleDecision::none();
+        d.assign(0, 1, 10);
+        assert!(validate_decision("t", &vcpus, &pcpus, &d).is_err());
+    }
+
+    #[test]
+    fn rejects_preempting_inactive_vcpu() {
+        let vcpus = [vcpu(0, VcpuStatus::Inactive, None)];
+        let pcpus = [pcpu(0, None)];
+        let mut d = ScheduleDecision::none();
+        d.preempt(0);
+        assert!(validate_decision("t", &vcpus, &pcpus, &d).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_timeslice_and_unknown_indices() {
+        let vcpus = [vcpu(0, VcpuStatus::Inactive, None)];
+        let pcpus = [pcpu(0, None)];
+        let mut d = ScheduleDecision::none();
+        d.assign(0, 0, 0);
+        assert!(validate_decision("t", &vcpus, &pcpus, &d).is_err());
+
+        let mut d = ScheduleDecision::none();
+        d.assign(5, 0, 10);
+        assert!(validate_decision("t", &vcpus, &pcpus, &d).is_err());
+
+        let mut d = ScheduleDecision::none();
+        d.assign(0, 5, 10);
+        assert!(validate_decision("t", &vcpus, &pcpus, &d).is_err());
+
+        let mut d = ScheduleDecision::none();
+        d.preempt(5);
+        assert!(validate_decision("t", &vcpus, &pcpus, &d).is_err());
+    }
+
+    #[test]
+    fn rejects_assign_and_preempt_same_vcpu() {
+        let vcpus = [vcpu(0, VcpuStatus::Ready, Some(0))];
+        let pcpus = [pcpu(0, Some(0))];
+        let mut d = ScheduleDecision::none();
+        d.preempt(0);
+        d.assign(0, 0, 10);
+        assert!(validate_decision("t", &vcpus, &pcpus, &d).is_err());
+    }
+
+    #[test]
+    fn rejects_double_preempt_and_double_assign() {
+        let vcpus = [
+            vcpu(0, VcpuStatus::Ready, Some(0)),
+            vcpu(1, VcpuStatus::Inactive, None),
+        ];
+        let pcpus = [pcpu(0, Some(0)), pcpu(1, None)];
+        let mut d = ScheduleDecision::none();
+        d.preempt(0);
+        d.preempt(0);
+        assert!(validate_decision("t", &vcpus, &pcpus, &d).is_err());
+
+        let mut d = ScheduleDecision::none();
+        d.assign(1, 0, 10);
+        d.assign(1, 1, 10);
+        assert!(validate_decision("t", &vcpus, &pcpus, &d).is_err());
+    }
+
+    #[test]
+    fn policy_kind_factory_and_labels() {
+        for kind in [
+            PolicyKind::RoundRobin,
+            PolicyKind::StrictCo,
+            PolicyKind::relaxed_co_default(),
+            PolicyKind::Balance,
+            PolicyKind::credit_default(),
+            PolicyKind::sedf_default(),
+            PolicyKind::bvt_default(),
+            PolicyKind::Fcfs,
+        ] {
+            let policy = kind.create();
+            assert!(!policy.name().is_empty());
+            assert!(!kind.label().is_empty());
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert_eq!(PolicyKind::paper_trio().len(), 3);
+    }
+
+    #[test]
+    fn idle_pcpu_helper() {
+        let pcpus = [pcpu(0, Some(1)), pcpu(1, None), pcpu(2, None)];
+        assert_eq!(idle_pcpus(&pcpus), vec![1, 2]);
+    }
+}

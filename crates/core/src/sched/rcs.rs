@@ -1,0 +1,358 @@
+//! Relaxed Co-Scheduling (RCS).
+//!
+//! The paper (after VMware ESX 3/4 [2]): "This algorithm makes its best
+//! effort to perform co-starts and co-stops when resources are available.
+//! In case there are not enough resources to perform a co-start, it allows
+//! a single VCPU to be scheduled. The scheduler maintains a cumulative skew
+//! for each VCPU, compared to the rest of VCPUs in the same VM. When the
+//! skew of a VCPU grows above a certain threshold, it is forced to schedule
+//! in the co-start manner only (until the skew drops below a pre-defined
+//! threshold). This relaxed co-scheduling mitigates the CPU fragmentation
+//! problem, but it introduces synchronization latency as a trade-off."
+//!
+//! Mechanics (the ESX 3.x/4.x design the paper cites):
+//!
+//! * **Progress accounting** — each VCPU's progress counter advances every
+//!   tick it holds a PCPU. A VCPU's *skew* is its progress lead over the
+//!   slowest sibling in the same VM.
+//! * **Best effort** — idle PCPUs are granted round-robin across VMs; a VM
+//!   offers its most-behind runnable VCPU first, so a gang co-starts
+//!   whenever enough PCPUs are free, and single starts are allowed when
+//!   they are not (no fragmentation).
+//! * **Co-stop** — when a VCPU's skew exceeds `skew_threshold`, it is a
+//!   *leader*: it is preempted (its PCPU freed on the spot) and may not be
+//!   rescheduled until the lagging siblings catch up — its skew falling
+//!   back below `skew_resume`. This is the "forced co-start" of the paper:
+//!   the gang can only re-form around the laggard.
+//!
+//! Co-stopping leaders is what caps the synchronization latency: under
+//! round-robin, a preempted lock holder leaves its siblings burning READY
+//! time for a whole timeslice rotation; RCS detects the divergence after
+//! `skew_threshold` ticks, parks the waiters (freeing their PCPUs for
+//! other VMs), and the holder — now the most-behind VCPU of its VM — is
+//! first in line when its VM's turn comes.
+
+use crate::sched::scs::vcpus_by_vm;
+use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy};
+use crate::types::{PcpuView, VcpuView};
+
+/// The Relaxed Co-Scheduling policy. See the module docs.
+#[derive(Debug, Clone)]
+pub struct RelaxedCo {
+    skew_threshold: u64,
+    skew_resume: u64,
+    /// Cumulative PCPU time per global VCPU index (grown lazily).
+    progress: Vec<u64>,
+    /// Leaders currently forbidden from running (co-stopped).
+    stopped: Vec<bool>,
+    vm_cursor: usize,
+}
+
+impl RelaxedCo {
+    /// Creates the policy.
+    ///
+    /// `skew_threshold` is the progress lead (in ticks) at which a VCPU is
+    /// co-stopped; `skew_resume` (≤ threshold) is the lead below which it
+    /// may run again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skew_resume > skew_threshold`.
+    #[must_use]
+    pub fn new(skew_threshold: u64, skew_resume: u64) -> Self {
+        assert!(
+            skew_resume <= skew_threshold,
+            "skew_resume ({skew_resume}) must not exceed skew_threshold ({skew_threshold})"
+        );
+        RelaxedCo {
+            skew_threshold,
+            skew_resume,
+            progress: Vec::new(),
+            stopped: Vec::new(),
+            vm_cursor: 0,
+        }
+    }
+
+    /// Current skew (progress lead over the slowest sibling) of VCPU
+    /// `global` among `siblings` — inspection hook used by tests.
+    #[must_use]
+    pub fn skew_of(&self, global: usize, siblings: &[usize]) -> u64 {
+        let p = |g: usize| self.progress.get(g).copied().unwrap_or(0);
+        let min = siblings.iter().map(|&g| p(g)).min().unwrap_or(0);
+        p(global).saturating_sub(min)
+    }
+
+    /// Whether VCPU `global` is currently co-stopped.
+    #[must_use]
+    pub fn is_co_stopped(&self, global: usize) -> bool {
+        self.stopped.get(global).copied().unwrap_or(false)
+    }
+
+    fn update_accounting(&mut self, vcpus: &[VcpuView], groups: &[Vec<usize>]) {
+        self.progress.resize(vcpus.len(), 0);
+        self.stopped.resize(vcpus.len(), false);
+        for v in vcpus {
+            if v.status.is_active() {
+                self.progress[v.id.global] += 1;
+            }
+        }
+        for gang in groups {
+            if gang.len() < 2 {
+                continue; // a lone VCPU has no siblings to skew against
+            }
+            let min = gang
+                .iter()
+                .map(|&g| self.progress[g])
+                .min()
+                .expect("gang is non-empty");
+            for &g in gang {
+                let lead = self.progress[g] - min;
+                if lead > self.skew_threshold {
+                    self.stopped[g] = true;
+                } else if lead <= self.skew_resume {
+                    self.stopped[g] = false;
+                }
+            }
+        }
+    }
+}
+
+impl SchedulingPolicy for RelaxedCo {
+    fn name(&self) -> &str {
+        "relaxed-co"
+    }
+
+    fn schedule(
+        &mut self,
+        vcpus: &[VcpuView],
+        pcpus: &[PcpuView],
+        _timestamp: u64,
+        default_timeslice: u64,
+    ) -> ScheduleDecision {
+        let mut decision = ScheduleDecision::none();
+        let groups = vcpus_by_vm(vcpus);
+        self.update_accounting(vcpus, &groups);
+        let num_vms = groups.len();
+        if num_vms == 0 {
+            return decision;
+        }
+
+        // Co-stop phase: preempt running leaders, freeing their PCPUs.
+        let mut idle = idle_pcpus(pcpus);
+        let mut costopped_now = vec![false; vcpus.len()];
+        for v in vcpus {
+            let g = v.id.global;
+            if self.stopped[g] && v.status.is_active() {
+                decision.preempt(g);
+                costopped_now[g] = true;
+                if let Some(p) = v.assigned_pcpu {
+                    idle.push(p); // available again this tick
+                }
+            }
+        }
+        idle.sort_unstable();
+
+        // Assignment pass: round-robin over VMs; within a VM, most-behind
+        // VCPUs first (the laggard a barrier is waiting on is by
+        // construction the least-progressed sibling).
+        let mut next_cursor = self.vm_cursor;
+        for offset in 0..num_vms {
+            if idle.is_empty() {
+                break;
+            }
+            let vm = (self.vm_cursor + offset) % num_vms;
+            let mut candidates: Vec<usize> = groups[vm]
+                .iter()
+                .copied()
+                .filter(|&g| {
+                    vcpus[g].is_schedulable() && !self.stopped[g] && !costopped_now[g]
+                })
+                .collect();
+            candidates.sort_by_key(|&g| self.progress[g]);
+            let mut started = false;
+            for g in candidates {
+                if idle.is_empty() {
+                    break;
+                }
+                let p = idle.remove(0);
+                decision.assign(g, p, default_timeslice);
+                started = true;
+            }
+            if started {
+                next_cursor = (vm + 1) % num_vms;
+            }
+        }
+        self.vm_cursor = next_cursor;
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::tests_support::{activate, pcpus_for, vcpus_with_vms};
+    use crate::sched::validate_decision;
+
+    #[test]
+    fn single_vcpu_start_allowed_unlike_scs() {
+        // One PCPU, a 2-VCPU VM: RCS may start a single VCPU.
+        let mut rcs = RelaxedCo::new(20, 10);
+        let vcpus = vcpus_with_vms(&[2]);
+        let pcpus = pcpus_for(1, &vcpus);
+        let d = rcs.schedule(&vcpus, &pcpus, 0, 10);
+        validate_decision("rcs", &vcpus, &pcpus, &d).unwrap();
+        assert_eq!(d.assignments.len(), 1, "relaxed co-start of one VCPU");
+    }
+
+    #[test]
+    fn co_start_happens_when_gang_fits() {
+        let mut rcs = RelaxedCo::new(20, 10);
+        let vcpus = vcpus_with_vms(&[2]);
+        let pcpus = pcpus_for(2, &vcpus);
+        let d = rcs.schedule(&vcpus, &pcpus, 0, 10);
+        assert_eq!(d.assignments.len(), 2, "best effort co-starts the gang");
+    }
+
+    #[test]
+    fn skew_tracks_progress_difference() {
+        let mut rcs = RelaxedCo::new(20, 10);
+        let mut vcpus = vcpus_with_vms(&[2]);
+        activate(&mut vcpus, 0, 0); // sibling 0 runs, sibling 1 waits
+        let pcpus = pcpus_for(1, &vcpus);
+        for t in 0..5 {
+            let _ = rcs.schedule(&vcpus, &pcpus, t, 10);
+        }
+        assert_eq!(rcs.skew_of(0, &[0, 1]), 5, "leader is 5 ticks ahead");
+        assert_eq!(rcs.skew_of(1, &[0, 1]), 0, "laggard defines the floor");
+    }
+
+    #[test]
+    fn leader_is_co_stopped_past_threshold() {
+        let mut rcs = RelaxedCo::new(3, 1);
+        let mut vcpus = vcpus_with_vms(&[2]);
+        activate(&mut vcpus, 0, 0);
+        let pcpus = pcpus_for(1, &vcpus);
+        for t in 0..3 {
+            let d = rcs.schedule(&vcpus, &pcpus, t, 10);
+            assert!(d.preemptions.is_empty(), "below threshold at t={t}");
+        }
+        // Fourth call: lead reaches 4 > 3 → leader co-stopped; the freed
+        // PCPU goes to the laggard in the same decision.
+        let d = rcs.schedule(&vcpus, &pcpus, 3, 10);
+        validate_decision("rcs", &vcpus, &pcpus, &d).unwrap();
+        assert!(rcs.is_co_stopped(0));
+        assert_eq!(d.preemptions, vec![0], "leader co-stopped");
+        assert_eq!(d.assignments.len(), 1);
+        assert_eq!(d.assignments[0].vcpu, 1, "laggard takes the freed PCPU");
+    }
+
+    #[test]
+    fn co_stopped_leader_resumes_after_catch_up() {
+        let mut rcs = RelaxedCo::new(3, 1);
+        let mut vcpus = vcpus_with_vms(&[2]);
+        activate(&mut vcpus, 0, 0);
+        let pcpus1 = pcpus_for(1, &vcpus);
+        for t in 0..4 {
+            let _ = rcs.schedule(&vcpus, &pcpus1, t, 10);
+        }
+        assert!(rcs.is_co_stopped(0));
+        // The laggard now runs; after 3 ticks its deficit shrinks to 1
+        // (= resume), releasing the leader.
+        let mut vcpus2 = vcpus_with_vms(&[2]);
+        activate(&mut vcpus2, 1, 0);
+        let pcpus2 = pcpus_for(1, &vcpus2);
+        for t in 4..7 {
+            let _ = rcs.schedule(&vcpus2, &pcpus2, t, 10);
+        }
+        assert!(!rcs.is_co_stopped(0), "leader released at skew <= resume");
+    }
+
+    #[test]
+    fn co_stopped_leader_cannot_be_rescheduled() {
+        let mut rcs = RelaxedCo::new(3, 1);
+        let mut vcpus = vcpus_with_vms(&[2]);
+        activate(&mut vcpus, 0, 0);
+        let pcpus = pcpus_for(1, &vcpus);
+        for t in 0..4 {
+            let _ = rcs.schedule(&vcpus, &pcpus, t, 10);
+        }
+        assert!(rcs.is_co_stopped(0));
+        // Both inactive, two idle PCPUs: only the laggard may start.
+        let vcpus2 = vcpus_with_vms(&[2]);
+        let pcpus2 = pcpus_for(2, &vcpus2);
+        let d = rcs.schedule(&vcpus2, &pcpus2, 4, 10);
+        assert_eq!(d.assignments.len(), 1);
+        assert_eq!(d.assignments[0].vcpu, 1, "leader is parked");
+    }
+
+    #[test]
+    fn most_behind_sibling_starts_first() {
+        let mut rcs = RelaxedCo::new(100, 50);
+        let mut vcpus = vcpus_with_vms(&[3]);
+        // Siblings 0 and 1 run for a while; 2 never does.
+        activate(&mut vcpus, 0, 0);
+        activate(&mut vcpus, 1, 1);
+        let pcpus = pcpus_for(2, &vcpus);
+        for t in 0..6 {
+            let _ = rcs.schedule(&vcpus, &pcpus, t, 10);
+        }
+        // One PCPU frees up: sibling 2 (least progress) must win it.
+        let mut vcpus2 = vcpus_with_vms(&[3]);
+        activate(&mut vcpus2, 0, 0);
+        let pcpus2 = pcpus_for(2, &vcpus2);
+        let d = rcs.schedule(&vcpus2, &pcpus2, 6, 10);
+        assert_eq!(d.assignments.len(), 1);
+        assert_eq!(d.assignments[0].vcpu, 2, "most behind first");
+    }
+
+    #[test]
+    fn no_sibling_starves_long_term() {
+        // Self-check of the most-behind-first rule: over many turnovers,
+        // every sibling of a 4-VCPU VM runs a similar amount.
+        let mut rcs = RelaxedCo::new(10, 5);
+        let mut ran = [0u32; 4];
+        let mut vcpus = vcpus_with_vms(&[4]);
+        let mut holder: Option<usize> = None;
+        for t in 0..400 {
+            // One PCPU; the current holder is preempted every 5 ticks.
+            if t % 5 == 0 {
+                if let Some(h) = holder.take() {
+                    vcpus[h].status = crate::types::VcpuStatus::Inactive;
+                    vcpus[h].assigned_pcpu = None;
+                }
+            }
+            let pcpus = pcpus_for(1, &vcpus);
+            let d = rcs.schedule(&vcpus, &pcpus, t, 10);
+            for a in &d.assignments {
+                activate(&mut vcpus, a.vcpu, a.pcpu);
+                holder = Some(a.vcpu);
+            }
+            if let Some(h) = holder {
+                ran[h] += 1;
+            }
+        }
+        for (g, &r) in ran.iter().enumerate() {
+            assert!(r > 50, "sibling {g} starved: ran {r} of 400 ticks ({ran:?})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "skew_resume")]
+    fn bad_thresholds_rejected() {
+        let _ = RelaxedCo::new(5, 10);
+    }
+
+    #[test]
+    fn lone_vcpu_vms_never_co_stop() {
+        let mut rcs = RelaxedCo::new(1, 0);
+        let mut vcpus = vcpus_with_vms(&[1, 1]);
+        activate(&mut vcpus, 0, 0);
+        let pcpus = pcpus_for(1, &vcpus);
+        for t in 0..10 {
+            let d = rcs.schedule(&vcpus, &pcpus, t, 10);
+            assert!(d.preemptions.is_empty());
+        }
+        assert!(!rcs.is_co_stopped(0));
+        assert!(!rcs.is_co_stopped(1));
+    }
+}

@@ -1,0 +1,179 @@
+//! Strict Co-Scheduling (SCS).
+//!
+//! The paper (after VMware's original ESX co-scheduling [3], itself modeled
+//! on gang scheduling [4]): "the scheduler forces all the VCPUs of a VM to
+//! start (co-start) and stop (co-stop) at the same time. Such an algorithm
+//! helps to avoid the synchronization latency, as both the waiting VCPUs
+//! and the lock-holding VCPU are preempted and resumed at the same time.
+//! This strict co-scheduling approach, however, introduces a fragmentation
+//! problem: a VCPU can only be scheduled after the hypervisor gathers
+//! enough resources to execute all other VCPUs in the same VM."
+//!
+//! Implementation: a VM is a *gang*. A gang may start only when **every**
+//! one of its VCPUs is INACTIVE and there are at least as many idle PCPUs
+//! as the gang has VCPUs. All gang members receive the same timeslice in
+//! the same tick, so they co-stop on expiry. VMs are considered in
+//! round-robin order for fairness among gangs.
+
+use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy};
+use crate::types::{PcpuView, VcpuView};
+
+/// The Strict Co-Scheduling policy. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct StrictCo {
+    /// Index of the next VM to consider.
+    vm_cursor: usize,
+}
+
+impl StrictCo {
+    /// Creates the policy with its VM cursor at VM 0.
+    #[must_use]
+    pub fn new() -> Self {
+        StrictCo { vm_cursor: 0 }
+    }
+}
+
+/// Groups global VCPU indices by VM, ordered by VM index.
+pub(crate) fn vcpus_by_vm(vcpus: &[VcpuView]) -> Vec<Vec<usize>> {
+    let num_vms = vcpus.iter().map(|v| v.id.vm + 1).max().unwrap_or(0);
+    let mut groups = vec![Vec::new(); num_vms];
+    for v in vcpus {
+        groups[v.id.vm].push(v.id.global);
+    }
+    groups
+}
+
+impl SchedulingPolicy for StrictCo {
+    fn name(&self) -> &str {
+        "strict-co"
+    }
+
+    fn schedule(
+        &mut self,
+        vcpus: &[VcpuView],
+        pcpus: &[PcpuView],
+        _timestamp: u64,
+        default_timeslice: u64,
+    ) -> ScheduleDecision {
+        let mut decision = ScheduleDecision::none();
+        let mut idle = idle_pcpus(pcpus);
+        if idle.is_empty() {
+            return decision;
+        }
+        let groups = vcpus_by_vm(vcpus);
+        let num_vms = groups.len();
+        if num_vms == 0 {
+            return decision;
+        }
+        let mut next_cursor = self.vm_cursor;
+        for offset in 0..num_vms {
+            let vm = (self.vm_cursor + offset) % num_vms;
+            let gang = &groups[vm];
+            // Co-start requires the whole gang to be stopped and enough
+            // idle PCPUs for every member.
+            let all_inactive = gang.iter().all(|&g| vcpus[g].is_schedulable());
+            if !all_inactive || gang.len() > idle.len() {
+                continue;
+            }
+            for &g in gang {
+                let pcpu = idle.remove(0);
+                decision.assign(g, pcpu, default_timeslice);
+            }
+            next_cursor = (vm + 1) % num_vms;
+            if idle.is_empty() {
+                break;
+            }
+        }
+        self.vm_cursor = next_cursor;
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::tests_support::{activate, pcpus_for, vcpus_with_vms};
+    use crate::sched::validate_decision;
+
+    #[test]
+    fn gang_starts_only_with_enough_pcpus() {
+        // The paper's Figure 8 observation: with one PCPU, a 2-VCPU VM can
+        // never co-start under SCS.
+        let mut scs = StrictCo::new();
+        let vcpus = vcpus_with_vms(&[2, 1, 1]);
+        let mut starts = vec![0u32; 4];
+        for t in 0..12 {
+            let pcpus = pcpus_for(1, &vcpus);
+            let d = scs.schedule(&vcpus, &pcpus, t, 10);
+            validate_decision("scs", &vcpus, &pcpus, &d).unwrap();
+            for a in &d.assignments {
+                starts[a.vcpu] += 1;
+            }
+        }
+        assert_eq!(starts[0], 0, "2-VCPU VM starved");
+        assert_eq!(starts[1], 0, "2-VCPU VM starved");
+        assert_eq!(starts[2], 6, "1-VCPU VMs alternate");
+        assert_eq!(starts[3], 6);
+    }
+
+    #[test]
+    fn whole_gang_co_starts() {
+        let mut scs = StrictCo::new();
+        let vcpus = vcpus_with_vms(&[2, 1]);
+        let pcpus = pcpus_for(4, &vcpus);
+        let d = scs.schedule(&vcpus, &pcpus, 0, 10);
+        validate_decision("scs", &vcpus, &pcpus, &d).unwrap();
+        // Both VMs fit: all three VCPUs start, gang members together.
+        assert_eq!(d.assignments.len(), 3);
+        let gang0: Vec<_> = d
+            .assignments
+            .iter()
+            .filter(|a| a.vcpu < 2)
+            .collect();
+        assert_eq!(gang0.len(), 2, "both siblings of VM 0 co-start");
+        assert!(gang0.iter().all(|a| a.timeslice == 10), "equal slices");
+    }
+
+    #[test]
+    fn partial_gang_never_starts() {
+        let mut scs = StrictCo::new();
+        let mut vcpus = vcpus_with_vms(&[2]);
+        activate(&mut vcpus, 0, 0); // one sibling still running
+        let pcpus = pcpus_for(3, &vcpus);
+        let d = scs.schedule(&vcpus, &pcpus, 0, 10);
+        assert!(
+            d.assignments.is_empty(),
+            "gang with a running member must wait for co-stop"
+        );
+    }
+
+    #[test]
+    fn fragmentation_leaves_pcpus_idle() {
+        // 3 idle PCPUs, one 4-VCPU VM: nothing can be scheduled.
+        let mut scs = StrictCo::new();
+        let vcpus = vcpus_with_vms(&[4]);
+        let pcpus = pcpus_for(3, &vcpus);
+        let d = scs.schedule(&vcpus, &pcpus, 0, 10);
+        assert!(d.assignments.is_empty(), "CPU fragmentation");
+    }
+
+    #[test]
+    fn vm_cursor_rotates_among_gangs() {
+        let mut scs = StrictCo::new();
+        let vcpus = vcpus_with_vms(&[1, 1, 1]);
+        let mut first_started = Vec::new();
+        for t in 0..3 {
+            let pcpus = pcpus_for(1, &vcpus);
+            let d = scs.schedule(&vcpus, &pcpus, t, 10);
+            first_started.push(d.assignments[0].vcpu);
+        }
+        assert_eq!(first_started, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_system_is_a_noop() {
+        let mut scs = StrictCo::new();
+        let d = scs.schedule(&[], &[], 0, 10);
+        assert_eq!(d, ScheduleDecision::none());
+    }
+}

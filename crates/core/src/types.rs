@@ -1,0 +1,202 @@
+//! Core vocabulary: VCPU/PCPU identities, states, and the views passed to
+//! scheduling policies.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of a VCPU in the system.
+///
+/// `vm` is the VM's index in the [`crate::SystemConfig`]; `sibling` is the
+/// VCPU's index within its VM (the paper's "VCPU 1.2" is
+/// `VcpuId { vm: 0, sibling: 1 }`). The flat `global` index is the position
+/// in the system-wide VCPU array handed to scheduling policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VcpuId {
+    /// Index of the owning VM.
+    pub vm: usize,
+    /// Index among the VM's VCPUs.
+    pub sibling: usize,
+    /// Index in the system-wide VCPU array.
+    pub global: usize,
+}
+
+impl fmt::Display for VcpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The paper's notation: "VCPU2.1" is VM 2's first VCPU (1-based).
+        write!(f, "VCPU{}.{}", self.vm + 1, self.sibling + 1)
+    }
+}
+
+/// Status of a VCPU (paper §III.B.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VcpuStatus {
+    /// Not assigned to any PCPU. May still hold partial work
+    /// (`remaining_load > 0`) or a synchronization point — the "preempted
+    /// lock holder" at the heart of the VCPU-scheduling problem.
+    Inactive,
+    /// Assigned a PCPU but no workload to process.
+    Ready,
+    /// Assigned a PCPU and processing a workload.
+    Busy,
+}
+
+impl VcpuStatus {
+    /// ACTIVE = READY ∪ BUSY (the paper's availability metric counts these).
+    #[must_use]
+    pub fn is_active(self) -> bool {
+        matches!(self, VcpuStatus::Ready | VcpuStatus::Busy)
+    }
+
+    /// Encoding used in SAN markings: 0 = INACTIVE, 1 = READY, 2 = BUSY.
+    #[must_use]
+    pub fn to_token(self) -> i64 {
+        match self {
+            VcpuStatus::Inactive => 0,
+            VcpuStatus::Ready => 1,
+            VcpuStatus::Busy => 2,
+        }
+    }
+
+    /// Inverse of [`VcpuStatus::to_token`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a token value outside `0..=2` (corrupt marking).
+    #[must_use]
+    pub fn from_token(token: i64) -> Self {
+        match token {
+            0 => VcpuStatus::Inactive,
+            1 => VcpuStatus::Ready,
+            2 => VcpuStatus::Busy,
+            other => panic!("invalid VCPU status token {other}"),
+        }
+    }
+}
+
+impl fmt::Display for VcpuStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VcpuStatus::Inactive => "INACTIVE",
+            VcpuStatus::Ready => "READY",
+            VcpuStatus::Busy => "BUSY",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Snapshot of one VCPU handed to [`crate::SchedulingPolicy::schedule`] —
+/// the Rust analogue of the paper's `VCPU_host_external` struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcpuView {
+    /// Who this VCPU is.
+    pub id: VcpuId,
+    /// Current status.
+    pub status: VcpuStatus,
+    /// Ticks of work left in the current job (0 = no job).
+    pub remaining_load: u64,
+    /// Whether the current job is a synchronization point ("holding a
+    /// lock"). Meaningful only when `remaining_load > 0`.
+    pub sync_point: bool,
+    /// PCPU currently assigned, if ACTIVE.
+    pub assigned_pcpu: Option<usize>,
+    /// Ticks left in the current timeslice, if ACTIVE.
+    pub timeslice_remaining: u64,
+    /// Tick at which the VCPU was last scheduled in (the paper's
+    /// `Last_Scheduled_In`); `None` if never scheduled.
+    pub last_scheduled_in: Option<u64>,
+    /// Proportional-share weight of the owning VM (1 unless configured).
+    pub vm_weight: u32,
+}
+
+impl VcpuView {
+    /// Whether the VCPU currently lacks a PCPU and therefore can be
+    /// assigned one.
+    #[must_use]
+    pub fn is_schedulable(&self) -> bool {
+        self.status == VcpuStatus::Inactive
+    }
+}
+
+/// Snapshot of one PCPU — the paper's `PCPU_external`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcpuView {
+    /// PCPU index.
+    pub id: usize,
+    /// VCPU currently assigned, or `None` when IDLE.
+    pub assigned: Option<VcpuId>,
+}
+
+impl PcpuView {
+    /// Whether the PCPU is free.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.assigned.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let id = VcpuId {
+            vm: 1,
+            sibling: 0,
+            global: 2,
+        };
+        assert_eq!(id.to_string(), "VCPU2.1");
+    }
+
+    #[test]
+    fn status_roundtrip() {
+        for s in [VcpuStatus::Inactive, VcpuStatus::Ready, VcpuStatus::Busy] {
+            assert_eq!(VcpuStatus::from_token(s.to_token()), s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid VCPU status token")]
+    fn bad_token_panics() {
+        let _ = VcpuStatus::from_token(7);
+    }
+
+    #[test]
+    fn active_means_ready_or_busy() {
+        assert!(!VcpuStatus::Inactive.is_active());
+        assert!(VcpuStatus::Ready.is_active());
+        assert!(VcpuStatus::Busy.is_active());
+    }
+
+    #[test]
+    fn status_display() {
+        assert_eq!(VcpuStatus::Inactive.to_string(), "INACTIVE");
+        assert_eq!(VcpuStatus::Ready.to_string(), "READY");
+        assert_eq!(VcpuStatus::Busy.to_string(), "BUSY");
+    }
+
+    #[test]
+    fn schedulable_and_idle() {
+        let v = VcpuView {
+            id: VcpuId {
+                vm: 0,
+                sibling: 0,
+                global: 0,
+            },
+            status: VcpuStatus::Inactive,
+            remaining_load: 3,
+            sync_point: true,
+            assigned_pcpu: None,
+            timeslice_remaining: 0,
+            last_scheduled_in: None,
+            vm_weight: 1,
+        };
+        assert!(v.is_schedulable());
+        let p = PcpuView {
+            id: 0,
+            assigned: None,
+        };
+        assert!(p.is_idle());
+    }
+}

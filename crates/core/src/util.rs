@@ -1,0 +1,42 @@
+//! Small crate-internal helpers shared by both engines.
+
+use vsched_des::{Dist, Xoshiro256StarStar};
+
+/// Samples a distribution as a whole number of ticks, at least 1.
+///
+/// Both engines quantize workload durations the same way so that their
+/// stochastic processes are identically distributed.
+pub(crate) fn sample_ticks(dist: &Dist, rng: &mut Xoshiro256StarStar) -> u64 {
+    let x = dist.sample(rng).round();
+    if x < 1.0 {
+        1
+    } else {
+        x as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_to_one() {
+        let d = Dist::deterministic(0.0).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from(0);
+        assert_eq!(sample_ticks(&d, &mut rng), 1);
+    }
+
+    #[test]
+    fn rounds_to_nearest() {
+        let d = Dist::deterministic(4.6).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from(0);
+        assert_eq!(sample_ticks(&d, &mut rng), 5);
+    }
+
+    #[test]
+    fn preserves_integers() {
+        let d = Dist::deterministic(7.0).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from(0);
+        assert_eq!(sample_ticks(&d, &mut rng), 7);
+    }
+}

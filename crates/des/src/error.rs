@@ -1,0 +1,48 @@
+//! Error type for the DES kernel.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing kernel objects.
+///
+/// All runtime paths of the kernel are infallible by construction; errors can
+/// only arise from invalid *parameters* (e.g. a negative rate for an
+/// exponential distribution).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesError {
+    /// A distribution was parameterized outside its domain.
+    InvalidDistribution {
+        /// Name of the distribution family, e.g. `"exponential"`.
+        family: &'static str,
+        /// Human-readable reason the parameters are invalid.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesError::InvalidDistribution { family, reason } => {
+                write!(f, "invalid {family} distribution: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for DesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DesError::InvalidDistribution {
+            family: "exponential",
+            reason: "mean must be positive".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("exponential"));
+        assert!(msg.contains("mean must be positive"));
+    }
+}

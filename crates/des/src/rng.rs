@@ -1,0 +1,299 @@
+//! Reproducible pseudo-randomness for simulations.
+//!
+//! Simulation studies need (a) bit-for-bit reproducibility across platforms
+//! and library versions, and (b) *independent streams* so that adding a
+//! component to a model does not perturb the random numbers seen by other
+//! components (common-random-numbers variance reduction). Neither is
+//! guaranteed by `rand`'s `SmallRng`, so this module ships a tiny, portable
+//! generator: [`Xoshiro256StarStar`] seeded through SplitMix64, plus a
+//! [`RngStreams`] factory deriving decorrelated per-component streams.
+
+use rand::{Error, RngCore, SeedableRng};
+
+/// SplitMix64 step — used for seeding and stream derivation.
+///
+/// This is the canonical seeding generator recommended by the xoshiro
+/// authors; it passes through every 64-bit state exactly once.
+#[inline]
+#[must_use]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The xoshiro256** generator (Blackman & Vigna, 2018).
+///
+/// 256 bits of state, period 2^256 − 1, excellent statistical quality, and a
+/// fixed, documented algorithm — so results are reproducible forever,
+/// independent of the `rand` crate's internal choices. Implements
+/// [`rand::RngCore`] so it composes with `rand`'s distributions if needed.
+///
+/// # Example
+///
+/// ```
+/// use vsched_des::Xoshiro256StarStar;
+/// use rand::RngCore;
+///
+/// let mut a = Xoshiro256StarStar::seed_from(42);
+/// let mut b = Xoshiro256StarStar::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Creates a generator from a 64-bit seed, expanded via SplitMix64.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256StarStar { s }
+    }
+
+    /// Generates the next 64-bit output.
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform sample in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // Standard conversion: take the top 53 bits.
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+impl RngCore for Xoshiro256StarStar {
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for Xoshiro256StarStar {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(b);
+        }
+        // All-zero state is a fixed point of xoshiro; remap it.
+        if s == [0; 4] {
+            return Xoshiro256StarStar::seed_from(0);
+        }
+        Xoshiro256StarStar { s }
+    }
+}
+
+/// Derives independent random streams from a single experiment seed.
+///
+/// Each `(seed, stream_id)` pair produces a generator whose sequence is
+/// decorrelated from every other pair, so components of a model (workload
+/// generators of different VMs, activity delay sampling, case selection) each
+/// draw from their own stream and replications differ only in the root seed.
+///
+/// # Example
+///
+/// ```
+/// use vsched_des::RngStreams;
+///
+/// let streams = RngStreams::new(7);
+/// let mut wl_vm0 = streams.stream(0);
+/// let mut wl_vm1 = streams.stream(1);
+/// assert_ne!(wl_vm0.next(), wl_vm1.next());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RngStreams {
+    seed: u64,
+}
+
+impl RngStreams {
+    /// Creates a stream factory for the experiment `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        RngStreams { seed }
+    }
+
+    /// Root seed of this factory.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Returns the generator for stream `id`.
+    #[must_use]
+    pub fn stream(&self, id: u64) -> Xoshiro256StarStar {
+        // Hash (seed, id) through SplitMix64 twice to decorrelate.
+        let mut s = self.seed ^ 0xA076_1D64_78BD_642F;
+        let a = splitmix64(&mut s);
+        let mut s2 = a ^ id.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+        Xoshiro256StarStar::seed_from(splitmix64(&mut s2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector() {
+        // First outputs for the documented seeding of seed 0 must never
+        // change: reproducibility contract.
+        let mut rng = Xoshiro256StarStar::seed_from(0);
+        let first: Vec<u64> = (0..3).map(|_| rng.next()).collect();
+        let mut rng2 = Xoshiro256StarStar::seed_from(0);
+        let again: Vec<u64> = (0..3).map(|_| rng2.next()).collect();
+        assert_eq!(first, again);
+        assert_ne!(first[0], first[1]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256StarStar::seed_from(1);
+        let mut b = Xoshiro256StarStar::seed_from(2);
+        assert_ne!(a.next(), b.next());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Xoshiro256StarStar::seed_from(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut rng = Xoshiro256StarStar::seed_from(4);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_roughly_uniform() {
+        let mut rng = Xoshiro256StarStar::seed_from(5);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            let v = rng.next_below(7);
+            counts[v as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} skewed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        let mut rng = Xoshiro256StarStar::seed_from(0);
+        rng.next_below(0);
+    }
+
+    #[test]
+    fn bool_probability() {
+        let mut rng = Xoshiro256StarStar::seed_from(6);
+        let hits = (0..100_000).filter(|_| rng.next_bool(0.2)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.2).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn streams_are_decorrelated() {
+        let streams = RngStreams::new(99);
+        let mut a = streams.stream(0);
+        let mut b = streams.stream(1);
+        let matches = (0..1000).filter(|_| a.next() == b.next()).count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let s1 = RngStreams::new(5);
+        let s2 = RngStreams::new(5);
+        let mut a = s1.stream(3);
+        let mut b = s2.stream(3);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn rngcore_fill_bytes() {
+        let mut rng = Xoshiro256StarStar::seed_from(7);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 13]);
+    }
+
+    #[test]
+    fn seedable_zero_seed_is_remapped() {
+        let rng = Xoshiro256StarStar::from_seed([0u8; 32]);
+        assert_eq!(rng, Xoshiro256StarStar::seed_from(0));
+    }
+}

@@ -1,0 +1,171 @@
+//! Virtual simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point on the virtual time axis.
+///
+/// `SimTime` wraps an `f64` that is guaranteed to be **finite and
+/// non-negative**, which makes the type totally ordered ([`Ord`]) and safe to
+/// use as a priority-queue key. Continuous-time formalisms (exponential
+/// activity delays in a SAN) and discrete-time models (the paper's unit-period
+/// `Clock` activity) both fit.
+///
+/// # Example
+///
+/// ```
+/// use vsched_des::SimTime;
+/// let t = SimTime::new(1.5) + SimTime::new(2.5);
+/// assert_eq!(t.as_f64(), 4.0);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The origin of the simulation time axis.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN, infinite, or negative — such values would break
+    /// the total order the event queue relies on.
+    #[must_use]
+    pub fn new(t: f64) -> Self {
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "SimTime must be finite and non-negative, got {t}"
+        );
+        SimTime(t)
+    }
+
+    /// Returns the raw floating-point value.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating subtraction: returns `self - rhs`, clamped at zero.
+    ///
+    /// ```
+    /// use vsched_des::SimTime;
+    /// assert_eq!(SimTime::new(1.0).saturating_sub(SimTime::new(3.0)), SimTime::ZERO);
+    /// ```
+    #[must_use]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Values are finite by construction, so partial_cmp never fails.
+        self.0.partial_cmp(&other.0).expect("SimTime is finite")
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics if the result would be negative; use
+    /// [`SimTime::saturating_sub`] when `rhs` may exceed `self`.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime::new(self.0 - rhs.0)
+    }
+}
+
+impl From<f64> for SimTime {
+    fn from(t: f64) -> Self {
+        SimTime::new(t)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(SimTime::new(1.0) + SimTime::new(2.0), SimTime::new(3.0));
+        assert_eq!(SimTime::new(3.0) - SimTime::new(2.0), SimTime::new(1.0));
+        let mut t = SimTime::ZERO;
+        t += SimTime::new(5.0);
+        assert_eq!(t.as_f64(), 5.0);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(
+            SimTime::new(2.0).saturating_sub(SimTime::new(5.0)),
+            SimTime::ZERO
+        );
+        assert_eq!(
+            SimTime::new(5.0).saturating_sub(SimTime::new(2.0)),
+            SimTime::new(3.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_nan() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative() {
+        let _ = SimTime::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_infinite() {
+        let _ = SimTime::new(f64::INFINITY);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", SimTime::new(1.5)), "1.5");
+        assert_eq!(format!("{:?}", SimTime::new(1.5)), "t=1.5");
+    }
+}

@@ -1,0 +1,178 @@
+//! Activities: the transitions of a SAN.
+
+use vsched_des::Dist;
+
+use crate::gate::{InputGate, OutputGate};
+use crate::marking::{Marking, PlaceId};
+
+/// Handle to an activity in a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActivityId(pub(crate) usize);
+
+impl ActivityId {
+    /// Index of this activity in the model's activity table.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// How an activity completes once enabled.
+pub enum Timing {
+    /// Completes after a random delay drawn from the distribution when the
+    /// activity becomes enabled.
+    Timed(Dist),
+    /// Completes immediately; among simultaneously enabled instantaneous
+    /// activities, higher `priority` completes first.
+    Instantaneous {
+        /// Completion priority (higher first).
+        priority: i32,
+    },
+}
+
+impl std::fmt::Debug for Timing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Timing::Timed(d) => write!(f, "Timed({d:?})"),
+            Timing::Instantaneous { priority } => {
+                write!(f, "Instantaneous(priority={priority})")
+            }
+        }
+    }
+}
+
+/// Probability weights of an activity's cases.
+pub enum CaseWeights {
+    /// Fixed weights (need not be normalized).
+    Fixed(Vec<f64>),
+    /// Marking-dependent weights, re-evaluated at each completion.
+    Dynamic(Box<dyn Fn(&Marking) -> Vec<f64>>),
+}
+
+impl std::fmt::Debug for CaseWeights {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaseWeights::Fixed(w) => write!(f, "Fixed({w:?})"),
+            CaseWeights::Dynamic(_) => write!(f, "Dynamic(..)"),
+        }
+    }
+}
+
+/// One case (probabilistic outcome) of an activity.
+#[derive(Debug, Default)]
+pub struct CaseSpec {
+    /// Tokens produced into places when this case is chosen.
+    pub(crate) output_arcs: Vec<(PlaceId, i64)>,
+    /// Output gates executed when this case is chosen, in order.
+    pub(crate) output_gates: Vec<OutputGate>,
+}
+
+/// Full definition of an activity.
+pub struct ActivitySpec {
+    pub(crate) name: String,
+    pub(crate) timing: Timing,
+    /// Tokens required from (and consumed out of) places.
+    pub(crate) input_arcs: Vec<(PlaceId, i64)>,
+    pub(crate) input_gates: Vec<InputGate>,
+    pub(crate) cases: Vec<CaseSpec>,
+    pub(crate) case_weights: CaseWeights,
+    /// Optional marking-dependent rate multiplier (Mobius's
+    /// marking-dependent rates): the sampled delay is divided by this
+    /// factor at activation; a non-positive factor disables the activity.
+    pub(crate) rate_fn: Option<Box<dyn Fn(&Marking) -> f64>>,
+}
+
+impl std::fmt::Debug for ActivitySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActivitySpec")
+            .field("name", &self.name)
+            .field("timing", &self.timing)
+            .field("input_arcs", &self.input_arcs)
+            .field("input_gates", &self.input_gates)
+            .field("cases", &self.cases.len())
+            .field("case_weights", &self.case_weights)
+            .finish()
+    }
+}
+
+impl ActivitySpec {
+    /// Activity name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the activity is enabled in `marking`: every input arc is
+    /// covered, every input-gate predicate holds, and (for activities with
+    /// a marking-dependent rate) the rate multiplier is positive.
+    #[must_use]
+    pub fn enabled(&self, marking: &Marking) -> bool {
+        self.input_arcs.iter().all(|&(p, w)| marking.has(p, w))
+            && self.input_gates.iter().all(|g| (g.predicate)(marking))
+            && self.rate_fn.as_ref().is_none_or(|f| f(marking) > 0.0)
+    }
+
+    /// The rate multiplier in `marking` (1.0 when none is configured).
+    #[must_use]
+    pub fn rate_multiplier(&self, marking: &Marking) -> f64 {
+        self.rate_fn.as_ref().map_or(1.0, |f| f(marking))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn marking(init: &[i64]) -> Marking {
+        let names = Arc::new((0..init.len()).map(|i| format!("p{i}")).collect::<Vec<_>>());
+        Marking::new(init.to_vec(), names)
+    }
+
+    fn spec(input_arcs: Vec<(PlaceId, i64)>, gates: Vec<InputGate>) -> ActivitySpec {
+        ActivitySpec {
+            name: "a".into(),
+            timing: Timing::Instantaneous { priority: 0 },
+            input_arcs,
+            input_gates: gates,
+            cases: vec![CaseSpec::default()],
+            case_weights: CaseWeights::Fixed(vec![1.0]),
+            rate_fn: None,
+        }
+    }
+
+    #[test]
+    fn enabled_by_arcs() {
+        let s = spec(vec![(PlaceId(0), 2)], vec![]);
+        assert!(!s.enabled(&marking(&[1])));
+        assert!(s.enabled(&marking(&[2])));
+    }
+
+    #[test]
+    fn enabled_by_gates() {
+        let s = spec(
+            vec![],
+            vec![InputGate::guard("g", |m| m.tokens(PlaceId(0)) % 2 == 0)],
+        );
+        assert!(s.enabled(&marking(&[4])));
+        assert!(!s.enabled(&marking(&[3])));
+    }
+
+    #[test]
+    fn all_conditions_required() {
+        let s = spec(
+            vec![(PlaceId(0), 1)],
+            vec![InputGate::guard("g", |m| m.tokens(PlaceId(1)) > 0)],
+        );
+        assert!(!s.enabled(&marking(&[1, 0])));
+        assert!(!s.enabled(&marking(&[0, 1])));
+        assert!(s.enabled(&marking(&[1, 1])));
+    }
+
+    #[test]
+    fn debug_output() {
+        let s = spec(vec![], vec![]);
+        let d = format!("{s:?}");
+        assert!(d.contains("Instantaneous"));
+    }
+}

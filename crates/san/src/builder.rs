@@ -1,0 +1,626 @@
+//! Model construction: places, activities, and Mobius-style composition.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use vsched_des::{Dist, Xoshiro256StarStar};
+
+use crate::activity::{ActivityId, ActivitySpec, CaseSpec, CaseWeights, Timing};
+use crate::error::SanError;
+use crate::gate::{InputGate, OutputGate};
+use crate::marking::{Marking, PlaceId};
+use crate::record::RecordRef;
+
+/// A complete, validated SAN model ready for simulation.
+///
+/// Produced by [`ModelBuilder::build`]. The model owns the gate closures, so
+/// it is not `Clone`; replicated experiments rebuild the model from a factory
+/// closure (see [`crate::experiment`]).
+pub struct Model {
+    pub(crate) names: Arc<Vec<String>>,
+    pub(crate) initial: Vec<i64>,
+    pub(crate) activities: Vec<ActivitySpec>,
+}
+
+impl std::fmt::Debug for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Model")
+            .field("places", &self.names.len())
+            .field("activities", &self.activities.len())
+            .finish()
+    }
+}
+
+impl Model {
+    /// The initial marking of the model.
+    #[must_use]
+    pub fn initial_marking(&self) -> Marking {
+        Marking::new(self.initial.clone(), Arc::clone(&self.names))
+    }
+
+    /// Number of places.
+    #[must_use]
+    pub fn num_places(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of activities.
+    #[must_use]
+    pub fn num_activities(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// Looks up a place id by fully qualified name.
+    #[must_use]
+    pub fn place_by_name(&self, name: &str) -> Option<PlaceId> {
+        self.names.iter().position(|n| n == name).map(PlaceId)
+    }
+
+    /// Looks up an activity id by fully qualified name.
+    #[must_use]
+    pub fn activity_by_name(&self, name: &str) -> Option<ActivityId> {
+        self.activities
+            .iter()
+            .position(|a| a.name == name)
+            .map(ActivityId)
+    }
+}
+
+/// Incremental builder for SAN models.
+///
+/// Composition follows Mobius: a *submodel* is any function that adds places
+/// and activities to the builder. [`ModelBuilder::scope`] namespaces the
+/// submodel's local names (`vm1/Workload`), while
+/// [`ModelBuilder::shared_place`] implements **Join**: the first declaration
+/// creates the place, later declarations under the same fully qualified name
+/// resolve to it — exactly the "join places" of the paper's Tables 1–2.
+/// **Replicate** is a loop over scopes.
+///
+/// See the crate-level example for basic usage.
+pub struct ModelBuilder {
+    names: Vec<String>,
+    by_name: HashMap<String, PlaceId>,
+    shared: Vec<bool>,
+    initial: Vec<i64>,
+    activities: Vec<ActivitySpec>,
+    activity_names: HashMap<String, ActivityId>,
+    scope: Vec<String>,
+}
+
+impl Default for ModelBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        ModelBuilder {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+            shared: Vec::new(),
+            initial: Vec::new(),
+            activities: Vec::new(),
+            activity_names: HashMap::new(),
+            scope: Vec::new(),
+        }
+    }
+
+    fn qualify(&self, name: &str) -> String {
+        if self.scope.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.scope.join("/"), name)
+        }
+    }
+
+    /// Adds a place with `initial` tokens under the current scope.
+    ///
+    /// # Errors
+    ///
+    /// [`SanError::DuplicatePlace`] if the qualified name already exists.
+    pub fn place(&mut self, name: &str, initial: i64) -> Result<PlaceId, SanError> {
+        let qualified = self.qualify(name);
+        if self.by_name.contains_key(&qualified) {
+            return Err(SanError::DuplicatePlace { name: qualified });
+        }
+        let id = PlaceId(self.names.len());
+        self.names.push(qualified.clone());
+        self.by_name.insert(qualified, id);
+        self.shared.push(false);
+        self.initial.push(initial);
+        Ok(id)
+    }
+
+    /// Declares a **join place**: creates it on first declaration, returns
+    /// the existing id on later declarations of the same qualified name.
+    ///
+    /// Note the name is qualified against the *current* scope; to share
+    /// across sibling scopes, declare the shared place at the parent scope
+    /// and pass the id into the submodels (the idiom `vsched-core` uses), or
+    /// declare it with an absolute name via [`ModelBuilder::shared_place_abs`].
+    ///
+    /// # Errors
+    ///
+    /// [`SanError::SharedPlaceConflict`] if re-declared with a different
+    /// initial marking, or [`SanError::DuplicatePlace`] if the name exists
+    /// as a non-shared place.
+    pub fn shared_place(&mut self, name: &str, initial: i64) -> Result<PlaceId, SanError> {
+        let qualified = self.qualify(name);
+        self.shared_place_qualified(qualified, initial)
+    }
+
+    /// [`ModelBuilder::shared_place`] with an absolute (scope-independent)
+    /// name.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModelBuilder::shared_place`].
+    pub fn shared_place_abs(&mut self, name: &str, initial: i64) -> Result<PlaceId, SanError> {
+        self.shared_place_qualified(name.to_string(), initial)
+    }
+
+    fn shared_place_qualified(
+        &mut self,
+        qualified: String,
+        initial: i64,
+    ) -> Result<PlaceId, SanError> {
+        if let Some(&id) = self.by_name.get(&qualified) {
+            if !self.shared[id.0] {
+                return Err(SanError::DuplicatePlace { name: qualified });
+            }
+            if self.initial[id.0] != initial {
+                return Err(SanError::SharedPlaceConflict {
+                    name: qualified,
+                    existing: self.initial[id.0],
+                    requested: initial,
+                });
+            }
+            return Ok(id);
+        }
+        let id = PlaceId(self.names.len());
+        self.names.push(qualified.clone());
+        self.by_name.insert(qualified, id);
+        self.shared.push(true);
+        self.initial.push(initial);
+        Ok(id)
+    }
+
+    /// Adds a record (Mobius *extended place*): one field place per name,
+    /// grouped behind a [`RecordRef`].
+    ///
+    /// # Errors
+    ///
+    /// [`SanError::DuplicatePlace`] if any field name collides.
+    pub fn record(&mut self, name: &str, fields: &[&str]) -> Result<RecordRef, SanError> {
+        let mut ids = Vec::with_capacity(fields.len());
+        for field in fields {
+            ids.push(self.place(&format!("{name}.{field}"), 0)?);
+        }
+        Ok(RecordRef::new(name.to_string(), ids))
+    }
+
+    /// Looks up a place by name, resolved against the current scope first
+    /// and then as an absolute name.
+    #[must_use]
+    pub fn find_place(&self, name: &str) -> Option<PlaceId> {
+        self.by_name
+            .get(&self.qualify(name))
+            .or_else(|| self.by_name.get(name))
+            .copied()
+    }
+
+    /// Runs `f` with names prefixed by `name/` — the submodel idiom.
+    ///
+    /// ```
+    /// use vsched_san::ModelBuilder;
+    /// let mut mb = ModelBuilder::new();
+    /// let ids = mb.scope("vm1", |mb| mb.place("Workload", 0))?;
+    /// assert_eq!(mb.find_place("vm1/Workload"), Some(ids));
+    /// # Ok::<(), vsched_san::SanError>(())
+    /// ```
+    pub fn scope<T>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut ModelBuilder) -> Result<T, SanError>,
+    ) -> Result<T, SanError> {
+        self.scope.push(name.to_string());
+        let result = f(self);
+        self.scope.pop();
+        result
+    }
+
+    /// Mobius **Replicate**: instantiates the submodel template `f` once per
+    /// scope `name_i` for `i` in `0..n`, collecting the results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from the template.
+    pub fn replicate<T>(
+        &mut self,
+        name: &str,
+        n: usize,
+        mut f: impl FnMut(&mut ModelBuilder, usize) -> Result<T, SanError>,
+    ) -> Result<Vec<T>, SanError> {
+        (0..n)
+            .map(|i| {
+                let scope_name = format!("{name}_{i}");
+                self.scope(&scope_name, |mb| f(mb, i))
+            })
+            .collect()
+    }
+
+    /// Starts defining an activity. Finish with [`ActivityBuilder::done`].
+    ///
+    /// # Errors
+    ///
+    /// [`SanError::DuplicateActivity`] if the qualified name already exists.
+    pub fn activity(&mut self, name: &str) -> Result<ActivityBuilder<'_>, SanError> {
+        let qualified = self.qualify(name);
+        if self.activity_names.contains_key(&qualified) {
+            return Err(SanError::DuplicateActivity { name: qualified });
+        }
+        Ok(ActivityBuilder {
+            builder: self,
+            name: qualified,
+            timing: Timing::Instantaneous { priority: 0 },
+            input_arcs: Vec::new(),
+            input_gates: Vec::new(),
+            cases: Vec::new(),
+            weights: Vec::new(),
+            dynamic_weights: None,
+            rate_fn: None,
+        })
+    }
+
+    /// Validates and freezes the model.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for models produced through this builder (all
+    /// invariants are enforced at declaration time), but returns `Result`
+    /// so future validations are non-breaking.
+    pub fn build(self) -> Result<Model, SanError> {
+        Ok(Model {
+            names: Arc::new(self.names),
+            initial: self.initial,
+            activities: self.activities,
+        })
+    }
+}
+
+/// Fluent definition of one activity; created by [`ModelBuilder::activity`].
+pub struct ActivityBuilder<'a> {
+    builder: &'a mut ModelBuilder,
+    name: String,
+    timing: Timing,
+    input_arcs: Vec<(PlaceId, i64)>,
+    input_gates: Vec<InputGate>,
+    cases: Vec<CaseSpec>,
+    weights: Vec<f64>,
+    dynamic_weights: Option<Box<dyn Fn(&Marking) -> Vec<f64>>>,
+    rate_fn: Option<Box<dyn Fn(&Marking) -> f64>>,
+}
+
+impl<'a> ActivityBuilder<'a> {
+    /// Makes the activity timed with delay distribution `dist`.
+    #[must_use]
+    pub fn timed(mut self, dist: Dist) -> Self {
+        self.timing = Timing::Timed(dist);
+        self
+    }
+
+    /// Makes the activity instantaneous with the given completion priority.
+    #[must_use]
+    pub fn instantaneous(mut self, priority: i32) -> Self {
+        self.timing = Timing::Instantaneous { priority };
+        self
+    }
+
+    /// Scales the activity's rate by a marking-dependent factor (Mobius's
+    /// marking-dependent rates): the sampled delay is divided by
+    /// `f(marking)` at activation. A non-positive factor disables the
+    /// activity. The canonical use is an M/M/c server:
+    /// `.timed(exp).rate_multiplier(move |m| m.tokens(q).min(c) as f64)`.
+    #[must_use]
+    pub fn rate_multiplier(mut self, f: impl Fn(&Marking) -> f64 + 'static) -> Self {
+        self.rate_fn = Some(Box::new(f));
+        self
+    }
+
+    /// Requires (and consumes) `weight` tokens from `place`.
+    #[must_use]
+    pub fn input_arc(mut self, place: PlaceId, weight: i64) -> Self {
+        self.input_arcs.push((place, weight));
+        self
+    }
+
+    /// Adds an input gate with only an enabling predicate.
+    #[must_use]
+    pub fn guard(mut self, name: &str, predicate: impl Fn(&Marking) -> bool + 'static) -> Self {
+        self.input_gates.push(InputGate::guard(name, predicate));
+        self
+    }
+
+    /// Adds a full input gate (predicate + completion function).
+    #[must_use]
+    pub fn input_gate(
+        mut self,
+        name: &str,
+        predicate: impl Fn(&Marking) -> bool + 'static,
+        function: impl FnMut(&mut Marking, &mut Xoshiro256StarStar) + 'static,
+    ) -> Self {
+        self.input_gates.push(InputGate::new(name, predicate, function));
+        self
+    }
+
+    /// Starts a new case with probability `weight`. Output arcs / gates
+    /// added afterwards attach to this case.
+    #[must_use]
+    pub fn case(mut self, weight: f64) -> Self {
+        self.cases.push(CaseSpec::default());
+        self.weights.push(weight);
+        self
+    }
+
+    /// Replaces fixed case weights with a marking-dependent weight function.
+    #[must_use]
+    pub fn dynamic_case_weights(
+        mut self,
+        f: impl Fn(&Marking) -> Vec<f64> + 'static,
+    ) -> Self {
+        self.dynamic_weights = Some(Box::new(f));
+        self
+    }
+
+    fn current_case(&mut self) -> &mut CaseSpec {
+        if self.cases.is_empty() {
+            self.cases.push(CaseSpec::default());
+            self.weights.push(1.0);
+        }
+        self.cases.last_mut().expect("just ensured non-empty")
+    }
+
+    /// Produces `weight` tokens into `place` (attached to the current case;
+    /// a single default case is created if none was declared).
+    #[must_use]
+    pub fn output_arc(mut self, place: PlaceId, weight: i64) -> Self {
+        self.current_case().output_arcs.push((place, weight));
+        self
+    }
+
+    /// Attaches an output gate to the current case.
+    #[must_use]
+    pub fn output_gate(
+        mut self,
+        name: &str,
+        function: impl FnMut(&mut Marking, &mut Xoshiro256StarStar) + 'static,
+    ) -> Self {
+        self.current_case()
+            .output_gates
+            .push(OutputGate::new(name, function));
+        self
+    }
+
+    /// Finishes the activity and registers it with the model.
+    ///
+    /// # Errors
+    ///
+    /// * [`SanError::InvalidArcWeight`] for non-positive arc weights,
+    /// * [`SanError::InvalidCaseWeight`] for non-positive fixed case weights.
+    pub fn done(mut self) -> Result<ActivityId, SanError> {
+        if self.cases.is_empty() {
+            self.cases.push(CaseSpec::default());
+            self.weights.push(1.0);
+        }
+        for &(_, w) in self
+            .input_arcs
+            .iter()
+            .chain(self.cases.iter().flat_map(|c| c.output_arcs.iter()))
+        {
+            if w <= 0 {
+                return Err(SanError::InvalidArcWeight {
+                    activity: self.name,
+                    weight: w,
+                });
+            }
+        }
+        let case_weights = match self.dynamic_weights {
+            Some(f) => CaseWeights::Dynamic(f),
+            None => {
+                if self.weights.iter().any(|&w| w <= 0.0 || !w.is_finite()) {
+                    return Err(SanError::InvalidCaseWeight {
+                        activity: self.name,
+                    });
+                }
+                CaseWeights::Fixed(self.weights)
+            }
+        };
+        let id = ActivityId(self.builder.activities.len());
+        self.builder
+            .activity_names
+            .insert(self.name.clone(), id);
+        self.builder.activities.push(ActivitySpec {
+            name: self.name,
+            timing: self.timing,
+            input_arcs: self.input_arcs,
+            input_gates: self.input_gates,
+            cases: self.cases,
+            case_weights,
+            rate_fn: self.rate_fn,
+        });
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_place_rejected() {
+        let mut mb = ModelBuilder::new();
+        mb.place("p", 0).unwrap();
+        assert!(matches!(
+            mb.place("p", 1),
+            Err(SanError::DuplicatePlace { .. })
+        ));
+    }
+
+    #[test]
+    fn scopes_namespace_places() {
+        let mut mb = ModelBuilder::new();
+        let a = mb.scope("vm1", |mb| mb.place("x", 1)).unwrap();
+        let b = mb.scope("vm2", |mb| mb.place("x", 2)).unwrap();
+        assert_ne!(a, b);
+        let model = mb.build().unwrap();
+        assert_eq!(model.place_by_name("vm1/x"), Some(a));
+        assert_eq!(model.place_by_name("vm2/x"), Some(b));
+        let m = model.initial_marking();
+        assert_eq!(m.tokens(a), 1);
+        assert_eq!(m.tokens(b), 2);
+    }
+
+    #[test]
+    fn nested_scopes() {
+        let mut mb = ModelBuilder::new();
+        let p = mb
+            .scope("sys", |mb| mb.scope("vm1", |mb| mb.place("y", 0)))
+            .unwrap();
+        let model = mb.build().unwrap();
+        assert_eq!(model.place_by_name("sys/vm1/y"), Some(p));
+    }
+
+    #[test]
+    fn shared_place_joins() {
+        let mut mb = ModelBuilder::new();
+        let a = mb.shared_place("Blocked", 0).unwrap();
+        let b = mb.shared_place("Blocked", 0).unwrap();
+        assert_eq!(a, b);
+        assert!(matches!(
+            mb.shared_place("Blocked", 5),
+            Err(SanError::SharedPlaceConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_place_cannot_shadow_normal_place() {
+        let mut mb = ModelBuilder::new();
+        mb.place("p", 0).unwrap();
+        assert!(matches!(
+            mb.shared_place("p", 0),
+            Err(SanError::DuplicatePlace { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_place_abs_ignores_scope() {
+        let mut mb = ModelBuilder::new();
+        let outer = mb.shared_place_abs("global", 0).unwrap();
+        let inner = mb
+            .scope("vm1", |mb| mb.shared_place_abs("global", 0))
+            .unwrap();
+        assert_eq!(outer, inner);
+    }
+
+    #[test]
+    fn replicate_stamps_submodels() {
+        let mut mb = ModelBuilder::new();
+        let ids = mb
+            .replicate("vcpu", 3, |mb, i| mb.place("slot", i as i64))
+            .unwrap();
+        assert_eq!(ids.len(), 3);
+        let model = mb.build().unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(model.place_by_name(&format!("vcpu_{i}/slot")), Some(*id));
+            assert_eq!(model.initial_marking().tokens(*id), i as i64);
+        }
+    }
+
+    #[test]
+    fn record_creates_field_places() {
+        let mut mb = ModelBuilder::new();
+        let rec = mb
+            .record("VCPU1_slot", &["remaining_load", "sync_point", "status"])
+            .unwrap();
+        assert_eq!(rec.arity(), 3);
+        let model = mb.build().unwrap();
+        assert!(model.place_by_name("VCPU1_slot.remaining_load").is_some());
+        assert!(model.place_by_name("VCPU1_slot.status").is_some());
+    }
+
+    #[test]
+    fn activity_builder_validates_weights() {
+        let mut mb = ModelBuilder::new();
+        let p = mb.place("p", 0).unwrap();
+        let err = mb
+            .activity("bad")
+            .unwrap()
+            .input_arc(p, 0)
+            .done()
+            .unwrap_err();
+        assert!(matches!(err, SanError::InvalidArcWeight { .. }));
+
+        let err = mb
+            .activity("bad2")
+            .unwrap()
+            .case(0.0)
+            .done()
+            .unwrap_err();
+        assert!(matches!(err, SanError::InvalidCaseWeight { .. }));
+    }
+
+    #[test]
+    fn duplicate_activity_rejected() {
+        let mut mb = ModelBuilder::new();
+        mb.activity("a").unwrap().done().unwrap();
+        assert!(matches!(
+            mb.activity("a").map(|_| ()),
+            Err(SanError::DuplicateActivity { .. })
+        ));
+    }
+
+    #[test]
+    fn default_case_is_created() {
+        let mut mb = ModelBuilder::new();
+        let p = mb.place("p", 0).unwrap();
+        let id = mb
+            .activity("a")
+            .unwrap()
+            .output_arc(p, 1)
+            .done()
+            .unwrap();
+        let model = mb.build().unwrap();
+        assert_eq!(model.activities[id.index()].cases.len(), 1);
+    }
+
+    #[test]
+    fn model_lookup_by_name() {
+        let mut mb = ModelBuilder::new();
+        mb.place("p", 0).unwrap();
+        mb.activity("act").unwrap().done().unwrap();
+        let model = mb.build().unwrap();
+        assert!(model.place_by_name("p").is_some());
+        assert!(model.place_by_name("nope").is_none());
+        assert!(model.activity_by_name("act").is_some());
+        assert!(model.activity_by_name("nope").is_none());
+        assert_eq!(model.num_places(), 1);
+        assert_eq!(model.num_activities(), 1);
+    }
+
+    #[test]
+    fn find_place_resolves_scoped_then_absolute() {
+        let mut mb = ModelBuilder::new();
+        let root = mb.place("x", 0).unwrap();
+        mb.scope("vm", |mb| {
+            let local = mb.place("x", 0)?;
+            assert_eq!(mb.find_place("x"), Some(local), "scoped wins");
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(mb.find_place("x"), Some(root));
+        assert_eq!(mb.find_place("vm/x").is_some(), true);
+    }
+}

@@ -1,0 +1,159 @@
+//! Replicated simulation experiments with Mobius-style termination.
+//!
+//! Mobius runs independent replications of a model until each reward
+//! variable's confidence interval meets a convergence criterion; the paper
+//! reports all figures at the 95% level with intervals below 0.1. This
+//! module drives [`crate::Simulator`] the same way.
+
+use vsched_stats::{ConfidenceInterval, ReplicationController, StoppingRule};
+
+use crate::error::SanError;
+use crate::reward::RewardId;
+use crate::sim::Simulator;
+
+/// Result of a replicated experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// One confidence interval per tracked reward, in factory order.
+    pub intervals: Vec<ConfidenceInterval>,
+    /// How many replications were run.
+    pub replications: usize,
+    /// Total activity completions across all replications.
+    pub total_completions: u64,
+}
+
+impl ExperimentResult {
+    /// Point estimates (means) of all rewards.
+    #[must_use]
+    pub fn means(&self) -> Vec<f64> {
+        self.intervals.iter().map(|ci| ci.mean).collect()
+    }
+}
+
+/// Runs independent replications of a model until the stopping rule is met.
+///
+/// `factory(rep)` must build a fresh simulator for replication `rep` —
+/// seeding it from `rep` (e.g. `base_seed + rep`) — and return the reward
+/// ids to track. Each replication runs `[0, warmup)` as discarded
+/// transient, then `[warmup, warmup + horizon)` as the observation window.
+///
+/// # Errors
+///
+/// Propagates any [`SanError`] from a replication (e.g. an instantaneous
+/// loop in the model).
+///
+/// # Panics
+///
+/// Panics if the factory returns no reward ids, or a different number of
+/// rewards across replications.
+pub fn run_replicated(
+    mut factory: impl FnMut(u64) -> (Simulator, Vec<RewardId>),
+    warmup: f64,
+    horizon: f64,
+    rule: StoppingRule,
+) -> Result<ExperimentResult, SanError> {
+    let mut controller: Option<ReplicationController> = None;
+    let mut rep: u64 = 0;
+    let mut total_completions: u64 = 0;
+    loop {
+        if let Some(c) = &controller {
+            if !c.needs_more() {
+                break;
+            }
+        }
+        let (mut sim, rewards) = factory(rep);
+        assert!(!rewards.is_empty(), "factory must register rewards");
+        if warmup > 0.0 {
+            sim.run_until(warmup)?;
+            sim.reset_rewards();
+        }
+        sim.run_until(warmup + horizon)?;
+        total_completions += sim.stats().completions;
+        let observations: Vec<f64> = rewards
+            .iter()
+            .map(|&r| sim.rate_reward_average(r))
+            .collect();
+        let c = controller
+            .get_or_insert_with(|| ReplicationController::new(rule, observations.len()));
+        c.record(&observations);
+        rep += 1;
+    }
+    let controller = controller.expect("at least one replication ran");
+    let intervals = controller
+        .intervals()
+        .expect("min_replications >= 2 guarantees enough data");
+    Ok(ExperimentResult {
+        intervals,
+        replications: controller.replications(),
+        total_completions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use vsched_des::Dist;
+
+    fn mm1_factory(rep: u64) -> (Simulator, Vec<RewardId>) {
+        let mut mb = ModelBuilder::new();
+        let system = mb.place("system", 0).unwrap();
+        mb.activity("arrive")
+            .unwrap()
+            .timed(Dist::exponential(2.0).unwrap())
+            .output_arc(system, 1)
+            .done()
+            .unwrap();
+        mb.activity("serve")
+            .unwrap()
+            .timed(Dist::exponential(1.0).unwrap())
+            .input_arc(system, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 1000 + rep);
+        let busy = sim.add_rate_reward("busy", move |m| {
+            if m.tokens(system) > 0 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        (sim, vec![busy])
+    }
+
+    #[test]
+    fn mm1_utilization_converges_to_rho() {
+        let rule = StoppingRule::new(0.95, 0.02)
+            .with_min_replications(5)
+            .with_max_replications(60);
+        let result = run_replicated(mm1_factory, 1_000.0, 20_000.0, rule).unwrap();
+        let rho = result.intervals[0].mean;
+        assert!((rho - 0.5).abs() < 0.03, "utilization {rho}, expected 0.5");
+        assert!(result.replications >= 5);
+        assert!(result.total_completions > 0);
+        assert_eq!(result.means().len(), 1);
+    }
+
+    #[test]
+    fn stops_at_max_replications() {
+        let rule = StoppingRule::new(0.95, 1e-9)
+            .with_min_replications(2)
+            .with_max_replications(4);
+        let result = run_replicated(mm1_factory, 0.0, 100.0, rule).unwrap();
+        assert_eq!(result.replications, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must register rewards")]
+    fn empty_rewards_rejected() {
+        let _ = run_replicated(
+            |rep| {
+                let (sim, _) = mm1_factory(rep);
+                (sim, vec![])
+            },
+            0.0,
+            10.0,
+            StoppingRule::paper_default(),
+        );
+    }
+}

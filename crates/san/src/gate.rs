@@ -1,0 +1,149 @@
+//! Input and output gates.
+//!
+//! Gates are where a SAN gains expressiveness over plain Petri nets: an
+//! *input gate* adds an arbitrary enabling predicate and a completion-time
+//! state update; an *output gate* runs an arbitrary state update for the
+//! case it is attached to. In Mobius these are C++ snippets; here they are
+//! Rust closures over the [`Marking`].
+
+use vsched_des::Xoshiro256StarStar;
+
+use crate::marking::Marking;
+
+/// Enabling predicate of an input gate.
+pub type Predicate = Box<dyn Fn(&Marking) -> bool>;
+
+/// State-update function of a gate.
+///
+/// Receives the marking and a dedicated RNG stream so gates can perform
+/// stochastic updates (the paper's `WL_Output` gate samples the workload
+/// `load` and `sync_point` fields). `FnMut` so a gate may carry private
+/// state — the user-defined scheduling function of the VCPU scheduler keeps
+/// its round-robin cursor / skew counters this way.
+pub type GateFn = Box<dyn FnMut(&mut Marking, &mut Xoshiro256StarStar)>;
+
+/// An input gate: a guard plus a completion-time update.
+pub struct InputGate {
+    pub(crate) name: String,
+    pub(crate) predicate: Predicate,
+    pub(crate) function: Option<GateFn>,
+}
+
+impl std::fmt::Debug for InputGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InputGate")
+            .field("name", &self.name)
+            .field("has_function", &self.function.is_some())
+            .finish()
+    }
+}
+
+/// An output gate: a state update executed when its case is chosen.
+pub struct OutputGate {
+    pub(crate) name: String,
+    pub(crate) function: GateFn,
+}
+
+impl std::fmt::Debug for OutputGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OutputGate").field("name", &self.name).finish()
+    }
+}
+
+impl InputGate {
+    /// Creates an input gate with a predicate only (no completion update).
+    pub fn guard(name: impl Into<String>, predicate: impl Fn(&Marking) -> bool + 'static) -> Self {
+        InputGate {
+            name: name.into(),
+            predicate: Box::new(predicate),
+            function: None,
+        }
+    }
+
+    /// Creates an input gate with a predicate and a completion function.
+    pub fn new(
+        name: impl Into<String>,
+        predicate: impl Fn(&Marking) -> bool + 'static,
+        function: impl FnMut(&mut Marking, &mut Xoshiro256StarStar) + 'static,
+    ) -> Self {
+        InputGate {
+            name: name.into(),
+            predicate: Box::new(predicate),
+            function: Some(Box::new(function)),
+        }
+    }
+
+    /// Gate name (for diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl OutputGate {
+    /// Creates an output gate from its update function.
+    pub fn new(
+        name: impl Into<String>,
+        function: impl FnMut(&mut Marking, &mut Xoshiro256StarStar) + 'static,
+    ) -> Self {
+        OutputGate {
+            name: name.into(),
+            function: Box::new(function),
+        }
+    }
+
+    /// Gate name (for diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn marking() -> Marking {
+        Marking::new(vec![2], Arc::new(vec!["p".into()]))
+    }
+
+    #[test]
+    fn guard_has_no_function() {
+        let g = InputGate::guard("g", |m| m.tokens(crate::PlaceId(0)) > 0);
+        assert!(g.function.is_none());
+        assert!((g.predicate)(&marking()));
+        assert_eq!(g.name(), "g");
+    }
+
+    #[test]
+    fn gate_function_mutates() {
+        let mut g = OutputGate::new("og", |m, _rng| m.set(crate::PlaceId(0), 9));
+        let mut m = marking();
+        let mut rng = Xoshiro256StarStar::seed_from(0);
+        (g.function)(&mut m, &mut rng);
+        assert_eq!(m.tokens(crate::PlaceId(0)), 9);
+    }
+
+    #[test]
+    fn stateful_gate_closure() {
+        let mut calls = 0u32;
+        let mut g = OutputGate::new("counter", move |m, _| {
+            calls += 1;
+            m.set(crate::PlaceId(0), i64::from(calls));
+        });
+        let mut m = marking();
+        let mut rng = Xoshiro256StarStar::seed_from(0);
+        (g.function)(&mut m, &mut rng);
+        (g.function)(&mut m, &mut rng);
+        assert_eq!(m.tokens(crate::PlaceId(0)), 2);
+    }
+
+    #[test]
+    fn debug_impls() {
+        let g = InputGate::guard("ig", |_| true);
+        assert!(format!("{g:?}").contains("ig"));
+        let og = OutputGate::new("og", |_, _| {});
+        assert!(format!("{og:?}").contains("og"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Markings: the state of a SAN.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Handle to a place in a model.
+///
+/// Issued by [`crate::ModelBuilder::place`]; only valid for the model that
+/// created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlaceId(pub(crate) usize);
+
+impl PlaceId {
+    /// Index of this place in the marking vector.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The marking (token assignment) of every place in a model.
+///
+/// Token counts are `i64` for arithmetic convenience, but the SAN invariant —
+/// markings are natural numbers — is enforced: any mutation that would drive
+/// a place negative panics with the place's name, which is always a modeling
+/// bug, not a runtime condition.
+#[derive(Clone)]
+pub struct Marking {
+    tokens: Vec<i64>,
+    names: Arc<Vec<String>>,
+}
+
+impl Marking {
+    pub(crate) fn new(initial: Vec<i64>, names: Arc<Vec<String>>) -> Self {
+        debug_assert_eq!(initial.len(), names.len());
+        Marking {
+            tokens: initial,
+            names,
+        }
+    }
+
+    /// Number of tokens in `place`.
+    #[must_use]
+    pub fn tokens(&self, place: PlaceId) -> i64 {
+        self.tokens[place.0]
+    }
+
+    /// Sets `place` to exactly `count` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is negative.
+    pub fn set(&mut self, place: PlaceId, count: i64) {
+        assert!(
+            count >= 0,
+            "cannot set place `{}` to negative marking {count}",
+            self.names[place.0]
+        );
+        self.tokens[place.0] = count;
+    }
+
+    /// Adds `delta` tokens (may be negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would be negative.
+    pub fn add(&mut self, place: PlaceId, delta: i64) {
+        let new = self.tokens[place.0] + delta;
+        assert!(
+            new >= 0,
+            "place `{}` would go negative: {} + {delta}",
+            self.names[place.0],
+            self.tokens[place.0]
+        );
+        self.tokens[place.0] = new;
+    }
+
+    /// Whether `place` holds at least `count` tokens.
+    #[must_use]
+    pub fn has(&self, place: PlaceId, count: i64) -> bool {
+        self.tokens[place.0] >= count
+    }
+
+    /// Whether `place` is empty.
+    #[must_use]
+    pub fn is_empty(&self, place: PlaceId) -> bool {
+        self.tokens[place.0] == 0
+    }
+
+    /// Name of `place` (for diagnostics).
+    #[must_use]
+    pub fn name(&self, place: PlaceId) -> &str {
+        &self.names[place.0]
+    }
+
+    /// Number of places in the model.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the model has no places.
+    #[must_use]
+    pub fn is_model_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Raw view of all token counts, indexed by [`PlaceId::index`].
+    #[must_use]
+    pub fn as_slice(&self) -> &[i64] {
+        &self.tokens
+    }
+}
+
+impl fmt::Debug for Marking {
+    /// Renders only non-empty places to keep debug output readable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_map();
+        for (i, &t) in self.tokens.iter().enumerate() {
+            if t != 0 {
+                map.entry(&self.names[i], &t);
+            }
+        }
+        map.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marking(init: &[i64]) -> Marking {
+        let names = Arc::new(
+            (0..init.len())
+                .map(|i| format!("p{i}"))
+                .collect::<Vec<_>>(),
+        );
+        Marking::new(init.to_vec(), names)
+    }
+
+    #[test]
+    fn basic_access() {
+        let mut m = marking(&[1, 0, 5]);
+        assert_eq!(m.tokens(PlaceId(0)), 1);
+        assert!(m.has(PlaceId(2), 5));
+        assert!(!m.has(PlaceId(2), 6));
+        assert!(m.is_empty(PlaceId(1)));
+        m.set(PlaceId(1), 3);
+        assert_eq!(m.tokens(PlaceId(1)), 3);
+        m.add(PlaceId(1), -3);
+        assert!(m.is_empty(PlaceId(1)));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.as_slice(), &[1, 0, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn set_negative_panics() {
+        marking(&[0]).set(PlaceId(0), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "p0")]
+    fn underflow_names_the_place() {
+        marking(&[2]).add(PlaceId(0), -3);
+    }
+
+    #[test]
+    fn debug_shows_nonempty_only() {
+        let m = marking(&[0, 7, 0]);
+        let s = format!("{m:?}");
+        assert!(s.contains("p1"));
+        assert!(!s.contains("p0"));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let m = marking(&[1]);
+        let mut c = m.clone();
+        c.set(PlaceId(0), 9);
+        assert_eq!(m.tokens(PlaceId(0)), 1);
+        assert_eq!(c.tokens(PlaceId(0)), 9);
+    }
+}

@@ -1,0 +1,95 @@
+//! Extended places: structured state in a SAN.
+//!
+//! Mobius extends classic SAN places (natural-number token counts) with
+//! *extended places* that hold C structs — the paper's `VCPU_slot` place
+//! carries `remaining_load`, `sync_point` and `status` fields. A
+//! [`RecordRef`] models an extended place as a group of field places
+//! created together by [`crate::ModelBuilder::record`], with indexed access.
+
+use crate::marking::{Marking, PlaceId};
+
+/// Handle to a group of field places forming one extended place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordRef {
+    name: String,
+    fields: Vec<PlaceId>,
+}
+
+impl RecordRef {
+    pub(crate) fn new(name: String, fields: Vec<PlaceId>) -> Self {
+        RecordRef { name, fields }
+    }
+
+    /// The record's base name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of fields.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Place id of field `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn field(&self, index: usize) -> PlaceId {
+        self.fields[index]
+    }
+
+    /// All field place ids in declaration order.
+    #[must_use]
+    pub fn fields(&self) -> &[PlaceId] {
+        &self.fields
+    }
+
+    /// Reads field `index` from a marking.
+    #[must_use]
+    pub fn get(&self, marking: &Marking, index: usize) -> i64 {
+        marking.tokens(self.fields[index])
+    }
+
+    /// Writes field `index` in a marking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative (markings are natural numbers).
+    pub fn set(&self, marking: &mut Marking, index: usize, value: i64) {
+        marking.set(self.fields[index], value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ModelBuilder;
+
+    #[test]
+    fn roundtrip_fields() {
+        let mut mb = ModelBuilder::new();
+        let rec = mb.record("slot", &["load", "sync", "status"]).unwrap();
+        let model = mb.build().unwrap();
+        let mut m = model.initial_marking();
+        rec.set(&mut m, 0, 42);
+        rec.set(&mut m, 2, 1);
+        assert_eq!(rec.get(&m, 0), 42);
+        assert_eq!(rec.get(&m, 1), 0);
+        assert_eq!(rec.get(&m, 2), 1);
+        assert_eq!(rec.arity(), 3);
+        assert_eq!(rec.name(), "slot");
+        assert_eq!(rec.fields().len(), 3);
+        assert_eq!(rec.field(1), rec.fields()[1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_field_panics() {
+        let mut mb = ModelBuilder::new();
+        let rec = mb.record("slot", &["a"]).unwrap();
+        let _ = rec.field(3);
+    }
+}

@@ -1,0 +1,802 @@
+//! The SAN discrete-event simulator.
+
+use vsched_des::{EventId, EventQueue, RngStreams, SimTime, Xoshiro256StarStar};
+
+use crate::activity::{ActivityId, CaseWeights, Timing};
+use crate::builder::Model;
+use crate::error::SanError;
+use crate::marking::Marking;
+use crate::reward::{ImpulseReward, RateReward, RewardId};
+
+/// Priority offset that makes instantaneous activities preempt timed ones
+/// scheduled at the same instant.
+const INSTANTANEOUS_BASE: i32 = 1_000_000;
+
+/// Statistics from one [`Simulator::run_until`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Activity completions processed during the call.
+    pub completions: u64,
+    /// Activity activations that were aborted (disabled before completing).
+    pub aborts: u64,
+}
+
+/// Executes a [`Model`] according to standard SAN semantics.
+///
+/// * An activity is **activated** when it becomes enabled: a completion time
+///   is sampled from its delay distribution and scheduled.
+/// * If a state change disables an activated activity it **aborts** and its
+///   sampled completion is discarded.
+/// * **Completion** atomically runs input-gate functions, consumes input
+///   arcs, selects a case, produces output arcs and runs the case's output
+///   gates; then all activities are re-evaluated.
+/// * Instantaneous activities complete before any timed activity scheduled
+///   at the same instant, higher priority first, FIFO among equals.
+///
+/// See the crate-level documentation for an end-to-end example.
+pub struct Simulator {
+    model: Model,
+    marking: Marking,
+    time: SimTime,
+    queue: EventQueue<ActivityId>,
+    /// Scheduled completion of each activity, if activated.
+    scheduled: Vec<Option<EventId>>,
+    /// Rate multiplier in force when each activity was activated; a change
+    /// triggers reactivation (resampling) for rate-scaled activities.
+    activation_rate: Vec<f64>,
+    delay_rngs: Vec<Xoshiro256StarStar>,
+    case_rngs: Vec<Xoshiro256StarStar>,
+    gate_rng: Xoshiro256StarStar,
+    rate_rewards: Vec<RateReward>,
+    impulse_rewards: Vec<ImpulseReward>,
+    /// Guard against models whose instantaneous activities loop forever.
+    max_zero_advance: u64,
+    started: bool,
+    stats: RunStats,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("time", &self.time)
+            .field("marking", &self.marking)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator over `model`, with all randomness derived from
+    /// `seed`.
+    #[must_use]
+    pub fn new(model: Model, seed: u64) -> Self {
+        let streams = RngStreams::new(seed);
+        let n = model.num_activities();
+        let marking = model.initial_marking();
+        Simulator {
+            marking,
+            time: SimTime::ZERO,
+            queue: EventQueue::new(),
+            scheduled: vec![None; n],
+            activation_rate: vec![1.0; n],
+            delay_rngs: (0..n).map(|i| streams.stream(10_000 + i as u64)).collect(),
+            case_rngs: (0..n).map(|i| streams.stream(20_000 + i as u64)).collect(),
+            gate_rng: streams.stream(1),
+            rate_rewards: Vec::new(),
+            impulse_rewards: Vec::new(),
+            max_zero_advance: 1_000_000,
+            started: false,
+            stats: RunStats::default(),
+            model,
+        }
+    }
+
+    /// Caps the number of completions tolerated without time advancing
+    /// before [`SanError::InstantaneousLoop`] is reported (default 10^6).
+    pub fn set_max_zero_advance(&mut self, limit: u64) {
+        self.max_zero_advance = limit.max(1);
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Current marking (read-only).
+    #[must_use]
+    pub fn marking(&self) -> &Marking {
+        &self.marking
+    }
+
+    /// The model being executed.
+    #[must_use]
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Cumulative execution statistics.
+    #[must_use]
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Registers a rate reward `f`; its time average over the observation
+    /// window is available through [`Simulator::rate_reward_average`].
+    pub fn add_rate_reward(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&Marking) -> f64 + 'static,
+    ) -> RewardId {
+        let current = f(&self.marking);
+        let mut acc = vsched_stats::TimeWeighted::new(self.time.as_f64());
+        // If registered mid-run, the accumulator starts "now"; if registered
+        // before the first event it starts at zero — both are correct.
+        acc.reset(self.time.as_f64());
+        self.rate_rewards.push(RateReward {
+            name: name.into(),
+            f: Box::new(f),
+            acc,
+            current,
+        });
+        RewardId(self.rate_rewards.len() - 1)
+    }
+
+    /// Registers an impulse reward earned at each completion of `activity`.
+    pub fn add_impulse_reward(
+        &mut self,
+        name: impl Into<String>,
+        activity: ActivityId,
+        f: impl Fn(&Marking) -> f64 + 'static,
+    ) -> RewardId {
+        self.impulse_rewards.push(ImpulseReward {
+            name: name.into(),
+            activity,
+            f: Box::new(f),
+            total: 0.0,
+            count: 0,
+        });
+        RewardId(self.impulse_rewards.len() - 1)
+    }
+
+    /// Time average of a rate reward over the observation window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`Simulator::add_rate_reward`] of
+    /// this simulator.
+    #[must_use]
+    pub fn rate_reward_average(&self, id: RewardId) -> f64 {
+        self.rate_rewards[id.0].acc.time_average()
+    }
+
+    /// Name of a rate reward.
+    #[must_use]
+    pub fn rate_reward_name(&self, id: RewardId) -> &str {
+        &self.rate_rewards[id.0].name
+    }
+
+    /// Accumulated total of an impulse reward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by
+    /// [`Simulator::add_impulse_reward`] of this simulator.
+    #[must_use]
+    pub fn impulse_total(&self, id: RewardId) -> f64 {
+        self.impulse_rewards[id.0].total
+    }
+
+    /// Number of completions counted by an impulse reward.
+    #[must_use]
+    pub fn impulse_count(&self, id: RewardId) -> u64 {
+        self.impulse_rewards[id.0].count
+    }
+
+    /// Restarts all reward observation windows at the current time —
+    /// transient (warm-up) deletion:
+    ///
+    /// ```text
+    /// sim.run_until(warmup)?;   // reach steady state
+    /// sim.reset_rewards();      // discard transient
+    /// sim.run_until(horizon)?;  // measure
+    /// ```
+    pub fn reset_rewards(&mut self) {
+        let now = self.time.as_f64();
+        for r in &mut self.rate_rewards {
+            r.acc.reset(now);
+            r.current = (r.f)(&self.marking);
+        }
+        for r in &mut self.impulse_rewards {
+            r.total = 0.0;
+            r.count = 0;
+        }
+    }
+
+    /// Runs the simulation until virtual time `t_end`.
+    ///
+    /// All events with completion time ≤ `t_end` are processed; the clock
+    /// and every rate-reward window then advance exactly to `t_end`. Can be
+    /// called repeatedly with increasing horizons.
+    ///
+    /// # Errors
+    ///
+    /// [`SanError::InstantaneousLoop`] if the model completes more than the
+    /// configured limit of activities without time advancing.
+    pub fn run_until(&mut self, t_end: f64) -> Result<RunStats, SanError> {
+        let t_end = SimTime::new(t_end);
+        if !self.started {
+            self.started = true;
+            self.reevaluate();
+        }
+        let mut run = RunStats::default();
+        let mut last_time = self.time;
+        let mut zero_advance: u64 = 0;
+        while let Some(next) = self.queue.peek_time() {
+            if next > t_end {
+                break;
+            }
+            let (t, _, act) = self.queue.pop().expect("peeked event must pop");
+            if t > last_time {
+                last_time = t;
+                zero_advance = 0;
+            } else {
+                zero_advance += 1;
+                if zero_advance > self.max_zero_advance {
+                    return Err(SanError::InstantaneousLoop {
+                        at_time: t.as_f64(),
+                        limit: self.max_zero_advance,
+                    });
+                }
+            }
+            self.time = t;
+            self.fire(act);
+            run.completions += 1;
+        }
+        // Advance the clock and the reward windows to the horizon.
+        self.time = self.time.max(t_end);
+        let now = self.time.as_f64();
+        for r in &mut self.rate_rewards {
+            r.acc.update(now, r.current);
+        }
+        self.stats.completions += run.completions;
+        run.aborts = self.stats.aborts;
+        Ok(run)
+    }
+
+    /// Completes one activity: the atomic SAN completion rule.
+    fn fire(&mut self, act_id: ActivityId) {
+        let idx = act_id.0;
+        self.scheduled[idx] = None;
+        debug_assert!(
+            self.model.activities[idx].enabled(&self.marking),
+            "completed activity `{}` must be enabled (eager abort failed)",
+            self.model.activities[idx].name
+        );
+
+        // Rate rewards: close the interval that ends now, at the value the
+        // signal held since the previous state change.
+        let now = self.time.as_f64();
+        for r in &mut self.rate_rewards {
+            r.acc.update(now, r.current);
+        }
+
+        let act = &mut self.model.activities[idx];
+
+        // 1. Input gate functions.
+        for gate in &mut act.input_gates {
+            if let Some(f) = gate.function.as_mut() {
+                f(&mut self.marking, &mut self.gate_rng);
+            }
+        }
+        // 2. Consume input arcs.
+        for &(p, w) in &act.input_arcs {
+            self.marking.add(p, -w);
+        }
+        // 3. Select a case.
+        let case_idx = match &act.case_weights {
+            CaseWeights::Fixed(w) if w.len() == 1 => 0,
+            CaseWeights::Fixed(w) => pick_case(w, &mut self.case_rngs[idx], &act.name),
+            CaseWeights::Dynamic(f) => {
+                let w = f(&self.marking);
+                assert_eq!(
+                    w.len(),
+                    act.cases.len(),
+                    "dynamic case weights of `{}` must match case count",
+                    act.name
+                );
+                pick_case(&w, &mut self.case_rngs[idx], &act.name)
+            }
+        };
+        // 4. Produce output arcs.
+        for &(p, w) in &act.cases[case_idx].output_arcs {
+            self.marking.add(p, w);
+        }
+        // 5. Output gate functions of the chosen case.
+        for gate in &mut act.cases[case_idx].output_gates {
+            (gate.function)(&mut self.marking, &mut self.gate_rng);
+        }
+
+        // Impulse rewards observe the post-completion marking.
+        for r in &mut self.impulse_rewards {
+            if r.activity == act_id {
+                r.total += (r.f)(&self.marking);
+                r.count += 1;
+            }
+        }
+
+        // Rate rewards: the signal takes its new value from now on.
+        for r in &mut self.rate_rewards {
+            r.current = (r.f)(&self.marking);
+        }
+
+        self.reevaluate();
+    }
+
+    /// Activates newly enabled activities, aborts newly disabled ones, and
+    /// reactivates rate-scaled activities whose multiplier changed (for
+    /// exponential delays this is exactly the CTMC race semantics; for
+    /// other distributions it is the defined reactivation policy).
+    fn reevaluate(&mut self) {
+        for idx in 0..self.model.activities.len() {
+            let enabled = self.model.activities[idx].enabled(&self.marking);
+            match (enabled, self.scheduled[idx]) {
+                (true, None) => self.activate(idx),
+                (false, Some(ev)) => {
+                    self.queue.cancel(ev);
+                    self.scheduled[idx] = None;
+                    self.stats.aborts += 1;
+                }
+                (true, Some(ev)) => {
+                    let act = &self.model.activities[idx];
+                    if act.rate_fn.is_some() {
+                        let k = act.rate_multiplier(&self.marking);
+                        if (k - self.activation_rate[idx]).abs() > f64::EPSILON * k.abs() {
+                            self.queue.cancel(ev);
+                            self.scheduled[idx] = None;
+                            self.stats.aborts += 1;
+                            self.activate(idx);
+                        }
+                    }
+                }
+                (false, None) => {}
+            }
+        }
+    }
+
+    /// Samples a delay and schedules the completion of activity `idx`.
+    fn activate(&mut self, idx: usize) {
+        let (delay, priority) = match &self.model.activities[idx].timing {
+            Timing::Timed(dist) => {
+                let base = dist.sample(&mut self.delay_rngs[idx]);
+                // Marking-dependent rate: enabled() guarantees the
+                // multiplier is positive here.
+                let k = self.model.activities[idx].rate_multiplier(&self.marking);
+                self.activation_rate[idx] = k;
+                (base / k, 0)
+            }
+            Timing::Instantaneous { priority } => {
+                (0.0, INSTANTANEOUS_BASE.saturating_add(*priority))
+            }
+        };
+        let when = SimTime::new(self.time.as_f64() + delay);
+        let ev = self.queue.schedule(when, priority, ActivityId(idx));
+        self.scheduled[idx] = Some(ev);
+    }
+}
+
+/// Weighted case selection.
+///
+/// # Panics
+///
+/// Panics if the weights are not positive and finite — a model bug.
+fn pick_case(weights: &[f64], rng: &mut Xoshiro256StarStar, activity: &str) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "case weights of `{activity}` must have positive finite total"
+    );
+    let mut target = rng.next_f64() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use vsched_des::Dist;
+
+    /// load → processed, deterministic delay 1 per token.
+    #[test]
+    fn deterministic_pipeline() {
+        let mut mb = ModelBuilder::new();
+        let input = mb.place("input", 3).unwrap();
+        let output = mb.place("output", 0).unwrap();
+        mb.activity("work")
+            .unwrap()
+            .timed(Dist::deterministic(1.0).unwrap())
+            .input_arc(input, 1)
+            .output_arc(output, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 1);
+        let stats = sim.run_until(10.0).unwrap();
+        assert_eq!(stats.completions, 3);
+        assert_eq!(sim.marking().tokens(input), 0);
+        assert_eq!(sim.marking().tokens(output), 3);
+        assert_eq!(sim.time(), SimTime::new(10.0));
+    }
+
+    #[test]
+    fn completions_happen_at_sampled_times() {
+        let mut mb = ModelBuilder::new();
+        let p = mb.place("p", 1).unwrap();
+        let q = mb.place("q", 0).unwrap();
+        mb.activity("move")
+            .unwrap()
+            .timed(Dist::deterministic(2.5).unwrap())
+            .input_arc(p, 1)
+            .output_arc(q, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 1);
+        sim.run_until(2.4).unwrap();
+        assert_eq!(sim.marking().tokens(q), 0, "not yet");
+        sim.run_until(2.6).unwrap();
+        assert_eq!(sim.marking().tokens(q), 1, "fired at 2.5");
+    }
+
+    #[test]
+    fn instantaneous_preempts_timed() {
+        // An instantaneous activity consumes the token a timed one needs.
+        let mut mb = ModelBuilder::new();
+        let p = mb.place("p", 1).unwrap();
+        let fast = mb.place("fast", 0).unwrap();
+        let slow = mb.place("slow", 0).unwrap();
+        mb.activity("timed")
+            .unwrap()
+            .timed(Dist::deterministic(0.0).unwrap())
+            .input_arc(p, 1)
+            .output_arc(slow, 1)
+            .done()
+            .unwrap();
+        mb.activity("inst")
+            .unwrap()
+            .instantaneous(0)
+            .input_arc(p, 1)
+            .output_arc(fast, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 7);
+        sim.run_until(1.0).unwrap();
+        assert_eq!(sim.marking().tokens(fast), 1, "instantaneous wins");
+        assert_eq!(sim.marking().tokens(slow), 0);
+    }
+
+    #[test]
+    fn higher_priority_instantaneous_wins() {
+        let mut mb = ModelBuilder::new();
+        let p = mb.place("p", 1).unwrap();
+        let low = mb.place("low", 0).unwrap();
+        let high = mb.place("high", 0).unwrap();
+        mb.activity("low_act")
+            .unwrap()
+            .instantaneous(1)
+            .input_arc(p, 1)
+            .output_arc(low, 1)
+            .done()
+            .unwrap();
+        mb.activity("high_act")
+            .unwrap()
+            .instantaneous(9)
+            .input_arc(p, 1)
+            .output_arc(high, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 7);
+        sim.run_until(0.0).unwrap();
+        assert_eq!(sim.marking().tokens(high), 1);
+        assert_eq!(sim.marking().tokens(low), 0);
+    }
+
+    #[test]
+    fn disabled_activity_aborts() {
+        // Two timed activities race for one token; the loser must abort.
+        let mut mb = ModelBuilder::new();
+        let p = mb.place("p", 1).unwrap();
+        let a = mb.place("a", 0).unwrap();
+        let b = mb.place("b", 0).unwrap();
+        mb.activity("fast")
+            .unwrap()
+            .timed(Dist::deterministic(1.0).unwrap())
+            .input_arc(p, 1)
+            .output_arc(a, 1)
+            .done()
+            .unwrap();
+        mb.activity("slow")
+            .unwrap()
+            .timed(Dist::deterministic(2.0).unwrap())
+            .input_arc(p, 1)
+            .output_arc(b, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 3);
+        let stats = sim.run_until(10.0).unwrap();
+        assert_eq!(sim.marking().tokens(a), 1);
+        assert_eq!(sim.marking().tokens(b), 0);
+        assert_eq!(stats.completions, 1);
+        assert_eq!(sim.stats().aborts, 1);
+    }
+
+    #[test]
+    fn input_gate_guards_and_functions_run() {
+        let mut mb = ModelBuilder::new();
+        let gatekeeper = mb.place("gatekeeper", 0).unwrap();
+        let counter = mb.place("counter", 0).unwrap();
+        let fires = mb.place("fires", 0).unwrap();
+        mb.activity("guarded")
+            .unwrap()
+            .timed(Dist::deterministic(1.0).unwrap())
+            .input_gate(
+                "ig",
+                move |m| m.tokens(gatekeeper) > 0,
+                move |m, _| m.add(counter, 1),
+            )
+            .guard("stop", move |m| m.tokens(fires) < 2)
+            .output_arc(fires, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 3);
+        sim.run_until(10.0).unwrap();
+        assert_eq!(sim.marking().tokens(fires), 0, "gatekeeper empty: disabled");
+
+        // Rebuild with the gatekeeper set.
+        let mut mb = ModelBuilder::new();
+        let gatekeeper = mb.place("gatekeeper", 1).unwrap();
+        let counter = mb.place("counter", 0).unwrap();
+        let fires = mb.place("fires", 0).unwrap();
+        mb.activity("guarded")
+            .unwrap()
+            .timed(Dist::deterministic(1.0).unwrap())
+            .input_gate(
+                "ig",
+                move |m| m.tokens(gatekeeper) > 0,
+                move |m, _| m.add(counter, 1),
+            )
+            .guard("stop", move |m| m.tokens(fires) < 2)
+            .output_arc(fires, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 3);
+        sim.run_until(10.0).unwrap();
+        assert_eq!(sim.marking().tokens(fires), 2, "stops after two fires");
+        assert_eq!(sim.marking().tokens(counter), 2, "input gate fn ran");
+    }
+
+    #[test]
+    fn cases_split_probabilistically() {
+        let mut mb = ModelBuilder::new();
+        let heads = mb.place("heads", 0).unwrap();
+        let tails = mb.place("tails", 0).unwrap();
+        mb.activity("flip")
+            .unwrap()
+            .timed(Dist::deterministic(1.0).unwrap())
+            .guard("forever", move |m| {
+                m.tokens(heads) + m.tokens(tails) < 10_000
+            })
+            .case(3.0)
+            .output_arc(heads, 1)
+            .case(1.0)
+            .output_arc(tails, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 11);
+        sim.run_until(20_000.0).unwrap();
+        let h = sim.marking().tokens(heads) as f64;
+        let t = sim.marking().tokens(tails) as f64;
+        assert_eq!(h + t, 10_000.0);
+        let frac = h / (h + t);
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn dynamic_case_weights() {
+        let mut mb = ModelBuilder::new();
+        let selector = mb.place("selector", 1).unwrap();
+        let a = mb.place("a", 0).unwrap();
+        let b = mb.place("b", 0).unwrap();
+        mb.activity("route")
+            .unwrap()
+            .timed(Dist::deterministic(1.0).unwrap())
+            .guard("limit", move |m| m.tokens(a) + m.tokens(b) < 100)
+            .case(1.0)
+            .output_arc(a, 1)
+            .case(1.0)
+            .output_arc(b, 1)
+            .dynamic_case_weights(move |m| {
+                if m.tokens(selector) > 0 {
+                    vec![1.0, 0.0]
+                } else {
+                    vec![0.0, 1.0]
+                }
+            })
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 5);
+        sim.run_until(200.0).unwrap();
+        assert_eq!(sim.marking().tokens(a), 100, "selector forces case 0");
+        assert_eq!(sim.marking().tokens(b), 0);
+    }
+
+    #[test]
+    fn rate_reward_measures_fraction_of_time() {
+        // A token alternates: 1 unit in `on`, 3 units in `off`.
+        let mut mb = ModelBuilder::new();
+        let on = mb.place("on", 1).unwrap();
+        let off = mb.place("off", 0).unwrap();
+        mb.activity("to_off")
+            .unwrap()
+            .timed(Dist::deterministic(1.0).unwrap())
+            .input_arc(on, 1)
+            .output_arc(off, 1)
+            .done()
+            .unwrap();
+        mb.activity("to_on")
+            .unwrap()
+            .timed(Dist::deterministic(3.0).unwrap())
+            .input_arc(off, 1)
+            .output_arc(on, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 2);
+        let r = sim.add_rate_reward("on fraction", move |m| m.tokens(on) as f64);
+        sim.run_until(4000.0).unwrap();
+        let avg = sim.rate_reward_average(r);
+        assert!((avg - 0.25).abs() < 1e-9, "avg {avg}");
+        assert_eq!(sim.rate_reward_name(r), "on fraction");
+    }
+
+    #[test]
+    fn impulse_reward_counts_completions() {
+        let mut mb = ModelBuilder::new();
+        let p = mb.place("p", 5).unwrap();
+        let done_p = mb.place("done", 0).unwrap();
+        let act = mb
+            .activity("consume")
+            .unwrap()
+            .timed(Dist::deterministic(1.0).unwrap())
+            .input_arc(p, 1)
+            .output_arc(done_p, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 2);
+        let r = sim.add_impulse_reward("completions", act, |_| 1.0);
+        sim.run_until(100.0).unwrap();
+        assert_eq!(sim.impulse_count(r), 5);
+        assert_eq!(sim.impulse_total(r), 5.0);
+    }
+
+    #[test]
+    fn reset_rewards_discards_warmup() {
+        let mut mb = ModelBuilder::new();
+        let on = mb.place("on", 1).unwrap();
+        let off = mb.place("off", 0).unwrap();
+        mb.activity("to_off")
+            .unwrap()
+            .timed(Dist::deterministic(10.0).unwrap())
+            .input_arc(on, 1)
+            .output_arc(off, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 2);
+        let r = sim.add_rate_reward("on", move |m| m.tokens(on) as f64);
+        sim.run_until(10.0).unwrap(); // on for the whole warm-up
+        sim.reset_rewards();
+        sim.run_until(20.0).unwrap(); // off for the whole window
+        assert_eq!(sim.rate_reward_average(r), 0.0);
+    }
+
+    #[test]
+    fn instantaneous_loop_detected() {
+        let mut mb = ModelBuilder::new();
+        let p = mb.place("p", 1).unwrap();
+        let q = mb.place("q", 0).unwrap();
+        mb.activity("pq")
+            .unwrap()
+            .instantaneous(0)
+            .input_arc(p, 1)
+            .output_arc(q, 1)
+            .done()
+            .unwrap();
+        mb.activity("qp")
+            .unwrap()
+            .instantaneous(0)
+            .input_arc(q, 1)
+            .output_arc(p, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 2);
+        sim.set_max_zero_advance(1000);
+        let err = sim.run_until(1.0).unwrap_err();
+        assert!(matches!(err, SanError::InstantaneousLoop { .. }));
+    }
+
+    #[test]
+    fn run_is_reproducible_per_seed() {
+        let build = || {
+            let mut mb = ModelBuilder::new();
+            let p = mb.place("p", 0).unwrap();
+            mb.activity("gen")
+                .unwrap()
+                .timed(Dist::exponential(1.0).unwrap())
+                .guard("cap", move |m| m.tokens(p) < 1_000_000)
+                .output_arc(p, 1)
+                .done()
+                .unwrap();
+            mb.build().unwrap()
+        };
+        let mut s1 = Simulator::new(build(), 77);
+        let mut s2 = Simulator::new(build(), 77);
+        let mut s3 = Simulator::new(build(), 78);
+        s1.run_until(100.0).unwrap();
+        s2.run_until(100.0).unwrap();
+        s3.run_until(100.0).unwrap();
+        let p = s1.model().place_by_name("p").unwrap();
+        assert_eq!(s1.marking().tokens(p), s2.marking().tokens(p));
+        assert_ne!(
+            s1.marking().tokens(p),
+            s3.marking().tokens(p),
+            "different seeds should (almost surely) diverge"
+        );
+    }
+
+    #[test]
+    fn mm1_queue_matches_theory() {
+        // λ = 0.5, μ = 1.0 → ρ = 0.5; mean number in system L = ρ/(1-ρ) = 1.
+        let mut mb = ModelBuilder::new();
+        let system = mb.place("system", 0).unwrap();
+        mb.activity("arrive")
+            .unwrap()
+            .timed(Dist::exponential(2.0).unwrap())
+            .output_arc(system, 1)
+            .done()
+            .unwrap();
+        mb.activity("serve")
+            .unwrap()
+            .timed(Dist::exponential(1.0).unwrap())
+            .input_arc(system, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 4242);
+        let l = sim.add_rate_reward("L", move |m| m.tokens(system) as f64);
+        sim.run_until(5_000.0).unwrap();
+        sim.reset_rewards();
+        sim.run_until(200_000.0).unwrap();
+        let avg = sim.rate_reward_average(l);
+        assert!((avg - 1.0).abs() < 0.15, "L = {avg}, expected ≈ 1.0");
+    }
+
+    #[test]
+    fn multiple_run_until_calls_accumulate() {
+        let mut mb = ModelBuilder::new();
+        let p = mb.place("p", 0).unwrap();
+        mb.activity("tick")
+            .unwrap()
+            .timed(Dist::deterministic(1.0).unwrap())
+            .guard("cap", move |m| m.tokens(p) < 1000)
+            .output_arc(p, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 2);
+        sim.run_until(5.0).unwrap();
+        assert_eq!(sim.marking().tokens(p), 5);
+        sim.run_until(12.0).unwrap();
+        assert_eq!(sim.marking().tokens(p), 12);
+    }
+}

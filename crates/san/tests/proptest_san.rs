@@ -1,0 +1,137 @@
+//! Property-based tests of the SAN engine and the CTMC solver.
+
+use proptest::prelude::*;
+use vsched_des::Dist;
+use vsched_san::{solve_steady_state, CtmcOptions, Model, ModelBuilder, Simulator};
+
+/// A random birth-death chain on 0..=k with per-level rates.
+fn birth_death(k: usize, births: &[f64], deaths: &[f64]) -> Model {
+    let mut mb = ModelBuilder::new();
+    let level = mb.place("level", 0).unwrap();
+    for (i, &rate) in births.iter().enumerate() {
+        let at = i as i64;
+        mb.activity(&format!("birth{i}"))
+            .unwrap()
+            .timed(Dist::exponential(1.0 / rate).unwrap())
+            .guard("at_level", move |m| m.tokens(level) == at)
+            .output_arc(level, 1)
+            .done()
+            .unwrap();
+    }
+    for (i, &rate) in deaths.iter().enumerate() {
+        let at = (i + 1) as i64;
+        mb.activity(&format!("death{i}"))
+            .unwrap()
+            .timed(Dist::exponential(1.0 / rate).unwrap())
+            .guard("at_level", move |m| m.tokens(level) == at)
+            .input_arc(level, 1)
+            .done()
+            .unwrap();
+    }
+    let _ = k;
+    mb.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random birth-death chains: the numerical solution satisfies
+    /// detailed balance (π_i λ_i = π_{i+1} μ_{i+1}) and sums to one.
+    #[test]
+    fn numerical_satisfies_detailed_balance(
+        k in 1usize..6,
+        rates in proptest::collection::vec(0.2f64..5.0, 12),
+    ) {
+        let births: Vec<f64> = rates[..k].to_vec();
+        let deaths: Vec<f64> = rates[6..6 + k].to_vec();
+        let mut model = birth_death(k, &births, &deaths);
+        let level = model.place_by_name("level").unwrap();
+        let sol = solve_steady_state(&mut model, CtmcOptions::default()).unwrap();
+        prop_assert!(sol.converged());
+        prop_assert_eq!(sol.num_states(), k + 1);
+        let total: f64 = sol.probabilities().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let pi_at = |lvl: i64| sol.probability_where(|m| m.tokens(level) == lvl);
+        for i in 0..k {
+            let lhs = pi_at(i as i64) * births[i];
+            let rhs = pi_at(i as i64 + 1) * deaths[i];
+            prop_assert!(
+                (lhs - rhs).abs() < 1e-6,
+                "detailed balance at level {}: {} vs {}", i, lhs, rhs
+            );
+        }
+    }
+
+    /// The simulator conserves tokens in a random closed ring: one token
+    /// circulates forever, never duplicated or lost.
+    #[test]
+    fn simulator_conserves_ring_token(
+        n in 2usize..6,
+        means in proptest::collection::vec(0.5f64..4.0, 6),
+        seed in 0u64..1000,
+        horizon in 10.0f64..500.0,
+    ) {
+        let mut mb = ModelBuilder::new();
+        let places: Vec<_> = (0..n)
+            .map(|i| mb.place(&format!("p{i}"), i64::from(i == 0)).unwrap())
+            .collect();
+        for i in 0..n {
+            mb.activity(&format!("move{i}"))
+                .unwrap()
+                .timed(Dist::exponential(means[i]).unwrap())
+                .input_arc(places[i], 1)
+                .output_arc(places[(i + 1) % n], 1)
+                .done()
+                .unwrap();
+        }
+        let model = mb.build().unwrap();
+        let mut sim = Simulator::new(model, seed);
+        sim.run_until(horizon).unwrap();
+        let total: i64 = places.iter().map(|&p| sim.marking().tokens(p)).sum();
+        prop_assert_eq!(total, 1, "ring token duplicated or lost");
+    }
+
+    /// Simulation and numerical solution agree on the two-state chain for
+    /// random rates (loose tolerance: simulation noise).
+    #[test]
+    fn simulation_tracks_numerical_two_state(
+        fail_mean in 1.0f64..20.0,
+        repair_mean in 1.0f64..20.0,
+        seed in 0u64..50,
+    ) {
+        let build = || {
+            let mut mb = ModelBuilder::new();
+            let up = mb.place("up", 1).unwrap();
+            let down = mb.place("down", 0).unwrap();
+            mb.activity("fail")
+                .unwrap()
+                .timed(Dist::exponential(fail_mean).unwrap())
+                .input_arc(up, 1)
+                .output_arc(down, 1)
+                .done()
+                .unwrap();
+            mb.activity("repair")
+                .unwrap()
+                .timed(Dist::exponential(repair_mean).unwrap())
+                .input_arc(down, 1)
+                .output_arc(up, 1)
+                .done()
+                .unwrap();
+            mb.build().unwrap()
+        };
+        let mut model = build();
+        let up = model.place_by_name("up").unwrap();
+        let sol = solve_steady_state(&mut model, CtmcOptions::default()).unwrap();
+        let exact = sol.probability_where(|m| m.tokens(up) == 1);
+
+        let mut sim = Simulator::new(build(), seed);
+        let avail = sim.add_rate_reward("up", move |m| m.tokens(up) as f64);
+        let horizon = (fail_mean + repair_mean) * 2_000.0;
+        sim.run_until(horizon).unwrap();
+        let measured = sim.rate_reward_average(avail);
+        prop_assert!(
+            (measured - exact).abs() < 0.05,
+            "exact {} vs simulated {}", exact, measured
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Autocorrelation diagnostics for simulation output series.
+//!
+//! Batch-means and replication estimators assume (approximately)
+//! independent observations; within-run time series are usually
+//! autocorrelated. These helpers quantify the correlation and the
+//! *effective* number of independent observations, guiding batch-size and
+//! run-length choices.
+
+/// Lag-`k` sample autocorrelation of `xs`.
+///
+/// Returns `0.0` for a constant or too-short series.
+#[must_use]
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    let n = xs.len();
+    if n < 2 || lag >= n {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum();
+    if var == 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = (0..n - lag)
+        .map(|i| (xs[i] - mean) * (xs[i + lag] - mean))
+        .sum();
+    cov / var
+}
+
+/// Effective sample size of `xs` under the initial-positive-sequence
+/// truncation (Geyer): `n / (1 + 2 Σ ρ_k)`, summing lags while the
+/// autocorrelation stays positive.
+///
+/// A white-noise series returns ≈ `n`; a strongly correlated series much
+/// less. The result is clamped to `[1, n]`.
+#[must_use]
+pub fn effective_sample_size(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return n as f64;
+    }
+    let mut rho_sum = 0.0;
+    for k in 1..n / 2 {
+        let rho = autocorrelation(xs, k);
+        if rho <= 0.0 {
+            break;
+        }
+        rho_sum += rho;
+    }
+    (n as f64 / (1.0 + 2.0 * rho_sum)).clamp(1.0, n as f64)
+}
+
+/// Suggests a batch size for batch-means estimation: the smallest lag at
+/// which the autocorrelation falls below `threshold` (commonly 0.05),
+/// doubled for safety. Returns at least 1.
+#[must_use]
+pub fn suggest_batch_size(xs: &[f64], threshold: f64) -> usize {
+    let n = xs.len();
+    for k in 1..n / 2 {
+        if autocorrelation(xs, k).abs() < threshold {
+            return (2 * k).max(1);
+        }
+    }
+    (n / 2).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (*state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    #[test]
+    fn white_noise_has_no_correlation() {
+        let mut state = 3u64;
+        let xs: Vec<f64> = (0..20_000).map(|_| lcg(&mut state)).collect();
+        assert!(autocorrelation(&xs, 1).abs() < 0.03);
+        assert!(autocorrelation(&xs, 7).abs() < 0.03);
+        let ess = effective_sample_size(&xs);
+        assert!(ess > 15_000.0, "ESS of white noise ≈ n, got {ess}");
+    }
+
+    #[test]
+    fn ar1_matches_theory() {
+        // AR(1) with φ = 0.8: ρ_k = 0.8^k.
+        let mut state = 5u64;
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| {
+                x = 0.8 * x + lcg(&mut state);
+                x
+            })
+            .collect();
+        assert!((autocorrelation(&xs, 1) - 0.8).abs() < 0.03);
+        assert!((autocorrelation(&xs, 2) - 0.64).abs() < 0.04);
+        // ESS ≈ n (1-φ)/(1+φ) = n/9.
+        let ess = effective_sample_size(&xs);
+        let expected = 50_000.0 / 9.0;
+        assert!(
+            (ess - expected).abs() / expected < 0.3,
+            "ESS {ess}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(autocorrelation(&[], 1), 0.0);
+        assert_eq!(autocorrelation(&[1.0], 1), 0.0);
+        assert_eq!(autocorrelation(&[2.0, 2.0, 2.0], 1), 0.0, "constant series");
+        assert_eq!(effective_sample_size(&[]), 0.0);
+        assert_eq!(effective_sample_size(&[1.0]), 1.0);
+    }
+
+    #[test]
+    fn lag_zero_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((autocorrelation(&xs, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_size_grows_with_correlation() {
+        let mut state = 9u64;
+        let white: Vec<f64> = (0..5_000).map(|_| lcg(&mut state)).collect();
+        let mut x = 0.0;
+        let correlated: Vec<f64> = (0..5_000)
+            .map(|_| {
+                x = 0.95 * x + lcg(&mut state);
+                x
+            })
+            .collect();
+        let b_white = suggest_batch_size(&white, 0.05);
+        let b_corr = suggest_batch_size(&correlated, 0.05);
+        assert!(
+            b_corr > b_white,
+            "correlated series needs bigger batches: {b_white} vs {b_corr}"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Batch-means estimation for steady-state simulation.
+//!
+//! An alternative to independent replications: one long run is cut into
+//! contiguous batches whose means are treated as (approximately independent)
+//! observations. Useful when model warm-up is expensive relative to the
+//! observation window.
+
+use crate::ci::ConfidenceInterval;
+use crate::error::StatsError;
+use crate::welford::Welford;
+
+/// Fixed-batch-size batch-means accumulator.
+///
+/// Observations stream in via [`BatchMeans::push`]; every `batch_size`
+/// observations close a batch whose mean becomes one sample of the
+/// between-batch [`Welford`] statistic.
+///
+/// # Example
+///
+/// ```
+/// use vsched_stats::BatchMeans;
+///
+/// let mut bm = BatchMeans::new(100)?;
+/// for i in 0..10_000 {
+///     bm.push(5.0 + ((i % 7) as f64 - 3.0) * 0.1);
+/// }
+/// assert_eq!(bm.completed_batches(), 100);
+/// let ci = bm.interval(0.95)?;
+/// assert!((ci.mean - 5.0).abs() < 0.05);
+/// # Ok::<(), vsched_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: usize,
+    current: Welford,
+    batches: Welford,
+}
+
+impl BatchMeans {
+    /// Creates an accumulator with the given batch size.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::InvalidParameter`] if `batch_size` is zero.
+    pub fn new(batch_size: usize) -> Result<Self, StatsError> {
+        if batch_size == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "batch_size",
+                reason: "must be positive".into(),
+            });
+        }
+        Ok(BatchMeans {
+            batch_size,
+            current: Welford::new(),
+            batches: Welford::new(),
+        })
+    }
+
+    /// Adds one raw observation.
+    pub fn push(&mut self, x: f64) {
+        self.current.push(x);
+        if self.current.count() as usize == self.batch_size {
+            self.batches.push(self.current.mean());
+            self.current = Welford::new();
+        }
+    }
+
+    /// Number of completed batches.
+    #[must_use]
+    pub fn completed_batches(&self) -> usize {
+        self.batches.count() as usize
+    }
+
+    /// Observations in the (discarded-on-estimate) partial batch.
+    #[must_use]
+    pub fn partial_batch_len(&self) -> usize {
+        self.current.count() as usize
+    }
+
+    /// Grand mean over completed batches.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.batches.mean()
+    }
+
+    /// Confidence interval over completed batch means.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::NotEnoughData`] with fewer than two completed batches.
+    pub fn interval(&self, level: f64) -> Result<ConfidenceInterval, StatsError> {
+        ConfidenceInterval::from_welford(&self.batches, level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_close_at_size() {
+        let mut bm = BatchMeans::new(10).unwrap();
+        for i in 0..25 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.completed_batches(), 2);
+        assert_eq!(bm.partial_batch_len(), 5);
+        // Batch means: 4.5 and 14.5 → grand mean 9.5.
+        assert!((bm.mean() - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_requires_two_batches() {
+        let mut bm = BatchMeans::new(5).unwrap();
+        for i in 0..5 {
+            bm.push(i as f64);
+        }
+        assert!(bm.interval(0.95).is_err());
+        for i in 0..5 {
+            bm.push(i as f64);
+        }
+        assert!(bm.interval(0.95).is_ok());
+    }
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        assert!(BatchMeans::new(0).is_err());
+    }
+
+    #[test]
+    fn converges_to_signal_mean() {
+        let mut bm = BatchMeans::new(50).unwrap();
+        for i in 0..50_000u64 {
+            // Periodic signal with mean 3.0.
+            bm.push(3.0 + ((i % 10) as f64 - 4.5) * 0.2);
+        }
+        let ci = bm.interval(0.95).unwrap();
+        assert!((ci.mean - 3.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,221 @@
+//! Confidence intervals over replication means.
+
+use std::fmt;
+
+use crate::error::StatsError;
+use crate::student_t;
+use crate::welford::Welford;
+
+/// A two-sided Student-t confidence interval.
+///
+/// # Example
+///
+/// ```
+/// use vsched_stats::ConfidenceInterval;
+///
+/// let ci = ConfidenceInterval::from_samples(&[9.8, 10.1, 10.0, 9.9, 10.2], 0.95)?;
+/// assert!((ci.mean - 10.0).abs() < 0.01);
+/// assert!(ci.contains(10.0));
+/// # Ok::<(), vsched_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (mean of the replication means).
+    pub mean: f64,
+    /// Half-width of the interval: the interval is `mean ± half_width`.
+    pub half_width: f64,
+    /// Confidence level, e.g. `0.95`.
+    pub level: f64,
+    /// Number of observations the interval is based on.
+    pub n: u64,
+}
+
+impl ConfidenceInterval {
+    /// Builds an interval from raw observations.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::NotEnoughData`] with fewer than two observations,
+    /// * [`StatsError::InvalidParameter`] if `level` is outside `(0, 1)`.
+    pub fn from_samples(samples: &[f64], level: f64) -> Result<Self, StatsError> {
+        let w: Welford = samples.iter().copied().collect();
+        Self::from_welford(&w, level)
+    }
+
+    /// Builds an interval from an accumulated [`Welford`] state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ConfidenceInterval::from_samples`].
+    pub fn from_welford(w: &Welford, level: f64) -> Result<Self, StatsError> {
+        if !(0.0..1.0).contains(&level) || level <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "level",
+                reason: format!("must be in (0, 1), got {level}"),
+            });
+        }
+        if w.count() < 2 {
+            return Err(StatsError::NotEnoughData {
+                have: w.count() as usize,
+                need: 2,
+            });
+        }
+        let t = student_t::critical_value(level, w.count() - 1);
+        Ok(ConfidenceInterval {
+            mean: w.mean(),
+            half_width: t * w.std_error(),
+            level,
+            n: w.count(),
+        })
+    }
+
+    /// Lower bound of the interval.
+    #[must_use]
+    pub fn low(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    #[must_use]
+    pub fn high(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether `value` lies inside the interval.
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        (self.low()..=self.high()).contains(&value)
+    }
+
+    /// Half-width relative to the mean magnitude; `inf` for a zero mean with
+    /// nonzero half-width, `0.0` for a degenerate zero/zero interval.
+    #[must_use]
+    pub fn relative_half_width(&self) -> f64 {
+        if self.half_width == 0.0 {
+            0.0
+        } else if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+impl fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.4} ± {:.4} ({:.0}% CI, n={})",
+            self.mean,
+            self.half_width,
+            self.level * 100.0,
+            self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_interval() {
+        // n=5, mean=10, s=0.158..., t_{0.975,4}=2.776
+        let samples = [9.8, 10.1, 10.0, 9.9, 10.2];
+        let ci = ConfidenceInterval::from_samples(&samples, 0.95).unwrap();
+        assert!((ci.mean - 10.0).abs() < 1e-12);
+        let s = 0.158_113_883_008_419;
+        let expected_hw = 2.776_445 * s / 5f64.sqrt();
+        assert!((ci.half_width - expected_hw).abs() < 1e-4);
+        assert_eq!(ci.n, 5);
+    }
+
+    #[test]
+    fn bounds_and_contains() {
+        let ci = ConfidenceInterval {
+            mean: 5.0,
+            half_width: 1.0,
+            level: 0.95,
+            n: 10,
+        };
+        assert_eq!(ci.low(), 4.0);
+        assert_eq!(ci.high(), 6.0);
+        assert!(ci.contains(4.5));
+        assert!(!ci.contains(6.5));
+    }
+
+    #[test]
+    fn relative_half_width_cases() {
+        let ci = ConfidenceInterval {
+            mean: 10.0,
+            half_width: 0.5,
+            level: 0.95,
+            n: 3,
+        };
+        assert!((ci.relative_half_width() - 0.05).abs() < 1e-12);
+        let degenerate = ConfidenceInterval {
+            mean: 0.0,
+            half_width: 0.0,
+            level: 0.95,
+            n: 3,
+        };
+        assert_eq!(degenerate.relative_half_width(), 0.0);
+        let zero_mean = ConfidenceInterval {
+            mean: 0.0,
+            half_width: 0.1,
+            level: 0.95,
+            n: 3,
+        };
+        assert!(zero_mean.relative_half_width().is_infinite());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            ConfidenceInterval::from_samples(&[1.0], 0.95),
+            Err(StatsError::NotEnoughData { have: 1, need: 2 })
+        ));
+        assert!(matches!(
+            ConfidenceInterval::from_samples(&[1.0, 2.0], 1.5),
+            Err(StatsError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn coverage_simulation() {
+        // CI coverage check: ~95% of intervals over N(0,1)-ish data should
+        // contain the true mean. Use a deterministic pseudo-random sequence.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut covered = 0;
+        let trials = 400;
+        for _ in 0..trials {
+            // Irwin-Hall(12) - 6 approximates a standard normal.
+            let samples: Vec<f64> = (0..10)
+                .map(|_| (0..12).map(|_| next()).sum::<f64>() - 6.0)
+                .collect();
+            let ci = ConfidenceInterval::from_samples(&samples, 0.95).unwrap();
+            if ci.contains(0.0) {
+                covered += 1;
+            }
+        }
+        let rate = covered as f64 / trials as f64;
+        assert!((0.90..=0.99).contains(&rate), "coverage {rate}");
+    }
+
+    #[test]
+    fn display_format() {
+        let ci = ConfidenceInterval {
+            mean: 1.0,
+            half_width: 0.25,
+            level: 0.95,
+            n: 7,
+        };
+        let s = ci.to_string();
+        assert!(s.contains("95%"));
+        assert!(s.contains("n=7"));
+    }
+}

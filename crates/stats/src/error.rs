@@ -1,0 +1,56 @@
+//! Error type for statistics computations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from statistical estimators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// An estimate was requested from fewer observations than it needs
+    /// (e.g. a confidence interval from fewer than two replications).
+    NotEnoughData {
+        /// How many observations were available.
+        have: usize,
+        /// How many the estimator requires.
+        need: usize,
+    },
+    /// A parameter was outside its domain (e.g. a confidence level not in
+    /// `(0, 1)`).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Why the value is invalid.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::NotEnoughData { have, need } => {
+                write!(f, "not enough data: have {have} observations, need {need}")
+            }
+            StatsError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StatsError::NotEnoughData { have: 1, need: 2 };
+        assert!(e.to_string().contains("have 1"));
+        let e = StatsError::InvalidParameter {
+            name: "level",
+            reason: "must be in (0,1)".into(),
+        };
+        assert!(e.to_string().contains("level"));
+    }
+}

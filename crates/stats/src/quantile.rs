@@ -1,0 +1,253 @@
+//! Streaming quantile estimation with the P² algorithm.
+//!
+//! Latency-style simulation outputs (barrier residence times, scheduling
+//! delays) are summarized by tail quantiles, but storing every observation
+//! of a long run is wasteful. The P² algorithm (Jain & Chlamtac, 1985)
+//! estimates a quantile online with five markers and O(1) memory by
+//! adjusting marker heights with a piecewise-parabolic fit.
+
+/// Streaming estimator of a single quantile.
+///
+/// # Example
+///
+/// ```
+/// use vsched_stats::P2Quantile;
+///
+/// let mut q = P2Quantile::new(0.5)?; // median
+/// for i in 1..=1001 {
+///     q.push(f64::from(i));
+/// }
+/// let est = q.estimate().unwrap();
+/// assert!((est - 501.0).abs() < 1.0);
+/// # Ok::<(), vsched_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights.
+    q: [f64; 5],
+    /// Marker positions (1-based observation counts).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Position increments.
+    dn: [f64; 5],
+    count: usize,
+    /// First five observations, before the markers initialize.
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `p`-quantile (e.g. `0.95`).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::StatsError::InvalidParameter`] unless `0 < p < 1`.
+    pub fn new(p: f64) -> Result<Self, crate::StatsError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(crate::StatsError::InvalidParameter {
+                name: "p",
+                reason: format!("quantile must be in (0, 1), got {p}"),
+            });
+        }
+        Ok(P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        })
+    }
+
+    /// The target quantile.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            self.init.push(x);
+            if self.count == 5 {
+                self.init.sort_by(|a, b| a.total_cmp(b));
+                for (qi, &v) in self.q.iter_mut().zip(&self.init) {
+                    *qi = v;
+                }
+            }
+            return;
+        }
+
+        // Find the cell k containing x and update extreme markers.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x < self.q[1] {
+            0
+        } else if x < self.q[2] {
+            1
+        } else if x < self.q[3] {
+            2
+        } else if x <= self.q[4] {
+            3
+        } else {
+            self.q[4] = x;
+            3
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.n;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current estimate, or `None` with fewer than five observations...
+    /// with 1–4 observations an exact small-sample quantile is returned.
+    #[must_use]
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count <= 5 {
+            let mut sorted = self.init.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            let idx = ((self.p * sorted.len() as f64).ceil() as usize)
+                .clamp(1, sorted.len())
+                - 1;
+            return Some(sorted[idx]);
+        }
+        Some(self.q[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_uniform(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (*state >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn rejects_bad_p() {
+        assert!(P2Quantile::new(0.0).is_err());
+        assert!(P2Quantile::new(1.0).is_err());
+        assert!(P2Quantile::new(-0.5).is_err());
+        assert!(P2Quantile::new(0.95).is_ok());
+    }
+
+    #[test]
+    fn empty_has_no_estimate() {
+        let q = P2Quantile::new(0.5).unwrap();
+        assert!(q.estimate().is_none());
+        assert_eq!(q.count(), 0);
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut q = P2Quantile::new(0.5).unwrap();
+        q.push(3.0);
+        assert_eq!(q.estimate(), Some(3.0));
+        q.push(1.0);
+        q.push(2.0);
+        assert_eq!(q.estimate(), Some(2.0), "median of {{1,2,3}}");
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut q = P2Quantile::new(0.5).unwrap();
+        let mut state = 7u64;
+        for _ in 0..100_000 {
+            q.push(lcg_uniform(&mut state));
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.01, "median {est}");
+    }
+
+    #[test]
+    fn p95_of_uniform_stream() {
+        let mut q = P2Quantile::new(0.95).unwrap();
+        let mut state = 11u64;
+        for _ in 0..100_000 {
+            q.push(lcg_uniform(&mut state));
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 0.95).abs() < 0.01, "p95 {est}");
+    }
+
+    #[test]
+    fn p99_of_exponential_stream() {
+        // Exponential(1): p99 = -ln(0.01) ≈ 4.605.
+        let mut q = P2Quantile::new(0.99).unwrap();
+        let mut state = 13u64;
+        for _ in 0..200_000 {
+            let u = lcg_uniform(&mut state);
+            q.push(-(1.0 - u).ln());
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 4.605).abs() < 0.15, "p99 {est}");
+    }
+
+    #[test]
+    fn monotone_ramp() {
+        let mut q = P2Quantile::new(0.25).unwrap();
+        for i in 0..10_000 {
+            q.push(f64::from(i));
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 2_500.0).abs() < 100.0, "q25 {est}");
+    }
+
+    #[test]
+    fn accessors() {
+        let mut q = P2Quantile::new(0.9).unwrap();
+        assert_eq!(q.p(), 0.9);
+        for i in 0..10 {
+            q.push(f64::from(i));
+        }
+        assert_eq!(q.count(), 10);
+    }
+}

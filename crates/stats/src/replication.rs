@@ -1,0 +1,305 @@
+//! Independent-replication experiment control.
+//!
+//! Mobius-style termination: run replications until *every* tracked reward
+//! variable's confidence interval is narrower than the requested criterion
+//! (the paper uses 95% level and a 0.1 interval), bounded by a minimum and
+//! maximum replication count.
+
+use crate::ci::ConfidenceInterval;
+use crate::error::StatsError;
+use crate::welford::Welford;
+
+/// When to stop adding replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoppingRule {
+    /// Confidence level for the intervals, e.g. `0.95`.
+    pub level: f64,
+    /// Required half-width. Interpreted per [`StoppingRule::relative`].
+    pub half_width: f64,
+    /// If `true`, `half_width` is relative to the mean (`hw / |mean|`);
+    /// if `false` (default), it is absolute — matching the paper's
+    /// "<0.1 confidence interval" on metrics that live in `[0, 1]`.
+    pub relative: bool,
+    /// Never stop before this many replications (default 5).
+    pub min_replications: usize,
+    /// Always stop at this many replications (default 1000).
+    pub max_replications: usize,
+}
+
+impl StoppingRule {
+    /// A rule with the given confidence `level` and absolute `half_width`
+    /// target, 5 minimum and 1000 maximum replications.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < level < 1` and `half_width > 0`.
+    #[must_use]
+    pub fn new(level: f64, half_width: f64) -> Self {
+        assert!(level > 0.0 && level < 1.0, "level must be in (0,1)");
+        assert!(half_width > 0.0, "half_width must be positive");
+        StoppingRule {
+            level,
+            half_width,
+            relative: false,
+            min_replications: 5,
+            max_replications: 1000,
+        }
+    }
+
+    /// The paper's setting: 95% confidence, half-width under 0.05 (an
+    /// interval of width <0.1 as reported in Figures 8–10).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        StoppingRule::new(0.95, 0.05)
+    }
+
+    /// Interprets the half-width target relative to the mean.
+    #[must_use]
+    pub fn relative(mut self) -> Self {
+        self.relative = true;
+        self
+    }
+
+    /// Sets the minimum number of replications.
+    #[must_use]
+    pub fn with_min_replications(mut self, n: usize) -> Self {
+        self.min_replications = n.max(2);
+        self
+    }
+
+    /// Sets the maximum number of replications.
+    #[must_use]
+    pub fn with_max_replications(mut self, n: usize) -> Self {
+        self.max_replications = n.max(2);
+        self
+    }
+}
+
+/// Collects per-replication observations of several statistics and decides
+/// when enough replications have run.
+///
+/// Each call to [`ReplicationController::record`] supplies one observation
+/// per tracked statistic (one completed replication). See the crate-level
+/// example.
+#[derive(Debug, Clone)]
+pub struct ReplicationController {
+    rule: StoppingRule,
+    stats: Vec<Welford>,
+}
+
+impl ReplicationController {
+    /// Creates a controller tracking `num_stats` statistics under `rule`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_stats` is zero.
+    #[must_use]
+    pub fn new(rule: StoppingRule, num_stats: usize) -> Self {
+        assert!(num_stats > 0, "must track at least one statistic");
+        ReplicationController {
+            rule,
+            stats: vec![Welford::new(); num_stats],
+        }
+    }
+
+    /// The active stopping rule.
+    #[must_use]
+    pub fn rule(&self) -> &StoppingRule {
+        &self.rule
+    }
+
+    /// Records the results of one replication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observations.len()` differs from the tracked count.
+    pub fn record(&mut self, observations: &[f64]) {
+        assert_eq!(
+            observations.len(),
+            self.stats.len(),
+            "observation count must match tracked statistics"
+        );
+        for (w, &x) in self.stats.iter_mut().zip(observations) {
+            w.push(x);
+        }
+    }
+
+    /// Number of replications recorded so far.
+    #[must_use]
+    pub fn replications(&self) -> usize {
+        self.stats[0].count() as usize
+    }
+
+    /// Whether another replication is needed.
+    ///
+    /// `true` until (a) the minimum count is reached **and** every statistic
+    /// meets the half-width criterion, or (b) the maximum count is reached.
+    #[must_use]
+    pub fn needs_more(&self) -> bool {
+        let n = self.replications();
+        if n >= self.rule.max_replications {
+            return false;
+        }
+        if n < self.rule.min_replications {
+            return true;
+        }
+        !self.all_converged()
+    }
+
+    /// Whether every tracked statistic currently satisfies the criterion.
+    #[must_use]
+    pub fn all_converged(&self) -> bool {
+        self.stats.iter().all(|w| {
+            match ConfidenceInterval::from_welford(w, self.rule.level) {
+                Ok(ci) => {
+                    let measure = if self.rule.relative {
+                        ci.relative_half_width()
+                    } else {
+                        ci.half_width
+                    };
+                    measure <= self.rule.half_width
+                }
+                Err(_) => false,
+            }
+        })
+    }
+
+    /// Confidence interval for statistic `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::NotEnoughData`] with fewer than two replications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn interval(&self, index: usize) -> Result<ConfidenceInterval, StatsError> {
+        ConfidenceInterval::from_welford(&self.stats[index], self.rule.level)
+    }
+
+    /// Confidence intervals for all tracked statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsError::NotEnoughData`] with fewer than two replications.
+    pub fn intervals(&self) -> Result<Vec<ConfidenceInterval>, StatsError> {
+        self.stats
+            .iter()
+            .map(|w| ConfidenceInterval::from_welford(w, self.rule.level))
+            .collect()
+    }
+
+    /// Raw accumulator for statistic `index` (mean, variance, extrema).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn stat(&self, index: usize) -> &Welford {
+        &self.stats[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_min_replications() {
+        let mut c = ReplicationController::new(
+            StoppingRule::new(0.95, 10.0).with_min_replications(7),
+            1,
+        );
+        for i in 0..6 {
+            assert!(c.needs_more(), "after {i} reps");
+            c.record(&[1.0]);
+        }
+        assert!(c.needs_more(), "still below min");
+        c.record(&[1.0]);
+        // Zero variance: converged immediately at min count.
+        assert!(!c.needs_more());
+    }
+
+    #[test]
+    fn respects_max_replications() {
+        let mut c = ReplicationController::new(
+            StoppingRule::new(0.95, 1e-9).with_max_replications(10),
+            1,
+        );
+        let mut n = 0;
+        while c.needs_more() {
+            // Alternating values never converge to a 1e-9 half-width.
+            c.record(&[if n % 2 == 0 { 0.0 } else { 100.0 }]);
+            n += 1;
+            assert!(n <= 10, "must stop at max");
+        }
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn converges_on_tight_data() {
+        let mut c = ReplicationController::new(StoppingRule::paper_default(), 1);
+        let mut n = 0;
+        while c.needs_more() {
+            c.record(&[0.5 + 0.001 * f64::from(n % 3)]);
+            n += 1;
+        }
+        assert!(n <= 10, "tight data should converge fast, took {n}");
+        let ci = c.interval(0).unwrap();
+        assert!(ci.half_width <= 0.05);
+    }
+
+    #[test]
+    fn all_statistics_must_converge() {
+        let rule = StoppingRule::new(0.95, 0.5).with_min_replications(3).with_max_replications(500);
+        let mut c = ReplicationController::new(rule, 2);
+        let mut n: u32 = 0;
+        while c.needs_more() {
+            // Statistic 0 is constant; statistic 1 is noisy and needs many
+            // replications before its CI tightens to 0.5.
+            let noisy = if n % 2 == 0 { 0.0 } else { 10.0 };
+            c.record(&[1.0, noisy]);
+            n += 1;
+        }
+        assert!(n > 3, "noisy statistic must delay stopping, stopped at {n}");
+        assert!(c.interval(1).unwrap().half_width <= 0.5);
+    }
+
+    #[test]
+    fn relative_rule() {
+        let rule = StoppingRule::new(0.95, 0.01)
+            .relative()
+            .with_min_replications(3)
+            .with_max_replications(10_000);
+        let mut c = ReplicationController::new(rule, 1);
+        let mut i = 0u64;
+        while c.needs_more() {
+            // mean 1000, noise ±1 → relative half-width shrinks quickly.
+            c.record(&[1000.0 + if i % 2 == 0 { 1.0 } else { -1.0 }]);
+            i += 1;
+        }
+        let ci = c.interval(0).unwrap();
+        assert!(ci.relative_half_width() <= 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "observation count")]
+    fn record_checks_arity() {
+        let mut c = ReplicationController::new(StoppingRule::paper_default(), 2);
+        c.record(&[1.0]);
+    }
+
+    #[test]
+    fn interval_errors_before_two_reps() {
+        let c = ReplicationController::new(StoppingRule::paper_default(), 1);
+        assert!(c.interval(0).is_err());
+    }
+
+    #[test]
+    fn paper_default_values() {
+        let r = StoppingRule::paper_default();
+        assert_eq!(r.level, 0.95);
+        assert_eq!(r.half_width, 0.05);
+        assert!(!r.relative);
+    }
+}

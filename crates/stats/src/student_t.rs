@@ -1,0 +1,266 @@
+//! Student-t quantiles from first principles.
+//!
+//! Confidence intervals over a handful of replications need the t
+//! distribution, not the normal. Rather than embedding a lookup table, this
+//! module computes the CDF through the regularized incomplete beta function
+//! (evaluated with Lentz's continued fraction) and inverts it by bisection.
+//! Accuracy is ~1e-10, far beyond what a simulation CI needs.
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for g = 7, n = 9 (Godfrey / numerical recipes style).
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// # Panics
+///
+/// Panics if `x` is outside `[0, 1]` or `a`/`b` are not positive.
+#[must_use]
+pub fn betai(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1], got {x}");
+    assert!(a > 0.0 && b > 0.0, "a and b must be positive");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the continued fraction directly when it converges fast, else the
+    // symmetry relation.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// CDF of the Student-t distribution with `df` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `df` is not positive.
+#[must_use]
+pub fn cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if t == 0.0 {
+        return 0.5;
+    }
+    let x = df / (df + t * t);
+    let p = 0.5 * betai(0.5 * df, 0.5, x);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Two-sided critical value `t*` such that `P(|T| <= t*) = level`.
+///
+/// For a 95% confidence interval pass `level = 0.95`.
+///
+/// # Panics
+///
+/// Panics unless `0 < level < 1` and `df >= 1`.
+#[must_use]
+pub fn critical_value(level: f64, df: u64) -> f64 {
+    assert!((0.0..1.0).contains(&level) && level > 0.0, "level must be in (0,1)");
+    assert!(df >= 1, "need at least one degree of freedom");
+    let target = 0.5 + level / 2.0; // upper-tail quantile
+    let dff = df as f64;
+    // Bisection on the CDF: monotone, so this always converges.
+    let mut lo = 0.0_f64;
+    let mut hi = 1e3_f64;
+    // Expand hi if necessary (df = 1 and extreme levels).
+    while cdf(hi, dff) < target {
+        hi *= 10.0;
+        if hi > 1e12 {
+            break;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if cdf(mid, dff) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn betai_boundaries_and_symmetry() {
+        assert_eq!(betai(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(betai(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        let v = betai(2.5, 1.5, 0.3);
+        let w = 1.0 - betai(1.5, 2.5, 0.7);
+        assert!((v - w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn betai_uniform_case() {
+        // I_x(1,1) = x
+        for &x in &[0.1, 0.25, 0.5, 0.9] {
+            assert!((betai(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn t_cdf_symmetry() {
+        for &df in &[1.0, 3.0, 10.0, 100.0] {
+            for &t in &[0.5, 1.0, 2.5] {
+                let p = cdf(t, df);
+                let q = cdf(-t, df);
+                assert!((p + q - 1.0).abs() < 1e-12, "df={df} t={t}");
+            }
+        }
+        assert_eq!(cdf(0.0, 5.0), 0.5);
+    }
+
+    #[test]
+    fn t_cdf_df1_is_cauchy() {
+        // For df=1, CDF(t) = 1/2 + atan(t)/π.
+        for &t in &[-3.0_f64, -1.0, 0.5, 2.0, 10.0] {
+            let expected = 0.5 + t.atan() / std::f64::consts::PI;
+            assert!((cdf(t, 1.0) - expected).abs() < 1e-10, "t={t}");
+        }
+    }
+
+    #[test]
+    fn critical_values_match_tables() {
+        // Classic two-sided 95% critical values.
+        let cases = [
+            (1, 12.706),
+            (2, 4.303),
+            (5, 2.571),
+            (10, 2.228),
+            (30, 2.042),
+            (120, 1.980),
+        ];
+        for (df, expected) in cases {
+            let got = critical_value(0.95, df);
+            assert!(
+                (got - expected).abs() < 2e-3,
+                "df={df}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn critical_value_converges_to_normal() {
+        let got = critical_value(0.95, 1_000_000);
+        assert!((got - 1.95996).abs() < 1e-3, "got {got}");
+    }
+
+    #[test]
+    fn critical_value_99_level() {
+        // t_{0.995, 10} = 3.169
+        let got = critical_value(0.99, 10);
+        assert!((got - 3.169).abs() < 2e-3, "got {got}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degrees of freedom")]
+    fn cdf_rejects_bad_df() {
+        let _ = cdf(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "level")]
+    fn critical_rejects_bad_level() {
+        let _ = critical_value(1.5, 10);
+    }
+}

@@ -1,0 +1,152 @@
+//! Time-weighted statistics for rate rewards.
+//!
+//! A SAN *rate reward* is a function of the marking accumulated over time:
+//! `∫ f(marking(t)) dt / (t1 − t0)`. Metrics like "fraction of time the VCPU
+//! is ACTIVE" are exactly this with an indicator `f`. [`TimeWeighted`] tracks
+//! a piecewise-constant signal and its time integral.
+
+/// Accumulates the time integral of a piecewise-constant signal.
+///
+/// Call [`TimeWeighted::update`] whenever the signal changes (or at the end
+/// of observation) with the *current* time and the value the signal has held
+/// **since the previous update**... more precisely: `update(t, v)` states
+/// that the signal had value `v` on the interval `[last_t, t)`.
+///
+/// # Example
+///
+/// ```
+/// use vsched_stats::TimeWeighted;
+///
+/// let mut tw = TimeWeighted::new(0.0);
+/// tw.update(2.0, 1.0); // value 1 on [0, 2)
+/// tw.update(6.0, 0.0); // value 0 on [2, 6)
+/// tw.update(10.0, 0.5); // value 0.5 on [6, 10)
+/// assert!((tw.time_average() - 0.4).abs() < 1e-12); // (2 + 0 + 2) / 10
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWeighted {
+    start: f64,
+    last_t: f64,
+    integral: f64,
+}
+
+impl TimeWeighted {
+    /// Starts observing at time `start`.
+    #[must_use]
+    pub fn new(start: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_t: start,
+            integral: 0.0,
+        }
+    }
+
+    /// Records that the signal held `value` over `[last_update_time, t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the previous update (time cannot run
+    /// backwards).
+    pub fn update(&mut self, t: f64, value: f64) {
+        assert!(
+            t >= self.last_t,
+            "time-weighted update must be monotone: {t} < {}",
+            self.last_t
+        );
+        self.integral += (t - self.last_t) * value;
+        self.last_t = t;
+    }
+
+    /// Total accumulated integral `∫ f dt`.
+    #[must_use]
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+
+    /// Total elapsed observation time.
+    #[must_use]
+    pub fn elapsed(&self) -> f64 {
+        self.last_t - self.start
+    }
+
+    /// Time average `∫ f dt / elapsed`; `0.0` if no time has elapsed.
+    #[must_use]
+    pub fn time_average(&self) -> f64 {
+        let e = self.elapsed();
+        if e <= 0.0 {
+            0.0
+        } else {
+            self.integral / e
+        }
+    }
+
+    /// Discards history and restarts observation at `t` (used after a
+    /// warm-up / transient-deletion period).
+    pub fn reset(&mut self, t: f64) {
+        self.start = t;
+        self.last_t = t;
+        self.integral = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal() {
+        let mut tw = TimeWeighted::new(0.0);
+        tw.update(5.0, 2.0);
+        tw.update(10.0, 2.0);
+        assert_eq!(tw.time_average(), 2.0);
+        assert_eq!(tw.integral(), 20.0);
+        assert_eq!(tw.elapsed(), 10.0);
+    }
+
+    #[test]
+    fn indicator_fraction() {
+        // On 30% of the time.
+        let mut tw = TimeWeighted::new(0.0);
+        tw.update(3.0, 1.0);
+        tw.update(10.0, 0.0);
+        assert!((tw.time_average() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_elapsed_is_zero() {
+        let tw = TimeWeighted::new(5.0);
+        assert_eq!(tw.time_average(), 0.0);
+    }
+
+    #[test]
+    fn zero_length_update_is_noop() {
+        let mut tw = TimeWeighted::new(0.0);
+        tw.update(0.0, 100.0);
+        assert_eq!(tw.integral(), 0.0);
+    }
+
+    #[test]
+    fn nonzero_start() {
+        let mut tw = TimeWeighted::new(100.0);
+        tw.update(110.0, 1.0);
+        assert_eq!(tw.time_average(), 1.0);
+        assert_eq!(tw.elapsed(), 10.0);
+    }
+
+    #[test]
+    fn reset_discards_history() {
+        let mut tw = TimeWeighted::new(0.0);
+        tw.update(10.0, 1.0);
+        tw.reset(10.0);
+        tw.update(20.0, 0.0);
+        assert_eq!(tw.time_average(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn rejects_backwards_time() {
+        let mut tw = TimeWeighted::new(0.0);
+        tw.update(5.0, 1.0);
+        tw.update(4.0, 1.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Warm-up (initial-transient) detection with MSER-5.
+//!
+//! Replications of the VCPU model start from an empty system; the first
+//! ticks are not representative of steady state. Rather than guessing a
+//! deletion point, MSER (White, 1997) picks the truncation that minimizes
+//! the *marginal standard error* of the remaining observations —
+//! batch-averaged over 5 observations in its standard MSER-5 form.
+
+/// Result of an MSER scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmupEstimate {
+    /// Number of raw observations to discard.
+    pub truncate: usize,
+    /// The minimized marginal-standard-error statistic.
+    pub mse: f64,
+}
+
+/// MSER-5: returns the truncation point (in raw observations) minimizing
+/// the marginal standard error over 5-observation batch means.
+///
+/// Returns `None` when there are fewer than 10 batches (too short to
+/// judge), or when the minimizer falls in the second half of the series —
+/// the standard validity condition indicating the run is too short for a
+/// reliable answer.
+#[must_use]
+pub fn mser5(xs: &[f64]) -> Option<WarmupEstimate> {
+    const BATCH: usize = 5;
+    let num_batches = xs.len() / BATCH;
+    if num_batches < 10 {
+        return None;
+    }
+    let batches: Vec<f64> = (0..num_batches)
+        .map(|b| xs[b * BATCH..(b + 1) * BATCH].iter().sum::<f64>() / BATCH as f64)
+        .collect();
+
+    // Suffix sums for O(n) evaluation of each candidate truncation.
+    let mut best: Option<(usize, f64)> = None;
+    let n = batches.len();
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    // Iterate truncation d from the end toward 0, accumulating suffixes.
+    let mut stats = Vec::with_capacity(n);
+    for &x in batches.iter().rev() {
+        sum += x;
+        sum_sq += x * x;
+        stats.push((sum, sum_sq));
+    }
+    for d in 0..n / 2 {
+        let kept = n - d;
+        let (s, ss) = stats[kept - 1];
+        let mean = s / kept as f64;
+        let var = (ss / kept as f64 - mean * mean).max(0.0);
+        // Marginal standard error criterion: var / kept.
+        let mse = var / kept as f64;
+        if best.is_none_or(|(_, b)| mse < b) {
+            best = Some((d, mse));
+        }
+    }
+    let (d, mse) = best?;
+    if d >= n / 2 {
+        return None;
+    }
+    Some(WarmupEstimate {
+        truncate: d * BATCH,
+        mse,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (*state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    #[test]
+    fn too_short_is_none() {
+        assert!(mser5(&[1.0; 20]).is_none());
+    }
+
+    #[test]
+    fn stationary_series_needs_no_truncation() {
+        let mut state = 1u64;
+        let xs: Vec<f64> = (0..2_000).map(|_| 5.0 + lcg(&mut state)).collect();
+        let est = mser5(&xs).unwrap();
+        assert!(
+            est.truncate <= 100,
+            "stationary data should truncate (almost) nothing, got {}",
+            est.truncate
+        );
+    }
+
+    #[test]
+    fn detects_initial_transient() {
+        // 300 observations of a decaying transient, then stationary noise.
+        let mut state = 2u64;
+        let xs: Vec<f64> = (0..3_000)
+            .map(|i| {
+                let transient = if i < 300 {
+                    10.0 * (1.0 - i as f64 / 300.0)
+                } else {
+                    0.0
+                };
+                5.0 + transient + lcg(&mut state)
+            })
+            .collect();
+        let est = mser5(&xs).unwrap();
+        assert!(
+            (150..=600).contains(&est.truncate),
+            "should cut roughly the transient (300), got {}",
+            est.truncate
+        );
+    }
+
+    #[test]
+    fn truncation_is_batch_aligned() {
+        let mut state = 3u64;
+        let xs: Vec<f64> = (0..1_000)
+            .map(|i| if i < 100 { 50.0 } else { lcg(&mut state) })
+            .collect();
+        let est = mser5(&xs).unwrap();
+        assert_eq!(est.truncate % 5, 0);
+        assert!(est.truncate >= 100, "must drop the level shift");
+    }
+}

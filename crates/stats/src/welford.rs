@@ -1,0 +1,226 @@
+//! Streaming sample moments via Welford's algorithm.
+
+/// Numerically stable streaming mean / variance / extrema accumulator.
+///
+/// # Example
+///
+/// ```
+/// use vsched_stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 5.0);
+/// assert!((w.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (divides by `n − 1`); `0.0` for fewer than
+    /// two observations.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (divides by `n`); `0.0` when empty.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s / sqrt(n)`.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sample_std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation; `+inf` when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-inf` when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford / Chan).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Welford {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut w = Welford::new();
+        for x in iter {
+            w.push(x);
+        }
+        w
+    }
+}
+
+impl Extend<f64> for Welford {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroish() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.std_error(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut w = Welford::new();
+        w.push(3.5);
+        assert_eq!(w.mean(), 3.5);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.min(), 3.5);
+        assert_eq!(w.max(), 3.5);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.25).collect();
+        let w: Welford = data.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var =
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-10);
+        assert!((w.sample_variance() - var).abs() < 1e-8);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 10.0 + 5.0).collect();
+        let (left, right) = data.split_at(200);
+        let mut a: Welford = left.iter().copied().collect();
+        let b: Welford = right.iter().copied().collect();
+        a.merge(&b);
+        let seq: Welford = data.iter().copied().collect();
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-10);
+        assert!((a.sample_variance() - seq.sample_variance()).abs() < 1e-8);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let mut a = Welford::new();
+        let b: Welford = [1.0, 2.0, 3.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.mean(), 2.0);
+        let mut c: Welford = [4.0].into_iter().collect();
+        c.merge(&Welford::new());
+        assert_eq!(c.mean(), 4.0);
+    }
+
+    #[test]
+    fn numerical_stability_large_offset() {
+        // Classic catastrophic-cancellation scenario.
+        let w: Welford = [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0]
+            .into_iter()
+            .collect();
+        assert!((w.mean() - (1e9 + 10.0)).abs() < 1e-3);
+        assert!((w.sample_variance() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extend_trait() {
+        let mut w = Welford::new();
+        w.extend([1.0, 2.0, 3.0]);
+        assert_eq!(w.count(), 3);
+        assert_eq!(w.mean(), 2.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Workload-consolidation study: how far can a host be oversubscribed
+//! before each scheduling algorithm falls over?
+//!
+//! Cloud operators consolidate VMs onto fewer hosts to save energy and
+//! cost (the paper's §I motivation). This example fixes a 4-PCPU host and
+//! adds guests one at a time (alternating 3- and 2-VCPU VMs — a uniform
+//! fleet of equal gangs would stay naturally lock-stepped under every
+//! policy and hide the effect), measuring average VCPU utilization for
+//! each algorithm — the knee of the curve is the practical consolidation
+//! limit.
+//!
+//! ```sh
+//! cargo run --release --example consolidation_study
+//! ```
+
+use vsched_core::{direct::DirectSim, PolicyKind, SystemConfig};
+
+fn main() {
+    let pcpus = 4;
+    println!("host: {pcpus} PCPUs; guests: alternating 3/2-VCPU VMs, 1:5 sync ratio\n");
+    println!(
+        "{:<4} {:>12} {:>10} {:>10} {:>10}",
+        "VMs", "VCPU:PCPU", "RRS", "SCS", "RCS"
+    );
+    for vms in 1..=6 {
+        let sizes: Vec<usize> = (0..vms).map(|i| if i % 2 == 0 { 3 } else { 2 }).collect();
+        let total: usize = sizes.iter().sum();
+        let utils: Vec<f64> = PolicyKind::paper_trio()
+            .iter()
+            .map(|kind| {
+                let mut b = SystemConfig::builder().pcpus(pcpus).sync_ratio(1, 5);
+                for &n in &sizes {
+                    b = b.vm(n);
+                }
+                let cfg = b.build().expect("valid config");
+                let mut sim = DirectSim::new(cfg, kind.create(), 7 + vms as u64);
+                sim.run(2_000).expect("warmup");
+                sim.reset_metrics();
+                sim.run(30_000).expect("measurement");
+                sim.metrics().avg_vcpu_utilization()
+            })
+            .collect();
+        println!(
+            "{:<4} {:>12} {:>10.3} {:>10.3} {:>10.3}",
+            vms,
+            format!("{total}:{pcpus}"),
+            utils[0],
+            utils[1],
+            utils[2],
+        );
+    }
+    println!(
+        "\nReading the table: below 1:1 oversubscription all algorithms are \
+         equivalent;\npast it, co-scheduling holds VCPU utilization \
+         (efficiency per guest) while\nround-robin pays growing \
+         synchronization latency."
+    );
+}

@@ -1,0 +1,83 @@
+//! Synchronization-latency anatomy: watching the VCPU-stacking /
+//! preempted-lock-holder problem happen, tick by tick.
+//!
+//! The paper's §II.B explains *why* round-robin hurts SMP VMs: the VCPU
+//! scheduler, unaware of guest-side critical sections (the "semantic
+//! gap"), preempts a VCPU mid-critical-section; its siblings then spin at
+//! the barrier until the holder is rescheduled. This example instruments a
+//! single SMP VM and reports how long barriers stay blocked under each
+//! algorithm, and how that shrinks as the sync ratio is relaxed.
+//!
+//! ```sh
+//! cargo run --release --example smp_sync_latency
+//! ```
+
+use vsched_core::{direct::DirectSim, PolicyKind, SystemConfig};
+use vsched_stats::P2Quantile;
+
+/// Measures mean and P95 blocked-streak length (in ticks) of VM 0 and its
+/// VCPU utilization.
+fn measure(kind: &PolicyKind, sync: (u32, u32), seed: u64) -> (f64, f64, f64) {
+    let cfg = SystemConfig::builder()
+        .pcpus(4)
+        .vm(2) // the SMP VM under observation
+        .vm(4) // a noisy neighbour oversubscribing the host
+        .sync_ratio(sync.0, sync.1)
+        .build()
+        .expect("valid config");
+    let mut sim = DirectSim::new(cfg, kind.create(), seed);
+    sim.run(2_000).expect("warmup");
+    sim.reset_metrics();
+
+    let mut streaks = Vec::new();
+    let mut p95 = P2Quantile::new(0.95).expect("valid quantile");
+    let mut current = 0u64;
+    for _ in 0..30_000 {
+        sim.tick().expect("tick");
+        if sim.vm_blocked(0) {
+            current += 1;
+        } else if current > 0 {
+            streaks.push(current);
+            p95.push(current as f64);
+            current = 0;
+        }
+    }
+    let mean_streak = if streaks.is_empty() {
+        0.0
+    } else {
+        streaks.iter().sum::<u64>() as f64 / streaks.len() as f64
+    };
+    let util = sim.metrics().avg_vcpu_utilization();
+    (mean_streak, p95.estimate().unwrap_or(0.0), util)
+}
+
+fn main() {
+    println!("SMP VM (2 VCPUs) + neighbour (4 VCPUs) on 4 PCPUs\n");
+    for sync in [(1u32, 5u32), (1, 3), (1, 2)] {
+        println!("sync ratio {}:{}", sync.0, sync.1);
+        println!(
+            "  {:<18} {:>22} {:>14} {:>12}",
+            "policy", "mean barrier (ticks)", "P95 barrier", "VCPU util"
+        );
+        for kind in PolicyKind::paper_trio() {
+            let (streak, p95, util) = measure(&kind, sync, 99);
+            println!(
+                "  {:<18} {:>22.1} {:>14.1} {:>12.3}",
+                kind.label(),
+                streak,
+                p95,
+                util
+            );
+        }
+        println!();
+    }
+    println!(
+        "Reading the table: RCS resolves barriers fastest in wall-clock time \
+         (co-stop parks\nthe waiters and fast-tracks the lagging holder). SCS \
+         shows the *longest* wall-clock\nbarrier residence — a barrier freezes \
+         whenever the whole gang is descheduled — yet\nthe highest VCPU \
+         utilization, because frozen waiters are INACTIVE, not burning\ntheir \
+         scheduled time. RRS is the worst of both: its barriers stay resident \
+         while\nwaiters spin READY behind a preempted lock holder."
+    );
+}

@@ -1,0 +1,121 @@
+//! Cross-validation of the two engines (experiment VAL1).
+//!
+//! The paper's Discussion (§V) lists "evaluating the fidelity of the model"
+//! as open work. These tests run the same configuration through the SAN
+//! engine (the paper's approach) and the independently implemented direct
+//! engine, and require their metric estimates to agree — the strongest
+//! fidelity evidence available without hardware.
+
+use vsched_core::{Engine, ExperimentBuilder, PolicyKind, SystemConfig};
+
+fn config(pcpus: usize, vms: &[usize], sync: (u32, u32)) -> SystemConfig {
+    let mut b = SystemConfig::builder().pcpus(pcpus).sync_ratio(sync.0, sync.1);
+    for &n in vms {
+        b = b.vm(n);
+    }
+    b.build().unwrap()
+}
+
+/// Runs both engines over several replications and checks that each metric
+/// mean agrees within `tol`.
+fn assert_engines_agree(cfg: SystemConfig, kind: PolicyKind, tol: f64) {
+    let build = |engine| {
+        ExperimentBuilder::new(cfg.clone(), kind.clone())
+            .engine(engine)
+            .warmup(1_000)
+            .horizon(10_000)
+            .replications_exact(5)
+            .run()
+            .unwrap()
+    };
+    let san = build(Engine::San);
+    let direct = build(Engine::Direct);
+    let pairs = [
+        ("availability", san.vcpu_availability_means(), direct.vcpu_availability_means()),
+        ("vcpu util", san.vcpu_utilization_means(), direct.vcpu_utilization_means()),
+        ("pcpu util", san.pcpu_utilization_means(), direct.pcpu_utilization_means()),
+    ];
+    for (name, s, d) in pairs {
+        for (i, (a, b)) in s.iter().zip(&d).enumerate() {
+            assert!(
+                (a - b).abs() < tol,
+                "{kind} / {}: {name}[{i}] disagrees: SAN {a:.4} vs direct {b:.4}",
+                cfg.describe()
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_agree_rrs_contended() {
+    assert_engines_agree(config(2, &[2, 1, 1], (1, 5)), PolicyKind::RoundRobin, 0.03);
+}
+
+#[test]
+fn engines_agree_rrs_saturating_sync() {
+    assert_engines_agree(config(4, &[2, 4], (1, 2)), PolicyKind::RoundRobin, 0.04);
+}
+
+#[test]
+fn engines_agree_scs() {
+    assert_engines_agree(config(4, &[2, 3], (1, 5)), PolicyKind::StrictCo, 0.04);
+}
+
+#[test]
+fn engines_agree_rcs() {
+    assert_engines_agree(
+        config(2, &[2, 1, 1], (1, 5)),
+        PolicyKind::relaxed_co_default(),
+        0.04,
+    );
+}
+
+#[test]
+fn engines_agree_balance_and_credit() {
+    assert_engines_agree(config(3, &[2, 2], (1, 5)), PolicyKind::Balance, 0.04);
+    assert_engines_agree(config(3, &[2, 2], (1, 5)), PolicyKind::credit_default(), 0.04);
+}
+
+/// Deterministic workloads remove all randomness except policy behaviour:
+/// the engines must then agree almost exactly.
+#[test]
+fn engines_agree_exactly_without_randomness() {
+    use vsched_core::{direct::DirectSim, san_model::SanSystem, VmSpec, WorkloadSpec};
+    use vsched_des::Dist;
+
+    let w = WorkloadSpec {
+        load: Dist::deterministic(7.0).unwrap(),
+        sync_probability: 0.0,
+        sync_mechanism: Default::default(),
+        sync_every: None,
+        interarrival: None,
+    };
+    let mk = || {
+        SystemConfig::builder()
+            .pcpus(1)
+            .vm_spec(VmSpec {
+                vcpus: 1,
+                workload: w.clone(),
+                weight: 1,
+            })
+            .vm_spec(VmSpec {
+                vcpus: 1,
+                workload: w.clone(),
+                weight: 1,
+            })
+            .build()
+            .unwrap()
+    };
+    let mut direct = DirectSim::new(mk(), PolicyKind::RoundRobin.create(), 1);
+    direct.run(5_000).unwrap();
+    let mut san = SanSystem::new(mk(), PolicyKind::RoundRobin.create(), 1).unwrap();
+    san.run(5_000).unwrap();
+    let d = direct.metrics();
+    let s = san.metrics();
+    for (a, b) in d.to_observations().iter().zip(s.to_observations()) {
+        assert!(
+            (a - b).abs() < 1e-3,
+            "deterministic run must match: {a} vs {b}\n direct {d:?}\n san {s:?}"
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Experiment-harness behaviour: the Mobius-style stopping rule, report
+//! structure, custom user policies through the public trait, and
+//! serialization of experiment configuration.
+
+use vsched_core::{
+    Engine, ExperimentBuilder, PcpuView, PolicyKind, ScheduleDecision, SchedulingPolicy,
+    SystemConfig, VcpuView,
+};
+use vsched_stats::StoppingRule;
+
+fn fig8_config(pcpus: usize) -> SystemConfig {
+    SystemConfig::builder()
+        .pcpus(pcpus)
+        .vm(2)
+        .vm(1)
+        .vm(1)
+        .sync_ratio(1, 5)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn paper_stopping_rule_yields_tight_intervals() {
+    // The paper reports "95% confidence level and <0.1 confidence interval".
+    let report = ExperimentBuilder::new(fig8_config(2), PolicyKind::RoundRobin)
+        .engine(Engine::Direct)
+        .warmup(1_000)
+        .horizon(10_000)
+        .run()
+        .unwrap();
+    for ci in report
+        .vcpu_availability
+        .iter()
+        .chain(&report.vcpu_utilization)
+        .chain(&report.pcpu_utilization)
+    {
+        assert_eq!(ci.level, 0.95);
+        assert!(
+            ci.half_width <= 0.05 || report.replications >= 40,
+            "interval too wide: {ci}"
+        );
+    }
+    assert!(report.replications >= 5);
+}
+
+#[test]
+fn custom_stopping_rule_is_respected() {
+    let rule = StoppingRule::new(0.99, 0.02)
+        .with_min_replications(8)
+        .with_max_replications(12);
+    let report = ExperimentBuilder::new(fig8_config(4), PolicyKind::RoundRobin)
+        .engine(Engine::Direct)
+        .warmup(200)
+        .horizon(2_000)
+        .stopping_rule(rule)
+        .run()
+        .unwrap();
+    assert!(report.replications >= 8);
+    assert!(report.replications <= 12);
+    assert_eq!(report.vcpu_availability[0].level, 0.99);
+}
+
+/// A user-defined scheduling algorithm, plugged in exactly the way the
+/// paper's C interface intends: a VM-0-first priority policy.
+#[derive(Debug, Default)]
+struct Vm0First;
+
+impl SchedulingPolicy for Vm0First {
+    fn name(&self) -> &str {
+        "vm0-first"
+    }
+    fn schedule(
+        &mut self,
+        vcpus: &[VcpuView],
+        pcpus: &[PcpuView],
+        _timestamp: u64,
+        timeslice: u64,
+    ) -> ScheduleDecision {
+        let mut decision = ScheduleDecision::none();
+        let mut idle: Vec<usize> = pcpus.iter().filter(|p| p.is_idle()).map(|p| p.id).collect();
+        let mut ordered: Vec<&VcpuView> = vcpus.iter().collect();
+        ordered.sort_by_key(|v| (v.id.vm, v.id.sibling));
+        for v in ordered {
+            if !v.is_schedulable() {
+                continue;
+            }
+            let Some(p) = idle.pop() else { break };
+            decision.assign(v.id.global, p, timeslice);
+        }
+        decision
+    }
+}
+
+#[test]
+fn user_defined_policy_runs_through_both_engines() {
+    // Plug the custom policy directly into each engine.
+    use vsched_core::{direct::DirectSim, san_model::SanSystem};
+    let cfg = fig8_config(1);
+    let mut direct = DirectSim::new(cfg.clone(), Box::new(Vm0First), 3);
+    direct.run(5_000).unwrap();
+    let dm = direct.metrics();
+    // VM 0 hogs the single PCPU; VMs 1 and 2 starve.
+    assert!(dm.vcpu_availability[0] + dm.vcpu_availability[1] > 0.9);
+    assert!(dm.vcpu_availability[3] < 0.1);
+
+    let mut san = SanSystem::new(cfg, Box::new(Vm0First), 3).unwrap();
+    san.run(5_000).unwrap();
+    let sm = san.metrics();
+    assert!(sm.vcpu_availability[0] + sm.vcpu_availability[1] > 0.9);
+    assert!(sm.vcpu_availability[3] < 0.1);
+}
+
+#[test]
+fn policy_kind_serializes() {
+    let kinds = vec![
+        PolicyKind::RoundRobin,
+        PolicyKind::relaxed_co_default(),
+        PolicyKind::credit_default(),
+    ];
+    for kind in kinds {
+        let json = serde_json::to_string(&kind).unwrap();
+        let back: PolicyKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(kind, back);
+    }
+}
+
+#[test]
+fn sample_metrics_serialize() {
+    let report = ExperimentBuilder::new(fig8_config(2), PolicyKind::RoundRobin)
+        .engine(Engine::Direct)
+        .warmup(100)
+        .horizon(1_000)
+        .replications_exact(2)
+        .run()
+        .unwrap();
+    // SampleMetrics round-trips through JSON (used by the bench harness).
+    let sample = ExperimentBuilder::new(fig8_config(2), PolicyKind::RoundRobin)
+        .engine(Engine::Direct)
+        .warmup(100)
+        .horizon(1_000)
+        .run_replication(0)
+        .unwrap();
+    let json = serde_json::to_string(&sample).unwrap();
+    let back: vsched_core::SampleMetrics = serde_json::from_str(&json).unwrap();
+    assert_eq!(sample, back);
+    assert!(report.replications >= 2);
+}
+
+#[test]
+fn replication_seeds_are_distinct_but_reproducible() {
+    let builder = ExperimentBuilder::new(fig8_config(2), PolicyKind::RoundRobin)
+        .engine(Engine::Direct)
+        .warmup(100)
+        .horizon(2_000);
+    let a0 = builder.run_replication(0).unwrap();
+    let a0_again = builder.run_replication(0).unwrap();
+    let a1 = builder.run_replication(1).unwrap();
+    assert_eq!(a0, a0_again, "same replication index → identical run");
+    assert_ne!(a0, a1, "different replication index → different run");
+}

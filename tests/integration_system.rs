@@ -1,0 +1,174 @@
+//! End-to-end tests through the public API, including property-based tests
+//! over random system configurations.
+
+use proptest::prelude::*;
+use vsched_core::{
+    direct::DirectSim, san_model::SanSystem, Engine, ExperimentBuilder, PolicyKind, SystemConfig,
+};
+
+fn config(pcpus: usize, vms: &[usize]) -> SystemConfig {
+    let mut b = SystemConfig::builder().pcpus(pcpus);
+    for &n in vms {
+        b = b.vm(n);
+    }
+    b.build().unwrap()
+}
+
+fn all_policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::RoundRobin,
+        PolicyKind::StrictCo,
+        PolicyKind::relaxed_co_default(),
+        PolicyKind::Balance,
+        PolicyKind::credit_default(),
+        PolicyKind::sedf_default(),
+        PolicyKind::bvt_default(),
+        PolicyKind::Fcfs,
+    ]
+}
+
+#[test]
+fn quickstart_flow_works() {
+    let cfg = config(2, &[2, 1, 1]);
+    let report = ExperimentBuilder::new(cfg, PolicyKind::RoundRobin)
+        .engine(Engine::Direct)
+        .warmup(500)
+        .horizon(5_000)
+        .replications_exact(3)
+        .run()
+        .unwrap();
+    assert_eq!(report.vcpu_availability.len(), 4);
+    // 4 saturated VCPUs on 2 PCPUs under RRS: each gets about half.
+    for ci in &report.vcpu_availability {
+        assert!((ci.mean - 0.5).abs() < 0.05, "{ci}");
+    }
+}
+
+#[test]
+fn every_policy_runs_on_both_engines() {
+    let cfg = config(2, &[2, 1]);
+    for kind in all_policies() {
+        let mut direct = DirectSim::new(cfg.clone(), kind.create(), 7);
+        direct
+            .run(2_000)
+            .unwrap_or_else(|e| panic!("{kind}: direct engine failed: {e}"));
+        let mut san = SanSystem::new(cfg.clone(), kind.create(), 7).unwrap();
+        san.run(2_000)
+            .unwrap_or_else(|e| panic!("{kind}: SAN engine failed: {e}"));
+        for m in [direct.metrics(), san.metrics()] {
+            for x in m.to_observations() {
+                assert!((0.0..=1.0).contains(&x), "{kind}: metric {x} out of range");
+            }
+        }
+    }
+}
+
+/// Total PCPU-time handed out equals total VCPU-ACTIVE time: every ACTIVE
+/// VCPU occupies exactly one PCPU, so the sums must agree exactly.
+#[test]
+fn pcpu_vcpu_time_conservation() {
+    for kind in all_policies() {
+        let cfg = config(3, &[2, 2, 1]);
+        let mut sim = DirectSim::new(cfg, kind.create(), 11);
+        sim.run(5_000).unwrap();
+        let m = sim.metrics();
+        let pcpu_time: f64 = m.pcpu_utilization.iter().sum();
+        let vcpu_time: f64 = m.vcpu_availability.iter().sum();
+        assert!(
+            (pcpu_time - vcpu_time).abs() < 1e-9,
+            "{kind}: conservation violated: {pcpu_time} vs {vcpu_time}"
+        );
+    }
+}
+
+#[test]
+fn utilization_is_a_valid_ratio_of_scheduled_time() {
+    for kind in all_policies() {
+        let cfg = config(2, &[2, 2]);
+        let mut sim = DirectSim::new(cfg, kind.create(), 13);
+        sim.run(5_000).unwrap();
+        let m = sim.metrics();
+        for (a, u) in m.vcpu_availability.iter().zip(&m.vcpu_utilization) {
+            assert!((0.0..=1.0).contains(u), "{kind}: utilization {u}");
+            if *a == 0.0 {
+                assert_eq!(*u, 0.0, "{kind}: never-scheduled VCPU has zero utilization");
+            }
+        }
+    }
+}
+
+#[test]
+fn more_pcpus_never_reduce_availability() {
+    // Under RRS, adding PCPUs weakly increases every VCPU's availability.
+    let mut last_avg = 0.0;
+    for pcpus in 1..=4 {
+        let cfg = config(pcpus, &[2, 1, 1]);
+        let mut sim = DirectSim::new(cfg, PolicyKind::RoundRobin.create(), 17);
+        sim.run(20_000).unwrap();
+        let avg = sim.metrics().avg_vcpu_availability();
+        assert!(
+            avg >= last_avg - 0.01,
+            "availability regressed at {pcpus} PCPUs: {avg} < {last_avg}"
+        );
+        last_avg = avg;
+    }
+    assert!(last_avg > 0.95, "4 PCPUs serve 4 VCPUs fully, got {last_avg}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random small system, any policy, both engines: no panics, no
+    /// policy violations, all metrics in range, conservation holds.
+    #[test]
+    fn random_systems_run_clean(
+        pcpus in 1usize..5,
+        vm_sizes in proptest::collection::vec(1usize..4, 1..4),
+        policy_idx in 0usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let kind = all_policies().remove(policy_idx);
+        let mut b = SystemConfig::builder().pcpus(pcpus);
+        for &n in &vm_sizes {
+            b = b.vm(n);
+        }
+        let cfg = b.build().unwrap();
+
+        let mut direct = DirectSim::new(cfg.clone(), kind.create(), seed);
+        direct.run(500).unwrap();
+        let dm = direct.metrics();
+        for x in dm.to_observations() {
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+        let pcpu_time: f64 = dm.pcpu_utilization.iter().sum();
+        let vcpu_time: f64 = dm.vcpu_availability.iter().sum();
+        prop_assert!((pcpu_time - vcpu_time).abs() < 1e-9);
+
+        let mut san = SanSystem::new(cfg, kind.create(), seed).unwrap();
+        san.run(500).unwrap();
+        let sm = san.metrics();
+        for x in sm.to_observations() {
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    /// The scheduler never over-commits: average availability is bounded by
+    /// the PCPU-to-VCPU ratio.
+    #[test]
+    fn availability_bounded_by_resources(
+        pcpus in 1usize..4,
+        vm_sizes in proptest::collection::vec(1usize..4, 1..3),
+        seed in 0u64..100,
+    ) {
+        let mut b = SystemConfig::builder().pcpus(pcpus);
+        for &n in &vm_sizes {
+            b = b.vm(n);
+        }
+        let cfg = b.build().unwrap();
+        let total_vcpus: usize = vm_sizes.iter().sum();
+        let mut sim = DirectSim::new(cfg, PolicyKind::RoundRobin.create(), seed);
+        sim.run(2_000).unwrap();
+        let bound = (pcpus as f64 / total_vcpus as f64).min(1.0);
+        prop_assert!(sim.metrics().avg_vcpu_availability() <= bound + 1e-9);
+    }
+}
