@@ -32,12 +32,9 @@ fn bench_san(c: &mut Criterion) {
     for (name, pcpus, vms) in scale_cases() {
         group.bench_with_input(BenchmarkId::new("ticks", &name), &(), |b, ()| {
             b.iter(|| {
-                let mut sys = SanSystem::new(
-                    config(pcpus, &vms),
-                    PolicyKind::RoundRobin.create(),
-                    42,
-                )
-                .expect("model builds");
+                let mut sys =
+                    SanSystem::new(config(pcpus, &vms), PolicyKind::RoundRobin.create(), 42)
+                        .expect("model builds");
                 sys.run(TICKS).expect("runs");
                 sys.metrics()
             });

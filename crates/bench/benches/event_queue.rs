@@ -77,5 +77,10 @@ fn bench_cancellation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedule_pop, bench_hold_model, bench_cancellation);
+criterion_group!(
+    benches,
+    bench_schedule_pop,
+    bench_hold_model,
+    bench_cancellation
+);
 criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Scaling of the batched replication executor across worker counts.
+//!
+//! Two views:
+//!
+//! * `replication_scaling/*` — a real exact-count experiment (Direct
+//!   engine) at 1/2/4/8 workers. Speedup tracks physical cores: on a
+//!   4-core host expect >1.5x at 4 workers; on a 1-core host expect flat
+//!   timings (which also bounds the executor's overhead).
+//! * `executor_overlap/*` — the same pool driving latency-bound tasks
+//!   (sleeps), isolating pool overlap from core count: wall-clock here
+//!   scales with workers even on a single-CPU machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use vsched_bench::paper_config;
+use vsched_core::{Engine, ExperimentBuilder, PolicyKind};
+
+const REPLICATIONS: usize = 16;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_replications(c: &mut Criterion) {
+    let config = paper_config(4, &[2, 1, 1], (1, 5));
+    let mut group = c.benchmark_group("replication_scaling");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REPLICATIONS as u64));
+    for jobs in WORKER_COUNTS {
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                ExperimentBuilder::new(config.clone(), PolicyKind::RoundRobin)
+                    .engine(Engine::Direct)
+                    .warmup(200)
+                    .horizon(2_000)
+                    .replications_exact(REPLICATIONS)
+                    .jobs(jobs)
+                    .run()
+                    .expect("benchmark experiment")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor_overlap");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REPLICATIONS as u64));
+    for jobs in WORKER_COUNTS {
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                vsched_exec::run_indexed(jobs, 0, REPLICATIONS, |rep| {
+                    std::thread::sleep(Duration::from_millis(2));
+                    Ok::<u64, ()>(rep)
+                })
+                .expect("sleep task cannot fail")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replications, bench_overlap);
+criterion_main!(benches);

@@ -41,7 +41,11 @@ fn config(load: Dist, interarrival: Option<Dist>) -> SystemConfig {
 
 fn main() {
     let cases: Vec<(&str, Dist, Option<Dist>)> = vec![
-        ("det(10) [resonant]", Dist::deterministic(10.0).unwrap(), None),
+        (
+            "det(10) [resonant]",
+            Dist::deterministic(10.0).unwrap(),
+            None,
+        ),
         ("det(13)", Dist::deterministic(13.0).unwrap(), None),
         ("uniform(8,12)", Dist::uniform(8.0, 12.0).unwrap(), None),
         ("uniform(5,15)", Dist::uniform(5.0, 15.0).unwrap(), None),

@@ -13,9 +13,7 @@
 
 use serde_json::json;
 use vsched_bench::report::{write_json, Table};
-use vsched_core::{
-    Engine, ExperimentBuilder, PolicyKind, SystemConfig, VmSpec, WorkloadSpec,
-};
+use vsched_core::{Engine, ExperimentBuilder, PolicyKind, SystemConfig, VmSpec, WorkloadSpec};
 use vsched_des::Dist;
 
 fn config(vm_sizes: &[usize], sync_probability: f64) -> SystemConfig {

@@ -258,6 +258,10 @@ pub struct ExperimentConfig {
     /// Base RNG seed (default 0x5eed).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub seed: Option<u64>,
+    /// Replication worker threads; omit (or `0`) for one per core. Any
+    /// value produces bit-identical results — see `vsched-exec`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub jobs: Option<usize>,
 }
 
 impl ExperimentConfig {
@@ -340,12 +344,14 @@ mod tests {
         "warmup": 500,
         "horizon": 5000,
         "replications": 3,
-        "seed": 42
+        "seed": 42,
+        "jobs": 2
     }"#;
 
     #[test]
     fn full_config_round_trips() {
         let cfg = ExperimentConfig::from_json(FULL).unwrap();
+        assert_eq!(cfg.jobs, Some(2));
         let json = serde_json::to_string(&cfg).unwrap();
         let back = ExperimentConfig::from_json(&json).unwrap();
         assert_eq!(cfg, back);
@@ -392,6 +398,7 @@ mod tests {
         assert_eq!(cfg.warmup, 1_000);
         assert_eq!(cfg.horizon, 20_000);
         assert!(cfg.replications.is_none());
+        assert!(cfg.jobs.is_none(), "jobs defaults to auto");
         let system = cfg.system().unwrap();
         assert_eq!(system.timeslice(), 30);
     }

@@ -1,7 +1,7 @@
 //! The `vsched` command: run VCPU-scheduling experiments from JSON configs.
 //!
 //! ```text
-//! vsched run <config.json> [--out results.json]   run an experiment file
+//! vsched run <config.json> [--out results.json] [--jobs N]
 //! vsched example                                  print a starter config
 //! vsched help                                     this message
 //! ```
@@ -17,7 +17,7 @@ const HELP: &str = "\
 vsched — simulate and compare VCPU scheduling algorithms
 
 USAGE:
-    vsched run <config.json> [--out <results.json>]
+    vsched run <config.json> [--out <results.json>] [--jobs <N>]
     vsched example
     vsched help
 
@@ -25,6 +25,12 @@ COMMANDS:
     run       Simulate the experiment described by a JSON config file and
               print a comparison of the configured policies.
     example   Print a commented starter config to stdout.
+
+OPTIONS:
+    --out <path>   Also write results (with the config) as JSON.
+    --jobs <N>     Replication worker threads (default: one per core;
+                   overrides the config's `jobs` field). Results are
+                   bit-identical for every N.
 
 The config format is documented in the vsched-cli crate docs; `vsched
 example > exp.json` is the quickest start.";
@@ -70,6 +76,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> ExitCode {
     let mut config_path: Option<&str> = None;
     let mut out_path: Option<&str> = None;
+    let mut jobs: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -77,6 +84,13 @@ fn run(args: &[String]) -> ExitCode {
                 Some(p) => out_path = Some(p),
                 None => {
                     eprintln!("error: --out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => jobs = Some(n),
+                _ => {
+                    eprintln!("error: --jobs requires a number");
                     return ExitCode::FAILURE;
                 }
             },
@@ -91,7 +105,7 @@ fn run(args: &[String]) -> ExitCode {
         eprintln!("error: `vsched run` needs a config file\n\n{HELP}");
         return ExitCode::FAILURE;
     };
-    match run_experiment(config_path, out_path) {
+    match run_experiment(config_path, out_path, jobs) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -100,12 +114,18 @@ fn run(args: &[String]) -> ExitCode {
     }
 }
 
-fn run_experiment(config_path: &str, out_path: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
-    let text = fs::read_to_string(config_path)
-        .map_err(|e| format!("cannot read {config_path}: {e}"))?;
+fn run_experiment(
+    config_path: &str,
+    out_path: Option<&str>,
+    jobs_flag: Option<usize>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let text =
+        fs::read_to_string(config_path).map_err(|e| format!("cannot read {config_path}: {e}"))?;
     let config = ExperimentConfig::from_json(&text)?;
     let system = config.system()?;
     let engine = config.engine_kind()?;
+    // Command line beats config file; both default to one worker per core.
+    let jobs = jobs_flag.or(config.jobs);
     println!(
         "system: {}   engine: {}   warmup {} / horizon {} ticks",
         system.describe(),
@@ -124,6 +144,9 @@ fn run_experiment(config_path: &str, out_path: Option<&str>) -> Result<(), Box<d
         }
         if let Some(seed) = config.seed {
             builder = builder.seed(seed);
+        }
+        if let Some(jobs) = jobs {
+            builder = builder.jobs(jobs);
         }
         let report = builder.run()?;
         print!("{}", render_report(&system, &policy, &report));

@@ -4,11 +4,7 @@ use vsched_core::{MetricsReport, PolicyKind, SystemConfig};
 
 /// Renders one policy's report as an aligned text block.
 #[must_use]
-pub fn render_report(
-    system: &SystemConfig,
-    policy: &PolicyKind,
-    report: &MetricsReport,
-) -> String {
+pub fn render_report(system: &SystemConfig, policy: &PolicyKind, report: &MetricsReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "policy {} ({} replications)\n",

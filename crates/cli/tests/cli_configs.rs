@@ -19,12 +19,15 @@ fn shipped_configs_parse_and_build() {
         }
         found += 1;
         let text = fs::read_to_string(&path).expect("readable config");
-        let config = ExperimentConfig::from_json(&text)
-            .unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        let config = ExperimentConfig::from_json(&text).unwrap_or_else(|e| panic!("{path:?}: {e}"));
         let system = config.system().unwrap_or_else(|e| panic!("{path:?}: {e}"));
         assert!(system.total_vcpus() > 0);
-        config.policy_kinds().unwrap_or_else(|e| panic!("{path:?}: {e}"));
-        config.engine_kind().unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        config
+            .policy_kinds()
+            .unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        config
+            .engine_kind()
+            .unwrap_or_else(|e| panic!("{path:?}: {e}"));
     }
     assert!(found >= 4, "expected the shipped configs, found {found}");
 }

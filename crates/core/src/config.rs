@@ -401,11 +401,23 @@ mod tests {
 
     #[test]
     fn vcpu_ids_are_consistent() {
-        let c = SystemConfig::builder().pcpus(2).vm(3).vm(2).build().unwrap();
+        let c = SystemConfig::builder()
+            .pcpus(2)
+            .vm(3)
+            .vm(2)
+            .build()
+            .unwrap();
         for (g, id) in c.vcpu_ids().iter().enumerate() {
             assert_eq!(id.global, g);
         }
-        assert_eq!(c.vcpu_ids()[3], VcpuId { vm: 1, sibling: 0, global: 3 });
+        assert_eq!(
+            c.vcpu_ids()[3],
+            VcpuId {
+                vm: 1,
+                sibling: 0,
+                global: 3
+            }
+        );
     }
 
     #[test]

@@ -322,12 +322,9 @@ impl DirectSim {
         // Phase 4: run the pluggable scheduling algorithm.
         let vcpu_views = self.vcpu_views();
         let pcpu_views = self.pcpu_views();
-        let decision = self.policy.schedule(
-            &vcpu_views,
-            &pcpu_views,
-            self.tick,
-            self.config.timeslice(),
-        );
+        let decision =
+            self.policy
+                .schedule(&vcpu_views, &pcpu_views, self.tick, self.config.timeslice());
         validate_decision(self.policy.name(), &vcpu_views, &pcpu_views, &decision)?;
         for &g in &decision.preemptions {
             self.schedule_out(g);
@@ -425,8 +422,7 @@ impl DirectSim {
                     if v.active_ticks == 0 {
                         0.0
                     } else {
-                        v.busy_ticks.saturating_sub(v.spin_ticks) as f64
-                            / v.active_ticks as f64
+                        v.busy_ticks.saturating_sub(v.spin_ticks) as f64 / v.active_ticks as f64
                     }
                 })
                 .collect(),
@@ -496,7 +492,7 @@ impl DirectSim {
             let load = sample_ticks(&spec.load, rng);
             self.vms[vm].generated += 1;
             let sync = match spec.sync_every {
-                Some(k) => self.vms[vm].generated % u64::from(k) == 0,
+                Some(k) => self.vms[vm].generated.is_multiple_of(u64::from(k)),
                 None => rng.next_bool(spec.sync_probability),
             };
             if spec.interarrival.is_some() {

@@ -162,7 +162,7 @@ fn sync_latency_hurts_rrs_vcpu_utilization() {
             },
             sync_probability,
             sync_mechanism: Default::default(),
-        sync_every: None,
+            sync_every: None,
             interarrival: None,
         };
         config_with_workload(4, &[2, 4], w)
@@ -222,16 +222,8 @@ fn rrs_is_fair_at_every_pcpu_count() {
         let mut sim = DirectSim::new(cfg, PolicyKind::RoundRobin.create(), 9);
         sim.run(20_000).unwrap();
         let m = sim.metrics();
-        let max = m
-            .vcpu_availability
-            .iter()
-            .cloned()
-            .fold(f64::MIN, f64::max);
-        let min = m
-            .vcpu_availability
-            .iter()
-            .cloned()
-            .fold(f64::MAX, f64::min);
+        let max = m.vcpu_availability.iter().cloned().fold(f64::MIN, f64::max);
+        let min = m.vcpu_availability.iter().cloned().fold(f64::MAX, f64::min);
         assert!(
             max - min < 0.06,
             "RRS unfair at {pcpus} PCPUs: {:?}",
@@ -380,9 +372,22 @@ fn trace_records_scheduling_lifecycle() {
     let events = trace.events();
     assert!(matches!(
         events[0],
-        TraceEvent::ScheduleIn { tick: 1, vcpu: 0, pcpu: 0, .. }
+        TraceEvent::ScheduleIn {
+            tick: 1,
+            vcpu: 0,
+            pcpu: 0,
+            ..
+        }
     ));
-    assert!(matches!(events[1], TraceEvent::Dispatch { tick: 1, vcpu: 0, load: 3, sync: false }));
+    assert!(matches!(
+        events[1],
+        TraceEvent::Dispatch {
+            tick: 1,
+            vcpu: 0,
+            load: 3,
+            sync: false
+        }
+    ));
     assert!(
         events
             .iter()
@@ -452,8 +457,12 @@ fn trace_records_barrier_blocking() {
     sim.enable_trace(1000);
     sim.run(20).unwrap();
     let events = sim.trace().unwrap().events();
-    assert!(events.iter().any(|e| matches!(e, TraceEvent::Blocked { vm: 0, .. })));
-    assert!(events.iter().any(|e| matches!(e, TraceEvent::Unblocked { vm: 0, .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Blocked { vm: 0, .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Unblocked { vm: 0, .. })));
 }
 
 #[test]

@@ -36,7 +36,10 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid system configuration: {reason}")
             }
             CoreError::PolicyViolation { policy, reason } => {
-                write!(f, "scheduling policy `{policy}` violated an invariant: {reason}")
+                write!(
+                    f,
+                    "scheduling policy `{policy}` violated an invariant: {reason}"
+                )
             }
             CoreError::San(e) => write!(f, "SAN engine error: {e}"),
             CoreError::Stats(e) => write!(f, "statistics error: {e}"),

@@ -310,7 +310,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "VCPU count")]
     fn vm_grouping_checks_arity() {
-        let config = crate::SystemConfig::builder().pcpus(1).vm(3).build().unwrap();
+        let config = crate::SystemConfig::builder()
+            .pcpus(1)
+            .vm(3)
+            .build()
+            .unwrap();
         let m = SampleMetrics {
             vcpu_availability: vec![0.5],
             vcpu_utilization: vec![0.5],

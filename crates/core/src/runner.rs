@@ -1,12 +1,12 @@
 //! The experiment runner: replicated simulations with Mobius-style
 //! confidence-interval termination, over either engine.
 
-use vsched_stats::{ConfidenceInterval, ReplicationController, StoppingRule};
+use vsched_stats::{ConfidenceInterval, StoppingRule};
 
 use crate::config::SystemConfig;
 use crate::direct::DirectSim;
 use crate::error::CoreError;
-use crate::metrics::{observation_arity, MetricsReport, SampleMetrics};
+use crate::metrics::{MetricsReport, SampleMetrics};
 use crate::san_model::SanSystem;
 use crate::sched::PolicyKind;
 
@@ -38,6 +38,7 @@ pub struct ExperimentBuilder {
     rule: StoppingRule,
     exact_replications: Option<usize>,
     parallel: bool,
+    jobs: Option<usize>,
 }
 
 impl ExperimentBuilder {
@@ -56,6 +57,7 @@ impl ExperimentBuilder {
                 .with_max_replications(40),
             exact_replications: None,
             parallel: true,
+            jobs: None,
         }
     }
 
@@ -95,20 +97,39 @@ impl ExperimentBuilder {
     }
 
     /// Runs exactly `n` replications instead of a stopping rule (`n ≥ 2`).
-    /// Exact-count experiments may run replications in parallel.
     #[must_use]
     pub fn replications_exact(mut self, n: usize) -> Self {
         self.exact_replications = Some(n);
         self
     }
 
-    /// Enables/disables parallel replications for exact-count experiments
-    /// (default enabled; stopping-rule experiments are always sequential,
-    /// since each replication decides whether another is needed).
+    /// Enables/disables parallel replications (default enabled). Results
+    /// are bit-identical either way: replications are merged in index
+    /// order, so threading never changes the statistics.
     #[must_use]
     pub fn parallel(mut self, yes: bool) -> Self {
         self.parallel = yes;
         self
+    }
+
+    /// Caps the replication worker pool at `jobs` threads. `0` restores
+    /// the default (one worker per available core). Any value yields
+    /// bit-identical results; this knob only trades wall-clock time for
+    /// CPU occupancy.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = if jobs == 0 { None } else { Some(jobs) };
+        self
+    }
+
+    /// The worker count [`ExperimentBuilder::run`] will use.
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        if self.parallel {
+            vsched_exec::resolve_jobs(self.jobs)
+        } else {
+            1
+        }
     }
 
     /// Runs one replication with the given index and returns its metrics.
@@ -120,16 +141,14 @@ impl ExperimentBuilder {
         let seed = self.seed.wrapping_add(rep);
         match self.engine {
             Engine::Direct => {
-                let mut sim =
-                    DirectSim::new(self.config.clone(), self.policy.create(), seed);
+                let mut sim = DirectSim::new(self.config.clone(), self.policy.create(), seed);
                 sim.run(self.warmup)?;
                 sim.reset_metrics();
                 sim.run(self.horizon)?;
                 Ok(sim.metrics())
             }
             Engine::San => {
-                let mut sys =
-                    SanSystem::new(self.config.clone(), self.policy.create(), seed)?;
+                let mut sys = SanSystem::new(self.config.clone(), self.policy.create(), seed)?;
                 sys.run(self.warmup)?;
                 sys.reset_metrics();
                 sys.run(self.horizon)?;
@@ -157,22 +176,8 @@ impl ExperimentBuilder {
                 reason: format!("need at least 2 replications for confidence intervals, got {n}"),
             });
         }
-        let samples: Vec<SampleMetrics> = if self.parallel && n > 1 {
-            let results: Vec<Result<SampleMetrics, CoreError>> = std::thread::scope(|s| {
-                let handles: Vec<_> = (0..n as u64)
-                    .map(|rep| s.spawn(move || self.run_replication(rep)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("replication thread must not panic"))
-                    .collect()
-            });
-            results.into_iter().collect::<Result<_, _>>()?
-        } else {
-            (0..n as u64)
-                .map(|rep| self.run_replication(rep))
-                .collect::<Result<_, _>>()?
-        };
+        let samples: Vec<SampleMetrics> =
+            vsched_exec::run_indexed(self.effective_jobs(), 0, n, |rep| self.run_replication(rep))?;
         let arity = samples[0].to_observations().len();
         let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(n); arity];
         for s in &samples {
@@ -193,14 +198,12 @@ impl ExperimentBuilder {
     }
 
     fn run_until_converged(&self) -> Result<MetricsReport, CoreError> {
-        let arity = observation_arity(self.config.total_vcpus(), self.config.pcpus());
-        let mut controller = ReplicationController::new(self.rule, arity);
-        let mut rep: u64 = 0;
-        while controller.needs_more() {
-            let metrics = self.run_replication(rep)?;
-            controller.record(&metrics.to_observations());
-            rep += 1;
-        }
+        let (controller, _samples) = vsched_exec::run_converged(
+            self.effective_jobs(),
+            self.rule,
+            |rep| self.run_replication(rep),
+            SampleMetrics::to_observations,
+        )?;
         Ok(MetricsReport::from_intervals(
             controller.intervals()?,
             self.config.total_vcpus(),

@@ -66,7 +66,7 @@ pub(crate) type ErrorCell = Rc<RefCell<Option<CoreError>>>;
 pub(crate) fn build_model(
     config: &SystemConfig,
     policy: Box<dyn SchedulingPolicy>,
-    ) -> Result<(Model, Layout, ErrorCell), SanError> {
+) -> Result<(Model, Layout, ErrorCell), SanError> {
     let mut mb = ModelBuilder::new();
 
     // ----- Places ---------------------------------------------------------
@@ -168,9 +168,7 @@ pub(crate) fn build_model(
                         }
                         // Spinlock extension: a critical-section job must
                         // hold the VM lock to make progress.
-                        if mechanism == SyncMechanism::SpinLock
-                            && m.tokens(v.sync_point) == 1
-                        {
+                        if mechanism == SyncMechanism::SpinLock && m.tokens(v.sync_point) == 1 {
                             let me = g as i64 + 1;
                             let holder = m.tokens(vm.lock_holder);
                             if holder == 0 {
@@ -258,8 +256,7 @@ pub(crate) fn build_model(
                 let vcpus = l.vcpu_views(m, &cfg);
                 let pcpus = l.pcpu_views(m, &cfg);
                 let now = m.tokens(l.clock);
-                let decision =
-                    policy.schedule(&vcpus, &pcpus, now as u64, cfg.timeslice());
+                let decision = policy.schedule(&vcpus, &pcpus, now as u64, cfg.timeslice());
                 match validate_decision(policy.name(), &vcpus, &pcpus, &decision) {
                     Ok(()) => l.apply_decision(m, &decision, now),
                     Err(e) => {
@@ -297,9 +294,7 @@ pub(crate) fn build_model(
                             let load = sample_ticks(&load_dist, rng) as i64;
                             m.add(vm.generated, 1);
                             let sync = match sync_every {
-                                Some(k) => {
-                                    i64::from(m.tokens(vm.generated) % i64::from(k) == 0)
-                                }
+                                Some(k) => i64::from(m.tokens(vm.generated) % i64::from(k) == 0),
                                 None => i64::from(rng.next_bool(sync_p)),
                             };
                             m.set(vm.wl_load, load);
@@ -357,9 +352,7 @@ pub(crate) fn build_model(
                     let (load, sync) = if sample_at_dispatch {
                         m.add(vm.generated, 1);
                         let sync = match sync_every {
-                            Some(k) => {
-                                i64::from(m.tokens(vm.generated) % i64::from(k) == 0)
-                            }
+                            Some(k) => i64::from(m.tokens(vm.generated) % i64::from(k) == 0),
                             None => i64::from(rng.next_bool(sync_p)),
                         };
                         (sample_ticks(&load_dist, rng) as i64, sync)

@@ -188,7 +188,13 @@ impl SanSystem {
         let vcpu_spin = spin_avg
             .iter()
             .zip(&availability)
-            .map(|(&spinning, &active)| if active == 0.0 { 0.0 } else { spinning / active })
+            .map(|(&spinning, &active)| {
+                if active == 0.0 {
+                    0.0
+                } else {
+                    spinning / active
+                }
+            })
             .collect();
         SampleMetrics {
             vcpu_availability: availability,

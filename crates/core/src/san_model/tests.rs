@@ -65,7 +65,10 @@ fn first_tick_dispatches_a_job() {
     let mut sys = SanSystem::new(cfg, Box::new(RoundRobin::new()), 3).unwrap();
     sys.run(1).unwrap();
     let views = sys.vcpu_views();
-    assert!(views.iter().all(|v| v.status == VcpuStatus::Busy), "{views:?}");
+    assert!(
+        views.iter().all(|v| v.status == VcpuStatus::Busy),
+        "{views:?}"
+    );
     assert_eq!(views[0].remaining_load, 6);
 }
 
@@ -83,15 +86,24 @@ fn sync_point_blocks_and_unblocks() {
     sys.run(1).unwrap();
     assert!(sys.vm_blocked(0));
     let views = sys.vcpu_views();
-    let busy = views.iter().filter(|v| v.status == VcpuStatus::Busy).count();
-    let ready = views.iter().filter(|v| v.status == VcpuStatus::Ready).count();
+    let busy = views
+        .iter()
+        .filter(|v| v.status == VcpuStatus::Busy)
+        .count();
+    let ready = views
+        .iter()
+        .filter(|v| v.status == VcpuStatus::Ready)
+        .count();
     assert_eq!((busy, ready), (1, 1), "one sync job runs, sibling waits");
     // Six ticks later the job completes, the barrier clears, and the next
     // sync job dispatches within the same tick.
     sys.run(6).unwrap();
     let views = sys.vcpu_views();
     assert_eq!(
-        views.iter().filter(|v| v.status == VcpuStatus::Busy).count(),
+        views
+            .iter()
+            .filter(|v| v.status == VcpuStatus::Busy)
+            .count(),
         1
     );
     assert!(sys.vm_blocked(0), "next sync job re-blocked the VM");

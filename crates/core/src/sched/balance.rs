@@ -67,9 +67,7 @@ impl SchedulingPolicy for Balance {
             let mut best: Option<usize> = None;
             for offset in 0..n {
                 let v = (self.cursor + offset) % n;
-                if !vcpus[v].is_schedulable()
-                    || decision.assignments.iter().any(|a| a.vcpu == v)
-                {
+                if !vcpus[v].is_schedulable() || decision.assignments.iter().any(|a| a.vcpu == v) {
                     continue;
                 }
                 match best {

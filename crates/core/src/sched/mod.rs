@@ -165,7 +165,10 @@ pub fn validate_decision(
             return Err(violation(format!("assignment to unknown PCPU {}", a.pcpu)));
         }
         if a.timeslice == 0 {
-            return Err(violation(format!("VCPU {} assigned a zero timeslice", a.vcpu)));
+            return Err(violation(format!(
+                "VCPU {} assigned a zero timeslice",
+                a.vcpu
+            )));
         }
         if preempted[a.vcpu] {
             return Err(violation(format!(
@@ -195,11 +198,7 @@ pub fn validate_decision(
 /// Collects the indices of currently idle PCPUs.
 #[must_use]
 pub(crate) fn idle_pcpus(pcpus: &[PcpuView]) -> Vec<usize> {
-    pcpus
-        .iter()
-        .filter(|p| p.is_idle())
-        .map(|p| p.id)
-        .collect()
+    pcpus.iter().filter(|p| p.is_idle()).map(|p| p.id).collect()
 }
 
 /// The built-in algorithms, as data — convenient for experiment configs.

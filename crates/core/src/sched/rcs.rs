@@ -164,9 +164,7 @@ impl SchedulingPolicy for RelaxedCo {
             let mut candidates: Vec<usize> = groups[vm]
                 .iter()
                 .copied()
-                .filter(|&g| {
-                    vcpus[g].is_schedulable() && !self.stopped[g] && !costopped_now[g]
-                })
+                .filter(|&g| vcpus[g].is_schedulable() && !self.stopped[g] && !costopped_now[g])
                 .collect();
             candidates.sort_by_key(|&g| self.progress[g]);
             let mut started = false;
@@ -332,7 +330,10 @@ mod tests {
             }
         }
         for (g, &r) in ran.iter().enumerate() {
-            assert!(r > 50, "sibling {g} starved: ran {r} of 400 ticks ({ran:?})");
+            assert!(
+                r > 50,
+                "sibling {g} starved: ran {r} of 400 ticks ({ran:?})"
+            );
         }
     }
 

@@ -101,7 +101,7 @@ mod tests {
         // never co-start under SCS.
         let mut scs = StrictCo::new();
         let vcpus = vcpus_with_vms(&[2, 1, 1]);
-        let mut starts = vec![0u32; 4];
+        let mut starts = [0u32; 4];
         for t in 0..12 {
             let pcpus = pcpus_for(1, &vcpus);
             let d = scs.schedule(&vcpus, &pcpus, t, 10);
@@ -125,11 +125,7 @@ mod tests {
         validate_decision("scs", &vcpus, &pcpus, &d).unwrap();
         // Both VMs fit: all three VCPUs start, gang members together.
         assert_eq!(d.assignments.len(), 3);
-        let gang0: Vec<_> = d
-            .assignments
-            .iter()
-            .filter(|a| a.vcpu < 2)
-            .collect();
+        let gang0: Vec<_> = d.assignments.iter().filter(|a| a.vcpu < 2).collect();
         assert_eq!(gang0.len(), 2, "both siblings of VM 0 co-start");
         assert!(gang0.iter().all(|a| a.timeslice == 10), "equal slices");
     }

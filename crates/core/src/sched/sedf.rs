@@ -86,7 +86,6 @@ impl Sedf {
             }
         }
     }
-
 }
 
 impl SchedulingPolicy for Sedf {
@@ -132,9 +131,7 @@ impl SchedulingPolicy for Sedf {
                 break;
             }
             let g = (start + offset) % n;
-            if !vcpus[g].is_schedulable()
-                || decision.assignments.iter().any(|a| a.vcpu == g)
-            {
+            if !vcpus[g].is_schedulable() || decision.assignments.iter().any(|a| a.vcpu == g) {
                 continue;
             }
             let p = idle.remove(0);
@@ -148,7 +145,7 @@ impl SchedulingPolicy for Sedf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sched::tests_support::{activate, pcpus_for, vcpus_with_vms};
+    use crate::sched::tests_support::{pcpus_for, vcpus_with_vms};
     use crate::sched::validate_decision;
 
     #[test]

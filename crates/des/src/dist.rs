@@ -213,9 +213,7 @@ impl Dist {
                 let u = 1.0 - rng.next_f64(); // (0, 1]
                 (u.ln() / (1.0 - p).ln()).ceil().max(1.0)
             }
-            Dist::DiscreteUniform { low, high } => {
-                (low + rng.next_below(high - low + 1)) as f64
-            }
+            Dist::DiscreteUniform { low, high } => (low + rng.next_below(high - low + 1)) as f64,
             Dist::Empirical { points } => {
                 let total: f64 = points.iter().map(|&(_, w)| w).sum();
                 let mut target = rng.next_f64() * total;

@@ -41,12 +41,18 @@ impl std::fmt::Debug for Timing {
     }
 }
 
+/// Marking-dependent case-weight function.
+pub type WeightFn = Box<dyn Fn(&Marking) -> Vec<f64>>;
+
+/// Marking-dependent rate-multiplier function.
+pub type RateFn = Box<dyn Fn(&Marking) -> f64>;
+
 /// Probability weights of an activity's cases.
 pub enum CaseWeights {
     /// Fixed weights (need not be normalized).
     Fixed(Vec<f64>),
     /// Marking-dependent weights, re-evaluated at each completion.
-    Dynamic(Box<dyn Fn(&Marking) -> Vec<f64>>),
+    Dynamic(WeightFn),
 }
 
 impl std::fmt::Debug for CaseWeights {
@@ -79,7 +85,7 @@ pub struct ActivitySpec {
     /// Optional marking-dependent rate multiplier (Mobius's
     /// marking-dependent rates): the sampled delay is divided by this
     /// factor at activation; a non-positive factor disables the activity.
-    pub(crate) rate_fn: Option<Box<dyn Fn(&Marking) -> f64>>,
+    pub(crate) rate_fn: Option<RateFn>,
 }
 
 impl std::fmt::Debug for ActivitySpec {

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use vsched_des::{Dist, Xoshiro256StarStar};
 
-use crate::activity::{ActivityId, ActivitySpec, CaseSpec, CaseWeights, Timing};
+use crate::activity::{ActivityId, ActivitySpec, CaseSpec, CaseWeights, RateFn, Timing, WeightFn};
 use crate::error::SanError;
 use crate::gate::{InputGate, OutputGate};
 use crate::marking::{Marking, PlaceId};
@@ -300,8 +300,8 @@ pub struct ActivityBuilder<'a> {
     input_gates: Vec<InputGate>,
     cases: Vec<CaseSpec>,
     weights: Vec<f64>,
-    dynamic_weights: Option<Box<dyn Fn(&Marking) -> Vec<f64>>>,
-    rate_fn: Option<Box<dyn Fn(&Marking) -> f64>>,
+    dynamic_weights: Option<WeightFn>,
+    rate_fn: Option<RateFn>,
 }
 
 impl<'a> ActivityBuilder<'a> {
@@ -352,7 +352,8 @@ impl<'a> ActivityBuilder<'a> {
         predicate: impl Fn(&Marking) -> bool + 'static,
         function: impl FnMut(&mut Marking, &mut Xoshiro256StarStar) + 'static,
     ) -> Self {
-        self.input_gates.push(InputGate::new(name, predicate, function));
+        self.input_gates
+            .push(InputGate::new(name, predicate, function));
         self
     }
 
@@ -367,10 +368,7 @@ impl<'a> ActivityBuilder<'a> {
 
     /// Replaces fixed case weights with a marking-dependent weight function.
     #[must_use]
-    pub fn dynamic_case_weights(
-        mut self,
-        f: impl Fn(&Marking) -> Vec<f64> + 'static,
-    ) -> Self {
+    pub fn dynamic_case_weights(mut self, f: impl Fn(&Marking) -> Vec<f64> + 'static) -> Self {
         self.dynamic_weights = Some(Box::new(f));
         self
     }
@@ -439,9 +437,7 @@ impl<'a> ActivityBuilder<'a> {
             }
         };
         let id = ActivityId(self.builder.activities.len());
-        self.builder
-            .activity_names
-            .insert(self.name.clone(), id);
+        self.builder.activity_names.insert(self.name.clone(), id);
         self.builder.activities.push(ActivitySpec {
             name: self.name,
             timing: self.timing,
@@ -563,12 +559,7 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, SanError::InvalidArcWeight { .. }));
 
-        let err = mb
-            .activity("bad2")
-            .unwrap()
-            .case(0.0)
-            .done()
-            .unwrap_err();
+        let err = mb.activity("bad2").unwrap().case(0.0).done().unwrap_err();
         assert!(matches!(err, SanError::InvalidCaseWeight { .. }));
     }
 
@@ -586,12 +577,7 @@ mod tests {
     fn default_case_is_created() {
         let mut mb = ModelBuilder::new();
         let p = mb.place("p", 0).unwrap();
-        let id = mb
-            .activity("a")
-            .unwrap()
-            .output_arc(p, 1)
-            .done()
-            .unwrap();
+        let id = mb.activity("a").unwrap().output_arc(p, 1).done().unwrap();
         let model = mb.build().unwrap();
         assert_eq!(model.activities[id.index()].cases.len(), 1);
     }
@@ -621,6 +607,6 @@ mod tests {
         })
         .unwrap();
         assert_eq!(mb.find_place("x"), Some(root));
-        assert_eq!(mb.find_place("vm/x").is_some(), true);
+        assert!(mb.find_place("vm/x").is_some());
     }
 }

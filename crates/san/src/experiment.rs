@@ -5,7 +5,7 @@
 //! reports all figures at the 95% level with intervals below 0.1. This
 //! module drives [`crate::Simulator`] the same way.
 
-use vsched_stats::{ConfidenceInterval, ReplicationController, StoppingRule};
+use vsched_stats::{ConfidenceInterval, StoppingRule};
 
 use crate::error::SanError;
 use crate::reward::RewardId;
@@ -30,12 +30,11 @@ impl ExperimentResult {
     }
 }
 
-/// Runs independent replications of a model until the stopping rule is met.
+/// Runs independent replications of a model until the stopping rule is met,
+/// using one worker per available core.
 ///
-/// `factory(rep)` must build a fresh simulator for replication `rep` —
-/// seeding it from `rep` (e.g. `base_seed + rep`) — and return the reward
-/// ids to track. Each replication runs `[0, warmup)` as discarded
-/// transient, then `[warmup, warmup + horizon)` as the observation window.
+/// Equivalent to [`run_replicated_jobs`] with `jobs = None`; the result is
+/// bit-identical for every worker count.
 ///
 /// # Errors
 ///
@@ -47,20 +46,45 @@ impl ExperimentResult {
 /// Panics if the factory returns no reward ids, or a different number of
 /// rewards across replications.
 pub fn run_replicated(
-    mut factory: impl FnMut(u64) -> (Simulator, Vec<RewardId>),
+    factory: impl Fn(u64) -> (Simulator, Vec<RewardId>) + Sync,
     warmup: f64,
     horizon: f64,
     rule: StoppingRule,
 ) -> Result<ExperimentResult, SanError> {
-    let mut controller: Option<ReplicationController> = None;
-    let mut rep: u64 = 0;
-    let mut total_completions: u64 = 0;
-    loop {
-        if let Some(c) = &controller {
-            if !c.needs_more() {
-                break;
-            }
-        }
+    run_replicated_jobs(factory, warmup, horizon, rule, None)
+}
+
+/// Runs independent replications of a model until the stopping rule is met,
+/// on a bounded pool of `jobs` worker threads.
+///
+/// `factory(rep)` must build a fresh simulator for replication `rep` —
+/// seeding it from `rep` (e.g. `base_seed + rep`) — and return the reward
+/// ids to track. Each replication runs `[0, warmup)` as discarded
+/// transient, then `[warmup, warmup + horizon)` as the observation window.
+///
+/// Replications run as speculative parallel batches, but observations merge
+/// into the stopping-rule controller strictly in ascending replication
+/// order (see `vsched-exec`), so intervals, replication count, and
+/// completion totals are **bit-identical for every `jobs` value**. `None`
+/// (or `Some(0)`) uses all available cores.
+///
+/// # Errors
+///
+/// Propagates any [`SanError`] from a replication; with several failures
+/// the lowest-indexed one is reported, matching a sequential run.
+///
+/// # Panics
+///
+/// Panics if the factory returns no reward ids, or a different number of
+/// rewards across replications.
+pub fn run_replicated_jobs(
+    factory: impl Fn(u64) -> (Simulator, Vec<RewardId>) + Sync,
+    warmup: f64,
+    horizon: f64,
+    rule: StoppingRule,
+    jobs: Option<usize>,
+) -> Result<ExperimentResult, SanError> {
+    let task = |rep: u64| -> Result<(Vec<f64>, u64), SanError> {
         let (mut sim, rewards) = factory(rep);
         assert!(!rewards.is_empty(), "factory must register rewards");
         if warmup > 0.0 {
@@ -68,24 +92,25 @@ pub fn run_replicated(
             sim.reset_rewards();
         }
         sim.run_until(warmup + horizon)?;
-        total_completions += sim.stats().completions;
-        let observations: Vec<f64> = rewards
+        let observations = rewards
             .iter()
             .map(|&r| sim.rate_reward_average(r))
             .collect();
-        let c = controller
-            .get_or_insert_with(|| ReplicationController::new(rule, observations.len()));
-        c.record(&observations);
-        rep += 1;
-    }
-    let controller = controller.expect("at least one replication ran");
+        Ok((observations, sim.stats().completions))
+    };
+    let (controller, outputs) = vsched_exec::run_converged(
+        vsched_exec::resolve_jobs(jobs),
+        rule,
+        task,
+        |(observations, _): &(Vec<f64>, u64)| observations.clone(),
+    )?;
     let intervals = controller
         .intervals()
         .expect("min_replications >= 2 guarantees enough data");
     Ok(ExperimentResult {
         intervals,
         replications: controller.replications(),
-        total_completions,
+        total_completions: outputs.iter().map(|(_, completions)| completions).sum(),
     })
 }
 
@@ -111,13 +136,16 @@ mod tests {
             .done()
             .unwrap();
         let mut sim = Simulator::new(mb.build().unwrap(), 1000 + rep);
-        let busy = sim.add_rate_reward("busy", move |m| {
-            if m.tokens(system) > 0 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let busy = sim.add_rate_reward(
+            "busy",
+            move |m| {
+                if m.tokens(system) > 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         (sim, vec![busy])
     }
 

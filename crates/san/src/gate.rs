@@ -46,7 +46,9 @@ pub struct OutputGate {
 
 impl std::fmt::Debug for OutputGate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("OutputGate").field("name", &self.name).finish()
+        f.debug_struct("OutputGate")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

@@ -81,6 +81,7 @@ pub mod sim;
 pub use activity::{ActivityId, Timing};
 pub use builder::{ActivityBuilder, Model, ModelBuilder};
 pub use error::SanError;
+pub use experiment::{run_replicated, run_replicated_jobs, ExperimentResult};
 pub use gate::{GateFn, Predicate};
 pub use marking::{Marking, PlaceId};
 pub use numerical::{solve_steady_state, solve_transient, CtmcOptions, CtmcSolution};

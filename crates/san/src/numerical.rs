@@ -159,10 +159,10 @@ fn build_chain(model: &mut Model, options: CtmcOptions) -> Result<Chain, SanErro
     let mut transitions: Vec<Vec<(usize, f64)>> = Vec::new();
     let mut frontier: Vec<usize> = Vec::new();
     let intern = |m: Marking,
-                      index: &mut HashMap<Vec<i64>, usize>,
-                      states: &mut Vec<Marking>,
-                      transitions: &mut Vec<Vec<(usize, f64)>>,
-                      frontier: &mut Vec<usize>|
+                  index: &mut HashMap<Vec<i64>, usize>,
+                  states: &mut Vec<Marking>,
+                  transitions: &mut Vec<Vec<(usize, f64)>>,
+                  frontier: &mut Vec<usize>|
      -> Result<usize, SanError> {
         let key = m.as_slice().to_vec();
         if let Some(&i) = index.get(&key) {
@@ -191,11 +191,10 @@ fn build_chain(model: &mut Model, options: CtmcOptions) -> Result<Chain, SanErro
 
     while let Some(s) = frontier.pop() {
         let marking = states[s].clone();
+        // Index loop: the body needs `&mut explorer` to fire cases.
+        #[allow(clippy::needless_range_loop)]
         for act_idx in 0..explorer.model.activities.len() {
-            let is_timed = matches!(
-                explorer.model.activities[act_idx].timing,
-                Timing::Timed(_)
-            );
+            let is_timed = matches!(explorer.model.activities[act_idx].timing, Timing::Timed(_));
             if !is_timed || !explorer.model.activities[act_idx].enabled(&marking) {
                 continue;
             }
@@ -204,8 +203,13 @@ fn build_chain(model: &mut Model, options: CtmcOptions) -> Result<Chain, SanErro
             for (succ, prob) in explorer.fire_all_cases(&marking, act_idx)? {
                 let tangibles = explorer.resolve_vanishing(succ, 0)?;
                 for (t_marking, t_prob) in tangibles {
-                    let t =
-                        intern(t_marking, &mut index, &mut states, &mut transitions, &mut frontier)?;
+                    let t = intern(
+                        t_marking,
+                        &mut index,
+                        &mut states,
+                        &mut transitions,
+                        &mut frontier,
+                    )?;
                     if t != s {
                         transitions[s].push((t, rate * prob * t_prob));
                     }
@@ -387,8 +391,8 @@ impl Explorer<'_> {
         };
         let total: f64 = weights.iter().sum();
         let mut result = Vec::with_capacity(num_cases);
-        for case in 0..num_cases {
-            let prob = weights[case] / total;
+        for (case, weight) in weights.iter().enumerate().take(num_cases) {
+            let prob = weight / total;
             if prob <= 0.0 {
                 continue;
             }
@@ -505,8 +509,7 @@ mod tests {
             );
         }
         // Mean queue length.
-        let expected_l: f64 =
-            (0..=5).map(|i| i as f64 * rho.powi(i as i32) / norm).sum();
+        let expected_l: f64 = (0i32..=5).map(|i| f64::from(i) * rho.powi(i) / norm).sum();
         let l = sol.expected_reward(|m| m.tokens(queue) as f64);
         assert!((l - expected_l).abs() < 1e-9);
     }

@@ -1,0 +1,92 @@
+//! Parallel determinism of `san::experiment`: the replicated-experiment
+//! driver must produce **bit-identical** results for every worker count,
+//! because seeds derive purely from the replication index and observations
+//! merge into the stopping rule in ascending replication order.
+
+use vsched_des::Dist;
+use vsched_san::{run_replicated_jobs, ExperimentResult, ModelBuilder, RewardId, Simulator};
+use vsched_stats::StoppingRule;
+
+/// M/M/1-style model factory, seeded from `base_seed + rep`.
+fn mm1_factory(base_seed: u64) -> impl Fn(u64) -> (Simulator, Vec<RewardId>) + Sync {
+    move |rep| {
+        let mut mb = ModelBuilder::new();
+        let queue = mb.place("queue", 0).unwrap();
+        mb.activity("arrive")
+            .unwrap()
+            .timed(Dist::exponential(2.0).unwrap())
+            .output_arc(queue, 1)
+            .done()
+            .unwrap();
+        mb.activity("serve")
+            .unwrap()
+            .timed(Dist::exponential(1.0).unwrap())
+            .input_arc(queue, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), base_seed + rep);
+        let busy =
+            sim.add_rate_reward("busy", move |m| if m.tokens(queue) > 0 { 1.0 } else { 0.0 });
+        let depth = sim.add_rate_reward("depth", move |m| m.tokens(queue) as f64);
+        (sim, vec![busy, depth])
+    }
+}
+
+fn run_with_jobs(base_seed: u64, jobs: usize) -> ExperimentResult {
+    let rule = StoppingRule::new(0.95, 0.05)
+        .with_min_replications(4)
+        .with_max_replications(24);
+    run_replicated_jobs(mm1_factory(base_seed), 200.0, 3_000.0, rule, Some(jobs))
+        .expect("experiment runs")
+}
+
+/// Bit-level equality of two experiment results.
+fn assert_bit_identical(a: &ExperimentResult, b: &ExperimentResult) {
+    assert_eq!(a.replications, b.replications);
+    assert_eq!(a.total_completions, b.total_completions);
+    assert_eq!(a.intervals.len(), b.intervals.len());
+    for (ia, ib) in a.intervals.iter().zip(&b.intervals) {
+        assert_eq!(ia.mean.to_bits(), ib.mean.to_bits(), "means differ");
+        assert_eq!(
+            ia.half_width.to_bits(),
+            ib.half_width.to_bits(),
+            "half-widths differ"
+        );
+    }
+}
+
+#[test]
+fn jobs_1_and_4_bit_identical() {
+    let sequential = run_with_jobs(0x5eed, 1);
+    let parallel = run_with_jobs(0x5eed, 4);
+    assert_bit_identical(&sequential, &parallel);
+}
+
+#[test]
+fn oversubscribed_pool_bit_identical() {
+    // More workers than replications the rule can ever request.
+    let sequential = run_with_jobs(7, 1);
+    let flooded = run_with_jobs(7, 32);
+    assert_bit_identical(&sequential, &flooded);
+}
+
+#[test]
+fn auto_jobs_matches_sequential() {
+    let rule = StoppingRule::new(0.95, 0.05)
+        .with_min_replications(4)
+        .with_max_replications(24);
+    let auto = run_replicated_jobs(mm1_factory(0x5eed), 200.0, 3_000.0, rule, None)
+        .expect("experiment runs");
+    assert_bit_identical(&run_with_jobs(0x5eed, 1), &auto);
+}
+
+#[test]
+fn seed_change_changes_results() {
+    let a = run_with_jobs(1, 4);
+    let b = run_with_jobs(2, 4);
+    assert_ne!(
+        a.intervals[0].mean.to_bits(),
+        b.intervals[0].mean.to_bits(),
+        "different base seeds must produce different observations"
+    );
+}

@@ -151,9 +151,7 @@ impl P2Quantile {
         if self.count <= 5 {
             let mut sorted = self.init.clone();
             sorted.sort_by(|a, b| a.total_cmp(b));
-            let idx = ((self.p * sorted.len() as f64).ceil() as usize)
-                .clamp(1, sorted.len())
-                - 1;
+            let idx = ((self.p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
             return Some(sorted[idx]);
         }
         Some(self.q[2])

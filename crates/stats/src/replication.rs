@@ -149,8 +149,8 @@ impl ReplicationController {
     /// Whether every tracked statistic currently satisfies the criterion.
     #[must_use]
     pub fn all_converged(&self) -> bool {
-        self.stats.iter().all(|w| {
-            match ConfidenceInterval::from_welford(w, self.rule.level) {
+        self.stats.iter().all(
+            |w| match ConfidenceInterval::from_welford(w, self.rule.level) {
                 Ok(ci) => {
                     let measure = if self.rule.relative {
                         ci.relative_half_width()
@@ -160,8 +160,8 @@ impl ReplicationController {
                     measure <= self.rule.half_width
                 }
                 Err(_) => false,
-            }
-        })
+            },
+        )
     }
 
     /// Confidence interval for statistic `index`.
@@ -206,10 +206,8 @@ mod tests {
 
     #[test]
     fn respects_min_replications() {
-        let mut c = ReplicationController::new(
-            StoppingRule::new(0.95, 10.0).with_min_replications(7),
-            1,
-        );
+        let mut c =
+            ReplicationController::new(StoppingRule::new(0.95, 10.0).with_min_replications(7), 1);
         for i in 0..6 {
             assert!(c.needs_more(), "after {i} reps");
             c.record(&[1.0]);
@@ -222,10 +220,8 @@ mod tests {
 
     #[test]
     fn respects_max_replications() {
-        let mut c = ReplicationController::new(
-            StoppingRule::new(0.95, 1e-9).with_max_replications(10),
-            1,
-        );
+        let mut c =
+            ReplicationController::new(StoppingRule::new(0.95, 1e-9).with_max_replications(10), 1);
         let mut n = 0;
         while c.needs_more() {
             // Alternating values never converge to a 1e-9 half-width.
@@ -251,13 +247,15 @@ mod tests {
 
     #[test]
     fn all_statistics_must_converge() {
-        let rule = StoppingRule::new(0.95, 0.5).with_min_replications(3).with_max_replications(500);
+        let rule = StoppingRule::new(0.95, 0.5)
+            .with_min_replications(3)
+            .with_max_replications(500);
         let mut c = ReplicationController::new(rule, 2);
         let mut n: u32 = 0;
         while c.needs_more() {
             // Statistic 0 is constant; statistic 1 is noisy and needs many
             // replications before its CI tightens to 0.5.
-            let noisy = if n % 2 == 0 { 0.0 } else { 10.0 };
+            let noisy = if n.is_multiple_of(2) { 0.0 } else { 10.0 };
             c.record(&[1.0, noisy]);
             n += 1;
         }
@@ -275,7 +273,7 @@ mod tests {
         let mut i = 0u64;
         while c.needs_more() {
             // mean 1000, noise ±1 → relative half-width shrinks quickly.
-            c.record(&[1000.0 + if i % 2 == 0 { 1.0 } else { -1.0 }]);
+            c.record(&[1000.0 + if i.is_multiple_of(2) { 1.0 } else { -1.0 }]);
             i += 1;
         }
         let ci = c.interval(0).unwrap();

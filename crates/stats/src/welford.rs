@@ -174,8 +174,7 @@ mod tests {
         let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.25).collect();
         let w: Welford = data.iter().copied().collect();
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var =
-            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
         assert!((w.mean() - mean).abs() < 1e-10);
         assert!((w.sample_variance() - var).abs() < 1e-8);
     }

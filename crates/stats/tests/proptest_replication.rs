@@ -1,0 +1,134 @@
+//! Property tests for [`ReplicationController`] — the invariants the
+//! parallel batched executor (`vsched-exec`) relies on for determinism:
+//!
+//! * merging observations in ascending order with a per-record
+//!   `needs_more` check yields the same recorded prefix (and therefore
+//!   bit-identical intervals) regardless of how the stream is chunked
+//!   into speculative batches;
+//! * `needs_more` is a pure query, and stays `false` once the
+//!   replication cap is reached no matter what else is recorded;
+//! * the recorded count always lands in `[min_replications, max_replications]`
+//!   when enough data is available.
+
+use proptest::prelude::*;
+use vsched_stats::{ReplicationController, StoppingRule};
+
+const ARITY: usize = 2;
+
+fn rule(min: usize, extra: usize, half_width: f64) -> StoppingRule {
+    StoppingRule::new(0.95, half_width)
+        .with_min_replications(min)
+        .with_max_replications(min + extra)
+}
+
+/// The sequential reference: record one observation at a time while the
+/// controller asks for more.
+fn drive_sequential(rule: StoppingRule, data: &[(f64, f64)]) -> ReplicationController {
+    let mut controller = ReplicationController::new(rule, ARITY);
+    let mut stream = data.iter();
+    while controller.needs_more() {
+        let Some(&(a, b)) = stream.next() else { break };
+        controller.record(&[a, b]);
+    }
+    controller
+}
+
+/// The batched driver, as `vsched-exec` merges speculative parallel
+/// batches: take arbitrarily-sized chunks of the stream, merge each chunk
+/// in ascending order re-checking `needs_more` before every record, and
+/// discard the surplus once the rule is satisfied.
+fn drive_chunked(
+    rule: StoppingRule,
+    data: &[(f64, f64)],
+    chunks: &[usize],
+) -> ReplicationController {
+    let mut controller = ReplicationController::new(rule, ARITY);
+    let mut pos = 0;
+    let mut next_chunk = 0;
+    'merge: while controller.needs_more() && pos < data.len() {
+        let size = chunks[next_chunk % chunks.len()].max(1);
+        next_chunk += 1;
+        let batch = &data[pos..(pos + size).min(data.len())];
+        pos += batch.len();
+        for &(a, b) in batch {
+            if !controller.needs_more() {
+                break 'merge; // surplus speculative replications discarded
+            }
+            controller.record(&[a, b]);
+        }
+    }
+    controller
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn batch_chunking_never_changes_intervals(
+        min in 2usize..6,
+        extra in 0usize..9,
+        half_width in 0.001f64..0.5,
+        data in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..32),
+        chunks in proptest::collection::vec(1usize..6, 1..6),
+    ) {
+        let sequential = drive_sequential(rule(min, extra, half_width), &data);
+        let chunked = drive_chunked(rule(min, extra, half_width), &data, &chunks);
+        prop_assert_eq!(sequential.replications(), chunked.replications());
+        if sequential.replications() >= 2 {
+            for i in 0..ARITY {
+                let a = sequential.interval(i).unwrap();
+                let b = chunked.interval(i).unwrap();
+                prop_assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+                prop_assert_eq!(a.half_width.to_bits(), b.half_width.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn needs_more_is_a_pure_query(
+        min in 2usize..6,
+        extra in 0usize..9,
+        data in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..32),
+    ) {
+        let controller = drive_sequential(rule(min, extra, 0.05), &data);
+        let first = controller.needs_more();
+        let n = controller.replications();
+        for _ in 0..3 {
+            prop_assert_eq!(controller.needs_more(), first);
+            prop_assert_eq!(controller.replications(), n);
+        }
+    }
+
+    #[test]
+    fn converged_at_cap_stays_converged(
+        min in 2usize..6,
+        extra in 0usize..9,
+        data in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 24..40),
+    ) {
+        // Tiny half-width so only the replication cap can stop the run.
+        let rule = rule(min, extra, 1e-9);
+        let cap = rule.max_replications;
+        let mut controller = drive_sequential(rule, &data);
+        prop_assert!(!controller.needs_more());
+        prop_assert_eq!(controller.replications(), cap);
+        // Force-feeding more observations must not reopen the experiment.
+        for &(a, b) in &data[..3] {
+            controller.record(&[a, b]);
+            prop_assert!(!controller.needs_more());
+        }
+    }
+
+    #[test]
+    fn recorded_count_respects_rule_bounds(
+        min in 2usize..6,
+        extra in 0usize..9,
+        half_width in 0.001f64..0.5,
+        data in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 24..40),
+    ) {
+        let rule = rule(min, extra, half_width);
+        let (lo, hi) = (rule.min_replications, rule.max_replications);
+        let controller = drive_sequential(rule, &data);
+        prop_assert!(controller.replications() >= lo);
+        prop_assert!(controller.replications() <= hi);
+    }
+}

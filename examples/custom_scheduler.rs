@@ -38,8 +38,7 @@ impl SchedulingPolicy for BarrierDrain {
         timeslice: u64,
     ) -> ScheduleDecision {
         let mut decision = ScheduleDecision::none();
-        let mut idle: Vec<usize> =
-            pcpus.iter().filter(|p| p.is_idle()).map(|p| p.id).collect();
+        let mut idle: Vec<usize> = pcpus.iter().filter(|p| p.is_idle()).map(|p| p.id).collect();
         idle.reverse(); // pop() yields lowest index first
         let n = vcpus.len();
         if n == 0 {
@@ -116,7 +115,10 @@ fn main() {
     println!("sync-heavy workload (1:3), 2+4 VCPUs on 4 PCPUs\n");
     run(PolicyKind::RoundRobin.create(), "round-robin");
     run(PolicyKind::StrictCo.create(), "strict co-sched");
-    run(PolicyKind::relaxed_co_default().create(), "relaxed co-sched");
+    run(
+        PolicyKind::relaxed_co_default().create(),
+        "relaxed co-sched",
+    );
     run(Box::new(BarrierDrain::default()), "barrier-drain");
     println!(
         "\nThe custom policy attacks the same synchronization latency the \

@@ -12,7 +12,9 @@
 //! ```
 
 use vsched_des::Dist;
-use vsched_san::{solve_steady_state, solve_transient, CtmcOptions, Model, ModelBuilder, Simulator};
+use vsched_san::{
+    solve_steady_state, solve_transient, CtmcOptions, Model, ModelBuilder, Simulator,
+};
 
 /// M/M/1/K queue as a SAN: λ arrivals, μ services, capacity K.
 fn mm1k(lambda: f64, mu: f64, k: i64) -> Model {
@@ -61,7 +63,10 @@ fn main() {
     let simulated_p_full = sim.rate_reward_average(full_reward);
 
     println!("M/M/1/{k} queue, λ = {lambda}, μ = {mu} (ρ = {rho:.3})\n");
-    println!("{:<28} {:>12} {:>12} {:>12}", "", "closed form", "numerical", "simulation");
+    println!(
+        "{:<28} {:>12} {:>12} {:>12}",
+        "", "closed form", "numerical", "simulation"
+    );
     println!(
         "{:<28} {:>12.5} {:>12.5} {:>12.5}",
         "mean number in system L", closed_l, numerical_l, simulated_l
@@ -82,7 +87,10 @@ fn main() {
     for &t in &[1.0, 5.0, 20.0, 100.0] {
         let mut m = mm1k(lambda, mu, k);
         let tr = solve_transient(&mut m, t, CtmcOptions::default()).expect("Markovian model");
-        println!("  t = {t:>5}: {:.5}", tr.expected_reward(|mk| mk.tokens(queue) as f64));
+        println!(
+            "  t = {t:>5}: {:.5}",
+            tr.expected_reward(|mk| mk.tokens(queue) as f64)
+        );
     }
     println!("  t →   ∞: {numerical_l:.5}");
 }

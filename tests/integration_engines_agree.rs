@@ -9,7 +9,9 @@
 use vsched_core::{Engine, ExperimentBuilder, PolicyKind, SystemConfig};
 
 fn config(pcpus: usize, vms: &[usize], sync: (u32, u32)) -> SystemConfig {
-    let mut b = SystemConfig::builder().pcpus(pcpus).sync_ratio(sync.0, sync.1);
+    let mut b = SystemConfig::builder()
+        .pcpus(pcpus)
+        .sync_ratio(sync.0, sync.1);
     for &n in vms {
         b = b.vm(n);
     }
@@ -31,9 +33,21 @@ fn assert_engines_agree(cfg: SystemConfig, kind: PolicyKind, tol: f64) {
     let san = build(Engine::San);
     let direct = build(Engine::Direct);
     let pairs = [
-        ("availability", san.vcpu_availability_means(), direct.vcpu_availability_means()),
-        ("vcpu util", san.vcpu_utilization_means(), direct.vcpu_utilization_means()),
-        ("pcpu util", san.pcpu_utilization_means(), direct.pcpu_utilization_means()),
+        (
+            "availability",
+            san.vcpu_availability_means(),
+            direct.vcpu_availability_means(),
+        ),
+        (
+            "vcpu util",
+            san.vcpu_utilization_means(),
+            direct.vcpu_utilization_means(),
+        ),
+        (
+            "pcpu util",
+            san.pcpu_utilization_means(),
+            direct.pcpu_utilization_means(),
+        ),
     ];
     for (name, s, d) in pairs {
         for (i, (a, b)) in s.iter().zip(&d).enumerate() {
@@ -73,7 +87,11 @@ fn engines_agree_rcs() {
 #[test]
 fn engines_agree_balance_and_credit() {
     assert_engines_agree(config(3, &[2, 2], (1, 5)), PolicyKind::Balance, 0.04);
-    assert_engines_agree(config(3, &[2, 2], (1, 5)), PolicyKind::credit_default(), 0.04);
+    assert_engines_agree(
+        config(3, &[2, 2], (1, 5)),
+        PolicyKind::credit_default(),
+        0.04,
+    );
 }
 
 /// Deterministic workloads remove all randomness except policy behaviour:

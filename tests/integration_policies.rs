@@ -5,18 +5,16 @@ use vsched_core::{direct::DirectSim, PolicyKind, SystemConfig, VmSpec, WorkloadS
 use vsched_des::Dist;
 
 fn config(pcpus: usize, vms: &[usize], sync: (u32, u32)) -> SystemConfig {
-    let mut b = SystemConfig::builder().pcpus(pcpus).sync_ratio(sync.0, sync.1);
+    let mut b = SystemConfig::builder()
+        .pcpus(pcpus)
+        .sync_ratio(sync.0, sync.1);
     for &n in vms {
         b = b.vm(n);
     }
     b.build().unwrap()
 }
 
-fn run_metrics(
-    cfg: SystemConfig,
-    kind: &PolicyKind,
-    seed: u64,
-) -> vsched_core::SampleMetrics {
+fn run_metrics(cfg: SystemConfig, kind: &PolicyKind, seed: u64) -> vsched_core::SampleMetrics {
     let mut sim = DirectSim::new(cfg, kind.create(), seed);
     sim.run(2_000).unwrap();
     sim.reset_metrics();
@@ -89,11 +87,13 @@ fn fig9_pcpu_utilization_shapes() {
         let cfg = || config(4, set, (1, 5));
         let rrs = run_metrics(cfg(), &PolicyKind::RoundRobin, 5).avg_pcpu_utilization();
         let scs = run_metrics(cfg(), &PolicyKind::StrictCo, 6).avg_pcpu_utilization();
-        let rcs =
-            run_metrics(cfg(), &PolicyKind::relaxed_co_default(), 7).avg_pcpu_utilization();
+        let rcs = run_metrics(cfg(), &PolicyKind::relaxed_co_default(), 7).avg_pcpu_utilization();
 
         assert!(rrs > 0.95, "set {i}: RRS keeps PCPUs busy, got {rrs:.3}");
-        assert!(rcs > 0.9, "set {i}: paper: RCS always above 90%, got {rcs:.3}");
+        assert!(
+            rcs > 0.9,
+            "set {i}: paper: RCS always above 90%, got {rcs:.3}"
+        );
         if i > 0 {
             // VCPUs > PCPUs: strict co-scheduling fragments.
             assert!(
@@ -137,8 +137,7 @@ fn fig10_vcpu_utilization_shapes() {
         let cfg = || config(4, set, (1, 5));
         let rrs = run_metrics(cfg(), &PolicyKind::RoundRobin, 9).avg_vcpu_utilization();
         let scs = run_metrics(cfg(), &PolicyKind::StrictCo, 10).avg_vcpu_utilization();
-        let rcs =
-            run_metrics(cfg(), &PolicyKind::relaxed_co_default(), 11).avg_vcpu_utilization();
+        let rcs = run_metrics(cfg(), &PolicyKind::relaxed_co_default(), 11).avg_vcpu_utilization();
         assert!(
             scs > rrs && rcs > rrs,
             "set {set:?}: co-scheduling must beat RRS (SCS {scs:.3}, RCS {rcs:.3}, RRS {rrs:.3})"
@@ -154,8 +153,7 @@ fn fig10_vcpu_utilization_shapes() {
 #[test]
 fn fig10_rrs_degrades_with_sync_rate() {
     let util = |sync: (u32, u32)| {
-        run_metrics(config(4, &[2, 4], sync), &PolicyKind::RoundRobin, 12)
-            .avg_vcpu_utilization()
+        run_metrics(config(4, &[2, 4], sync), &PolicyKind::RoundRobin, 12).avg_vcpu_utilization()
     };
     let at_1_5 = util((1, 5));
     let at_1_3 = util((1, 3));
@@ -206,7 +204,11 @@ fn balance_is_fair() {
 /// 1-VCPU VM's single VCPU gets more time than each VCPU of a 3-VCPU VM.
 #[test]
 fn credit_shares_by_vm() {
-    let m = run_metrics(config(2, &[3, 1], (1, 5)), &PolicyKind::credit_default(), 15);
+    let m = run_metrics(
+        config(2, &[3, 1], (1, 5)),
+        &PolicyKind::credit_default(),
+        15,
+    );
     let smp_each = (m.vcpu_availability[0] + m.vcpu_availability[1] + m.vcpu_availability[2]) / 3.0;
     let lone = m.vcpu_availability[3];
     assert!(
@@ -219,7 +221,11 @@ fn credit_shares_by_vm() {
 #[test]
 fn fcfs_fair_on_symmetric_load() {
     let m = run_metrics(config(2, &[1, 1, 1, 1], (1, 5)), &PolicyKind::Fcfs, 16);
-    assert!(spread(&m.vcpu_availability) < 0.05, "{:?}", m.vcpu_availability);
+    assert!(
+        spread(&m.vcpu_availability) < 0.05,
+        "{:?}",
+        m.vcpu_availability
+    );
 }
 
 /// Workload distribution sensitivity: the Figure 10 ordering holds for
@@ -241,7 +247,7 @@ fn fig10_ordering_robust_to_load_distribution() {
                 load: load.clone(),
                 sync_probability: 0.2,
                 sync_mechanism: Default::default(),
-        sync_every: None,
+                sync_every: None,
                 interarrival: None,
             };
             let mut b = SystemConfig::builder().pcpus(4);

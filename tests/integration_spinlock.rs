@@ -244,8 +244,16 @@ fn preempted_holder_keeps_lock() {
     let v0 = &views[0];
     let v1 = &views[1];
     // Whoever is inactive holds partial critical-section work...
-    let inactive = if v0.status == VcpuStatus::Inactive { v0 } else { v1 };
-    let active = if v0.status == VcpuStatus::Inactive { v1 } else { v0 };
+    let inactive = if v0.status == VcpuStatus::Inactive {
+        v0
+    } else {
+        v1
+    };
+    let active = if v0.status == VcpuStatus::Inactive {
+        v1
+    } else {
+        v0
+    };
     assert!(inactive.sync_point && inactive.remaining_load > 0);
     // ...and the active one cannot have progressed much: it spins.
     assert!(active.sync_point);

@@ -112,7 +112,10 @@ fn more_pcpus_never_reduce_availability() {
         );
         last_avg = avg;
     }
-    assert!(last_avg > 0.95, "4 PCPUs serve 4 VCPUs fully, got {last_avg}");
+    assert!(
+        last_avg > 0.95,
+        "4 PCPUs serve 4 VCPUs fully, got {last_avg}"
+    );
 }
 
 proptest! {

@@ -1,0 +1,328 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A genuine wall-clock measurement harness with criterion's API shape:
+//! groups, samples, throughput annotation, `iter`/`iter_batched`. Each
+//! benchmark calibrates an iteration count against the group's measurement
+//! time, collects `sample_size` samples, and prints mean/min/max per
+//! iteration (plus throughput when configured). No plotting, no statistics
+//! beyond the summary line — but timings are real, so relative comparisons
+//! (e.g. parallel speedup) are meaningful.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement configuration plus a sink for results.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; arguments are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+            measurement_time,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        let mut group = self.benchmark_group(label.clone());
+        group.bench_function("", f);
+        group.finish();
+    }
+}
+
+/// Units for reporting a rate alongside per-iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Two-part benchmark label, printed as `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// How `iter_batched` amortises setup; the shim times every batch
+/// individually, so the variants only bound the batch length.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher.samples);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+
+    /// Prints one summary line from per-iteration sample times.
+    fn report(&self, id: &str, samples: &[Duration]) {
+        let full = if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        if samples.is_empty() {
+            println!("  {full:<40} (no samples)");
+            return;
+        }
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let rate = self.throughput.map(|t| {
+            let secs = mean.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => format!("  {:.3e} elem/s", n as f64 / secs),
+                Throughput::Bytes(n) => format!("  {:.3e} B/s", n as f64 / secs),
+            }
+        });
+        println!(
+            "  {full:<40} time: [{} {} {}]{}",
+            format_duration(min),
+            format_duration(mean),
+            format_duration(max),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Runs and times the benchmark routine.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Mean per-iteration time of each collected sample.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Picks iterations-per-sample so that `sample_size` samples roughly
+    /// fill the measurement window, based on one calibration run.
+    fn iters_per_sample(&self, calibration: Duration) -> u64 {
+        let budget = self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let one = calibration.as_nanos().max(1);
+        (budget / one).clamp(1, 1_000_000) as u64
+    }
+
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        let iters = self.iters_per_sample(start.elapsed());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let iters = self.iters_per_sample(start.elapsed());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_self_test");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(20));
+        group.throughput(Throughput::Elements(100));
+        let mut ran = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                let mut acc = 0u64;
+                for i in 0..1000u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &n| {
+            b.iter_batched(
+                || vec![n; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+        assert!(ran > 5, "routine should run at least once per sample");
+    }
+
+    #[test]
+    fn timing_distinguishes_fast_from_slow() {
+        let time_of = |work: u64| {
+            let mut b = Bencher {
+                sample_size: 3,
+                measurement_time: Duration::from_millis(10),
+                samples: Vec::new(),
+            };
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..work {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            });
+            b.samples.iter().sum::<Duration>() / b.samples.len() as u32
+        };
+        let fast = time_of(100);
+        let slow = time_of(100_000);
+        assert!(
+            slow > fast * 10,
+            "1000x work should be >10x slower: fast={fast:?} slow={slow:?}"
+        );
+    }
+}

@@ -1,0 +1,686 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds in environments with no network access, so the
+//! real `serde` cannot be downloaded. The framework only ever serializes
+//! to and from JSON (configs, figure dumps), so this shim replaces
+//! serde's visitor architecture with a single JSON-shaped data model,
+//! [`Content`]: `Serialize` converts a value *into* a `Content` tree and
+//! `Deserialize` reconstructs a value *from* one. The companion
+//! `serde_derive` shim generates both impls for structs and enums,
+//! honouring the subset of `#[serde(...)]` attributes this workspace
+//! uses (`rename`, `rename_all`, `default`, `default = "fn"`,
+//! `skip_serializing_if`, `untagged`).
+//!
+//! `serde_json` (also vendored) re-exports [`Content`] as its `Value`
+//! and supplies the JSON text layer.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON-shaped data model every value serializes through.
+///
+/// Integers keep their sign information (`U64` vs `I64`) so that large
+/// unsigned values round-trip exactly; floats are a separate arm and
+/// never compare equal to integers, matching `serde_json::Value`.
+#[derive(Debug, Clone)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Content>),
+    /// JSON object, preserving insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The object entries, if this is a map.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64`, coercing integers.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::U64(v) => i64::try_from(v).ok(),
+            Content::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Looks up an object key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Looks up an array index.
+    #[must_use]
+    pub fn get_index(&self, index: usize) -> Option<&Content> {
+        self.as_array().and_then(|s| s.get(index))
+    }
+
+    /// Renders as compact JSON text.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, None, 0);
+        out
+    }
+
+    /// Renders as pretty-printed JSON text (two-space indent).
+    #[must_use]
+    pub fn to_json_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write_json(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Content::Null => out.push_str("null"),
+            Content::Bool(true) => out.push_str("true"),
+            Content::Bool(false) => out.push_str("false"),
+            Content::U64(v) => out.push_str(&v.to_string()),
+            Content::I64(v) => out.push_str(&v.to_string()),
+            Content::F64(v) => {
+                if v.is_finite() {
+                    // `{:?}` prints the shortest representation that
+                    // round-trips, always with a decimal point or exponent.
+                    out.push_str(&format!("{v:?}"));
+                } else {
+                    // JSON has no NaN/Infinity; serde_json writes null.
+                    out.push_str("null");
+                }
+            }
+            Content::Str(s) => write_json_string(out, s),
+            Content::Seq(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write_json(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Content::Map(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_json_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write_json(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..depth * step {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl PartialEq for Content {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Content::Null, Content::Null) => true,
+            (Content::Bool(a), Content::Bool(b)) => a == b,
+            (Content::Str(a), Content::Str(b)) => a == b,
+            (Content::Seq(a), Content::Seq(b)) => a == b,
+            (Content::Map(a), Content::Map(b)) => a == b,
+            (Content::F64(a), Content::F64(b)) => a == b,
+            // Integers compare by value across the signed/unsigned split.
+            (a, b) => match (a.as_i64(), b.as_i64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => match (a.as_u64(), b.as_u64()) {
+                    (Some(x), Some(y)) => x == y,
+                    _ => false,
+                },
+            },
+        }
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Content {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Content> for &str {
+    fn eq(&self, other: &Content) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+macro_rules! content_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Content {
+            #[allow(unused_comparisons, clippy::cast_lossless)]
+            fn eq(&self, other: &$t) -> bool {
+                if *other >= 0 {
+                    self.as_u64() == Some(*other as u64)
+                } else {
+                    self.as_i64() == Some(*other as i64)
+                }
+            }
+        }
+    )*};
+}
+content_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PartialEq<f64> for Content {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Content::F64(v) if v == other)
+    }
+}
+
+impl PartialEq<bool> for Content {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+static NULL_CONTENT: Content = Content::Null;
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL_CONTENT)
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, index: usize) -> &Content {
+        self.get_index(index).unwrap_or(&NULL_CONTENT)
+    }
+}
+
+impl fmt::Display for Content {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json_string())
+    }
+}
+
+/// Deserialization error: a message describing what did not match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Converts a value into the [`Content`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a content tree.
+    fn serialize_content(&self) -> Content;
+}
+
+/// Reconstructs a value from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes a value from a content tree.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] when the content shape does not match `Self`.
+    fn deserialize_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Map lookup helper used by derived `Deserialize` impls.
+#[doc(hidden)]
+#[must_use]
+pub fn __content_get<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl Serialize for Content {
+    fn serialize_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_bool()
+            .ok_or_else(|| DeError::custom(format!("expected boolean, got {content}")))
+    }
+}
+
+macro_rules! serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+                let v = content.as_u64().ok_or_else(|| {
+                    DeError::custom(format!(
+                        "expected unsigned integer, got {content}"
+                    ))
+                })?;
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::custom(format!(
+                        "integer {v} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+serde_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize_content(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        let v = content
+            .as_u64()
+            .ok_or_else(|| DeError::custom(format!("expected unsigned integer, got {content}")))?;
+        usize::try_from(v).map_err(|_| DeError::custom(format!("integer {v} out of range")))
+    }
+}
+
+macro_rules! serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            #[allow(clippy::cast_lossless)]
+            fn serialize_content(&self) -> Content {
+                let v = i64::from(*self);
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+                let v = content.as_i64().ok_or_else(|| {
+                    DeError::custom(format!("expected integer, got {content}"))
+                })?;
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::custom(format!(
+                        "integer {v} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+serde_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize_content(&self) -> Content {
+        let v = *self as i64;
+        if v >= 0 {
+            Content::U64(v as u64)
+        } else {
+            Content::I64(v)
+        }
+    }
+}
+
+impl Deserialize for isize {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        let v = content
+            .as_i64()
+            .ok_or_else(|| DeError::custom(format!("expected integer, got {content}")))?;
+        isize::try_from(v).map_err(|_| DeError::custom(format!("integer {v} out of range")))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_f64()
+            .ok_or_else(|| DeError::custom(format!("expected number, got {content}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        f64::deserialize_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::custom(format!("expected string, got {content}")))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        if content.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize_content(content).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        let seq = content
+            .as_array()
+            .ok_or_else(|| DeError::custom(format!("expected array, got {content}")))?;
+        seq.iter().map(T::deserialize_content).collect()
+    }
+}
+
+macro_rules! serde_tuple {
+    ($(($($name:ident : $idx:tt),+) with $len:expr;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+                let seq = content.as_array().ok_or_else(|| {
+                    DeError::custom(format!("expected array, got {content}"))
+                })?;
+                if seq.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected array of length {}, got {}", $len, seq.len()
+                    )));
+                }
+                Ok(($($name::deserialize_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+serde_tuple! {
+    (A: 0) with 1;
+    (A: 0, B: 1) with 2;
+    (A: 0, B: 1, C: 2) with 3;
+    (A: 0, B: 1, C: 2, D: 3) with 4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(u64::deserialize_content(&5u64.serialize_content()), Ok(5));
+        assert_eq!(
+            i32::deserialize_content(&(-3i32).serialize_content()),
+            Ok(-3)
+        );
+        assert_eq!(f64::deserialize_content(&Content::U64(4)), Ok(4.0));
+        assert_eq!(
+            String::deserialize_content(&Content::Str("hi".into())),
+            Ok("hi".to_string())
+        );
+        assert!(u32::deserialize_content(&Content::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn tuple_and_vec_round_trip() {
+        let v = (1u32, 5u32).serialize_content();
+        assert_eq!(<(u32, u32)>::deserialize_content(&v), Ok((1, 5)));
+        let xs = vec![1.5f64, 2.5];
+        let c = xs.serialize_content();
+        assert_eq!(Vec::<f64>::deserialize_content(&c), Ok(xs));
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(None::<u64>.serialize_content(), Content::Null);
+        assert_eq!(Option::<u64>::deserialize_content(&Content::Null), Ok(None));
+        assert_eq!(
+            Option::<u64>::deserialize_content(&Content::U64(3)),
+            Ok(Some(3))
+        );
+    }
+
+    #[test]
+    fn json_text_rendering() {
+        let c = Content::Map(vec![
+            ("a".to_string(), Content::F64(1.0)),
+            (
+                "b".to_string(),
+                Content::Seq(vec![Content::U64(1), Content::Null]),
+            ),
+        ]);
+        assert_eq!(c.to_json_string(), r#"{"a":1.0,"b":[1,null]}"#);
+        assert!(c.to_json_string_pretty().contains("\n  \"a\": 1.0"));
+    }
+
+    #[test]
+    fn integer_equality_crosses_sign_repr() {
+        assert_eq!(Content::U64(5), Content::I64(5));
+        assert_ne!(Content::U64(5), Content::F64(5.0));
+        assert_eq!(Content::Str("x".into()), "x");
+    }
+
+    #[test]
+    fn index_missing_is_null() {
+        let c = Content::Map(vec![]);
+        assert!(c["nope"].is_null());
+        assert!(c[3].is_null());
+    }
+}

@@ -1,0 +1,618 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize` / `Deserialize` impls against the vendored
+//! `serde` shim's [`Content`] data model. Written directly on
+//! `proc_macro` (no `syn`/`quote`, which cannot be downloaded in this
+//! environment), so it supports the declaration shapes this workspace
+//! actually uses:
+//!
+//! * structs with named fields (no generics, no tuple structs);
+//! * enums with unit, newtype, and struct variants (no tuple variants);
+//! * container attributes `#[serde(rename_all = "snake_case")]`,
+//!   `#[serde(rename_all = "lowercase")]`, `#[serde(untagged)]`;
+//! * field attributes `#[serde(rename = "...")]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]`,
+//!   `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Unsupported shapes fail with a `compile_error!` naming the
+//! limitation rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => {
+            if serialize {
+                gen_serialize(&item)
+            } else {
+                gen_deserialize(&item)
+            }
+        }
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid Rust: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------- model --
+
+#[derive(Default)]
+struct ContainerAttrs {
+    rename_all: Option<String>,
+    untagged: bool,
+}
+
+#[derive(Default)]
+struct FieldAttrs {
+    rename: Option<String>,
+    /// `Some(None)` for bare `default`, `Some(Some(path))` for `default = "path"`.
+    default: Option<Option<String>>,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype(String),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    rename: Option<String>,
+    kind: VariantKind,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    body: Body,
+}
+
+impl Item {
+    fn key_for(&self, raw: &str, rename: Option<&String>) -> String {
+        if let Some(r) = rename {
+            return r.clone();
+        }
+        match self.attrs.rename_all.as_deref() {
+            Some("snake_case") => to_snake_case(raw),
+            Some("lowercase") => raw.to_lowercase(),
+            _ => raw.to_string(),
+        }
+    }
+}
+
+fn to_snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// -------------------------------------------------------------- parsing --
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens: Tokens = input.into_iter().peekable();
+    let metas = parse_attributes(&mut tokens)?;
+    let mut attrs = ContainerAttrs::default();
+    for (key, value) in metas {
+        match (key.as_str(), value) {
+            ("rename_all", Some(v)) => {
+                if v != "snake_case" && v != "lowercase" {
+                    return Err(format!("serde_derive shim: unsupported rename_all {v:?}"));
+                }
+                attrs.rename_all = Some(v);
+            }
+            ("untagged", None) => attrs.untagged = true,
+            ("deny_unknown_fields", None) | ("transparent", None) => {}
+            (other, _) => {
+                return Err(format!(
+                    "serde_derive shim: unsupported container attribute `{other}`"
+                ))
+            }
+        }
+    }
+    skip_visibility(&mut tokens);
+    let keyword = expect_ident(&mut tokens)?;
+    if keyword != "struct" && keyword != "enum" {
+        return Err(format!(
+            "serde_derive shim: expected `struct` or `enum`, found `{keyword}`"
+        ));
+    }
+    let name = expect_ident(&mut tokens)?;
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive shim: generic type `{name}` is not supported"
+        ));
+    }
+    let group = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        _ => {
+            return Err(format!(
+                "serde_derive shim: `{name}` must have a braced body (tuple structs unsupported)"
+            ))
+        }
+    };
+    let body = if keyword == "struct" {
+        Body::Struct(parse_fields(group.stream())?)
+    } else {
+        Body::Enum(parse_variants(group.stream())?)
+    };
+    Ok(Item { name, attrs, body })
+}
+
+/// Collects `(key, value)` pairs from every `#[serde(...)]` attribute at
+/// the current position; other attributes (doc comments etc.) are skipped.
+fn parse_attributes(tokens: &mut Tokens) -> Result<Vec<(String, Option<String>)>, String> {
+    let mut metas = Vec::new();
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                let group = match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                    _ => return Err("serde_derive shim: malformed attribute".to_string()),
+                };
+                let mut inner = group.stream().into_iter();
+                match inner.next() {
+                    Some(TokenTree::Ident(name)) if name.to_string() == "serde" => {
+                        let args = match inner.next() {
+                            Some(TokenTree::Group(g))
+                                if g.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                g
+                            }
+                            _ => {
+                                return Err("serde_derive shim: expected #[serde(...)]".to_string())
+                            }
+                        };
+                        parse_meta_list(args.stream(), &mut metas)?;
+                    }
+                    _ => {} // not a serde attribute; ignore
+                }
+            }
+            _ => return Ok(metas),
+        }
+    }
+}
+
+fn parse_meta_list(
+    stream: TokenStream,
+    metas: &mut Vec<(String, Option<String>)>,
+) -> Result<(), String> {
+    let mut iter = stream.into_iter().peekable();
+    while let Some(token) = iter.next() {
+        let key = match token {
+            TokenTree::Ident(i) => i.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive shim: unexpected token `{other}` in #[serde(...)]"
+                ))
+            }
+        };
+        let value = match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Literal(lit)) => Some(unquote(&lit.to_string())?),
+                    other => {
+                        return Err(format!(
+                            "serde_derive shim: expected string after `{key} =`, got {other:?}"
+                        ))
+                    }
+                }
+            }
+            _ => None,
+        };
+        metas.push((key, value));
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+    }
+    Ok(())
+}
+
+fn unquote(lit: &str) -> Result<String, String> {
+    let inner = lit
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("serde_derive shim: expected string literal, got {lit}"))?;
+    Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+fn skip_visibility(tokens: &mut Tokens) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut Tokens) -> Result<String, String> {
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+        other => Err(format!(
+            "serde_derive shim: expected identifier, found {other:?}"
+        )),
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while tokens.peek().is_some() {
+        let metas = parse_attributes(&mut tokens)?;
+        let mut attrs = FieldAttrs::default();
+        for (key, value) in metas {
+            match (key.as_str(), value) {
+                ("rename", Some(v)) => attrs.rename = Some(v),
+                ("default", v) => attrs.default = Some(v),
+                ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
+                (other, _) => {
+                    return Err(format!(
+                        "serde_derive shim: unsupported field attribute `{other}`"
+                    ))
+                }
+            }
+        }
+        skip_visibility(&mut tokens);
+        let name = expect_ident(&mut tokens)?;
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde_derive shim: expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        let ty = collect_type(&mut tokens)?;
+        fields.push(Field { name, ty, attrs });
+    }
+    Ok(fields)
+}
+
+/// Collects type tokens up to the next comma outside `<...>` nesting.
+fn collect_type(tokens: &mut Tokens) -> Result<String, String> {
+    let mut depth: i32 = 0;
+    let mut collected = TokenStream::new();
+    while let Some(token) = tokens.peek() {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                _ => {}
+            }
+        }
+        collected.extend([tokens.next().expect("peeked")]);
+    }
+    let ty = collected.to_string();
+    if ty.is_empty() {
+        return Err("serde_derive shim: empty field type".to_string());
+    }
+    Ok(ty)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut tokens: Tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while tokens.peek().is_some() {
+        let metas = parse_attributes(&mut tokens)?;
+        let mut rename = None;
+        for (key, value) in metas {
+            match (key.as_str(), value) {
+                ("rename", Some(v)) => rename = Some(v),
+                (other, _) => {
+                    return Err(format!(
+                        "serde_derive shim: unsupported variant attribute `{other}`"
+                    ))
+                }
+            }
+        }
+        let name = expect_ident(&mut tokens)?;
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                tokens.next();
+                let mut inner_tokens: Tokens = inner.into_iter().peekable();
+                let ty = collect_type(&mut inner_tokens)?;
+                if inner_tokens.peek().is_some() {
+                    return Err(format!(
+                        "serde_derive shim: tuple variant `{name}` with >1 field unsupported"
+                    ));
+                }
+                VariantKind::Newtype(ty)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                tokens.next();
+                VariantKind::Struct(parse_fields(inner)?)
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+        variants.push(Variant { name, rename, kind });
+    }
+    Ok(variants)
+}
+
+// -------------------------------------------------------------- codegen --
+
+/// Serialization statements that push a struct's (or struct variant's)
+/// fields into a `__m: Vec<(String, Content)>`, honouring
+/// `skip_serializing_if`. `accessor(field)` renders the field expression.
+fn ser_fields(item: &Item, fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let key = item.key_for(&f.name, f.attrs.rename.as_ref());
+        let expr = accessor(&f.name);
+        let push = format!(
+            "__m.push(({key:?}.to_string(), ::serde::Serialize::serialize_content({expr})));"
+        );
+        if let Some(skip) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!("if !{skip}({expr}) {{ {push} }}\n"));
+        } else {
+            out.push_str(&push);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Field initializers for a braced constructor, reading from `__map`.
+fn de_fields(item: &Item, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let key = item.key_for(&f.name, f.attrs.rename.as_ref());
+        let missing = match &f.attrs.default {
+            Some(None) => "::std::default::Default::default()".to_string(),
+            Some(Some(path)) => format!("{path}()"),
+            None if type_is_option(&f.ty) => "::std::option::Option::None".to_string(),
+            None => format!(
+                "return ::std::result::Result::Err(::serde::DeError::custom(\
+                 concat!({:?}, \": missing field `\", {key:?}, \"`\")))",
+                item.name
+            ),
+        };
+        out.push_str(&format!(
+            "{name}: match ::serde::__content_get(__map, {key:?}) {{\n\
+             ::std::option::Option::Some(__x) => \
+             <{ty} as ::serde::Deserialize>::deserialize_content(__x)?,\n\
+             ::std::option::Option::None => {missing},\n}},\n",
+            name = f.name,
+            ty = f.ty,
+        ));
+    }
+    out
+}
+
+fn type_is_option(ty: &str) -> bool {
+    let first = ty.split(['<', ' ']).next().unwrap_or("");
+    first == "Option"
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let pushes = ser_fields(item, fields, |f| format!("&self.{f}"));
+            format!(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Content::Map(__m)"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let key = item.key_for(&v.name, v.rename.as_ref());
+                let arm = match &v.kind {
+                    VariantKind::Unit => {
+                        if item.attrs.untagged {
+                            format!("{name}::{v} => ::serde::Content::Null,\n", v = v.name)
+                        } else {
+                            format!(
+                                "{name}::{v} => ::serde::Content::Str({key:?}.to_string()),\n",
+                                v = v.name
+                            )
+                        }
+                    }
+                    VariantKind::Newtype(_) => {
+                        let inner = "::serde::Serialize::serialize_content(__inner)";
+                        if item.attrs.untagged {
+                            format!("{name}::{v}(__inner) => {inner},\n", v = v.name)
+                        } else {
+                            format!(
+                                "{name}::{v}(__inner) => {{\n\
+                                 let mut __m: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::Content)> = ::std::vec::Vec::new();\n\
+                                 __m.push(({key:?}.to_string(), {inner}));\n\
+                                 ::serde::Content::Map(__m)\n}},\n",
+                                v = v.name
+                            )
+                        }
+                    }
+                    VariantKind::Struct(fields) => {
+                        let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes = ser_fields(item, fields, |f| f.to_string());
+                        let map = format!(
+                            "let mut __m: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Content)> = ::std::vec::Vec::new();\n{pushes}"
+                        );
+                        let value = if item.attrs.untagged {
+                            "::serde::Content::Map(__m)".to_string()
+                        } else {
+                            format!(
+                                "{{ let mut __outer: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::Content)> = ::std::vec::Vec::new();\n\
+                                 __outer.push(({key:?}.to_string(), ::serde::Content::Map(__m)));\n\
+                                 ::serde::Content::Map(__outer) }}"
+                            )
+                        };
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n{map}{value}\n}},\n",
+                            v = v.name,
+                            binds = bindings.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let inits = de_fields(item, fields);
+            format!(
+                "let __map = __v.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                 concat!({name:?}, \": expected object\")))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Body::Enum(variants) if item.attrs.untagged => {
+            let mut attempts = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => {
+                        attempts.push_str(&format!(
+                            "if __v.is_null() {{ return ::std::result::Result::Ok({name}::{v}); }}\n",
+                            v = v.name
+                        ));
+                    }
+                    VariantKind::Newtype(ty) => {
+                        attempts.push_str(&format!(
+                            "if let ::std::result::Result::Ok(__x) = \
+                             <{ty} as ::serde::Deserialize>::deserialize_content(__v) {{\n\
+                             return ::std::result::Result::Ok({name}::{v}(__x));\n}}\n",
+                            v = v.name
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits = de_fields(item, fields);
+                        attempts.push_str(&format!(
+                            "let __attempt = (|| -> ::std::result::Result<{name}, ::serde::DeError> {{\n\
+                             let __map = __v.as_map().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected object\"))?;\n\
+                             ::std::result::Result::Ok({name}::{v} {{\n{inits}}})\n}})();\n\
+                             if let ::std::result::Result::Ok(__x) = __attempt {{\n\
+                             return ::std::result::Result::Ok(__x);\n}}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{attempts}::std::result::Result::Err(::serde::DeError::custom(\
+                 concat!({name:?}, \": no untagged variant matched\")))"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let key = item.key_for(&v.name, v.rename.as_ref());
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{key:?} => return ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        ));
+                    }
+                    VariantKind::Newtype(ty) => {
+                        data_arms.push_str(&format!(
+                            "{key:?} => return ::std::result::Result::Ok({name}::{v}(\
+                             <{ty} as ::serde::Deserialize>::deserialize_content(__inner)?)),\n",
+                            v = v.name
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits = de_fields(item, fields);
+                        data_arms.push_str(&format!(
+                            "{key:?} => {{\n\
+                             let __map = __inner.as_map().ok_or_else(|| \
+                             ::serde::DeError::custom(concat!({name:?}, \"::\", {key:?}, \
+                             \": expected object\")))?;\n\
+                             return ::std::result::Result::Ok({name}::{v} {{\n{inits}}});\n}},\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{unit_arms}\
+                 __other => return ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(concat!({name:?}, \": unknown variant `{{}}`\"), __other))),\n}}\n}}\n\
+                 if let ::std::option::Option::Some(__map) = __v.as_map() {{\n\
+                 if __map.len() == 1 {{\n\
+                 let (__tag, __inner) = &__map[0];\n\
+                 let _ = __inner;\n\
+                 match __tag.as_str() {{\n{data_arms}\
+                 __other => return ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(concat!({name:?}, \": unknown variant `{{}}`\"), __other))),\n}}\n}}\n}}\n\
+                 ::std::result::Result::Err(::serde::DeError::custom(\
+                 concat!({name:?}, \": expected variant string or single-key object\")))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_content(__v: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
