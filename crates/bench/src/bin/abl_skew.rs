@@ -1,86 +1,15 @@
-//! ABL2 — RCS skew-threshold ablation.
+//! ABL2 — RCS skew-threshold ablation: efficiency vs. fairness as relaxed
+//! co-scheduling's only tuning knob sweeps from strict to free.
 //!
-//! The skew threshold is relaxed co-scheduling's only tuning knob: it
-//! trades synchronization latency (tight threshold ≈ strict co-scheduling)
-//! against scheduling freedom (loose threshold ≈ round-robin). This
-//! ablation sweeps it on two axes:
-//!
-//! * **efficiency** — avg VCPU utilization on the oversubscribed Figure 10
-//!   setup (VMs {2,4}, 4 PCPUs),
-//! * **fairness** — the availability spread on the Figure 8 setup
-//!   (VMs {2,1,1}, 1 PCPU), where strictness starves the SMP VM.
+//! Thin shim over the `abl_skew` experiment of `configs/paper.sweep.json`;
+//! see `vsched-campaign` for the engine.
 //!
 //! ```sh
 //! cargo run --release -p vsched-bench --bin abl_skew
 //! ```
 
-use serde_json::json;
-use vsched_bench::paper_config;
-use vsched_bench::report::{write_json, Table};
-use vsched_core::{Engine, ExperimentBuilder, MetricsReport, PolicyKind};
+use std::process::ExitCode;
 
-fn run(config: vsched_core::SystemConfig, policy: PolicyKind) -> MetricsReport {
-    ExperimentBuilder::new(config, policy)
-        .engine(Engine::Direct)
-        .warmup(2_000)
-        .horizon(40_000)
-        .replications_exact(5)
-        .run()
-        .expect("ablation runs")
-}
-
-fn spread(xs: &[f64]) -> f64 {
-    let max = xs.iter().cloned().fold(f64::MIN, f64::max);
-    let min = xs.iter().cloned().fold(f64::MAX, f64::min);
-    max - min
-}
-
-fn main() {
-    let mut table = Table::new(
-        "ABL2: RCS skew threshold sweep (resume = threshold/2)",
-        &[
-            "threshold",
-            "util {2,4}@4P",
-            "pcpu util",
-            "avail spread {2,1,1}@1P",
-            "SMP VM avail",
-        ],
-    );
-    let mut rows = Vec::new();
-    for threshold in [2u64, 5, 10, 20, 40, 80] {
-        let policy = PolicyKind::RelaxedCo {
-            skew_threshold: threshold,
-            skew_resume: threshold / 2,
-        };
-        let eff = run(paper_config(4, &[2, 4], (1, 5)), policy.clone());
-        let fair = run(paper_config(1, &[2, 1, 1], (1, 5)), policy);
-        let smp_avail =
-            (fair.vcpu_availability_means()[0] + fair.vcpu_availability_means()[1]) / 2.0;
-        table.row(vec![
-            threshold.to_string(),
-            format!("{:.3}", eff.avg_vcpu_utilization()),
-            format!("{:.3}", eff.avg_pcpu_utilization()),
-            format!("{:.3}", spread(&fair.vcpu_availability_means())),
-            format!("{smp_avail:.3}"),
-        ]);
-        rows.push(json!({
-            "threshold": threshold,
-            "vcpu_utilization": eff.avg_vcpu_utilization(),
-            "pcpu_utilization": eff.avg_pcpu_utilization(),
-            "availability_spread": spread(&fair.vcpu_availability_means()),
-            "smp_vm_availability": smp_avail,
-        }));
-    }
-    // Anchors for comparison.
-    let rrs = run(paper_config(4, &[2, 4], (1, 5)), PolicyKind::RoundRobin);
-    let scs = run(paper_config(4, &[2, 4], (1, 5)), PolicyKind::StrictCo);
-    table.print();
-    println!();
-    println!(
-        "anchors on the efficiency axis: RRS = {:.3}, SCS = {:.3}",
-        rrs.avg_vcpu_utilization(),
-        scs.avg_vcpu_utilization()
-    );
-    println!("expected: tight thresholds approach SCS efficiency; loose ones approach RRS.");
-    write_json("abl_skew", &json!({ "rows": rows }));
+fn main() -> ExitCode {
+    vsched_bench::campaign_shim("abl_skew")
 }

@@ -1,78 +1,15 @@
-//! ABL4 — synchronization-pattern ablation.
+//! ABL4 — synchronization-pattern ablation: Bernoulli sync points vs the
+//! deterministic every-k-th reading of the paper's ratio sentence.
 //!
-//! The paper defines the sync ratio verbally: "the 1:5 ratio means that
-//! for five workloads there is one synchronization point". That sentence
-//! admits two readings — a Bernoulli coin with p = 1/5 per workload (our
-//! default) or a deterministic *every fifth workload* pattern. This
-//! ablation runs Figure 10's oversubscribed cell under both readings at
-//! every sync rate, showing the reproduction is insensitive to the
-//! choice.
+//! Thin shim over the `abl_syncpattern` experiment of
+//! `configs/paper.sweep.json`; see `vsched-campaign` for the engine.
 //!
 //! ```sh
 //! cargo run --release -p vsched-bench --bin abl_syncpattern
 //! ```
 
-use serde_json::json;
-use vsched_bench::report::{write_json, Table};
-use vsched_core::{Engine, ExperimentBuilder, PolicyKind, SystemConfig, VmSpec, WorkloadSpec};
+use std::process::ExitCode;
 
-fn config(sync_k: u32, deterministic: bool) -> SystemConfig {
-    let mut w = WorkloadSpec::paper_default()
-        .with_sync_ratio(1, sync_k)
-        .expect("valid ratio");
-    if deterministic {
-        w.sync_probability = 0.0;
-        w = w.with_sync_every(sync_k).expect("valid k");
-    }
-    let mut b = SystemConfig::builder().pcpus(4);
-    for &n in &[2usize, 4] {
-        b = b.vm_spec(VmSpec {
-            vcpus: n,
-            workload: w.clone(),
-            weight: 1,
-        });
-    }
-    b.build().expect("valid config")
-}
-
-fn main() {
-    let mut table = Table::new(
-        "ABL4: Bernoulli vs every-k-th sync points, VMs {2,4}, 4 PCPUs (avg VCPU util)",
-        &["sync", "policy", "Bernoulli", "every k-th", "|Δ|"],
-    );
-    let mut rows = Vec::new();
-    for k in [5u32, 3, 2] {
-        for policy in PolicyKind::paper_trio() {
-            let run = |deterministic: bool| {
-                ExperimentBuilder::new(config(k, deterministic), policy.clone())
-                    .engine(Engine::Direct)
-                    .warmup(2_000)
-                    .horizon(40_000)
-                    .replications_exact(5)
-                    .run()
-                    .expect("ablation runs")
-                    .avg_vcpu_utilization()
-            };
-            let bernoulli = run(false);
-            let every_kth = run(true);
-            table.row(vec![
-                format!("1:{k}"),
-                policy.label().to_string(),
-                format!("{bernoulli:.3}"),
-                format!("{every_kth:.3}"),
-                format!("{:.3}", (bernoulli - every_kth).abs()),
-            ]);
-            rows.push(json!({
-                "sync": format!("1:{k}"),
-                "policy": policy.label(),
-                "bernoulli": bernoulli,
-                "every_kth": every_kth,
-            }));
-        }
-    }
-    table.print();
-    println!();
-    println!("expected: small |Δ| everywhere — the figures do not hinge on how the");
-    println!("paper's ratio sentence is read.");
-    write_json("abl_syncpattern", &json!({ "rows": rows }));
+fn main() -> ExitCode {
+    vsched_bench::campaign_shim("abl_syncpattern")
 }

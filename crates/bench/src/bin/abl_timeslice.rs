@@ -1,65 +1,15 @@
-//! ABL1 — timeslice ablation.
+//! ABL1 — timeslice ablation: how the Figure 10 result depends on the
+//! hypervisor timeslice.
 //!
-//! The paper fixes the hypervisor timeslice implicitly; this ablation
-//! shows how the Figure 10 result depends on it. The synchronization
-//! latency of round-robin comes from a preempted lock holder waiting a
-//! whole rotation for its next slice, so the RRS↔co-scheduling gap should
-//! *grow* with the timeslice, while SCS (whose gangs always run together)
-//! should be flat.
+//! Thin shim over the `abl_timeslice` experiment of
+//! `configs/paper.sweep.json`; see `vsched-campaign` for the engine.
 //!
 //! ```sh
 //! cargo run --release -p vsched-bench --bin abl_timeslice
 //! ```
 
-use serde_json::json;
-use vsched_bench::report::{write_json, Table};
-use vsched_core::{Engine, ExperimentBuilder, PolicyKind, SystemConfig};
+use std::process::ExitCode;
 
-fn config(timeslice: u64) -> SystemConfig {
-    SystemConfig::builder()
-        .pcpus(4)
-        .vm(2)
-        .vm(4)
-        .sync_ratio(1, 5)
-        .timeslice(timeslice)
-        .build()
-        .expect("valid config")
-}
-
-fn main() {
-    let mut table = Table::new(
-        "ABL1: avg VCPU utilization vs timeslice, VMs {2,4}, 4 PCPUs, sync 1:5",
-        &["timeslice", "RRS", "SCS", "RCS", "SCS-RRS gap"],
-    );
-    let mut rows = Vec::new();
-    for timeslice in [5u64, 10, 20, 30, 50, 100] {
-        let mut utils = Vec::new();
-        for policy in PolicyKind::paper_trio() {
-            let report = ExperimentBuilder::new(config(timeslice), policy)
-                .engine(Engine::Direct)
-                .warmup(2_000)
-                .horizon(40_000)
-                .replications_exact(5)
-                .run()
-                .expect("ablation runs");
-            utils.push(report.avg_vcpu_utilization());
-        }
-        table.row(vec![
-            timeslice.to_string(),
-            format!("{:.3}", utils[0]),
-            format!("{:.3}", utils[1]),
-            format!("{:.3}", utils[2]),
-            format!("{:+.3}", utils[1] - utils[0]),
-        ]);
-        rows.push(json!({
-            "timeslice": timeslice,
-            "rrs": utils[0],
-            "scs": utils[1],
-            "rcs": utils[2],
-        }));
-    }
-    table.print();
-    println!();
-    println!("expected: the SCS-RRS gap grows with the timeslice; SCS is flat.");
-    write_json("abl_timeslice", &json!({ "rows": rows }));
+fn main() -> ExitCode {
+    vsched_bench::campaign_shim("abl_timeslice")
 }

@@ -1,98 +1,16 @@
-//! ABL3 — workload-distribution ablation.
+//! ABL3 — workload-distribution ablation: the Figure 10 comparison under
+//! a spectrum of load distributions (resonant, low-variance, heavy-tail,
+//! rate-limited).
 //!
-//! The paper's generator is "configurable to any distribution and rate"
-//! but evaluates only one (unspecified) distribution. This ablation
-//! re-runs the Figure 10 comparison under a spectrum of load-duration
-//! distributions with the same mean (10 ticks) and increasing variance,
-//! plus a rate-limited (interarrival) variant. Two regimes emerge:
-//!
-//! * a **resonance** regime (deterministic loads dividing the timeslice):
-//!   jobs never straddle a preemption, round-robin pays no sync latency;
-//! * a **heavy-tail** regime (exponential): long sync jobs outlive gang
-//!   windows, eroding — even inverting — the co-scheduling advantage.
+//! Thin shim over the `abl_workload` experiment of
+//! `configs/paper.sweep.json`; see `vsched-campaign` for the engine.
 //!
 //! ```sh
 //! cargo run --release -p vsched-bench --bin abl_workload
 //! ```
 
-use serde_json::json;
-use vsched_bench::report::{write_json, Table};
-use vsched_core::{Engine, ExperimentBuilder, PolicyKind, SystemConfig, VmSpec, WorkloadSpec};
-use vsched_des::Dist;
+use std::process::ExitCode;
 
-fn config(load: Dist, interarrival: Option<Dist>) -> SystemConfig {
-    let workload = WorkloadSpec {
-        load,
-        sync_probability: 0.2,
-        sync_mechanism: Default::default(),
-        sync_every: None,
-        interarrival,
-    };
-    let mut b = SystemConfig::builder().pcpus(4);
-    for &n in &[2usize, 4] {
-        b = b.vm_spec(VmSpec {
-            vcpus: n,
-            workload: workload.clone(),
-            weight: 1,
-        });
-    }
-    b.build().expect("valid config")
-}
-
-fn main() {
-    let cases: Vec<(&str, Dist, Option<Dist>)> = vec![
-        (
-            "det(10) [resonant]",
-            Dist::deterministic(10.0).unwrap(),
-            None,
-        ),
-        ("det(13)", Dist::deterministic(13.0).unwrap(), None),
-        ("uniform(8,12)", Dist::uniform(8.0, 12.0).unwrap(), None),
-        ("uniform(5,15)", Dist::uniform(5.0, 15.0).unwrap(), None),
-        ("erlang(16,10)", Dist::erlang(16, 10.0).unwrap(), None),
-        ("erlang(4,10)", Dist::erlang(4, 10.0).unwrap(), None),
-        ("exponential(10)", Dist::exponential(10.0).unwrap(), None),
-        (
-            "uniform(5,15), arrivals exp(12)",
-            Dist::uniform(5.0, 15.0).unwrap(),
-            Some(Dist::exponential(12.0).unwrap()),
-        ),
-    ];
-    let mut table = Table::new(
-        "ABL3: avg VCPU utilization by load distribution, VMs {2,4}, 4 PCPUs, sync 1:5",
-        &["load", "RRS", "SCS", "RCS", "SCS-RRS gap"],
-    );
-    let mut rows = Vec::new();
-    for (name, load, inter) in &cases {
-        let mut utils = Vec::new();
-        for policy in PolicyKind::paper_trio() {
-            let report = ExperimentBuilder::new(config(load.clone(), inter.clone()), policy)
-                .engine(Engine::Direct)
-                .warmup(2_000)
-                .horizon(40_000)
-                .replications_exact(5)
-                .run()
-                .expect("ablation runs");
-            utils.push(report.avg_vcpu_utilization());
-        }
-        table.row(vec![
-            (*name).to_string(),
-            format!("{:.3}", utils[0]),
-            format!("{:.3}", utils[1]),
-            format!("{:.3}", utils[2]),
-            format!("{:+.3}", utils[1] - utils[0]),
-        ]);
-        rows.push(json!({
-            "load": name,
-            "rrs": utils[0],
-            "scs": utils[1],
-            "rcs": utils[2],
-        }));
-    }
-    table.print();
-    println!();
-    println!("expected: positive SCS-RRS gap for low-variance loads;");
-    println!("          ~zero gap for resonant deterministic loads;");
-    println!("          shrinking/negative gap for heavy-tailed loads.");
-    write_json("abl_workload", &json!({ "rows": rows }));
+fn main() -> ExitCode {
+    vsched_bench::campaign_shim("abl_workload")
 }

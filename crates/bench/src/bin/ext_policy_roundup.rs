@@ -1,88 +1,15 @@
-//! EXT2 — the full scheduler roundup.
+//! EXT2 — the full scheduler roundup: all eight policies on the paper's
+//! three metrics over the balanced and oversubscribed regimes.
 //!
-//! The paper evaluates three algorithms; this framework ships eight. One
-//! table compares them all on the three paper metrics over the two
-//! regimes that matter: the balanced Figure 8 setup and the
-//! oversubscribed Figure 10 setup. Fairness is reported as the max−min
-//! spread of per-VCPU availability.
+//! Thin shim over the `ext_policy_roundup` experiment of
+//! `configs/paper.sweep.json`; see `vsched-campaign` for the engine.
 //!
 //! ```sh
 //! cargo run --release -p vsched-bench --bin ext_policy_roundup
 //! ```
 
-use serde_json::json;
-use vsched_bench::report::{write_json, Table};
-use vsched_bench::{paper_config, run_cell};
-use vsched_core::{Engine, PolicyKind};
+use std::process::ExitCode;
 
-fn spread(xs: &[f64]) -> f64 {
-    let max = xs.iter().cloned().fold(f64::MIN, f64::max);
-    let min = xs.iter().cloned().fold(f64::MAX, f64::min);
-    max - min
-}
-
-fn all_policies() -> Vec<PolicyKind> {
-    vec![
-        PolicyKind::RoundRobin,
-        PolicyKind::StrictCo,
-        PolicyKind::relaxed_co_default(),
-        PolicyKind::Balance,
-        PolicyKind::credit_default(),
-        PolicyKind::sedf_default(),
-        PolicyKind::bvt_default(),
-        PolicyKind::Fcfs,
-    ]
-}
-
-fn main() {
-    let mut table = Table::new(
-        "EXT2: all eight schedulers on the paper's two regimes",
-        &[
-            "policy",
-            "fair spread {2,1,1}@2P",
-            "min avail",
-            "util {2,4}@4P",
-            "pcpu util",
-        ],
-    );
-    let mut rows = Vec::new();
-    for policy in all_policies() {
-        let fair = run_cell(
-            paper_config(2, &[2, 1, 1], (1, 5)),
-            policy.clone(),
-            Engine::Direct,
-        );
-        let over = run_cell(
-            paper_config(4, &[2, 4], (1, 3)),
-            policy.clone(),
-            Engine::Direct,
-        );
-        let avail = fair.vcpu_availability_means();
-        let min_avail = avail.iter().cloned().fold(f64::MAX, f64::min);
-        table.row(vec![
-            policy.label().to_string(),
-            format!("{:.3}", spread(&avail)),
-            format!("{min_avail:.3}"),
-            format!("{:.3}", over.avg_vcpu_utilization()),
-            format!("{:.3}", over.avg_pcpu_utilization()),
-        ]);
-        rows.push(json!({
-            "policy": policy.label(),
-            "fairness_spread": spread(&avail),
-            "min_availability": min_avail,
-            "vcpu_utilization": over.avg_vcpu_utilization(),
-            "pcpu_utilization": over.avg_pcpu_utilization(),
-        }));
-    }
-    table.print();
-    println!();
-    println!("reading guide: a good general-purpose scheduler has a small fairness");
-    println!("spread, non-zero min availability (no starvation), high VCPU");
-    println!("utilization (low sync latency) and high PCPU utilization (no");
-    println!("fragmentation) — the four axes the paper's three figures trade off.");
-    println!();
-    println!("note: CRD and SEDF show a large *per-VCPU* spread by design — they are");
-    println!("VM-entitlement-fair: on {{2,1,1}} VMs each VM earns an equal share, so a");
-    println!("2-VCPU VM's VCPUs each receive half of what a lone VCPU does.");
-    write_json("ext_policy_roundup", &json!({ "rows": rows }));
+fn main() -> ExitCode {
+    vsched_bench::campaign_shim("ext_policy_roundup")
 }

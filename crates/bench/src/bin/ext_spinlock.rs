@@ -1,87 +1,15 @@
-//! EXT1 — spinlock synchronization (the paper's §V(ii) future work).
+//! EXT1 — spinlock synchronization (the paper's §V(ii) future work):
+//! lock-holder preemption measured as useful work vs. spin waste.
 //!
-//! Re-runs the Figure 10 comparison with synchronization points as
-//! spinlock **critical sections** instead of barriers: a sync job holds a
-//! per-VM lock for its whole duration and sibling sync jobs *spin* (burn
-//! PCPU without progress). This exposes the §II.B lock-holder-preemption
-//! problem directly — the metric split shows how much of each VCPU's
-//! scheduled time is useful work vs. spin waste per policy.
+//! Thin shim over the `ext_spinlock` experiment of
+//! `configs/paper.sweep.json`; see `vsched-campaign` for the engine.
 //!
 //! ```sh
 //! cargo run --release -p vsched-bench --bin ext_spinlock
 //! ```
 
-use serde_json::json;
-use vsched_bench::report::{write_json, Table};
-use vsched_core::{Engine, ExperimentBuilder, PolicyKind, SystemConfig, VmSpec, WorkloadSpec};
-use vsched_des::Dist;
+use std::process::ExitCode;
 
-fn config(vm_sizes: &[usize], sync_probability: f64) -> SystemConfig {
-    let workload = WorkloadSpec {
-        load: Dist::Uniform {
-            low: 5.0,
-            high: 15.0,
-        },
-        sync_probability,
-        sync_mechanism: Default::default(),
-        sync_every: None,
-        interarrival: None,
-    }
-    .with_spinlock();
-    let mut b = SystemConfig::builder().pcpus(4);
-    for &n in vm_sizes {
-        b = b.vm_spec(VmSpec {
-            vcpus: n,
-            workload: workload.clone(),
-            weight: 1,
-        });
-    }
-    b.build().expect("valid config")
-}
-
-fn main() {
-    let mut table = Table::new(
-        "EXT1: spinlock critical sections, 4 PCPUs (useful util / spin waste)",
-        &["VM set", "sync", "policy", "useful", "spin", "avail"],
-    );
-    let mut rows = Vec::new();
-    for set in [&[2usize, 3][..], &[4, 2]] {
-        for sync in [(1u32, 5u32), (1, 3)] {
-            for policy in PolicyKind::paper_trio() {
-                let p = f64::from(sync.0) / f64::from(sync.1);
-                let report = ExperimentBuilder::new(config(set, p), policy.clone())
-                    .engine(Engine::San)
-                    .warmup(1_000)
-                    .horizon(20_000)
-                    .replications_exact(5)
-                    .run()
-                    .expect("experiment runs");
-                table.row(vec![
-                    set.iter()
-                        .map(ToString::to_string)
-                        .collect::<Vec<_>>()
-                        .join("+"),
-                    format!("{}:{}", sync.0, sync.1),
-                    policy.label().to_string(),
-                    format!("{:.3}", report.avg_vcpu_utilization()),
-                    format!("{:.3}", report.avg_vcpu_spin()),
-                    format!("{:.3}", report.avg_vcpu_availability()),
-                ]);
-                rows.push(json!({
-                    "vms": set,
-                    "sync": format!("{}:{}", sync.0, sync.1),
-                    "policy": policy.label(),
-                    "useful_utilization": report.avg_vcpu_utilization(),
-                    "spin_fraction": report.avg_vcpu_spin(),
-                    "availability": report.avg_vcpu_availability(),
-                }));
-            }
-        }
-    }
-    table.print();
-    println!();
-    println!("expected: co-scheduling converts RRS's holder-preemption spin into useful");
-    println!("work; the residual spin under SCS is the intrinsic contention of");
-    println!("concurrent critical sections.");
-    write_json("ext_spinlock", &json!({ "rows": rows }));
+fn main() -> ExitCode {
+    vsched_bench::campaign_shim("ext_spinlock")
 }

@@ -1,67 +1,15 @@
 //! Figure 10 — "The averaged VCPU Utilization with four PCPUs in different
 //! VM setups" at 95% confidence.
 //!
-//! Setup (paper §IV.C): three VM sets — {2+2}, {2+3}, {2+4} VCPUs; sync
-//! ratio varied 1:5 → 1:2; 4 PCPUs throughout; policies RRS / SCS / RCS;
-//! metric = average VCPU utilization (fraction of a VCPU's scheduled time
-//! spent BUSY — the reward variable "monitors the READY and BUSY states").
-//! This experiment exposes synchronization latency.
+//! Thin shim over the `fig10_vcpu_util` experiment of
+//! `configs/paper.sweep.json`; see `vsched-campaign` for the engine.
 //!
 //! ```sh
 //! cargo run --release -p vsched-bench --bin fig10_vcpu_util
 //! ```
 
-use serde_json::json;
-use vsched_bench::report::{write_json, Table};
-use vsched_bench::{paper_config, run_cell};
-use vsched_core::{Engine, PolicyKind};
+use std::process::ExitCode;
 
-const SETS: [&[usize]; 3] = [&[2, 2], &[2, 3], &[2, 4]];
-const SYNC_RATES: [(u32, u32); 4] = [(1, 5), (1, 4), (1, 3), (1, 2)];
-
-fn main() {
-    let mut table = Table::new(
-        "Figure 10: average VCPU utilization, 4 PCPUs (95% CI)",
-        &["VM set", "VCPUs", "sync", "RRS", "SCS", "RCS"],
-    );
-    let mut json_rows = Vec::new();
-    for (i, set) in SETS.iter().enumerate() {
-        for sync in SYNC_RATES {
-            let mut cells = Vec::new();
-            let mut cell_json = serde_json::Map::new();
-            for policy in PolicyKind::paper_trio() {
-                let config = paper_config(4, set, sync);
-                let report = run_cell(config, policy.clone(), Engine::San);
-                let mean = report.avg_vcpu_utilization();
-                cells.push(format!("{mean:.3}"));
-                cell_json.insert(policy.label().to_string(), json!(mean));
-            }
-            table.row(
-                [
-                    format!("set {}", i + 1),
-                    set.iter()
-                        .map(ToString::to_string)
-                        .collect::<Vec<_>>()
-                        .join("+"),
-                    format!("{}:{}", sync.0, sync.1),
-                ]
-                .into_iter()
-                .chain(cells)
-                .collect(),
-            );
-            json_rows.push(json!({
-                "set": i + 1,
-                "vms": set,
-                "sync": format!("{}:{}", sync.0, sync.1),
-                "utilization": cell_json,
-            }));
-        }
-    }
-    table.print();
-    println!();
-    println!("paper shape checks:");
-    println!("  - set 1 (VCPUs = PCPUs): utilization high, no difference between policies");
-    println!("  - sets 2-3 (VCPUs > PCPUs): SCS highest, RCS slightly lower, RRS last");
-    println!("  - RRS degrades sharply as the sync rate rises 1:5 -> 1:2");
-    write_json("fig10_vcpu_util", &json!({ "rows": json_rows }));
+fn main() -> ExitCode {
+    vsched_bench::campaign_shim("fig10_vcpu_util")
 }

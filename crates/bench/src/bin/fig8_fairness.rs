@@ -1,62 +1,15 @@
 //! Figure 8 — "The availability of four VCPUs in three VMs
 //! (2 VCPUs + 1 VCPU + 1 VCPU)" at 95% confidence.
 //!
-//! Setup (paper §IV.A): three VMs — one 2-VCPU VM (VCPU1.1, VCPU1.2) and
-//! two 1-VCPU VMs (VCPU2.1, VCPU3.1); sync ratio 1:5; PCPUs varied 1 → 4;
-//! policies RRS / SCS / RCS; metric = per-VCPU availability (fraction of
-//! time ACTIVE).
+//! Thin shim over the `fig8_fairness` experiment of
+//! `configs/paper.sweep.json`; see `vsched-campaign` for the engine.
 //!
 //! ```sh
 //! cargo run --release -p vsched-bench --bin fig8_fairness
 //! ```
 
-use serde_json::json;
-use vsched_bench::report::{ci_cell, write_json, Table};
-use vsched_bench::{paper_config, run_cell};
-use vsched_core::{Engine, PolicyKind};
+use std::process::ExitCode;
 
-fn main() {
-    let mut table = Table::new(
-        "Figure 8: VCPU availability, VMs {2,1,1}, sync 1:5 (95% CI)",
-        &[
-            "PCPUs", "policy", "reps", "VCPU1.1", "VCPU1.2", "VCPU2.1", "VCPU3.1",
-        ],
-    );
-    let mut json_rows = Vec::new();
-    for pcpus in 1..=4 {
-        for policy in PolicyKind::paper_trio() {
-            let config = paper_config(pcpus, &[2, 1, 1], (1, 5));
-            let report = run_cell(config, policy.clone(), Engine::San);
-            let cells: Vec<String> = report.vcpu_availability.iter().map(ci_cell).collect();
-            table.row(
-                [
-                    pcpus.to_string(),
-                    policy.label().to_string(),
-                    report.replications.to_string(),
-                ]
-                .into_iter()
-                .chain(cells)
-                .collect(),
-            );
-            json_rows.push(json!({
-                "pcpus": pcpus,
-                "policy": policy.label(),
-                "replications": report.replications,
-                "availability_mean": report.vcpu_availability_means(),
-                "availability_half_width": report
-                    .vcpu_availability
-                    .iter()
-                    .map(|ci| ci.half_width)
-                    .collect::<Vec<_>>(),
-            }));
-        }
-    }
-    table.print();
-    println!();
-    println!("paper shape checks:");
-    println!("  - RRS rows are uniform across all four VCPUs at every PCPU count");
-    println!("  - SCS at 1 PCPU starves VCPU1.1/VCPU1.2 (strict co-start impossible)");
-    println!("  - RCS at 1 PCPU serves VCPU1.1/VCPU1.2, but below the 1-VCPU VMs");
-    println!("  - all policies converge toward full availability at 4 PCPUs");
-    write_json("fig8_fairness", &json!({ "rows": json_rows }));
+fn main() -> ExitCode {
+    vsched_bench::campaign_shim("fig8_fairness")
 }

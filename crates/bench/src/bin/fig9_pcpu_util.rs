@@ -1,65 +1,15 @@
 //! Figure 9 — "The averaged PCPU Utilization (of four PCPUs) in different
 //! VM setups" at 95% confidence.
 //!
-//! Setup (paper §IV.B): three VM sets — {2+2}, {2+3}, {2+4} VCPUs; sync
-//! ratio 1:5; 4 PCPUs throughout; policies RRS / SCS / RCS; metric =
-//! average PCPU utilization (fraction of time ASSIGNED). This experiment
-//! exposes the CPU-fragmentation problem of strict co-scheduling.
+//! Thin shim over the `fig9_pcpu_util` experiment of
+//! `configs/paper.sweep.json`; see `vsched-campaign` for the engine.
 //!
 //! ```sh
 //! cargo run --release -p vsched-bench --bin fig9_pcpu_util
 //! ```
 
-use serde_json::json;
-use vsched_bench::report::{write_json, Table};
-use vsched_bench::{paper_config, run_cell};
-use vsched_core::{Engine, PolicyKind};
+use std::process::ExitCode;
 
-const SETS: [&[usize]; 3] = [&[2, 2], &[2, 3], &[2, 4]];
-
-fn main() {
-    let mut table = Table::new(
-        "Figure 9: average PCPU utilization, 4 PCPUs, sync 1:5 (95% CI)",
-        &["VM set", "VCPUs", "policy", "reps", "avg PCPU util", "±"],
-    );
-    let mut json_rows = Vec::new();
-    for (i, set) in SETS.iter().enumerate() {
-        for policy in PolicyKind::paper_trio() {
-            let config = paper_config(4, set, (1, 5));
-            let report = run_cell(config, policy.clone(), Engine::San);
-            let mean = report.avg_pcpu_utilization();
-            // Conservative aggregate half-width: the max across PCPUs.
-            let hw = report
-                .pcpu_utilization
-                .iter()
-                .map(|ci| ci.half_width)
-                .fold(0.0, f64::max);
-            table.row(vec![
-                format!("set {}", i + 1),
-                set.iter()
-                    .map(ToString::to_string)
-                    .collect::<Vec<_>>()
-                    .join("+"),
-                policy.label().to_string(),
-                report.replications.to_string(),
-                format!("{mean:.3}"),
-                format!("{hw:.3}"),
-            ]);
-            json_rows.push(json!({
-                "set": i + 1,
-                "vms": set,
-                "policy": policy.label(),
-                "replications": report.replications,
-                "avg_pcpu_utilization": mean,
-                "per_pcpu_mean": report.pcpu_utilization_means(),
-            }));
-        }
-    }
-    table.print();
-    println!();
-    println!("paper shape checks:");
-    println!("  - set 1 (4 VCPUs = 4 PCPUs): every policy saturates the PCPUs");
-    println!("  - sets 2-3 (VCPUs > PCPUs): SCS loses PCPU time to fragmentation");
-    println!("  - RCS stays above 90% PCPU utilization in every set");
-    write_json("fig9_pcpu_util", &json!({ "rows": json_rows }));
+fn main() -> ExitCode {
+    vsched_bench::campaign_shim("fig9_pcpu_util")
 }

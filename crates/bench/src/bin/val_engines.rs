@@ -1,77 +1,15 @@
-//! VAL1 — model-fidelity cross-validation (the paper's Discussion §V asks
-//! for exactly this evaluation).
+//! VAL1 — model-fidelity cross-validation: every paper configuration
+//! through both engines, reporting the largest per-metric disagreement.
 //!
-//! Runs every paper configuration through both engines — the SAN engine
-//! (the faithful Mobius-style implementation) and the independently coded
-//! direct time-stepped engine — and reports the largest disagreement in
-//! each metric. Agreement within the confidence-interval width is the
-//! fidelity evidence.
+//! Thin shim over the `val_engines` experiment of
+//! `configs/paper.sweep.json`; see `vsched-campaign` for the engine.
 //!
 //! ```sh
 //! cargo run --release -p vsched-bench --bin val_engines
 //! ```
 
-use serde_json::json;
-use vsched_bench::report::{write_json, Table};
-use vsched_bench::{paper_config, run_cell};
-use vsched_core::{Engine, PolicyKind, SystemConfig};
+use std::process::ExitCode;
 
-fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0, f64::max)
-}
-
-fn main() {
-    let cells: Vec<(&str, SystemConfig)> = vec![
-        ("fig8 @1 PCPU", paper_config(1, &[2, 1, 1], (1, 5))),
-        ("fig8 @3 PCPUs", paper_config(3, &[2, 1, 1], (1, 5))),
-        ("fig9 set2", paper_config(4, &[2, 3], (1, 5))),
-        ("fig10 set3 1:2", paper_config(4, &[2, 4], (1, 2))),
-    ];
-    let mut table = Table::new(
-        "VAL1: SAN vs direct engine, max |Δ| per metric",
-        &["config", "policy", "Δ avail", "Δ vcpu util", "Δ pcpu util"],
-    );
-    let mut rows = Vec::new();
-    let mut worst: f64 = 0.0;
-    for (name, config) in &cells {
-        for policy in PolicyKind::paper_trio() {
-            let san = run_cell(config.clone(), policy.clone(), Engine::San);
-            let direct = run_cell(config.clone(), policy.clone(), Engine::Direct);
-            let d_avail = max_abs_diff(
-                &san.vcpu_availability_means(),
-                &direct.vcpu_availability_means(),
-            );
-            let d_util = max_abs_diff(
-                &san.vcpu_utilization_means(),
-                &direct.vcpu_utilization_means(),
-            );
-            let d_pcpu = max_abs_diff(
-                &san.pcpu_utilization_means(),
-                &direct.pcpu_utilization_means(),
-            );
-            worst = worst.max(d_avail).max(d_util).max(d_pcpu);
-            table.row(vec![
-                (*name).to_string(),
-                policy.label().to_string(),
-                format!("{d_avail:.4}"),
-                format!("{d_util:.4}"),
-                format!("{d_pcpu:.4}"),
-            ]);
-            rows.push(json!({
-                "config": name,
-                "policy": policy.label(),
-                "delta_availability": d_avail,
-                "delta_vcpu_utilization": d_util,
-                "delta_pcpu_utilization": d_pcpu,
-            }));
-        }
-    }
-    table.print();
-    println!();
-    println!("worst disagreement across all cells: {worst:.4}");
-    println!("(the paper's reporting criterion is a CI width of 0.1, i.e. ±0.05)");
-    write_json("val_engines", &json!({ "rows": rows, "worst": worst }));
+fn main() -> ExitCode {
+    vsched_bench::campaign_shim("val_engines")
 }

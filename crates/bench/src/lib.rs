@@ -2,14 +2,46 @@
 //! criterion benches.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper
-//! (see `DESIGN.md` for the experiment index) by driving `vsched-core`'s
-//! experiment runner, printing an aligned text table, and dumping the raw
-//! numbers as JSON under `bench_results/`.
+//! (see `DESIGN.md` for the experiment index). Since the campaign engine
+//! landed, every binary is a thin shim over one experiment of the
+//! checked-in `configs/paper.sweep.json` campaign ([`campaign_shim`]):
+//! results come from the content-addressed store (`target/campaign-store`)
+//! and the JSON lands under `bench_results/`. Run the whole campaign at
+//! once with `vsched sweep configs/paper.sweep.json`.
 
 pub mod report;
 
+use std::path::Path;
+use std::process::ExitCode;
+
+use vsched_campaign::{run_sweep, SweepOptions};
 use vsched_core::{Engine, ExperimentBuilder, MetricsReport, PolicyKind, SystemConfig};
 use vsched_stats::StoppingRule;
+
+/// Runs one named experiment of the repository's paper campaign
+/// (`configs/paper.sweep.json`) — the body of every figure binary.
+///
+/// Cached cells are served from the store, so re-running a binary after a
+/// completed sweep renders instantly and byte-identically.
+#[must_use]
+pub fn campaign_shim(experiment: &str) -> ExitCode {
+    let spec = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("configs")
+        .join("paper.sweep.json");
+    let opts = SweepOptions {
+        only: Some(experiment.to_string()),
+        ..SweepOptions::default()
+    };
+    match run_sweep(&spec, &opts) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 /// Builds the paper's standard configuration: `pcpus` physical CPUs, VMs
 /// of the given sizes, sync ratio `points:per_workloads`.

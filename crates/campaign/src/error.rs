@@ -1,0 +1,82 @@
+//! Campaign error type.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use vsched_core::CoreError;
+
+/// Everything that can go wrong while planning or running a campaign.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Filesystem failure, annotated with the path involved.
+    Io {
+        /// The file or directory being read or written.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// The sweep spec is malformed (bad JSON, unknown field, bad shape).
+    Spec {
+        /// Human-readable description including the spec location.
+        reason: String,
+    },
+    /// A cell config failed core validation or a simulation failed.
+    Core(CoreError),
+    /// A renderer needed a cell the store does not hold (only possible
+    /// after a partial run, e.g. under a `max_cells` limit).
+    MissingCell {
+        /// The experiment whose figure could not be rendered.
+        experiment: String,
+        /// The content-addressed key of the missing cell.
+        key: String,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Io { path, source } => {
+                write!(f, "io error at {}: {source}", path.display())
+            }
+            CampaignError::Spec { reason } => write!(f, "sweep spec error: {reason}"),
+            CampaignError::Core(e) => write!(f, "{e}"),
+            CampaignError::MissingCell { experiment, key } => write!(
+                f,
+                "experiment `{experiment}` is missing cell {key} from the result store"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Io { source, .. } => Some(source),
+            CampaignError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for CampaignError {
+    fn from(e: CoreError) -> Self {
+        CampaignError::Core(e)
+    }
+}
+
+impl CampaignError {
+    /// Wraps an [`std::io::Error`] with the path it occurred at.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        CampaignError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Builds a [`CampaignError::Spec`] from any displayable reason.
+    pub fn spec(reason: impl fmt::Display) -> Self {
+        CampaignError::Spec {
+            reason: reason.to_string(),
+        }
+    }
+}

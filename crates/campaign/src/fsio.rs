@@ -1,0 +1,83 @@
+//! Atomic file writes.
+//!
+//! Result-store cells and rendered figure files are written with the
+//! classic temp-file-plus-rename dance so that a campaign killed mid-write
+//! never leaves a truncated or half-written JSON file behind: `rename(2)`
+//! within one directory is atomic on POSIX, so readers observe either the
+//! old file, the new file, or no file — never a prefix.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process counter so concurrent writers in one process never share a
+/// temp file even when targeting the same path.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `contents` to `path` atomically: the bytes land in a unique
+/// sibling temp file first and are renamed into place only once fully
+/// flushed. The parent directory must already exist.
+///
+/// # Errors
+///
+/// Any [`io::Error`] from the write or the rename; the temp file is
+/// removed on a failed rename.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp_name = format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        seq
+    );
+    let tmp = path.with_file_name(tmp_name);
+    fs::write(&tmp, contents)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("vsched-fsio-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = temp_dir("basic");
+        let path = dir.join("out.json");
+        write_atomic(&path, "first").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second");
+        // No temp files survive.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "leftover temp files: {leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_parent_fails_cleanly() {
+        let dir = temp_dir("missing");
+        let path = dir.join("no-such-subdir").join("out.json");
+        assert!(write_atomic(&path, "x").is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

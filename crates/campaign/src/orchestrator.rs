@@ -1,0 +1,139 @@
+//! Cell orchestration on the shared `vsched-exec` pool.
+//!
+//! The orchestrator is deliberately thin: it dedupes planned cells by key,
+//! asks the store which are missing, and drives the missing ones through
+//! [`vsched_exec::run_indexed`] — the same work-stealing indexed executor
+//! the replication engine uses, so cells are claimed dynamically by
+//! whichever worker frees up first (cross-cell work stealing). Each cell
+//! runs its replications single-threaded ([`CellConfig::builder`] sets
+//! `parallel(false)`); parallelism lives at the cell level, where cells
+//! vastly outnumber cores in a real campaign.
+//!
+//! Results are committed to the store atomically as each cell finishes,
+//! which is the whole crash-safety story: killing the process loses at
+//! most the cells still in flight.
+//!
+//! [`CellConfig::builder`]: crate::spec::CellConfig::builder
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::error::CampaignError;
+use crate::plan::PlannedCell;
+use crate::store::ResultStore;
+
+/// What [`ensure_cells`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Distinct cells requested (after key dedup).
+    pub unique: usize,
+    /// Cells already present in the store.
+    pub cached: usize,
+    /// Cells simulated by this call.
+    pub simulated: usize,
+}
+
+/// Deduplicates cells by key, preserving first-occurrence order.
+#[must_use]
+pub fn dedup_cells<'a>(cells: impl IntoIterator<Item = &'a PlannedCell>) -> Vec<&'a PlannedCell> {
+    let mut seen = std::collections::HashSet::new();
+    cells
+        .into_iter()
+        .filter(|c| seen.insert(c.key.as_str()))
+        .collect()
+}
+
+/// Makes sure the store holds a result for every given cell, simulating
+/// the missing ones on up to `jobs` worker threads.
+///
+/// `max_cells` caps how many *missing* cells are simulated — the test
+/// hook for killing a campaign partway. `progress` is invoked after each
+/// completed simulation with `(done, total_missing, cell)`.
+///
+/// # Errors
+///
+/// [`CampaignError::Core`] if a simulation fails (lowest cell index wins,
+/// as in a sequential run), [`CampaignError::Io`] if the store cannot be
+/// written.
+pub fn ensure_cells(
+    store: &ResultStore,
+    cells: &[&PlannedCell],
+    jobs: usize,
+    max_cells: Option<usize>,
+    progress: &(dyn Fn(usize, usize, &PlannedCell) + Sync),
+) -> Result<RunStats, CampaignError> {
+    let unique = dedup_cells(cells.iter().copied());
+    let mut missing: Vec<&PlannedCell> = unique
+        .iter()
+        .copied()
+        .filter(|c| !store.contains(&c.key))
+        .collect();
+    let cached = unique.len() - missing.len();
+    if let Some(cap) = max_cells {
+        missing.truncate(cap);
+    }
+    let total = missing.len();
+    let done = AtomicUsize::new(0);
+    vsched_exec::run_indexed(jobs, 0, total, |i| {
+        #[allow(clippy::cast_possible_truncation)]
+        let cell = missing[i as usize];
+        let report = cell.config.builder()?.run()?;
+        store.put(&ResultStore::entry(
+            cell.key.clone(),
+            cell.config.clone(),
+            report,
+        ))?;
+        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+        progress(n, total, cell);
+        Ok::<(), CampaignError>(())
+    })?;
+    Ok(RunStats {
+        unique: unique.len(),
+        cached,
+        simulated: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::plan;
+    use crate::spec::SweepSpec;
+
+    fn tiny_plan() -> crate::plan::Plan {
+        let spec = SweepSpec::from_json(
+            r#"{ "experiments": [ {
+                "name": "t",
+                "base": { "pcpus": 1, "vms": [1], "warmup": 100, "horizon": 500,
+                          "replications": 2, "engine": "direct" },
+                "axes": [ { "name": "policy", "points": [
+                    { "set": { "policy": "rrs" } },
+                    { "set": { "policy": "scs" } },
+                    { "set": { "policy": "rrs" } } ] } ] } ] }"#,
+        )
+        .unwrap();
+        plan(&spec).unwrap()
+    }
+
+    #[test]
+    fn dedup_cache_and_resume() {
+        let dir = std::env::temp_dir().join(format!("vsched-orch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        let p = tiny_plan();
+        let cells: Vec<&PlannedCell> = p.experiments[0].cells.iter().collect();
+        // 3 planned cells, but two are identical (both rrs).
+        let stats = ensure_cells(&store, &cells, 2, Some(1), &|_, _, _| {}).unwrap();
+        assert_eq!(stats.unique, 2);
+        assert_eq!(stats.cached, 0);
+        assert_eq!(stats.simulated, 1, "max_cells kills the campaign early");
+        // Resume: only the remaining cell runs.
+        let stats = ensure_cells(&store, &cells, 2, None, &|_, _, _| {}).unwrap();
+        assert_eq!(stats.cached, 1);
+        assert_eq!(stats.simulated, 1);
+        // Warm: everything cached.
+        let stats = ensure_cells(&store, &cells, 2, None, &|_, _, _| {}).unwrap();
+        assert_eq!(stats.cached, 2);
+        assert_eq!(stats.simulated, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,628 @@
+//! The declarative sweep specification and the fully-resolved cell config.
+//!
+//! A sweep spec is a JSON document describing one or more *experiments*,
+//! each of which is a cartesian grid: a `base` cell config plus a list of
+//! `axes`, where every axis contributes a list of *points* (partial
+//! overrides). The planner ([`mod@crate::plan`]) expands the grid row-major
+//! (first axis slowest) into fully-resolved [`CellConfig`]s; cells that
+//! cannot be expressed as a product (coupled parameters) go in `extra`.
+//!
+//! [`CellConfig`] is the canonical unit of work: one system configuration,
+//! one policy, one engine, one replication policy, one seed. Its
+//! serialized form — struct field order, defaults filled in, `None`s
+//! omitted — is the *canonical JSON* that [`crate::key::cell_key`] hashes,
+//! so two spellings of the same cell (say, one relying on a default the
+//! other writes out) share a store entry.
+//!
+//! Every struct here is `deny_unknown_fields`: a typo'd field in a spec
+//! fails loudly at parse time instead of being silently defaulted.
+
+use serde::{Deserialize, Serialize};
+use vsched_core::{
+    config::SyncMechanism, CoreError, Engine, ExperimentBuilder, PolicyKind, SystemConfig, VmSpec,
+    WorkloadSpec,
+};
+use vsched_des::Dist;
+use vsched_stats::StoppingRule;
+
+/// A load or interarrival distribution, as written in config files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", deny_unknown_fields)]
+pub enum DistSpec {
+    /// Constant value.
+    Deterministic {
+        /// The constant.
+        value: f64,
+    },
+    /// Continuous uniform on `[low, high)`.
+    Uniform {
+        /// Inclusive lower bound.
+        low: f64,
+        /// Exclusive upper bound.
+        high: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Erlang with `k` stages and total mean `mean`.
+    Erlang {
+        /// Number of stages.
+        k: u32,
+        /// Mean of the sum.
+        mean: f64,
+    },
+    /// Normal truncated at zero.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+    /// Geometric number of trials (support 1, 2, …).
+    Geometric {
+        /// Success probability.
+        p: f64,
+    },
+    /// Discrete uniform over `low..=high`.
+    DiscreteUniform {
+        /// Inclusive lower bound.
+        low: u64,
+        /// Inclusive upper bound.
+        high: u64,
+    },
+}
+
+impl DistSpec {
+    /// Converts to a validated kernel distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Des`] for out-of-domain parameters.
+    pub fn to_dist(&self) -> Result<Dist, CoreError> {
+        Ok(match *self {
+            DistSpec::Deterministic { value } => Dist::deterministic(value)?,
+            DistSpec::Uniform { low, high } => Dist::uniform(low, high)?,
+            DistSpec::Exponential { mean } => Dist::exponential(mean)?,
+            DistSpec::Erlang { k, mean } => Dist::erlang(k, mean)?,
+            DistSpec::Normal { mean, std_dev } => Dist::normal(mean, std_dev)?,
+            DistSpec::Geometric { p } => Dist::geometric(p)?,
+            DistSpec::DiscreteUniform { low, high } => Dist::discrete_uniform(low, high)?,
+        })
+    }
+}
+
+/// A scheduling policy in a config file: a bare label (`"rrs"`) or a
+/// parameterized object (`{"rcs": {"skew_threshold": 5, "skew_resume": 2}}`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum PolicySpec {
+    /// Bare label: `rrs`, `scs`, `rcs`, `balance`, `credit`, `sedf`,
+    /// `bvt`, `fcfs`.
+    Label(String),
+    /// Parameterized relaxed co-scheduling.
+    Rcs {
+        /// The RCS parameters.
+        rcs: RcsParams,
+    },
+    /// Parameterized credit scheduler.
+    Credit {
+        /// The credit parameters.
+        credit: CreditParams,
+    },
+}
+
+/// RCS parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct RcsParams {
+    /// Co-stop threshold (progress lead, in ticks).
+    pub skew_threshold: u64,
+    /// Resume level.
+    pub skew_resume: u64,
+}
+
+/// Credit-scheduler parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct CreditParams {
+    /// Credit refill period in ticks.
+    pub refill_period: u64,
+}
+
+impl PolicySpec {
+    /// Resolves to a [`PolicyKind`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for an unknown label.
+    pub fn to_kind(&self) -> Result<PolicyKind, CoreError> {
+        match self {
+            PolicySpec::Label(label) => match label.to_ascii_lowercase().as_str() {
+                "rrs" | "round-robin" | "roundrobin" => Ok(PolicyKind::RoundRobin),
+                "scs" | "strict-co" | "strictco" => Ok(PolicyKind::StrictCo),
+                "rcs" | "relaxed-co" | "relaxedco" => Ok(PolicyKind::relaxed_co_default()),
+                "balance" | "bal" => Ok(PolicyKind::Balance),
+                "credit" | "crd" => Ok(PolicyKind::credit_default()),
+                "sedf" => Ok(PolicyKind::sedf_default()),
+                "bvt" => Ok(PolicyKind::bvt_default()),
+                "fcfs" => Ok(PolicyKind::Fcfs),
+                other => Err(CoreError::InvalidConfig {
+                    reason: format!("unknown policy `{other}`"),
+                }),
+            },
+            PolicySpec::Rcs { rcs } => Ok(PolicyKind::RelaxedCo {
+                skew_threshold: rcs.skew_threshold,
+                skew_resume: rcs.skew_resume,
+            }),
+            PolicySpec::Credit { credit } => Ok(PolicyKind::Credit {
+                refill_period: credit.refill_period,
+            }),
+        }
+    }
+}
+
+/// Simulation engine selection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase", deny_unknown_fields)]
+pub enum EngineSpec {
+    /// The SAN engine (the paper's Mobius-style implementation; default).
+    #[default]
+    San,
+    /// The independently coded direct time-stepped engine.
+    Direct,
+}
+
+impl EngineSpec {
+    /// The corresponding runner engine.
+    #[must_use]
+    pub fn to_engine(self) -> Engine {
+        match self {
+            EngineSpec::San => Engine::San,
+            EngineSpec::Direct => Engine::Direct,
+        }
+    }
+
+    /// Lower-case name, as written in spec files.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineSpec::San => "san",
+            EngineSpec::Direct => "direct",
+        }
+    }
+}
+
+/// Synchronization-point semantics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase", deny_unknown_fields)]
+pub enum SyncMechanismSpec {
+    /// Barrier synchronization (the paper's semantics; default).
+    #[default]
+    Barrier,
+    /// Spinlock critical sections (the §V future-work extension).
+    Spinlock,
+}
+
+impl SyncMechanismSpec {
+    fn to_mechanism(self) -> SyncMechanism {
+        match self {
+            SyncMechanismSpec::Barrier => SyncMechanism::Barrier,
+            SyncMechanismSpec::Spinlock => SyncMechanism::SpinLock,
+        }
+    }
+}
+
+/// How many replications a cell runs: a bare count (`5`) for an exact
+/// number, or `{"min": 5, "max": 20}` for the paper's sequential stopping
+/// rule (95% level, CI width < 0.1) bracketed by those bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ReplicationSpec {
+    /// Run exactly this many replications.
+    Exact(usize),
+    /// Run the paper's stopping rule between the given bounds.
+    Rule {
+        /// Minimum replications before the rule may stop.
+        min: usize,
+        /// Hard cap on replications.
+        max: usize,
+    },
+}
+
+impl Default for ReplicationSpec {
+    fn default() -> Self {
+        ReplicationSpec::Rule { min: 5, max: 20 }
+    }
+}
+
+fn default_sync_ratio() -> (u32, u32) {
+    (1, 5)
+}
+
+fn default_timeslice() -> u64 {
+    30
+}
+
+fn default_load() -> DistSpec {
+    DistSpec::Uniform {
+        low: 5.0,
+        high: 15.0,
+    }
+}
+
+fn default_policy() -> PolicySpec {
+    PolicySpec::Label("rrs".into())
+}
+
+fn default_warmup() -> u64 {
+    1_000
+}
+
+fn default_horizon() -> u64 {
+    20_000
+}
+
+fn default_seed() -> u64 {
+    0x5eed
+}
+
+/// A fully-resolved campaign cell: everything one simulation run depends
+/// on. The serialized form of this struct (after a parse round-trip, so
+/// defaults are materialized and field order is fixed) is the canonical
+/// representation hashed by [`crate::key::cell_key`].
+///
+/// All VMs share one workload characterization — the paper's evaluation
+/// setting. Heterogeneous per-VM workloads remain the province of the CLI
+/// `run` config.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct CellConfig {
+    /// Number of physical CPUs.
+    pub pcpus: usize,
+    /// VCPU count of each VM, e.g. `[2, 1, 1]`.
+    pub vms: Vec<usize>,
+    /// Synchronization ratio as the paper writes it: `[1, 5]` is 1:5.
+    #[serde(default = "default_sync_ratio")]
+    pub sync_ratio: (u32, u32),
+    /// Deterministic pattern: every `k`-th workload is a sync point. When
+    /// set, the Bernoulli `sync_ratio` probability is disabled.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sync_every: Option<u32>,
+    /// `"barrier"` (default) or `"spinlock"`.
+    #[serde(default)]
+    pub sync_mechanism: SyncMechanismSpec,
+    /// Scheduler timeslice in ticks (default 30).
+    #[serde(default = "default_timeslice")]
+    pub timeslice: u64,
+    /// Job-duration distribution (default: the paper's uniform `[5, 15)`).
+    #[serde(default = "default_load")]
+    pub load: DistSpec,
+    /// Interarrival distribution; omit for a saturated generator.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub interarrival: Option<DistSpec>,
+    /// The scheduling policy (default `"rrs"`).
+    #[serde(default = "default_policy")]
+    pub policy: PolicySpec,
+    /// `"san"` (default) or `"direct"`.
+    #[serde(default)]
+    pub engine: EngineSpec,
+    /// Warm-up ticks per replication (default 1000).
+    #[serde(default = "default_warmup")]
+    pub warmup: u64,
+    /// Observed ticks per replication (default 20000).
+    #[serde(default = "default_horizon")]
+    pub horizon: u64,
+    /// Replication policy (default: stopping rule, min 5, max 20).
+    #[serde(default)]
+    pub replications: ReplicationSpec,
+    /// Base RNG seed (default `0x5eed`).
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+}
+
+impl CellConfig {
+    /// Builds the [`SystemConfig`] this cell describes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for invalid parameters (no VMs, zero
+    /// timeslice, bad sync ratio, …).
+    pub fn system(&self) -> Result<SystemConfig, CoreError> {
+        let mut workload = WorkloadSpec::paper_default();
+        workload.load = self.load.to_dist()?;
+        workload = workload.with_sync_ratio(self.sync_ratio.0, self.sync_ratio.1)?;
+        if let Some(k) = self.sync_every {
+            workload.sync_probability = 0.0;
+            workload = workload.with_sync_every(k)?;
+        }
+        workload.sync_mechanism = self.sync_mechanism.to_mechanism();
+        workload.interarrival = match &self.interarrival {
+            Some(d) => Some(d.to_dist()?),
+            None => None,
+        };
+        let mut b = SystemConfig::builder()
+            .pcpus(self.pcpus)
+            .timeslice(self.timeslice);
+        for &vcpus in &self.vms {
+            b = b.vm_spec(VmSpec {
+                vcpus,
+                workload: workload.clone(),
+                weight: 1,
+            });
+        }
+        b.build()
+    }
+
+    /// Resolves the policy.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for an unknown policy label.
+    pub fn policy_kind(&self) -> Result<PolicyKind, CoreError> {
+        self.policy.to_kind()
+    }
+
+    /// Builds a ready-to-run [`ExperimentBuilder`] for this cell.
+    ///
+    /// The builder is configured single-threaded (`parallel(false)`):
+    /// campaigns parallelize across *cells* on the shared `vsched-exec`
+    /// pool, and replication results are bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from [`CellConfig::system`] and
+    /// [`CellConfig::policy_kind`].
+    pub fn builder(&self) -> Result<ExperimentBuilder, CoreError> {
+        let mut b = ExperimentBuilder::new(self.system()?, self.policy_kind()?)
+            .engine(self.engine.to_engine())
+            .warmup(self.warmup)
+            .horizon(self.horizon)
+            .seed(self.seed)
+            .parallel(false);
+        b = match self.replications {
+            ReplicationSpec::Exact(n) => b.replications_exact(n),
+            ReplicationSpec::Rule { min, max } => b.stopping_rule(
+                StoppingRule::paper_default()
+                    .with_min_replications(min)
+                    .with_max_replications(max),
+            ),
+        };
+        Ok(b)
+    }
+
+    /// One-line description for progress reporting, e.g.
+    /// `rcs 4p [2,4] 1:5 san`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for an unknown policy label.
+    pub fn summary(&self) -> Result<String, CoreError> {
+        let vms: Vec<String> = self.vms.iter().map(ToString::to_string).collect();
+        Ok(format!(
+            "{} {}p [{}] {}:{} {}",
+            self.policy_kind()?.label(),
+            self.pcpus,
+            vms.join(","),
+            self.sync_ratio.0,
+            self.sync_ratio.1,
+            self.engine.label()
+        ))
+    }
+}
+
+fn default_version() -> u32 {
+    1
+}
+
+fn default_report() -> String {
+    "summary".into()
+}
+
+/// One point on an axis (or one `extra` cell): a partial override of the
+/// experiment's base cell config, with an optional display label.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct PointSpec {
+    /// Display label used by renderers (e.g. a workload-case name).
+    /// Defaults to the compact JSON of `set`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub label: Option<String>,
+    /// Field overrides, as a JSON object of [`CellConfig`] fields.
+    pub set: serde_json::Value,
+}
+
+/// One sweep axis: a name and the points the grid takes along it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct AxisSpec {
+    /// Axis name (documentation and error messages).
+    pub name: String,
+    /// The points; the grid takes each in order.
+    pub points: Vec<PointSpec>,
+}
+
+/// One experiment: a named grid of cells plus the report that renders it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ExperimentSpec {
+    /// Experiment name; also the output file stem (`<name>.json`).
+    pub name: String,
+    /// Renderer id (see `crate::render`); default `"summary"`.
+    #[serde(default = "default_report")]
+    pub report: String,
+    /// Base cell config, as a JSON object of [`CellConfig`] fields.
+    pub base: serde_json::Value,
+    /// The sweep axes; the grid is their cartesian product, expanded
+    /// row-major (first axis slowest). May be empty for a single cell.
+    #[serde(default)]
+    pub axes: Vec<AxisSpec>,
+    /// Additional cells that do not fit the product structure (coupled
+    /// parameters), appended after the grid.
+    #[serde(default)]
+    pub extra: Vec<PointSpec>,
+}
+
+/// A complete sweep specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SweepSpec {
+    /// Spec format version; must be 1.
+    #[serde(default = "default_version")]
+    pub version: u32,
+    /// Result-store directory, relative to the spec file. Defaults to
+    /// `.campaign-store` next to the spec; `--store` overrides.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub store: Option<String>,
+    /// Output directory for rendered figures, relative to the spec file.
+    /// Defaults to `results` next to the spec; `--out-dir` overrides.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub output: Option<String>,
+    /// The experiments.
+    pub experiments: Vec<ExperimentSpec>,
+}
+
+impl SweepSpec {
+    /// Parses a sweep spec from JSON text and validates its shape.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CampaignError::Spec`] for malformed JSON, an unsupported
+    /// version, no experiments, or duplicate experiment names.
+    pub fn from_json(text: &str) -> Result<Self, crate::CampaignError> {
+        let spec: SweepSpec = serde_json::from_str(text).map_err(crate::CampaignError::spec)?;
+        if spec.version != 1 {
+            return Err(crate::CampaignError::spec(format!(
+                "unsupported spec version {} (expected 1)",
+                spec.version
+            )));
+        }
+        if spec.experiments.is_empty() {
+            return Err(crate::CampaignError::spec("no experiments defined"));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for exp in &spec.experiments {
+            if !seen.insert(exp.name.as_str()) {
+                return Err(crate::CampaignError::spec(format!(
+                    "duplicate experiment name `{}`",
+                    exp.name
+                )));
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Reads and parses a sweep spec file.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CampaignError::Io`] if the file cannot be read, plus the
+    /// conditions of [`SweepSpec::from_json`].
+    pub fn load(path: &std::path::Path) -> Result<Self, crate::CampaignError> {
+        let text = std::fs::read_to_string(path).map_err(|e| crate::CampaignError::io(path, e))?;
+        Self::from_json(&text)
+            .map_err(|e| crate::CampaignError::spec(format!("{}: {e}", path.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_cell_uses_paper_defaults() {
+        let cell: CellConfig = serde_json::from_str(r#"{ "pcpus": 4, "vms": [2, 1, 1] }"#).unwrap();
+        assert_eq!(cell.sync_ratio, (1, 5));
+        assert_eq!(cell.timeslice, 30);
+        assert_eq!(cell.engine, EngineSpec::San);
+        assert_eq!(cell.warmup, 1_000);
+        assert_eq!(cell.horizon, 20_000);
+        assert_eq!(cell.replications, ReplicationSpec::Rule { min: 5, max: 20 });
+        assert_eq!(cell.seed, 0x5eed);
+        let system = cell.system().unwrap();
+        assert_eq!(system.pcpus(), 4);
+        assert_eq!(system.total_vcpus(), 4);
+        assert!((system.vms()[0].workload.sync_probability - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_matches_bench_paper_config() {
+        // The campaign cell must reproduce `vsched_bench::paper_config`
+        // exactly — figure regeneration depends on it.
+        let cell: CellConfig =
+            serde_json::from_str(r#"{ "pcpus": 4, "vms": [2, 4], "sync_ratio": [1, 3] }"#).unwrap();
+        let sys = cell.system().unwrap();
+        let mut b = SystemConfig::builder().pcpus(4).sync_ratio(1, 3);
+        for n in [2usize, 4] {
+            b = b.vm(n);
+        }
+        let reference = b.build().unwrap();
+        assert_eq!(sys, reference);
+    }
+
+    #[test]
+    fn typo_fields_fail_loudly() {
+        let err =
+            serde_json::from_str::<CellConfig>(r#"{ "pcpus": 4, "vms": [2], "timeslise": 10 }"#)
+                .unwrap_err();
+        assert!(err.to_string().contains("timeslise"), "{err}");
+        assert!(
+            serde_json::from_str::<SweepSpec>(r#"{ "experiments": [], "experimentz": [] }"#)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn sync_every_disables_bernoulli() {
+        let cell: CellConfig = serde_json::from_str(
+            r#"{ "pcpus": 4, "vms": [2, 4], "sync_ratio": [1, 3], "sync_every": 3 }"#,
+        )
+        .unwrap();
+        let sys = cell.system().unwrap();
+        assert_eq!(sys.vms()[0].workload.sync_probability, 0.0);
+        assert_eq!(sys.vms()[0].workload.sync_every, Some(3));
+    }
+
+    #[test]
+    fn spinlock_mechanism_applies() {
+        let cell: CellConfig =
+            serde_json::from_str(r#"{ "pcpus": 4, "vms": [2, 3], "sync_mechanism": "spinlock" }"#)
+                .unwrap();
+        let sys = cell.system().unwrap();
+        assert_eq!(
+            sys.vms()[0].workload.sync_mechanism,
+            SyncMechanism::SpinLock
+        );
+    }
+
+    #[test]
+    fn replication_spec_forms() {
+        let exact: ReplicationSpec = serde_json::from_str("5").unwrap();
+        assert_eq!(exact, ReplicationSpec::Exact(5));
+        let rule: ReplicationSpec = serde_json::from_str(r#"{ "min": 3, "max": 7 }"#).unwrap();
+        assert_eq!(rule, ReplicationSpec::Rule { min: 3, max: 7 });
+    }
+
+    #[test]
+    fn sweep_spec_validation() {
+        assert!(SweepSpec::from_json(r#"{ "experiments": [] }"#).is_err());
+        assert!(SweepSpec::from_json(
+            r#"{ "version": 2,
+                 "experiments": [ { "name": "a", "base": { "pcpus": 1, "vms": [1] } } ] }"#
+        )
+        .is_err());
+        assert!(SweepSpec::from_json(
+            r#"{ "experiments": [
+                   { "name": "a", "base": { "pcpus": 1, "vms": [1] } },
+                   { "name": "a", "base": { "pcpus": 2, "vms": [1] } } ] }"#
+        )
+        .is_err());
+        let ok = SweepSpec::from_json(
+            r#"{ "experiments": [ { "name": "a", "base": { "pcpus": 1, "vms": [1] } } ] }"#,
+        )
+        .unwrap();
+        assert_eq!(ok.version, 1);
+        assert_eq!(ok.experiments[0].report, "summary");
+    }
+}

@@ -1,0 +1,224 @@
+//! The content-addressed on-disk result store.
+//!
+//! Layout: one JSON file per simulated cell under `<dir>/cells/<key>.json`,
+//! where `<key>` is the [`crate::key::cell_key`] of the resolved config.
+//! Each file carries the key, the engine version, the full resolved config
+//! (for human inspection and integrity checks) and the metrics report.
+//!
+//! Files are written atomically ([`crate::fsio::write_atomic`]), so a
+//! campaign killed at any instant leaves the store with only whole,
+//! loadable entries — re-running the campaign then completes exactly the
+//! missing cells. Serialization of the report is lossless for `f64`
+//! (shortest-round-trip formatting), which is what makes a warm re-render
+//! bit-identical to the cold run that populated the store.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use vsched_core::MetricsReport;
+
+use crate::error::CampaignError;
+use crate::fsio::write_atomic;
+use crate::key::ENGINE_VERSION;
+use crate::spec::CellConfig;
+
+/// One stored cell result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct StoredCell {
+    /// The content-addressed key this entry is filed under.
+    pub key: String,
+    /// Engine version that produced the result (informational; the key
+    /// already commits to it).
+    pub engine_version: String,
+    /// The fully-resolved configuration that was simulated.
+    pub config: CellConfig,
+    /// The simulation output.
+    pub report: MetricsReport,
+}
+
+/// A directory of content-addressed cell results.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if necessary) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CampaignError> {
+        let dir = dir.into();
+        let cells = dir.join("cells");
+        fs::create_dir_all(&cells).map_err(|e| CampaignError::io(&cells, e))?;
+        Ok(ResultStore { dir })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn cell_path(&self, key: &str) -> PathBuf {
+        self.dir.join("cells").join(format!("{key}.json"))
+    }
+
+    /// Whether a result for `key` is present.
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        self.cell_path(key).is_file()
+    }
+
+    /// Number of stored cells.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] if the store directory cannot be read.
+    pub fn len(&self) -> Result<usize, CampaignError> {
+        let cells = self.dir.join("cells");
+        let entries = fs::read_dir(&cells).map_err(|e| CampaignError::io(&cells, e))?;
+        let mut n = 0;
+        for entry in entries {
+            let entry = entry.map_err(|e| CampaignError::io(&cells, e))?;
+            if entry.path().extension().is_some_and(|e| e == "json") {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Whether the store holds no cells.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] if the store directory cannot be read.
+    pub fn is_empty(&self) -> Result<bool, CampaignError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Loads the result for `key`, or `None` if absent.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] on read failure, [`CampaignError::Spec`] if
+    /// the entry is corrupt or filed under the wrong key.
+    pub fn load(&self, key: &str) -> Result<Option<StoredCell>, CampaignError> {
+        let path = self.cell_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(CampaignError::io(&path, e)),
+        };
+        let cell: StoredCell = serde_json::from_str(&text).map_err(|e| {
+            CampaignError::spec(format!("corrupt store entry {}: {e}", path.display()))
+        })?;
+        if cell.key != key {
+            return Err(CampaignError::spec(format!(
+                "store entry {} claims key {}",
+                path.display(),
+                cell.key
+            )));
+        }
+        Ok(Some(cell))
+    }
+
+    /// Writes a cell result atomically, replacing any previous entry.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Io`] on write failure.
+    pub fn put(&self, cell: &StoredCell) -> Result<(), CampaignError> {
+        let path = self.cell_path(&cell.key);
+        let body = serde_json::to_string_pretty(cell)
+            .map_err(|e| CampaignError::spec(format!("serialize cell {}: {e}", cell.key)))?;
+        write_atomic(&path, &body).map_err(|e| CampaignError::io(&path, e))
+    }
+
+    /// Convenience constructor for a fresh entry under the current
+    /// [`ENGINE_VERSION`].
+    #[must_use]
+    pub fn entry(key: String, config: CellConfig, report: MetricsReport) -> StoredCell {
+        StoredCell {
+            key,
+            engine_version: ENGINE_VERSION.to_string(),
+            config,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::cell_key;
+    use vsched_core::PolicyKind;
+
+    fn temp_store(tag: &str) -> (PathBuf, ResultStore) {
+        let dir = std::env::temp_dir().join(format!("vsched-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    fn tiny_cell() -> (String, CellConfig, MetricsReport) {
+        let config: CellConfig = serde_json::from_str(
+            r#"{ "pcpus": 1, "vms": [1], "horizon": 500, "warmup": 100,
+                 "replications": 2, "engine": "direct" }"#,
+        )
+        .unwrap();
+        let key = cell_key(&config);
+        let report = config.builder().unwrap().run().unwrap();
+        (key, config, report)
+    }
+
+    #[test]
+    fn round_trips_losslessly() {
+        let (dir, store) = temp_store("roundtrip");
+        let (key, config, report) = tiny_cell();
+        assert!(!store.contains(&key));
+        assert!(store.load(&key).unwrap().is_none());
+        store
+            .put(&ResultStore::entry(
+                key.clone(),
+                config.clone(),
+                report.clone(),
+            ))
+            .unwrap();
+        assert!(store.contains(&key));
+        assert_eq!(store.len().unwrap(), 1);
+        let loaded = store.load(&key).unwrap().unwrap();
+        assert_eq!(loaded.config, config);
+        assert_eq!(loaded.report, report, "f64 round-trip must be exact");
+        assert_eq!(loaded.engine_version, ENGINE_VERSION);
+        assert_eq!(
+            loaded.config.policy.to_kind().unwrap(),
+            PolicyKind::RoundRobin
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_key_and_corrupt_entries_are_rejected() {
+        let (dir, store) = temp_store("corrupt");
+        let (key, config, report) = tiny_cell();
+        let mut entry = ResultStore::entry(key.clone(), config, report);
+        entry.key = "0123456789abcdef".into();
+        store.put(&entry).unwrap();
+        assert!(store.load("0123456789abcdef").unwrap().is_some());
+        // Filed under a key that disagrees with its contents.
+        fs::rename(
+            dir.join("cells").join("0123456789abcdef.json"),
+            dir.join("cells").join(format!("{key}.json")),
+        )
+        .unwrap();
+        assert!(store.load(&key).is_err());
+        // Truncated JSON.
+        fs::write(dir.join("cells").join(format!("{key}.json")), "{ \"key\":").unwrap();
+        assert!(store.load(&key).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

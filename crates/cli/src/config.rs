@@ -1,83 +1,21 @@
 //! JSON experiment configuration and its mapping onto `vsched-core`.
+//!
+//! The distribution and policy spec types are shared with the campaign
+//! subsystem and live in `vsched_campaign::spec`; they are re-exported
+//! here so existing `vsched_cli::config` users keep compiling.
 
 use serde::{Deserialize, Serialize};
 use vsched_core::{
     config::SyncMechanism, CoreError, Engine, PolicyKind, SystemConfig, VmSpec, WorkloadSpec,
 };
-use vsched_des::Dist;
 
-/// A load or interarrival distribution, as written in config files.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
-pub enum DistSpec {
-    /// Constant value.
-    Deterministic {
-        /// The constant.
-        value: f64,
-    },
-    /// Continuous uniform on `[low, high)`.
-    Uniform {
-        /// Inclusive lower bound.
-        low: f64,
-        /// Exclusive upper bound.
-        high: f64,
-    },
-    /// Exponential with the given mean.
-    Exponential {
-        /// Mean of the distribution.
-        mean: f64,
-    },
-    /// Erlang with `k` stages and total mean `mean`.
-    Erlang {
-        /// Number of stages.
-        k: u32,
-        /// Mean of the sum.
-        mean: f64,
-    },
-    /// Normal truncated at zero.
-    Normal {
-        /// Mean.
-        mean: f64,
-        /// Standard deviation.
-        std_dev: f64,
-    },
-    /// Geometric number of trials (support 1, 2, …).
-    Geometric {
-        /// Success probability.
-        p: f64,
-    },
-    /// Discrete uniform over `low..=high`.
-    DiscreteUniform {
-        /// Inclusive lower bound.
-        low: u64,
-        /// Inclusive upper bound.
-        high: u64,
-    },
-}
-
-impl DistSpec {
-    /// Converts to a validated kernel distribution.
-    ///
-    /// # Errors
-    ///
-    /// [`CoreError::Des`] for out-of-domain parameters.
-    pub fn to_dist(&self) -> Result<Dist, CoreError> {
-        Ok(match *self {
-            DistSpec::Deterministic { value } => Dist::deterministic(value)?,
-            DistSpec::Uniform { low, high } => Dist::uniform(low, high)?,
-            DistSpec::Exponential { mean } => Dist::exponential(mean)?,
-            DistSpec::Erlang { k, mean } => Dist::erlang(k, mean)?,
-            DistSpec::Normal { mean, std_dev } => Dist::normal(mean, std_dev)?,
-            DistSpec::Geometric { p } => Dist::geometric(p)?,
-            DistSpec::DiscreteUniform { low, high } => Dist::discrete_uniform(low, high)?,
-        })
-    }
-}
+pub use vsched_campaign::spec::{CreditParams, DistSpec, PolicySpec, RcsParams};
 
 /// Workload section of a VM config. Every field is optional; omissions
 /// fall back to the paper's defaults (uniform[5,15), sync 1:5, barrier,
 /// saturated generation).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct WorkloadConfig {
     /// Job-duration distribution.
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -131,6 +69,7 @@ impl WorkloadConfig {
 
 /// One VM in the config file.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct VmConfig {
     /// Number of VCPUs.
     pub vcpus: usize,
@@ -140,73 +79,6 @@ pub struct VmConfig {
     /// Workload overrides (default: the paper's workload).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub workload: Option<WorkloadConfig>,
-}
-
-/// A scheduling policy in the config file: a bare label (`"rrs"`) or a
-/// parameterized object (`{"rcs": {"skew_threshold": 5, "skew_resume": 2}}`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(untagged)]
-pub enum PolicySpec {
-    /// Bare label: `rrs`, `scs`, `rcs`, `balance`, `credit`, `fcfs`.
-    Label(String),
-    /// Parameterized relaxed co-scheduling.
-    Rcs {
-        /// The RCS parameters.
-        rcs: RcsParams,
-    },
-    /// Parameterized credit scheduler.
-    Credit {
-        /// The credit parameters.
-        credit: CreditParams,
-    },
-}
-
-/// RCS parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RcsParams {
-    /// Co-stop threshold (progress lead, in ticks).
-    pub skew_threshold: u64,
-    /// Resume level.
-    pub skew_resume: u64,
-}
-
-/// Credit-scheduler parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct CreditParams {
-    /// Credit refill period in ticks.
-    pub refill_period: u64,
-}
-
-impl PolicySpec {
-    /// Resolves to a [`PolicyKind`].
-    ///
-    /// # Errors
-    ///
-    /// [`CoreError::InvalidConfig`] for an unknown label.
-    pub fn to_kind(&self) -> Result<PolicyKind, CoreError> {
-        match self {
-            PolicySpec::Label(label) => match label.to_ascii_lowercase().as_str() {
-                "rrs" | "round-robin" | "roundrobin" => Ok(PolicyKind::RoundRobin),
-                "scs" | "strict-co" | "strictco" => Ok(PolicyKind::StrictCo),
-                "rcs" | "relaxed-co" | "relaxedco" => Ok(PolicyKind::relaxed_co_default()),
-                "balance" | "bal" => Ok(PolicyKind::Balance),
-                "credit" | "crd" => Ok(PolicyKind::credit_default()),
-                "sedf" => Ok(PolicyKind::sedf_default()),
-                "bvt" => Ok(PolicyKind::bvt_default()),
-                "fcfs" => Ok(PolicyKind::Fcfs),
-                other => Err(CoreError::InvalidConfig {
-                    reason: format!("unknown policy `{other}`"),
-                }),
-            },
-            PolicySpec::Rcs { rcs } => Ok(PolicyKind::RelaxedCo {
-                skew_threshold: rcs.skew_threshold,
-                skew_resume: rcs.skew_resume,
-            }),
-            PolicySpec::Credit { credit } => Ok(PolicyKind::Credit {
-                refill_period: credit.refill_period,
-            }),
-        }
-    }
 }
 
 fn default_policies() -> Vec<PolicySpec> {
@@ -231,7 +103,11 @@ fn default_horizon() -> u64 {
 
 /// A complete experiment: the system, the policies to compare, and the
 /// simulation parameters.
+///
+/// Unknown fields are rejected — a typo'd key (`"timeslise"`) fails the
+/// parse instead of being silently defaulted.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct ExperimentConfig {
     /// Number of physical CPUs.
     pub pcpus: usize,
@@ -421,6 +297,26 @@ mod tests {
         )
         .unwrap();
         assert!(cfg.system().is_err());
+    }
+
+    #[test]
+    fn typo_fields_fail_loudly() {
+        // Top-level typo: "timeslise" instead of "timeslice".
+        let err = ExperimentConfig::from_json(
+            r#"{ "pcpus": 1, "vms": [{ "vcpus": 1 }], "timeslise": 10 }"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("timeslise"), "{err}");
+        // Nested typos: VM and workload sections.
+        assert!(ExperimentConfig::from_json(
+            r#"{ "pcpus": 1, "vms": [{ "vcpus": 1, "wieght": 2 }] }"#
+        )
+        .is_err());
+        assert!(ExperimentConfig::from_json(
+            r#"{ "pcpus": 1,
+                 "vms": [{ "vcpus": 1, "workload": { "sync_ration": [1, 5] } }] }"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -30,5 +30,7 @@
 pub mod config;
 pub mod output;
 
-pub use config::{DistSpec, ExperimentConfig, PolicySpec, VmConfig, WorkloadConfig};
+pub use config::{
+    CreditParams, DistSpec, ExperimentConfig, PolicySpec, RcsParams, VmConfig, WorkloadConfig,
+};
 pub use output::render_report;

@@ -2,13 +2,17 @@
 //!
 //! ```text
 //! vsched run <config.json> [--out results.json] [--jobs N]
+//! vsched sweep <spec.json> [--store DIR] [--out-dir DIR] [...]
 //! vsched example                                  print a starter config
 //! vsched help                                     this message
 //! ```
 
 use std::fs;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use vsched_campaign::fsio::write_atomic;
+use vsched_campaign::{run_sweep, SweepOptions};
 use vsched_cli::output::{render_report, report_to_json};
 use vsched_cli::ExperimentConfig;
 use vsched_core::ExperimentBuilder;
@@ -18,22 +22,42 @@ vsched — simulate and compare VCPU scheduling algorithms
 
 USAGE:
     vsched run <config.json> [--out <results.json>] [--jobs <N>]
+    vsched sweep <spec.json> [--store <dir>] [--out-dir <dir>] [--jobs <N>]
+                 [--only <experiment>] [--max-cells <N>] [--dry-run] [--quiet]
     vsched example
     vsched help
 
 COMMANDS:
     run       Simulate the experiment described by a JSON config file and
               print a comparison of the configured policies.
+    sweep     Run a declarative campaign: expand the spec's experiment
+              grids into cells, simulate whatever the content-addressed
+              result store is missing (crash-safe and resumable — re-run
+              after a kill to complete only the remaining cells), and
+              render each experiment's figure.
     example   Print a commented starter config to stdout.
 
-OPTIONS:
+OPTIONS (run):
     --out <path>   Also write results (with the config) as JSON.
     --jobs <N>     Replication worker threads (default: one per core;
                    overrides the config's `jobs` field). Results are
                    bit-identical for every N.
 
+OPTIONS (sweep):
+    --store <dir>      Result-store directory (default: the spec's `store`
+                       field, else `.campaign-store` next to the spec).
+    --out-dir <dir>    Figure output directory (default: the spec's
+                       `output` field, else `results` next to the spec).
+    --jobs <N>         Cell worker threads (default: one per core).
+    --only <name>      Run a single experiment from the spec.
+    --max-cells <N>    Simulate at most N missing cells, then stop.
+    --dry-run          Plan and report; simulate nothing.
+    --quiet            Suppress tables and progress output.
+
 The config format is documented in the vsched-cli crate docs; `vsched
-example > exp.json` is the quickest start.";
+example > exp.json` is the quickest start. The paper campaign lives at
+configs/paper.sweep.json: `vsched sweep configs/paper.sweep.json`
+regenerates every bench_results/*.json from one command.";
 
 const EXAMPLE: &str = r#"{
   "pcpus": 4,
@@ -58,6 +82,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
+        Some("sweep") => sweep(&args[1..]),
         Some("example") => {
             println!("{EXAMPLE}");
             ExitCode::SUCCESS
@@ -114,6 +139,69 @@ fn run(args: &[String]) -> ExitCode {
     }
 }
 
+fn sweep(args: &[String]) -> ExitCode {
+    let mut spec_path: Option<&str> = None;
+    let mut opts = SweepOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => match it.next() {
+                Some(p) => opts.store_dir = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --store requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out-dir" => match it.next() {
+                Some(p) => opts.out_dir = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --out-dir requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => opts.jobs = Some(n),
+                _ => {
+                    eprintln!("error: --jobs requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--only" => match it.next() {
+                Some(name) => opts.only = Some(name.clone()),
+                None => {
+                    eprintln!("error: --only requires an experiment name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-cells" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => opts.max_cells = Some(n),
+                _ => {
+                    eprintln!("error: --max-cells requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--dry-run" => opts.dry_run = true,
+            "--quiet" => opts.quiet = true,
+            p if spec_path.is_none() => spec_path = Some(p),
+            p => {
+                eprintln!("error: unexpected argument `{p}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(spec_path) = spec_path else {
+        eprintln!("error: `vsched sweep` needs a sweep spec file\n\n{HELP}");
+        return ExitCode::FAILURE;
+    };
+    match run_sweep(std::path::Path::new(spec_path), &opts) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run_experiment(
     config_path: &str,
     out_path: Option<&str>,
@@ -157,7 +245,10 @@ fn run_experiment(
             "config": config,
             "results": json_results,
         }))?;
-        fs::write(out, body).map_err(|e| format!("cannot write {out}: {e}"))?;
+        // Atomic (temp file + rename): a crash mid-write can't leave a
+        // truncated results file behind.
+        write_atomic(std::path::Path::new(out), &body)
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("[wrote {out}]");
     }
     Ok(())

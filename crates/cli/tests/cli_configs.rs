@@ -1,12 +1,24 @@
 //! Integration: every shipped config file under `configs/` parses, builds,
 //! and runs end to end (with shortened horizons).
+//!
+//! `*.sweep.json` files are campaign specs, not single experiment configs;
+//! they are validated by planning them (every cell must resolve to a
+//! buildable system). The campaign crate's own integration tests cover
+//! actually running sweeps.
 
 use std::fs;
+use vsched_campaign::{plan, SweepSpec};
 use vsched_cli::ExperimentConfig;
 use vsched_core::ExperimentBuilder;
 
 fn configs_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../configs")
+}
+
+fn is_sweep_spec(path: &std::path::Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.ends_with(".sweep.json"))
 }
 
 #[test]
@@ -18,6 +30,24 @@ fn shipped_configs_parse_and_build() {
             continue;
         }
         found += 1;
+        if is_sweep_spec(&path) {
+            let spec = SweepSpec::load(&path).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+            let plan = plan(&spec).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+            assert!(plan.total_cells() > 0, "{path:?} plans no cells");
+            for exp in &plan.experiments {
+                for cell in &exp.cells {
+                    let system = cell
+                        .config
+                        .system()
+                        .unwrap_or_else(|e| panic!("{path:?} {}: {e}", cell.key));
+                    assert!(system.total_vcpus() > 0);
+                    cell.config
+                        .policy_kind()
+                        .unwrap_or_else(|e| panic!("{path:?} {}: {e}", cell.key));
+                }
+            }
+            continue;
+        }
         let text = fs::read_to_string(&path).expect("readable config");
         let config = ExperimentConfig::from_json(&text).unwrap_or_else(|e| panic!("{path:?}: {e}"));
         let system = config.system().unwrap_or_else(|e| panic!("{path:?}: {e}"));
@@ -36,7 +66,7 @@ fn shipped_configs_parse_and_build() {
 fn shipped_configs_run_quickly() {
     for entry in fs::read_dir(configs_dir()).expect("configs/ exists") {
         let path = entry.expect("readable entry").path();
-        if path.extension().is_none_or(|e| e != "json") {
+        if path.extension().is_none_or(|e| e != "json") || is_sweep_spec(&path) {
             continue;
         }
         let text = fs::read_to_string(&path).expect("readable config");

@@ -134,7 +134,11 @@ fn mean(xs: &[f64]) -> f64 {
 
 /// Aggregated experiment output: confidence intervals for every metric,
 /// over all replications.
-#[derive(Debug, Clone)]
+///
+/// Serializes losslessly (shortest-round-trip float text), which the
+/// campaign result store relies on: a report loaded from disk is
+/// bit-identical to the freshly computed one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsReport {
     /// Per-VCPU availability intervals, indexed by global VCPU id.
     pub vcpu_availability: Vec<ConfidenceInterval>,

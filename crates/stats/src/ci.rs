@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 use crate::error::StatsError;
 use crate::student_t;
 use crate::welford::Welford;
@@ -18,7 +20,7 @@ use crate::welford::Welford;
 /// assert!(ci.contains(10.0));
 /// # Ok::<(), vsched_stats::StatsError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ConfidenceInterval {
     /// Point estimate (mean of the replication means).
     pub mean: f64,

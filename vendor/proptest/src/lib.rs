@@ -295,7 +295,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Length bounds for [`vec`]: an exact size or a half-open range.
+    /// Length bounds for [`vec()`]: an exact size or a half-open range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         start: usize,

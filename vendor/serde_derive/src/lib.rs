@@ -1,7 +1,7 @@
 //! Offline stand-in for `serde_derive`.
 //!
 //! Generates `Serialize` / `Deserialize` impls against the vendored
-//! `serde` shim's [`Content`] data model. Written directly on
+//! `serde` shim's `Content` data model. Written directly on
 //! `proc_macro` (no `syn`/`quote`, which cannot be downloaded in this
 //! environment), so it supports the declaration shapes this workspace
 //! actually uses:
@@ -9,7 +9,9 @@
 //! * structs with named fields (no generics, no tuple structs);
 //! * enums with unit, newtype, and struct variants (no tuple variants);
 //! * container attributes `#[serde(rename_all = "snake_case")]`,
-//!   `#[serde(rename_all = "lowercase")]`, `#[serde(untagged)]`;
+//!   `#[serde(rename_all = "lowercase")]`, `#[serde(untagged)]`,
+//!   `#[serde(deny_unknown_fields)]` (rejects unrecognized object keys
+//!   during deserialization, for structs and struct variants);
 //! * field attributes `#[serde(rename = "...")]`, `#[serde(default)]`,
 //!   `#[serde(default = "path")]`,
 //!   `#[serde(skip_serializing_if = "path")]`.
@@ -52,6 +54,7 @@ fn expand(input: TokenStream, serialize: bool) -> TokenStream {
 struct ContainerAttrs {
     rename_all: Option<String>,
     untagged: bool,
+    deny_unknown_fields: bool,
 }
 
 #[derive(Default)]
@@ -136,7 +139,8 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
                 attrs.rename_all = Some(v);
             }
             ("untagged", None) => attrs.untagged = true,
-            ("deny_unknown_fields", None) | ("transparent", None) => {}
+            ("deny_unknown_fields", None) => attrs.deny_unknown_fields = true,
+            ("transparent", None) => {}
             (other, _) => {
                 return Err(format!(
                     "serde_derive shim: unsupported container attribute `{other}`"
@@ -431,6 +435,33 @@ fn de_fields(item: &Item, fields: &[Field]) -> String {
     out
 }
 
+/// Statements rejecting object keys not named by `fields`, for containers
+/// marked `#[serde(deny_unknown_fields)]`. Expects `__map` in scope.
+/// `context` names the struct (or `Enum::Variant`) for the error message.
+fn deny_unknown_check(item: &Item, fields: &[Field], context: &str) -> String {
+    if !item.attrs.deny_unknown_fields {
+        return String::new();
+    }
+    let keys: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{:?}", item.key_for(&f.name, f.attrs.rename.as_ref())))
+        .collect();
+    if keys.is_empty() {
+        return format!(
+            "if let ::std::option::Option::Some((__k, _)) = __map.first() {{\n\
+             return ::std::result::Result::Err(::serde::DeError::custom(\
+             format!(concat!({context:?}, \": unknown field `{{}}`\"), __k)));\n}}\n"
+        );
+    }
+    format!(
+        "for (__k, _) in __map {{\n\
+         if ![{list}].contains(&__k.as_str()) {{\n\
+         return ::std::result::Result::Err(::serde::DeError::custom(\
+         format!(concat!({context:?}, \": unknown field `{{}}`\"), __k)));\n}}\n}}\n",
+        list = keys.join(", ")
+    )
+}
+
 fn type_is_option(ty: &str) -> bool {
     let first = ty.split(['<', ' ']).next().unwrap_or("");
     first == "Option"
@@ -517,10 +548,11 @@ fn gen_deserialize(item: &Item) -> String {
     let body = match &item.body {
         Body::Struct(fields) => {
             let inits = de_fields(item, fields);
+            let deny = deny_unknown_check(item, fields, name);
             format!(
                 "let __map = __v.as_map().ok_or_else(|| ::serde::DeError::custom(\
                  concat!({name:?}, \": expected object\")))?;\n\
-                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+                 {deny}::std::result::Result::Ok({name} {{\n{inits}}})"
             )
         }
         Body::Enum(variants) if item.attrs.untagged => {
@@ -543,11 +575,13 @@ fn gen_deserialize(item: &Item) -> String {
                     }
                     VariantKind::Struct(fields) => {
                         let inits = de_fields(item, fields);
+                        let deny =
+                            deny_unknown_check(item, fields, &format!("{name}::{v}", v = v.name));
                         attempts.push_str(&format!(
                             "let __attempt = (|| -> ::std::result::Result<{name}, ::serde::DeError> {{\n\
                              let __map = __v.as_map().ok_or_else(|| \
                              ::serde::DeError::custom(\"expected object\"))?;\n\
-                             ::std::result::Result::Ok({name}::{v} {{\n{inits}}})\n}})();\n\
+                             {deny}::std::result::Result::Ok({name}::{v} {{\n{inits}}})\n}})();\n\
                              if let ::std::result::Result::Ok(__x) = __attempt {{\n\
                              return ::std::result::Result::Ok(__x);\n}}\n",
                             v = v.name
@@ -581,12 +615,14 @@ fn gen_deserialize(item: &Item) -> String {
                     }
                     VariantKind::Struct(fields) => {
                         let inits = de_fields(item, fields);
+                        let deny =
+                            deny_unknown_check(item, fields, &format!("{name}::{v}", v = v.name));
                         data_arms.push_str(&format!(
                             "{key:?} => {{\n\
                              let __map = __inner.as_map().ok_or_else(|| \
                              ::serde::DeError::custom(concat!({name:?}, \"::\", {key:?}, \
                              \": expected object\")))?;\n\
-                             return ::std::result::Result::Ok({name}::{v} {{\n{inits}}});\n}},\n",
+                             {deny}return ::std::result::Result::Ok({name}::{v} {{\n{inits}}});\n}},\n",
                             v = v.name
                         ));
                     }
