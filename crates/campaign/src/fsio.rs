@@ -1,15 +1,22 @@
-//! Atomic file writes.
+//! Atomic file writes and path-annotated reads.
 //!
 //! Result-store cells and rendered figure files are written with the
 //! classic temp-file-plus-rename dance so that a campaign killed mid-write
 //! never leaves a truncated or half-written JSON file behind: `rename(2)`
 //! within one directory is atomic on POSIX, so readers observe either the
 //! old file, the new file, or no file — never a prefix.
+//!
+//! Reads of user-supplied paths (sweep specs, fuzz reproducers) go through
+//! [`read_file`], which returns a typed [`CampaignError::Io`] naming the
+//! offending path instead of a bare `io::Error` (or worse, a panic), so a
+//! mistyped file name surfaces as a proper diagnostic.
 
 use std::fs;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::CampaignError;
 
 /// Per-process counter so concurrent writers in one process never share a
 /// temp file even when targeting the same path.
@@ -45,6 +52,16 @@ pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
     }
 }
 
+/// Reads a user-supplied file to a string, annotating any failure with the
+/// path involved.
+///
+/// # Errors
+///
+/// [`CampaignError::Io`] naming `path` if it cannot be read.
+pub fn read_file(path: &Path) -> Result<String, CampaignError> {
+    fs::read_to_string(path).map_err(|e| CampaignError::io(path, e))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +95,18 @@ mod tests {
         let dir = temp_dir("missing");
         let path = dir.join("no-such-subdir").join("out.json");
         assert!(write_atomic(&path, "x").is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_file_names_the_path_on_error() {
+        let dir = temp_dir("read");
+        let path = dir.join("present.txt");
+        write_atomic(&path, "hello").unwrap();
+        assert_eq!(read_file(&path).unwrap(), "hello");
+        let missing = dir.join("no-such-file.txt");
+        let err = read_file(&missing).unwrap_err();
+        assert!(err.to_string().contains("no-such-file.txt"));
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,251 @@
+//! The fuzz-case vocabulary: a serializable, self-contained description
+//! of one generated scenario, and the reproducer files `vsched fuzz`
+//! writes for every failure.
+//!
+//! A [`FuzzCase`] captures *everything* the oracle needs — topology,
+//! workload distributions, synchronization, policy, seed, and run
+//! lengths — so a reproducer JSON replays bit-identically on any machine
+//! with the same binary, independent of the generator that produced it.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+use vsched_core::{CoreError, PolicyKind, SyncMechanism, SystemConfig, WorkloadSpec};
+
+use crate::CheckError;
+
+/// Workload service-demand distribution of one case, in ticks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoadSpec {
+    /// Every job takes exactly `value` ticks.
+    Deterministic {
+        /// Job length in ticks.
+        value: f64,
+    },
+    /// Job lengths uniform on `[low, high]`.
+    Uniform {
+        /// Lower bound in ticks.
+        low: f64,
+        /// Upper bound in ticks.
+        high: f64,
+    },
+    /// Exponentially distributed job lengths.
+    Exponential {
+        /// Mean job length in ticks.
+        mean: f64,
+    },
+}
+
+/// Synchronization behaviour of one case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SyncSpec {
+    /// Probability that a job is a synchronization point.
+    pub probability: f64,
+    /// If set, every `every`-th job is a sync point instead of sampling
+    /// with `probability` (the deterministic variant).
+    pub every: Option<u32>,
+    /// Whether waiters block (Barrier) or burn their PCPU (SpinLock).
+    pub mechanism: SyncMechanism,
+}
+
+/// One VM of a case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct VmCase {
+    /// Number of sibling VCPUs.
+    pub vcpus: usize,
+    /// Proportional-share weight.
+    pub weight: u32,
+}
+
+/// A complete, replayable fuzz scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct FuzzCase {
+    /// Position in the generator sequence (also the RNG stream index).
+    pub case_index: u64,
+    /// Physical CPU count.
+    pub pcpus: usize,
+    /// The virtual machines.
+    pub vms: Vec<VmCase>,
+    /// Job service-demand distribution (shared by all VMs).
+    pub load: LoadSpec,
+    /// Synchronization behaviour (shared by all VMs).
+    pub sync: SyncSpec,
+    /// Scheduling timeslice in ticks.
+    pub timeslice: u64,
+    /// Policy under test.
+    pub policy: PolicyKind,
+    /// Base RNG seed for the replications.
+    pub seed: u64,
+    /// Warm-up ticks discarded before sampling.
+    pub warmup: u64,
+    /// Measured horizon in ticks.
+    pub horizon: u64,
+    /// Replications per engine.
+    pub replications: usize,
+}
+
+impl FuzzCase {
+    /// Materializes the case's [`SystemConfig`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] if the case describes an invalid system (possible
+    /// for hand-edited reproducer files; generated cases always build).
+    pub fn system_config(&self) -> Result<SystemConfig, CoreError> {
+        let load = match self.load {
+            LoadSpec::Deterministic { value } => vsched_des::Dist::deterministic(value),
+            LoadSpec::Uniform { low, high } => vsched_des::Dist::uniform(low, high),
+            LoadSpec::Exponential { mean } => vsched_des::Dist::exponential(mean),
+        }
+        .map_err(CoreError::from)?;
+        let workload = WorkloadSpec {
+            load,
+            sync_probability: self.sync.probability,
+            sync_mechanism: self.sync.mechanism,
+            sync_every: self.sync.every,
+            interarrival: None,
+        };
+        let mut builder = SystemConfig::builder()
+            .pcpus(self.pcpus)
+            .timeslice(self.timeslice);
+        for vm in &self.vms {
+            builder = builder.vm_spec(vsched_core::VmSpec {
+                vcpus: vm.vcpus,
+                workload: workload.clone(),
+                weight: vm.weight,
+            });
+        }
+        builder.build()
+    }
+}
+
+/// A reproducer file: the shrunk case plus the failures it provoked when
+/// it was recorded (kept for triage; replay recomputes them).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct Reproducer {
+    /// The (shrunk) failing case.
+    pub case: FuzzCase,
+    /// Human-readable failure descriptions observed at record time.
+    pub failures: Vec<String>,
+}
+
+impl Reproducer {
+    /// Serializes to pretty JSON (the on-disk reproducer format).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reproducer serialization cannot fail")
+    }
+
+    /// Loads a reproducer from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::Io`] if the file cannot be read,
+    /// [`CheckError::Parse`] if it is not valid reproducer JSON.
+    pub fn load(path: &Path) -> Result<Self, CheckError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CheckError::io(path, e))?;
+        serde_json::from_str(&text).map_err(|e| CheckError::parse(path, e))
+    }
+
+    /// Stores the reproducer at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::Io`] if the file cannot be written.
+    pub fn store(&self, path: &Path) -> Result<(), CheckError> {
+        std::fs::write(path, self.to_json()).map_err(|e| CheckError::io(path, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_case() -> FuzzCase {
+        FuzzCase {
+            case_index: 0,
+            pcpus: 2,
+            vms: vec![
+                VmCase {
+                    vcpus: 2,
+                    weight: 1,
+                },
+                VmCase {
+                    vcpus: 1,
+                    weight: 2,
+                },
+            ],
+            load: LoadSpec::Uniform {
+                low: 2.0,
+                high: 9.0,
+            },
+            sync: SyncSpec {
+                probability: 0.25,
+                every: None,
+                mechanism: SyncMechanism::Barrier,
+            },
+            timeslice: 5,
+            policy: PolicyKind::relaxed_co_default(),
+            seed: 42,
+            warmup: 200,
+            horizon: 800,
+            replications: 3,
+        }
+    }
+
+    #[test]
+    fn case_roundtrips_through_json() {
+        let case = sample_case();
+        let rep = Reproducer {
+            case: case.clone(),
+            failures: vec!["differential: vcpu_availability".into()],
+        };
+        let json = rep.to_json();
+        let back: Reproducer = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rep);
+        assert_eq!(back.case, case);
+    }
+
+    #[test]
+    fn case_builds_a_valid_system_config() {
+        let config = sample_case().system_config().unwrap();
+        assert_eq!(config.pcpus(), 2);
+        assert_eq!(config.total_vcpus(), 3);
+        assert_eq!(config.timeslice(), 5);
+        assert_eq!(config.vms()[1].weight, 2);
+    }
+
+    #[test]
+    fn invalid_case_surfaces_a_core_error() {
+        let mut case = sample_case();
+        case.pcpus = 0;
+        assert!(case.system_config().is_err());
+    }
+
+    #[test]
+    fn load_and_store_roundtrip_and_name_paths_on_error() {
+        let dir = std::env::temp_dir().join(format!("vsched-check-case-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("case-0.json");
+        let rep = Reproducer {
+            case: sample_case(),
+            failures: vec![],
+        };
+        rep.store(&path).unwrap();
+        assert_eq!(Reproducer::load(&path).unwrap(), rep);
+
+        let missing = dir.join("absent.json");
+        let err = Reproducer::load(&missing).unwrap_err();
+        assert!(err.to_string().contains("absent.json"));
+
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, "{not json").unwrap();
+        let err = Reproducer::load(&garbage).unwrap_err();
+        assert!(matches!(err, CheckError::Parse { .. }));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

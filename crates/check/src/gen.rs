@@ -1,0 +1,187 @@
+//! Seeded random generation of fuzz cases.
+//!
+//! Each case draws from its own [`vsched_des::RngStreams`] stream, keyed
+//! by the case index, so case `i` of seed `s` is identical whether cases
+//! run sequentially, in parallel, or alone — the same independence trick
+//! the replication engine uses for per-replication streams.
+//!
+//! The generated envelope stays inside the regime the paper models —
+//! saturated workload generators (no interarrival process) and at most
+//! as many sibling VCPUs per VM as there are PCPUs, since a gang wider
+//! than the machine can never co-start.
+
+use vsched_core::PolicyKind;
+use vsched_des::rng::{RngStreams, Xoshiro256StarStar};
+
+use crate::case::{FuzzCase, LoadSpec, SyncSpec, VmCase};
+use vsched_core::SyncMechanism;
+
+/// Warm-up ticks for generated cases — long enough to leave the empty
+/// initial state for every topology in the envelope.
+pub const GEN_WARMUP: u64 = 200;
+/// Measured ticks for generated cases — short enough that a 200-case run
+/// finishes in CI, long enough that CI half-widths are meaningful.
+pub const GEN_HORIZON: u64 = 800;
+/// Replications per engine per case.
+pub const GEN_REPLICATIONS: usize = 3;
+
+/// Deterministic fuzz-case generator.
+#[derive(Debug)]
+pub struct CaseGen {
+    streams: RngStreams,
+}
+
+impl CaseGen {
+    /// A generator for the given master seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        CaseGen {
+            streams: RngStreams::new(seed),
+        }
+    }
+
+    /// Generates case `index`. Pure: the same `(seed, index)` always
+    /// yields the same case.
+    #[must_use]
+    pub fn case(&self, index: u64) -> FuzzCase {
+        let mut rng = self.streams.stream(index);
+
+        let pcpus = 1 + rng.next_below(4) as usize;
+        let num_vms = 1 + rng.next_below(3) as usize;
+        let max_gang = pcpus.min(3);
+        let mut vms = Vec::with_capacity(num_vms);
+        let mut total = 0usize;
+        for _ in 0..num_vms {
+            let room = max_gang.min(6 - total);
+            if room == 0 {
+                break;
+            }
+            let vcpus = 1 + rng.next_below(room as u64) as usize;
+            let weight = 1 + rng.next_below(4) as u32;
+            total += vcpus;
+            vms.push(VmCase { vcpus, weight });
+        }
+
+        let load = match rng.next_below(3) {
+            0 => LoadSpec::Deterministic {
+                value: (2 + rng.next_below(12)) as f64,
+            },
+            1 => {
+                let low = (1 + rng.next_below(5)) as f64;
+                let high = low + (2 + rng.next_below(12)) as f64;
+                LoadSpec::Uniform { low, high }
+            }
+            _ => LoadSpec::Exponential {
+                mean: (3 + rng.next_below(10)) as f64,
+            },
+        };
+
+        let mechanism = if rng.next_bool(0.5) {
+            SyncMechanism::Barrier
+        } else {
+            SyncMechanism::SpinLock
+        };
+        let sync = if rng.next_bool(0.5) {
+            SyncSpec {
+                probability: 0.05 + 0.3 * rng.next_f64(),
+                every: None,
+                mechanism,
+            }
+        } else {
+            SyncSpec {
+                probability: 0.0,
+                every: Some(2 + rng.next_below(7) as u32),
+                mechanism,
+            }
+        };
+
+        const TIMESLICES: [u64; 5] = [2, 3, 5, 10, 30];
+        let timeslice = TIMESLICES[rng.next_below(TIMESLICES.len() as u64) as usize];
+
+        let policy = Self::policy(&mut rng);
+        let seed = rng.next();
+
+        FuzzCase {
+            case_index: index,
+            pcpus,
+            vms,
+            load,
+            sync,
+            timeslice,
+            policy,
+            seed,
+            warmup: GEN_WARMUP,
+            horizon: GEN_HORIZON,
+            replications: GEN_REPLICATIONS,
+        }
+    }
+
+    fn policy(rng: &mut Xoshiro256StarStar) -> PolicyKind {
+        match rng.next_below(8) {
+            0 => PolicyKind::RoundRobin,
+            1 => PolicyKind::StrictCo,
+            2 => {
+                let skew_resume = 1 + rng.next_below(3);
+                PolicyKind::RelaxedCo {
+                    skew_threshold: skew_resume + 1 + rng.next_below(8),
+                    skew_resume,
+                }
+            }
+            3 => PolicyKind::Balance,
+            4 => PolicyKind::Credit {
+                refill_period: 10 + rng.next_below(50),
+            },
+            5 => PolicyKind::Sedf {
+                period: 20 + rng.next_below(180),
+            },
+            6 => PolicyKind::Bvt {
+                max_lag: 500 + rng.next_below(5_000),
+            },
+            _ => PolicyKind::Fcfs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_index_independent() {
+        let a = CaseGen::new(42);
+        let b = CaseGen::new(42);
+        for i in [0u64, 1, 7, 199] {
+            assert_eq!(a.case(i), b.case(i));
+        }
+        // Different indices and different seeds decorrelate.
+        assert_ne!(a.case(0), a.case(1));
+        assert_ne!(CaseGen::new(42).case(3), CaseGen::new(43).case(3));
+    }
+
+    #[test]
+    fn generated_cases_respect_the_envelope_and_build() {
+        let g = CaseGen::new(7);
+        for i in 0..100 {
+            let case = g.case(i);
+            assert!((1..=4).contains(&case.pcpus), "case {i}: pcpus");
+            assert!((1..=3).contains(&case.vms.len()), "case {i}: vms");
+            let total: usize = case.vms.iter().map(|v| v.vcpus).sum();
+            assert!(total <= 6, "case {i}: total vcpus");
+            for vm in &case.vms {
+                assert!(
+                    vm.vcpus <= case.pcpus,
+                    "case {i}: gang wider than the machine"
+                );
+            }
+            if let PolicyKind::RelaxedCo {
+                skew_threshold,
+                skew_resume,
+            } = case.policy
+            {
+                assert!(skew_resume < skew_threshold, "case {i}: RCS params");
+            }
+            let config = case.system_config().unwrap();
+            assert_eq!(config.pcpus(), case.pcpus);
+        }
+    }
+}

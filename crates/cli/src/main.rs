@@ -3,16 +3,18 @@
 //! ```text
 //! vsched run <config.json> [--out results.json] [--jobs N]
 //! vsched sweep <spec.json> [--store DIR] [--out-dir DIR] [...]
+//! vsched fuzz [--cases N] [--seed S] [--jobs N] [--reproducer-dir DIR]
+//! vsched fuzz --replay <case.json>
 //! vsched example                                  print a starter config
 //! vsched help                                     this message
 //! ```
 
-use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use vsched_campaign::fsio::write_atomic;
+use vsched_campaign::fsio::{read_file, write_atomic};
 use vsched_campaign::{run_sweep, SweepOptions};
+use vsched_check::{run_fuzz, FuzzOpts};
 use vsched_cli::output::{render_report, report_to_json};
 use vsched_cli::ExperimentConfig;
 use vsched_core::ExperimentBuilder;
@@ -24,6 +26,9 @@ USAGE:
     vsched run <config.json> [--out <results.json>] [--jobs <N>]
     vsched sweep <spec.json> [--store <dir>] [--out-dir <dir>] [--jobs <N>]
                  [--only <experiment>] [--max-cells <N>] [--dry-run] [--quiet]
+    vsched fuzz [--cases <N>] [--seed <S>] [--jobs <N>]
+                [--reproducer-dir <dir>]
+    vsched fuzz --replay <case.json>
     vsched example
     vsched help
 
@@ -35,6 +40,11 @@ COMMANDS:
               result store is missing (crash-safe and resumable — re-run
               after a kill to complete only the remaining cells), and
               render each experiment's figure.
+    fuzz      Hunt scheduler bugs: generate random scenarios and judge
+              each with the vsched-check oracle — runtime invariants on
+              both engines, engine-vs-engine differential comparison,
+              parallel-determinism and metamorphic relations. Failures
+              are shrunk and written as replayable JSON reproducers.
     example   Print a commented starter config to stdout.
 
 OPTIONS (run):
@@ -53,6 +63,16 @@ OPTIONS (sweep):
     --max-cells <N>    Simulate at most N missing cells, then stop.
     --dry-run          Plan and report; simulate nothing.
     --quiet            Suppress tables and progress output.
+
+OPTIONS (fuzz):
+    --cases <N>            Scenarios to generate and judge (default 200).
+    --seed <S>             Master seed; case i is determined by (S, i)
+                           alone (default 42).
+    --jobs <N>             Worker threads (default: one per core).
+    --reproducer-dir <dir> Write a case-<i>.json reproducer per failure.
+    --replay <case.json>   Re-judge one reproducer and print its outcome
+                           (byte-identical across replays of the same
+                           file — CI diffs two replays to prove it).
 
 The config format is documented in the vsched-cli crate docs; `vsched
 example > exp.json` is the quickest start. The paper campaign lives at
@@ -83,6 +103,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
+        Some("fuzz") => fuzz(&args[1..]),
         Some("example") => {
             println!("{EXAMPLE}");
             ExitCode::SUCCESS
@@ -202,13 +223,111 @@ fn sweep(args: &[String]) -> ExitCode {
     }
 }
 
+fn fuzz(args: &[String]) -> ExitCode {
+    let mut opts = FuzzOpts::default();
+    let mut replay_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cases" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) => opts.cases = n,
+                _ => {
+                    eprintln!("error: --cases requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) => opts.seed = n,
+                _ => {
+                    eprintln!("error: --seed requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => opts.jobs = Some(n),
+                _ => {
+                    eprintln!("error: --jobs requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--reproducer-dir" => match it.next() {
+                Some(p) => opts.reproducer_dir = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --reproducer-dir requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--replay" => match it.next() {
+                Some(p) => replay_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --replay requires a reproducer file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            p => {
+                eprintln!("error: unexpected argument `{p}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = replay_path {
+        return match vsched_check::fuzz::replay(&path, &opts.oracle) {
+            Ok(outcome) => {
+                println!(
+                    "replay: case {} digest {}",
+                    outcome.case_index, outcome.digest
+                );
+                for f in &outcome.failures {
+                    println!("  {f}");
+                }
+                if outcome.passed() {
+                    println!("  clean");
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match run_fuzz(&opts) {
+        Ok(report) => {
+            println!("{}", report.summary());
+            for failure in &report.failures {
+                println!("case {}:", failure.case_index);
+                for f in &failure.outcome.failures {
+                    println!("  {f}");
+                }
+                if let Some(path) = &failure.reproducer {
+                    println!("  reproducer: {}", path.display());
+                }
+            }
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run_experiment(
     config_path: &str,
     out_path: Option<&str>,
     jobs_flag: Option<usize>,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let text =
-        fs::read_to_string(config_path).map_err(|e| format!("cannot read {config_path}: {e}"))?;
+    // Typed error with the offending path baked in, instead of a bare
+    // io::Error (or a panic) on a mistyped file name.
+    let text = read_file(Path::new(config_path))?;
     let config = ExperimentConfig::from_json(&text)?;
     let system = config.system()?;
     let engine = config.engine_kind()?;

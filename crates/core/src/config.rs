@@ -6,6 +6,7 @@
 //! VCPU count), the workload distribution and the synchronization-point
 //! ratio.
 
+use serde::{Deserialize, Serialize};
 use vsched_des::Dist;
 
 use crate::error::CoreError;
@@ -17,7 +18,7 @@ use crate::types::VcpuId;
 /// barrier synchronization") and lists "represent more synchronization
 /// mechanisms" as future work (§V); [`SyncMechanism::SpinLock`] is that
 /// extension, modeling the guest-kernel critical sections of §II.B.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum SyncMechanism {
     /// A synchronization-point workload is a **barrier**: the VM generates
     /// no further workloads until every outstanding job completes (the

@@ -41,6 +41,7 @@ use vsched_des::{Dist, RngStreams, Xoshiro256StarStar};
 use crate::config::{SyncMechanism, SystemConfig};
 use crate::error::CoreError;
 use crate::metrics::SampleMetrics;
+use crate::observe::TickObserver;
 use crate::sched::{validate_decision, SchedulingPolicy};
 use crate::types::{PcpuView, VcpuId, VcpuStatus, VcpuView};
 
@@ -105,6 +106,7 @@ pub struct DirectSim {
     pcpu_ticks: Vec<u64>,
     observed_ticks: u64,
     trace: Option<Trace>,
+    observer: Option<Box<dyn TickObserver>>,
 }
 
 impl std::fmt::Debug for DirectSim {
@@ -163,9 +165,22 @@ impl DirectSim {
             tick: 0,
             observed_ticks: 0,
             trace: None,
+            observer: None,
             policy,
             config,
         }
+    }
+
+    /// Attaches an end-of-tick observer (see [`crate::observe`]); replaces
+    /// any previous one. With no observer attached the per-tick cost is a
+    /// single untaken branch.
+    pub fn attach_observer(&mut self, observer: Box<dyn TickObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Removes and returns the attached observer, if any.
+    pub fn detach_observer(&mut self) -> Option<Box<dyn TickObserver>> {
+        self.observer.take()
     }
 
     /// Starts recording up to `capacity` [`TraceEvent`]s. Subsequent calls
@@ -250,7 +265,7 @@ impl DirectSim {
     /// # Errors
     ///
     /// [`CoreError::PolicyViolation`] if the policy produces an invalid
-    /// decision.
+    /// decision; any error returned by an attached [`TickObserver`].
     pub fn tick(&mut self) -> Result<(), CoreError> {
         self.tick += 1;
 
@@ -368,6 +383,15 @@ impl DirectSim {
         for (p, assigned) in self.pcpus.iter().enumerate() {
             if assigned.is_some() {
                 self.pcpu_ticks[p] += 1;
+            }
+        }
+
+        if self.observer.is_some() {
+            let vcpu_views = self.vcpu_views();
+            let pcpu_views = self.pcpu_views();
+            let tick = self.tick;
+            if let Some(obs) = self.observer.as_mut() {
+                obs.on_tick(tick, &vcpu_views, &pcpu_views)?;
             }
         }
         Ok(())

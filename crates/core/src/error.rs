@@ -21,6 +21,17 @@ pub enum CoreError {
         /// Violated invariant.
         reason: String,
     },
+    /// A runtime invariant checker (see [`crate::observe`]) observed an
+    /// illegal system state; the message names the invariant from the
+    /// checker's catalogue and the tick where it broke.
+    InvariantViolation {
+        /// Name of the violated invariant (e.g. `gang-atomicity`).
+        invariant: String,
+        /// Tick at which the violation was observed.
+        tick: u64,
+        /// What was observed.
+        reason: String,
+    },
     /// Error bubbled up from the SAN engine.
     San(vsched_san::SanError),
     /// Error bubbled up from the statistics layer.
@@ -39,6 +50,16 @@ impl fmt::Display for CoreError {
                 write!(
                     f,
                     "scheduling policy `{policy}` violated an invariant: {reason}"
+                )
+            }
+            CoreError::InvariantViolation {
+                invariant,
+                tick,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "invariant `{invariant}` violated at tick {tick}: {reason}"
                 )
             }
             CoreError::San(e) => write!(f, "SAN engine error: {e}"),
@@ -87,6 +108,15 @@ mod tests {
             reason: "no PCPUs".into(),
         };
         assert!(e.to_string().contains("no PCPUs"));
+        assert!(e.source().is_none());
+
+        let e = CoreError::InvariantViolation {
+            invariant: "clock-monotonic".into(),
+            tick: 42,
+            reason: "went backwards".into(),
+        };
+        assert!(e.to_string().contains("clock-monotonic"));
+        assert!(e.to_string().contains("tick 42"));
         assert!(e.source().is_none());
 
         let e: CoreError = vsched_san::SanError::UnknownPlace { name: "p".into() }.into();

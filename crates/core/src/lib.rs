@@ -78,15 +78,17 @@ pub mod config;
 pub mod direct;
 pub mod error;
 pub mod metrics;
+pub mod observe;
 pub mod runner;
 pub mod san_model;
 pub mod sched;
 pub mod types;
 pub(crate) mod util;
 
-pub use config::{SystemConfig, SystemConfigBuilder, VmSpec, WorkloadSpec};
+pub use config::{SyncMechanism, SystemConfig, SystemConfigBuilder, VmSpec, WorkloadSpec};
 pub use error::CoreError;
 pub use metrics::{MetricsReport, SampleMetrics};
+pub use observe::TickObserver;
 pub use runner::{Engine, ExperimentBuilder};
 pub use sched::{PolicyKind, ScheduleDecision, SchedulingPolicy};
 pub use types::{PcpuView, VcpuId, VcpuStatus, VcpuView};

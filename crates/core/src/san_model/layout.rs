@@ -133,8 +133,13 @@ impl Layout {
         }
         marking.set(v.status, VcpuStatus::Inactive.to_token());
         marking.set(v.timeslice, 0);
-        // A descheduled VCPU consumes no PCPU, so it cannot be spinning.
-        marking.set(v.spinning, 0);
+        // `spinning` is deliberately left alone: if the VCPU spun in this
+        // tick's processing phase it burned its PCPU for the whole tick,
+        // and the spin rate reward samples the end-of-tick marking —
+        // clearing the flag here would erase the spin tick whenever the
+        // spinner expires or is preempted in the same tick (the direct
+        // engine counts that tick). `Processing_load` resets the flag at
+        // the next tick for any non-BUSY VCPU, so it cannot go stale.
     }
 
     /// Applies a validated [`ScheduleDecision`] at tick `now`.

@@ -26,6 +26,7 @@ use vsched_san::{RewardId, Simulator};
 use crate::config::SystemConfig;
 use crate::error::CoreError;
 use crate::metrics::SampleMetrics;
+use crate::observe::TickObserver;
 use crate::sched::SchedulingPolicy;
 use crate::types::{PcpuView, VcpuView};
 
@@ -55,6 +56,7 @@ pub struct SanSystem {
     spin: Vec<RewardId>,
     putil: Vec<RewardId>,
     horizon: f64,
+    observer: Option<Box<dyn TickObserver>>,
 }
 
 impl std::fmt::Debug for SanSystem {
@@ -118,7 +120,26 @@ impl SanSystem {
             spin,
             putil,
             horizon: 0.0,
+            observer: None,
         })
+    }
+
+    /// Attaches an end-of-tick observer (see [`crate::observe`]); replaces
+    /// any previous one.
+    ///
+    /// With an observer attached the simulator is stepped one clock period
+    /// at a time so a snapshot can be taken at every tick boundary (event
+    /// processing order — and therefore every sampled value — is identical
+    /// to an unobserved run), and the future-event-list monotonicity check
+    /// of the underlying `vsched-san` simulator is switched on.
+    pub fn attach_observer(&mut self, observer: Box<dyn TickObserver>) {
+        self.sim.enable_event_monotonicity_check();
+        self.observer = Some(observer);
+    }
+
+    /// Removes and returns the attached observer, if any.
+    pub fn detach_observer(&mut self) -> Option<Box<dyn TickObserver>> {
+        self.observer.take()
     }
 
     /// Advances the model by `ticks` clock periods.
@@ -128,12 +149,33 @@ impl SanSystem {
     /// * [`CoreError::PolicyViolation`] if the plugged-in scheduling
     ///   function produced an invalid decision (the model halts at the
     ///   offending tick);
-    /// * [`CoreError::San`] for SAN-level failures.
+    /// * [`CoreError::San`] for SAN-level failures;
+    /// * any error returned by an attached [`TickObserver`].
     pub fn run(&mut self, ticks: u64) -> Result<(), CoreError> {
-        self.horizon += ticks as f64;
-        self.sim.run_until(self.horizon)?;
-        if let Some(e) = self.error.borrow_mut().take() {
-            return Err(e);
+        if self.observer.is_none() {
+            self.horizon += ticks as f64;
+            self.sim.run_until(self.horizon)?;
+            if let Some(e) = self.error.borrow_mut().take() {
+                return Err(e);
+            }
+            return Ok(());
+        }
+        // Observed run: step one clock period at a time. All activities
+        // fire at integer times, so stopping at every integer boundary
+        // processes exactly the same events in the same order as one long
+        // run — only the observation points differ.
+        for _ in 0..ticks {
+            self.horizon += 1.0;
+            self.sim.run_until(self.horizon)?;
+            if let Some(e) = self.error.borrow_mut().take() {
+                return Err(e);
+            }
+            let vcpu_views = self.vcpu_views();
+            let pcpu_views = self.pcpu_views();
+            let tick = self.time();
+            if let Some(obs) = self.observer.as_mut() {
+                obs.on_tick(tick, &vcpu_views, &pcpu_views)?;
+            }
         }
         Ok(())
     }

@@ -279,6 +279,67 @@ fn reset_metrics_restarts_window() {
 }
 
 #[test]
+fn spinlock_spin_survives_same_tick_deschedule() {
+    // Lock-holder preemption: VM 1's two VCPUs share a spinlock but only
+    // one PCPU's worth of time (SEDF keeps the 1-VCPU VM saturated on the
+    // other PCPU), so the non-holder spins away whole 2-tick slices. A
+    // spin tick whose spinner expires in the *same* tick's phase 3 must
+    // still count — the PCPU was burned in phase 1 — or the SAN engine
+    // reports roughly half the direct engine's spin fraction.
+    let mk = || {
+        let w = WorkloadSpec {
+            load: Dist::deterministic(7.0).unwrap(),
+            sync_probability: 0.0,
+            sync_mechanism: crate::config::SyncMechanism::SpinLock,
+            sync_every: None,
+            interarrival: None,
+        }
+        .with_sync_every(4)
+        .unwrap();
+        SystemConfig::builder()
+            .pcpus(2)
+            .timeslice(2)
+            .vm_spec(VmSpec {
+                vcpus: 1,
+                workload: w.clone(),
+                weight: 1,
+            })
+            .vm_spec(VmSpec {
+                vcpus: 2,
+                workload: w,
+                weight: 1,
+            })
+            .build()
+            .unwrap()
+    };
+    let policy = || PolicyKind::Sedf { period: 50 }.create();
+    let mut sys = SanSystem::new(mk(), policy(), 17).unwrap();
+    sys.run(2_000).unwrap();
+    let san = sys.metrics();
+    let mut direct = crate::direct::DirectSim::new(mk(), policy(), 17);
+    direct.run(2_000).unwrap();
+    let dm = direct.metrics();
+    assert!(
+        dm.vcpu_spin.iter().any(|&s| s > 0.1),
+        "scenario must actually spin: {dm:?}"
+    );
+    for g in 0..3 {
+        assert!(
+            (san.vcpu_spin[g] - dm.vcpu_spin[g]).abs() < 0.02,
+            "VCPU {g}: SAN spin {} vs direct {}",
+            san.vcpu_spin[g],
+            dm.vcpu_spin[g]
+        );
+        assert!(
+            (san.vcpu_utilization[g] - dm.vcpu_utilization[g]).abs() < 0.02,
+            "VCPU {g}: SAN util {} vs direct {}",
+            san.vcpu_utilization[g],
+            dm.vcpu_utilization[g]
+        );
+    }
+}
+
+#[test]
 fn deterministic_sync_pattern_in_san() {
     // 1 VCPU, 1 PCPU, every 3rd job a barrier: with det(4) loads the VM
     // blocks exactly after every third dispatch; metrics must match the

@@ -110,13 +110,23 @@ pub trait SchedulingPolicy {
     ) -> ScheduleDecision;
 }
 
-/// Checks a decision against the model invariants.
+/// Checks a decision against the model invariants — the **decision
+/// invariant** of the `vsched-check` catalogue (see DESIGN.md §11).
+///
+/// Both engines gate every [`ScheduleDecision`] through this function
+/// before applying it, so it runs on every tick of every simulation, not
+/// only under the fuzzer; the `vsched-check` crate re-exports it as the
+/// first entry of its invariant catalogue and layers the *state*
+/// invariants (exclusive assignment, transition legality, gang atomicity,
+/// skew bound, accounting closure) on top via the
+/// [`crate::observe::TickObserver`] hook.
 ///
 /// Invariants:
 ///
 /// 1. preempted VCPUs must currently be ACTIVE;
 /// 2. assigned VCPUs must be INACTIVE and not also preempted this tick;
-/// 3. no VCPU may receive two assignments;
+/// 3. no VCPU may receive two assignments — one VCPU on two PCPUs would
+///    silently double its service share;
 /// 4. each target PCPU must be IDLE (or freed by a preemption this tick)
 ///    and may be assigned at most once;
 /// 5. every timeslice must be at least one tick.

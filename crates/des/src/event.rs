@@ -79,6 +79,10 @@ pub struct EventQueue<T> {
     /// Ids cancelled but still physically present in the heap (lazy removal).
     cancelled: HashSet<EventId>,
     next_seq: u64,
+    /// Time of the last popped event, tracked only while the monotonicity
+    /// check is enabled (see [`EventQueue::enable_monotonicity_check`]).
+    last_popped: Option<SimTime>,
+    monotonicity_check: bool,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -96,7 +100,27 @@ impl<T> EventQueue<T> {
             pending: HashSet::new(),
             cancelled: HashSet::new(),
             next_seq: 0,
+            last_popped: None,
+            monotonicity_check: false,
         }
+    }
+
+    /// Enables the event-clock monotonicity check: after this call, every
+    /// [`EventQueue::pop`] asserts that event times never decrease. A
+    /// violation would mean the future-event list is corrupted (a broken
+    /// ordering or a mutation of an entry while heaped) and panics rather
+    /// than silently running the simulation backwards in time.
+    ///
+    /// Disabled by default; when disabled the only cost is one untaken
+    /// branch per pop.
+    pub fn enable_monotonicity_check(&mut self) {
+        self.monotonicity_check = true;
+    }
+
+    /// Whether the monotonicity check is enabled.
+    #[must_use]
+    pub fn monotonicity_check_enabled(&self) -> bool {
+        self.monotonicity_check
     }
 
     /// Schedules `payload` to fire at `time` with the given `priority`
@@ -149,18 +173,35 @@ impl<T> EventQueue<T> {
     }
 
     /// Removes and returns the next event as `(time, id, payload)`.
+    ///
+    /// # Panics
+    ///
+    /// If the monotonicity check is enabled and the popped event is earlier
+    /// than a previously popped one (a corrupted future-event list).
     pub fn pop(&mut self) -> Option<(SimTime, EventId, T)> {
         self.prune();
         let entry = self.heap.pop()?;
         self.pending.remove(&entry.id);
+        if self.monotonicity_check {
+            if let Some(last) = self.last_popped {
+                assert!(
+                    entry.time >= last,
+                    "event queue monotonicity violated: popped t={:?} after t={:?}",
+                    entry.time,
+                    last
+                );
+            }
+            self.last_popped = Some(entry.time);
+        }
         Some((entry.time, entry.id, entry.payload))
     }
 
-    /// Drops all pending events.
+    /// Drops all pending events and resets the monotonicity watermark.
     pub fn clear(&mut self) {
         self.heap.clear();
         self.pending.clear();
         self.cancelled.clear();
+        self.last_popped = None;
     }
 
     fn prune(&mut self) {
@@ -257,6 +298,37 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn monotonicity_check_accepts_ordered_pops() {
+        let mut q = EventQueue::new();
+        q.enable_monotonicity_check();
+        assert!(q.monotonicity_check_enabled());
+        q.schedule(t(2.0), 0, 'b');
+        q.schedule(t(1.0), 0, 'a');
+        assert_eq!(q.pop().unwrap().2, 'a');
+        // Scheduling in the past *before* anything later fired is legal.
+        q.schedule(t(1.5), 0, 'm');
+        assert_eq!(q.pop().unwrap().2, 'm');
+        assert_eq!(q.pop().unwrap().2, 'b');
+        // clear() resets the watermark, so earlier times are fine again.
+        q.clear();
+        q.schedule(t(0.5), 0, 'z');
+        assert_eq!(q.pop().unwrap().2, 'z');
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonicity violated")]
+    fn monotonicity_check_catches_time_regression() {
+        let mut q = EventQueue::new();
+        q.enable_monotonicity_check();
+        q.schedule(t(5.0), 0, ());
+        q.pop().unwrap();
+        // Scheduling behind the already-fired frontier is exactly the
+        // corruption this check exists to catch.
+        q.schedule(t(1.0), 0, ());
+        q.pop().unwrap();
     }
 
     #[test]

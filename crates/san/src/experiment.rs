@@ -87,6 +87,9 @@ pub fn run_replicated_jobs(
     let task = |rep: u64| -> Result<(Vec<f64>, u64), SanError> {
         let (mut sim, rewards) = factory(rep);
         assert!(!rewards.is_empty(), "factory must register rewards");
+        // One branch per event buys a corrupted-future-event-list net for
+        // every replicated experiment, so it is always on here.
+        sim.enable_event_monotonicity_check();
         if warmup > 0.0 {
             sim.run_until(warmup)?;
             sim.reset_rewards();

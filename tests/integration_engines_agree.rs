@@ -94,6 +94,51 @@ fn engines_agree_balance_and_credit() {
     );
 }
 
+/// The differential oracle from `vsched-check` judges a config/policy
+/// pair with CI-aware per-column tolerances — the same verdict the fuzz
+/// sweep applies, here pinned on named configurations for the policies
+/// the fixed tests above do not cover.
+fn assert_oracle_agrees(cfg: &SystemConfig, kind: &PolicyKind) {
+    let failures = vsched_check::oracle::engines_agree(
+        cfg,
+        kind,
+        1_000,
+        10_000,
+        99,
+        5,
+        &vsched_check::OracleOpts::default(),
+    )
+    .unwrap();
+    assert!(failures.is_empty(), "{kind}: {failures:?}");
+}
+
+#[test]
+fn oracle_engines_agree_credit() {
+    assert_oracle_agrees(&config(2, &[2, 1], (1, 4)), &PolicyKind::credit_default());
+    assert_oracle_agrees(
+        &config(3, &[3, 1, 1], (1, 6)),
+        &PolicyKind::Credit { refill_period: 25 },
+    );
+}
+
+#[test]
+fn oracle_engines_agree_sedf() {
+    assert_oracle_agrees(&config(2, &[2, 1], (1, 4)), &PolicyKind::sedf_default());
+    assert_oracle_agrees(
+        &config(3, &[2, 2], (1, 5)),
+        &PolicyKind::Sedf { period: 40 },
+    );
+}
+
+#[test]
+fn oracle_engines_agree_bvt() {
+    assert_oracle_agrees(&config(2, &[2, 1], (1, 4)), &PolicyKind::bvt_default());
+    assert_oracle_agrees(
+        &config(4, &[3, 2], (1, 5)),
+        &PolicyKind::Bvt { max_lag: 500 },
+    );
+}
+
 /// Deterministic workloads remove all randomness except policy behaviour:
 /// the engines must then agree almost exactly.
 #[test]
