@@ -1,0 +1,70 @@
+//! Deliberately broken models used to pin the analyzer's diagnostics.
+
+use vsched_core::san_model::{InvariantKind, ModelInvariant};
+use vsched_san::{Model, ModelBuilder};
+
+/// A four-place net with two planted defects:
+///
+/// * `leak` consumes a `buf` token through an output gate that restores
+///   nothing — its observed column breaks the declared `token-conservation`
+///   sum (`nonconserving-gate`);
+/// * `dead` demands 2 tokens from `trap`, but the only non-negative
+///   P-semiflow touching `trap` bounds it to its initial single token
+///   (`dead-activity`) — and its exact column also breaks the declared sum.
+///
+/// `move` is an honest token move so the walks have something sound to do.
+#[must_use]
+pub fn broken_model() -> (Model, Vec<ModelInvariant>) {
+    let mut mb = ModelBuilder::new();
+    let token = mb.place("token", 2).expect("fresh builder");
+    let buf = mb.place("buf", 0).expect("fresh builder");
+    let sink = mb.place("sink", 0).expect("fresh builder");
+    let trap = mb.place("trap", 1).expect("fresh builder");
+
+    mb.activity("move")
+        .expect("fresh name")
+        .instantaneous(0)
+        .input_arc(token, 1)
+        .output_arc(buf, 1)
+        .done()
+        .expect("valid activity");
+    mb.activity("leak")
+        .expect("fresh name")
+        .instantaneous(0)
+        .input_arc(buf, 1)
+        .output_gate("leak_gate", |_m, _rng| {
+            // Deliberately loses the consumed token.
+        })
+        .done()
+        .expect("valid activity");
+    mb.activity("dead")
+        .expect("fresh name")
+        .instantaneous(0)
+        .input_arc(trap, 2)
+        .output_arc(sink, 1)
+        .done()
+        .expect("valid activity");
+
+    let model = mb.build().expect("valid model");
+    let expected = vec![ModelInvariant {
+        name: "token-conservation".to_string(),
+        description: "token + buf + sink is constant: tokens move but are never \
+                      created or destroyed"
+            .to_string(),
+        kind: InvariantKind::Linear(vec![(token, 1), (buf, 1), (sink, 1)]),
+    }];
+    (model, expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_shape() {
+        let (model, expected) = broken_model();
+        assert_eq!(model.num_places(), 4);
+        assert_eq!(model.num_activities(), 3);
+        assert_eq!(expected.len(), 1);
+    }
+}

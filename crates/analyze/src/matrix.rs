@@ -1,0 +1,318 @@
+//! Exact linear algebra over the incidence matrix.
+//!
+//! Two computations, both exact over [`Ratio`]:
+//!
+//! * [`integer_nullspace`] — a basis of `{x : A·x = 0}` by Gauss–Jordan
+//!   elimination, scaled to primitive integer vectors. P-invariants are the
+//!   left nullspace of the incidence matrix `C` (call with the columns of
+//!   `C` as rows); T-invariants are the right nullspace (call with `C`
+//!   itself).
+//! * [`nonnegative_semiflows`] — Farkas' algorithm for the generating set
+//!   of **non-negative** P-semiflows, which yield sound place bounds
+//!   (`m(p) ≤ y·m₀ / y_p` for every reachable `m`) and hence structural
+//!   dead-activity detection.
+
+use crate::ratio::{gcd, Ratio};
+
+/// A basis of the nullspace `{x ∈ Q^cols : A·x = 0}`, as primitive integer
+/// vectors (entries divided by their gcd, first non-zero entry positive).
+///
+/// `rows` are the rows of `A`; each must have length `cols` (shorter rows
+/// are treated as zero-padded).
+#[must_use]
+pub fn integer_nullspace(rows: &[Vec<i64>], cols: usize) -> Vec<Vec<i64>> {
+    // Gauss–Jordan to reduced row echelon form.
+    let mut m: Vec<Vec<Ratio>> = rows
+        .iter()
+        .map(|r| {
+            (0..cols)
+                .map(|j| Ratio::from_int(r.get(j).copied().unwrap_or(0)))
+                .collect()
+        })
+        .collect();
+    let mut pivot_of_col: Vec<Option<usize>> = vec![None; cols];
+    let mut rank = 0usize;
+    for col in 0..cols {
+        let Some(pr) = (rank..m.len()).find(|&r| !m[r][col].is_zero()) else {
+            continue;
+        };
+        m.swap(rank, pr);
+        let inv = m[rank][col].recip();
+        for x in &mut m[rank][col..cols] {
+            *x = *x * inv;
+        }
+        let pivot_row = m[rank].clone();
+        for (r, row) in m.iter_mut().enumerate() {
+            if r != rank && !row[col].is_zero() {
+                let f = row[col];
+                for (x, p) in row[col..cols].iter_mut().zip(&pivot_row[col..cols]) {
+                    *x = *x - *p * f;
+                }
+            }
+        }
+        pivot_of_col[col] = Some(rank);
+        rank += 1;
+    }
+    // One basis vector per free column.
+    let mut basis = Vec::new();
+    for free in 0..cols {
+        if pivot_of_col[free].is_some() {
+            continue;
+        }
+        let mut v = vec![Ratio::ZERO; cols];
+        v[free] = Ratio::ONE;
+        for (col, pr) in pivot_of_col.iter().enumerate() {
+            if let Some(pr) = pr {
+                v[col] = -m[*pr][free];
+            }
+        }
+        basis.push(to_primitive_integer(&v));
+    }
+    basis
+}
+
+/// Scales a rational vector to a primitive integer vector with positive
+/// leading non-zero entry.
+fn to_primitive_integer(v: &[Ratio]) -> Vec<i64> {
+    let lcm_den = v.iter().fold(1i128, |acc, r| {
+        let d = r.denom();
+        acc / gcd(acc, d).max(1) * d
+    });
+    let mut ints: Vec<i128> = v
+        .iter()
+        .map(|r| r.numer() * (lcm_den / r.denom()))
+        .collect();
+    let g = ints.iter().fold(0i128, |acc, &x| gcd(acc, x)).max(1);
+    let sign = ints
+        .iter()
+        .find(|&&x| x != 0)
+        .map_or(1, |&x| if x < 0 { -1 } else { 1 });
+    for x in &mut ints {
+        *x = *x / g * sign;
+    }
+    ints.iter()
+        .map(|&x| i64::try_from(x).expect("invariant entry overflows i64"))
+        .collect()
+}
+
+/// Dot product of an integer vector with an incidence column.
+#[must_use]
+pub fn dot(y: &[i64], col: &[i64]) -> i64 {
+    y.iter().zip(col).map(|(&a, &b)| a * b).sum()
+}
+
+/// Farkas' algorithm: the generating set of non-negative P-semiflows
+/// (`y ≥ 0`, `y ≠ 0`, `y·c = 0` for every column `c`), capped at
+/// `max_rows` intermediate rows.
+///
+/// Returns `(semiflows, truncated)`; when `truncated` is true the set may
+/// be incomplete and any bound derived from it must not be treated as
+/// exhaustive (the missing semiflows could only *add* bounds, so the
+/// bounds that are found remain sound).
+#[must_use]
+pub fn nonnegative_semiflows(
+    columns: &[Vec<i64>],
+    places: usize,
+    max_rows: usize,
+) -> (Vec<Vec<i64>>, bool) {
+    // Rows of [C | I]: (constraint part, identity part).
+    let mut rows: Vec<(Vec<i128>, Vec<i128>)> = (0..places)
+        .map(|p| {
+            let c: Vec<i128> = columns
+                .iter()
+                .map(|col| i128::from(col.get(p).copied().unwrap_or(0)))
+                .collect();
+            let mut id = vec![0i128; places];
+            id[p] = 1;
+            (c, id)
+        })
+        .collect();
+    let mut truncated = false;
+    for j in 0..columns.len() {
+        let (zeros, nonzeros): (Vec<_>, Vec<_>) = rows.drain(..).partition(|r| r.0[j] == 0);
+        let mut next = zeros;
+        let pos: Vec<_> = nonzeros.iter().filter(|r| r.0[j] > 0).collect();
+        let neg: Vec<_> = nonzeros.iter().filter(|r| r.0[j] < 0).collect();
+        'combine: for a in &pos {
+            for b in &neg {
+                if next.len() >= max_rows {
+                    truncated = true;
+                    break 'combine;
+                }
+                let (fa, fb) = (-b.0[j], a.0[j]);
+                let c: Vec<i128> =
+                    a.0.iter()
+                        .zip(&b.0)
+                        .map(|(&x, &y)| fa * x + fb * y)
+                        .collect();
+                let id: Vec<i128> =
+                    a.1.iter()
+                        .zip(&b.1)
+                        .map(|(&x, &y)| fa * x + fb * y)
+                        .collect();
+                let g = c
+                    .iter()
+                    .chain(&id)
+                    .fold(0i128, |acc, &x| gcd(acc, x))
+                    .max(1);
+                let row = (
+                    c.iter().map(|&x| x / g).collect::<Vec<_>>(),
+                    id.iter().map(|&x| x / g).collect::<Vec<_>>(),
+                );
+                if !next.contains(&row) {
+                    next.push(row);
+                }
+            }
+        }
+        rows = next;
+    }
+    let semiflows = rows
+        .into_iter()
+        .filter(|(c, id)| c.iter().all(|&x| x == 0) && id.iter().any(|&x| x != 0))
+        .map(|(_, id)| {
+            id.iter()
+                .map(|&x| i64::try_from(x).expect("semiflow entry overflows i64"))
+                .collect()
+        })
+        .collect();
+    (semiflows, truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `p0 → t0 → p1 → t1 → p0`: the classic cycle. Published bases:
+    /// P-invariants `{[1, 1]}`, T-invariants `{[1, 1]}`.
+    #[test]
+    fn cycle_net_invariants() {
+        // C: rows = places, cols = transitions.
+        let c_rows = vec![vec![-1, 1], vec![1, -1]];
+        let t_inv = integer_nullspace(&c_rows, 2);
+        assert_eq!(t_inv, vec![vec![1, 1]]);
+
+        let cols_as_rows = vec![vec![-1, 1], vec![1, -1]]; // Cᵀ (symmetric here)
+        let p_inv = integer_nullspace(&cols_as_rows, 2);
+        assert_eq!(p_inv, vec![vec![1, 1]]);
+    }
+
+    /// Mutex net: `t_enter: idle + lock → active` and `t_exit: active →
+    /// idle + lock`. Published P-invariant basis has dimension 2 (idle +
+    /// active and lock + active are both conserved).
+    #[test]
+    fn mutex_net_p_invariants() {
+        // Places: idle, active, lock. Columns of C as rows of Cᵀ.
+        let enter = vec![-1, 1, -1];
+        let exit = vec![1, -1, 1];
+        let p_inv = integer_nullspace(&[enter.clone(), exit.clone()], 3);
+        assert_eq!(p_inv.len(), 2);
+        for y in &p_inv {
+            assert_eq!(dot(y, &enter), 0);
+            assert_eq!(dot(y, &exit), 0);
+        }
+    }
+
+    /// Fork–join: `t_fork: a → b + c`, `t_join: b + c → d`. The published
+    /// basis has dimension 2, e.g. `{a + b + d, a + c + d}`.
+    #[test]
+    fn fork_join_p_invariants() {
+        let fork = vec![-1, 1, 1, 0];
+        let join = vec![0, -1, -1, 1];
+        let p_inv = integer_nullspace(&[fork.clone(), join.clone()], 4);
+        assert_eq!(p_inv.len(), 2);
+        for y in &p_inv {
+            assert_eq!(dot(y, &fork), 0);
+            assert_eq!(dot(y, &join), 0);
+        }
+    }
+
+    #[test]
+    fn full_rank_has_empty_nullspace() {
+        let rows = vec![vec![1, 0], vec![0, 1]];
+        assert!(integer_nullspace(&rows, 2).is_empty());
+    }
+
+    #[test]
+    fn farkas_finds_mutex_semiflows() {
+        // Columns of the mutex net, places (idle, active, lock).
+        let cols = vec![vec![-1, 1, -1], vec![1, -1, 1]];
+        let (semis, truncated) = nonnegative_semiflows(&cols, 3, 1024);
+        assert!(!truncated);
+        assert!(!semis.is_empty());
+        for y in &semis {
+            assert!(y.iter().all(|&w| w >= 0));
+            for col in &cols {
+                assert_eq!(dot(y, col), 0);
+            }
+        }
+        // idle + active is conserved and must be spanned.
+        assert!(semis.contains(&vec![1, 1, 0]));
+    }
+
+    #[test]
+    fn farkas_source_transition_kills_semiflows_on_its_places() {
+        // t: ∅ → p0 (a pure source). No non-negative semiflow may weight p0.
+        let cols = vec![vec![1, 0], vec![-1, 1]];
+        let (semis, _) = nonnegative_semiflows(&cols, 2, 1024);
+        for y in &semis {
+            assert_eq!(y[0], 0);
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// On random incidence matrices, every reported P-invariant
+        /// annihilates every column, the basis vectors are primitive
+        /// (gcd 1, positive leading entry), and the basis dimension obeys
+        /// rank-nullity: dim ≥ places − columns.
+        #[test]
+        fn p_invariants_annihilate_random_incidence(
+            places in 1usize..7,
+            cols in 1usize..7,
+            entries in proptest::collection::vec(-3i64..4, 49),
+        ) {
+            // Columns of C, as the rows handed to the eliminator.
+            let columns: Vec<Vec<i64>> = (0..cols)
+                .map(|j| (0..places).map(|p| entries[j * places + p]).collect())
+                .collect();
+            let basis = integer_nullspace(&columns, places);
+            prop_assert!(basis.len() + cols >= places, "rank-nullity violated");
+            for y in &basis {
+                for col in &columns {
+                    prop_assert_eq!(dot(y, col), 0, "invariant {:?} vs column {:?}", y, col);
+                }
+                let g = y.iter().fold(0i128, |acc, &x| {
+                    crate::ratio::gcd(acc, i128::from(x))
+                });
+                prop_assert_eq!(g, 1, "not primitive: {:?}", y);
+                let lead = y.iter().find(|&&x| x != 0).copied().unwrap_or(0);
+                prop_assert!(lead > 0, "leading entry not positive: {:?}", y);
+            }
+        }
+
+        /// Farkas semiflows on random matrices are non-negative, non-zero,
+        /// and annihilate every column.
+        #[test]
+        fn farkas_semiflows_are_sound_on_random_incidence(
+            places in 1usize..5,
+            cols in 1usize..5,
+            entries in proptest::collection::vec(-2i64..3, 25),
+        ) {
+            let columns: Vec<Vec<i64>> = (0..cols)
+                .map(|j| (0..places).map(|p| entries[j * places + p]).collect())
+                .collect();
+            let (semis, truncated) = nonnegative_semiflows(&columns, places, 2048);
+            prop_assert!(!truncated, "tiny nets must not truncate");
+            for y in &semis {
+                prop_assert!(y.iter().all(|&w| w >= 0), "negative weight in {:?}", y);
+                prop_assert!(y.iter().any(|&w| w != 0), "zero semiflow reported");
+                for col in &columns {
+                    prop_assert_eq!(dot(y, col), 0, "semiflow {:?} vs column {:?}", y, col);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! The structural model pass: invariants, certificates, and model lints.
+//!
+//! Orchestrates one lint run over a built SAN model:
+//!
+//! 1. bounded exploration extracts the incidence columns
+//!    ([`crate::incidence`]);
+//! 2. exact rational elimination computes the P- and T-invariant bases
+//!    and renders small conservation laws;
+//! 3. declared invariants become named certificates — linear ones checked
+//!    against every column, relations checked during exploration;
+//! 4. Farkas semiflows yield place bounds and hence `dead-activity`;
+//! 5. coverage data yields `never-enabled` and `unreachable-case`.
+
+use vsched_core::san_model::{InvariantKind, ModelInvariant};
+use vsched_san::Model;
+
+use crate::incidence::{explore, Column};
+use crate::lints::{
+    Certificate, Diagnostic, LintReport, DEAD_ACTIVITY, NEVER_ENABLED, NONCONSERVING_GATE,
+    POLICY_HALT, UNREACHABLE_CASE,
+};
+use crate::matrix::{dot, integer_nullspace, nonnegative_semiflows};
+use crate::AnalyzeOpts;
+
+/// Farkas intermediate-row cap: far above what the models here need, low
+/// enough to bound a pathological net.
+const FARKAS_MAX_ROWS: usize = 4096;
+
+/// Runs the full structural pass over `model` and returns the report.
+///
+/// `expected` are the model's declared invariants (certificates);
+/// `error_hook` is polled once after exploration for an error the model
+/// recorded internally (the paper model's policy-violation cell).
+pub fn analyze_model(
+    target: &str,
+    model: &mut Model,
+    expected: &[ModelInvariant],
+    error_hook: Option<&dyn Fn() -> Option<String>>,
+    opts: &AnalyzeOpts,
+) -> LintReport {
+    let mut exploration = explore(model, expected, opts);
+    let mut diagnostics = std::mem::take(&mut exploration.diagnostics);
+
+    if let Some(hook) = error_hook {
+        if let Some(msg) = hook() {
+            diagnostics.push(Diagnostic::new(
+                POLICY_HALT,
+                "Scheduling_Func",
+                format!("the model halted on a policy violation during exploration: {msg}"),
+            ));
+        }
+    }
+
+    let num_places = model.num_places();
+
+    // P-invariants: y with y·delta = 0 for every column — the left
+    // nullspace, so the columns are the rows of the eliminated system.
+    let p_rows: Vec<Vec<i64>> = exploration
+        .columns
+        .iter()
+        .map(|c| c.delta.clone())
+        .collect();
+    let p_basis = integer_nullspace(&p_rows, num_places);
+
+    // T-invariants: x with C·x = 0 — one row per place over the columns.
+    // Computed over the exact columns only; observed columns are samples
+    // of a gate's behavior, not firable units.
+    let t_rows: Vec<Vec<i64>> = (0..num_places)
+        .map(|p| {
+            exploration
+                .columns
+                .iter()
+                .filter(|c| c.exact)
+                .map(|c| c.delta[p])
+                .collect()
+        })
+        .collect();
+    let t_basis = integer_nullspace(&t_rows, exploration.linear_columns);
+
+    let conservation_laws = render_laws(model, &p_basis);
+
+    // Declared invariants → certificates (+ nonconserving-gate findings).
+    let mut certificates = Vec::new();
+    for (i, inv) in expected.iter().enumerate() {
+        match &inv.kind {
+            InvariantKind::Relation(_) => {
+                let failure = &exploration.relation_failures[i];
+                certificates.push(Certificate {
+                    name: inv.name.clone(),
+                    description: inv.description.clone(),
+                    passed: failure.is_none(),
+                    detail: failure
+                        .as_ref()
+                        .map(|(subject, detail)| format!("after `{subject}`: {detail}"))
+                        .unwrap_or_default(),
+                });
+            }
+            InvariantKind::Linear(terms) => {
+                let mut y = vec![0i64; num_places];
+                for &(p, w) in terms {
+                    y[p.index()] = w;
+                }
+                let offenders: Vec<&Column> = exploration
+                    .columns
+                    .iter()
+                    .filter(|c| dot(&y, &c.delta) != 0)
+                    .collect();
+                let mut flagged: Vec<usize> = Vec::new();
+                for col in &offenders {
+                    if flagged.contains(&col.activity.index()) {
+                        continue;
+                    }
+                    flagged.push(col.activity.index());
+                    diagnostics.push(Diagnostic::new(
+                        NONCONSERVING_GATE,
+                        model.activity(col.activity).name(),
+                        format!(
+                            "column `{}` changes the declared conserved sum `{}` by {}",
+                            col.label,
+                            inv.name,
+                            dot(&y, &col.delta)
+                        ),
+                    ));
+                }
+                certificates.push(Certificate {
+                    name: inv.name.clone(),
+                    description: inv.description.clone(),
+                    passed: offenders.is_empty(),
+                    detail: if offenders.is_empty() {
+                        String::new()
+                    } else {
+                        format!(
+                            "violated by {}",
+                            offenders
+                                .iter()
+                                .map(|c| c.label.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    },
+                });
+            }
+        }
+    }
+
+    // Farkas semiflows → sound place bounds → structurally dead activities.
+    // A truncated semiflow set only loses bounds, so every violation found
+    // remains valid.
+    let all_columns: Vec<Vec<i64>> = exploration
+        .columns
+        .iter()
+        .map(|c| c.delta.clone())
+        .collect();
+    let (semiflows, _truncated) = nonnegative_semiflows(&all_columns, num_places, FARKAS_MAX_ROWS);
+    let m0 = model.initial_marking();
+    let mut bound: Vec<Option<i64>> = vec![None; num_places];
+    for y in &semiflows {
+        let budget: i64 = y.iter().zip(m0.as_slice()).map(|(&w, &t)| w * t).sum();
+        for (p, &w) in y.iter().enumerate() {
+            if w > 0 {
+                let b = budget / w;
+                bound[p] = Some(bound[p].map_or(b, |prev: i64| prev.min(b)));
+            }
+        }
+    }
+    let mut dead: Vec<bool> = vec![false; model.num_activities()];
+    for (id, spec) in model.activities() {
+        for &(p, w) in spec.input_arcs() {
+            if let Some(b) = bound[p.index()] {
+                if w > b {
+                    dead[id.index()] = true;
+                    diagnostics.push(Diagnostic::new(
+                        DEAD_ACTIVITY,
+                        spec.name(),
+                        format!(
+                            "input arc from `{}` demands {w} tokens, but a non-negative \
+                             P-semiflow bounds that place to at most {b} in any reachable \
+                             marking",
+                            model.place_name(p)
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+
+    // Case coverage of fired activities.
+    for (id, spec) in model.activities() {
+        if !exploration.fired_ever[id.index()] || spec.num_cases() < 2 {
+            continue;
+        }
+        for case in 0..spec.num_cases() {
+            if !exploration.case_seen[id.index()][case] {
+                let weight_note = spec
+                    .fixed_case_weights()
+                    .map(|w| format!(" (fixed weight {})", w[case]))
+                    .unwrap_or_default();
+                diagnostics.push(Diagnostic::new(
+                    UNREACHABLE_CASE,
+                    spec.name(),
+                    format!("case {case}{weight_note} was never selected during exploration"),
+                ));
+            }
+        }
+    }
+
+    // Enablement coverage — only meaningful at the full exploration budget,
+    // and subsumed by dead-activity where that already fired.
+    if opts.thorough {
+        for (id, spec) in model.activities() {
+            if !exploration.enabled_ever[id.index()] && !dead[id.index()] {
+                diagnostics.push(Diagnostic::new(
+                    NEVER_ENABLED,
+                    spec.name(),
+                    format!(
+                        "never enabled in {} markings across {} walks",
+                        exploration.markings_visited, opts.walks
+                    ),
+                ));
+            }
+        }
+    }
+
+    LintReport {
+        target: target.to_string(),
+        places: num_places,
+        activities: model.num_activities(),
+        linear_columns: exploration.linear_columns,
+        probed_columns: exploration.probed_columns,
+        p_invariant_dim: p_basis.len(),
+        t_invariant_dim: t_basis.len(),
+        conservation_laws,
+        certificates,
+        diagnostics,
+    }
+}
+
+/// Renders the small members of the P-invariant basis as human-readable
+/// conservation laws, capped to keep reports bounded.
+fn render_laws(model: &Model, basis: &[Vec<i64>]) -> Vec<String> {
+    const MAX_TERMS: usize = 6;
+    const MAX_LAWS: usize = 8;
+    let mut out = Vec::new();
+    for y in basis {
+        let terms: Vec<(usize, i64)> = y
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w != 0)
+            .map(|(p, &w)| (p, w))
+            .collect();
+        if terms.is_empty() || terms.len() > MAX_TERMS {
+            continue;
+        }
+        let mut s = String::new();
+        for (i, (p, w)) in terms.iter().enumerate() {
+            let name = model.place_name(vsched_san::PlaceId::from_index(*p));
+            if i == 0 {
+                if *w == 1 {
+                    s.push_str(name);
+                } else {
+                    s.push_str(&format!("{w}·{name}"));
+                }
+            } else if *w >= 0 {
+                if *w == 1 {
+                    s.push_str(&format!(" + {name}"));
+                } else {
+                    s.push_str(&format!(" + {w}·{name}"));
+                }
+            } else if *w == -1 {
+                s.push_str(&format!(" - {name}"));
+            } else {
+                s.push_str(&format!(" - {}·{name}", -w));
+            }
+        }
+        s.push_str(" is conserved");
+        out.push(s);
+        if out.len() >= MAX_LAWS {
+            break;
+        }
+    }
+    out
+}

@@ -1,0 +1,263 @@
+//! The policy lint pass: static contracts of `vsched_core::sched` policies.
+//!
+//! Policies are opaque `schedule()` implementations, so their contracts are
+//! checked by driving them through a small deterministic synthetic suite —
+//! three fixed topologies, forty ticks each, with plain job dynamics — and
+//! observing the decision trace:
+//!
+//! * every decision must pass [`validate_decision`] (`invalid-decision`);
+//! * the policy must assign at least once somewhere in the suite
+//!   (`inert-policy`) — schedulable VCPUs and idle PCPUs exist every tick;
+//! * the decision trace must be **insensitive** to every [`VcpuView`]
+//!   payload field the policy does not declare in its snapshot view
+//!   (`undeclared-field-read`): the suite is replayed with that one field
+//!   perturbed in the views handed to the policy — the true state and its
+//!   dynamics are identical — and any trace divergence proves a read.
+//!
+//! Parameter-range validation (`invalid-policy-params`) happens before a
+//! policy object exists and therefore lives in [`crate::lint_config`], not
+//! here.
+
+use vsched_core::sched::{validate_decision, PolicyKind, ScheduleDecision};
+use vsched_core::{PcpuView, VcpuId, VcpuStatus, VcpuView};
+
+use crate::lints::{Diagnostic, INERT_POLICY, INVALID_DECISION, UNDECLARED_FIELD_READ};
+
+/// The fixed topologies of the probe suite: `(pcpus, vm sizes)`.
+const TOPOLOGIES: &[(usize, &[usize])] = &[(2, &[2]), (4, &[2, 4]), (2, &[1, 1, 1])];
+/// Ticks simulated per topology.
+const TICKS: u64 = 40;
+/// Timeslice handed to the policy as `default_timeslice`.
+const TIMESLICE: u64 = 5;
+
+/// The declarable payload fields, in perturbation order.
+const FIELDS: &[&str] = &[
+    "remaining_load",
+    "sync_point",
+    "timeslice_remaining",
+    "last_scheduled_in",
+    "vm_weight",
+];
+
+/// Lints one policy kind. The caller has already validated the kind's
+/// parameters ([`PolicyKind::validate`]); this pass instantiates fresh
+/// policy objects — one per replay, so internal state never leaks between
+/// runs.
+#[must_use]
+pub fn lint_policy(kind: &PolicyKind) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    let name = kind.create().name().to_string();
+
+    let baseline = run_suite(kind, None);
+    if let Some((topology, tick, reason)) = &baseline.violation {
+        diagnostics.push(Diagnostic::new(
+            INVALID_DECISION,
+            &name,
+            format!("topology {topology}, tick {tick}: {reason}"),
+        ));
+    }
+    if baseline.assignments == 0 {
+        diagnostics.push(Diagnostic::new(
+            INERT_POLICY,
+            &name,
+            format!(
+                "no assignment in {} ticks across {} topologies with idle PCPUs \
+                 and schedulable VCPUs available",
+                TICKS,
+                TOPOLOGIES.len()
+            ),
+        ));
+    }
+
+    let declared = kind.create().snapshot_view();
+    let declared_names = declared.declared();
+    for &field in FIELDS {
+        if declared_names.contains(&field) {
+            continue;
+        }
+        let perturbed = run_suite(kind, Some(field));
+        if perturbed.trace != baseline.trace {
+            diagnostics.push(Diagnostic::new(
+                UNDECLARED_FIELD_READ,
+                &name,
+                format!(
+                    "decision trace changes when `{field}` is perturbed, but the \
+                     policy's snapshot view declares only [{}]",
+                    declared_names.join(", ")
+                ),
+            ));
+        }
+    }
+    diagnostics
+}
+
+/// Outcome of one run of the full suite.
+struct SuiteRun {
+    /// Every decision, in (topology, tick) order.
+    trace: Vec<ScheduleDecision>,
+    /// Total assignments made.
+    assignments: usize,
+    /// First decision-invariant violation: `(topology, tick, reason)`.
+    violation: Option<(usize, u64, String)>,
+}
+
+/// Runs every topology for [`TICKS`] ticks with a fresh policy instance,
+/// optionally perturbing one payload field in the views handed to the
+/// policy (the true state always evolves unperturbed).
+fn run_suite(kind: &PolicyKind, perturb: Option<&str>) -> SuiteRun {
+    let mut run = SuiteRun {
+        trace: Vec::new(),
+        assignments: 0,
+        violation: None,
+    };
+    for (topology, &(num_pcpus, vm_sizes)) in TOPOLOGIES.iter().enumerate() {
+        let mut policy = kind.create();
+        let mut vcpus = initial_vcpus(vm_sizes);
+        let mut pcpus: Vec<PcpuView> = (0..num_pcpus)
+            .map(|id| PcpuView { id, assigned: None })
+            .collect();
+        for tick in 0..TICKS {
+            let handed: Vec<VcpuView> = vcpus.iter().map(|v| perturb_view(*v, perturb)).collect();
+            let decision = policy.schedule(&handed, &pcpus, tick, TIMESLICE);
+            if let Err(e) = validate_decision(policy.name(), &vcpus, &pcpus, &decision) {
+                if run.violation.is_none() {
+                    run.violation = Some((topology, tick, e.to_string()));
+                }
+                run.trace.push(decision);
+                break; // the state can't absorb an invalid decision
+            }
+            run.assignments += decision.assignments.len();
+            apply(&mut vcpus, &mut pcpus, &decision, tick);
+            advance(&mut vcpus, &mut pcpus, tick);
+            run.trace.push(decision);
+        }
+    }
+    run
+}
+
+/// All-INACTIVE views with varied initial loads and per-VM weights.
+fn initial_vcpus(vm_sizes: &[usize]) -> Vec<VcpuView> {
+    let mut vcpus = Vec::new();
+    for (vm, &n) in vm_sizes.iter().enumerate() {
+        for sibling in 0..n {
+            let global = vcpus.len();
+            vcpus.push(VcpuView {
+                id: VcpuId {
+                    vm,
+                    sibling,
+                    global,
+                },
+                status: VcpuStatus::Inactive,
+                remaining_load: 3 + (global as u64 % 4),
+                sync_point: false,
+                assigned_pcpu: None,
+                timeslice_remaining: 0,
+                last_scheduled_in: None,
+                vm_weight: vm as u32 + 1,
+            });
+        }
+    }
+    vcpus
+}
+
+/// Copies a view with one payload field distorted. Structural fields
+/// (`id`, `status`, `assigned_pcpu`) are never touched — the schedulable
+/// set is identical, so a contract-honoring policy decides identically.
+fn perturb_view(mut v: VcpuView, field: Option<&str>) -> VcpuView {
+    match field {
+        Some("remaining_load") => v.remaining_load += 13,
+        Some("sync_point") => v.sync_point = !v.sync_point,
+        Some("timeslice_remaining") => v.timeslice_remaining += 5,
+        Some("last_scheduled_in") => v.last_scheduled_in = v.last_scheduled_in.map(|t| t + 17),
+        Some("vm_weight") => v.vm_weight += 2 * v.id.vm as u32 + 1,
+        _ => {}
+    }
+    v
+}
+
+/// Applies a validated decision to the true state.
+fn apply(vcpus: &mut [VcpuView], pcpus: &mut [PcpuView], decision: &ScheduleDecision, tick: u64) {
+    for &v in &decision.preemptions {
+        if let Some(p) = vcpus[v].assigned_pcpu.take() {
+            pcpus[p].assigned = None;
+        }
+        vcpus[v].status = VcpuStatus::Inactive;
+        vcpus[v].timeslice_remaining = 0;
+    }
+    for a in &decision.assignments {
+        vcpus[a.vcpu].status = if vcpus[a.vcpu].remaining_load > 0 {
+            VcpuStatus::Busy
+        } else {
+            VcpuStatus::Ready
+        };
+        vcpus[a.vcpu].assigned_pcpu = Some(a.pcpu);
+        vcpus[a.vcpu].timeslice_remaining = a.timeslice;
+        vcpus[a.vcpu].last_scheduled_in = Some(tick);
+        pcpus[a.pcpu].assigned = Some(vcpus[a.vcpu].id);
+    }
+}
+
+/// One tick of plain job dynamics: BUSY VCPUs burn load, READY VCPUs pick
+/// up a fresh job, timeslices expire into schedule-out.
+fn advance(vcpus: &mut [VcpuView], pcpus: &mut [PcpuView], tick: u64) {
+    for v in vcpus.iter_mut() {
+        if v.assigned_pcpu.is_none() {
+            continue;
+        }
+        if v.status == VcpuStatus::Busy {
+            v.remaining_load -= 1;
+            if v.remaining_load == 0 {
+                v.status = VcpuStatus::Ready;
+            }
+        } else if v.status == VcpuStatus::Ready {
+            v.remaining_load = 2 + (tick % 3);
+            v.status = VcpuStatus::Busy;
+        }
+        v.timeslice_remaining = v.timeslice_remaining.saturating_sub(1);
+        if v.timeslice_remaining == 0 {
+            if let Some(p) = v.assigned_pcpu.take() {
+                pcpus[p].assigned = None;
+            }
+            v.status = VcpuStatus::Inactive;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every built-in policy must lint clean: valid decisions, at least one
+    /// assignment, and no reads outside its declared snapshot view.
+    #[test]
+    fn builtin_policies_lint_clean() {
+        for kind in [
+            PolicyKind::RoundRobin,
+            PolicyKind::StrictCo,
+            PolicyKind::relaxed_co_default(),
+            PolicyKind::Balance,
+            PolicyKind::credit_default(),
+            PolicyKind::sedf_default(),
+            PolicyKind::bvt_default(),
+            PolicyKind::Fcfs,
+        ] {
+            let diags = lint_policy(&kind);
+            assert!(
+                diags.is_empty(),
+                "{kind}: {:?}",
+                diags
+                    .iter()
+                    .map(|d| format!("{}[{}]: {}", d.lint, d.subject, d.message))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn suite_makes_progress() {
+        let run = run_suite(&PolicyKind::RoundRobin, None);
+        assert!(run.violation.is_none());
+        assert!(run.assignments > 0);
+        assert_eq!(run.trace.len(), TOPOLOGIES.len() * TICKS as usize);
+    }
+}

@@ -1,0 +1,187 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The invariant computations (Gaussian elimination, Farkas' algorithm)
+//! must be exact — floating point would turn "is this sum conserved?" into
+//! a tolerance question. Incidence entries are small integers and the nets
+//! are small, so `i128` numerators/denominators with eager gcd reduction
+//! never come close to overflow in practice; to keep the failure mode loud
+//! rather than silent, every operation uses checked arithmetic and panics
+//! on overflow.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A reduced rational number `num/den` with `den > 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor (non-negative; `gcd(0, 0) = 0`).
+#[must_use]
+pub fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl Ratio {
+    /// Zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Builds `num/den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    #[must_use]
+    pub fn new(num: i128, den: i128) -> Ratio {
+        assert!(den != 0, "rational with zero denominator");
+        let g = gcd(num, den).max(1);
+        let sign = if den < 0 { -1 } else { 1 };
+        Ratio {
+            num: sign * (num / g),
+            den: (den / g).abs(),
+        }
+    }
+
+    /// The integer `n` as a rational.
+    #[must_use]
+    pub fn from_int(n: i64) -> Ratio {
+        Ratio {
+            num: i128::from(n),
+            den: 1,
+        }
+    }
+
+    /// Whether this is exactly zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Numerator (reduced form).
+    #[must_use]
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (reduced form, always positive).
+    #[must_use]
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    #[must_use]
+    pub fn recip(&self) -> Ratio {
+        Ratio::new(self.den, self.num)
+    }
+}
+
+fn ck(v: Option<i128>) -> i128 {
+    v.expect("rational arithmetic overflowed i128")
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        Ratio::new(
+            ck(ck(self.num.checked_mul(rhs.den)).checked_add(ck(rhs.num.checked_mul(self.den)))),
+            ck(self.den.checked_mul(rhs.den)),
+        )
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        // Cross-reduce before multiplying to keep magnitudes small.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        Ratio::new(
+            ck((self.num / g1).checked_mul(rhs.num / g2)),
+            ck((self.den / g2).checked_mul(rhs.den / g1)),
+        )
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a·(1/b), exactly
+    fn div(self, rhs: Ratio) -> Ratio {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl std::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_and_sign() {
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(1, -2), Ratio::new(-1, 2));
+        assert_eq!(Ratio::new(-1, -2), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(0, 5), Ratio::ZERO);
+    }
+
+    #[test]
+    fn field_operations() {
+        let a = Ratio::new(1, 3);
+        let b = Ratio::new(1, 6);
+        assert_eq!(a + b, Ratio::new(1, 2));
+        assert_eq!(a - b, Ratio::new(1, 6));
+        assert_eq!(a * b, Ratio::new(1, 18));
+        assert_eq!(a / b, Ratio::from_int(2));
+        assert_eq!(-a, Ratio::new(-1, 3));
+        assert_eq!(a.recip(), Ratio::from_int(3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ratio::from_int(7).to_string(), "7");
+        assert_eq!(Ratio::new(-3, 4).to_string(), "-3/4");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+}

@@ -100,6 +100,12 @@ fn merge_objects(base: &Value, overlay: &Value, context: &str) -> Result<Value, 
 fn resolve_cell(merged: &Value, context: &str) -> Result<PlannedCell, CampaignError> {
     let config = CellConfig::deserialize_content(merged)
         .map_err(|e| CampaignError::spec(format!("{context}: {e}")))?;
+    // Out-of-range parameters (zero timeslice, empty replication budget,
+    // bad policy params) fail at plan time, before anything is hashed into
+    // the store or simulated.
+    config
+        .validate()
+        .map_err(|e| CampaignError::spec(format!("{context}: {e}")))?;
     // Round-trip sanity: the canonical form must itself parse (guards the
     // store against un-reloadable entries).
     let key = cell_key(&config);

@@ -237,6 +237,28 @@ impl Default for ReplicationSpec {
     }
 }
 
+impl ReplicationSpec {
+    /// Rejects replication counts no run could satisfy.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for an exact count of zero, a rule
+    /// minimum of zero, or inverted rule bounds.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let invalid = |reason: String| Err(CoreError::InvalidConfig { reason });
+        match *self {
+            ReplicationSpec::Exact(0) => invalid("replications must be at least 1".into()),
+            ReplicationSpec::Rule { min: 0, .. } => {
+                invalid("replication rule minimum must be at least 1".into())
+            }
+            ReplicationSpec::Rule { min, max } if min > max => invalid(format!(
+                "replication rule minimum ({min}) exceeds maximum ({max})"
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
 fn default_sync_ratio() -> (u32, u32) {
     (1, 5)
 }
@@ -323,6 +345,24 @@ pub struct CellConfig {
 }
 
 impl CellConfig {
+    /// Rejects out-of-range parameters up front, before any simulation (or
+    /// store hashing) sees the cell: a zero timeslice, an unsatisfiable
+    /// replication policy, or policy parameters outside their domain
+    /// ([`PolicyKind::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.timeslice == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "timeslice must be at least 1 tick".into(),
+            });
+        }
+        self.replications.validate()?;
+        self.policy.to_kind()?.validate()
+    }
+
     /// Builds the [`SystemConfig`] this cell describes.
     ///
     /// # Errors
@@ -375,6 +415,7 @@ impl CellConfig {
     /// Propagates validation errors from [`CellConfig::system`] and
     /// [`CellConfig::policy_kind`].
     pub fn builder(&self) -> Result<ExperimentBuilder, CoreError> {
+        self.validate()?;
         let mut b = ExperimentBuilder::new(self.system()?, self.policy_kind()?)
             .engine(self.engine.to_engine())
             .warmup(self.warmup)
@@ -602,6 +643,40 @@ mod tests {
         assert_eq!(exact, ReplicationSpec::Exact(5));
         let rule: ReplicationSpec = serde_json::from_str(r#"{ "min": 3, "max": 7 }"#).unwrap();
         assert_eq!(rule, ReplicationSpec::Rule { min: 3, max: 7 });
+    }
+
+    #[test]
+    fn replication_spec_rejects_empty_budgets() {
+        assert!(ReplicationSpec::Exact(0).validate().is_err());
+        assert!(ReplicationSpec::Rule { min: 0, max: 5 }.validate().is_err());
+        assert!(ReplicationSpec::Rule { min: 9, max: 5 }.validate().is_err());
+        assert!(ReplicationSpec::Exact(1).validate().is_ok());
+        assert!(ReplicationSpec::Rule { min: 5, max: 5 }.validate().is_ok());
+    }
+
+    #[test]
+    fn cell_validation_rejects_out_of_range_parameters() {
+        let base = r#"{ "pcpus": 2, "vms": [2] }"#;
+        let ok: CellConfig = serde_json::from_str(base).unwrap();
+        ok.validate().unwrap();
+
+        let cell: CellConfig =
+            serde_json::from_str(r#"{ "pcpus": 2, "vms": [2], "timeslice": 0 }"#).unwrap();
+        let err = cell.validate().unwrap_err();
+        assert!(err.to_string().contains("timeslice"), "{err}");
+        assert!(cell.builder().is_err(), "builder must also refuse");
+
+        let cell: CellConfig =
+            serde_json::from_str(r#"{ "pcpus": 2, "vms": [2], "replications": 0 }"#).unwrap();
+        assert!(cell.validate().is_err());
+
+        let cell: CellConfig = serde_json::from_str(
+            r#"{ "pcpus": 2, "vms": [2],
+                 "policy": { "rcs": { "skew_threshold": 0, "skew_resume": 0 } } }"#,
+        )
+        .unwrap();
+        let err = cell.validate().unwrap_err();
+        assert!(err.to_string().contains("skew_threshold"), "{err}");
     }
 
     #[test]

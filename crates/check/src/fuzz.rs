@@ -61,6 +61,8 @@ pub struct FuzzFailure {
 pub struct FuzzReport {
     /// Cases judged.
     pub cases: u64,
+    /// Static-analysis rejections (pre-simulation) across failing cases.
+    pub lint_findings: usize,
     /// Invariant-checker vetoes across all failing cases.
     pub invariant_violations: usize,
     /// Engine-vs-engine disagreements.
@@ -85,9 +87,10 @@ impl FuzzReport {
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
-            "fuzz: {} cases, {} invariant violations, {} differential mismatches, \
-             {} metamorphic mismatches, {} errors",
+            "fuzz: {} cases, {} lint findings, {} invariant violations, \
+             {} differential mismatches, {} metamorphic mismatches, {} errors",
             self.cases,
+            self.lint_findings,
             self.invariant_violations,
             self.differential_mismatches,
             self.metamorphic_mismatches,
@@ -115,6 +118,7 @@ pub fn run_fuzz(opts: &FuzzOpts) -> Result<FuzzReport, CheckError> {
 
     let mut report = FuzzReport {
         cases: opts.cases,
+        lint_findings: 0,
         invariant_violations: 0,
         differential_mismatches: 0,
         metamorphic_mismatches: 0,
@@ -128,6 +132,7 @@ pub fn run_fuzz(opts: &FuzzOpts) -> Result<FuzzReport, CheckError> {
         }
         for f in &outcome.failures {
             match f.kind {
+                FailureKind::Lint => report.lint_findings += 1,
                 FailureKind::Invariant => report.invariant_violations += 1,
                 FailureKind::Differential => report.differential_mismatches += 1,
                 FailureKind::Metamorphic => report.metamorphic_mismatches += 1,

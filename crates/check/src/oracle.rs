@@ -1,8 +1,13 @@
 //! The differential and metamorphic oracle: decides whether one fuzz
 //! case passes.
 //!
-//! Four independent verdicts feed [`run_case`]:
+//! Five independent verdicts feed [`run_case`]:
 //!
+//! 0. **Lint** — the static analyzer (`vsched-analyze`, quick budget)
+//!    examines the case's built SAN model and policy before anything is
+//!    simulated; Error-severity findings or failed conservation
+//!    certificates fail the case fast, with the structural diagnostic
+//!    instead of a downstream symptom.
 //! 1. **Invariants** — one run per engine with an
 //!    [`InvariantChecker`] attached
 //!    (gang/skew contracts enabled per the case's policy).
@@ -40,6 +45,9 @@ use crate::invariant::InvariantChecker;
 /// What went wrong with a case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FailureKind {
+    /// The static analyzer rejected the case's model or policy before any
+    /// simulation ran.
+    Lint,
     /// The invariant checker vetoed a run.
     Invariant,
     /// The two engines disagree beyond tolerance.
@@ -54,6 +62,7 @@ pub enum FailureKind {
 impl std::fmt::Display for FailureKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
+            FailureKind::Lint => "lint",
             FailureKind::Invariant => "invariant",
             FailureKind::Differential => "differential",
             FailureKind::Metamorphic => "metamorphic",
@@ -112,6 +121,9 @@ pub struct OracleOpts {
     /// Tolerance for the co-scaling relation (boundary effects are
     /// O(timeslice / horizon), so this is looser than `tol_floor`).
     pub scaling_tol: f64,
+    /// Run the static lint pass (quick budget) on the case's built SAN
+    /// model and policy before simulating, failing fast on Error findings.
+    pub check_lint: bool,
     /// Run the invariant-checked passes.
     pub check_invariants: bool,
     /// Run the jobs=1 vs jobs=3 determinism pass.
@@ -127,6 +139,7 @@ impl Default for OracleOpts {
             tol_floor: 0.025,
             ci_factor: 3.0,
             scaling_tol: 0.05,
+            check_lint: true,
             check_invariants: true,
             check_parallel_determinism: true,
             check_metamorphic: true,
@@ -151,6 +164,20 @@ pub fn run_case(case: &FuzzCase, opts: &OracleOpts) -> CaseOutcome {
             };
         }
     };
+
+    if opts.check_lint {
+        // Static pass first: a structurally broken model (dead activity,
+        // nonconserving gate, policy-contract breach) fails fast with the
+        // lint diagnostic instead of burning simulation budget on it.
+        let lint_failures = lint_case(&config, case);
+        if !lint_failures.is_empty() {
+            return CaseOutcome {
+                case_index: case.case_index,
+                failures: lint_failures,
+                digest: String::from("-"),
+            };
+        }
+    }
 
     if opts.check_invariants {
         failures.extend(checked_runs(&config, case));
@@ -267,6 +294,47 @@ pub fn engines_agree(
     let direct = build(Engine::Direct)?;
     let san = build(Engine::San)?;
     Ok(compare_reports("direct-vs-san", &direct, &san, opts))
+}
+
+/// The quick static pass over the case's built model and policy. Returns
+/// only deny-worthy findings: Error-severity diagnostics and failed
+/// certificates; Allow/Warn noise never blocks a fuzz case.
+fn lint_case(config: &SystemConfig, case: &FuzzCase) -> Vec<Failure> {
+    let target = format!("case-{}", case.case_index);
+    let report = match vsched_analyze::lint_config(
+        &target,
+        config,
+        &case.policy,
+        &vsched_analyze::AnalyzeOpts::quick(),
+    ) {
+        Ok(report) => report,
+        Err(e) => {
+            return vec![Failure {
+                kind: FailureKind::Error,
+                detail: format!("lint pass: {e}"),
+            }];
+        }
+    };
+    let mut failures: Vec<Failure> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == vsched_analyze::Severity::Error)
+        .map(|d| Failure {
+            kind: FailureKind::Lint,
+            detail: format!("[{}] {}: {}", d.lint, d.subject, d.message),
+        })
+        .collect();
+    failures.extend(
+        report
+            .certificates
+            .iter()
+            .filter(|c| !c.passed)
+            .map(|c| Failure {
+                kind: FailureKind::Lint,
+                detail: format!("certificate `{}` failed: {}", c.name, c.detail),
+            }),
+    );
+    failures
 }
 
 /// One invariant-checked run per engine.

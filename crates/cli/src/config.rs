@@ -141,15 +141,37 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
-    /// Parses a config from JSON text.
+    /// Parses a config from JSON text and validates its parameter ranges:
+    /// a zero timeslice, a zero replication count, or out-of-domain policy
+    /// parameters (e.g. an RCS skew threshold of 0) are rejected here, at
+    /// load time, instead of surfacing mid-run.
     ///
     /// # Errors
     ///
-    /// [`CoreError::InvalidConfig`] with the JSON error message.
+    /// [`CoreError::InvalidConfig`] with the JSON error message or the
+    /// offending parameter.
     pub fn from_json(text: &str) -> Result<Self, CoreError> {
-        serde_json::from_str(text).map_err(|e| CoreError::InvalidConfig {
+        let config: Self = serde_json::from_str(text).map_err(|e| CoreError::InvalidConfig {
             reason: format!("config parse error: {e}"),
-        })
+        })?;
+        if config.timeslice == Some(0) {
+            return Err(CoreError::InvalidConfig {
+                reason: "timeslice must be at least 1 tick".into(),
+            });
+        }
+        if config.replications == Some(0) {
+            return Err(CoreError::InvalidConfig {
+                reason: "replications must be at least 1".into(),
+            });
+        }
+        for spec in &config.policies {
+            // Unknown labels keep failing later, in `policy_kinds`, with
+            // their own message; here we only range-check resolvable ones.
+            if let Ok(kind) = spec.to_kind() {
+                kind.validate()?;
+            }
+        }
+        Ok(config)
     }
 
     /// Builds the [`SystemConfig`] this experiment describes.
@@ -297,6 +319,34 @@ mod tests {
         )
         .unwrap();
         assert!(cfg.system().is_err());
+    }
+
+    #[test]
+    fn out_of_range_parameters_fail_at_load() {
+        let err = ExperimentConfig::from_json(
+            r#"{ "pcpus": 1, "vms": [{ "vcpus": 1 }], "timeslice": 0 }"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("timeslice"), "{err}");
+
+        let err = ExperimentConfig::from_json(
+            r#"{ "pcpus": 1, "vms": [{ "vcpus": 1 }], "replications": 0 }"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("replications"), "{err}");
+
+        let err = ExperimentConfig::from_json(
+            r#"{ "pcpus": 1, "vms": [{ "vcpus": 1 }],
+                 "policies": [{ "rcs": { "skew_threshold": 0, "skew_resume": 0 } }] }"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("skew_threshold"), "{err}");
+
+        // Valid boundary values still load.
+        ExperimentConfig::from_json(
+            r#"{ "pcpus": 1, "vms": [{ "vcpus": 1 }], "timeslice": 1, "replications": 1 }"#,
+        )
+        .unwrap();
     }
 
     #[test]

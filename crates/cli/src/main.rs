@@ -5,6 +5,7 @@
 //! vsched sweep <spec.json> [--store DIR] [--out-dir DIR] [...]
 //! vsched fuzz [--cases N] [--seed S] [--jobs N] [--reproducer-dir DIR]
 //! vsched fuzz --replay <case.json>
+//! vsched lint [<config.json>...] [--deny warnings] [--format json]
 //! vsched example                                  print a starter config
 //! vsched help                                     this message
 //! ```
@@ -12,6 +13,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use vsched_analyze::AnalyzeOpts;
 use vsched_campaign::fsio::{read_file, write_atomic};
 use vsched_campaign::{run_sweep, SweepOptions};
 use vsched_check::{run_fuzz, FuzzOpts};
@@ -29,6 +31,8 @@ USAGE:
     vsched fuzz [--cases <N>] [--seed <S>] [--jobs <N>]
                 [--reproducer-dir <dir>]
     vsched fuzz --replay <case.json>
+    vsched lint [<config.json>...] [--deny warnings] [--format <text|json>]
+                [--seed <S>] [--fixture broken]
     vsched example
     vsched help
 
@@ -45,6 +49,15 @@ COMMANDS:
               both engines, engine-vs-engine differential comparison,
               parallel-determinism and metamorphic relations. Failures
               are shrunk and written as replayable JSON reproducers.
+    lint      Statically analyze SAN models and policies before running
+              anything: extract the incidence matrix, compute P-/T-
+              invariants by exact rational elimination, check the model's
+              declared conservation laws as named certificates, and flag
+              structural defects (dead activities, non-conserving gates,
+              instantaneous confusion) and policy-contract breaches. With
+              no arguments, lints the paper model under its policy trio;
+              with config or sweep-spec files, lints every distinct
+              (system, policy) cell they describe.
     example   Print a commented starter config to stdout.
 
 OPTIONS (run):
@@ -73,6 +86,15 @@ OPTIONS (fuzz):
     --replay <case.json>   Re-judge one reproducer and print its outcome
                            (byte-identical across replays of the same
                            file — CI diffs two replays to prove it).
+
+OPTIONS (lint):
+    --deny warnings        Exit non-zero on Warn findings too, not only on
+                           Error findings and failed certificates.
+    --format <text|json>   Report format (default text). JSON output is
+                           stable per seed and snapshot-testable.
+    --seed <S>             Exploration seed (default 0x5eed).
+    --fixture broken       Lint the built-in deliberately-broken model
+                           instead — exercises the diagnostics themselves.
 
 The config format is documented in the vsched-cli crate docs; `vsched
 example > exp.json` is the quickest start. The paper campaign lives at
@@ -104,6 +126,7 @@ fn main() -> ExitCode {
         Some("run") => run(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
         Some("fuzz") => fuzz(&args[1..]),
+        Some("lint") => lint(&args[1..]),
         Some("example") => {
             println!("{EXAMPLE}");
             ExitCode::SUCCESS
@@ -318,6 +341,156 @@ fn fuzz(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut deny_warnings = false;
+    let mut json = false;
+    let mut fixture = false;
+    let mut opts = AnalyzeOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => match it.next().map(String::as_str) {
+                Some("warnings") => deny_warnings = true,
+                _ => {
+                    eprintln!("error: --deny takes `warnings`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => {
+                    eprintln!("error: --format takes `text` or `json`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(s)) => opts.seed = s,
+                _ => {
+                    eprintln!("error: --seed requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fixture" => match it.next().map(String::as_str) {
+                Some("broken") => fixture = true,
+                _ => {
+                    eprintln!("error: --fixture takes `broken`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            p if p.starts_with('-') => {
+                eprintln!("error: unexpected argument `{p}`");
+                return ExitCode::FAILURE;
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    match run_lint(&paths, fixture, &opts, deny_warnings, json) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Collects and renders the lint reports; returns `Ok(false)` when any
+/// report is denied under the requested severity floor.
+fn run_lint(
+    paths: &[String],
+    fixture: bool,
+    opts: &AnalyzeOpts,
+    deny_warnings: bool,
+    json: bool,
+) -> Result<bool, Box<dyn std::error::Error>> {
+    let mut reports = Vec::new();
+    if fixture {
+        reports.push(vsched_analyze::lint_broken_fixture(opts));
+    }
+    if paths.is_empty() && !fixture {
+        // Default target: the paper model under the paper's policy trio.
+        let system = vsched_core::SystemConfig::builder()
+            .pcpus(4)
+            .vm(2)
+            .vm(4)
+            .build()?;
+        for kind in vsched_core::PolicyKind::paper_trio() {
+            let target = format!("paper:{}", kind.label());
+            reports.push(vsched_analyze::lint_config(&target, &system, &kind, opts)?);
+        }
+    }
+    // Distinct (system, policy) pairs only: sweep grids repeat the same
+    // model many times across seeds and engines, which lint can't tell
+    // apart.
+    let mut seen = std::collections::HashSet::new();
+    for path in paths {
+        let text = read_file(Path::new(path))?;
+        if is_sweep_spec(&text) {
+            let spec =
+                vsched_campaign::SweepSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            let expanded = vsched_campaign::plan(&spec).map_err(|e| format!("{path}: {e}"))?;
+            for exp in &expanded.experiments {
+                for cell in &exp.cells {
+                    let system = cell.config.system()?;
+                    let kind = cell.config.policy_kind()?;
+                    if !seen.insert(format!("{system:?}|{kind:?}")) {
+                        continue;
+                    }
+                    let target = format!("{path}#{}: {}", exp.name, cell.config.summary()?);
+                    reports.push(vsched_analyze::lint_config(&target, &system, &kind, opts)?);
+                }
+            }
+        } else {
+            let config = ExperimentConfig::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            let system = config.system()?;
+            for kind in config.policy_kinds()? {
+                if !seen.insert(format!("{system:?}|{kind:?}")) {
+                    continue;
+                }
+                let target = format!("{path}: {}", kind.label());
+                reports.push(vsched_analyze::lint_config(&target, &system, &kind, opts)?);
+            }
+        }
+    }
+
+    let denied = reports.iter().filter(|r| r.denied(deny_warnings)).count();
+    if json {
+        let body = serde_json::Value::Seq(reports.iter().map(|r| r.to_json()).collect());
+        println!("{}", serde_json::to_string_pretty(&body)?);
+    } else {
+        for report in &reports {
+            print!("{}", report.render_text());
+        }
+        let errors: usize = reports
+            .iter()
+            .map(vsched_analyze::LintReport::error_count)
+            .sum();
+        let warnings: usize = reports
+            .iter()
+            .map(vsched_analyze::LintReport::warn_count)
+            .sum();
+        println!(
+            "lint: {} target(s), {errors} error(s), {warnings} warning(s), {denied} denied",
+            reports.len()
+        );
+    }
+    Ok(denied == 0)
+}
+
+/// A lint input is a sweep spec iff its top-level object has an
+/// `experiments` key; anything else is treated as a run config.
+fn is_sweep_spec(text: &str) -> bool {
+    serde_json::from_str::<serde_json::Value>(text)
+        .ok()
+        .and_then(|v| {
+            v.as_map()
+                .map(|m| m.iter().any(|(k, _)| k == "experiments"))
+        })
+        .unwrap_or(false)
 }
 
 fn run_experiment(

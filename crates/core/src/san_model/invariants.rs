@@ -1,0 +1,235 @@
+//! The paper model's expected invariants, declared as data.
+//!
+//! `vsched-analyze` checks these as named certificates: each one must hold
+//! in the initial marking, in every marking reached during bounded
+//! exploration, and across every probed firing. A violation is reported as
+//! a `nonconserving-gate` diagnostic naming the activity that broke it.
+//!
+//! The model encodes register-style state (a status place holds 0/1/2, a
+//! `pcpu` place holds an index-plus-one), so most conservation laws are
+//! *relations* between places rather than weighted token sums; the
+//! [`InvariantKind::Linear`] form is used where a genuine weighted sum is
+//! conserved and is checked exactly against the incidence matrix.
+
+use vsched_san::{Marking, PlaceId};
+
+use crate::config::SystemConfig;
+use crate::san_model::layout::Layout;
+use crate::types::VcpuStatus;
+
+/// A marking predicate; `Err` carries what was observed instead.
+pub type RelationFn = Box<dyn Fn(&Marking) -> Result<(), String>>;
+
+/// How an expected invariant is expressed.
+pub enum InvariantKind {
+    /// A weighted token sum `Σ wᵢ·m(pᵢ)` that every firing must preserve.
+    /// Checked exactly: the weight vector must annihilate every incidence
+    /// column (linear and probed).
+    Linear(Vec<(PlaceId, i64)>),
+    /// An arbitrary predicate over the marking; `Err` carries what was
+    /// observed. Checked on every explored marking.
+    Relation(RelationFn),
+}
+
+impl std::fmt::Debug for InvariantKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvariantKind::Linear(terms) => write!(f, "Linear({} terms)", terms.len()),
+            InvariantKind::Relation(_) => write!(f, "Relation(..)"),
+        }
+    }
+}
+
+/// One named, checkable conservation law of a model.
+#[derive(Debug)]
+pub struct ModelInvariant {
+    /// Certificate name (stable, used in reports and CI).
+    pub name: String,
+    /// One-line statement of the law.
+    pub description: String,
+    /// The checkable form.
+    pub kind: InvariantKind,
+}
+
+impl ModelInvariant {
+    fn relation(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        check: impl Fn(&Marking) -> Result<(), String> + 'static,
+    ) -> Self {
+        ModelInvariant {
+            name: name.into(),
+            description: description.into(),
+            kind: InvariantKind::Relation(Box::new(check)),
+        }
+    }
+}
+
+/// The conservation laws the paper's composed model is expected to satisfy,
+/// for the given configuration.
+#[must_use]
+pub fn expected_invariants(config: &SystemConfig, layout: &Layout) -> Vec<ModelInvariant> {
+    let mut out = Vec::new();
+    let total_vcpus = config.total_vcpus();
+
+    // --- total-vcpus: the VCPU population is conserved -------------------
+    // Every VCPU slot always holds a valid status encoding, so no slot can
+    // be lost or duplicated by any gate function.
+    {
+        let l = layout.clone();
+        out.push(ModelInvariant::relation(
+            "total-vcpus",
+            format!(
+                "all {total_vcpus} VCPU slots hold a valid status (INACTIVE/READY/BUSY) \
+                 and a 0/1 spinning flag"
+            ),
+            move |m| {
+                for (g, v) in l.vcpus.iter().enumerate() {
+                    let s = m.tokens(v.status);
+                    if !(0..=2).contains(&s) {
+                        return Err(format!("VCPU {g} status place holds {s}, outside 0..=2"));
+                    }
+                    let spin = m.tokens(v.spinning);
+                    if !(0..=1).contains(&spin) {
+                        return Err(format!("VCPU {g} spinning place holds {spin}"));
+                    }
+                }
+                Ok(())
+            },
+        ));
+    }
+
+    // --- total-pcpus: the PCPU↔VCPU assignment is a partial matching -----
+    // A VCPU is ACTIVE iff it holds a PCPU, both assignment tables are
+    // mutually inverse, and no PCPU is double-booked — the token encoding
+    // of "at most one VCPU per core, at most one core per VCPU".
+    {
+        let l = layout.clone();
+        out.push(ModelInvariant::relation(
+            "total-pcpus",
+            "PCPU assignment places and VCPU Schedule_In places form a \
+             consistent partial matching (ACTIVE ⟺ assigned, no double booking)",
+            move |m| {
+                for (p, &place) in l.pcpus.iter().enumerate() {
+                    let a = m.tokens(place);
+                    if a < 0 || a as usize > l.vcpus.len() {
+                        return Err(format!("PCPU {p} assigned place holds {a}"));
+                    }
+                    if a > 0 {
+                        let g = (a - 1) as usize;
+                        let back = m.tokens(l.vcpus[g].pcpu);
+                        if back != p as i64 + 1 {
+                            return Err(format!(
+                                "PCPU {p} claims VCPU {g}, but that VCPU's pcpu place holds {back}"
+                            ));
+                        }
+                    }
+                }
+                for (g, v) in l.vcpus.iter().enumerate() {
+                    let q = m.tokens(v.pcpu);
+                    if q < 0 || q as usize > l.pcpus.len() {
+                        return Err(format!("VCPU {g} pcpu place holds {q}"));
+                    }
+                    let active = VcpuStatus::from_token(m.tokens(v.status)).is_active();
+                    if active != (q > 0) {
+                        return Err(format!(
+                            "VCPU {g} is {} but its pcpu place holds {q}",
+                            if active { "ACTIVE" } else { "INACTIVE" }
+                        ));
+                    }
+                    if q > 0 {
+                        let back = m.tokens(l.pcpus[(q - 1) as usize]);
+                        if back != g as i64 + 1 {
+                            return Err(format!(
+                                "VCPU {g} claims PCPU {}, but that PCPU's place holds {back}",
+                                q - 1
+                            ));
+                        }
+                    }
+                }
+                Ok(())
+            },
+        ));
+    }
+
+    // --- per-VM token conservation ---------------------------------------
+    for (k, vm_cfg) in config.vms().iter().enumerate() {
+        let l = layout.clone();
+        let siblings: Vec<usize> = (0..total_vcpus).filter(|&g| layout.vm_of(g) == k).collect();
+        let sib = siblings.clone();
+        out.push(ModelInvariant::relation(
+            format!("vm{k}-ready-count"),
+            format!(
+                "VM {k}'s Num_VCPUs_ready join place equals the number of \
+                 READY siblings ({} VCPUs)",
+                vm_cfg.vcpus
+            ),
+            move |m| {
+                let declared = m.tokens(l.vms[k].ready_count);
+                let actual = sib
+                    .iter()
+                    .filter(|&&g| m.tokens(l.vcpus[g].status) == VcpuStatus::Ready.to_token())
+                    .count() as i64;
+                if declared != actual {
+                    return Err(format!(
+                        "Num_VCPUs_ready holds {declared} but {actual} siblings are READY"
+                    ));
+                }
+                Ok(())
+            },
+        ));
+
+        let l = layout.clone();
+        out.push(ModelInvariant::relation(
+            format!("vm{k}-sync-tokens"),
+            format!("VM {k}'s Blocked flag is 0/1 and the spinlock holder is a sibling or free"),
+            move |m| {
+                let b = m.tokens(l.vms[k].blocked);
+                if !(0..=1).contains(&b) {
+                    return Err(format!("Blocked place holds {b}"));
+                }
+                let holder = m.tokens(l.vms[k].lock_holder);
+                if holder != 0 {
+                    let g = (holder - 1) as usize;
+                    if holder < 0 || g >= l.vcpus.len() || l.vm_of(g) != k {
+                        return Err(format!("lock_holder names {holder}, not a sibling id + 1"));
+                    }
+                }
+                Ok(())
+            },
+        ));
+    }
+
+    // --- tick-tokens: intra-tick control tokens never accumulate ---------
+    {
+        let l = layout.clone();
+        out.push(ModelInvariant::relation(
+            "tick-tokens",
+            "every per-tick control token (halt, tick_expire, tick_sched, \
+             per-VCPU tick, per-VM tick_unblock and window) stays 0/1",
+            move |m| {
+                let check = |name: &str, p: PlaceId| -> Result<(), String> {
+                    let t = m.tokens(p);
+                    if (0..=1).contains(&t) {
+                        Ok(())
+                    } else {
+                        Err(format!("{name} holds {t}, expected 0 or 1"))
+                    }
+                };
+                check("halt", l.halt)?;
+                check("tick_expire", l.tick_expire)?;
+                check("tick_sched", l.tick_sched)?;
+                for (g, v) in l.vcpus.iter().enumerate() {
+                    check(&format!("vcpu {g} tick"), v.tick)?;
+                }
+                for (k, vm) in l.vms.iter().enumerate() {
+                    check(&format!("vm {k} tick_unblock"), vm.tick_unblock)?;
+                    check(&format!("vm {k} window"), vm.window)?;
+                }
+                Ok(())
+            },
+        ));
+    }
+
+    out
+}

@@ -14,11 +14,13 @@
 //! paper describes for each figure.
 
 mod build;
+pub mod invariants;
 mod layout;
 
 #[cfg(test)]
 mod tests;
 
+pub use invariants::{expected_invariants, InvariantKind, ModelInvariant};
 pub use layout::{Layout, VcpuPlaces, VmPlaces};
 
 use vsched_san::{RewardId, Simulator};
@@ -31,6 +33,60 @@ use crate::sched::SchedulingPolicy;
 use crate::types::{PcpuView, VcpuView};
 
 use build::ErrorCell;
+
+/// A compiled model plus its layout, without a simulator attached — the
+/// input of `vsched-analyze`'s static pass, which needs mutable access to
+/// the model (gate closures are `FnMut`) to probe-fire activities on
+/// markings of its own choosing.
+pub struct AnalysisModel {
+    /// The built SAN model (owns the gate closures, including the policy).
+    pub model: vsched_san::Model,
+    /// The place layout of the composed model.
+    pub layout: Layout,
+    error: ErrorCell,
+}
+
+impl std::fmt::Debug for AnalysisModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisModel")
+            .field("model", &self.model)
+            .finish()
+    }
+}
+
+impl AnalysisModel {
+    /// Takes the policy-violation error recorded by the `Scheduling_Func`
+    /// gate during probing, if any (the gate halts the model and stores the
+    /// error instead of panicking).
+    #[must_use]
+    pub fn take_error(&self) -> Option<CoreError> {
+        self.error.borrow_mut().take()
+    }
+
+    /// A detached probe for the same error cell — lets an analysis pass
+    /// poll for policy violations while it holds `self.model` mutably.
+    pub fn error_probe(&self) -> impl Fn() -> Option<CoreError> {
+        let cell = std::rc::Rc::clone(&self.error);
+        move || cell.borrow_mut().take()
+    }
+}
+
+/// Compiles `config` + `policy` into a bare model for static analysis.
+///
+/// # Errors
+///
+/// [`CoreError::San`] if model construction fails.
+pub fn build_analysis_model(
+    config: &SystemConfig,
+    policy: Box<dyn SchedulingPolicy>,
+) -> Result<AnalysisModel, CoreError> {
+    let (model, layout, error) = build::build_model(config, policy)?;
+    Ok(AnalysisModel {
+        model,
+        layout,
+        error,
+    })
+}
 
 /// The SAN engine for one simulation run. See the module docs.
 ///

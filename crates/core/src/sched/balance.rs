@@ -18,7 +18,7 @@
 //! VM thus spread over PCPUs as evenly as the load allows — the essence of
 //! balance scheduling in a time-multiplexed model.
 
-use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy};
+use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy, ViewFields};
 use crate::types::{PcpuView, VcpuView};
 
 /// The balance-scheduling policy. See the module docs.
@@ -38,6 +38,11 @@ impl Balance {
 impl SchedulingPolicy for Balance {
     fn name(&self) -> &str {
         "balance"
+    }
+
+    /// Decides from status and assignment alone — no payload fields.
+    fn snapshot_view(&self) -> ViewFields {
+        ViewFields::none()
     }
 
     fn schedule(

@@ -9,7 +9,7 @@
 //! when it wakes, its EVT is clamped to lag at most one *context-switch
 //! allowance* behind the current minimum.
 
-use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy};
+use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy, ViewFields};
 use crate::types::{PcpuView, VcpuView};
 
 /// The BVT policy. See the module docs.
@@ -53,6 +53,14 @@ impl Bvt {
 impl SchedulingPolicy for Bvt {
     fn name(&self) -> &str {
         "bvt"
+    }
+
+    /// Proportional share: reads `vm_weight`, nothing else.
+    fn snapshot_view(&self) -> ViewFields {
+        ViewFields {
+            vm_weight: true,
+            ..ViewFields::none()
+        }
     }
 
     fn schedule(

@@ -16,7 +16,7 @@
 //! Work-conserving: OVER VCPUs still run when PCPUs would otherwise idle,
 //! exactly like Xen's credit scheduler in its default work-conserving mode.
 
-use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy};
+use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy, ViewFields};
 use crate::types::{PcpuView, VcpuView};
 
 /// The credit policy. See the module docs.
@@ -97,6 +97,14 @@ impl Credit {
 impl SchedulingPolicy for Credit {
     fn name(&self) -> &str {
         "credit"
+    }
+
+    /// Proportional share: reads `vm_weight`, nothing else.
+    fn snapshot_view(&self) -> ViewFields {
+        ViewFields {
+            vm_weight: true,
+            ..ViewFields::none()
+        }
     }
 
     fn schedule(

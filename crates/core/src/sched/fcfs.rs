@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy};
+use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy, ViewFields};
 use crate::types::{PcpuView, VcpuView};
 
 /// The FCFS policy. See the module docs.
@@ -30,6 +30,11 @@ impl Fcfs {
 impl SchedulingPolicy for Fcfs {
     fn name(&self) -> &str {
         "fcfs"
+    }
+
+    /// Decides from status and assignment alone — no payload fields.
+    fn snapshot_view(&self) -> ViewFields {
+        ViewFields::none()
     }
 
     fn schedule(

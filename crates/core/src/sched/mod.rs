@@ -85,6 +85,70 @@ impl ScheduleDecision {
     }
 }
 
+/// The [`VcpuView`] fields a policy declares it reads — its **snapshot
+/// view** contract, checked statically by `vsched-analyze`'s policy lint.
+///
+/// Structural fields (`id`, `status`, `assigned_pcpu`) are always readable
+/// and are not part of the declaration: every policy must consult the
+/// status to find schedulable VCPUs. The declarable fields are the
+/// *payload* fields whose values could silently couple a policy to model
+/// internals it was not designed around.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ViewFields {
+    /// Reads `VcpuView::remaining_load`.
+    pub remaining_load: bool,
+    /// Reads `VcpuView::sync_point`.
+    pub sync_point: bool,
+    /// Reads `VcpuView::timeslice_remaining`.
+    pub timeslice_remaining: bool,
+    /// Reads `VcpuView::last_scheduled_in`.
+    pub last_scheduled_in: bool,
+    /// Reads `VcpuView::vm_weight`.
+    pub vm_weight: bool,
+}
+
+impl ViewFields {
+    /// No payload fields — the policy decides from status/assignment alone.
+    #[must_use]
+    pub fn none() -> Self {
+        ViewFields::default()
+    }
+
+    /// Every payload field (the conservative default for user policies).
+    #[must_use]
+    pub fn all() -> Self {
+        ViewFields {
+            remaining_load: true,
+            sync_point: true,
+            timeslice_remaining: true,
+            last_scheduled_in: true,
+            vm_weight: true,
+        }
+    }
+
+    /// Names of the declared fields, for diagnostics.
+    #[must_use]
+    pub fn declared(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.remaining_load {
+            out.push("remaining_load");
+        }
+        if self.sync_point {
+            out.push("sync_point");
+        }
+        if self.timeslice_remaining {
+            out.push("timeslice_remaining");
+        }
+        if self.last_scheduled_in {
+            out.push("last_scheduled_in");
+        }
+        if self.vm_weight {
+            out.push("vm_weight");
+        }
+        out
+    }
+}
+
 /// A VCPU scheduling algorithm.
 ///
 /// Implementations may keep arbitrary internal state (round-robin cursors,
@@ -108,6 +172,14 @@ pub trait SchedulingPolicy {
         timestamp: u64,
         default_timeslice: u64,
     ) -> ScheduleDecision;
+
+    /// The [`VcpuView`] payload fields this policy reads (its snapshot-view
+    /// contract). The default declares **everything**, which is always
+    /// sound; built-in policies narrow it so `vsched-analyze` can verify
+    /// the declaration by sensitivity probing.
+    fn snapshot_view(&self) -> ViewFields {
+        ViewFields::all()
+    }
 }
 
 /// Checks a decision against the model invariants — the **decision
@@ -306,6 +378,46 @@ impl PolicyKind {
             PolicyKind::Sedf { period } => Box::new(Sedf::new(*period)),
             PolicyKind::Bvt { max_lag } => Box::new(Bvt::new(*max_lag)),
             PolicyKind::Fcfs => Box::new(Fcfs::new()),
+        }
+    }
+
+    /// Validates the kind's parameters — the static range contract every
+    /// config loader runs before [`PolicyKind::create`] (whose constructors
+    /// may otherwise panic, e.g. [`RelaxedCo::new`] asserts its thresholds).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] naming the offending parameter:
+    ///
+    /// * RCS: `skew_threshold` must be ≥ 1 and `skew_resume` ≤
+    ///   `skew_threshold`;
+    /// * Credit: `refill_period` must be ≥ 1;
+    /// * SEDF: `period` must be ≥ 1.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let invalid = |reason: String| Err(CoreError::InvalidConfig { reason });
+        match self {
+            PolicyKind::RelaxedCo {
+                skew_threshold,
+                skew_resume,
+            } => {
+                if *skew_threshold == 0 {
+                    return invalid("RCS skew_threshold must be at least 1".into());
+                }
+                if skew_resume > skew_threshold {
+                    return invalid(format!(
+                        "RCS skew_resume ({skew_resume}) must not exceed \
+                         skew_threshold ({skew_threshold})"
+                    ));
+                }
+                Ok(())
+            }
+            PolicyKind::Credit { refill_period } if *refill_period == 0 => {
+                invalid("credit refill_period must be at least 1".into())
+            }
+            PolicyKind::Sedf { period } if *period == 0 => {
+                invalid("SEDF period must be at least 1".into())
+            }
+            _ => Ok(()),
         }
     }
 

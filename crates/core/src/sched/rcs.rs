@@ -33,7 +33,7 @@
 //! first in line when its VM's turn comes.
 
 use crate::sched::scs::vcpus_by_vm;
-use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy};
+use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy, ViewFields};
 use crate::types::{PcpuView, VcpuView};
 
 /// The Relaxed Co-Scheduling policy. See the module docs.
@@ -120,6 +120,11 @@ impl RelaxedCo {
 impl SchedulingPolicy for RelaxedCo {
     fn name(&self) -> &str {
         "relaxed-co"
+    }
+
+    /// Decides from status and assignment alone — no payload fields.
+    fn snapshot_view(&self) -> ViewFields {
+        ViewFields::none()
     }
 
     fn schedule(

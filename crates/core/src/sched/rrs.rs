@@ -10,7 +10,7 @@
 //! state — which is exactly why it is perfectly fair (Figure 8) but
 //! suffers synchronization latency (Figure 10).
 
-use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy};
+use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy, ViewFields};
 use crate::types::{PcpuView, VcpuView};
 
 /// The Round-Robin policy. See the module docs.
@@ -31,6 +31,11 @@ impl RoundRobin {
 impl SchedulingPolicy for RoundRobin {
     fn name(&self) -> &str {
         "round-robin"
+    }
+
+    /// Decides from status and assignment alone — no payload fields.
+    fn snapshot_view(&self) -> ViewFields {
+        ViewFields::none()
     }
 
     fn schedule(

@@ -15,7 +15,7 @@
 //! the same tick, so they co-stop on expiry. VMs are considered in
 //! round-robin order for fairness among gangs.
 
-use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy};
+use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy, ViewFields};
 use crate::types::{PcpuView, VcpuView};
 
 /// The Strict Co-Scheduling policy. See the module docs.
@@ -46,6 +46,11 @@ pub(crate) fn vcpus_by_vm(vcpus: &[VcpuView]) -> Vec<Vec<usize>> {
 impl SchedulingPolicy for StrictCo {
     fn name(&self) -> &str {
         "strict-co"
+    }
+
+    /// Decides from status and assignment alone — no payload fields.
+    fn snapshot_view(&self) -> ViewFields {
+        ViewFields::none()
     }
 
     fn schedule(

@@ -12,7 +12,7 @@
 //! Reservations here are derived from the VM weight: each VM reserves
 //! `weight / total_weight` of the host, split equally among its VCPUs.
 
-use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy};
+use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy, ViewFields};
 use crate::types::{PcpuView, VcpuView};
 
 /// Per-VCPU reservation state.
@@ -91,6 +91,14 @@ impl Sedf {
 impl SchedulingPolicy for Sedf {
     fn name(&self) -> &str {
         "sedf"
+    }
+
+    /// Proportional share: reads `vm_weight`, nothing else.
+    fn snapshot_view(&self) -> ViewFields {
+        ViewFields {
+            vm_weight: true,
+            ..ViewFields::none()
+        }
     }
 
     fn schedule(

@@ -15,6 +15,15 @@ impl ActivityId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Rebuilds a handle from a raw index (inverse of
+    /// [`ActivityId::index`]). Only meaningful for the model whose
+    /// iteration produced the index — used by structural analysis tools
+    /// that store activities by position.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        ActivityId(index)
+    }
 }
 
 /// How an activity completes once enabled.
@@ -37,6 +46,23 @@ impl std::fmt::Debug for Timing {
             Timing::Instantaneous { priority } => {
                 write!(f, "Instantaneous(priority={priority})")
             }
+        }
+    }
+}
+
+impl Timing {
+    /// Whether the activity completes instantaneously.
+    #[must_use]
+    pub fn is_instantaneous(&self) -> bool {
+        matches!(self, Timing::Instantaneous { .. })
+    }
+
+    /// Completion priority of an instantaneous activity (`None` for timed).
+    #[must_use]
+    pub fn priority(&self) -> Option<i32> {
+        match self {
+            Timing::Timed(_) => None,
+            Timing::Instantaneous { priority } => Some(*priority),
         }
     }
 }
@@ -122,6 +148,74 @@ impl ActivitySpec {
     #[must_use]
     pub fn rate_multiplier(&self, marking: &Marking) -> f64 {
         self.rate_fn.as_ref().map_or(1.0, |f| f(marking))
+    }
+
+    /// How the activity completes.
+    #[must_use]
+    pub fn timing(&self) -> &Timing {
+        &self.timing
+    }
+
+    /// The input arcs: `(place, weight)` pairs consumed at completion.
+    #[must_use]
+    pub fn input_arcs(&self) -> &[(PlaceId, i64)] {
+        &self.input_arcs
+    }
+
+    /// Number of probabilistic cases.
+    #[must_use]
+    pub fn num_cases(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// Output arcs of case `case`: `(place, weight)` pairs produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `case >= self.num_cases()`.
+    #[must_use]
+    pub fn case_output_arcs(&self, case: usize) -> &[(PlaceId, i64)] {
+        &self.cases[case].output_arcs
+    }
+
+    /// Names of the output gates of case `case`, in execution order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `case >= self.num_cases()`.
+    pub fn case_output_gate_names(&self, case: usize) -> impl Iterator<Item = &str> {
+        self.cases[case].output_gates.iter().map(|g| g.name())
+    }
+
+    /// Input gates as `(name, has_completion_function)` pairs.
+    pub fn input_gate_info(&self) -> impl Iterator<Item = (&str, bool)> {
+        self.input_gates
+            .iter()
+            .map(|g| (g.name(), g.function.is_some()))
+    }
+
+    /// Whether any gate function (input-gate completion update or output
+    /// gate) runs at completion — i.e. the marking change is not fully
+    /// described by the arcs.
+    #[must_use]
+    pub fn has_gate_functions(&self) -> bool {
+        self.input_gates.iter().any(|g| g.function.is_some())
+            || self.cases.iter().any(|c| !c.output_gates.is_empty())
+    }
+
+    /// Whether case weights are marking-dependent.
+    #[must_use]
+    pub fn has_dynamic_case_weights(&self) -> bool {
+        matches!(self.case_weights, CaseWeights::Dynamic(_))
+    }
+
+    /// The fixed case weights, if the weights are not marking-dependent.
+    #[must_use]
+    pub fn fixed_case_weights(&self) -> Option<&[f64]> {
+        match &self.case_weights {
+            CaseWeights::Fixed(w) => Some(w),
+            CaseWeights::Dynamic(_) => None,
+        }
     }
 }
 

@@ -64,6 +64,42 @@ impl Model {
             .position(|a| a.name == name)
             .map(ActivityId)
     }
+
+    /// Fully qualified name of `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` was not issued by this model's builder.
+    #[must_use]
+    pub fn place_name(&self, place: PlaceId) -> &str {
+        &self.names[place.0]
+    }
+
+    /// Iterates over all places as `(id, name)` pairs.
+    pub fn places(&self) -> impl Iterator<Item = (PlaceId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (PlaceId(i), n.as_str()))
+    }
+
+    /// The definition of activity `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this model's builder.
+    #[must_use]
+    pub fn activity(&self, id: ActivityId) -> &ActivitySpec {
+        &self.activities[id.0]
+    }
+
+    /// Iterates over all activities as `(id, spec)` pairs.
+    pub fn activities(&self) -> impl Iterator<Item = (ActivityId, &ActivitySpec)> {
+        self.activities
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (ActivityId(i), a))
+    }
 }
 
 /// Incremental builder for SAN models.

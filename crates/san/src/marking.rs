@@ -16,6 +16,14 @@ impl PlaceId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Rebuilds a handle from a raw index (inverse of [`PlaceId::index`]).
+    /// Only meaningful for the model whose iteration produced the index —
+    /// used by structural analysis tools that store places by position.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        PlaceId(index)
+    }
 }
 
 /// The marking (token assignment) of every place in a model.

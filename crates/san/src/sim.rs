@@ -394,25 +394,94 @@ impl Simulator {
     }
 }
 
+impl Model {
+    /// Completes activity `act` **once** on a caller-supplied marking —
+    /// the probe-fire entry point of the static analyzer (`vsched-analyze`).
+    ///
+    /// Executes the same atomic completion rule as [`Simulator`]: input
+    /// gate functions, input arc consumption, case selection, output arcs,
+    /// then the chosen case's output gates — all randomness drawn from
+    /// `rng` (a single probe stream, unlike the simulator's per-activity
+    /// stream layout). No activation/abort bookkeeping happens; the caller
+    /// owns the exploration strategy.
+    ///
+    /// Returns the chosen case index, or `None` if the activity has
+    /// marking-dependent case weights whose total was not positive and
+    /// finite at selection time (in which case the marking has already
+    /// absorbed the input-gate functions and input-arc consumption — probe
+    /// on a clone if that matters).
+    ///
+    /// # Panics
+    ///
+    /// Panics (via [`Marking`]'s non-negativity guard) if `act` is fired
+    /// while disabled; check [`crate::activity::ActivitySpec::enabled`]
+    /// first. Gate closures may additionally panic on markings they were
+    /// never designed to see — probe only along enabled firings.
+    pub fn probe_fire(
+        &mut self,
+        act: ActivityId,
+        marking: &mut Marking,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Option<usize> {
+        let spec = &mut self.activities[act.0];
+        // 1. Input gate functions.
+        for gate in &mut spec.input_gates {
+            if let Some(f) = gate.function.as_mut() {
+                f(marking, rng);
+            }
+        }
+        // 2. Consume input arcs.
+        for &(p, w) in &spec.input_arcs {
+            marking.add(p, -w);
+        }
+        // 3. Select a case.
+        let case_idx = match &spec.case_weights {
+            CaseWeights::Fixed(w) if w.len() == 1 => 0,
+            CaseWeights::Fixed(w) => try_pick_case(w, rng)?,
+            CaseWeights::Dynamic(f) => {
+                let w = f(marking);
+                if w.len() != spec.cases.len() {
+                    return None;
+                }
+                try_pick_case(&w, rng)?
+            }
+        };
+        // 4. Produce output arcs.
+        for &(p, w) in &spec.cases[case_idx].output_arcs {
+            marking.add(p, w);
+        }
+        // 5. Output gate functions of the chosen case.
+        for gate in &mut spec.cases[case_idx].output_gates {
+            (gate.function)(marking, rng);
+        }
+        Some(case_idx)
+    }
+}
+
 /// Weighted case selection.
 ///
 /// # Panics
 ///
 /// Panics if the weights are not positive and finite — a model bug.
 fn pick_case(weights: &[f64], rng: &mut Xoshiro256StarStar, activity: &str) -> usize {
+    try_pick_case(weights, rng)
+        .unwrap_or_else(|| panic!("case weights of `{activity}` must have positive finite total"))
+}
+
+/// Weighted case selection; `None` if the total is not positive and finite.
+fn try_pick_case(weights: &[f64], rng: &mut Xoshiro256StarStar) -> Option<usize> {
     let total: f64 = weights.iter().sum();
-    assert!(
-        total > 0.0 && total.is_finite(),
-        "case weights of `{activity}` must have positive finite total"
-    );
+    if !(total > 0.0 && total.is_finite()) {
+        return None;
+    }
     let mut target = rng.next_f64() * total;
     for (i, &w) in weights.iter().enumerate() {
         if target < w {
-            return i;
+            return Some(i);
         }
         target -= w;
     }
-    weights.len() - 1
+    Some(weights.len() - 1)
 }
 
 #[cfg(test)]

@@ -1,0 +1,50 @@
+//! Golden diagnostics test: the deliberately broken fixture's JSON lint
+//! report is pinned byte-for-byte.
+//!
+//! The analyzer is deterministic per seed, and the vendored JSON writer
+//! preserves insertion order, so any change to the lint catalogue, the
+//! report shape, or the exploration logic that shifts this output must
+//! re-bless the snapshot — a deliberate, reviewed act.
+//!
+//! To re-bless after an intentional change:
+//! `VSCHED_BLESS=1 cargo test -p vsched-analyze --test lint_golden`
+
+use vsched_analyze::{lint_broken_fixture, AnalyzeOpts};
+
+const SNAPSHOT: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/lint_broken.json"
+);
+
+fn report_json() -> String {
+    let report = lint_broken_fixture(&AnalyzeOpts::default());
+    let mut s = serde_json::to_string_pretty(&report.to_json()).expect("report serializes");
+    s.push('\n');
+    s
+}
+
+#[test]
+fn broken_fixture_report_matches_snapshot() {
+    let actual = report_json();
+    if std::env::var_os("VSCHED_BLESS").is_some() {
+        std::fs::write(SNAPSHOT, &actual).expect("write snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(SNAPSHOT)
+        .expect("snapshot missing: run with VSCHED_BLESS=1 to create it");
+    assert_eq!(
+        actual, expected,
+        "lint report for the broken fixture drifted from the golden snapshot; \
+         if intentional, re-bless with VSCHED_BLESS=1"
+    );
+}
+
+/// The snapshot itself must pin the two planted defects, so a bad bless
+/// can't silently neuter the fixture.
+#[test]
+fn snapshot_pins_planted_defects() {
+    let actual = report_json();
+    assert!(actual.contains("\"dead-activity\""), "{actual}");
+    assert!(actual.contains("\"nonconserving-gate\""), "{actual}");
+    assert!(actual.contains("\"token-conservation\""), "{actual}");
+}
