@@ -56,6 +56,25 @@ pub fn broken_model() -> (Model, Vec<ModelInvariant>) {
     (model, expected)
 }
 
+/// A two-place net with one planted defect: `burn`'s guard reads `lever`
+/// but its declared read-set names only `fuel`, so perturbing `lever`
+/// flips `enabled()` outside the declared set (`stale-read-set`).
+#[must_use]
+pub fn stale_read_set_model() -> Model {
+    let mut mb = ModelBuilder::new();
+    let fuel = mb.place("fuel", 3).expect("fresh builder");
+    let lever = mb.place("lever", 1).expect("fresh builder");
+    mb.activity("burn")
+        .expect("fresh name")
+        .instantaneous(0)
+        .input_arc(fuel, 1)
+        .guard("lever_up", move |m| m.tokens(lever) > 0)
+        .reads([fuel]) // stale: omits `lever`, which the guard reads
+        .done()
+        .expect("valid activity");
+    mb.build().expect("valid model")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +85,12 @@ mod tests {
         assert_eq!(model.num_places(), 4);
         assert_eq!(model.num_activities(), 3);
         assert_eq!(expected.len(), 1);
+    }
+
+    #[test]
+    fn stale_fixture_shape() {
+        let model = stale_read_set_model();
+        assert_eq!(model.num_places(), 2);
+        assert_eq!(model.num_activities(), 1);
     }
 }

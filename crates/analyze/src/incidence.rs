@@ -22,7 +22,9 @@ use vsched_core::san_model::{InvariantKind, ModelInvariant};
 use vsched_des::Xoshiro256StarStar;
 use vsched_san::{ActivityId, Marking, Model};
 
-use crate::lints::{Diagnostic, CONFUSED_INSTANTANEOUS, INVALID_CASE_WEIGHTS, NONCONSERVING_GATE};
+use crate::lints::{
+    Diagnostic, CONFUSED_INSTANTANEOUS, INVALID_CASE_WEIGHTS, NONCONSERVING_GATE, STALE_READ_SET,
+};
 use crate::AnalyzeOpts;
 
 /// One column of the incidence matrix.
@@ -130,6 +132,12 @@ pub fn explore(model: &mut Model, expected: &[ModelInvariant], opts: &AnalyzeOpt
     let mut probed_pairs: HashSet<(usize, usize)> = HashSet::new();
     let mut probes_left = opts.commutation_probes;
     let mut weight_failed: Vec<bool> = vec![false; num_activities];
+    let mut stale_flagged: Vec<bool> = vec![false; num_activities];
+    let mut read_probes_left = opts.read_set_probes;
+    if read_probes_left > 0 {
+        read_probes_left -= 1;
+        check_read_sets(model, &initial, &mut exp, &mut stale_flagged);
+    }
 
     for walk in 0..opts.walks {
         let mut rng = Xoshiro256StarStar::seed_from(
@@ -210,6 +218,14 @@ pub fn explore(model: &mut Model, expected: &[ModelInvariant], opts: &AnalyzeOpt
             }
             let subject = model.activity(act).name().to_string();
             check_relations(&mut exp, expected, &marking, &subject);
+
+            // Read-set cross-check at a thin sample of visited markings
+            // (staggered across walks so the budget is not spent on one
+            // walk's opening steps).
+            if read_probes_left > 0 && (step + 7 * walk) % 29 == 0 {
+                read_probes_left -= 1;
+                check_read_sets(model, &marking, &mut exp, &mut stale_flagged);
+            }
         }
     }
     exp.probed_columns = exp.columns.len() - exp.linear_columns;
@@ -287,6 +303,60 @@ fn commutation_mismatch(
             Some("one firing order disables the partner activity, the other does not".to_string())
         }
         _ => None,
+    }
+}
+
+/// Cross-checks every *declared* enablement read-set against the model's
+/// actual behavior at `marking`: each place outside the declared set is
+/// perturbed by ±1 (never below zero) and the activity's `enabled()`
+/// verdict and rate multiplier must not move. A place that does move the
+/// verdict is a stale declaration — the incremental reevaluation core
+/// would skip a reevaluation the closure needs — and is reported as
+/// `stale-read-set` (once per activity). Activities without a declared
+/// read-set are on the simulator's conservative always-revisit list and
+/// have nothing to cross-check.
+fn check_read_sets(model: &Model, marking: &Marking, exp: &mut Exploration, flagged: &mut [bool]) {
+    let mut scratch = marking.clone();
+    for (id, spec) in model.activities() {
+        if flagged[id.index()] {
+            continue;
+        }
+        let Some(reads) = spec.enablement_reads() else {
+            continue;
+        };
+        let base_enabled = spec.enabled(marking);
+        let base_rate = spec.rate_multiplier(marking);
+        'places: for p in 0..model.num_places() {
+            let place = place_at(p);
+            if reads.binary_search(&place).is_ok() {
+                continue;
+            }
+            let original = scratch.tokens(place);
+            for delta in [1i64, -1] {
+                let perturbed = original + delta;
+                if perturbed < 0 {
+                    continue;
+                }
+                scratch.set(place, perturbed);
+                let moved = spec.enabled(&scratch) != base_enabled
+                    || spec.rate_multiplier(&scratch).to_bits() != base_rate.to_bits();
+                scratch.set(place, original);
+                if moved {
+                    flagged[id.index()] = true;
+                    exp.diagnostics.push(Diagnostic::new(
+                        STALE_READ_SET,
+                        spec.name(),
+                        format!(
+                            "enablement depends on place `{}` (perturbing {original} -> \
+                             {perturbed} flips enabled()/rate), but the declared read-set \
+                             omits it",
+                            model.place_name(place)
+                        ),
+                    ));
+                    break 'places;
+                }
+            }
+        }
     }
 }
 

@@ -57,6 +57,11 @@ pub struct AnalyzeOpts {
     pub seed: u64,
     /// Total instantaneous commutation probes across all walks.
     pub commutation_probes: usize,
+    /// Visited markings at which declared read-sets are cross-checked by
+    /// perturbation (`stale-read-set`): every place outside an activity's
+    /// declared enablement read-set is nudged ±1 and the activity's
+    /// `enabled()` / rate multiplier must not move.
+    pub read_set_probes: usize,
     /// Whether to run the full budget and emit coverage lints
     /// (`never-enabled`) that are meaningless under a small budget.
     pub thorough: bool,
@@ -69,6 +74,7 @@ impl Default for AnalyzeOpts {
             steps: 400,
             seed: 0x5EED,
             commutation_probes: 64,
+            read_set_probes: 16,
             thorough: true,
         }
     }
@@ -83,6 +89,7 @@ impl AnalyzeOpts {
             walks: 2,
             steps: 120,
             commutation_probes: 8,
+            read_set_probes: 2,
             thorough: false,
             ..AnalyzeOpts::default()
         }
@@ -224,6 +231,45 @@ mod tests {
         let cert = &report.certificates[0];
         assert_eq!(cert.name, "token-conservation");
         assert!(!cert.passed);
+    }
+
+    /// The planted stale declaration is caught at the very first probed
+    /// marking (the initial one), and the finding is deny-worthy.
+    #[test]
+    fn stale_read_set_is_flagged() {
+        let mut model = fixtures::stale_read_set_model();
+        let report = analyze_model(
+            "fixture:stale",
+            &mut model,
+            &[],
+            None,
+            &AnalyzeOpts::default(),
+        );
+        let finding = report
+            .diagnostics
+            .iter()
+            .find(|d| d.lint == "stale-read-set")
+            .expect("stale read-set detected");
+        assert_eq!(finding.severity, Severity::Error);
+        assert_eq!(finding.subject, "burn");
+        assert!(finding.message.contains("lever"), "{}", finding.message);
+        assert!(report.denied(false));
+    }
+
+    /// With the probe budget zeroed, the stale declaration goes unseen —
+    /// pins that the check is what finds it (and what `quick()` pays for).
+    #[test]
+    fn zero_probe_budget_skips_the_read_set_check() {
+        let mut model = fixtures::stale_read_set_model();
+        let opts = AnalyzeOpts {
+            read_set_probes: 0,
+            ..AnalyzeOpts::default()
+        };
+        let report = analyze_model("fixture:stale", &mut model, &[], None, &opts);
+        assert!(!report
+            .diagnostics
+            .iter()
+            .any(|d| d.lint == "stale-read-set"));
     }
 
     #[test]

@@ -112,6 +112,16 @@ pub const INVALID_DECISION: LintDef = LintDef {
     rationale: "the policy produced a decision that fails validate_decision on the \
                 deterministic probe suite",
 };
+/// `stale-read-set`: a declared read-set misses a place the closure
+/// actually reads.
+pub const STALE_READ_SET: LintDef = LintDef {
+    name: "stale-read-set",
+    severity: Severity::Error,
+    rationale: "perturbation probing shows an enablement closure (guard, input gate, or \
+                rate multiplier) depends on a place outside its declared read-set — the \
+                incremental reevaluation core would skip a reevaluation the closure \
+                needs, silently diverging from full-rescan semantics",
+};
 /// `inert-policy`: the policy never assigns.
 pub const INERT_POLICY: LintDef = LintDef {
     name: "inert-policy",
@@ -132,6 +142,7 @@ pub const CATALOGUE: &[LintDef] = &[
     INVALID_POLICY_PARAMS,
     UNDECLARED_FIELD_READ,
     INVALID_DECISION,
+    STALE_READ_SET,
     INERT_POLICY,
 ];
 

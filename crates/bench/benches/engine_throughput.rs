@@ -25,6 +25,17 @@ fn scale_cases() -> Vec<(String, usize, Vec<usize>)> {
     ]
 }
 
+/// Model-size scaling axis for the incremental reevaluation core:
+/// doubling VM counts from 1 to 16 (2 VCPUs each), every size run in
+/// both reevaluation modes so the incremental speedup — and how it grows
+/// with model size — is read straight off the report.
+fn incremental_cases() -> Vec<(String, usize, Vec<usize>)> {
+    [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .map(|vms| (format!("{vms}vm"), vms.max(2), vec![2; vms]))
+        .collect()
+}
+
 fn bench_san(c: &mut Criterion) {
     let mut group = c.benchmark_group("san_engine");
     group.sample_size(10);
@@ -60,5 +71,31 @@ fn bench_direct(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_san, bench_direct);
+fn bench_san_incremental_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("san_reevaluation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TICKS));
+    for (name, pcpus, vms) in incremental_cases() {
+        for (mode, full) in [("incremental", false), ("full_rescan", true)] {
+            group.bench_with_input(BenchmarkId::new(mode, &name), &full, |b, &full| {
+                b.iter(|| {
+                    let mut sys =
+                        SanSystem::new(config(pcpus, &vms), PolicyKind::RoundRobin.create(), 42)
+                            .expect("model builds");
+                    sys.set_full_rescan(full);
+                    sys.run(TICKS).expect("runs");
+                    sys.metrics()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_san,
+    bench_direct,
+    bench_san_incremental_vs_full
+);
 criterion_main!(benches);

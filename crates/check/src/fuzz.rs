@@ -70,6 +70,8 @@ pub struct FuzzReport {
     /// Broken metamorphic relations (rotation, co-scaling, parallel
     /// determinism).
     pub metamorphic_mismatches: usize,
+    /// SAN incremental-vs-full-rescan divergences.
+    pub incremental_divergences: usize,
     /// Outright run errors.
     pub errors: usize,
     /// The shrunk failures, in case order.
@@ -88,12 +90,14 @@ impl FuzzReport {
     pub fn summary(&self) -> String {
         format!(
             "fuzz: {} cases, {} lint findings, {} invariant violations, \
-             {} differential mismatches, {} metamorphic mismatches, {} errors",
+             {} differential mismatches, {} metamorphic mismatches, \
+             {} incremental divergences, {} errors",
             self.cases,
             self.lint_findings,
             self.invariant_violations,
             self.differential_mismatches,
             self.metamorphic_mismatches,
+            self.incremental_divergences,
             self.errors
         )
     }
@@ -122,6 +126,7 @@ pub fn run_fuzz(opts: &FuzzOpts) -> Result<FuzzReport, CheckError> {
         invariant_violations: 0,
         differential_mismatches: 0,
         metamorphic_mismatches: 0,
+        incremental_divergences: 0,
         errors: 0,
         failures: Vec::new(),
     };
@@ -136,6 +141,7 @@ pub fn run_fuzz(opts: &FuzzOpts) -> Result<FuzzReport, CheckError> {
                 FailureKind::Invariant => report.invariant_violations += 1,
                 FailureKind::Differential => report.differential_mismatches += 1,
                 FailureKind::Metamorphic => report.metamorphic_mismatches += 1,
+                FailureKind::Incremental => report.incremental_divergences += 1,
                 FailureKind::Error => report.errors += 1,
             }
         }

@@ -1,7 +1,7 @@
 //! The differential and metamorphic oracle: decides whether one fuzz
 //! case passes.
 //!
-//! Five independent verdicts feed [`run_case`]:
+//! Six independent verdicts feed [`run_case`]:
 //!
 //! 0. **Lint** — the static analyzer (`vsched-analyze`, quick budget)
 //!    examines the case's built SAN model and policy before anything is
@@ -28,6 +28,10 @@
 //!    co-scaling (doubling every time dimension of a derived
 //!    deterministic variant leaves the reported *fractions* in place up
 //!    to boundary effects).
+//! 5. **Incremental** — the SAN engine's dependency-indexed incremental
+//!    reevaluation core must be bit-identical to the full-rescan
+//!    reference mode on the same seed (final marking, run statistics,
+//!    and every metric's bit pattern).
 //!
 //! Tolerances are calibrated so a 200-case run makes ~6000 comparisons
 //! with a near-zero false-positive budget; see [`OracleOpts`].
@@ -55,6 +59,9 @@ pub enum FailureKind {
     /// A metamorphic relation (rotation, co-scaling, parallel
     /// determinism) does not hold.
     Metamorphic,
+    /// The SAN engine's incremental reevaluation core diverged from the
+    /// full-rescan reference mode on the same seed.
+    Incremental,
     /// A run errored outright (bad config, engine failure).
     Error,
 }
@@ -66,6 +73,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::Invariant => "invariant",
             FailureKind::Differential => "differential",
             FailureKind::Metamorphic => "metamorphic",
+            FailureKind::Incremental => "incremental",
             FailureKind::Error => "error",
         };
         f.write_str(s)
@@ -130,6 +138,11 @@ pub struct OracleOpts {
     pub check_parallel_determinism: bool,
     /// Run the rotation and co-scaling metamorphic passes.
     pub check_metamorphic: bool,
+    /// Run the SAN engine once with incremental reevaluation (the
+    /// default) and once in full-rescan reference mode, and require the
+    /// final marking, run statistics, and every metric to be
+    /// bit-identical — the incremental core's headline correctness claim.
+    pub check_incremental: bool,
 }
 
 impl Default for OracleOpts {
@@ -143,6 +156,7 @@ impl Default for OracleOpts {
             check_invariants: true,
             check_parallel_determinism: true,
             check_metamorphic: true,
+            check_incremental: true,
         }
     }
 }
@@ -256,6 +270,10 @@ pub fn run_case(case: &FuzzCase, opts: &OracleOpts) -> CaseOutcome {
         failures.extend(scaling_check(case, opts));
     }
 
+    if opts.check_incremental {
+        failures.extend(incremental_check(&config, case));
+    }
+
     CaseOutcome {
         case_index: case.case_index,
         failures,
@@ -335,6 +353,76 @@ fn lint_case(config: &SystemConfig, case: &FuzzCase) -> Vec<Failure> {
             }),
     );
     failures
+}
+
+/// Incremental-vs-full-rescan differential on the SAN engine: the same
+/// case and seed run once with the dependency-indexed incremental
+/// reevaluation core (the default) and once in full-rescan reference
+/// mode. The two are bit-identical by construction — skipped activities
+/// are provable no-ops and per-activity RNG streams make the event
+/// sequence independent of who rescans — so *any* divergence in the
+/// final marking, the run statistics, or any metric's bit pattern is a
+/// bug in the dependency index or the dirty tracking.
+fn incremental_check(config: &SystemConfig, case: &FuzzCase) -> Vec<Failure> {
+    let ticks = case.warmup + case.horizon;
+    let run = |full: bool| {
+        let mut sys = SanSystem::new(config.clone(), case.policy.create(), case.seed)?;
+        sys.set_full_rescan(full);
+        sys.run(ticks)?;
+        let m = sys.metrics();
+        let bits: Vec<u64> = m
+            .vcpu_availability
+            .iter()
+            .chain(&m.vcpu_utilization)
+            .chain(&m.pcpu_utilization)
+            .chain(&m.vcpu_spin)
+            .map(|v| v.to_bits())
+            .collect();
+        Ok::<_, CoreError>((
+            sys.simulator().marking().as_slice().to_vec(),
+            sys.simulator().stats(),
+            bits,
+        ))
+    };
+    match (run(false), run(true)) {
+        (Ok(inc), Ok(full)) => {
+            let mut failures = Vec::new();
+            if inc.0 != full.0 {
+                failures.push(Failure {
+                    kind: FailureKind::Incremental,
+                    detail: "final marking differs between incremental and full-rescan modes"
+                        .into(),
+                });
+            }
+            if inc.1 != full.1 {
+                failures.push(Failure {
+                    kind: FailureKind::Incremental,
+                    detail: format!(
+                        "run statistics differ: incremental {:?} vs full-rescan {:?}",
+                        inc.1, full.1
+                    ),
+                });
+            }
+            if inc.2 != full.2 {
+                failures.push(Failure {
+                    kind: FailureKind::Incremental,
+                    detail: "metric bit patterns differ between incremental and full-rescan \
+                             modes"
+                        .into(),
+                });
+            }
+            failures
+        }
+        (ra, rb) => [("incremental", ra), ("full-rescan", rb)]
+            .into_iter()
+            .filter_map(|(name, r)| {
+                r.err().map(|e| Failure {
+                    kind: FailureKind::Error,
+                    detail: format!("{name} SAN run: {e}"),
+                })
+            })
+            .collect(),
+    }
 }
 
 /// One invariant-checked run per engine.

@@ -29,8 +29,10 @@
 
 pub mod config;
 pub mod output;
+pub mod perf;
 
 pub use config::{
     CreditParams, DistSpec, ExperimentConfig, PolicySpec, RcsParams, VmConfig, WorkloadConfig,
 };
 pub use output::render_report;
+pub use perf::{run_perf, PerfOpts, PerfReport};

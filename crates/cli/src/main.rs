@@ -6,6 +6,7 @@
 //! vsched fuzz [--cases N] [--seed S] [--jobs N] [--reproducer-dir DIR]
 //! vsched fuzz --replay <case.json>
 //! vsched lint [<config.json>...] [--deny warnings] [--format json]
+//! vsched perf [--out BENCH_perf.json] [--ticks N] [--baseline FILE]
 //! vsched example                                  print a starter config
 //! vsched help                                     this message
 //! ```
@@ -33,6 +34,8 @@ USAGE:
     vsched fuzz --replay <case.json>
     vsched lint [<config.json>...] [--deny warnings] [--format <text|json>]
                 [--seed <S>] [--fixture broken]
+    vsched perf [--out <report.json>] [--ticks <N>] [--seed <S>]
+                [--baseline <report.json>] [--max-regression <X>]
     vsched example
     vsched help
 
@@ -58,6 +61,11 @@ COMMANDS:
               no arguments, lints the paper model under its policy trio;
               with config or sweep-spec files, lints every distinct
               (system, policy) cell they describe.
+    perf      Time the SAN engine's incremental reevaluation core against
+              its full-rescan reference mode across a model-size scaling
+              axis (1 to 16 VMs), verify both modes end bit-identical,
+              and report events/sec and speedup per size. With a baseline
+              report, exit non-zero on a large throughput regression.
     example   Print a commented starter config to stdout.
 
 OPTIONS (run):
@@ -96,6 +104,19 @@ OPTIONS (lint):
     --fixture broken       Lint the built-in deliberately-broken model
                            instead — exercises the diagnostics themselves.
 
+OPTIONS (perf):
+    --out <path>           Write the machine-readable report as JSON.
+    --ticks <N>            Simulated clock periods per timed run
+                           (default 2000).
+    --repeats <N>          Timed repetitions per cell; the fastest is
+                           reported (default 5).
+    --seed <S>             Simulation seed (default 42).
+    --baseline <path>      A previous --out report to compare against.
+    --max-regression <X>   Fail if the incremental core's speedup over
+                           full rescan fell more than X-fold below the
+                           baseline's (default 2.0). Compares the
+                           same-run ratio, so machine speed cancels out.
+
 The config format is documented in the vsched-cli crate docs; `vsched
 example > exp.json` is the quickest start. The paper campaign lives at
 configs/paper.sweep.json: `vsched sweep configs/paper.sweep.json`
@@ -127,6 +148,7 @@ fn main() -> ExitCode {
         Some("sweep") => sweep(&args[1..]),
         Some("fuzz") => fuzz(&args[1..]),
         Some("lint") => lint(&args[1..]),
+        Some("perf") => perf(&args[1..]),
         Some("example") => {
             println!("{EXAMPLE}");
             ExitCode::SUCCESS
@@ -341,6 +363,103 @@ fn fuzz(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn perf(args: &[String]) -> ExitCode {
+    let mut opts = vsched_cli::PerfOpts::default();
+    let mut out_path: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut max_regression = 2.0_f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--ticks" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => opts.ticks = n,
+                _ => {
+                    eprintln!("error: --ticks requires a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--repeats" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => opts.repeats = n,
+                _ => {
+                    eprintln!("error: --repeats requires a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) => opts.seed = n,
+                _ => {
+                    eprintln!("error: --seed requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --baseline requires a report file");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-regression" => match it.next().map(|n| n.parse::<f64>()) {
+                Some(Ok(x)) if x >= 1.0 => max_regression = x,
+                _ => {
+                    eprintln!("error: --max-regression requires a factor >= 1.0");
+                    return ExitCode::FAILURE;
+                }
+            },
+            p => {
+                eprintln!("error: unexpected argument `{p}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = vsched_cli::run_perf(&opts);
+    print!("{}", report.render_text());
+    if let Some(out) = &out_path {
+        let body = match serde_json::to_string_pretty(&report.to_json()) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = write_atomic(out, &body) {
+            eprintln!("error: cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        println!("[wrote {}]", out.display());
+    }
+    if !report.all_identical() {
+        eprintln!("error: incremental and full-rescan modes diverged (see `identical` column)");
+        return ExitCode::FAILURE;
+    }
+    if let Some(base) = &baseline {
+        match vsched_cli::perf::check_against_baseline(&report, base, max_regression) {
+            Ok(regressions) if regressions.is_empty() => {
+                println!("baseline: no regression beyond {max_regression:.1}x");
+            }
+            Ok(regressions) => {
+                for r in &regressions {
+                    eprintln!("regression: {r}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn lint(args: &[String]) -> ExitCode {

@@ -1,0 +1,366 @@
+//! The `vsched perf` smoke harness: wall-clock throughput of the SAN
+//! engine's incremental reevaluation core against its full-rescan
+//! reference mode, across a model-size scaling axis.
+//!
+//! This is deliberately *not* a statistics-grade benchmark (that is
+//! `cargo bench -p vsched-bench`): best-of-N timed runs per (size, mode)
+//! cell is enough for the two jobs it has —
+//!
+//! * produce a machine-readable `BENCH_perf.json` whose speedup column
+//!   documents the incremental core's win as models grow, and
+//! * gate CI cheaply: compared against a checked-in baseline, a >2×
+//!   drop in the incremental core's *speedup over full rescan* fails
+//!   the job. The speedup is a same-run ratio, so machine speed,
+//!   background load and runner jitter cancel out of the comparison —
+//!   absolute events/sec are recorded for the trajectory but never
+//!   gated on.
+//!
+//! Every cell also cross-checks that both modes end bit-identical
+//! (final marking and metrics) — a free differential pass on exactly
+//! the configurations being timed.
+
+use std::path::Path;
+use std::time::Instant;
+
+use serde_json::{json, Value};
+use vsched_core::san_model::SanSystem;
+use vsched_core::{PolicyKind, SystemConfig};
+
+/// Knobs of one perf run.
+#[derive(Debug, Clone)]
+pub struct PerfOpts {
+    /// Simulated clock periods per timed run.
+    pub ticks: u64,
+    /// Seed for every run (the comparison is per-seed deterministic).
+    pub seed: u64,
+    /// Timed repetitions per (size, mode) cell; the fastest is reported,
+    /// which filters out scheduler/allocator jitter on shared runners.
+    pub repeats: usize,
+}
+
+impl Default for PerfOpts {
+    fn default() -> Self {
+        PerfOpts {
+            ticks: 2_000,
+            seed: 42,
+            repeats: 5,
+        }
+    }
+}
+
+/// One timed run's numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct ModeSample {
+    /// Activity completions processed.
+    pub events: u64,
+    /// Wall-clock seconds for the run.
+    pub seconds: f64,
+    /// `events / seconds`.
+    pub events_per_sec: f64,
+}
+
+/// One (model size) cell of the scaling axis.
+#[derive(Debug, Clone)]
+pub struct PerfCase {
+    /// Case label (`"4vm"`).
+    pub name: String,
+    /// VMs in the model (2 VCPUs each).
+    pub vms: usize,
+    /// Total VCPUs.
+    pub vcpus: usize,
+    /// PCPUs.
+    pub pcpus: usize,
+    /// The full-rescan reference mode's numbers.
+    pub full_rescan: ModeSample,
+    /// The incremental (default) mode's numbers.
+    pub incremental: ModeSample,
+    /// `incremental.events_per_sec / full_rescan.events_per_sec`.
+    pub speedup: f64,
+    /// Whether both modes ended bit-identical (final marking + metrics).
+    pub identical: bool,
+}
+
+/// The whole harness result.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Ticks per timed run.
+    pub ticks: u64,
+    /// Timed repetitions per cell (the fastest was kept).
+    pub repeats: usize,
+    /// All cells, smallest model first.
+    pub cases: Vec<PerfCase>,
+}
+
+impl PerfReport {
+    /// Whether every cell's two modes ended bit-identical.
+    #[must_use]
+    pub fn all_identical(&self) -> bool {
+        self.cases.iter().all(|c| c.identical)
+    }
+
+    /// Speedup of the largest model on the axis.
+    #[must_use]
+    pub fn speedup_at_largest(&self) -> f64 {
+        self.cases.last().map_or(1.0, |c| c.speedup)
+    }
+
+    /// The report as a JSON value with stable field order.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let sample = |s: &ModeSample| {
+            json!({
+                "events": s.events,
+                "seconds": s.seconds,
+                "events_per_sec": s.events_per_sec,
+            })
+        };
+        json!({
+            "harness": "vsched perf",
+            "ticks": self.ticks,
+            "repeats": self.repeats,
+            "cases": Value::Seq(
+                self.cases
+                    .iter()
+                    .map(|c| {
+                        json!({
+                            "name": c.name.clone(),
+                            "vms": c.vms,
+                            "vcpus": c.vcpus,
+                            "pcpus": c.pcpus,
+                            "full_rescan": sample(&c.full_rescan),
+                            "incremental": sample(&c.incremental),
+                            "speedup": c.speedup,
+                            "identical": c.identical,
+                        })
+                    })
+                    .collect()
+            ),
+            "speedup_at_largest": self.speedup_at_largest(),
+        })
+    }
+
+    /// One line per cell for the terminal.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "perf: {} ticks per run, best of {}, incremental vs full-rescan reevaluation",
+            self.ticks, self.repeats
+        );
+        for c in &self.cases {
+            let _ = writeln!(
+                out,
+                "  {:>5}: {:>10.0} ev/s incremental, {:>10.0} ev/s full-rescan, \
+                 speedup {:.2}x, identical: {}",
+                c.name,
+                c.incremental.events_per_sec,
+                c.full_rescan.events_per_sec,
+                c.speedup,
+                if c.identical { "yes" } else { "NO" },
+            );
+        }
+        out
+    }
+}
+
+/// The model-size axis: doubling VM counts, 2 VCPUs per VM.
+fn scaling_axis() -> Vec<(String, usize)> {
+    [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .map(|vms| (format!("{vms}vm"), vms))
+        .collect()
+}
+
+fn config(vms: usize) -> SystemConfig {
+    let mut b = SystemConfig::builder().pcpus(vms.max(2)).sync_ratio(1, 5);
+    for _ in 0..vms {
+        b = b.vm(2);
+    }
+    b.build().expect("valid perf config")
+}
+
+/// The bit patterns both modes must agree on: final marking + metrics.
+fn fingerprint(sys: &SanSystem) -> (Vec<i64>, Vec<u64>) {
+    let m = sys.metrics();
+    let bits = m
+        .vcpu_availability
+        .iter()
+        .chain(&m.vcpu_utilization)
+        .chain(&m.pcpu_utilization)
+        .chain(&m.vcpu_spin)
+        .map(|v| v.to_bits())
+        .collect();
+    (sys.simulator().marking().as_slice().to_vec(), bits)
+}
+
+fn timed_once(vms: usize, full: bool, opts: &PerfOpts) -> (ModeSample, (Vec<i64>, Vec<u64>)) {
+    let mut sys = SanSystem::new(config(vms), PolicyKind::RoundRobin.create(), opts.seed)
+        .expect("perf model builds");
+    sys.set_full_rescan(full);
+    let start = Instant::now();
+    sys.run(opts.ticks).expect("perf run");
+    let seconds = start.elapsed().as_secs_f64();
+    let events = sys.simulator().stats().completions;
+    let sample = ModeSample {
+        events,
+        seconds,
+        events_per_sec: if seconds > 0.0 {
+            events as f64 / seconds
+        } else {
+            f64::INFINITY
+        },
+    };
+    (sample, fingerprint(&sys))
+}
+
+/// Best of `opts.repeats` runs. Every repetition is the same deterministic
+/// simulation, so the fingerprint is checked to be stable across them.
+fn timed_run(vms: usize, full: bool, opts: &PerfOpts) -> (ModeSample, (Vec<i64>, Vec<u64>)) {
+    let (mut best, fp) = timed_once(vms, full, opts);
+    for _ in 1..opts.repeats.max(1) {
+        let (sample, fp_again) = timed_once(vms, full, opts);
+        assert_eq!(fp, fp_again, "perf run is not deterministic");
+        if sample.events_per_sec > best.events_per_sec {
+            best = sample;
+        }
+    }
+    (best, fp)
+}
+
+/// Runs the whole scaling axis, both modes per size.
+#[must_use]
+pub fn run_perf(opts: &PerfOpts) -> PerfReport {
+    let cases = scaling_axis()
+        .into_iter()
+        .map(|(name, vms)| {
+            // Full-rescan first, then incremental: if something is badly
+            // wrong with the dependency index, the reference number is
+            // already in hand when the comparison trips.
+            let (full, fp_full) = timed_run(vms, true, opts);
+            let (incremental, fp_inc) = timed_run(vms, false, opts);
+            PerfCase {
+                name,
+                vms,
+                vcpus: vms * 2,
+                pcpus: vms.max(2),
+                speedup: incremental.events_per_sec / full.events_per_sec,
+                identical: fp_full == fp_inc,
+                full_rescan: full,
+                incremental,
+            }
+        })
+        .collect();
+    PerfReport {
+        ticks: opts.ticks,
+        repeats: opts.repeats.max(1),
+        cases,
+    }
+}
+
+/// Compares a fresh report against a checked-in baseline JSON (the shape
+/// [`PerfReport::to_json`] writes): for every case present in both, the
+/// incremental core's speedup over full rescan must not have dropped by
+/// more than `max_regression`×. The speedup is a same-run ratio, immune
+/// to absolute machine speed, so a baseline recorded on one machine
+/// gates runs on any other. Returns the offending descriptions
+/// (empty = pass).
+///
+/// # Errors
+///
+/// If the baseline file cannot be read or is not shaped like a perf
+/// report.
+pub fn check_against_baseline(
+    report: &PerfReport,
+    baseline_path: &Path,
+    max_regression: f64,
+) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+    let baseline: Value = serde_json::from_str(&text)?;
+    let cases = baseline
+        .get("cases")
+        .and_then(Value::as_array)
+        .ok_or("baseline has no `cases` array")?;
+    let mut regressions = Vec::new();
+    for c in cases {
+        let name = c.get("name").and_then(Value::as_str).unwrap_or("?");
+        let Some(base_speedup) = c.get("speedup").and_then(Value::as_f64) else {
+            continue;
+        };
+        let Some(now) = report.cases.iter().find(|rc| rc.name == name) else {
+            continue;
+        };
+        if now.speedup * max_regression < base_speedup {
+            regressions.push(format!(
+                "{name}: speedup {:.2}x now vs {base_speedup:.2}x baseline \
+                 (>{max_regression:.1}x regression)",
+                now.speedup,
+            ));
+        }
+    }
+    Ok(regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> PerfOpts {
+        PerfOpts {
+            ticks: 50,
+            seed: 42,
+            repeats: 1,
+        }
+    }
+
+    #[test]
+    fn both_modes_are_bit_identical_on_every_cell() {
+        let report = run_perf(&tiny_opts());
+        assert_eq!(report.cases.len(), 5);
+        assert!(report.all_identical(), "{}", report.render_text());
+        for c in &report.cases {
+            assert_eq!(c.full_rescan.events, c.incremental.events);
+            assert!(c.full_rescan.events > 0);
+        }
+    }
+
+    #[test]
+    fn json_shape_carries_both_modes_and_the_speedup() {
+        let report = run_perf(&tiny_opts());
+        let v = report.to_json();
+        let cases = v.get("cases").and_then(Value::as_array).unwrap();
+        assert_eq!(cases.len(), 5);
+        for c in cases {
+            for key in ["full_rescan", "incremental", "speedup", "identical"] {
+                assert!(c.get(key).is_some(), "missing {key}");
+            }
+        }
+        assert!(v.get("speedup_at_largest").is_some());
+    }
+
+    #[test]
+    fn baseline_regression_detection() {
+        let report = run_perf(&tiny_opts());
+        let dir = std::env::temp_dir().join(format!("vsched-perf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+
+        // A baseline written from the report itself never regresses.
+        std::fs::write(&path, serde_json::to_string(&report.to_json()).unwrap()).unwrap();
+        assert!(check_against_baseline(&report, &path, 2.0)
+            .unwrap()
+            .is_empty());
+
+        // An impossibly good baseline speedup trips every case.
+        let mut doctored = report.clone();
+        for c in &mut doctored.cases {
+            c.speedup = 1e15;
+        }
+        std::fs::write(&path, serde_json::to_string(&doctored.to_json()).unwrap()).unwrap();
+        let regressions = check_against_baseline(&report, &path, 2.0).unwrap();
+        assert_eq!(regressions.len(), report.cases.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

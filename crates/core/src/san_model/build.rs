@@ -133,6 +133,7 @@ pub(crate) fn build_model(
             .activity("Clock")?
             .timed(Dist::Deterministic { value: 1.0 })
             .guard("not_halted", move |m| m.tokens(halt) == 0)
+            .reads([halt])
             .output_arc(clock, 1)
             .output_arc(tick_expire, 1)
             .output_arc(tick_sched, 1);
@@ -252,6 +253,7 @@ pub(crate) fn build_model(
             .instantaneous(priority::SCHED)
             .input_arc(tick_sched, 1)
             .guard("not_halted", move |m| m.tokens(halt) == 0)
+            .reads([halt])
             .output_gate("schedule", move |m, _| {
                 let vcpus = l.vcpu_views(m, &cfg);
                 let pcpus = l.pcpu_views(m, &cfg);
@@ -290,6 +292,7 @@ pub(crate) fn build_model(
                                 && m.tokens(vm.ready_count) > 0
                                 && m.tokens(vm.window) > 0
                         })
+                        .reads([halt, vm.wl_pending, vm.blocked, vm.ready_count, vm.window])
                         .output_gate("WL_Output", move |m, rng| {
                             let load = sample_ticks(&load_dist, rng) as i64;
                             m.add(vm.generated, 1);
@@ -309,6 +312,7 @@ pub(crate) fn build_model(
                     mb.activity("WL_Generate")?
                         .timed(inter)
                         .guard("not_halted", move |m| m.tokens(halt) == 0)
+                        .reads([halt])
                         .output_arc(vm.wl_pending, 1)
                         .done()?;
                 }
@@ -326,6 +330,11 @@ pub(crate) fn build_model(
                 .map(|(_, v)| v)
                 .collect();
             let members_gate = members.clone();
+            let dispatch_reads: Vec<PlaceId> =
+                [halt, vm.wl_pending, vm.blocked, vm.ready_count, vm.window]
+                    .into_iter()
+                    .chain(members.iter().map(|v| v.status))
+                    .collect();
             let load_dist = spec.load.clone();
             let sync_p = spec.sync_probability;
             let sync_every = spec.sync_every;
@@ -342,6 +351,7 @@ pub(crate) fn build_model(
                             .iter()
                             .any(|v| m.tokens(v.status) == VcpuStatus::Ready.to_token())
                 })
+                .reads(dispatch_reads)
                 .output_gate("dispatch", move |m, rng| {
                     let Some(v) = members
                         .iter()

@@ -145,15 +145,21 @@ impl SanSystem {
         let mut spin = Vec::with_capacity(config.total_vcpus());
         for (g, v) in layout.vcpus.iter().copied().enumerate() {
             let id = config.vcpu_ids()[g];
-            avail.push(sim.add_rate_reward(format!("availability {id}"), move |m| {
-                f64::from(m.tokens(v.status) >= 1)
-            }));
-            util.push(sim.add_rate_reward(format!("utilization {id}"), move |m| {
-                f64::from(m.tokens(v.status) == 2)
-            }));
-            spin.push(sim.add_rate_reward(format!("spin {id}"), move |m| {
-                f64::from(m.tokens(v.spinning) == 1)
-            }));
+            avail.push(sim.add_rate_reward_with_reads(
+                format!("availability {id}"),
+                [v.status],
+                move |m| f64::from(m.tokens(v.status) >= 1),
+            ));
+            util.push(sim.add_rate_reward_with_reads(
+                format!("utilization {id}"),
+                [v.status],
+                move |m| f64::from(m.tokens(v.status) == 2),
+            ));
+            spin.push(sim.add_rate_reward_with_reads(
+                format!("spin {id}"),
+                [v.spinning],
+                move |m| f64::from(m.tokens(v.spinning) == 1),
+            ));
         }
         let putil = layout
             .pcpus
@@ -161,7 +167,7 @@ impl SanSystem {
             .copied()
             .enumerate()
             .map(|(p, place)| {
-                sim.add_rate_reward(format!("PCPU {p} utilization"), move |m| {
+                sim.add_rate_reward_with_reads(format!("PCPU {p} utilization"), [place], move |m| {
                     f64::from(m.tokens(place) > 0)
                 })
             })
@@ -251,6 +257,14 @@ impl SanSystem {
     /// Restarts the metric observation windows (warm-up deletion).
     pub fn reset_metrics(&mut self) {
         self.sim.reset_rewards();
+    }
+
+    /// Switches the underlying simulator between incremental reevaluation
+    /// (the default) and the full-rescan reference mode. Both modes are
+    /// bit-identical by construction; the toggle exists so differential
+    /// checkers and the perf harness can compare them.
+    pub fn set_full_rescan(&mut self, on: bool) {
+        self.sim.set_full_rescan(on);
     }
 
     /// The three paper metrics over the current observation window.

@@ -266,6 +266,33 @@ fn determinism_per_seed() {
 }
 
 #[test]
+fn paper_model_has_fully_declared_read_sets() {
+    // Every guard / rate closure in the paper model declares its read-set,
+    // so no activity should land on the conservative always-revisit list —
+    // the incremental reevaluation path covers the whole model.
+    let cfg = config(2, &[2, 2, 1]);
+    let analysis =
+        crate::san_model::build_analysis_model(&cfg, PolicyKind::RoundRobin.create()).unwrap();
+    assert_eq!(
+        analysis.model.conservative_activities().count(),
+        0,
+        "paper model must have no undeclared (conservative) activities"
+    );
+}
+
+#[test]
+fn incremental_and_full_rescan_agree_on_paper_model() {
+    let run = |full: bool| {
+        let cfg = config(2, &[2, 1]);
+        let mut sys = SanSystem::new(cfg, PolicyKind::Sedf { period: 100 }.create(), 77).unwrap();
+        sys.set_full_rescan(full);
+        sys.run(1_500).unwrap();
+        sys.metrics()
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
 fn reset_metrics_restarts_window() {
     let cfg = config(1, &[1]);
     let mut sys = SanSystem::new(cfg, Box::new(RoundRobin::new()), 12).unwrap();

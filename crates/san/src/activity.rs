@@ -3,7 +3,7 @@
 use vsched_des::Dist;
 
 use crate::gate::{InputGate, OutputGate};
-use crate::marking::{Marking, PlaceId};
+use crate::marking::{Marking, PlaceId, ReadSet};
 
 /// Handle to an activity in a model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -67,8 +67,10 @@ impl Timing {
     }
 }
 
-/// Marking-dependent case-weight function.
-pub type WeightFn = Box<dyn Fn(&Marking) -> Vec<f64>>;
+/// Marking-dependent case-weight function: fills `out` (cleared by the
+/// caller) with one weight per case. The buffer-filling shape lets the
+/// simulator reuse one scratch allocation across all completions.
+pub type WeightFn = Box<dyn Fn(&Marking, &mut Vec<f64>)>;
 
 /// Marking-dependent rate-multiplier function.
 pub type RateFn = Box<dyn Fn(&Marking) -> f64>;
@@ -112,6 +114,13 @@ pub struct ActivitySpec {
     /// marking-dependent rates): the sampled delay is divided by this
     /// factor at activation; a non-positive factor disables the activity.
     pub(crate) rate_fn: Option<RateFn>,
+    /// Places the rate multiplier declares it reads (enablement-relevant:
+    /// a non-positive multiplier disables the activity).
+    pub(crate) rate_reads: ReadSet,
+    /// Places the dynamic case-weight function declares it reads. Weights
+    /// are only evaluated while this very activity fires, so this is
+    /// analysis metadata — it does not enter the dependency index.
+    pub(crate) weight_reads: ReadSet,
 }
 
 impl std::fmt::Debug for ActivitySpec {
@@ -217,6 +226,43 @@ impl ActivitySpec {
             CaseWeights::Dynamic(_) => None,
         }
     }
+
+    /// Every place [`ActivitySpec::enabled`] may read — input-arc places,
+    /// declared guard-predicate reads, and declared rate-multiplier reads —
+    /// sorted and deduplicated. `None` if any enablement closure (a gate
+    /// predicate, or the rate multiplier) left its read-set undeclared: the
+    /// activity is then *conservative* and must be revisited after every
+    /// state change.
+    #[must_use]
+    pub fn enablement_reads(&self) -> Option<Vec<PlaceId>> {
+        let mut out: Vec<PlaceId> = self.input_arcs.iter().map(|&(p, _)| p).collect();
+        for gate in &self.input_gates {
+            out.extend_from_slice(gate.reads.as_declared()?);
+        }
+        if self.rate_fn.is_some() {
+            out.extend_from_slice(self.rate_reads.as_declared()?);
+        }
+        out.sort_unstable();
+        out.dedup();
+        Some(out)
+    }
+
+    /// The rate multiplier's declared read-set.
+    #[must_use]
+    pub fn rate_reads(&self) -> &ReadSet {
+        &self.rate_reads
+    }
+
+    /// The dynamic case-weight function's declared read-set.
+    #[must_use]
+    pub fn weight_reads(&self) -> &ReadSet {
+        &self.weight_reads
+    }
+
+    /// The input gates' declared read-sets, as `(gate name, reads)` pairs.
+    pub fn input_gate_reads(&self) -> impl Iterator<Item = (&str, &ReadSet)> {
+        self.input_gates.iter().map(|g| (g.name(), g.reads()))
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +284,8 @@ mod tests {
             cases: vec![CaseSpec::default()],
             case_weights: CaseWeights::Fixed(vec![1.0]),
             rate_fn: None,
+            rate_reads: ReadSet::All,
+            weight_reads: ReadSet::All,
         }
     }
 
@@ -274,5 +322,30 @@ mod tests {
         let s = spec(vec![], vec![]);
         let d = format!("{s:?}");
         assert!(d.contains("Instantaneous"));
+    }
+
+    #[test]
+    fn enablement_reads_requires_every_closure_declared() {
+        // Arc-only activity: fully declared by construction.
+        let s = spec(vec![(PlaceId(0), 1), (PlaceId(0), 2)], vec![]);
+        assert_eq!(s.enablement_reads(), Some(vec![PlaceId(0)]));
+
+        // Undeclared guard: conservative.
+        let s = spec(vec![(PlaceId(0), 1)], vec![InputGate::guard("g", |_| true)]);
+        assert_eq!(s.enablement_reads(), None);
+
+        // Declared guard: union of arcs and guard reads, sorted + deduped.
+        let s = spec(
+            vec![(PlaceId(2), 1)],
+            vec![InputGate::guard("g", |_| true).with_reads([PlaceId(1), PlaceId(2)])],
+        );
+        assert_eq!(s.enablement_reads(), Some(vec![PlaceId(1), PlaceId(2)]));
+
+        // Undeclared rate multiplier: conservative.
+        let mut s = spec(vec![], vec![]);
+        s.rate_fn = Some(Box::new(|_| 1.0));
+        assert_eq!(s.enablement_reads(), None);
+        s.rate_reads = ReadSet::Declared(vec![PlaceId(3)]);
+        assert_eq!(s.enablement_reads(), Some(vec![PlaceId(3)]));
     }
 }

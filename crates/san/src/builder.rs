@@ -8,8 +8,43 @@ use vsched_des::{Dist, Xoshiro256StarStar};
 use crate::activity::{ActivityId, ActivitySpec, CaseSpec, CaseWeights, RateFn, Timing, WeightFn};
 use crate::error::SanError;
 use crate::gate::{InputGate, OutputGate};
-use crate::marking::{Marking, PlaceId};
+use crate::marking::{Marking, PlaceId, ReadSet};
 use crate::record::RecordRef;
+
+/// Place → dependent-activity index computed at [`ModelBuilder::build`] time
+/// from input arcs and declared read-sets. The simulator's incremental
+/// reevaluation visits `dependents[p]` for each dirty place `p`, plus every
+/// `conservative` activity.
+pub(crate) struct EnableIndex {
+    /// Per place: activities whose enablement may depend on it, ascending.
+    pub(crate) dependents: Vec<Vec<u32>>,
+    /// Activities with an undeclared enablement closure, ascending — the
+    /// conservative fallback, revisited after every firing.
+    pub(crate) conservative: Vec<u32>,
+}
+
+impl EnableIndex {
+    fn build(num_places: usize, activities: &[ActivitySpec]) -> Self {
+        let mut dependents = vec![Vec::new(); num_places];
+        let mut conservative = Vec::new();
+        for (i, act) in activities.iter().enumerate() {
+            match act.enablement_reads() {
+                // `enablement_reads` is sorted and deduplicated, and `i` is
+                // ascending, so every `dependents[p]` ends up ascending too.
+                Some(places) => {
+                    for p in places {
+                        dependents[p.index()].push(i as u32);
+                    }
+                }
+                None => conservative.push(i as u32),
+            }
+        }
+        EnableIndex {
+            dependents,
+            conservative,
+        }
+    }
+}
 
 /// A complete, validated SAN model ready for simulation.
 ///
@@ -20,6 +55,7 @@ pub struct Model {
     pub(crate) names: Arc<Vec<String>>,
     pub(crate) initial: Vec<i64>,
     pub(crate) activities: Vec<ActivitySpec>,
+    pub(crate) enable_index: EnableIndex,
 }
 
 impl std::fmt::Debug for Model {
@@ -99,6 +135,25 @@ impl Model {
             .iter()
             .enumerate()
             .map(|(i, a)| (ActivityId(i), a))
+    }
+
+    /// Activities whose enablement may depend on `place` (input arc or a
+    /// declared read), in ascending index order. Conservative activities
+    /// (see [`Model::conservative_activities`]) are *not* listed here.
+    pub fn enablement_dependents(&self, place: PlaceId) -> impl Iterator<Item = ActivityId> + '_ {
+        self.enable_index.dependents[place.0]
+            .iter()
+            .map(|&i| ActivityId(i as usize))
+    }
+
+    /// Activities whose enablement read-set is undeclared — the simulator
+    /// falls back to rescanning these after every firing. A fully declared
+    /// model yields an empty iterator.
+    pub fn conservative_activities(&self) -> impl Iterator<Item = ActivityId> + '_ {
+        self.enable_index
+            .conservative
+            .iter()
+            .map(|&i| ActivityId(i as usize))
     }
 }
 
@@ -308,6 +363,10 @@ impl ModelBuilder {
             weights: Vec::new(),
             dynamic_weights: None,
             rate_fn: None,
+            rate_reads: ReadSet::All,
+            weight_reads: ReadSet::All,
+            last_closure: LastClosure::None,
+            misplaced_reads: false,
         })
     }
 
@@ -319,12 +378,26 @@ impl ModelBuilder {
     /// invariants are enforced at declaration time), but returns `Result`
     /// so future validations are non-breaking.
     pub fn build(self) -> Result<Model, SanError> {
+        let enable_index = EnableIndex::build(self.names.len(), &self.activities);
         Ok(Model {
             names: Arc::new(self.names),
             initial: self.initial,
             activities: self.activities,
+            enable_index,
         })
     }
+}
+
+/// Which closure a subsequent [`ActivityBuilder::reads`] call describes.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LastClosure {
+    None,
+    /// The most recently added input gate (guard or full gate).
+    Gate,
+    /// The most recently added output gate of the current case.
+    OutputGate,
+    Rate,
+    Weights,
 }
 
 /// Fluent definition of one activity; created by [`ModelBuilder::activity`].
@@ -338,6 +411,10 @@ pub struct ActivityBuilder<'a> {
     weights: Vec<f64>,
     dynamic_weights: Option<WeightFn>,
     rate_fn: Option<RateFn>,
+    rate_reads: ReadSet,
+    weight_reads: ReadSet,
+    last_closure: LastClosure,
+    misplaced_reads: bool,
 }
 
 impl<'a> ActivityBuilder<'a> {
@@ -345,6 +422,7 @@ impl<'a> ActivityBuilder<'a> {
     #[must_use]
     pub fn timed(mut self, dist: Dist) -> Self {
         self.timing = Timing::Timed(dist);
+        self.last_closure = LastClosure::None;
         self
     }
 
@@ -352,6 +430,7 @@ impl<'a> ActivityBuilder<'a> {
     #[must_use]
     pub fn instantaneous(mut self, priority: i32) -> Self {
         self.timing = Timing::Instantaneous { priority };
+        self.last_closure = LastClosure::None;
         self
     }
 
@@ -363,6 +442,7 @@ impl<'a> ActivityBuilder<'a> {
     #[must_use]
     pub fn rate_multiplier(mut self, f: impl Fn(&Marking) -> f64 + 'static) -> Self {
         self.rate_fn = Some(Box::new(f));
+        self.last_closure = LastClosure::Rate;
         self
     }
 
@@ -370,6 +450,7 @@ impl<'a> ActivityBuilder<'a> {
     #[must_use]
     pub fn input_arc(mut self, place: PlaceId, weight: i64) -> Self {
         self.input_arcs.push((place, weight));
+        self.last_closure = LastClosure::None;
         self
     }
 
@@ -377,6 +458,7 @@ impl<'a> ActivityBuilder<'a> {
     #[must_use]
     pub fn guard(mut self, name: &str, predicate: impl Fn(&Marking) -> bool + 'static) -> Self {
         self.input_gates.push(InputGate::guard(name, predicate));
+        self.last_closure = LastClosure::Gate;
         self
     }
 
@@ -390,6 +472,61 @@ impl<'a> ActivityBuilder<'a> {
     ) -> Self {
         self.input_gates
             .push(InputGate::new(name, predicate, function));
+        self.last_closure = LastClosure::Gate;
+        self
+    }
+
+    /// Declares the places the **immediately preceding** closure reads — a
+    /// guard or input gate's predicate, an output gate's update, a rate
+    /// multiplier, or a dynamic case-weight function:
+    ///
+    /// ```
+    /// # use vsched_san::ModelBuilder;
+    /// # let mut mb = ModelBuilder::new();
+    /// # let halt = mb.place("halt", 0)?;
+    /// # let p = mb.place("p", 1)?;
+    /// mb.activity("step")?
+    ///     .instantaneous(0)
+    ///     .input_arc(p, 1)
+    ///     .guard("not_halted", move |m| m.is_empty(halt))
+    ///     .reads([halt])
+    ///     .done()?;
+    /// # Ok::<(), vsched_san::SanError>(())
+    /// ```
+    ///
+    /// A closure without a declaration conservatively "reads everything":
+    /// still correct, but its activity is rescanned after every firing
+    /// instead of only when a declared place changes. Declarations on
+    /// enablement closures (predicates, rate multipliers) drive the
+    /// incremental simulator; declarations on fire-time closures (gate
+    /// updates, case weights) are checked by analysis tools only.
+    ///
+    /// Calling `.reads` anywhere else (or twice for one closure) is
+    /// reported as [`SanError::MisplacedReads`] by
+    /// [`ActivityBuilder::done`].
+    #[must_use]
+    pub fn reads(mut self, places: impl IntoIterator<Item = PlaceId>) -> Self {
+        let set = ReadSet::Declared(places.into_iter().collect());
+        match self.last_closure {
+            LastClosure::Gate => {
+                if let Some(g) = self.input_gates.last_mut() {
+                    g.reads = set;
+                }
+            }
+            LastClosure::OutputGate => {
+                if let Some(g) = self
+                    .cases
+                    .last_mut()
+                    .and_then(|c| c.output_gates.last_mut())
+                {
+                    g.reads = set;
+                }
+            }
+            LastClosure::Rate => self.rate_reads = set,
+            LastClosure::Weights => self.weight_reads = set,
+            LastClosure::None => self.misplaced_reads = true,
+        }
+        self.last_closure = LastClosure::None;
         self
     }
 
@@ -399,13 +536,31 @@ impl<'a> ActivityBuilder<'a> {
     pub fn case(mut self, weight: f64) -> Self {
         self.cases.push(CaseSpec::default());
         self.weights.push(weight);
+        self.last_closure = LastClosure::None;
         self
     }
 
     /// Replaces fixed case weights with a marking-dependent weight function.
+    ///
+    /// Convenience wrapper over [`ActivityBuilder::dynamic_case_weights_into`]
+    /// for closures that return a fresh `Vec` (the returned weights are
+    /// copied into the simulator's scratch buffer each completion).
     #[must_use]
-    pub fn dynamic_case_weights(mut self, f: impl Fn(&Marking) -> Vec<f64> + 'static) -> Self {
+    pub fn dynamic_case_weights(self, f: impl Fn(&Marking) -> Vec<f64> + 'static) -> Self {
+        self.dynamic_case_weights_into(move |m, out| out.extend_from_slice(&f(m)))
+    }
+
+    /// Replaces fixed case weights with a marking-dependent weight function
+    /// that fills a caller-provided buffer — the allocation-free form the
+    /// simulator calls with a reused scratch `Vec` (cleared before each
+    /// call; push one weight per case).
+    #[must_use]
+    pub fn dynamic_case_weights_into(
+        mut self,
+        f: impl Fn(&Marking, &mut Vec<f64>) + 'static,
+    ) -> Self {
         self.dynamic_weights = Some(Box::new(f));
+        self.last_closure = LastClosure::Weights;
         self
     }
 
@@ -422,6 +577,7 @@ impl<'a> ActivityBuilder<'a> {
     #[must_use]
     pub fn output_arc(mut self, place: PlaceId, weight: i64) -> Self {
         self.current_case().output_arcs.push((place, weight));
+        self.last_closure = LastClosure::None;
         self
     }
 
@@ -435,6 +591,7 @@ impl<'a> ActivityBuilder<'a> {
         self.current_case()
             .output_gates
             .push(OutputGate::new(name, function));
+        self.last_closure = LastClosure::OutputGate;
         self
     }
 
@@ -443,8 +600,15 @@ impl<'a> ActivityBuilder<'a> {
     /// # Errors
     ///
     /// * [`SanError::InvalidArcWeight`] for non-positive arc weights,
-    /// * [`SanError::InvalidCaseWeight`] for non-positive fixed case weights.
+    /// * [`SanError::InvalidCaseWeight`] for non-positive fixed case weights,
+    /// * [`SanError::MisplacedReads`] if a `.reads(...)` call did not
+    ///   immediately follow a closure-accepting builder call.
     pub fn done(mut self) -> Result<ActivityId, SanError> {
+        if self.misplaced_reads {
+            return Err(SanError::MisplacedReads {
+                activity: self.name,
+            });
+        }
         if self.cases.is_empty() {
             self.cases.push(CaseSpec::default());
             self.weights.push(1.0);
@@ -482,6 +646,8 @@ impl<'a> ActivityBuilder<'a> {
             cases: self.cases,
             case_weights,
             rate_fn: self.rate_fn,
+            rate_reads: self.rate_reads,
+            weight_reads: self.weight_reads,
         });
         Ok(id)
     }
@@ -630,6 +796,85 @@ mod tests {
         assert!(model.activity_by_name("nope").is_none());
         assert_eq!(model.num_places(), 1);
         assert_eq!(model.num_activities(), 1);
+    }
+
+    #[test]
+    fn reads_attaches_to_preceding_closure() {
+        let mut mb = ModelBuilder::new();
+        let p = mb.place("p", 1).unwrap();
+        let q = mb.place("q", 0).unwrap();
+        let id = mb
+            .activity("a")
+            .unwrap()
+            .guard("g", move |m| m.tokens(q) == 0)
+            .reads([q])
+            .input_arc(p, 1)
+            .done()
+            .unwrap();
+        let model = mb.build().unwrap();
+        let spec = model.activity(id);
+        assert_eq!(spec.enablement_reads(), Some(vec![p, q]));
+        assert_eq!(model.conservative_activities().count(), 0);
+        let deps: Vec<_> = model.enablement_dependents(q).collect();
+        assert_eq!(deps, vec![id]);
+    }
+
+    #[test]
+    fn misplaced_reads_rejected() {
+        let mut mb = ModelBuilder::new();
+        let p = mb.place("p", 1).unwrap();
+        let err = mb
+            .activity("a")
+            .unwrap()
+            .input_arc(p, 1)
+            .reads([p])
+            .done()
+            .unwrap_err();
+        assert!(matches!(err, SanError::MisplacedReads { .. }));
+
+        // A second .reads for the same closure is also misplaced.
+        let err = mb
+            .activity("b")
+            .unwrap()
+            .guard("g", |_| true)
+            .reads([p])
+            .reads([p])
+            .done()
+            .unwrap_err();
+        assert!(matches!(err, SanError::MisplacedReads { .. }));
+    }
+
+    #[test]
+    fn undeclared_closure_is_conservative() {
+        let mut mb = ModelBuilder::new();
+        let p = mb.place("p", 1).unwrap();
+        let a = mb
+            .activity("a")
+            .unwrap()
+            .guard("g", |_| true)
+            .input_arc(p, 1)
+            .done()
+            .unwrap();
+        let model = mb.build().unwrap();
+        let conservative: Vec<_> = model.conservative_activities().collect();
+        assert_eq!(conservative, vec![a]);
+        assert_eq!(
+            model.enablement_dependents(p).count(),
+            0,
+            "conservative activities are not indexed per place"
+        );
+    }
+
+    #[test]
+    fn dependency_index_is_ascending_per_place() {
+        let mut mb = ModelBuilder::new();
+        let p = mb.place("p", 4).unwrap();
+        for name in ["a", "b", "c"] {
+            mb.activity(name).unwrap().input_arc(p, 1).done().unwrap();
+        }
+        let model = mb.build().unwrap();
+        let deps: Vec<usize> = model.enablement_dependents(p).map(|a| a.index()).collect();
+        assert_eq!(deps, vec![0, 1, 2]);
     }
 
     #[test]

@@ -62,6 +62,13 @@ pub enum SanError {
         /// The configured state cap.
         limit: usize,
     },
+    /// `.reads(...)` was called where no immediately preceding closure
+    /// (guard, input/output gate, rate multiplier, or dynamic case weights)
+    /// can accept a read-set declaration.
+    MisplacedReads {
+        /// Activity being built when the misplaced declaration occurred.
+        activity: String,
+    },
 }
 
 impl fmt::Display for SanError {
@@ -98,6 +105,11 @@ impl fmt::Display for SanError {
             SanError::StateSpaceExceeded { limit } => {
                 write!(f, "state space exceeds the configured limit of {limit} states")
             }
+            SanError::MisplacedReads { activity } => write!(
+                f,
+                "activity `{activity}`: .reads(...) must immediately follow the closure it describes \
+                 (guard, input/output gate, rate multiplier, or dynamic case weights)"
+            ),
         }
     }
 }

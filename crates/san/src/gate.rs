@@ -8,7 +8,7 @@
 
 use vsched_des::Xoshiro256StarStar;
 
-use crate::marking::Marking;
+use crate::marking::{Marking, PlaceId, ReadSet};
 
 /// Enabling predicate of an input gate.
 pub type Predicate = Box<dyn Fn(&Marking) -> bool>;
@@ -27,6 +27,10 @@ pub struct InputGate {
     pub(crate) name: String,
     pub(crate) predicate: Predicate,
     pub(crate) function: Option<GateFn>,
+    /// Places the *predicate* declares it reads. Drives the simulator's
+    /// dependency index: an undeclared predicate makes the activity's
+    /// enablement conservative (revisited after every firing).
+    pub(crate) reads: ReadSet,
 }
 
 impl std::fmt::Debug for InputGate {
@@ -42,6 +46,10 @@ impl std::fmt::Debug for InputGate {
 pub struct OutputGate {
     pub(crate) name: String,
     pub(crate) function: GateFn,
+    /// Places the update function declares it reads. Writes are observed
+    /// through dirty-place tracking, so this is analysis metadata only —
+    /// it does not affect the dependency index.
+    pub(crate) reads: ReadSet,
 }
 
 impl std::fmt::Debug for OutputGate {
@@ -59,6 +67,7 @@ impl InputGate {
             name: name.into(),
             predicate: Box::new(predicate),
             function: None,
+            reads: ReadSet::All,
         }
     }
 
@@ -72,7 +81,21 @@ impl InputGate {
             name: name.into(),
             predicate: Box::new(predicate),
             function: Some(Box::new(function)),
+            reads: ReadSet::All,
         }
+    }
+
+    /// Declares the places the predicate reads (builder form).
+    #[must_use]
+    pub fn with_reads(mut self, places: impl IntoIterator<Item = PlaceId>) -> Self {
+        self.reads = ReadSet::Declared(places.into_iter().collect());
+        self
+    }
+
+    /// The predicate's declared read-set.
+    #[must_use]
+    pub fn reads(&self) -> &ReadSet {
+        &self.reads
     }
 
     /// Gate name (for diagnostics).
@@ -91,7 +114,21 @@ impl OutputGate {
         OutputGate {
             name: name.into(),
             function: Box::new(function),
+            reads: ReadSet::All,
         }
+    }
+
+    /// Declares the places the update function reads (builder form).
+    #[must_use]
+    pub fn with_reads(mut self, places: impl IntoIterator<Item = PlaceId>) -> Self {
+        self.reads = ReadSet::Declared(places.into_iter().collect());
+        self
+    }
+
+    /// The update function's declared read-set.
+    #[must_use]
+    pub fn reads(&self) -> &ReadSet {
+        &self.reads
     }
 
     /// Gate name (for diagnostics).

@@ -83,7 +83,7 @@ pub use builder::{ActivityBuilder, Model, ModelBuilder};
 pub use error::SanError;
 pub use experiment::{run_replicated, run_replicated_jobs, ExperimentResult};
 pub use gate::{GateFn, Predicate};
-pub use marking::{Marking, PlaceId};
+pub use marking::{Marking, PlaceId, ReadSet};
 pub use numerical::{solve_steady_state, solve_transient, CtmcOptions, CtmcSolution};
 pub use record::RecordRef;
 pub use reward::RewardId;

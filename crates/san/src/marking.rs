@@ -26,6 +26,39 @@ impl PlaceId {
     }
 }
 
+/// The set of places a closure declares it reads.
+///
+/// Guards, gate functions, rate multipliers, dynamic case weights and rate
+/// rewards are opaque closures; a declared read-set makes their data
+/// dependencies visible so the simulator can reevaluate only the activities
+/// and rewards a state change can actually affect. A closure without a
+/// declaration conservatively [`ReadSet::All`]s — correct, just slower.
+#[derive(Debug, Clone, Default)]
+pub enum ReadSet {
+    /// Conservative fallback: the closure may read any place.
+    #[default]
+    All,
+    /// The closure reads only the listed places.
+    Declared(Vec<PlaceId>),
+}
+
+impl ReadSet {
+    /// Whether the read-set was explicitly declared.
+    #[must_use]
+    pub fn is_declared(&self) -> bool {
+        matches!(self, ReadSet::Declared(_))
+    }
+
+    /// The declared places, or `None` for the conservative fallback.
+    #[must_use]
+    pub fn as_declared(&self) -> Option<&[PlaceId]> {
+        match self {
+            ReadSet::All => None,
+            ReadSet::Declared(places) => Some(places),
+        }
+    }
+}
+
 /// The marking (token assignment) of every place in a model.
 ///
 /// Token counts are `i64` for arithmetic convenience, but the SAN invariant —
@@ -36,6 +69,12 @@ impl PlaceId {
 pub struct Marking {
     tokens: Vec<i64>,
     names: Arc<Vec<String>>,
+    /// First-touch-ordered log of places whose token count changed since the
+    /// last [`Marking::clear_dirty`]; only populated while tracking is on.
+    dirty: Vec<usize>,
+    /// Membership flags for `dirty` (one per place); empty while tracking is
+    /// off so untracked markings pay nothing but a branch per mutation.
+    dirty_flags: Vec<bool>,
 }
 
 impl Marking {
@@ -44,6 +83,39 @@ impl Marking {
         Marking {
             tokens: initial,
             names,
+            dirty: Vec::new(),
+            dirty_flags: Vec::new(),
+        }
+    }
+
+    /// Switches on dirty-place tracking: from now on every mutation that
+    /// changes a token count records the place. Used by the simulator's
+    /// incremental reevaluation core.
+    pub(crate) fn enable_dirty_tracking(&mut self) {
+        self.dirty_flags = vec![false; self.tokens.len()];
+    }
+
+    /// Places whose token count changed since the last clear, in first-touch
+    /// order. Empty while tracking is off.
+    pub(crate) fn dirty(&self) -> &[usize] {
+        &self.dirty
+    }
+
+    /// Forgets all recorded dirty places.
+    pub(crate) fn clear_dirty(&mut self) {
+        for &i in &self.dirty {
+            self.dirty_flags[i] = false;
+        }
+        self.dirty.clear();
+    }
+
+    #[inline]
+    fn record_touch(&mut self, idx: usize) {
+        if let Some(flag) = self.dirty_flags.get_mut(idx) {
+            if !*flag {
+                *flag = true;
+                self.dirty.push(idx);
+            }
         }
     }
 
@@ -64,7 +136,10 @@ impl Marking {
             "cannot set place `{}` to negative marking {count}",
             self.names[place.0]
         );
-        self.tokens[place.0] = count;
+        if self.tokens[place.0] != count {
+            self.tokens[place.0] = count;
+            self.record_touch(place.0);
+        }
     }
 
     /// Adds `delta` tokens (may be negative).
@@ -80,7 +155,10 @@ impl Marking {
             self.names[place.0],
             self.tokens[place.0]
         );
-        self.tokens[place.0] = new;
+        if delta != 0 {
+            self.tokens[place.0] = new;
+            self.record_touch(place.0);
+        }
     }
 
     /// Whether `place` holds at least `count` tokens.
@@ -176,6 +254,36 @@ mod tests {
         let s = format!("{m:?}");
         assert!(s.contains("p1"));
         assert!(!s.contains("p0"));
+    }
+
+    #[test]
+    fn dirty_tracking_records_changes_once() {
+        let mut m = marking(&[1, 2, 3]);
+        assert!(m.dirty().is_empty(), "tracking off: nothing recorded");
+        m.set(PlaceId(0), 5);
+        assert!(m.dirty().is_empty());
+        m.enable_dirty_tracking();
+        m.set(PlaceId(0), 5); // no-op write: value unchanged
+        m.add(PlaceId(1), 0); // no-op delta
+        assert!(m.dirty().is_empty(), "unchanged values are not dirty");
+        m.add(PlaceId(1), 1);
+        m.set(PlaceId(2), 0);
+        m.add(PlaceId(1), -1);
+        assert_eq!(m.dirty(), &[1, 2], "first-touch order, no duplicates");
+        m.clear_dirty();
+        assert!(m.dirty().is_empty());
+        m.set(PlaceId(2), 7);
+        assert_eq!(m.dirty(), &[2], "tracking resumes after clear");
+    }
+
+    #[test]
+    fn read_set_accessors() {
+        let all = ReadSet::All;
+        assert!(!all.is_declared());
+        assert!(all.as_declared().is_none());
+        let declared = ReadSet::Declared(vec![PlaceId(3)]);
+        assert!(declared.is_declared());
+        assert_eq!(declared.as_declared(), Some(&[PlaceId(3)][..]));
     }
 
     #[test]

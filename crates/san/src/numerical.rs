@@ -386,7 +386,9 @@ impl Explorer<'_> {
                 // pre-state (the simulator evaluates them after the input
                 // side; for gate-free models these agree — dynamic-weight
                 // models with input-gate functions should be simulated).
-                f(marking)
+                let mut w = Vec::new();
+                f(marking, &mut w);
+                w
             }
         };
         let total: f64 = weights.iter().sum();

@@ -5,8 +5,8 @@ use vsched_des::{EventId, EventQueue, RngStreams, SimTime, Xoshiro256StarStar};
 use crate::activity::{ActivityId, CaseWeights, Timing};
 use crate::builder::Model;
 use crate::error::SanError;
-use crate::marking::Marking;
-use crate::reward::{ImpulseReward, RateReward, RewardId};
+use crate::marking::{Marking, PlaceId, ReadSet};
+use crate::reward::{ImpulseReward, RateReward, RewardFn, RewardId};
 
 /// Priority offset that makes instantaneous activities preempt timed ones
 /// scheduled at the same instant.
@@ -29,9 +29,22 @@ pub struct RunStats {
 ///   sampled completion is discarded.
 /// * **Completion** atomically runs input-gate functions, consumes input
 ///   arcs, selects a case, produces output arcs and runs the case's output
-///   gates; then all activities are re-evaluated.
+///   gates; then the affected activities are re-evaluated.
 /// * Instantaneous activities complete before any timed activity scheduled
 ///   at the same instant, higher priority first, FIFO among equals.
+///
+/// ## Incremental reevaluation
+///
+/// By default, after each completion only the activities whose enablement
+/// can depend on a place the completion actually changed are re-examined
+/// (plus the fired activity and any activity with an undeclared enablement
+/// closure — see [`crate::ModelBuilder`] and
+/// [`crate::ActivityBuilder::reads`]). Visits happen in ascending activity
+/// index order, exactly the order of the full rescan with the no-op checks
+/// removed, so the result — every marking, statistic, event id and RNG
+/// draw — is bit-identical to [`Simulator::set_full_rescan`] mode. The
+/// same filtering applies to rate-reward recomputation (reward functions
+/// are pure functions of the marking).
 ///
 /// See the crate-level documentation for an end-to-end example.
 pub struct Simulator {
@@ -48,10 +61,29 @@ pub struct Simulator {
     case_rngs: Vec<Xoshiro256StarStar>,
     gate_rng: Xoshiro256StarStar,
     rate_rewards: Vec<RateReward>,
+    /// Instant (as `f64`) up to which every rate-reward accumulator has
+    /// been advanced. Completions at exactly this instant skip the
+    /// accumulator loop: the update would add `0.0 * value`, a bit-exact
+    /// no-op for finite reward values.
+    reward_clock: f64,
+    /// Per place: rate rewards whose declared read-set contains it,
+    /// ascending (mirror of the model's place → activity index).
+    reward_dependents: Vec<Vec<u32>>,
+    /// Rate rewards with undeclared read-sets — recomputed every firing.
+    reward_conservative: Vec<u32>,
     impulse_rewards: Vec<ImpulseReward>,
     /// Guard against models whose instantaneous activities loop forever.
     max_zero_advance: u64,
     started: bool,
+    /// Debug/differential mode: rescan every activity and reward after
+    /// every completion instead of using the dependency index.
+    full_rescan: bool,
+    /// Scratch: candidate activity indices for incremental reevaluation.
+    eval_scratch: Vec<u32>,
+    /// Scratch: candidate reward indices for incremental recomputation.
+    reward_scratch: Vec<u32>,
+    /// Scratch buffer for dynamic case weights (reused across completions).
+    weight_scratch: Vec<f64>,
     stats: RunStats,
 }
 
@@ -72,7 +104,8 @@ impl Simulator {
     pub fn new(model: Model, seed: u64) -> Self {
         let streams = RngStreams::new(seed);
         let n = model.num_activities();
-        let marking = model.initial_marking();
+        let mut marking = model.initial_marking();
+        marking.enable_dirty_tracking();
         Simulator {
             marking,
             time: SimTime::ZERO,
@@ -83,12 +116,33 @@ impl Simulator {
             case_rngs: (0..n).map(|i| streams.stream(20_000 + i as u64)).collect(),
             gate_rng: streams.stream(1),
             rate_rewards: Vec::new(),
+            reward_clock: 0.0,
+            reward_dependents: vec![Vec::new(); model.num_places()],
+            reward_conservative: Vec::new(),
             impulse_rewards: Vec::new(),
             max_zero_advance: 1_000_000,
             started: false,
+            full_rescan: false,
+            eval_scratch: Vec::new(),
+            reward_scratch: Vec::new(),
+            weight_scratch: Vec::new(),
             stats: RunStats::default(),
             model,
         }
+    }
+
+    /// Switches between incremental reevaluation (default, `false`) and the
+    /// full per-completion rescan. The two modes are bit-identical by
+    /// construction; the rescan is kept as the debug/differential reference
+    /// that `vsched-check` compares against on every fuzz case.
+    pub fn set_full_rescan(&mut self, on: bool) {
+        self.full_rescan = on;
+    }
+
+    /// Whether the full per-completion rescan is in force.
+    #[must_use]
+    pub fn full_rescan(&self) -> bool {
+        self.full_rescan
     }
 
     /// Caps the number of completions tolerated without time advancing
@@ -132,23 +186,61 @@ impl Simulator {
 
     /// Registers a rate reward `f`; its time average over the observation
     /// window is available through [`Simulator::rate_reward_average`].
+    ///
+    /// The reward's read-set is undeclared, so `f` is conservatively
+    /// re-evaluated after every completion; prefer
+    /// [`Simulator::add_rate_reward_with_reads`] when the places `f` reads
+    /// are known.
     pub fn add_rate_reward(
         &mut self,
         name: impl Into<String>,
         f: impl Fn(&Marking) -> f64 + 'static,
     ) -> RewardId {
+        self.push_rate_reward(name.into(), Box::new(f), ReadSet::All)
+    }
+
+    /// Registers a rate reward that declares the places it reads: `f` is
+    /// then only re-evaluated when a completion changes one of them (reward
+    /// functions must be pure functions of the marking, so an unchanged
+    /// read-set implies an unchanged value).
+    pub fn add_rate_reward_with_reads(
+        &mut self,
+        name: impl Into<String>,
+        reads: impl IntoIterator<Item = PlaceId>,
+        f: impl Fn(&Marking) -> f64 + 'static,
+    ) -> RewardId {
+        self.push_rate_reward(
+            name.into(),
+            Box::new(f),
+            ReadSet::Declared(reads.into_iter().collect()),
+        )
+    }
+
+    fn push_rate_reward(&mut self, name: String, f: RewardFn, reads: ReadSet) -> RewardId {
+        let id = self.rate_rewards.len();
+        match &reads {
+            ReadSet::All => self.reward_conservative.push(id as u32),
+            ReadSet::Declared(places) => {
+                let mut places: Vec<usize> = places.iter().map(|p| p.index()).collect();
+                places.sort_unstable();
+                places.dedup();
+                for p in places {
+                    self.reward_dependents[p].push(id as u32);
+                }
+            }
+        }
         let current = f(&self.marking);
         let mut acc = vsched_stats::TimeWeighted::new(self.time.as_f64());
         // If registered mid-run, the accumulator starts "now"; if registered
         // before the first event it starts at zero — both are correct.
         acc.reset(self.time.as_f64());
         self.rate_rewards.push(RateReward {
-            name: name.into(),
-            f: Box::new(f),
+            name,
+            f,
             acc,
             current,
         });
-        RewardId(self.rate_rewards.len() - 1)
+        RewardId(id)
     }
 
     /// Registers an impulse reward earned at each completion of `activity`.
@@ -212,6 +304,7 @@ impl Simulator {
     /// ```
     pub fn reset_rewards(&mut self) {
         let now = self.time.as_f64();
+        self.reward_clock = now;
         for r in &mut self.rate_rewards {
             r.acc.reset(now);
             r.current = (r.f)(&self.marking);
@@ -236,7 +329,10 @@ impl Simulator {
         let t_end = SimTime::new(t_end);
         if !self.started {
             self.started = true;
-            self.reevaluate();
+            // The first evaluation considers everything in both modes.
+            for idx in 0..self.model.activities.len() {
+                self.reevaluate_one(idx);
+            }
         }
         let mut run = RunStats::default();
         let mut last_time = self.time;
@@ -265,8 +361,11 @@ impl Simulator {
         // Advance the clock and the reward windows to the horizon.
         self.time = self.time.max(t_end);
         let now = self.time.as_f64();
-        for r in &mut self.rate_rewards {
-            r.acc.update(now, r.current);
+        if now > self.reward_clock {
+            for r in &mut self.rate_rewards {
+                r.acc.update(now, r.current);
+            }
+            self.reward_clock = now;
         }
         self.stats.completions += run.completions;
         run.aborts = self.stats.aborts;
@@ -284,11 +383,22 @@ impl Simulator {
         );
 
         // Rate rewards: close the interval that ends now, at the value the
-        // signal held since the previous state change.
+        // signal held since the previous state change. When this completion
+        // shares its instant with the previous update (instantaneous
+        // cascades within one tick), every accumulator would add exactly
+        // `0.0 * value` — a bit-exact no-op for finite values (`integral`
+        // can never be `-0.0`: it starts at `+0.0` and no finite sum
+        // rounds to `-0.0`), so the whole loop is skipped.
         let now = self.time.as_f64();
-        for r in &mut self.rate_rewards {
-            r.acc.update(now, r.current);
+        if now > self.reward_clock {
+            for r in &mut self.rate_rewards {
+                r.acc.update(now, r.current);
+            }
+            self.reward_clock = now;
         }
+
+        // From here on, record exactly the places this completion touches.
+        self.marking.clear_dirty();
 
         let act = &mut self.model.activities[idx];
 
@@ -307,14 +417,15 @@ impl Simulator {
             CaseWeights::Fixed(w) if w.len() == 1 => 0,
             CaseWeights::Fixed(w) => pick_case(w, &mut self.case_rngs[idx], &act.name),
             CaseWeights::Dynamic(f) => {
-                let w = f(&self.marking);
+                self.weight_scratch.clear();
+                f(&self.marking, &mut self.weight_scratch);
                 assert_eq!(
-                    w.len(),
+                    self.weight_scratch.len(),
                     act.cases.len(),
                     "dynamic case weights of `{}` must match case count",
                     act.name
                 );
-                pick_case(&w, &mut self.case_rngs[idx], &act.name)
+                pick_case(&self.weight_scratch, &mut self.case_rngs[idx], &act.name)
             }
         };
         // 4. Produce output arcs.
@@ -334,42 +445,99 @@ impl Simulator {
             }
         }
 
-        // Rate rewards: the signal takes its new value from now on.
-        for r in &mut self.rate_rewards {
-            r.current = (r.f)(&self.marking);
+        // Rate rewards: the signal takes its new value from now on. Reward
+        // functions are pure, so in incremental mode only rewards that may
+        // read a touched place can have a new value; the time-integral
+        // updates above are skipped only when zero time has elapsed (a
+        // bit-exact no-op), and both modes share that rule, so the
+        // accumulation grouping stays identical between modes.
+        if self.full_rescan {
+            for r in &mut self.rate_rewards {
+                r.current = (r.f)(&self.marking);
+            }
+        } else {
+            self.reward_scratch.clear();
+            for &p in self.marking.dirty() {
+                self.reward_scratch
+                    .extend_from_slice(&self.reward_dependents[p]);
+            }
+            self.reward_scratch
+                .extend_from_slice(&self.reward_conservative);
+            self.reward_scratch.sort_unstable();
+            self.reward_scratch.dedup();
+            for &ri in &self.reward_scratch {
+                let r = &mut self.rate_rewards[ri as usize];
+                r.current = (r.f)(&self.marking);
+            }
         }
 
-        self.reevaluate();
+        self.reevaluate(idx);
     }
 
     /// Activates newly enabled activities, aborts newly disabled ones, and
     /// reactivates rate-scaled activities whose multiplier changed (for
     /// exponential delays this is exactly the CTMC race semantics; for
     /// other distributions it is the defined reactivation policy).
-    fn reevaluate(&mut self) {
-        for idx in 0..self.model.activities.len() {
-            let enabled = self.model.activities[idx].enabled(&self.marking);
-            match (enabled, self.scheduled[idx]) {
-                (true, None) => self.activate(idx),
-                (false, Some(ev)) => {
-                    self.queue.cancel(ev);
-                    self.scheduled[idx] = None;
-                    self.stats.aborts += 1;
-                }
-                (true, Some(ev)) => {
-                    let act = &self.model.activities[idx];
-                    if act.rate_fn.is_some() {
-                        let k = act.rate_multiplier(&self.marking);
-                        if (k - self.activation_rate[idx]).abs() > f64::EPSILON * k.abs() {
-                            self.queue.cancel(ev);
-                            self.scheduled[idx] = None;
-                            self.stats.aborts += 1;
-                            self.activate(idx);
-                        }
+    ///
+    /// Incremental mode visits only the activities whose enablement can
+    /// depend on a place the completion changed, plus every conservative
+    /// (undeclared-read-set) activity, plus `fired` itself (its completion
+    /// was just consumed, so it must be re-examined even if no place it
+    /// reads changed). Visits are in ascending activity-index order — a
+    /// subsequence of the full rescan from which only provable no-ops are
+    /// missing (unchanged reads ⇒ unchanged `enabled()` and multiplier ⇒
+    /// no queue operation, no RNG draw), so both modes schedule the same
+    /// events with the same ids and consume the same random numbers.
+    fn reevaluate(&mut self, fired: usize) {
+        if self.full_rescan {
+            for idx in 0..self.model.activities.len() {
+                self.reevaluate_one(idx);
+            }
+            return;
+        }
+        let mut cand = std::mem::take(&mut self.eval_scratch);
+        cand.clear();
+        for &p in self.marking.dirty() {
+            cand.extend_from_slice(&self.model.enable_index.dependents[p]);
+        }
+        cand.extend_from_slice(&self.model.enable_index.conservative);
+        cand.push(fired as u32);
+        cand.sort_unstable();
+        cand.dedup();
+        for &idx in &cand {
+            self.reevaluate_one(idx as usize);
+        }
+        self.eval_scratch = cand;
+    }
+
+    /// The per-activity body of [`Simulator::reevaluate`].
+    fn reevaluate_one(&mut self, idx: usize) {
+        let enabled = self.model.activities[idx].enabled(&self.marking);
+        match (enabled, self.scheduled[idx]) {
+            (true, None) => self.activate(idx),
+            (false, Some(ev)) => {
+                self.queue.cancel(ev);
+                self.scheduled[idx] = None;
+                self.stats.aborts += 1;
+            }
+            (true, Some(ev)) => {
+                let act = &self.model.activities[idx];
+                if act.rate_fn.is_some() {
+                    let k = act.rate_multiplier(&self.marking);
+                    let old = self.activation_rate[idx];
+                    // Symmetric relative-or-absolute tolerance: the earlier
+                    // bound `EPSILON * k.abs()` collapses to ~0 for tiny k,
+                    // so re-reading an unchanged near-zero rate registered
+                    // as a change and forced a spurious resample.
+                    if (k - old).abs() > f64::EPSILON * k.abs().max(old.abs()).max(1.0) {
+                        self.queue.cancel(ev);
+                        self.scheduled[idx] = None;
+                        self.stats.aborts += 1;
+                        self.activate(idx);
                     }
                 }
-                (false, None) => {}
             }
+            (false, None) => {}
         }
     }
 
@@ -439,7 +607,8 @@ impl Model {
             CaseWeights::Fixed(w) if w.len() == 1 => 0,
             CaseWeights::Fixed(w) => try_pick_case(w, rng)?,
             CaseWeights::Dynamic(f) => {
-                let w = f(marking);
+                let mut w = Vec::new();
+                f(marking, &mut w);
                 if w.len() != spec.cases.len() {
                     return None;
                 }
@@ -899,5 +1068,209 @@ mod tests {
         assert_eq!(sim.marking().tokens(p), 5);
         sim.run_until(12.0).unwrap();
         assert_eq!(sim.marking().tokens(p), 12);
+    }
+
+    /// A model exercising every closure kind — declared guards, an input
+    /// gate with a function, output gates, dynamic case weights, and a
+    /// rate-scaled activity — used by the incremental/full comparison.
+    fn mixed_model() -> Model {
+        let mut mb = ModelBuilder::new();
+        let queue = mb.place("queue", 0).unwrap();
+        let served = mb.place("served", 0).unwrap();
+        let vip = mb.place("vip", 0).unwrap();
+        let toggle = mb.place("toggle", 1).unwrap();
+        let log = mb.place("log", 0).unwrap();
+        mb.activity("arrive")
+            .unwrap()
+            .timed(Dist::exponential(1.0).unwrap())
+            .guard("cap", move |m| m.tokens(queue) < 50)
+            .reads([queue])
+            .output_arc(queue, 1)
+            .done()
+            .unwrap();
+        mb.activity("serve")
+            .unwrap()
+            .timed(Dist::exponential(2.0).unwrap())
+            .rate_multiplier(move |m| m.tokens(queue).min(3) as f64)
+            .reads([queue])
+            .input_arc(queue, 1)
+            .case(1.0)
+            .output_arc(served, 1)
+            .case(1.0)
+            .output_arc(vip, 1)
+            .output_gate("note", move |m, _| m.add(log, 1))
+            .reads([])
+            .dynamic_case_weights_into(move |m, out| {
+                out.push(1.0 + m.tokens(toggle) as f64);
+                out.push(1.0);
+            })
+            .reads([toggle])
+            .done()
+            .unwrap();
+        mb.activity("flip")
+            .unwrap()
+            .timed(Dist::deterministic(3.0).unwrap())
+            .input_gate(
+                "flip_ig",
+                move |m| m.tokens(served) > 0,
+                move |m, _| {
+                    let t = m.tokens(toggle);
+                    m.set(toggle, 1 - t);
+                },
+            )
+            .reads([served])
+            .input_arc(served, 1)
+            .done()
+            .unwrap();
+        mb.build().unwrap()
+    }
+
+    #[test]
+    fn incremental_matches_full_rescan_bit_for_bit() {
+        let mut inc = Simulator::new(mixed_model(), 99);
+        let mut full = Simulator::new(mixed_model(), 99);
+        full.set_full_rescan(true);
+        assert!(!inc.full_rescan());
+        assert!(full.full_rescan());
+        let queue = inc.model().place_by_name("queue").unwrap();
+        let r_inc = inc.add_rate_reward_with_reads("q", [queue], move |m| m.tokens(queue) as f64);
+        let r_full = full.add_rate_reward("q", move |m| m.tokens(queue) as f64);
+        for horizon in [3.0, 7.5, 40.0, 200.0] {
+            inc.run_until(horizon).unwrap();
+            full.run_until(horizon).unwrap();
+            assert_eq!(inc.marking().as_slice(), full.marking().as_slice());
+            assert_eq!(inc.stats(), full.stats());
+            assert_eq!(
+                inc.rate_reward_average(r_inc).to_bits(),
+                full.rate_reward_average(r_full).to_bits(),
+                "reward averages must be bit-identical at t={horizon}"
+            );
+        }
+        assert!(inc.stats().completions > 50, "model actually ran");
+    }
+
+    #[test]
+    fn undeclared_guard_falls_back_to_conservative_rescan() {
+        // `watcher`'s guard reads `flag`, which only an output *gate* of
+        // `writer` touches — no arc connects them. With the guard's
+        // read-set undeclared the activity must be revisited after every
+        // firing (conservative fallback), so the enablement change is
+        // still observed.
+        let mut mb = ModelBuilder::new();
+        let tick = mb.place("tick", 3).unwrap();
+        let flag = mb.place("flag", 0).unwrap();
+        let seen = mb.place("seen", 0).unwrap();
+        mb.activity("writer")
+            .unwrap()
+            .timed(Dist::deterministic(1.0).unwrap())
+            .input_arc(tick, 1)
+            .output_gate("raise", move |m, _| m.set(flag, 1))
+            .done()
+            .unwrap();
+        mb.activity("watcher")
+            .unwrap()
+            .instantaneous(0)
+            .guard("armed", move |m| m.tokens(flag) > 0 && m.tokens(seen) == 0)
+            .output_arc(seen, 1)
+            .done()
+            .unwrap();
+        let model = mb.build().unwrap();
+        assert_eq!(
+            model.conservative_activities().count(),
+            1,
+            "undeclared guard makes `watcher` conservative"
+        );
+        let mut sim = Simulator::new(model, 5);
+        sim.run_until(10.0).unwrap();
+        assert_eq!(sim.marking().tokens(seen), 1, "enablement change caught");
+    }
+
+    #[test]
+    fn rate_reactivation_tolerance_is_absolute_near_zero() {
+        // `slow`'s multiplier jitters at the 1e-21 scale as `sink` fills —
+        // numerically the same near-zero rate. The old relative-only bound
+        // (EPSILON * k) treated every jitter as a change and resampled;
+        // the symmetric relative-or-absolute bound must not.
+        let build = |scale: f64, jitter: f64| {
+            let mut mb = ModelBuilder::new();
+            let nudge = mb.place("nudge", 5).unwrap();
+            let sink = mb.place("sink", 0).unwrap();
+            mb.activity("driver")
+                .unwrap()
+                .timed(Dist::deterministic(1.0).unwrap())
+                .input_arc(nudge, 1)
+                .output_arc(sink, 1)
+                .done()
+                .unwrap();
+            mb.activity("slow")
+                .unwrap()
+                .timed(Dist::deterministic(1.0).unwrap())
+                .rate_multiplier(move |m| scale + jitter * m.tokens(sink) as f64)
+                .reads([sink])
+                .done()
+                .unwrap();
+            mb.build().unwrap()
+        };
+        // k ≈ 1e-18: sub-epsilon jitter, no reactivation => no aborts.
+        let mut sim = Simulator::new(build(1e-18, 1e-21), 3);
+        sim.run_until(6.0).unwrap();
+        assert_eq!(sim.stats().completions, 5, "only the driver fires");
+        assert_eq!(sim.stats().aborts, 0, "near-zero jitter must not resample");
+
+        // O(1) changes still reactivate: k goes 1.0 → 2.0 at the first
+        // driver firing and stays there => exactly one abort+resample.
+        let mut mb = ModelBuilder::new();
+        let nudge = mb.place("nudge", 5).unwrap();
+        let sink = mb.place("sink", 0).unwrap();
+        let out = mb.place("out", 0).unwrap();
+        mb.activity("driver")
+            .unwrap()
+            .timed(Dist::deterministic(1.0).unwrap())
+            .input_arc(nudge, 1)
+            .output_arc(sink, 1)
+            .done()
+            .unwrap();
+        mb.activity("slow")
+            .unwrap()
+            .timed(Dist::deterministic(100.0).unwrap())
+            .rate_multiplier(move |m| if m.tokens(sink) > 0 { 2.0 } else { 1.0 })
+            .reads([sink])
+            .output_arc(out, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 3);
+        sim.run_until(6.0).unwrap();
+        assert_eq!(sim.stats().aborts, 1, "a real rate change reactivates");
+    }
+
+    #[test]
+    fn dynamic_case_weights_into_reuses_scratch() {
+        let mut mb = ModelBuilder::new();
+        let selector = mb.place("selector", 1).unwrap();
+        let a = mb.place("a", 0).unwrap();
+        let b = mb.place("b", 0).unwrap();
+        mb.activity("route")
+            .unwrap()
+            .timed(Dist::deterministic(1.0).unwrap())
+            .guard("limit", move |m| m.tokens(a) + m.tokens(b) < 100)
+            .reads([a, b])
+            .case(1.0)
+            .output_arc(a, 1)
+            .case(1.0)
+            .output_arc(b, 1)
+            .dynamic_case_weights_into(move |m, out| {
+                if m.tokens(selector) > 0 {
+                    out.extend_from_slice(&[1.0, 0.0]);
+                } else {
+                    out.extend_from_slice(&[0.0, 1.0]);
+                }
+            })
+            .reads([selector])
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 5);
+        sim.run_until(200.0).unwrap();
+        assert_eq!(sim.marking().tokens(a), 100, "selector forces case 0");
+        assert_eq!(sim.marking().tokens(b), 0);
     }
 }
