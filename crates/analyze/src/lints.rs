@@ -122,6 +122,16 @@ pub const STALE_READ_SET: LintDef = LintDef {
                 incremental reevaluation core would skip a reevaluation the closure \
                 needs, silently diverging from full-rescan semantics",
 };
+/// `stale-write-set`: a declared write-set misses a place the gate
+/// actually writes.
+pub const STALE_WRITE_SET: LintDef = LintDef {
+    name: "stale-write-set",
+    severity: Severity::Error,
+    rationale: "an observed incidence column touches a place outside the gate's declared \
+                write-set — shard derivation would place the activity in a shard that \
+                does not own the place, and a parallel batch could fire it concurrently \
+                with the place's true owner",
+};
 /// `inert-policy`: the policy never assigns.
 pub const INERT_POLICY: LintDef = LintDef {
     name: "inert-policy",
@@ -143,6 +153,7 @@ pub const CATALOGUE: &[LintDef] = &[
     UNDECLARED_FIELD_READ,
     INVALID_DECISION,
     STALE_READ_SET,
+    STALE_WRITE_SET,
     INERT_POLICY,
 ];
 

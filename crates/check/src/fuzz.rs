@@ -72,6 +72,8 @@ pub struct FuzzReport {
     pub metamorphic_mismatches: usize,
     /// SAN incremental-vs-full-rescan divergences.
     pub incremental_divergences: usize,
+    /// SAN sequential-vs-sharded divergences.
+    pub sharded_divergences: usize,
     /// Outright run errors.
     pub errors: usize,
     /// The shrunk failures, in case order.
@@ -91,13 +93,14 @@ impl FuzzReport {
         format!(
             "fuzz: {} cases, {} lint findings, {} invariant violations, \
              {} differential mismatches, {} metamorphic mismatches, \
-             {} incremental divergences, {} errors",
+             {} incremental divergences, {} sharded divergences, {} errors",
             self.cases,
             self.lint_findings,
             self.invariant_violations,
             self.differential_mismatches,
             self.metamorphic_mismatches,
             self.incremental_divergences,
+            self.sharded_divergences,
             self.errors
         )
     }
@@ -127,6 +130,7 @@ pub fn run_fuzz(opts: &FuzzOpts) -> Result<FuzzReport, CheckError> {
         differential_mismatches: 0,
         metamorphic_mismatches: 0,
         incremental_divergences: 0,
+        sharded_divergences: 0,
         errors: 0,
         failures: Vec::new(),
     };
@@ -142,6 +146,7 @@ pub fn run_fuzz(opts: &FuzzOpts) -> Result<FuzzReport, CheckError> {
                 FailureKind::Differential => report.differential_mismatches += 1,
                 FailureKind::Metamorphic => report.metamorphic_mismatches += 1,
                 FailureKind::Incremental => report.incremental_divergences += 1,
+                FailureKind::Sharded => report.sharded_divergences += 1,
                 FailureKind::Error => report.errors += 1,
             }
         }

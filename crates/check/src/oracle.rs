@@ -1,7 +1,7 @@
 //! The differential and metamorphic oracle: decides whether one fuzz
 //! case passes.
 //!
-//! Six independent verdicts feed [`run_case`]:
+//! Seven independent verdicts feed [`run_case`]:
 //!
 //! 0. **Lint** — the static analyzer (`vsched-analyze`, quick budget)
 //!    examines the case's built SAN model and policy before anything is
@@ -32,6 +32,10 @@
 //!    reevaluation core must be bit-identical to the full-rescan
 //!    reference mode on the same seed (final marking, run statistics,
 //!    and every metric's bit pattern).
+//! 6. **Sharded** — the SAN engine's intra-replication sharding (derived
+//!    conflict-free per-VM shards fired in parallel) must be
+//!    bit-identical to the sequential engine on the same seed, by the
+//!    same three comparisons as the incremental verdict.
 //!
 //! Tolerances are calibrated so a 200-case run makes ~6000 comparisons
 //! with a near-zero false-positive budget; see [`OracleOpts`].
@@ -62,6 +66,9 @@ pub enum FailureKind {
     /// The SAN engine's incremental reevaluation core diverged from the
     /// full-rescan reference mode on the same seed.
     Incremental,
+    /// The SAN engine's sharded (parallel intra-replication) mode
+    /// diverged from the sequential engine on the same seed.
+    Sharded,
     /// A run errored outright (bad config, engine failure).
     Error,
 }
@@ -74,6 +81,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::Differential => "differential",
             FailureKind::Metamorphic => "metamorphic",
             FailureKind::Incremental => "incremental",
+            FailureKind::Sharded => "sharded",
             FailureKind::Error => "error",
         };
         f.write_str(s)
@@ -143,6 +151,10 @@ pub struct OracleOpts {
     /// final marking, run statistics, and every metric to be
     /// bit-identical — the incremental core's headline correctness claim.
     pub check_incremental: bool,
+    /// Run the SAN engine once sequentially (`shards = 1`) and once with
+    /// intra-replication sharding (`shards = 4`), and require bit-identical
+    /// results — the sharded engine's headline correctness claim.
+    pub check_sharded: bool,
 }
 
 impl Default for OracleOpts {
@@ -157,6 +169,7 @@ impl Default for OracleOpts {
             check_parallel_determinism: true,
             check_metamorphic: true,
             check_incremental: true,
+            check_sharded: true,
         }
     }
 }
@@ -272,6 +285,10 @@ pub fn run_case(case: &FuzzCase, opts: &OracleOpts) -> CaseOutcome {
 
     if opts.check_incremental {
         failures.extend(incremental_check(&config, case));
+    }
+
+    if opts.check_sharded {
+        failures.extend(sharded_check(&config, case));
     }
 
     CaseOutcome {
@@ -414,6 +431,74 @@ fn incremental_check(config: &SystemConfig, case: &FuzzCase) -> Vec<Failure> {
             failures
         }
         (ra, rb) => [("incremental", ra), ("full-rescan", rb)]
+            .into_iter()
+            .filter_map(|(name, r)| {
+                r.err().map(|e| Failure {
+                    kind: FailureKind::Error,
+                    detail: format!("{name} SAN run: {e}"),
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Sequential-vs-sharded differential on the SAN engine: the same case
+/// and seed run once with `shards = 1` (the sequential event loop) and
+/// once with `shards = 4` (conflict-free per-VM shards fired in parallel
+/// with a deterministic merge). Bit-identity is the sharded engine's
+/// contract — shard derivation is provably conflict-free and the merge
+/// replays sequential order — so *any* divergence in the final marking,
+/// the run statistics, or any metric's bit pattern is a bug in the shard
+/// plan, the batch protocol, or a gate's declared footprint.
+fn sharded_check(config: &SystemConfig, case: &FuzzCase) -> Vec<Failure> {
+    let ticks = case.warmup + case.horizon;
+    let run = |shards: usize| {
+        let mut sys = SanSystem::new(config.clone(), case.policy.create(), case.seed)?;
+        sys.set_shards(shards);
+        sys.run(ticks)?;
+        let m = sys.metrics();
+        let bits: Vec<u64> = m
+            .vcpu_availability
+            .iter()
+            .chain(&m.vcpu_utilization)
+            .chain(&m.pcpu_utilization)
+            .chain(&m.vcpu_spin)
+            .map(|v| v.to_bits())
+            .collect();
+        Ok::<_, CoreError>((
+            sys.simulator().marking().as_slice().to_vec(),
+            sys.simulator().stats(),
+            bits,
+        ))
+    };
+    match (run(1), run(4)) {
+        (Ok(seq), Ok(sharded)) => {
+            let mut failures = Vec::new();
+            if seq.0 != sharded.0 {
+                failures.push(Failure {
+                    kind: FailureKind::Sharded,
+                    detail: "final marking differs between sequential and sharded modes".into(),
+                });
+            }
+            if seq.1 != sharded.1 {
+                failures.push(Failure {
+                    kind: FailureKind::Sharded,
+                    detail: format!(
+                        "run statistics differ: sequential {:?} vs sharded {:?}",
+                        seq.1, sharded.1
+                    ),
+                });
+            }
+            if seq.2 != sharded.2 {
+                failures.push(Failure {
+                    kind: FailureKind::Sharded,
+                    detail: "metric bit patterns differ between sequential and sharded modes"
+                        .into(),
+                });
+            }
+            failures
+        }
+        (ra, rb) => [("sequential", ra), ("sharded", rb)]
             .into_iter()
             .filter_map(|(name, r)| {
                 r.err().map(|e| Failure {

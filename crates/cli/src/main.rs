@@ -36,6 +36,7 @@ USAGE:
                 [--seed <S>] [--fixture broken]
     vsched perf [--out <report.json>] [--ticks <N>] [--seed <S>]
                 [--baseline <report.json>] [--max-regression <X>]
+                [--max-vms <N>] [--shards <N,N,...>]
     vsched example
     vsched help
 
@@ -64,8 +65,12 @@ COMMANDS:
     perf      Time the SAN engine's incremental reevaluation core against
               its full-rescan reference mode across a model-size scaling
               axis (1 to 16 VMs), verify both modes end bit-identical,
-              and report events/sec and speedup per size. With a baseline
-              report, exit non-zero on a large throughput regression.
+              and report events/sec and speedup per size; then time the
+              large-model scale axis (64/256/1024 VMs), sequential vs
+              the sharded engine, verify bit-identity, and report each
+              run's real-time factor (simulated seconds per wall second
+              at 30 ms per tick). With a baseline report, exit non-zero
+              on a large throughput regression.
     example   Print a commented starter config to stdout.
 
 OPTIONS (run):
@@ -116,6 +121,12 @@ OPTIONS (perf):
                            full rescan fell more than X-fold below the
                            baseline's (default 2.0). Compares the
                            same-run ratio, so machine speed cancels out.
+    --max-vms <N>          Cap the large-model scale axis (64/256/1024
+                           VMs) at N VMs; below 64 the axis is skipped
+                           entirely (default 1024).
+    --shards <N,N,...>     Shard worker counts to time on the scale
+                           axis, each >= 2 (default 4). The sequential
+                           engine always runs as the reference.
 
 The config format is documented in the vsched-cli crate docs; `vsched
 example > exp.json` is the quickest start. The paper campaign lives at
@@ -415,6 +426,30 @@ fn perf(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--max-vms" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => opts.max_vms = n,
+                _ => {
+                    eprintln!("error: --max-vms requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shards" => {
+                let parsed: Option<Vec<usize>> = it
+                    .next()
+                    .and_then(|list| {
+                        list.split(',')
+                            .map(|n| n.trim().parse::<usize>().ok().filter(|&s| s >= 2))
+                            .collect()
+                    })
+                    .filter(|v: &Vec<usize>| !v.is_empty());
+                match parsed {
+                    Some(shards) => opts.shards = shards,
+                    None => {
+                        eprintln!("error: --shards requires a comma-separated list of counts >= 2");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             p => {
                 eprintln!("error: unexpected argument `{p}`");
                 return ExitCode::FAILURE;

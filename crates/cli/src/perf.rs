@@ -18,6 +18,16 @@
 //! Every cell also cross-checks that both modes end bit-identical
 //! (final marking and metrics) — a free differential pass on exactly
 //! the configurations being timed.
+//!
+//! A second, *large-model* scale axis (64/256/1024 VMs, capped by
+//! `--max-vms`) times the sequential engine against the intra-replication
+//! sharded engine at each `--shards` worker count, verifies sharded runs
+//! end bit-identical to sequential, and reports each run's real-time
+//! factor: one clock period models a 30 ms timeslice, so
+//! `rtf = ticks × 0.03 / wall_seconds`, and `rtf > 1` means the cell
+//! simulates faster than the virtualized hardware it models would run.
+//! Full rescan is skipped on this axis — it is O(activities) per event
+//! and exists as a reference mode, not a contender at 1024 VMs.
 
 use std::path::Path;
 use std::time::Instant;
@@ -25,6 +35,9 @@ use std::time::Instant;
 use serde_json::{json, Value};
 use vsched_core::san_model::SanSystem;
 use vsched_core::{PolicyKind, SystemConfig};
+
+/// Simulated seconds per clock period: the paper's 30 ms timeslice.
+pub const TICK_SECONDS: f64 = 0.03;
 
 /// Knobs of one perf run.
 #[derive(Debug, Clone)]
@@ -36,6 +49,12 @@ pub struct PerfOpts {
     /// Timed repetitions per (size, mode) cell; the fastest is reported,
     /// which filters out scheduler/allocator jitter on shared runners.
     pub repeats: usize,
+    /// Largest VM count on the large-model scale axis (64/256/1024 VMs,
+    /// cells above this cap are dropped; below 64 the axis is empty).
+    pub max_vms: usize,
+    /// Shard worker counts to time on the scale axis; the sequential
+    /// engine always runs as the reference.
+    pub shards: Vec<usize>,
 }
 
 impl Default for PerfOpts {
@@ -44,6 +63,8 @@ impl Default for PerfOpts {
             ticks: 2_000,
             seed: 42,
             repeats: 5,
+            max_vms: 1024,
+            shards: vec![4],
         }
     }
 }
@@ -80,6 +101,52 @@ pub struct PerfCase {
     pub identical: bool,
 }
 
+/// One sharded timing on a scale-axis cell.
+#[derive(Debug, Clone)]
+pub struct ShardSample {
+    /// Worker count passed to the engine.
+    pub shards: usize,
+    /// The sharded run's numbers.
+    pub sample: ModeSample,
+    /// Real-time factor: simulated seconds per wall-clock second.
+    pub rtf: f64,
+    /// Whether the sharded run ended bit-identical to sequential.
+    pub identical: bool,
+}
+
+/// One (model size) cell of the large-model scale axis.
+#[derive(Debug, Clone)]
+pub struct ScaleCase {
+    /// Case label (`"256vm"`).
+    pub name: String,
+    /// VMs in the model (2 VCPUs each).
+    pub vms: usize,
+    /// Total VCPUs.
+    pub vcpus: usize,
+    /// PCPUs.
+    pub pcpus: usize,
+    /// Ticks per timed run on this cell (scaled down for big models so
+    /// the event count per cell stays roughly constant along the axis).
+    pub ticks: u64,
+    /// The sequential engine's numbers (the bit-identity reference).
+    pub sequential: ModeSample,
+    /// The sequential run's real-time factor.
+    pub sequential_rtf: f64,
+    /// One entry per `--shards` worker count.
+    pub sharded: Vec<ShardSample>,
+}
+
+impl ScaleCase {
+    /// The best real-time factor any mode achieved on this cell.
+    #[must_use]
+    pub fn best_rtf(&self) -> f64 {
+        self.sharded
+            .iter()
+            .map(|s| s.rtf)
+            .fold(self.sequential_rtf, f64::max)
+    }
+}
+
 /// The whole harness result.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -89,13 +156,29 @@ pub struct PerfReport {
     pub repeats: usize,
     /// All cells, smallest model first.
     pub cases: Vec<PerfCase>,
+    /// The large-model scale axis, smallest model first (empty when
+    /// `max_vms < 64`).
+    pub scale_cases: Vec<ScaleCase>,
 }
 
 impl PerfReport {
-    /// Whether every cell's two modes ended bit-identical.
+    /// Whether every cell's modes ended bit-identical — incremental vs
+    /// full rescan on the small axis, sharded vs sequential on the scale
+    /// axis.
     #[must_use]
     pub fn all_identical(&self) -> bool {
         self.cases.iter().all(|c| c.identical)
+            && self
+                .scale_cases
+                .iter()
+                .all(|c| c.sharded.iter().all(|s| s.identical))
+    }
+
+    /// The best real-time factor on the largest scale-axis cell, or
+    /// `None` when the scale axis is empty.
+    #[must_use]
+    pub fn rtf_at_largest(&self) -> Option<f64> {
+        self.scale_cases.last().map(ScaleCase::best_rtf)
     }
 
     /// Speedup of the largest model on the axis.
@@ -136,6 +219,37 @@ impl PerfReport {
                     .collect()
             ),
             "speedup_at_largest": self.speedup_at_largest(),
+            "tick_seconds": TICK_SECONDS,
+            "scale_cases": Value::Seq(
+                self.scale_cases
+                    .iter()
+                    .map(|c| {
+                        json!({
+                            "name": c.name.clone(),
+                            "vms": c.vms,
+                            "vcpus": c.vcpus,
+                            "pcpus": c.pcpus,
+                            "ticks": c.ticks,
+                            "sequential": sample(&c.sequential),
+                            "sequential_rtf": c.sequential_rtf,
+                            "sharded": Value::Seq(
+                                c.sharded
+                                    .iter()
+                                    .map(|s| {
+                                        json!({
+                                            "shards": s.shards,
+                                            "sample": sample(&s.sample),
+                                            "rtf": s.rtf,
+                                            "identical": s.identical,
+                                        })
+                                    })
+                                    .collect()
+                            ),
+                        })
+                    })
+                    .collect()
+            ),
+            "rtf_at_largest": self.rtf_at_largest(),
         })
     }
 
@@ -160,6 +274,31 @@ impl PerfReport {
                 c.speedup,
                 if c.identical { "yes" } else { "NO" },
             );
+        }
+        if !self.scale_cases.is_empty() {
+            let _ = writeln!(
+                out,
+                "scale: sequential vs sharded engine, rtf = simulated seconds \
+                 per wall second (tick = {} ms)",
+                TICK_SECONDS * 1000.0
+            );
+            for c in &self.scale_cases {
+                let _ = writeln!(
+                    out,
+                    "  {:>6}: {:>5} ticks, {:>10.0} ev/s sequential (rtf {:.2})",
+                    c.name, c.ticks, c.sequential.events_per_sec, c.sequential_rtf,
+                );
+                for s in &c.sharded {
+                    let _ = writeln!(
+                        out,
+                        "          shards={}: {:>10.0} ev/s (rtf {:.2}), identical: {}",
+                        s.shards,
+                        s.sample.events_per_sec,
+                        s.rtf,
+                        if s.identical { "yes" } else { "NO" },
+                    );
+                }
+            }
         }
         out
     }
@@ -195,12 +334,38 @@ fn fingerprint(sys: &SanSystem) -> (Vec<i64>, Vec<u64>) {
     (sys.simulator().marking().as_slice().to_vec(), bits)
 }
 
-fn timed_once(vms: usize, full: bool, opts: &PerfOpts) -> (ModeSample, (Vec<i64>, Vec<u64>)) {
+/// The large-model scale axis, capped by `max_vms`.
+fn scale_axis(max_vms: usize) -> Vec<(String, usize)> {
+    [64usize, 256, 1024]
+        .into_iter()
+        .filter(|&vms| vms <= max_vms)
+        .map(|vms| (format!("{vms}vm"), vms))
+        .collect()
+}
+
+/// Ticks per scale-axis cell: scaled down with model size so the event
+/// count per cell stays roughly constant along the axis (the event rate
+/// grows about linearly in VMs), keeping the harness's wall time flat.
+fn scale_ticks(vms: usize, base: u64) -> u64 {
+    (base * 16 / vms as u64).max(25)
+}
+
+/// One engine mode of one cell: `full` switches on full rescan,
+/// `shards >= 2` switches on the sharded engine (the two are never
+/// combined by the callers).
+fn timed_once(
+    vms: usize,
+    ticks: u64,
+    full: bool,
+    shards: usize,
+    opts: &PerfOpts,
+) -> (ModeSample, (Vec<i64>, Vec<u64>)) {
     let mut sys = SanSystem::new(config(vms), PolicyKind::RoundRobin.create(), opts.seed)
         .expect("perf model builds");
     sys.set_full_rescan(full);
+    sys.set_shards(shards);
     let start = Instant::now();
-    sys.run(opts.ticks).expect("perf run");
+    sys.run(ticks).expect("perf run");
     let seconds = start.elapsed().as_secs_f64();
     let events = sys.simulator().stats().completions;
     let sample = ModeSample {
@@ -217,10 +382,16 @@ fn timed_once(vms: usize, full: bool, opts: &PerfOpts) -> (ModeSample, (Vec<i64>
 
 /// Best of `opts.repeats` runs. Every repetition is the same deterministic
 /// simulation, so the fingerprint is checked to be stable across them.
-fn timed_run(vms: usize, full: bool, opts: &PerfOpts) -> (ModeSample, (Vec<i64>, Vec<u64>)) {
-    let (mut best, fp) = timed_once(vms, full, opts);
+fn timed_run(
+    vms: usize,
+    ticks: u64,
+    full: bool,
+    shards: usize,
+    opts: &PerfOpts,
+) -> (ModeSample, (Vec<i64>, Vec<u64>)) {
+    let (mut best, fp) = timed_once(vms, ticks, full, shards, opts);
     for _ in 1..opts.repeats.max(1) {
-        let (sample, fp_again) = timed_once(vms, full, opts);
+        let (sample, fp_again) = timed_once(vms, ticks, full, shards, opts);
         assert_eq!(fp, fp_again, "perf run is not deterministic");
         if sample.events_per_sec > best.events_per_sec {
             best = sample;
@@ -229,7 +400,17 @@ fn timed_run(vms: usize, full: bool, opts: &PerfOpts) -> (ModeSample, (Vec<i64>,
     (best, fp)
 }
 
-/// Runs the whole scaling axis, both modes per size.
+/// Real-time factor of a run covering `ticks` clock periods.
+fn rtf(ticks: u64, sample: &ModeSample) -> f64 {
+    if sample.seconds > 0.0 {
+        ticks as f64 * TICK_SECONDS / sample.seconds
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Runs the whole scaling axis, both modes per size, then the
+/// large-model scale axis, sequential plus every `opts.shards` count.
 #[must_use]
 pub fn run_perf(opts: &PerfOpts) -> PerfReport {
     let cases = scaling_axis()
@@ -238,8 +419,8 @@ pub fn run_perf(opts: &PerfOpts) -> PerfReport {
             // Full-rescan first, then incremental: if something is badly
             // wrong with the dependency index, the reference number is
             // already in hand when the comparison trips.
-            let (full, fp_full) = timed_run(vms, true, opts);
-            let (incremental, fp_inc) = timed_run(vms, false, opts);
+            let (full, fp_full) = timed_run(vms, opts.ticks, true, 0, opts);
+            let (incremental, fp_inc) = timed_run(vms, opts.ticks, false, 0, opts);
             PerfCase {
                 name,
                 vms,
@@ -252,10 +433,42 @@ pub fn run_perf(opts: &PerfOpts) -> PerfReport {
             }
         })
         .collect();
+    let scale_cases = scale_axis(opts.max_vms)
+        .into_iter()
+        .map(|(name, vms)| {
+            let ticks = scale_ticks(vms, opts.ticks);
+            let (sequential, fp_seq) = timed_run(vms, ticks, false, 0, opts);
+            let sharded = opts
+                .shards
+                .iter()
+                .filter(|&&s| s >= 2)
+                .map(|&shards| {
+                    let (sample, fp) = timed_run(vms, ticks, false, shards, opts);
+                    ShardSample {
+                        shards,
+                        rtf: rtf(ticks, &sample),
+                        identical: fp == fp_seq,
+                        sample,
+                    }
+                })
+                .collect();
+            ScaleCase {
+                name,
+                vms,
+                vcpus: vms * 2,
+                pcpus: vms.max(2),
+                ticks,
+                sequential_rtf: rtf(ticks, &sequential),
+                sequential,
+                sharded,
+            }
+        })
+        .collect();
     PerfReport {
         ticks: opts.ticks,
         repeats: opts.repeats.max(1),
         cases,
+        scale_cases,
     }
 }
 
@@ -312,6 +525,8 @@ mod tests {
             ticks: 50,
             seed: 42,
             repeats: 1,
+            max_vms: 0,
+            shards: Vec::new(),
         }
     }
 
@@ -338,6 +553,67 @@ mod tests {
             }
         }
         assert!(v.get("speedup_at_largest").is_some());
+    }
+
+    #[test]
+    fn scale_axis_shards_are_bit_identical_and_report_rtf() {
+        let opts = PerfOpts {
+            ticks: 100,
+            seed: 42,
+            repeats: 1,
+            max_vms: 64,
+            shards: vec![2],
+        };
+        let report = run_perf(&opts);
+        assert_eq!(report.scale_cases.len(), 1);
+        let c = &report.scale_cases[0];
+        assert_eq!(
+            (c.name.as_str(), c.vms, c.vcpus, c.pcpus),
+            ("64vm", 64, 128, 64)
+        );
+        assert_eq!(c.ticks, scale_ticks(64, 100));
+        assert!(c.sequential.events > 0);
+        assert!(c.sequential_rtf > 0.0);
+        assert_eq!(c.sharded.len(), 1);
+        let s = &c.sharded[0];
+        assert_eq!(s.shards, 2);
+        assert!(s.identical, "{}", report.render_text());
+        assert_eq!(s.sample.events, c.sequential.events);
+        assert!(report.all_identical());
+        assert_eq!(report.rtf_at_largest(), Some(c.best_rtf()));
+
+        let v = report.to_json();
+        let scale = v.get("scale_cases").and_then(Value::as_array).unwrap();
+        assert_eq!(scale.len(), 1);
+        for key in [
+            "name",
+            "vms",
+            "ticks",
+            "sequential",
+            "sequential_rtf",
+            "sharded",
+        ] {
+            assert!(scale[0].get(key).is_some(), "missing {key}");
+        }
+        let sharded = scale[0].get("sharded").and_then(Value::as_array).unwrap();
+        assert!(sharded[0].get("rtf").and_then(Value::as_f64).unwrap() > 0.0);
+        assert!(v.get("rtf_at_largest").is_some());
+        assert!(report.render_text().contains("shards=2"));
+    }
+
+    #[test]
+    fn scale_axis_is_empty_below_its_smallest_cell() {
+        assert!(scale_axis(0).is_empty());
+        assert!(scale_axis(63).is_empty());
+        assert_eq!(
+            scale_axis(1024).iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![64, 256, 1024]
+        );
+        // Per-cell ticks shrink with model size but never below the floor.
+        assert_eq!(scale_ticks(64, 2_000), 500);
+        assert_eq!(scale_ticks(256, 2_000), 125);
+        assert_eq!(scale_ticks(1024, 2_000), 31);
+        assert_eq!(scale_ticks(1024, 100), 25);
     }
 
     #[test]

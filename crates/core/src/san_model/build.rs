@@ -27,8 +27,7 @@
 //! `Scheduling_Func` (20) → `WL_Generate` (12) → `Scheduling` (10) →
 //! `End_Tick` (1).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use vsched_des::Dist;
 use vsched_san::{Model, ModelBuilder, PlaceId, SanError};
@@ -59,7 +58,7 @@ pub(crate) mod priority {
 }
 
 /// Error slot shared between the `Scheduling_Func` gate and [`super::SanSystem`].
-pub(crate) type ErrorCell = Rc<RefCell<Option<CoreError>>>;
+pub(crate) type ErrorCell = Arc<Mutex<Option<CoreError>>>;
 
 /// Builds the flattened composed model. Returns the model, its place
 /// layout, and the shared error cell for policy violations.
@@ -193,6 +192,15 @@ pub(crate) fn build_model(
                             m.add(vm.ready_count, 1);
                         }
                     })
+                    .reads([v.status, v.sync_point, v.remaining_load, vm.lock_holder])
+                    .writes([
+                        v.spinning,
+                        v.remaining_load,
+                        v.status,
+                        v.sync_point,
+                        vm.lock_holder,
+                        vm.ready_count,
+                    ])
                     .done()
             })
         })?;
@@ -208,6 +216,9 @@ pub(crate) fn build_model(
             .filter(|&(g, _)| layout.vm_of(g) == k)
             .map(|(_, v)| v)
             .collect();
+        let clear_reads: Vec<PlaceId> = std::iter::once(vm.blocked)
+            .chain(members.iter().map(|v| v.remaining_load))
+            .collect();
         mb.scope(&format!("vm{k}"), |mb| {
             mb.activity("Unblock")?
                 .instantaneous(priority::UNBLOCK)
@@ -219,6 +230,8 @@ pub(crate) fn build_model(
                         m.set(vm.blocked, 0);
                     }
                 })
+                .reads(clear_reads)
+                .writes([vm.blocked])
                 .done()
         })?;
     }
@@ -243,12 +256,15 @@ pub(crate) fn build_model(
     }
 
     // ----- Scheduling_Func (Figure 6): the pluggable policy ----------------
-    let error_cell: ErrorCell = Rc::new(RefCell::new(None));
+    let error_cell: ErrorCell = Arc::new(Mutex::new(None));
     {
         let l = layout.clone();
         let cfg = config.clone();
-        let cell = Rc::clone(&error_cell);
-        let mut policy = policy;
+        let cell = Arc::clone(&error_cell);
+        // Gate closures are `Fn`; the stateful policy lives behind a lock
+        // (uncontended: `Scheduling_Func` is global, never fired on a
+        // worker thread).
+        let policy = Mutex::new(policy);
         mb.activity("Scheduling_Func")?
             .instantaneous(priority::SCHED)
             .input_arc(tick_sched, 1)
@@ -258,11 +274,12 @@ pub(crate) fn build_model(
                 let vcpus = l.vcpu_views(m, &cfg);
                 let pcpus = l.pcpu_views(m, &cfg);
                 let now = m.tokens(l.clock);
+                let mut policy = policy.lock().expect("policy lock");
                 let decision = policy.schedule(&vcpus, &pcpus, now as u64, cfg.timeslice());
                 match validate_decision(policy.name(), &vcpus, &pcpus, &decision) {
                     Ok(()) => l.apply_decision(m, &decision, now),
                     Err(e) => {
-                        *cell.borrow_mut() = Some(e);
+                        *cell.lock().expect("error cell") = Some(e);
                         m.set(l.halt, 1);
                     }
                 }
@@ -304,6 +321,8 @@ pub(crate) fn build_model(
                             m.set(vm.wl_sync, sync);
                             m.set(vm.wl_pending, 1);
                         })
+                        .reads([vm.generated])
+                        .writes([vm.generated, vm.wl_load, vm.wl_sync, vm.wl_pending])
                         .done()?;
                 }
                 Some(inter) => {
@@ -339,6 +358,23 @@ pub(crate) fn build_model(
             let sync_p = spec.sync_probability;
             let sync_every = spec.sync_every;
             let sample_at_dispatch = spec.interarrival.is_some();
+            // Declared for analysis; `Scheduling` still takes the
+            // sequential path (its `ready_count` write can enable the
+            // higher-priority `WL_Generate`, so shard derivation demotes
+            // it).
+            let dispatch_gate_reads: Vec<PlaceId> = [vm.generated, vm.wl_load, vm.wl_sync]
+                .into_iter()
+                .chain(members.iter().map(|v| v.status))
+                .collect();
+            let dispatch_writes: Vec<PlaceId> =
+                [vm.generated, vm.ready_count, vm.wl_pending, vm.blocked]
+                    .into_iter()
+                    .chain(
+                        members
+                            .iter()
+                            .flat_map(|v| [v.remaining_load, v.sync_point, v.status]),
+                    )
+                    .collect();
             mb.activity("Scheduling")?
                 .instantaneous(priority::DISPATCH)
                 .guard("can_dispatch", move |m| {
@@ -378,6 +414,8 @@ pub(crate) fn build_model(
                         m.set(vm.blocked, 1);
                     }
                 })
+                .reads(dispatch_gate_reads)
+                .writes(dispatch_writes)
                 .done()?;
 
             // The dispatch window closes at the end of the tick instant.

@@ -60,14 +60,14 @@ impl AnalysisModel {
     /// error instead of panicking).
     #[must_use]
     pub fn take_error(&self) -> Option<CoreError> {
-        self.error.borrow_mut().take()
+        self.error.lock().expect("error cell").take()
     }
 
     /// A detached probe for the same error cell — lets an analysis pass
     /// poll for policy violations while it holds `self.model` mutably.
     pub fn error_probe(&self) -> impl Fn() -> Option<CoreError> {
-        let cell = std::rc::Rc::clone(&self.error);
-        move || cell.borrow_mut().take()
+        let cell = std::sync::Arc::clone(&self.error);
+        move || cell.lock().expect("error cell").take()
     }
 }
 
@@ -186,6 +186,14 @@ impl SanSystem {
         })
     }
 
+    /// Sets the worker count for intra-replication sharding (see
+    /// [`vsched_san::Simulator::set_shards`]): `0` or `1` is the
+    /// sequential engine, `>= 2` fires conflict-free per-VM shards in
+    /// parallel with bit-identical results.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.sim.set_shards(shards);
+    }
+
     /// Attaches an end-of-tick observer (see [`crate::observe`]); replaces
     /// any previous one.
     ///
@@ -217,7 +225,7 @@ impl SanSystem {
         if self.observer.is_none() {
             self.horizon += ticks as f64;
             self.sim.run_until(self.horizon)?;
-            if let Some(e) = self.error.borrow_mut().take() {
+            if let Some(e) = self.error.lock().expect("error cell").take() {
                 return Err(e);
             }
             return Ok(());
@@ -229,7 +237,7 @@ impl SanSystem {
         for _ in 0..ticks {
             self.horizon += 1.0;
             self.sim.run_until(self.horizon)?;
-            if let Some(e) = self.error.borrow_mut().take() {
+            if let Some(e) = self.error.lock().expect("error cell").take() {
                 return Err(e);
             }
             let vcpu_views = self.vcpu_views();

@@ -393,3 +393,107 @@ fn deterministic_sync_pattern_in_san() {
         assert!((a - b).abs() < 0.02, "SAN {a} vs direct {b}");
     }
 }
+
+#[test]
+fn paper_model_shards_per_vm() {
+    let cfg = config(2, &[2, 2, 1]);
+    let sys = SanSystem::new(cfg, Box::new(RoundRobin::new()), 1).unwrap();
+    let model = sys.simulator().model();
+    let plan = vsched_san::ShardPlan::derive(model);
+    assert_eq!(plan.num_shards(), 3, "one shard per VM");
+    for k in 0..3 {
+        let unblock = model.activity_by_name(&format!("vm{k}/Unblock")).unwrap();
+        let generate = model
+            .activity_by_name(&format!("vm{k}/WL_Generate"))
+            .unwrap();
+        assert_eq!(plan.activity_shard(unblock), Some(k));
+        assert_eq!(plan.activity_shard(generate), Some(k));
+    }
+    // Sibling VCPUs share their VM's shard (spinlock hand-off within a VM
+    // is index-ordered, so siblings must never fire concurrently).
+    let p00 = model.activity_by_name("vm0/vcpu0/Processing_load").unwrap();
+    let p01 = model.activity_by_name("vm0/vcpu1/Processing_load").unwrap();
+    let p10 = model.activity_by_name("vm1/vcpu0/Processing_load").unwrap();
+    assert_eq!(plan.activity_shard(p00), Some(0));
+    assert_eq!(plan.activity_shard(p01), Some(0));
+    assert_eq!(plan.activity_shard(p10), Some(1));
+    // Cross-VM coordination stays on the sequential path: the clock is
+    // timed, `Timeslice`/`Scheduling_Func` have undeclared (whole-system)
+    // gates, and `Scheduling`/`End_Tick` can enable the higher-priority
+    // `WL_Generate` mid-batch.
+    for name in [
+        "Clock",
+        "Timeslice",
+        "Scheduling_Func",
+        "vm0/Scheduling",
+        "vm0/End_Tick",
+    ] {
+        let a = model.activity_by_name(name).unwrap();
+        assert_eq!(plan.activity_shard(a), None, "{name} must stay global");
+    }
+}
+
+#[test]
+fn sharded_run_is_bit_identical_on_paper_model() {
+    // A workload that exercises every sharded code path: barriers on one
+    // VM, spinlocks on another, plus an uneven third VM.
+    let mk = || {
+        let spin = WorkloadSpec {
+            load: Dist::Uniform {
+                low: 1.0,
+                high: 9.0,
+            },
+            sync_probability: 0.4,
+            sync_mechanism: crate::config::SyncMechanism::SpinLock,
+            sync_every: None,
+            interarrival: None,
+        };
+        let barrier = WorkloadSpec {
+            load: Dist::deterministic(4.0).unwrap(),
+            sync_probability: 0.0,
+            sync_mechanism: crate::config::SyncMechanism::Barrier,
+            sync_every: None,
+            interarrival: None,
+        }
+        .with_sync_every(3)
+        .unwrap();
+        SystemConfig::builder()
+            .pcpus(3)
+            .vm_spec(VmSpec {
+                vcpus: 2,
+                workload: spin,
+                weight: 1,
+            })
+            .vm_spec(VmSpec {
+                vcpus: 2,
+                workload: barrier,
+                weight: 1,
+            })
+            .vm_spec(VmSpec {
+                vcpus: 1,
+                workload: det_workload(6.0),
+                weight: 1,
+            })
+            .build()
+            .unwrap()
+    };
+    let mut sequential = SanSystem::new(mk(), Box::new(RoundRobin::new()), 77).unwrap();
+    sequential.run(400).unwrap();
+    let seq_metrics = sequential.metrics();
+    for shards in [2, 3, 8] {
+        let mut sharded = SanSystem::new(mk(), Box::new(RoundRobin::new()), 77).unwrap();
+        sharded.set_shards(shards);
+        sharded.run(400).unwrap();
+        assert_eq!(
+            sharded.simulator().marking().as_slice(),
+            sequential.simulator().marking().as_slice(),
+            "marking with {shards} shards"
+        );
+        let m = sharded.metrics();
+        assert_eq!(
+            m.to_observations(),
+            seq_metrics.to_observations(),
+            "metrics with {shards} shards"
+        );
+    }
+}

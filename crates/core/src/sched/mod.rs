@@ -154,7 +154,11 @@ impl ViewFields {
 /// Implementations may keep arbitrary internal state (round-robin cursors,
 /// per-VCPU skew counters, credits) across invocations; the engine calls
 /// [`SchedulingPolicy::schedule`] exactly once per clock tick.
-pub trait SchedulingPolicy {
+///
+/// `Send` is required because the built model (which owns the policy
+/// inside the `Scheduling_Func` gate closure) may be shared with shard
+/// worker threads.
+pub trait SchedulingPolicy: Send {
     /// Human-readable name used in reports and error messages.
     fn name(&self) -> &str;
 

@@ -31,12 +31,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod dist;
 pub mod error;
 pub mod event;
 pub mod rng;
 pub mod time;
 
+pub use calendar::{CalEventId, CalendarQueue};
 pub use dist::Dist;
 pub use error::DesError;
 pub use event::{EventId, EventQueue};

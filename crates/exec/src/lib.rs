@@ -40,6 +40,10 @@ use std::thread;
 
 use vsched_stats::{ReplicationController, StoppingRule};
 
+pub mod wave;
+
+pub use wave::WaveHandle;
+
 /// Resolves a jobs knob to a concrete worker count.
 ///
 /// `Some(n)` with `n >= 1` is used as-is; `None` (or `Some(0)`) selects

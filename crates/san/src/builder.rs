@@ -13,11 +13,18 @@ use crate::record::RecordRef;
 
 /// Place → dependent-activity index computed at [`ModelBuilder::build`] time
 /// from input arcs and declared read-sets. The simulator's incremental
-/// reevaluation visits `dependents[p]` for each dirty place `p`, plus every
+/// reevaluation visits `dependents(p)` for each dirty place `p`, plus every
 /// `conservative` activity.
+///
+/// Stored in CSR (offsets + one flat data array) rather than a `Vec` per
+/// place: at 1000-VM scale the per-place `Vec` headers alone cost more
+/// cache traffic than the dependent lists themselves, and the hot loop
+/// walks several lists per completion.
 pub(crate) struct EnableIndex {
-    /// Per place: activities whose enablement may depend on it, ascending.
-    pub(crate) dependents: Vec<Vec<u32>>,
+    /// `offsets[p] .. offsets[p + 1]` indexes `data` for place `p`.
+    offsets: Vec<u32>,
+    /// Dependent activity indices, ascending within each place's range.
+    data: Vec<u32>,
     /// Activities with an undeclared enablement closure, ascending — the
     /// conservative fallback, revisited after every firing.
     pub(crate) conservative: Vec<u32>,
@@ -25,24 +32,53 @@ pub(crate) struct EnableIndex {
 
 impl EnableIndex {
     fn build(num_places: usize, activities: &[ActivitySpec]) -> Self {
-        let mut dependents = vec![Vec::new(); num_places];
+        // Two passes: count per-place degrees, then fill the flat array.
+        let mut counts = vec![0u32; num_places];
         let mut conservative = Vec::new();
+        let mut reads: Vec<Option<Vec<crate::PlaceId>>> = Vec::with_capacity(activities.len());
         for (i, act) in activities.iter().enumerate() {
-            match act.enablement_reads() {
-                // `enablement_reads` is sorted and deduplicated, and `i` is
-                // ascending, so every `dependents[p]` ends up ascending too.
+            let r = act.enablement_reads();
+            match &r {
                 Some(places) => {
                     for p in places {
-                        dependents[p.index()].push(i as u32);
+                        counts[p.index()] += 1;
                     }
                 }
                 None => conservative.push(i as u32),
             }
+            reads.push(r);
+        }
+        let mut offsets = Vec::with_capacity(num_places + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            total += c;
+            offsets.push(total);
+        }
+        let mut cursor: Vec<u32> = offsets[..num_places].to_vec();
+        let mut data = vec![0u32; total as usize];
+        // `enablement_reads` is sorted and deduplicated, and `i` is
+        // ascending, so every per-place range ends up ascending too.
+        for (i, r) in reads.iter().enumerate() {
+            if let Some(places) = r {
+                for p in places {
+                    let slot = &mut cursor[p.index()];
+                    data[*slot as usize] = i as u32;
+                    *slot += 1;
+                }
+            }
         }
         EnableIndex {
-            dependents,
+            offsets,
+            data,
             conservative,
         }
+    }
+
+    /// Activities whose enablement may depend on place `p`, ascending.
+    #[inline]
+    pub(crate) fn dependents(&self, p: usize) -> &[u32] {
+        &self.data[self.offsets[p] as usize..self.offsets[p + 1] as usize]
     }
 }
 
@@ -141,7 +177,8 @@ impl Model {
     /// declared read), in ascending index order. Conservative activities
     /// (see [`Model::conservative_activities`]) are *not* listed here.
     pub fn enablement_dependents(&self, place: PlaceId) -> impl Iterator<Item = ActivityId> + '_ {
-        self.enable_index.dependents[place.0]
+        self.enable_index
+            .dependents(place.0)
             .iter()
             .map(|&i| ActivityId(i as usize))
     }
@@ -366,7 +403,10 @@ impl ModelBuilder {
             rate_reads: ReadSet::All,
             weight_reads: ReadSet::All,
             last_closure: LastClosure::None,
+            reads_done: false,
+            writes_done: false,
             misplaced_reads: false,
+            misplaced_writes: false,
         })
     }
 
@@ -414,15 +454,26 @@ pub struct ActivityBuilder<'a> {
     rate_reads: ReadSet,
     weight_reads: ReadSet,
     last_closure: LastClosure,
+    /// Whether `.reads(...)` was already attached to the last closure.
+    reads_done: bool,
+    /// Whether `.writes(...)` was already attached to the last closure.
+    writes_done: bool,
     misplaced_reads: bool,
+    misplaced_writes: bool,
 }
 
 impl<'a> ActivityBuilder<'a> {
+    fn set_closure(&mut self, lc: LastClosure) {
+        self.last_closure = lc;
+        self.reads_done = false;
+        self.writes_done = false;
+    }
+
     /// Makes the activity timed with delay distribution `dist`.
     #[must_use]
     pub fn timed(mut self, dist: Dist) -> Self {
         self.timing = Timing::Timed(dist);
-        self.last_closure = LastClosure::None;
+        self.set_closure(LastClosure::None);
         self
     }
 
@@ -430,7 +481,7 @@ impl<'a> ActivityBuilder<'a> {
     #[must_use]
     pub fn instantaneous(mut self, priority: i32) -> Self {
         self.timing = Timing::Instantaneous { priority };
-        self.last_closure = LastClosure::None;
+        self.set_closure(LastClosure::None);
         self
     }
 
@@ -440,9 +491,9 @@ impl<'a> ActivityBuilder<'a> {
     /// activity. The canonical use is an M/M/c server:
     /// `.timed(exp).rate_multiplier(move |m| m.tokens(q).min(c) as f64)`.
     #[must_use]
-    pub fn rate_multiplier(mut self, f: impl Fn(&Marking) -> f64 + 'static) -> Self {
+    pub fn rate_multiplier(mut self, f: impl Fn(&Marking) -> f64 + Send + Sync + 'static) -> Self {
         self.rate_fn = Some(Box::new(f));
-        self.last_closure = LastClosure::Rate;
+        self.set_closure(LastClosure::Rate);
         self
     }
 
@@ -450,15 +501,19 @@ impl<'a> ActivityBuilder<'a> {
     #[must_use]
     pub fn input_arc(mut self, place: PlaceId, weight: i64) -> Self {
         self.input_arcs.push((place, weight));
-        self.last_closure = LastClosure::None;
+        self.set_closure(LastClosure::None);
         self
     }
 
     /// Adds an input gate with only an enabling predicate.
     #[must_use]
-    pub fn guard(mut self, name: &str, predicate: impl Fn(&Marking) -> bool + 'static) -> Self {
+    pub fn guard(
+        mut self,
+        name: &str,
+        predicate: impl Fn(&Marking) -> bool + Send + Sync + 'static,
+    ) -> Self {
         self.input_gates.push(InputGate::guard(name, predicate));
-        self.last_closure = LastClosure::Gate;
+        self.set_closure(LastClosure::Gate);
         self
     }
 
@@ -467,12 +522,12 @@ impl<'a> ActivityBuilder<'a> {
     pub fn input_gate(
         mut self,
         name: &str,
-        predicate: impl Fn(&Marking) -> bool + 'static,
-        function: impl FnMut(&mut Marking, &mut Xoshiro256StarStar) + 'static,
+        predicate: impl Fn(&Marking) -> bool + Send + Sync + 'static,
+        function: impl Fn(&mut Marking, &mut Xoshiro256StarStar) + Send + Sync + 'static,
     ) -> Self {
         self.input_gates
             .push(InputGate::new(name, predicate, function));
-        self.last_closure = LastClosure::Gate;
+        self.set_closure(LastClosure::Gate);
         self
     }
 
@@ -506,6 +561,10 @@ impl<'a> ActivityBuilder<'a> {
     /// [`ActivityBuilder::done`].
     #[must_use]
     pub fn reads(mut self, places: impl IntoIterator<Item = PlaceId>) -> Self {
+        if self.reads_done {
+            self.misplaced_reads = true;
+            return self;
+        }
         let set = ReadSet::Declared(places.into_iter().collect());
         match self.last_closure {
             LastClosure::Gate => {
@@ -526,7 +585,54 @@ impl<'a> ActivityBuilder<'a> {
             LastClosure::Weights => self.weight_reads = set,
             LastClosure::None => self.misplaced_reads = true,
         }
-        self.last_closure = LastClosure::None;
+        // `last_closure` stays live so `.writes(...)` may follow (or
+        // precede) `.reads(...)` on the same gate.
+        self.reads_done = true;
+        self
+    }
+
+    /// Declares the places the **immediately preceding** gate function may
+    /// write — an input gate's completion function or an output gate's
+    /// update. Purely a capability declaration for shard derivation (see
+    /// [`crate::shard::ShardPlan`]): an activity whose every gate declares
+    /// its write-set can fire in parallel with activities of other shards.
+    /// Writing outside the declared set is reported by the sharded engine
+    /// as [`SanError::ShardViolation`] when it crosses a shard boundary.
+    ///
+    /// Calling `.writes` after anything that is not a gate *function* — a
+    /// plain guard, a rate multiplier, a case-weight function, a non-gate
+    /// builder call — or twice for one gate is reported as
+    /// [`SanError::MisplacedWrites`] by [`ActivityBuilder::done`].
+    #[must_use]
+    pub fn writes(mut self, places: impl IntoIterator<Item = PlaceId>) -> Self {
+        if self.writes_done {
+            self.misplaced_writes = true;
+            return self;
+        }
+        let set: Vec<PlaceId> = places.into_iter().collect();
+        match self.last_closure {
+            LastClosure::Gate => {
+                match self.input_gates.last_mut() {
+                    // A guard without a completion function writes nothing;
+                    // declaring a write-set for it is a modeling error.
+                    Some(g) if g.function.is_some() => g.writes = ReadSet::Declared(set),
+                    _ => self.misplaced_writes = true,
+                }
+            }
+            LastClosure::OutputGate => {
+                if let Some(g) = self
+                    .cases
+                    .last_mut()
+                    .and_then(|c| c.output_gates.last_mut())
+                {
+                    g.writes = ReadSet::Declared(set);
+                }
+            }
+            LastClosure::Rate | LastClosure::Weights | LastClosure::None => {
+                self.misplaced_writes = true;
+            }
+        }
+        self.writes_done = true;
         self
     }
 
@@ -536,7 +642,7 @@ impl<'a> ActivityBuilder<'a> {
     pub fn case(mut self, weight: f64) -> Self {
         self.cases.push(CaseSpec::default());
         self.weights.push(weight);
-        self.last_closure = LastClosure::None;
+        self.set_closure(LastClosure::None);
         self
     }
 
@@ -546,7 +652,10 @@ impl<'a> ActivityBuilder<'a> {
     /// for closures that return a fresh `Vec` (the returned weights are
     /// copied into the simulator's scratch buffer each completion).
     #[must_use]
-    pub fn dynamic_case_weights(self, f: impl Fn(&Marking) -> Vec<f64> + 'static) -> Self {
+    pub fn dynamic_case_weights(
+        self,
+        f: impl Fn(&Marking) -> Vec<f64> + Send + Sync + 'static,
+    ) -> Self {
         self.dynamic_case_weights_into(move |m, out| out.extend_from_slice(&f(m)))
     }
 
@@ -557,10 +666,10 @@ impl<'a> ActivityBuilder<'a> {
     #[must_use]
     pub fn dynamic_case_weights_into(
         mut self,
-        f: impl Fn(&Marking, &mut Vec<f64>) + 'static,
+        f: impl Fn(&Marking, &mut Vec<f64>) + Send + Sync + 'static,
     ) -> Self {
         self.dynamic_weights = Some(Box::new(f));
-        self.last_closure = LastClosure::Weights;
+        self.set_closure(LastClosure::Weights);
         self
     }
 
@@ -577,7 +686,7 @@ impl<'a> ActivityBuilder<'a> {
     #[must_use]
     pub fn output_arc(mut self, place: PlaceId, weight: i64) -> Self {
         self.current_case().output_arcs.push((place, weight));
-        self.last_closure = LastClosure::None;
+        self.set_closure(LastClosure::None);
         self
     }
 
@@ -586,12 +695,12 @@ impl<'a> ActivityBuilder<'a> {
     pub fn output_gate(
         mut self,
         name: &str,
-        function: impl FnMut(&mut Marking, &mut Xoshiro256StarStar) + 'static,
+        function: impl Fn(&mut Marking, &mut Xoshiro256StarStar) + Send + Sync + 'static,
     ) -> Self {
         self.current_case()
             .output_gates
             .push(OutputGate::new(name, function));
-        self.last_closure = LastClosure::OutputGate;
+        self.set_closure(LastClosure::OutputGate);
         self
     }
 
@@ -602,10 +711,17 @@ impl<'a> ActivityBuilder<'a> {
     /// * [`SanError::InvalidArcWeight`] for non-positive arc weights,
     /// * [`SanError::InvalidCaseWeight`] for non-positive fixed case weights,
     /// * [`SanError::MisplacedReads`] if a `.reads(...)` call did not
-    ///   immediately follow a closure-accepting builder call.
+    ///   immediately follow a closure-accepting builder call,
+    /// * [`SanError::MisplacedWrites`] if a `.writes(...)` call did not
+    ///   immediately follow a gate function.
     pub fn done(mut self) -> Result<ActivityId, SanError> {
         if self.misplaced_reads {
             return Err(SanError::MisplacedReads {
+                activity: self.name,
+            });
+        }
+        if self.misplaced_writes {
+            return Err(SanError::MisplacedWrites {
                 activity: self.name,
             });
         }

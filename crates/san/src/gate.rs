@@ -11,26 +11,39 @@ use vsched_des::Xoshiro256StarStar;
 use crate::marking::{Marking, PlaceId, ReadSet};
 
 /// Enabling predicate of an input gate.
-pub type Predicate = Box<dyn Fn(&Marking) -> bool>;
+///
+/// `Send + Sync` so a [`crate::Model`] can be shared by reference with the
+/// shard workers of the parallel simulator — every gate closure is immutable
+/// shared state; gates needing private mutable state (the user-defined
+/// scheduling function of the VCPU scheduler keeps its round-robin cursor
+/// this way) capture it behind `Arc<Mutex<..>>`.
+pub type Predicate = Box<dyn Fn(&Marking) -> bool + Send + Sync>;
 
 /// State-update function of a gate.
 ///
 /// Receives the marking and a dedicated RNG stream so gates can perform
 /// stochastic updates (the paper's `WL_Output` gate samples the workload
-/// `load` and `sync_point` fields). `FnMut` so a gate may carry private
-/// state — the user-defined scheduling function of the VCPU scheduler keeps
-/// its round-robin cursor / skew counters this way.
-pub type GateFn = Box<dyn FnMut(&mut Marking, &mut Xoshiro256StarStar)>;
+/// `load` and `sync_point` fields). `Fn + Send + Sync` for the same
+/// model-sharing reason as [`Predicate`]; stateful gates capture an
+/// `Arc<Mutex<..>>`.
+pub type GateFn = Box<dyn Fn(&mut Marking, &mut Xoshiro256StarStar) + Send + Sync>;
 
 /// An input gate: a guard plus a completion-time update.
 pub struct InputGate {
     pub(crate) name: String,
     pub(crate) predicate: Predicate,
     pub(crate) function: Option<GateFn>,
-    /// Places the *predicate* declares it reads. Drives the simulator's
-    /// dependency index: an undeclared predicate makes the activity's
-    /// enablement conservative (revisited after every firing).
+    /// Places the gate declares it reads — the predicate *and* the
+    /// completion-time update function. Drives the simulator's dependency
+    /// index (an undeclared read-set makes the activity's enablement
+    /// conservative, revisited after every firing) and, jointly with
+    /// `writes`, shard derivation.
     pub(crate) reads: ReadSet,
+    /// Places the completion-time update function declares it writes.
+    /// Consulted by shard derivation only: an undeclared write-set keeps
+    /// the activity out of every shard (it then always fires on the
+    /// sequential path, which needs no write footprint).
+    pub(crate) writes: ReadSet,
 }
 
 impl std::fmt::Debug for InputGate {
@@ -46,10 +59,13 @@ impl std::fmt::Debug for InputGate {
 pub struct OutputGate {
     pub(crate) name: String,
     pub(crate) function: GateFn,
-    /// Places the update function declares it reads. Writes are observed
-    /// through dirty-place tracking, so this is analysis metadata only —
-    /// it does not affect the dependency index.
+    /// Places the update function declares it reads. Does not enter the
+    /// dependency index (output gates run at completion, not at enablement)
+    /// but shard derivation requires it.
     pub(crate) reads: ReadSet,
+    /// Places the update function declares it writes (shard derivation;
+    /// see [`InputGate`]).
+    pub(crate) writes: ReadSet,
 }
 
 impl std::fmt::Debug for OutputGate {
@@ -62,40 +78,59 @@ impl std::fmt::Debug for OutputGate {
 
 impl InputGate {
     /// Creates an input gate with a predicate only (no completion update).
-    pub fn guard(name: impl Into<String>, predicate: impl Fn(&Marking) -> bool + 'static) -> Self {
+    pub fn guard(
+        name: impl Into<String>,
+        predicate: impl Fn(&Marking) -> bool + Send + Sync + 'static,
+    ) -> Self {
         InputGate {
             name: name.into(),
             predicate: Box::new(predicate),
             function: None,
             reads: ReadSet::All,
+            writes: ReadSet::All,
         }
     }
 
     /// Creates an input gate with a predicate and a completion function.
     pub fn new(
         name: impl Into<String>,
-        predicate: impl Fn(&Marking) -> bool + 'static,
-        function: impl FnMut(&mut Marking, &mut Xoshiro256StarStar) + 'static,
+        predicate: impl Fn(&Marking) -> bool + Send + Sync + 'static,
+        function: impl Fn(&mut Marking, &mut Xoshiro256StarStar) + Send + Sync + 'static,
     ) -> Self {
         InputGate {
             name: name.into(),
             predicate: Box::new(predicate),
             function: Some(Box::new(function)),
             reads: ReadSet::All,
+            writes: ReadSet::All,
         }
     }
 
-    /// Declares the places the predicate reads (builder form).
+    /// Declares the places the gate reads — predicate and update function
+    /// together (builder form).
     #[must_use]
     pub fn with_reads(mut self, places: impl IntoIterator<Item = PlaceId>) -> Self {
         self.reads = ReadSet::Declared(places.into_iter().collect());
         self
     }
 
-    /// The predicate's declared read-set.
+    /// Declares the places the update function writes (builder form).
+    #[must_use]
+    pub fn with_writes(mut self, places: impl IntoIterator<Item = PlaceId>) -> Self {
+        self.writes = ReadSet::Declared(places.into_iter().collect());
+        self
+    }
+
+    /// The gate's declared read-set.
     #[must_use]
     pub fn reads(&self) -> &ReadSet {
         &self.reads
+    }
+
+    /// The update function's declared write-set.
+    #[must_use]
+    pub fn writes(&self) -> &ReadSet {
+        &self.writes
     }
 
     /// Gate name (for diagnostics).
@@ -109,12 +144,13 @@ impl OutputGate {
     /// Creates an output gate from its update function.
     pub fn new(
         name: impl Into<String>,
-        function: impl FnMut(&mut Marking, &mut Xoshiro256StarStar) + 'static,
+        function: impl Fn(&mut Marking, &mut Xoshiro256StarStar) + Send + Sync + 'static,
     ) -> Self {
         OutputGate {
             name: name.into(),
             function: Box::new(function),
             reads: ReadSet::All,
+            writes: ReadSet::All,
         }
     }
 
@@ -125,10 +161,23 @@ impl OutputGate {
         self
     }
 
+    /// Declares the places the update function writes (builder form).
+    #[must_use]
+    pub fn with_writes(mut self, places: impl IntoIterator<Item = PlaceId>) -> Self {
+        self.writes = ReadSet::Declared(places.into_iter().collect());
+        self
+    }
+
     /// The update function's declared read-set.
     #[must_use]
     pub fn reads(&self) -> &ReadSet {
         &self.reads
+    }
+
+    /// The update function's declared write-set.
+    #[must_use]
+    pub fn writes(&self) -> &ReadSet {
+        &self.writes
     }
 
     /// Gate name (for diagnostics).
@@ -157,7 +206,7 @@ mod tests {
 
     #[test]
     fn gate_function_mutates() {
-        let mut g = OutputGate::new("og", |m, _rng| m.set(crate::PlaceId(0), 9));
+        let g = OutputGate::new("og", |m, _rng| m.set(crate::PlaceId(0), 9));
         let mut m = marking();
         let mut rng = Xoshiro256StarStar::seed_from(0);
         (g.function)(&mut m, &mut rng);
@@ -166,10 +215,13 @@ mod tests {
 
     #[test]
     fn stateful_gate_closure() {
-        let mut calls = 0u32;
-        let mut g = OutputGate::new("counter", move |m, _| {
-            calls += 1;
-            m.set(crate::PlaceId(0), i64::from(calls));
+        // Gates are `Fn`; private mutable state goes behind a shared cell.
+        let calls = Arc::new(std::sync::Mutex::new(0i64));
+        let cell = Arc::clone(&calls);
+        let g = OutputGate::new("counter", move |m, _| {
+            let mut c = cell.lock().unwrap();
+            *c += 1;
+            m.set(crate::PlaceId(0), *c);
         });
         let mut m = marking();
         let mut rng = Xoshiro256StarStar::seed_from(0);

@@ -76,6 +76,7 @@ pub mod marking;
 pub mod numerical;
 pub mod record;
 pub mod reward;
+pub mod shard;
 pub mod sim;
 
 pub use activity::{ActivityId, Timing};
@@ -87,4 +88,5 @@ pub use marking::{Marking, PlaceId, ReadSet};
 pub use numerical::{solve_steady_state, solve_transient, CtmcOptions, CtmcSolution};
 pub use record::RecordRef;
 pub use reward::RewardId;
+pub use shard::ShardPlan;
 pub use sim::{RunStats, Simulator};

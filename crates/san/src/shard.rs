@@ -1,0 +1,483 @@
+//! Static derivation of conflict-free activity shards.
+//!
+//! The parallel simulator fires batches of same-instant, same-priority
+//! instantaneous completions concurrently. That is sound only for
+//! activities whose entire marking footprint is known statically and
+//! provably disjoint from every co-fired activity's footprint. This module
+//! computes the finest such partition — the **shard plan** — from declared
+//! read/write-sets alone, before the first event fires.
+//!
+//! An activity is a *shard candidate* when the engine can see everything
+//! its completion touches:
+//!
+//! * it is instantaneous (timed activities interleave with the clock and
+//!   always take the sequential path),
+//! * its enablement reads are declared ([`ActivitySpec::enablement_reads`]),
+//! * its completion reads are declared ([`ActivitySpec::fire_reads`]), and
+//! * its write footprint is declared ([`ActivitySpec::declared_writes`]).
+//!
+//! Candidates are then **demoted** back to the sequential path when their
+//! firing could *enable* an instantaneous activity of strictly higher
+//! priority: the parallel engine pre-pops a whole same-priority batch, and
+//! a higher-priority arrival mid-batch would, under sequential semantics,
+//! preempt the not-yet-fired remainder. (Equal or lower priority is safe:
+//! a newly scheduled event carries a larger sequence number and pops after
+//! every pre-popped batch member.) The same demotion applies when the
+//! model has any *conservative* instantaneous activity of higher priority,
+//! since a conservative activity may be enabled by anything.
+//!
+//! Finally, surviving candidates are partitioned by union-find: for every
+//! place with at least one candidate writer, all candidate readers and
+//! writers of that place are merged into one shard. Places written only by
+//! non-candidate ("global") activities are constant for the duration of a
+//! parallel batch — globals only ever fire sequentially — so reading them
+//! does not connect shards.
+//!
+//! The resulting guarantee, relied on for bit-identity: two activities in
+//! different shards have disjoint write-sets, and neither reads anything
+//! the other writes.
+
+use crate::activity::ActivityId;
+use crate::builder::Model;
+use crate::marking::PlaceId;
+
+/// Shard index meaning "not sharded": globals and unwritten places.
+const GLOBAL: i32 = -1;
+
+/// The static shard partition of a model; see the module docs.
+///
+/// Derived once per model by [`ShardPlan::derive`]; consulted by the
+/// simulator on every parallel batch and exposed for analysis
+/// (`vsched-analyze` cross-checks it against the observed incidence
+/// matrix).
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Per activity: shard index, or [`GLOBAL`].
+    act_shard: Vec<i32>,
+    /// Per place: the shard of its candidate writers, or [`GLOBAL`] if no
+    /// candidate writes it.
+    place_shard: Vec<i32>,
+    num_shards: usize,
+}
+
+impl ShardPlan {
+    /// Computes the shard plan of `model` from its declared read/write
+    /// footprints. Deterministic: shard indices are assigned in ascending
+    /// order of each shard's lowest activity index.
+    #[must_use]
+    pub fn derive(model: &Model) -> ShardPlan {
+        let n_act = model.num_activities();
+        let n_place = model.num_places();
+
+        // Footprints of each candidate: (reads ∪ fire reads, writes).
+        let mut reads: Vec<Vec<PlaceId>> = vec![Vec::new(); n_act];
+        let mut writes: Vec<Vec<PlaceId>> = vec![Vec::new(); n_act];
+        let mut candidate = vec![false; n_act];
+        for (i, act) in model.activities.iter().enumerate() {
+            if !act.timing().is_instantaneous() {
+                continue;
+            }
+            let (Some(er), Some(fr), Some(w)) = (
+                act.enablement_reads(),
+                act.fire_reads(),
+                act.declared_writes(),
+            ) else {
+                continue;
+            };
+            candidate[i] = true;
+            let mut r = er;
+            r.extend(fr);
+            r.sort_unstable();
+            r.dedup();
+            reads[i] = r;
+            writes[i] = w;
+        }
+
+        // Priority demotion: a candidate must not be able to enable a
+        // higher-priority instantaneous activity mid-batch.
+        let inst_prio = |i: usize| model.activities[i].timing().priority();
+        let max_conservative_prio = model
+            .enable_index
+            .conservative
+            .iter()
+            .filter_map(|&d| inst_prio(d as usize))
+            .max();
+        for i in 0..n_act {
+            if !candidate[i] {
+                continue;
+            }
+            let my_prio = inst_prio(i).expect("candidates are instantaneous");
+            if max_conservative_prio.is_some_and(|p| p > my_prio) {
+                candidate[i] = false;
+                continue;
+            }
+            let enables_higher = writes[i].iter().any(|&p| {
+                model
+                    .enable_index
+                    .dependents(p.index())
+                    .iter()
+                    .any(|&d| inst_prio(d as usize).is_some_and(|dp| dp > my_prio))
+            });
+            if enables_higher {
+                candidate[i] = false;
+            }
+        }
+
+        // Union-find over candidate activities, connected through places:
+        // any place with a candidate writer merges all its candidate
+        // readers and writers.
+        let mut parent: Vec<u32> = (0..n_act as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        let mut writers: Vec<Vec<u32>> = vec![Vec::new(); n_place];
+        let mut readers: Vec<Vec<u32>> = vec![Vec::new(); n_place];
+        for i in 0..n_act {
+            if !candidate[i] {
+                continue;
+            }
+            for &p in &writes[i] {
+                writers[p.index()].push(i as u32);
+            }
+            for &p in &reads[i] {
+                readers[p.index()].push(i as u32);
+            }
+        }
+        for p in 0..n_place {
+            if writers[p].is_empty() {
+                continue;
+            }
+            let first = writers[p][0];
+            for &a in writers[p].iter().chain(&readers[p]) {
+                let (ra, rb) = (find(&mut parent, first), find(&mut parent, a));
+                if ra != rb {
+                    // Keep the smaller root so shard numbering below is
+                    // stable in ascending activity order.
+                    let (lo, hi) = (ra.min(rb), ra.max(rb));
+                    parent[hi as usize] = lo;
+                }
+            }
+        }
+
+        // Number the shards in ascending order of their lowest member.
+        let mut act_shard = vec![GLOBAL; n_act];
+        let mut shard_of_root: Vec<i32> = vec![GLOBAL; n_act];
+        let mut num_shards = 0usize;
+        for i in 0..n_act {
+            if !candidate[i] {
+                continue;
+            }
+            let root = find(&mut parent, i as u32) as usize;
+            if shard_of_root[root] == GLOBAL {
+                shard_of_root[root] = num_shards as i32;
+                num_shards += 1;
+            }
+            act_shard[i] = shard_of_root[root];
+        }
+        let mut place_shard = vec![GLOBAL; n_place];
+        for p in 0..n_place {
+            if let Some(&w) = writers[p].first() {
+                place_shard[p] = act_shard[w as usize];
+            }
+        }
+
+        ShardPlan {
+            act_shard,
+            place_shard,
+            num_shards,
+        }
+    }
+
+    /// Number of shards (conflict-free groups of shardable activities).
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shard of `activity`, or `None` if it always fires sequentially.
+    #[must_use]
+    pub fn activity_shard(&self, activity: ActivityId) -> Option<usize> {
+        let s = self.act_shard[activity.index()];
+        (s >= 0).then_some(s as usize)
+    }
+
+    /// The shard whose activities may write `place`, or `None` if only
+    /// sequential-path activities write it.
+    #[must_use]
+    pub fn place_shard(&self, place: PlaceId) -> Option<usize> {
+        let s = self.place_shard[place.index()];
+        (s >= 0).then_some(s as usize)
+    }
+
+    /// Raw per-activity shard indices (`-1` = sequential path).
+    #[inline]
+    pub(crate) fn act_shard_raw(&self) -> &[i32] {
+        &self.act_shard
+    }
+
+    /// Raw per-place shard indices (`-1` = no candidate writer).
+    #[inline]
+    pub(crate) fn place_shard_raw(&self) -> &[i32] {
+        &self.place_shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use vsched_des::Dist;
+
+    /// n independent token movers (fully declared) + one timed driver.
+    fn independent_model(n: usize) -> (Model, Vec<ActivityId>) {
+        let mut mb = ModelBuilder::new();
+        let mut acts = Vec::new();
+        for i in 0..n {
+            let src = mb.place(&format!("src{i}"), 3).unwrap();
+            let dst = mb.place(&format!("dst{i}"), 0).unwrap();
+            let a = mb
+                .activity(&format!("move{i}"))
+                .unwrap()
+                .instantaneous(5)
+                .input_arc(src, 1)
+                .output_arc(dst, 1)
+                .done()
+                .unwrap();
+            acts.push(a);
+        }
+        let tick = mb.place("tick", 0).unwrap();
+        mb.activity("clock")
+            .unwrap()
+            .timed(Dist::deterministic(1.0).unwrap())
+            .guard("cap", move |m| m.tokens(tick) < 100)
+            .reads([tick])
+            .output_arc(tick, 1)
+            .done()
+            .unwrap();
+        (mb.build().unwrap(), acts)
+    }
+
+    #[test]
+    fn independent_activities_get_one_shard_each() {
+        let (model, acts) = independent_model(4);
+        let plan = ShardPlan::derive(&model);
+        assert_eq!(plan.num_shards(), 4);
+        let shards: Vec<_> = acts
+            .iter()
+            .map(|&a| plan.activity_shard(a).unwrap())
+            .collect();
+        assert_eq!(shards, vec![0, 1, 2, 3], "ascending, deterministic");
+        let clock = model.activity_by_name("clock").unwrap();
+        assert_eq!(plan.activity_shard(clock), None, "timed ⇒ sequential");
+    }
+
+    #[test]
+    fn shared_written_place_merges_shards() {
+        let mut mb = ModelBuilder::new();
+        let shared = mb.place("shared", 0).unwrap();
+        let a_src = mb.place("a_src", 1).unwrap();
+        let b_src = mb.place("b_src", 1).unwrap();
+        let a = mb
+            .activity("a")
+            .unwrap()
+            .instantaneous(0)
+            .input_arc(a_src, 1)
+            .output_arc(shared, 1)
+            .done()
+            .unwrap();
+        let b = mb
+            .activity("b")
+            .unwrap()
+            .instantaneous(0)
+            .input_arc(b_src, 1)
+            .output_arc(shared, 1)
+            .done()
+            .unwrap();
+        let model = mb.build().unwrap();
+        let plan = ShardPlan::derive(&model);
+        assert_eq!(plan.num_shards(), 1, "overlapping writes collapse");
+        assert_eq!(plan.activity_shard(a), plan.activity_shard(b));
+        assert_eq!(plan.place_shard(shared), Some(0));
+    }
+
+    #[test]
+    fn reader_of_a_sharded_place_joins_the_writer_shard() {
+        let mut mb = ModelBuilder::new();
+        let p = mb.place("p", 1).unwrap();
+        let q = mb.place("q", 0).unwrap();
+        let r_src = mb.place("r_src", 1).unwrap();
+        let r_dst = mb.place("r_dst", 0).unwrap();
+        let w = mb
+            .activity("writer")
+            .unwrap()
+            .instantaneous(0)
+            .input_arc(p, 1)
+            .output_arc(q, 1)
+            .done()
+            .unwrap();
+        // Reads q (written by `writer`) via a declared guard.
+        let r = mb
+            .activity("reader")
+            .unwrap()
+            .instantaneous(0)
+            .guard("sees_q", move |m| m.tokens(q) == 0)
+            .reads([q])
+            .input_arc(r_src, 1)
+            .output_arc(r_dst, 1)
+            .done()
+            .unwrap();
+        let model = mb.build().unwrap();
+        let plan = ShardPlan::derive(&model);
+        assert_eq!(plan.num_shards(), 1);
+        assert_eq!(plan.activity_shard(w), plan.activity_shard(r));
+    }
+
+    #[test]
+    fn reading_a_globally_written_place_does_not_merge() {
+        // Both movers read `config`, but only the timed (global) refresher
+        // writes it — constant during a batch, so the movers stay apart.
+        let mut mb = ModelBuilder::new();
+        let config = mb.place("config", 1).unwrap();
+        let mut acts = Vec::new();
+        for i in 0..2 {
+            let src = mb.place(&format!("src{i}"), 1).unwrap();
+            let dst = mb.place(&format!("dst{i}"), 0).unwrap();
+            let a = mb
+                .activity(&format!("move{i}"))
+                .unwrap()
+                .instantaneous(0)
+                .guard("cfg", move |m| m.tokens(config) > 0)
+                .reads([config])
+                .input_arc(src, 1)
+                .output_arc(dst, 1)
+                .done()
+                .unwrap();
+            acts.push(a);
+        }
+        mb.activity("refresh")
+            .unwrap()
+            .timed(Dist::deterministic(1.0).unwrap())
+            .input_arc(config, 1)
+            .output_arc(config, 1)
+            .done()
+            .unwrap();
+        let model = mb.build().unwrap();
+        let plan = ShardPlan::derive(&model);
+        assert_eq!(plan.num_shards(), 2);
+        assert_ne!(plan.activity_shard(acts[0]), plan.activity_shard(acts[1]));
+        assert_eq!(plan.place_shard(config), None, "no candidate writer");
+    }
+
+    #[test]
+    fn undeclared_gate_keeps_activity_global() {
+        let mut mb = ModelBuilder::new();
+        let p = mb.place("p", 1).unwrap();
+        let q = mb.place("q", 0).unwrap();
+        let a = mb
+            .activity("opaque")
+            .unwrap()
+            .instantaneous(0)
+            .input_arc(p, 1)
+            .output_gate("og", move |m, _| m.add(q, 1))
+            .done()
+            .unwrap();
+        let model = mb.build().unwrap();
+        let plan = ShardPlan::derive(&model);
+        assert_eq!(plan.activity_shard(a), None, "undeclared write footprint");
+        assert_eq!(plan.num_shards(), 0);
+    }
+
+    #[test]
+    fn enabling_a_higher_priority_activity_demotes() {
+        let mut mb = ModelBuilder::new();
+        let src = mb.place("src", 1).unwrap();
+        let mid = mb.place("mid", 0).unwrap();
+        let out = mb.place("out", 0).unwrap();
+        // `low` (prio 1) writes `mid`, which enables `high` (prio 9):
+        // firing `low` mid-batch would preempt the rest of the batch.
+        let low = mb
+            .activity("low")
+            .unwrap()
+            .instantaneous(1)
+            .input_arc(src, 1)
+            .output_arc(mid, 1)
+            .done()
+            .unwrap();
+        let high = mb
+            .activity("high")
+            .unwrap()
+            .instantaneous(9)
+            .input_arc(mid, 1)
+            .output_arc(out, 1)
+            .done()
+            .unwrap();
+        let model = mb.build().unwrap();
+        let plan = ShardPlan::derive(&model);
+        assert_eq!(plan.activity_shard(low), None, "demoted");
+        // `high` itself writes nothing that enables anything higher.
+        assert!(plan.activity_shard(high).is_some());
+    }
+
+    #[test]
+    fn conservative_higher_priority_instantaneous_demotes_everything_below() {
+        let mut mb = ModelBuilder::new();
+        let src = mb.place("src", 1).unwrap();
+        let dst = mb.place("dst", 0).unwrap();
+        let stop = mb.place("stop", 1).unwrap();
+        let low = mb
+            .activity("low")
+            .unwrap()
+            .instantaneous(1)
+            .input_arc(src, 1)
+            .output_arc(dst, 1)
+            .done()
+            .unwrap();
+        // Undeclared guard ⇒ conservative; prio 9 > 1 demotes `low`.
+        let high = mb
+            .activity("watcher")
+            .unwrap()
+            .instantaneous(9)
+            .guard("opaque", |_| false)
+            .input_arc(stop, 1)
+            .done()
+            .unwrap();
+        let model = mb.build().unwrap();
+        let plan = ShardPlan::derive(&model);
+        assert_eq!(plan.activity_shard(low), None);
+        assert_eq!(plan.activity_shard(high), None, "conservative ⇒ global");
+    }
+
+    #[test]
+    fn declared_gate_functions_can_shard() {
+        let mut mb = ModelBuilder::new();
+        let mut acts = Vec::new();
+        for i in 0..3 {
+            let src = mb.place(&format!("src{i}"), 1).unwrap();
+            let acc = mb.place(&format!("acc{i}"), 0).unwrap();
+            let a = mb
+                .activity(&format!("work{i}"))
+                .unwrap()
+                .instantaneous(2)
+                .input_arc(src, 1)
+                .output_gate("bump", move |m, _| {
+                    let v = m.tokens(acc);
+                    m.set(acc, v + 2);
+                })
+                .reads([acc])
+                .writes([acc])
+                .done()
+                .unwrap();
+            acts.push(a);
+        }
+        let model = mb.build().unwrap();
+        let plan = ShardPlan::derive(&model);
+        assert_eq!(plan.num_shards(), 3);
+        for (i, &a) in acts.iter().enumerate() {
+            assert_eq!(plan.activity_shard(a), Some(i));
+        }
+    }
+}

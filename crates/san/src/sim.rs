@@ -1,12 +1,15 @@
 //! The SAN discrete-event simulator.
 
-use vsched_des::{EventId, EventQueue, RngStreams, SimTime, Xoshiro256StarStar};
+use std::sync::{Arc, Mutex};
 
-use crate::activity::{ActivityId, CaseWeights, Timing};
+use vsched_des::{CalEventId, CalendarQueue, RngStreams, SimTime, Xoshiro256StarStar};
+
+use crate::activity::{ActivityId, ActivitySpec, CaseWeights, Timing};
 use crate::builder::Model;
 use crate::error::SanError;
 use crate::marking::{Marking, PlaceId, ReadSet};
 use crate::reward::{ImpulseReward, RateReward, RewardFn, RewardId};
+use crate::shard::ShardPlan;
 
 /// Priority offset that makes instantaneous activities preempt timed ones
 /// scheduled at the same instant.
@@ -48,18 +51,23 @@ pub struct RunStats {
 ///
 /// See the crate-level documentation for an end-to-end example.
 pub struct Simulator {
-    model: Model,
+    /// Shared so shard workers can borrow the model concurrently with the
+    /// merge thread (every gate closure is `Fn + Send + Sync`).
+    model: Arc<Model>,
     marking: Marking,
     time: SimTime,
-    queue: EventQueue<ActivityId>,
+    queue: CalendarQueue<ActivityId>,
     /// Scheduled completion of each activity, if activated.
-    scheduled: Vec<Option<EventId>>,
+    scheduled: Vec<Option<CalEventId>>,
     /// Rate multiplier in force when each activity was activated; a change
     /// triggers reactivation (resampling) for rate-scaled activities.
     activation_rate: Vec<f64>,
     delay_rngs: Vec<Xoshiro256StarStar>,
     case_rngs: Vec<Xoshiro256StarStar>,
-    gate_rng: Xoshiro256StarStar,
+    /// Per-activity gate-function RNG streams. Independent streams (rather
+    /// than one shared stream) are what make parallel shard firing
+    /// possible: a batch's gate draws must not depend on firing order.
+    gate_rngs: Vec<Xoshiro256StarStar>,
     rate_rewards: Vec<RateReward>,
     /// Instant (as `f64`) up to which every rate-reward accumulator has
     /// been advanced. Completions at exactly this instant skip the
@@ -84,7 +92,35 @@ pub struct Simulator {
     reward_scratch: Vec<u32>,
     /// Scratch buffer for dynamic case weights (reused across completions).
     weight_scratch: Vec<f64>,
+    /// Worker count for intra-replication sharding (`< 2` = sequential).
+    shards: usize,
+    /// Lazily derived shard plan (only when sharding is requested).
+    shard_plan: Option<Arc<ShardPlan>>,
     stats: RunStats,
+}
+
+/// One parallel firing: the activity plus its private RNG streams, moved
+/// to the worker and returned (advanced) in [`FireResult`].
+struct FireItem {
+    idx: usize,
+    case_rng: Xoshiro256StarStar,
+    gate_rng: Xoshiro256StarStar,
+}
+
+/// What a shard worker hands back: the advanced RNG streams and the fired
+/// activity's marking writes as `(place, new value)` pairs in first-touch
+/// order — exactly the dirty set a sequential firing would have produced.
+struct FireResult {
+    case_rng: Xoshiro256StarStar,
+    gate_rng: Xoshiro256StarStar,
+    patch: Vec<(u32, i64)>,
+}
+
+/// Per-worker state of the shard pool: a marking replica (kept in sync by
+/// replaying the patch log at each wave) and a private scratch buffer.
+struct ShardWorker {
+    marking: Marking,
+    weight_scratch: Vec<f64>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -109,12 +145,12 @@ impl Simulator {
         Simulator {
             marking,
             time: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: CalendarQueue::new(),
             scheduled: vec![None; n],
             activation_rate: vec![1.0; n],
             delay_rngs: (0..n).map(|i| streams.stream(10_000 + i as u64)).collect(),
             case_rngs: (0..n).map(|i| streams.stream(20_000 + i as u64)).collect(),
-            gate_rng: streams.stream(1),
+            gate_rngs: (0..n).map(|i| streams.stream(30_000 + i as u64)).collect(),
             rate_rewards: Vec::new(),
             reward_clock: 0.0,
             reward_dependents: vec![Vec::new(); model.num_places()],
@@ -126,9 +162,33 @@ impl Simulator {
             eval_scratch: Vec::new(),
             reward_scratch: Vec::new(),
             weight_scratch: Vec::new(),
+            shards: 0,
+            shard_plan: None,
             stats: RunStats::default(),
-            model,
+            model: Arc::new(model),
         }
+    }
+
+    /// Sets the worker count for intra-replication sharding. `0` or `1`
+    /// selects the sequential engine; `>= 2` fires statically derived
+    /// conflict-free shards (see [`ShardPlan`]) in parallel, with a
+    /// deterministic sequential merge. Results are **bit-identical for any
+    /// value** — marking, statistics, rewards, event ordering and every
+    /// RNG draw match the sequential engine exactly.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards;
+    }
+
+    /// The configured shard worker count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard plan in force (derived on first sharded run).
+    #[must_use]
+    pub fn shard_plan(&self) -> Option<&ShardPlan> {
+        self.shard_plan.as_deref()
     }
 
     /// Switches between incremental reevaluation (default, `false`) and the
@@ -152,7 +212,7 @@ impl Simulator {
     }
 
     /// Enables the future-event-list monotonicity check (see
-    /// [`EventQueue::enable_monotonicity_check`]): every popped completion
+    /// [`CalendarQueue::enable_monotonicity_check`]): every popped completion
     /// must be at or after the previous one, otherwise the simulator panics
     /// instead of silently running time backwards. Costs one branch per
     /// event; disabled by default.
@@ -335,28 +395,10 @@ impl Simulator {
             }
         }
         let mut run = RunStats::default();
-        let mut last_time = self.time;
-        let mut zero_advance: u64 = 0;
-        while let Some(next) = self.queue.peek_time() {
-            if next > t_end {
-                break;
-            }
-            let (t, _, act) = self.queue.pop().expect("peeked event must pop");
-            if t > last_time {
-                last_time = t;
-                zero_advance = 0;
-            } else {
-                zero_advance += 1;
-                if zero_advance > self.max_zero_advance {
-                    return Err(SanError::InstantaneousLoop {
-                        at_time: t.as_f64(),
-                        limit: self.max_zero_advance,
-                    });
-                }
-            }
-            self.time = t;
-            self.fire(act);
-            run.completions += 1;
+        if self.shards >= 2 {
+            self.run_events_sharded(t_end, &mut run)?;
+        } else {
+            self.run_events(t_end, &mut run)?;
         }
         // Advance the clock and the reward windows to the horizon.
         self.time = self.time.max(t_end);
@@ -370,6 +412,242 @@ impl Simulator {
         self.stats.completions += run.completions;
         run.aborts = self.stats.aborts;
         Ok(run)
+    }
+
+    /// The sequential event loop of [`Simulator::run_until`].
+    fn run_events(&mut self, t_end: SimTime, run: &mut RunStats) -> Result<(), SanError> {
+        let mut last_time = self.time;
+        let mut zero_advance: u64 = 0;
+        while let Some(next) = self.queue.peek_time() {
+            if next > t_end {
+                break;
+            }
+            let (t, _, act) = self.queue.pop().expect("peeked event must pop");
+            self.note_advance(&mut last_time, &mut zero_advance, t)?;
+            self.time = t;
+            self.fire(act);
+            run.completions += 1;
+        }
+        Ok(())
+    }
+
+    /// Zero-advance bookkeeping for one popped event (shared by the
+    /// sequential and sharded loops, which must count identically).
+    fn note_advance(
+        &self,
+        last_time: &mut SimTime,
+        zero_advance: &mut u64,
+        t: SimTime,
+    ) -> Result<(), SanError> {
+        if t > *last_time {
+            *last_time = t;
+            *zero_advance = 0;
+        } else {
+            *zero_advance += 1;
+            if *zero_advance > self.max_zero_advance {
+                return Err(SanError::InstantaneousLoop {
+                    at_time: t.as_f64(),
+                    limit: self.max_zero_advance,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The shard-parallel event loop: pops of the same instant and queue
+    /// priority whose activities belong to pairwise-distinct shards form a
+    /// *batch*; the batch's marking updates run concurrently on worker
+    /// replicas (phase A), then the results merge sequentially in pop
+    /// order (phase B) — patch application, rewards, reevaluation and all
+    /// queue operations happen on the merge thread exactly as the
+    /// sequential engine would have done them. See `DESIGN.md` §14 for the
+    /// bit-identity argument.
+    fn run_events_sharded(&mut self, t_end: SimTime, run: &mut RunStats) -> Result<(), SanError> {
+        let plan = match &self.shard_plan {
+            Some(p) => Arc::clone(p),
+            None => {
+                let p = Arc::new(ShardPlan::derive(&self.model));
+                self.shard_plan = Some(Arc::clone(&p));
+                p
+            }
+        };
+        if plan.num_shards() < 2 {
+            // Nothing can ever batch: skip the pool entirely.
+            return self.run_events(t_end, run);
+        }
+        let workers = self.shards.min(plan.num_shards());
+        let model = Arc::clone(&self.model);
+        // Every marking write since the last wave, as `(place, value)`
+        // pairs: batch patches and sequential fires alike. Workers replay
+        // the whole log in their wave prologue; the merge thread clears it
+        // right after each dispatch returns (all workers are then synced).
+        let patch_log: Mutex<Vec<(u32, i64)>> = Mutex::new(Vec::new());
+        let mut replica = self.marking.clone();
+        replica.clear_dirty();
+        vsched_exec::wave::run(
+            workers,
+            |_id| ShardWorker {
+                marking: replica.clone(),
+                weight_scratch: Vec::new(),
+            },
+            |_id, w: &mut ShardWorker| {
+                for &(p, v) in patch_log.lock().expect("patch log lock").iter() {
+                    w.marking.set(PlaceId(p as usize), v);
+                }
+            },
+            |w: &mut ShardWorker, mut item: FireItem| {
+                w.marking.clear_dirty();
+                model.fire_marking_update(
+                    item.idx,
+                    &mut w.marking,
+                    &mut item.case_rng,
+                    &mut item.gate_rng,
+                    &mut w.weight_scratch,
+                );
+                let patch = w
+                    .marking
+                    .dirty()
+                    .iter()
+                    .map(|&p| (p as u32, w.marking.tokens(PlaceId(p))))
+                    .collect();
+                FireResult {
+                    case_rng: item.case_rng,
+                    gate_rng: item.gate_rng,
+                    patch,
+                }
+            },
+            |handle| self.drive_sharded(handle, t_end, run, &plan, &patch_log),
+        )
+    }
+
+    /// The merge thread's loop inside the shard pool scope.
+    fn drive_sharded(
+        &mut self,
+        handle: &mut vsched_exec::WaveHandle<'_, FireItem, FireResult>,
+        t_end: SimTime,
+        run: &mut RunStats,
+        plan: &ShardPlan,
+        patch_log: &Mutex<Vec<(u32, i64)>>,
+    ) -> Result<(), SanError> {
+        let act_shard = plan.act_shard_raw();
+        let place_shard = plan.place_shard_raw();
+        let mut last_time = self.time;
+        let mut zero_advance: u64 = 0;
+        let mut batch: Vec<ActivityId> = Vec::new();
+        let mut batch_shards: Vec<i32> = Vec::new();
+        while let Some(next) = self.queue.peek_time() {
+            if next > t_end {
+                break;
+            }
+            let (t, _, act) = self.queue.pop().expect("peeked event must pop");
+            self.note_advance(&mut last_time, &mut zero_advance, t)?;
+            self.time = t;
+            let first_shard = act_shard[act.0];
+            if first_shard < 0 {
+                self.fire_logged(act, patch_log);
+                run.completions += 1;
+                continue;
+            }
+            // Extend into a batch: same instant, same queue priority,
+            // pairwise-distinct shards. Sharded activities are always
+            // instantaneous, so the queue priority is determined by the
+            // activity's completion priority.
+            let prio = instantaneous_queue_priority(&self.model.activities[act.0]);
+            batch.clear();
+            batch_shards.clear();
+            batch.push(act);
+            batch_shards.push(first_shard);
+            while let Some((nt, np, &na)) = self.queue.peek() {
+                if nt != t || np != prio {
+                    break;
+                }
+                let shard = act_shard[na.0];
+                if shard < 0 || batch_shards.contains(&shard) {
+                    break;
+                }
+                let (pt, _, popped) = self.queue.pop().expect("peeked event must pop");
+                self.note_advance(&mut last_time, &mut zero_advance, pt)?;
+                batch.push(popped);
+                batch_shards.push(shard);
+            }
+            if batch.len() == 1 {
+                self.fire_logged(act, patch_log);
+                run.completions += 1;
+                continue;
+            }
+            // Phase A: fire every batch member on a worker replica.
+            let items = batch
+                .iter()
+                .map(|a| FireItem {
+                    idx: a.0,
+                    case_rng: self.case_rngs[a.0].clone(),
+                    gate_rng: self.gate_rngs[a.0].clone(),
+                })
+                .collect();
+            let results = handle.dispatch(items);
+            // All workers replayed the log in their prologue — reset it.
+            patch_log.lock().expect("patch log lock").clear();
+            // Phase B: merge in pop order. Everything a sequential firing
+            // would do after its marking update happens here, on the main
+            // marking, which is in the exact sequential state at each step.
+            for (a, result) in batch.iter().zip(results) {
+                for &(place, _) in &result.patch {
+                    if place_shard[place as usize] != act_shard[a.0] {
+                        return Err(SanError::ShardViolation {
+                            activity: self.model.activities[a.0].name.clone(),
+                            place: self.model.names[place as usize].clone(),
+                        });
+                    }
+                }
+                self.case_rngs[a.0] = result.case_rng;
+                self.gate_rngs[a.0] = result.gate_rng;
+                self.apply_fire(*a, &result.patch, patch_log);
+                run.completions += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sequential fire plus patch-log append (sharded loop only).
+    fn fire_logged(&mut self, act: ActivityId, patch_log: &Mutex<Vec<(u32, i64)>>) {
+        self.fire(act);
+        let mut log = patch_log.lock().expect("patch log lock");
+        for &p in self.marking.dirty() {
+            log.push((p as u32, self.marking.tokens(PlaceId(p))));
+        }
+    }
+
+    /// Phase B of one batched firing: everything [`Simulator::fire`] does,
+    /// with the marking update replaced by the worker-computed patch.
+    fn apply_fire(
+        &mut self,
+        act_id: ActivityId,
+        patch: &[(u32, i64)],
+        patch_log: &Mutex<Vec<(u32, i64)>>,
+    ) {
+        let idx = act_id.0;
+        self.scheduled[idx] = None;
+        debug_assert!(
+            self.model.activities[idx].enabled(&self.marking),
+            "batched activity `{}` must still be enabled at merge time",
+            self.model.activities[idx].name
+        );
+        let now = self.time.as_f64();
+        if now > self.reward_clock {
+            for r in &mut self.rate_rewards {
+                r.acc.update(now, r.current);
+            }
+            self.reward_clock = now;
+        }
+        self.marking.clear_dirty();
+        for &(p, v) in patch {
+            self.marking.set(PlaceId(p as usize), v);
+        }
+        patch_log
+            .lock()
+            .expect("patch log lock")
+            .extend_from_slice(patch);
+        self.post_fire(act_id);
     }
 
     /// Completes one activity: the atomic SAN completion rule.
@@ -400,43 +678,22 @@ impl Simulator {
         // From here on, record exactly the places this completion touches.
         self.marking.clear_dirty();
 
-        let act = &mut self.model.activities[idx];
+        self.model.fire_marking_update(
+            idx,
+            &mut self.marking,
+            &mut self.case_rngs[idx],
+            &mut self.gate_rngs[idx],
+            &mut self.weight_scratch,
+        );
 
-        // 1. Input gate functions.
-        for gate in &mut act.input_gates {
-            if let Some(f) = gate.function.as_mut() {
-                f(&mut self.marking, &mut self.gate_rng);
-            }
-        }
-        // 2. Consume input arcs.
-        for &(p, w) in &act.input_arcs {
-            self.marking.add(p, -w);
-        }
-        // 3. Select a case.
-        let case_idx = match &act.case_weights {
-            CaseWeights::Fixed(w) if w.len() == 1 => 0,
-            CaseWeights::Fixed(w) => pick_case(w, &mut self.case_rngs[idx], &act.name),
-            CaseWeights::Dynamic(f) => {
-                self.weight_scratch.clear();
-                f(&self.marking, &mut self.weight_scratch);
-                assert_eq!(
-                    self.weight_scratch.len(),
-                    act.cases.len(),
-                    "dynamic case weights of `{}` must match case count",
-                    act.name
-                );
-                pick_case(&self.weight_scratch, &mut self.case_rngs[idx], &act.name)
-            }
-        };
-        // 4. Produce output arcs.
-        for &(p, w) in &act.cases[case_idx].output_arcs {
-            self.marking.add(p, w);
-        }
-        // 5. Output gate functions of the chosen case.
-        for gate in &mut act.cases[case_idx].output_gates {
-            (gate.function)(&mut self.marking, &mut self.gate_rng);
-        }
+        self.post_fire(act_id);
+    }
 
+    /// Everything after the marking update of a completion: impulse
+    /// rewards, rate-reward recomputation, and activity reevaluation.
+    /// Shared verbatim by the sequential path ([`Simulator::fire`]) and
+    /// the sharded merge ([`Simulator::apply_fire`]).
+    fn post_fire(&mut self, act_id: ActivityId) {
         // Impulse rewards observe the post-completion marking.
         for r in &mut self.impulse_rewards {
             if r.activity == act_id {
@@ -471,7 +728,7 @@ impl Simulator {
             }
         }
 
-        self.reevaluate(idx);
+        self.reevaluate(act_id.0);
     }
 
     /// Activates newly enabled activities, aborts newly disabled ones, and
@@ -498,7 +755,7 @@ impl Simulator {
         let mut cand = std::mem::take(&mut self.eval_scratch);
         cand.clear();
         for &p in self.marking.dirty() {
-            cand.extend_from_slice(&self.model.enable_index.dependents[p]);
+            cand.extend_from_slice(self.model.enable_index.dependents(p));
         }
         cand.extend_from_slice(&self.model.enable_index.conservative);
         cand.push(fired as u32);
@@ -586,15 +843,15 @@ impl Model {
     /// first. Gate closures may additionally panic on markings they were
     /// never designed to see — probe only along enabled firings.
     pub fn probe_fire(
-        &mut self,
+        &self,
         act: ActivityId,
         marking: &mut Marking,
         rng: &mut Xoshiro256StarStar,
     ) -> Option<usize> {
-        let spec = &mut self.activities[act.0];
+        let spec = &self.activities[act.0];
         // 1. Input gate functions.
-        for gate in &mut spec.input_gates {
-            if let Some(f) = gate.function.as_mut() {
+        for gate in &spec.input_gates {
+            if let Some(f) = &gate.function {
                 f(marking, rng);
             }
         }
@@ -620,11 +877,75 @@ impl Model {
             marking.add(p, w);
         }
         // 5. Output gate functions of the chosen case.
-        for gate in &mut spec.cases[case_idx].output_gates {
+        for gate in &spec.cases[case_idx].output_gates {
             (gate.function)(marking, rng);
         }
         Some(case_idx)
     }
+
+    /// The marking update of one completion — steps 1–5 of the atomic SAN
+    /// completion rule — on a caller-supplied marking with caller-supplied
+    /// RNG streams. The single body shared by the sequential engine
+    /// ([`Simulator::fire`]) and the shard workers, which is what makes
+    /// their results identical by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activity is fired while disabled (marking underflow)
+    /// or if its case weights are invalid — both model bugs.
+    pub(crate) fn fire_marking_update(
+        &self,
+        idx: usize,
+        marking: &mut Marking,
+        case_rng: &mut Xoshiro256StarStar,
+        gate_rng: &mut Xoshiro256StarStar,
+        weight_scratch: &mut Vec<f64>,
+    ) {
+        let act = &self.activities[idx];
+        // 1. Input gate functions.
+        for gate in &act.input_gates {
+            if let Some(f) = &gate.function {
+                f(marking, gate_rng);
+            }
+        }
+        // 2. Consume input arcs.
+        for &(p, w) in &act.input_arcs {
+            marking.add(p, -w);
+        }
+        // 3. Select a case.
+        let case_idx = match &act.case_weights {
+            CaseWeights::Fixed(w) if w.len() == 1 => 0,
+            CaseWeights::Fixed(w) => pick_case(w, case_rng, &act.name),
+            CaseWeights::Dynamic(f) => {
+                weight_scratch.clear();
+                f(marking, weight_scratch);
+                assert_eq!(
+                    weight_scratch.len(),
+                    act.cases.len(),
+                    "dynamic case weights of `{}` must match case count",
+                    act.name
+                );
+                pick_case(weight_scratch, case_rng, &act.name)
+            }
+        };
+        // 4. Produce output arcs.
+        for &(p, w) in &act.cases[case_idx].output_arcs {
+            marking.add(p, w);
+        }
+        // 5. Output gate functions of the chosen case.
+        for gate in &act.cases[case_idx].output_gates {
+            (gate.function)(marking, gate_rng);
+        }
+    }
+}
+
+/// The queue priority of an instantaneous activity's completion event.
+fn instantaneous_queue_priority(act: &ActivitySpec) -> i32 {
+    let prio = act
+        .timing()
+        .priority()
+        .expect("sharded activities are instantaneous");
+    INSTANTANEOUS_BASE.saturating_add(prio)
 }
 
 /// Weighted case selection.
@@ -1272,5 +1593,74 @@ mod tests {
         sim.run_until(200.0).unwrap();
         assert_eq!(sim.marking().tokens(a), 100, "selector forces case 0");
         assert_eq!(sim.marking().tokens(b), 0);
+    }
+
+    /// A gate that lies about its write-set (declares `acc_b`, writes
+    /// `acc_a`) splits into a shard it does not belong to; the merge
+    /// phase's patch validation catches the cross-shard write instead of
+    /// silently corrupting the other shard's state.
+    #[test]
+    fn lying_cross_shard_write_is_a_shard_violation() {
+        let mut mb = ModelBuilder::new();
+        let src_a = mb.place("src_a", 3).unwrap();
+        let acc_a = mb.place("acc_a", 0).unwrap();
+        let src_b = mb.place("src_b", 3).unwrap();
+        let acc_b = mb.place("acc_b", 0).unwrap();
+        mb.activity("honest")
+            .unwrap()
+            .instantaneous(0)
+            .input_arc(src_a, 1)
+            .output_gate("bump_a", move |m, _| m.add(acc_a, 1))
+            .reads([])
+            .writes([acc_a])
+            .done()
+            .unwrap();
+        mb.activity("liar")
+            .unwrap()
+            .instantaneous(0)
+            .input_arc(src_b, 1)
+            .output_gate("bump_b", move |m, _| m.add(acc_a, 1))
+            .reads([])
+            .writes([acc_b])
+            .done()
+            .unwrap();
+        let model = mb.build().unwrap();
+        assert_eq!(
+            crate::shard::ShardPlan::derive(&model).num_shards(),
+            2,
+            "the lie hides the overlap from static derivation"
+        );
+        let mut sim = Simulator::new(model, 1);
+        sim.set_shards(2);
+        let err = sim.run_until(1.0).unwrap_err();
+        match err {
+            SanError::ShardViolation { activity, place } => {
+                assert_eq!(activity, "liar");
+                assert_eq!(place, "acc_a");
+            }
+            other => panic!("expected ShardViolation, got {other:?}"),
+        }
+    }
+
+    /// The same lie is harmless sequentially — pins that the violation is
+    /// a sharded-engine check, not a general builder restriction.
+    #[test]
+    fn lying_write_set_is_harmless_sequentially() {
+        let mut mb = ModelBuilder::new();
+        let src = mb.place("src", 3).unwrap();
+        let acc = mb.place("acc", 0).unwrap();
+        let decoy = mb.place("decoy", 0).unwrap();
+        mb.activity("liar")
+            .unwrap()
+            .instantaneous(0)
+            .input_arc(src, 1)
+            .output_gate("bump", move |m, _| m.add(acc, 1))
+            .reads([])
+            .writes([decoy])
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 1);
+        sim.run_until(1.0).unwrap();
+        assert_eq!(sim.marking().tokens(acc), 3);
     }
 }

@@ -184,6 +184,146 @@ proptest! {
         prop_assert_eq!(run(false), run(true));
     }
 
+    /// Satellite of the sharding tentpole: on random gated models — a
+    /// deterministic clock fanning tokens out to per-group instantaneous
+    /// workers with declared footprints (rng-drawing output gates, dynamic
+    /// case weights) plus an undeclared global mixer — a sharded run is
+    /// **bit-identical** to the sequential engine at every shard count:
+    /// same final marking, same completion counts, same reward bit
+    /// patterns, same per-activity RNG positions (checked implicitly: any
+    /// divergent draw changes the marking trajectory).
+    #[test]
+    fn sharded_is_bit_identical_to_sequential(
+        groups in 2usize..6,
+        init in proptest::collection::vec(1i64..5, 6),
+        prios in proptest::collection::vec(0i32..3, 6),
+        wiring in proptest::collection::vec(0usize..10_000, 6),
+        seed in 0u64..200,
+        horizon in 5.0f64..60.0,
+        shard_counts in proptest::collection::vec(2usize..9, 1..4),
+    ) {
+        let build = || {
+            let mut mb = ModelBuilder::new();
+            let ticks: Vec<PlaceId> = (0..groups)
+                .map(|i| mb.place(&format!("tick{i}"), 0).unwrap())
+                .collect();
+            let bufs: Vec<PlaceId> = (0..groups)
+                .map(|i| mb.place(&format!("buf{i}"), init[i]).unwrap())
+                .collect();
+            let accs: Vec<PlaceId> = (0..groups)
+                .map(|i| mb.place(&format!("acc{i}"), 0).unwrap())
+                .collect();
+            let pulse = mb.place("pulse", 0).unwrap();
+            let mut clock = mb
+                .activity("clock")
+                .unwrap()
+                .timed(Dist::deterministic(1.0).unwrap())
+                .output_arc(pulse, 1);
+            for &t in &ticks {
+                clock = clock.output_arc(t, 1);
+            }
+            clock.done().unwrap();
+            for i in 0..groups {
+                let (buf, acc) = (bufs[i], accs[i]);
+                let mut a = mb
+                    .activity(&format!("work{i}"))
+                    .unwrap()
+                    .instantaneous(prios[i])
+                    .input_arc(ticks[i], 1)
+                    .guard("buf_cap", move |m| m.tokens(buf) < 1_000)
+                    .reads([buf]);
+                if wiring[i] % 3 == 0 {
+                    // Two cases picked by marking-dependent weights; both
+                    // route through declared rng-drawing gates.
+                    a = a
+                        .case(1.0)
+                        .output_gate("grow", move |m, rng| {
+                            if rng.next_f64() < 0.7 {
+                                m.add(acc, 1);
+                            } else {
+                                m.add(buf, 1);
+                            }
+                        })
+                        .reads([])
+                        .writes([acc, buf])
+                        .case(1.0)
+                        .output_gate("drain", move |m, rng| {
+                            if m.tokens(buf) > 0 && rng.next_bool(0.5) {
+                                m.add(buf, -1);
+                                m.add(acc, 1);
+                            }
+                        })
+                        .reads([buf])
+                        .writes([buf, acc])
+                        .dynamic_case_weights_into(move |m, out| {
+                            out.push(1.0 + m.tokens(buf) as f64);
+                            out.push(1.0);
+                        })
+                        .reads([buf]);
+                } else {
+                    a = a
+                        .output_gate("work", move |m, rng| {
+                            if rng.next_f64() < 0.5 {
+                                m.add(acc, 1);
+                            } else {
+                                m.add(buf, 1);
+                            }
+                        })
+                        .reads([])
+                        .writes([acc, buf]);
+                }
+                a.done().unwrap();
+            }
+            // Undeclared gate ⇒ global (sequential path), interleaved with
+            // the batched workers at a lower completion priority.
+            let target = bufs[wiring[5] % groups];
+            let probe = accs[wiring[4] % groups];
+            mb.activity("mixer")
+                .unwrap()
+                .instantaneous(-1)
+                .input_arc(pulse, 1)
+                .output_gate("mix", move |m, _| {
+                    if m.tokens(probe) % 2 == 0 {
+                        m.add(target, 1);
+                    }
+                })
+                .done()
+                .unwrap();
+            mb.build().unwrap()
+        };
+        let run = |shards: usize| {
+            let model = build();
+            let accs: Vec<PlaceId> = (0..groups)
+                .map(|i| model.place_by_name(&format!("acc{i}")).unwrap())
+                .collect();
+            let mut sim = Simulator::new(model, seed);
+            let rids: Vec<_> = accs
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    if i % 2 == 0 {
+                        sim.add_rate_reward_with_reads(format!("r{i}"), [p], move |m| {
+                            m.tokens(p) as f64
+                        })
+                    } else {
+                        sim.add_rate_reward(format!("r{i}"), move |m| m.tokens(p) as f64)
+                    }
+                })
+                .collect();
+            sim.set_shards(shards);
+            sim.run_until(horizon).unwrap();
+            let rewards: Vec<u64> = rids
+                .iter()
+                .map(|&r| sim.rate_reward_average(r).to_bits())
+                .collect();
+            (sim.marking().as_slice().to_vec(), sim.stats(), rewards)
+        };
+        let reference = run(0);
+        for &count in &shard_counts {
+            prop_assert_eq!(run(count), reference.clone(), "shards = {}", count);
+        }
+    }
+
     /// Simulation and numerical solution agree on the two-state chain for
     /// random rates (loose tolerance: simulation noise).
     #[test]
