@@ -231,16 +231,7 @@ mod tests {
     /// assignment, and no reads outside its declared snapshot view.
     #[test]
     fn builtin_policies_lint_clean() {
-        for kind in [
-            PolicyKind::RoundRobin,
-            PolicyKind::StrictCo,
-            PolicyKind::relaxed_co_default(),
-            PolicyKind::Balance,
-            PolicyKind::credit_default(),
-            PolicyKind::sedf_default(),
-            PolicyKind::bvt_default(),
-            PolicyKind::Fcfs,
-        ] {
+        for kind in PolicyKind::all() {
             let diags = lint_policy(&kind);
             assert!(
                 diags.is_empty(),

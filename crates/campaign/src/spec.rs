@@ -111,6 +111,16 @@ pub enum PolicySpec {
         /// The credit parameters.
         credit: CreditParams,
     },
+    /// Parameterized SEDF scheduler.
+    Sedf {
+        /// The SEDF parameters.
+        sedf: SedfParams,
+    },
+    /// Parameterized BVT scheduler.
+    Bvt {
+        /// The BVT parameters.
+        bvt: BvtParams,
+    },
 }
 
 /// RCS parameters.
@@ -129,6 +139,22 @@ pub struct RcsParams {
 pub struct CreditParams {
     /// Credit refill period in ticks.
     pub refill_period: u64,
+}
+
+/// SEDF parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SedfParams {
+    /// Reservation period in ticks.
+    pub period: u64,
+}
+
+/// BVT parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct BvtParams {
+    /// Maximum wake-up lag in weighted virtual-time units.
+    pub max_lag: u64,
 }
 
 impl PolicySpec {
@@ -159,6 +185,69 @@ impl PolicySpec {
             PolicySpec::Credit { credit } => Ok(PolicyKind::Credit {
                 refill_period: credit.refill_period,
             }),
+            PolicySpec::Sedf { sedf } => Ok(PolicyKind::Sedf {
+                period: sedf.period,
+            }),
+            PolicySpec::Bvt { bvt } => Ok(PolicyKind::Bvt {
+                max_lag: bvt.max_lag,
+            }),
+        }
+    }
+
+    /// The canonical spec of a [`PolicyKind`]: default parameters collapse
+    /// to the bare label (so the spec hashes to the same cell key as a
+    /// hand-written `"rcs"`), non-default parameters stay explicit.
+    /// Round-trips: `from_kind(k).to_kind() == k` for every kind.
+    #[must_use]
+    pub fn from_kind(kind: &PolicyKind) -> PolicySpec {
+        let label = |s: &str| PolicySpec::Label(s.into());
+        match *kind {
+            PolicyKind::RoundRobin => label("rrs"),
+            PolicyKind::StrictCo => label("scs"),
+            PolicyKind::RelaxedCo {
+                skew_threshold,
+                skew_resume,
+            } => {
+                if *kind == PolicyKind::relaxed_co_default() {
+                    label("rcs")
+                } else {
+                    PolicySpec::Rcs {
+                        rcs: RcsParams {
+                            skew_threshold,
+                            skew_resume,
+                        },
+                    }
+                }
+            }
+            PolicyKind::Balance => label("balance"),
+            PolicyKind::Credit { refill_period } => {
+                if *kind == PolicyKind::credit_default() {
+                    label("credit")
+                } else {
+                    PolicySpec::Credit {
+                        credit: CreditParams { refill_period },
+                    }
+                }
+            }
+            PolicyKind::Sedf { period } => {
+                if *kind == PolicyKind::sedf_default() {
+                    label("sedf")
+                } else {
+                    PolicySpec::Sedf {
+                        sedf: SedfParams { period },
+                    }
+                }
+            }
+            PolicyKind::Bvt { max_lag } => {
+                if *kind == PolicyKind::bvt_default() {
+                    label("bvt")
+                } else {
+                    PolicySpec::Bvt {
+                        bvt: BvtParams { max_lag },
+                    }
+                }
+            }
+            PolicyKind::Fcfs => label("fcfs"),
         }
     }
 }
@@ -290,14 +379,50 @@ fn default_seed() -> u64 {
     0x5eed
 }
 
+/// Overrides of one VM's workload, relative to the cell's shared workload
+/// fields. Every field is optional; omissions inherit the cell-level
+/// value. Used by heterogeneous scenarios (e.g. the policy tournament's
+/// corpus), where VMs differ in load, sync behavior, or both.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct VmWorkloadSpec {
+    /// Job-duration distribution override.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub load: Option<DistSpec>,
+    /// Synchronization-ratio override.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sync_ratio: Option<(u32, u32)>,
+    /// Deterministic every-`k`-th sync-point override.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sync_every: Option<u32>,
+    /// Synchronization-mechanism override.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sync_mechanism: Option<SyncMechanismSpec>,
+    /// Interarrival-distribution override.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub interarrival: Option<DistSpec>,
+}
+
+impl VmWorkloadSpec {
+    /// Whether this override changes nothing. Cell builders drop all-noop
+    /// override lists so the canonical form (and store key) collapses to
+    /// the homogeneous spelling.
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        *self == VmWorkloadSpec::default()
+    }
+}
+
 /// A fully-resolved campaign cell: everything one simulation run depends
 /// on. The serialized form of this struct (after a parse round-trip, so
 /// defaults are materialized and field order is fixed) is the canonical
 /// representation hashed by [`crate::key::cell_key`].
 ///
-/// All VMs share one workload characterization — the paper's evaluation
-/// setting. Heterogeneous per-VM workloads remain the province of the CLI
-/// `run` config.
+/// All VMs share one workload characterization by default — the paper's
+/// evaluation setting. Heterogeneous cells (per-VM weights or workload
+/// overrides) use the optional `weights` / `vm_workloads` fields; when
+/// those are omitted the serialized form — and therefore the store key —
+/// is identical to a pre-extension cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
 pub struct CellConfig {
@@ -305,9 +430,18 @@ pub struct CellConfig {
     pub pcpus: usize,
     /// VCPU count of each VM, e.g. `[2, 1, 1]`.
     pub vms: Vec<usize>,
+    /// Proportional-share weight of each VM (default: all 1). When set,
+    /// the length must match `vms`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub weights: Option<Vec<u32>>,
     /// Synchronization ratio as the paper writes it: `[1, 5]` is 1:5.
     #[serde(default = "default_sync_ratio")]
     pub sync_ratio: (u32, u32),
+    /// Direct Bernoulli sync-point probability. Overrides `sync_ratio`;
+    /// mutually exclusive with `sync_every`. Lets cells express
+    /// fuzz-generated scenarios whose probability is not a small ratio.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sync_probability: Option<f64>,
     /// Deterministic pattern: every `k`-th workload is a sync point. When
     /// set, the Bernoulli `sync_ratio` probability is disabled.
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -324,6 +458,10 @@ pub struct CellConfig {
     /// Interarrival distribution; omit for a saturated generator.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub interarrival: Option<DistSpec>,
+    /// Per-VM workload overrides of the shared fields above. When set,
+    /// the length must match `vms`; entry `i` overrides VM `i`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub vm_workloads: Option<Vec<VmWorkloadSpec>>,
     /// The scheduling policy (default `"rrs"`).
     #[serde(default = "default_policy")]
     pub policy: PolicySpec,
@@ -354,10 +492,38 @@ impl CellConfig {
     ///
     /// [`CoreError::InvalidConfig`] naming the offending parameter.
     pub fn validate(&self) -> Result<(), CoreError> {
+        let invalid = |reason: String| Err(CoreError::InvalidConfig { reason });
         if self.timeslice == 0 {
-            return Err(CoreError::InvalidConfig {
-                reason: "timeslice must be at least 1 tick".into(),
-            });
+            return invalid("timeslice must be at least 1 tick".into());
+        }
+        if let Some(weights) = &self.weights {
+            if weights.len() != self.vms.len() {
+                return invalid(format!(
+                    "weights has {} entries for {} VMs",
+                    weights.len(),
+                    self.vms.len()
+                ));
+            }
+            if weights.contains(&0) {
+                return invalid("VM weights must be at least 1".into());
+            }
+        }
+        if let Some(p) = self.sync_probability {
+            if !(0.0..=1.0).contains(&p) {
+                return invalid(format!("sync_probability {p} outside [0, 1]"));
+            }
+            if self.sync_every.is_some() {
+                return invalid("sync_probability and sync_every are mutually exclusive".into());
+            }
+        }
+        if let Some(overrides) = &self.vm_workloads {
+            if overrides.len() != self.vms.len() {
+                return invalid(format!(
+                    "vm_workloads has {} entries for {} VMs",
+                    overrides.len(),
+                    self.vms.len()
+                ));
+            }
         }
         self.replications.validate()?;
         self.policy.to_kind()?.validate()
@@ -370,12 +536,16 @@ impl CellConfig {
     /// [`CoreError::InvalidConfig`] for invalid parameters (no VMs, zero
     /// timeslice, bad sync ratio, …).
     pub fn system(&self) -> Result<SystemConfig, CoreError> {
+        self.validate()?;
         let mut workload = WorkloadSpec::paper_default();
         workload.load = self.load.to_dist()?;
         workload = workload.with_sync_ratio(self.sync_ratio.0, self.sync_ratio.1)?;
         if let Some(k) = self.sync_every {
             workload.sync_probability = 0.0;
             workload = workload.with_sync_every(k)?;
+        }
+        if let Some(p) = self.sync_probability {
+            workload.sync_probability = p;
         }
         workload.sync_mechanism = self.sync_mechanism.to_mechanism();
         workload.interarrival = match &self.interarrival {
@@ -385,11 +555,30 @@ impl CellConfig {
         let mut b = SystemConfig::builder()
             .pcpus(self.pcpus)
             .timeslice(self.timeslice);
-        for &vcpus in &self.vms {
+        for (i, &vcpus) in self.vms.iter().enumerate() {
+            let mut vm_workload = workload.clone();
+            if let Some(ov) = self.vm_workloads.as_ref().map(|o| &o[i]) {
+                if let Some(load) = &ov.load {
+                    vm_workload.load = load.to_dist()?;
+                }
+                if let Some((a, b)) = ov.sync_ratio {
+                    vm_workload = vm_workload.with_sync_ratio(a, b)?;
+                }
+                if let Some(k) = ov.sync_every {
+                    vm_workload.sync_probability = 0.0;
+                    vm_workload = vm_workload.with_sync_every(k)?;
+                }
+                if let Some(mechanism) = ov.sync_mechanism {
+                    vm_workload.sync_mechanism = mechanism.to_mechanism();
+                }
+                if let Some(inter) = &ov.interarrival {
+                    vm_workload.interarrival = Some(inter.to_dist()?);
+                }
+            }
             b = b.vm_spec(VmSpec {
                 vcpus,
-                workload: workload.clone(),
-                weight: 1,
+                workload: vm_workload,
+                weight: self.weights.as_ref().map_or(1, |w| w[i]),
             });
         }
         b.build()
@@ -677,6 +866,112 @@ mod tests {
         .unwrap();
         let err = cell.validate().unwrap_err();
         assert!(err.to_string().contains("skew_threshold"), "{err}");
+    }
+
+    #[test]
+    fn heterogeneous_cell_applies_weights_and_overrides() {
+        let cell: CellConfig = serde_json::from_str(
+            r#"{ "pcpus": 4, "vms": [4, 2], "weights": [4, 1],
+                 "vm_workloads": [
+                   { "load": { "uniform": { "low": 5.0, "high": 15.0 } },
+                     "sync_ratio": [1, 3], "sync_mechanism": "spinlock" },
+                   {} ] }"#,
+        )
+        .unwrap();
+        let sys = cell.system().unwrap();
+        assert_eq!(sys.vms()[0].weight, 4);
+        assert_eq!(sys.vms()[1].weight, 1);
+        assert_eq!(
+            sys.vms()[0].workload.sync_mechanism,
+            SyncMechanism::SpinLock
+        );
+        assert_eq!(sys.vms()[1].workload.sync_mechanism, SyncMechanism::Barrier);
+        assert!((sys.vms()[0].workload.sync_probability - 1.0 / 3.0).abs() < 1e-12);
+        assert!(
+            (sys.vms()[1].workload.sync_probability - 0.2).abs() < 1e-12,
+            "paper default"
+        );
+        assert!(cell.vm_workloads.as_ref().unwrap()[1].is_noop());
+    }
+
+    #[test]
+    fn sync_probability_overrides_ratio() {
+        let cell: CellConfig =
+            serde_json::from_str(r#"{ "pcpus": 2, "vms": [2], "sync_probability": 0.17 }"#)
+                .unwrap();
+        let sys = cell.system().unwrap();
+        assert!((sys.vms()[0].workload.sync_probability - 0.17).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_cell_validation() {
+        let bad = |json: &str, needle: &str| {
+            let cell: CellConfig = serde_json::from_str(json).unwrap();
+            let err = cell.validate().unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        };
+        bad(
+            r#"{ "pcpus": 2, "vms": [2, 1], "weights": [1] }"#,
+            "weights",
+        );
+        bad(
+            r#"{ "pcpus": 2, "vms": [2], "weights": [0] }"#,
+            "weights must be at least 1",
+        );
+        bad(
+            r#"{ "pcpus": 2, "vms": [2], "sync_probability": 1.5 }"#,
+            "sync_probability",
+        );
+        bad(
+            r#"{ "pcpus": 2, "vms": [2], "sync_probability": 0.2, "sync_every": 3 }"#,
+            "mutually exclusive",
+        );
+        bad(
+            r#"{ "pcpus": 2, "vms": [2, 1], "vm_workloads": [{}] }"#,
+            "vm_workloads",
+        );
+    }
+
+    #[test]
+    fn homogeneous_cells_keep_their_canonical_form() {
+        // The new optional fields must be invisible in the canonical JSON
+        // of a cell that does not use them — store keys of every
+        // previously-simulated cell stay valid.
+        let cell: CellConfig =
+            serde_json::from_str(r#"{ "pcpus": 4, "vms": [2, 4], "sync_ratio": [1, 3] }"#).unwrap();
+        let canonical = serde_json::to_string(&cell).unwrap();
+        for absent in ["weights", "sync_probability", "vm_workloads"] {
+            assert!(!canonical.contains(absent), "{absent} leaked: {canonical}");
+        }
+    }
+
+    #[test]
+    fn policy_spec_from_kind_round_trips() {
+        for kind in PolicyKind::all() {
+            let spec = PolicySpec::from_kind(&kind);
+            assert!(
+                matches!(spec, PolicySpec::Label(_)),
+                "registry defaults collapse to labels: {kind}"
+            );
+            assert_eq!(spec.to_kind().unwrap(), kind);
+        }
+        for kind in [
+            PolicyKind::RelaxedCo {
+                skew_threshold: 9,
+                skew_resume: 4,
+            },
+            PolicyKind::Credit { refill_period: 77 },
+            PolicyKind::Sedf { period: 55 },
+            PolicyKind::Bvt { max_lag: 1234 },
+        ] {
+            let spec = PolicySpec::from_kind(&kind);
+            assert!(!matches!(spec, PolicySpec::Label(_)), "{kind}");
+            assert_eq!(spec.to_kind().unwrap(), kind);
+            // And the parameterized forms survive a JSON round trip.
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: PolicySpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
     }
 
     #[test]

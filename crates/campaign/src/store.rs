@@ -216,9 +216,23 @@ mod tests {
         )
         .unwrap();
         assert!(store.load(&key).is_err());
-        // Truncated JSON.
-        fs::write(dir.join("cells").join(format!("{key}.json")), "{ \"key\":").unwrap();
-        assert!(store.load(&key).is_err());
+        // Malformed, truncated, and empty entries must all surface as a
+        // typed spec error naming the offending file — never a panic and
+        // never a bare parser message with no path.
+        let entry_path = dir.join("cells").join(format!("{key}.json"));
+        for body in ["{ \"key\":", "not json at all", ""] {
+            fs::write(&entry_path, body).unwrap();
+            let err = store.load(&key).unwrap_err();
+            assert!(
+                matches!(err, crate::CampaignError::Spec { .. }),
+                "{body:?}: {err}"
+            );
+            let msg = err.to_string();
+            assert!(
+                msg.contains("corrupt store entry") && msg.contains(&format!("{key}.json")),
+                "{body:?}: {msg}"
+            );
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 }

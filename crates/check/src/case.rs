@@ -246,6 +246,16 @@ mod tests {
         std::fs::write(&garbage, "{not json").unwrap();
         let err = Reproducer::load(&garbage).unwrap_err();
         assert!(matches!(err, CheckError::Parse { .. }));
+
+        // A reproducer cut off mid-write must surface as a typed parse
+        // error whose message names the file, not a panic or a bare
+        // serde message (this is what `vsched fuzz --replay` prints).
+        let truncated = dir.join("truncated.json");
+        let full = rep.to_json();
+        std::fs::write(&truncated, &full[..full.len() / 2]).unwrap();
+        let err = Reproducer::load(&truncated).unwrap_err();
+        assert!(matches!(err, CheckError::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("truncated.json"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

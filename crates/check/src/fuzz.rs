@@ -74,6 +74,8 @@ pub struct FuzzReport {
     pub incremental_divergences: usize,
     /// SAN sequential-vs-sharded divergences.
     pub sharded_divergences: usize,
+    /// Env episode-vs-monolithic or episode-vs-replay divergences.
+    pub env_divergences: usize,
     /// Outright run errors.
     pub errors: usize,
     /// The shrunk failures, in case order.
@@ -93,7 +95,8 @@ impl FuzzReport {
         format!(
             "fuzz: {} cases, {} lint findings, {} invariant violations, \
              {} differential mismatches, {} metamorphic mismatches, \
-             {} incremental divergences, {} sharded divergences, {} errors",
+             {} incremental divergences, {} sharded divergences, \
+             {} env divergences, {} errors",
             self.cases,
             self.lint_findings,
             self.invariant_violations,
@@ -101,6 +104,7 @@ impl FuzzReport {
             self.metamorphic_mismatches,
             self.incremental_divergences,
             self.sharded_divergences,
+            self.env_divergences,
             self.errors
         )
     }
@@ -131,6 +135,7 @@ pub fn run_fuzz(opts: &FuzzOpts) -> Result<FuzzReport, CheckError> {
         metamorphic_mismatches: 0,
         incremental_divergences: 0,
         sharded_divergences: 0,
+        env_divergences: 0,
         errors: 0,
         failures: Vec::new(),
     };
@@ -147,6 +152,7 @@ pub fn run_fuzz(opts: &FuzzOpts) -> Result<FuzzReport, CheckError> {
                 FailureKind::Metamorphic => report.metamorphic_mismatches += 1,
                 FailureKind::Incremental => report.incremental_divergences += 1,
                 FailureKind::Sharded => report.sharded_divergences += 1,
+                FailureKind::Env => report.env_divergences += 1,
                 FailureKind::Error => report.errors += 1,
             }
         }

@@ -116,28 +116,32 @@ impl CaseGen {
         }
     }
 
+    /// Draws a policy from the canonical [`PolicyKind::all`] registry
+    /// (one index draw over its length, so a registry addition widens the
+    /// envelope automatically), then randomizes the parameters of the
+    /// parameterized kinds. The draw sequence is identical to earlier
+    /// hand-enumerated versions of this function for the current registry,
+    /// keeping every `(seed, index)` case stable.
     fn policy(rng: &mut Xoshiro256StarStar) -> PolicyKind {
-        match rng.next_below(8) {
-            0 => PolicyKind::RoundRobin,
-            1 => PolicyKind::StrictCo,
-            2 => {
+        let mut all = PolicyKind::all();
+        match all.swap_remove(rng.next_below(all.len() as u64) as usize) {
+            PolicyKind::RelaxedCo { .. } => {
                 let skew_resume = 1 + rng.next_below(3);
                 PolicyKind::RelaxedCo {
                     skew_threshold: skew_resume + 1 + rng.next_below(8),
                     skew_resume,
                 }
             }
-            3 => PolicyKind::Balance,
-            4 => PolicyKind::Credit {
+            PolicyKind::Credit { .. } => PolicyKind::Credit {
                 refill_period: 10 + rng.next_below(50),
             },
-            5 => PolicyKind::Sedf {
+            PolicyKind::Sedf { .. } => PolicyKind::Sedf {
                 period: 20 + rng.next_below(180),
             },
-            6 => PolicyKind::Bvt {
+            PolicyKind::Bvt { .. } => PolicyKind::Bvt {
                 max_lag: 500 + rng.next_below(5_000),
             },
-            _ => PolicyKind::Fcfs,
+            fixed => fixed,
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The differential and metamorphic oracle: decides whether one fuzz
 //! case passes.
 //!
-//! Seven independent verdicts feed [`run_case`]:
+//! Eight independent verdicts feed [`run_case`]:
 //!
 //! 0. **Lint** — the static analyzer (`vsched-analyze`, quick budget)
 //!    examines the case's built SAN model and policy before anything is
@@ -36,6 +36,12 @@
 //!    conflict-free per-VM shards fired in parallel) must be
 //!    bit-identical to the sequential engine on the same seed, by the
 //!    same three comparisons as the incremental verdict.
+//! 7. **Env** — a `vsched-env` episode driven by the case's policy *fed
+//!    from observations* must be bit-identical to the monolithic
+//!    `run_replication` on both engines (same cumulative metrics — any
+//!    divergence in RNG draws or markings would change them), and a
+//!    replay of the recorded actions must reproduce the episode's
+//!    observation, reward, and fingerprint streams exactly.
 //!
 //! Tolerances are calibrated so a 200-case run makes ~6000 comparisons
 //! with a near-zero false-positive budget; see [`OracleOpts`].
@@ -69,6 +75,9 @@ pub enum FailureKind {
     /// The SAN engine's sharded (parallel intra-replication) mode
     /// diverged from the sequential engine on the same seed.
     Sharded,
+    /// A `vsched-env` episode diverged from the monolithic run, or a
+    /// replay of its recorded actions diverged from the episode.
+    Env,
     /// A run errored outright (bad config, engine failure).
     Error,
 }
@@ -82,6 +91,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::Metamorphic => "metamorphic",
             FailureKind::Incremental => "incremental",
             FailureKind::Sharded => "sharded",
+            FailureKind::Env => "env",
             FailureKind::Error => "error",
         };
         f.write_str(s)
@@ -155,6 +165,11 @@ pub struct OracleOpts {
     /// intra-replication sharding (`shards = 4`), and require bit-identical
     /// results — the sharded engine's headline correctness claim.
     pub check_sharded: bool,
+    /// Drive a `vsched-env` episode with the case's policy on both
+    /// engines, compare its metrics bit-for-bit with the monolithic run,
+    /// and replay its recorded actions — the environment's episode-replay
+    /// determinism claim.
+    pub check_env: bool,
 }
 
 impl Default for OracleOpts {
@@ -170,6 +185,7 @@ impl Default for OracleOpts {
             check_metamorphic: true,
             check_incremental: true,
             check_sharded: true,
+            check_env: true,
         }
     }
 }
@@ -289,6 +305,10 @@ pub fn run_case(case: &FuzzCase, opts: &OracleOpts) -> CaseOutcome {
 
     if opts.check_sharded {
         failures.extend(sharded_check(&config, case));
+    }
+
+    if opts.check_env {
+        failures.extend(env_check(&config, case));
     }
 
     CaseOutcome {
@@ -508,6 +528,92 @@ fn sharded_check(config: &SystemConfig, case: &FuzzCase) -> Vec<Failure> {
             })
             .collect(),
     }
+}
+
+/// Episode-vs-monolithic differential through `vsched-env`: the case's
+/// policy drives a gym-style episode *fed from observations* (masked to
+/// its declared snapshot view) on each engine, and the episode's
+/// cumulative metrics must match `run_replication` bit-for-bit — the
+/// rendezvous relay consults the policy at exactly the same epochs with
+/// views that differ only in fields the contract says it never reads, so
+/// any divergence (in metrics, and therefore in markings or RNG draws)
+/// is a bug in the environment layer. The recorded actions are then
+/// replayed: the observation digest, reward stream, and terminal
+/// fingerprint must reproduce exactly — the episode-replay determinism
+/// claim.
+fn env_check(config: &SystemConfig, case: &FuzzCase) -> Vec<Failure> {
+    let mut failures = Vec::new();
+    for (label, engine) in [("direct", Engine::Direct), ("san", Engine::San)] {
+        let scenario = vsched_env::Scenario::new(config.clone())
+            .engine(engine)
+            .warmup(case.warmup)
+            .horizon(case.horizon);
+        let mut policy = case.policy.create();
+        let fields = policy.snapshot_view();
+        let mut env = vsched_env::Env::new(scenario.clone())
+            .fields(fields)
+            .agent_name("env-verdict");
+        let run = match vsched_env::drive_policy(&mut env, policy.as_mut(), case.seed) {
+            Ok(run) => run,
+            Err(e) => {
+                failures.push(Failure {
+                    kind: FailureKind::Error,
+                    detail: format!("[{label}] env episode: {e}"),
+                });
+                continue;
+            }
+        };
+        match ExperimentBuilder::new(config.clone(), case.policy.clone())
+            .engine(engine)
+            .warmup(case.warmup)
+            .horizon(case.horizon)
+            .seed(case.seed)
+            .run_replication(0)
+        {
+            Ok(mono) => {
+                if mono != run.end.metrics {
+                    failures.push(Failure {
+                        kind: FailureKind::Env,
+                        detail: format!(
+                            "[{label}] episode metrics diverge from the monolithic run"
+                        ),
+                    });
+                }
+            }
+            Err(e) => failures.push(Failure {
+                kind: FailureKind::Error,
+                detail: format!("[{label}] monolithic reference run: {e}"),
+            }),
+        }
+        let mut replay_env = vsched_env::Env::new(scenario).fields(fields);
+        match vsched_env::replay_actions(&mut replay_env, &run.actions, case.seed) {
+            Ok(replay) => {
+                if replay.obs_digest != run.obs_digest {
+                    failures.push(Failure {
+                        kind: FailureKind::Env,
+                        detail: format!("[{label}] replayed observation stream diverges"),
+                    });
+                }
+                if replay.rewards != run.rewards {
+                    failures.push(Failure {
+                        kind: FailureKind::Env,
+                        detail: format!("[{label}] replayed reward stream diverges"),
+                    });
+                }
+                if replay.end.fingerprint != run.end.fingerprint {
+                    failures.push(Failure {
+                        kind: FailureKind::Env,
+                        detail: format!("[{label}] replayed terminal fingerprint diverges"),
+                    });
+                }
+            }
+            Err(e) => failures.push(Failure {
+                kind: FailureKind::Error,
+                detail: format!("[{label}] env replay: {e}"),
+            }),
+        }
+    }
+    failures
 }
 
 /// One invariant-checked run per engine.

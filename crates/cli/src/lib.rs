@@ -30,9 +30,11 @@
 pub mod config;
 pub mod output;
 pub mod perf;
+pub mod tournament;
 
 pub use config::{
     CreditParams, DistSpec, ExperimentConfig, PolicySpec, RcsParams, VmConfig, WorkloadConfig,
 };
 pub use output::render_report;
 pub use perf::{run_perf, PerfOpts, PerfReport};
+pub use tournament::{render_policy_registry, run_tournament, TournamentOpts, TournamentReport};

@@ -7,6 +7,9 @@
 //! vsched fuzz --replay <case.json>
 //! vsched lint [<config.json>...] [--deny warnings] [--format json]
 //! vsched perf [--out BENCH_perf.json] [--ticks N] [--baseline FILE]
+//! vsched tournament [--configs DIR] [--agent CMD] [--policies LIST]
+//! vsched env <config.json> [--socket PATH | --agent CMD]
+//! vsched policies                                 list the policy registry
 //! vsched example                                  print a starter config
 //! vsched help                                     this message
 //! ```
@@ -37,6 +40,15 @@ USAGE:
     vsched perf [--out <report.json>] [--ticks <N>] [--seed <S>]
                 [--baseline <report.json>] [--max-regression <X>]
                 [--max-vms <N>] [--shards <N,N,...>]
+    vsched tournament [--configs <dir>] [--store <dir>] [--out <report.json>]
+                      [--policies <l1,l2,...>] [--agent <cmd>]...
+                      [--fuzz-scenarios <N>] [--fuzz-seed <S>]
+                      [--warmup <N>] [--horizon <N>] [--replications <N>]
+                      [--seed <S>] [--timeout <secs>] [--jobs <N>] [--quiet]
+    vsched env <config.json> [--socket <path> | --agent <cmd>]
+                [--name <label>] [--seed <S>] [--timeout <secs>]
+                [--warmup <N>] [--horizon <N>]
+    vsched policies
     vsched example
     vsched help
 
@@ -62,6 +74,23 @@ COMMANDS:
               no arguments, lints the paper model under its policy trio;
               with config or sweep-spec files, lints every distinct
               (system, policy) cell they describe.
+    tournament
+              Rank scheduling policies against each other: every registered
+              built-in (plus any external `--agent` processes speaking the
+              vsched-env JSON-lines protocol) plays every scenario in the
+              corpus — the lint-clean run configs under `--configs` plus a
+              batch of fuzz-generated scenarios — and is ranked on the
+              paper's three metrics. Built-in results go through the
+              content-addressed store, so a warm re-run simulates nothing;
+              agent faults forfeit the scenario but never abort the run.
+    env       Host one experiment as a gym-style environment. By default
+              serves the JSON-lines protocol on stdin/stdout (an agent
+              process connects the other way around); `--socket` serves one
+              connection on a Unix socket instead, and `--agent` flips the
+              hosting direction: vsched spawns the agent, plays one episode
+              against it, and prints the resulting metrics.
+    policies  List the policy registry: every built-in algorithm with its
+              config-file label and the observation fields it reads.
     perf      Time the SAN engine's incremental reevaluation core against
               its full-rescan reference mode across a model-size scaling
               axis (1 to 16 VMs), verify both modes end bit-identical,
@@ -128,6 +157,39 @@ OPTIONS (perf):
                            axis, each >= 2 (default 4). The sequential
                            engine always runs as the reference.
 
+OPTIONS (tournament):
+    --configs <dir>        Directory of run-config scenarios (default
+                           `configs`; sweep specs are skipped).
+    --store <dir>          Result store for built-in contestants (default
+                           `.tournament-store`).
+    --out <path>           Also write the ranking report as JSON.
+    --policies <l1,l2,..>  Restrict built-ins to these labels (default all).
+    --agent <cmd>          Add an external contestant (repeatable). The
+                           command is spawned per scenario episode and
+                           speaks the vsched-env protocol on stdio.
+    --fuzz-scenarios <N>   Fuzz-generated scenarios to append (default 2).
+    --fuzz-seed <S>        Seed of the scenario generator (default 42).
+    --warmup <N>           Warm-up ticks per scenario (default 500).
+    --horizon <N>          Measured ticks per scenario (default 4000).
+    --replications <N>     Replications per contestant (default 2; min 2).
+    --seed <S>             Base simulation seed (default 0x5eed).
+    --timeout <secs>       Per-message agent timeout (default 10).
+    --jobs <N>             Cell worker threads (default: one per core).
+    --quiet                Suppress progress output.
+
+OPTIONS (env):
+    --socket <path>        Serve one connection on a Unix socket instead of
+                           stdin/stdout.
+    --agent <cmd>          Host the episode: spawn the agent, play it to
+                           completion, print the metrics.
+    --name <label>         Environment name sent in the handshake
+                           (default: the config file stem).
+    --seed <S>             Episode seed in --agent mode (default: the
+                           config's seed, else 0x5eed).
+    --timeout <secs>       Per-message timeout in --agent mode (default 10).
+    --warmup <N>           Override the config's warm-up ticks.
+    --horizon <N>          Override the config's measured ticks.
+
 The config format is documented in the vsched-cli crate docs; `vsched
 example > exp.json` is the quickest start. The paper campaign lives at
 configs/paper.sweep.json: `vsched sweep configs/paper.sweep.json`
@@ -160,6 +222,12 @@ fn main() -> ExitCode {
         Some("fuzz") => fuzz(&args[1..]),
         Some("lint") => lint(&args[1..]),
         Some("perf") => perf(&args[1..]),
+        Some("tournament") => tournament(&args[1..]),
+        Some("env") => env_cmd(&args[1..]),
+        Some("policies") => {
+            print!("{}", vsched_cli::render_policy_registry());
+            ExitCode::SUCCESS
+        }
         Some("example") => {
             println!("{EXAMPLE}");
             ExitCode::SUCCESS
@@ -497,6 +565,312 @@ fn perf(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn tournament(args: &[String]) -> ExitCode {
+    let mut opts = vsched_cli::TournamentOpts::default();
+    let mut out_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--configs" => match it.next() {
+                Some(p) => opts.config_dir = PathBuf::from(p),
+                None => {
+                    eprintln!("error: --configs requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--store" => match it.next() {
+                Some(p) => opts.store_dir = PathBuf::from(p),
+                None => {
+                    eprintln!("error: --store requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--policies" => match it.next() {
+                Some(list) => {
+                    opts.policies = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+                }
+                None => {
+                    eprintln!("error: --policies requires a comma-separated list");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--agent" => match it.next() {
+                Some(cmd) => opts.agents.push(cmd.clone()),
+                None => {
+                    eprintln!("error: --agent requires a command");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fuzz-scenarios" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) => opts.fuzz_scenarios = n,
+                _ => {
+                    eprintln!("error: --fuzz-scenarios requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fuzz-seed" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) => opts.fuzz_seed = n,
+                _ => {
+                    eprintln!("error: --fuzz-seed requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--warmup" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) => opts.warmup = n,
+                _ => {
+                    eprintln!("error: --warmup requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--horizon" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => opts.horizon = n,
+                _ => {
+                    eprintln!("error: --horizon requires a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--replications" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 2 => opts.replications = n,
+                _ => {
+                    eprintln!("error: --replications requires a number >= 2");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) => opts.seed = n,
+                _ => {
+                    eprintln!("error: --seed requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--timeout" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => opts.timeout = std::time::Duration::from_secs(n),
+                _ => {
+                    eprintln!("error: --timeout requires a positive number of seconds");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => opts.jobs = Some(n),
+                _ => {
+                    eprintln!("error: --jobs requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quiet" => opts.quiet = true,
+            p => {
+                eprintln!("error: unexpected argument `{p}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match vsched_cli::run_tournament(&opts) {
+        Ok(report) => {
+            print!("{}", report.render_text());
+            if let Some(out) = &out_path {
+                let body = match serde_json::to_string_pretty(&report.to_json()) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Err(e) = write_atomic(out, &body) {
+                    eprintln!("error: cannot write {}: {e}", out.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("[wrote {}]", out.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn env_cmd(args: &[String]) -> ExitCode {
+    let mut config_path: Option<&str> = None;
+    let mut socket: Option<PathBuf> = None;
+    let mut agent_cmd: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut timeout = vsched_env::DEFAULT_TIMEOUT;
+    let mut warmup: Option<u64> = None;
+    let mut horizon: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--warmup" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) => warmup = Some(n),
+                _ => {
+                    eprintln!("error: --warmup requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--horizon" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => horizon = Some(n),
+                _ => {
+                    eprintln!("error: --horizon requires a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--socket" => match it.next() {
+                Some(p) => socket = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --socket requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--agent" => match it.next() {
+                Some(cmd) => agent_cmd = Some(cmd.clone()),
+                None => {
+                    eprintln!("error: --agent requires a command");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--name" => match it.next() {
+                Some(n) => name = Some(n.clone()),
+                None => {
+                    eprintln!("error: --name requires a label");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) => seed = Some(n),
+                _ => {
+                    eprintln!("error: --seed requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--timeout" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => timeout = std::time::Duration::from_secs(n),
+                _ => {
+                    eprintln!("error: --timeout requires a positive number of seconds");
+                    return ExitCode::FAILURE;
+                }
+            },
+            p if config_path.is_none() && !p.starts_with('-') => config_path = Some(p),
+            p => {
+                eprintln!("error: unexpected argument `{p}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(config_path) = config_path else {
+        eprintln!("error: `vsched env` needs a config file\n\n{HELP}");
+        return ExitCode::FAILURE;
+    };
+    if socket.is_some() && agent_cmd.is_some() {
+        eprintln!("error: --socket and --agent are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    match run_env(
+        config_path,
+        socket,
+        agent_cmd,
+        name,
+        seed,
+        timeout,
+        warmup,
+        horizon,
+    ) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Hosts one experiment as a vsched-env environment (see `env_cmd`).
+#[allow(clippy::too_many_arguments)]
+fn run_env(
+    config_path: &str,
+    socket: Option<PathBuf>,
+    agent_cmd: Option<String>,
+    name: Option<String>,
+    seed: Option<u64>,
+    timeout: std::time::Duration,
+    warmup: Option<u64>,
+    horizon: Option<u64>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let text = read_file(Path::new(config_path))?;
+    let config = ExperimentConfig::from_json(&text)?;
+    let scenario = vsched_env::Scenario::new(config.system()?)
+        .engine(config.engine_kind()?)
+        .warmup(warmup.unwrap_or(config.warmup))
+        .horizon(horizon.unwrap_or(config.horizon));
+    let env_name = name.unwrap_or_else(|| {
+        Path::new(config_path)
+            .file_stem()
+            .map_or_else(|| "vsched-env".to_string(), |s| s.to_string_lossy().into())
+    });
+
+    if let Some(command) = agent_cmd {
+        // Hosting direction: we spawn the agent and drive one episode.
+        let mut agent = vsched_env::RemotePolicy::spawn(&command, &env_name, timeout)
+            .map_err(|e| format!("agent handshake: {e}"))?;
+        let mut env = vsched_env::Env::new(scenario)
+            .fields(agent.fields())
+            .agent_name(agent.name());
+        let episode_seed = seed.or(config.seed).unwrap_or(0x5eed);
+        let run = vsched_env::run_remote_episode(&mut env, &mut agent, episode_seed)
+            .map_err(|e| format!("episode: {e}"))?;
+        println!(
+            "episode: agent {} finished {} ticks ({} decisions)",
+            agent.name(),
+            run.end.ticks,
+            run.actions.len()
+        );
+        println!(
+            "  vcpu_utilization {:.4}  vcpu_availability {:.4}  pcpu_utilization {:.4}",
+            run.end.metrics.avg_vcpu_utilization(),
+            run.end.metrics.avg_vcpu_availability(),
+            run.end.metrics.avg_pcpu_utilization()
+        );
+        println!("  fingerprint {:#018x}", run.end.fingerprint);
+        return Ok(());
+    }
+
+    let stats = if let Some(path) = socket {
+        // One connection, then exit: the orchestrator on the other side
+        // decides how many episodes to play over it.
+        let _ = std::fs::remove_file(&path);
+        let listener = std::os::unix::net::UnixListener::bind(&path)
+            .map_err(|e| format!("bind {}: {e}", path.display()))?;
+        eprintln!("vsched env: listening on {}", path.display());
+        let (stream, _) = listener
+            .accept()
+            .map_err(|e| format!("accept on {}: {e}", path.display()))?;
+        let reader = stream.try_clone().map_err(|e| e.to_string())?;
+        let mut transport = vsched_env::LineTransport::new(reader, stream, None);
+        let stats = vsched_env::serve(&mut transport, &scenario, &env_name)
+            .map_err(|e| format!("serve: {e}"))?;
+        let _ = std::fs::remove_file(&path);
+        stats
+    } else {
+        // Protocol on stdout; keep the human-readable trailer on stderr.
+        let mut transport =
+            vsched_env::LineTransport::new(std::io::stdin(), std::io::stdout(), None);
+        vsched_env::serve(&mut transport, &scenario, &env_name)
+            .map_err(|e| format!("serve: {e}"))?
+    };
+    eprintln!(
+        "vsched env: served {} episode(s), {} fault(s)",
+        stats.episodes, stats.faults
+    );
+    Ok(())
+}
+
 fn lint(args: &[String]) -> ExitCode {
     let mut paths: Vec<String> = Vec::new();
     let mut deny_warnings = false;
@@ -566,13 +940,13 @@ fn run_lint(
         reports.push(vsched_analyze::lint_broken_fixture(opts));
     }
     if paths.is_empty() && !fixture {
-        // Default target: the paper model under the paper's policy trio.
+        // Default target: the paper model under every registered policy.
         let system = vsched_core::SystemConfig::builder()
             .pcpus(4)
             .vm(2)
             .vm(4)
             .build()?;
-        for kind in vsched_core::PolicyKind::paper_trio() {
+        for kind in vsched_core::PolicyKind::all() {
             let target = format!("paper:{}", kind.label());
             reports.push(vsched_analyze::lint_config(&target, &system, &kind, opts)?);
         }

@@ -367,6 +367,25 @@ impl PolicyKind {
         ]
     }
 
+    /// The canonical registry: every built-in algorithm, with default
+    /// parameters, in declaration order. This is the one list the fuzz
+    /// case generator, `vsched lint`, `vsched policies`, and the policy
+    /// tournament all draw from — a new variant added here is picked up
+    /// by all of them at once.
+    #[must_use]
+    pub fn all() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::RoundRobin,
+            PolicyKind::StrictCo,
+            PolicyKind::relaxed_co_default(),
+            PolicyKind::Balance,
+            PolicyKind::credit_default(),
+            PolicyKind::sedf_default(),
+            PolicyKind::bvt_default(),
+            PolicyKind::Fcfs,
+        ]
+    }
+
     /// Instantiates a fresh policy object.
     #[must_use]
     pub fn create(&self) -> Box<dyn SchedulingPolicy> {
@@ -437,6 +456,35 @@ impl PolicyKind {
             PolicyKind::Sedf { .. } => "SEDF",
             PolicyKind::Bvt { .. } => "BVT",
             PolicyKind::Fcfs => "FCFS",
+        }
+    }
+
+    /// One-line description for registry listings (`vsched policies`).
+    #[must_use]
+    pub fn describe(&self) -> &'static str {
+        match self {
+            PolicyKind::RoundRobin => {
+                "round-robin over ready VCPUs, oldest-waiting first (paper baseline)"
+            }
+            PolicyKind::StrictCo => {
+                "strict co-scheduling: a VM runs only when all siblings can run together"
+            }
+            PolicyKind::RelaxedCo { .. } => {
+                "relaxed co-scheduling: siblings run independently until skew exceeds a threshold"
+            }
+            PolicyKind::Balance => {
+                "balance scheduling: spreads sibling VCPUs across distinct PCPUs"
+            }
+            PolicyKind::Credit { .. } => {
+                "Xen-like proportional-share credit scheduler with periodic refill"
+            }
+            PolicyKind::Sedf { .. } => {
+                "simple earliest-deadline-first with per-VM reservation periods"
+            }
+            PolicyKind::Bvt { .. } => {
+                "borrowed virtual time: weighted fair queueing with bounded wake-up lag"
+            }
+            PolicyKind::Fcfs => "first-come-first-served run queue, no rotation",
         }
     }
 }
@@ -658,22 +706,31 @@ mod tests {
 
     #[test]
     fn policy_kind_factory_and_labels() {
-        for kind in [
-            PolicyKind::RoundRobin,
-            PolicyKind::StrictCo,
-            PolicyKind::relaxed_co_default(),
-            PolicyKind::Balance,
-            PolicyKind::credit_default(),
-            PolicyKind::sedf_default(),
-            PolicyKind::bvt_default(),
-            PolicyKind::Fcfs,
-        ] {
+        for kind in PolicyKind::all() {
             let policy = kind.create();
             assert!(!policy.name().is_empty());
             assert!(!kind.label().is_empty());
             assert_eq!(kind.to_string(), kind.label());
         }
         assert_eq!(PolicyKind::paper_trio().len(), 3);
+    }
+
+    #[test]
+    fn registry_is_canonical() {
+        let all = PolicyKind::all();
+        assert_eq!(all.len(), 8, "every built-in kind appears once");
+        // Labels are pairwise distinct — the registry doubles as a lookup
+        // table for `vsched policies` and the tournament.
+        let labels: std::collections::HashSet<_> = all.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), all.len());
+        // Default parameters all validate and instantiate.
+        for kind in &all {
+            kind.validate().unwrap();
+        }
+        // The paper trio is a prefix-preserving subset of the registry.
+        for kind in PolicyKind::paper_trio() {
+            assert!(all.contains(&kind));
+        }
     }
 
     #[test]

@@ -1,0 +1,697 @@
+//! The environment core: `reset`/`step` over either engine.
+//!
+//! # How decision epochs are surfaced
+//!
+//! Both engines *pull*: they call [`SchedulingPolicy::schedule`] once per
+//! tick, from inside `tick()` (direct engine) or the SAN `Scheduling_Func`
+//! output gate. A gym-style interface needs the opposite — the caller
+//! *pushes* an action and receives the next observation. The inversion is
+//! a rendezvous: the engine runs on its own thread behind a
+//! [`RelayPolicy`], an ordinary `SchedulingPolicy` whose `schedule()`
+//! ships the views over a channel and blocks until the environment sends
+//! the action back. Every decision epoch the agent sees is therefore
+//! *exactly* a point where the in-process policy would have been
+//! consulted, with exactly the views it would have received (masked to the
+//! declared fields — see [`crate::obs`]).
+//!
+//! The engine thread holds no locks while blocked and the environment
+//! reads shared metrics only while the engine is blocked, so the
+//! rendezvous is race-free by construction. Episodes are bit-identically
+//! replayable: same scenario, same seed, same action sequence — same
+//! observation, reward, and fingerprint streams, on either engine.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use vsched_core::direct::DirectSim;
+use vsched_core::san_model::SanSystem;
+use vsched_core::sched::ViewFields;
+use vsched_core::{
+    CoreError, Engine, PcpuView, SampleMetrics, ScheduleDecision, SchedulingPolicy, SystemConfig,
+    VcpuView,
+};
+
+use crate::obs::{Fnv, Observation, RewardWeights, StepInfo};
+
+/// Everything that defines an episode except the seed and the agent: the
+/// machine, the engine, and the warm-up/measurement split.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The simulated machine and workload.
+    pub config: SystemConfig,
+    /// Which engine executes the model.
+    pub engine: Engine,
+    /// Warm-up ticks: the agent is consulted (policy state evolves) but
+    /// rewards are zero and metrics discarded, as in `vsched run`.
+    pub warmup: u64,
+    /// Measured ticks after warm-up.
+    pub horizon: u64,
+}
+
+impl Scenario {
+    /// A scenario with the `vsched run` defaults (SAN engine, 1 000
+    /// warm-up ticks, 20 000 measured ticks).
+    #[must_use]
+    pub fn new(config: SystemConfig) -> Self {
+        Scenario {
+            config,
+            engine: Engine::San,
+            warmup: 1_000,
+            horizon: 20_000,
+        }
+    }
+
+    /// Selects the engine.
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the warm-up tick count.
+    #[must_use]
+    pub fn warmup(mut self, ticks: u64) -> Self {
+        self.warmup = ticks;
+        self
+    }
+
+    /// Sets the measured tick count.
+    #[must_use]
+    pub fn horizon(mut self, ticks: u64) -> Self {
+        self.horizon = ticks;
+        self
+    }
+
+    /// Total decision epochs per episode (one per tick).
+    #[must_use]
+    pub fn epochs(&self) -> u64 {
+        self.warmup + self.horizon
+    }
+}
+
+/// Errors surfaced by [`Env::reset`] and [`Env::step`].
+#[derive(Debug)]
+pub enum EnvError {
+    /// The engine rejected the scenario or failed mid-episode; includes
+    /// [`CoreError::PolicyViolation`] when an action fails
+    /// `validate_decision` — the episode is over, the process is fine.
+    Engine(CoreError),
+    /// `step` was called with no live episode (`reset` first).
+    NoEpisode,
+    /// The engine thread panicked — a bug, not an agent fault.
+    EngineThreadPanicked,
+    /// The scenario is degenerate (zero total ticks).
+    EmptyScenario,
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvError::Engine(e) => write!(f, "engine error: {e}"),
+            EnvError::NoEpisode => write!(f, "no live episode: call reset() before step()"),
+            EnvError::EngineThreadPanicked => write!(f, "engine thread panicked"),
+            EnvError::EmptyScenario => write!(f, "scenario has zero ticks (warmup + horizon)"),
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+impl From<CoreError> for EnvError {
+    fn from(e: CoreError) -> Self {
+        EnvError::Engine(e)
+    }
+}
+
+/// The outcome of one [`Env::step`].
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// The next observation (the terminal state snapshot when `done`).
+    pub obs: Observation,
+    /// Scalar reward: the differenced weighted metric scalar.
+    pub reward: f64,
+    /// Whether the episode is over. After `done`, call `reset`.
+    pub done: bool,
+    /// Per-metric breakdown behind the scalar.
+    pub info: StepInfo,
+}
+
+/// Terminal summary of a completed episode.
+#[derive(Debug, Clone)]
+pub struct EpisodeEnd {
+    /// FNV-1a fingerprint over the final true (unmasked) views and the
+    /// final tick — the replay-identity witness.
+    pub fingerprint: u64,
+    /// Cumulative post-warm-up metrics, as `vsched run` would report for
+    /// one replication.
+    pub metrics: SampleMetrics,
+    /// Ticks executed (always `warmup + horizon` unless halted early).
+    pub ticks: u64,
+}
+
+/// What the environment sends back into the blocked engine thread.
+enum ToSim {
+    /// The agent's decision for the pending epoch.
+    Act(ScheduleDecision),
+    /// Stop cooperating: drain the episode with empty decisions.
+    Halt,
+}
+
+/// One decision epoch, shipped out of the engine thread.
+struct Epoch {
+    vcpus: Vec<VcpuView>,
+    pcpus: Vec<PcpuView>,
+    timestamp: u64,
+    default_timeslice: u64,
+}
+
+/// Metrics snapshot shared between the engine thread and the environment.
+/// `generation` increments at the warm-up boundary so the reward baseline
+/// resets exactly once.
+#[derive(Default)]
+struct MetricsCell {
+    metrics: Option<SampleMetrics>,
+    generation: u64,
+}
+
+/// A [`SchedulingPolicy`] that rendezvouses with the environment: each
+/// `schedule()` call publishes the epoch and blocks for the action. After
+/// a halt or disconnect it *drains* — returns empty decisions so the
+/// engine can finish its tick loop and the thread can exit cleanly.
+struct RelayPolicy {
+    name: String,
+    fields: ViewFields,
+    epoch_tx: Sender<Epoch>,
+    act_rx: Receiver<ToSim>,
+    draining: bool,
+}
+
+impl SchedulingPolicy for RelayPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schedule(
+        &mut self,
+        vcpus: &[VcpuView],
+        pcpus: &[PcpuView],
+        timestamp: u64,
+        default_timeslice: u64,
+    ) -> ScheduleDecision {
+        if self.draining {
+            return ScheduleDecision::none();
+        }
+        let sent = self.epoch_tx.send(Epoch {
+            vcpus: vcpus.to_vec(),
+            pcpus: pcpus.to_vec(),
+            timestamp,
+            default_timeslice,
+        });
+        if sent.is_err() {
+            self.draining = true;
+            return ScheduleDecision::none();
+        }
+        match self.act_rx.recv() {
+            Ok(ToSim::Act(decision)) => decision,
+            Ok(ToSim::Halt) | Err(_) => {
+                self.draining = true;
+                ScheduleDecision::none()
+            }
+        }
+    }
+
+    fn snapshot_view(&self) -> ViewFields {
+        self.fields
+    }
+}
+
+/// Either engine behind the uniform per-tick interface the episode loop
+/// needs. `SanSystem::run` is resumable with integer event times, so a
+/// `run(1)` loop is bit-identical to one `run(n)` call.
+enum Sim {
+    Direct(Box<DirectSim>),
+    San(Box<SanSystem>),
+}
+
+impl Sim {
+    fn build(
+        scenario: &Scenario,
+        policy: Box<dyn SchedulingPolicy>,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        Ok(match scenario.engine {
+            Engine::Direct => Sim::Direct(Box::new(DirectSim::new(
+                scenario.config.clone(),
+                policy,
+                seed,
+            ))),
+            Engine::San => Sim::San(Box::new(SanSystem::new(
+                scenario.config.clone(),
+                policy,
+                seed,
+            )?)),
+        })
+    }
+
+    fn tick(&mut self) -> Result<(), CoreError> {
+        match self {
+            Sim::Direct(s) => s.tick(),
+            Sim::San(s) => s.run(1),
+        }
+    }
+
+    fn reset_metrics(&mut self) {
+        match self {
+            Sim::Direct(s) => s.reset_metrics(),
+            Sim::San(s) => s.reset_metrics(),
+        }
+    }
+
+    fn metrics(&self) -> SampleMetrics {
+        match self {
+            Sim::Direct(s) => s.metrics(),
+            Sim::San(s) => s.metrics(),
+        }
+    }
+
+    fn time(&self) -> u64 {
+        match self {
+            Sim::Direct(s) => s.time(),
+            Sim::San(s) => s.time(),
+        }
+    }
+
+    fn views(&self) -> (Vec<VcpuView>, Vec<PcpuView>) {
+        match self {
+            Sim::Direct(s) => (s.vcpu_views(), s.pcpu_views()),
+            Sim::San(s) => (s.vcpu_views(), s.pcpu_views()),
+        }
+    }
+}
+
+/// The engine-thread body: run warm-up, reset metrics, run the horizon,
+/// publishing cumulative metrics after every measured tick.
+fn run_episode(
+    scenario: Scenario,
+    seed: u64,
+    policy: Box<dyn SchedulingPolicy>,
+    shared: Arc<Mutex<MetricsCell>>,
+    halt: Arc<AtomicBool>,
+) -> Result<EpisodeEnd, CoreError> {
+    let mut sim = Sim::build(&scenario, policy, seed)?;
+    let mut ticks = 0u64;
+    'run: {
+        for _ in 0..scenario.warmup {
+            if halt.load(Ordering::Relaxed) {
+                break 'run;
+            }
+            sim.tick()?;
+            ticks += 1;
+        }
+        sim.reset_metrics();
+        {
+            let mut cell = shared.lock().expect("metrics cell");
+            cell.metrics = None;
+            cell.generation += 1;
+        }
+        for _ in 0..scenario.horizon {
+            if halt.load(Ordering::Relaxed) {
+                break 'run;
+            }
+            sim.tick()?;
+            ticks += 1;
+            shared.lock().expect("metrics cell").metrics = Some(sim.metrics());
+        }
+    }
+    let (vcpus, pcpus) = sim.views();
+    let mut h = Fnv::new();
+    h.push(sim.time());
+    for v in &vcpus {
+        h.push(v.id.global as u64);
+        h.push(v.status.to_token() as u64);
+        h.push(v.remaining_load);
+        h.push(u64::from(v.sync_point));
+        h.push_opt(v.assigned_pcpu.map(|p| p as u64));
+        h.push(v.timeslice_remaining);
+        h.push_opt(v.last_scheduled_in);
+        h.push(u64::from(v.vm_weight));
+    }
+    for p in &pcpus {
+        h.push(p.id as u64);
+        h.push_opt(p.assigned.map(|id| id.global as u64));
+    }
+    Ok(EpisodeEnd {
+        fingerprint: h.finish(),
+        metrics: sim.metrics(),
+        ticks,
+    })
+}
+
+/// A live episode: the engine thread plus its channels and reward state.
+struct LiveEpisode {
+    act_tx: Sender<ToSim>,
+    epoch_rx: Receiver<Epoch>,
+    shared: Arc<Mutex<MetricsCell>>,
+    halt: Arc<AtomicBool>,
+    handle: JoinHandle<Result<EpisodeEnd, CoreError>>,
+    prev_scalar: f64,
+    generation_seen: u64,
+    last_views: (Vec<VcpuView>, Vec<PcpuView>),
+}
+
+impl LiveEpisode {
+    /// Differences the weighted metric scalar against the previous step,
+    /// resetting the baseline when the warm-up boundary passed.
+    fn settle_reward(&mut self, weights: RewardWeights) -> (f64, StepInfo) {
+        let cell = self.shared.lock().expect("metrics cell");
+        if cell.generation != self.generation_seen {
+            self.generation_seen = cell.generation;
+            self.prev_scalar = 0.0;
+        }
+        let info = StepInfo::from_metrics(cell.metrics.as_ref());
+        let scalar = cell.metrics.as_ref().map_or(0.0, |m| weights.scalar(m));
+        let reward = scalar - self.prev_scalar;
+        self.prev_scalar = scalar;
+        (reward, info)
+    }
+
+    /// Unblocks and terminates the engine thread, discarding the episode.
+    fn abort(self) {
+        self.halt.store(true, Ordering::Relaxed);
+        let _ = self.act_tx.send(ToSim::Halt);
+        // Drain so the relay is never blocked on an unbounded send (it
+        // can't be — the channel is unbounded — but dropping the receiver
+        // first keeps the shutdown order obvious).
+        while self.epoch_rx.try_recv().is_ok() {}
+        let _ = self.handle.join();
+    }
+}
+
+/// The gym-style environment: `reset(seed) → Observation`,
+/// `step(action) → (Observation, reward, done, info)`.
+///
+/// ```
+/// use vsched_core::{ScheduleDecision, SystemConfig, Engine};
+/// use vsched_env::{Env, Scenario};
+///
+/// let config = SystemConfig::builder().pcpus(2).vm(2).build().unwrap();
+/// let scenario = Scenario::new(config)
+///     .engine(Engine::Direct)
+///     .warmup(10)
+///     .horizon(40);
+/// let mut env = Env::new(scenario);
+/// let mut obs = env.reset(7).unwrap();
+/// loop {
+///     let mut action = ScheduleDecision::none();
+///     // Greedy: put the first schedulable VCPU on the first idle PCPU.
+///     if let (Some(v), Some(p)) = (
+///         obs.vcpus.iter().find(|v| v.is_schedulable()),
+///         obs.pcpus.iter().find(|p| p.is_idle()),
+///     ) {
+///         action.assign(v.id.global, p.id, obs.default_timeslice);
+///     }
+///     let step = env.step(&action).unwrap();
+///     if step.done {
+///         break;
+///     }
+///     obs = step.obs;
+/// }
+/// assert!(env.last_end().is_some());
+/// ```
+pub struct Env {
+    scenario: Scenario,
+    fields: ViewFields,
+    weights: RewardWeights,
+    agent_name: String,
+    episode: Option<LiveEpisode>,
+    last_end: Option<EpisodeEnd>,
+}
+
+impl std::fmt::Debug for Env {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Env")
+            .field("agent_name", &self.agent_name)
+            .field("live", &self.episode.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Env {
+    /// An environment over `scenario` with the full observation space and
+    /// equal reward weights.
+    #[must_use]
+    pub fn new(scenario: Scenario) -> Self {
+        Env {
+            scenario,
+            fields: ViewFields::all(),
+            weights: RewardWeights::default(),
+            agent_name: "env-agent".to_string(),
+            episode: None,
+            last_end: None,
+        }
+    }
+
+    /// Narrows the observation space to the agent's declared fields.
+    #[must_use]
+    pub fn fields(mut self, fields: ViewFields) -> Self {
+        self.fields = fields;
+        self
+    }
+
+    /// Replaces the reward weights.
+    #[must_use]
+    pub fn reward_weights(mut self, weights: RewardWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Names the agent in engine error messages (policy-violation
+    /// diagnostics cite this name).
+    #[must_use]
+    pub fn agent_name(mut self, name: &str) -> Self {
+        self.agent_name = name.to_string();
+        self
+    }
+
+    /// The scenario this environment runs.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Terminal summary of the most recently *completed* episode.
+    #[must_use]
+    pub fn last_end(&self) -> Option<&EpisodeEnd> {
+        self.last_end.as_ref()
+    }
+
+    /// Starts a fresh episode and returns the first observation.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::EmptyScenario`] for a zero-tick scenario;
+    /// [`EnvError::Engine`] if the engine rejects the configuration.
+    pub fn reset(&mut self, seed: u64) -> Result<Observation, EnvError> {
+        if let Some(old) = self.episode.take() {
+            old.abort();
+        }
+        if self.scenario.epochs() == 0 {
+            return Err(EnvError::EmptyScenario);
+        }
+        let (epoch_tx, epoch_rx) = mpsc::channel();
+        let (act_tx, act_rx) = mpsc::channel();
+        let shared = Arc::new(Mutex::new(MetricsCell::default()));
+        let halt = Arc::new(AtomicBool::new(false));
+        let relay = Box::new(RelayPolicy {
+            name: self.agent_name.clone(),
+            fields: self.fields,
+            epoch_tx,
+            act_rx,
+            draining: false,
+        });
+        let scenario = self.scenario.clone();
+        let thread_shared = Arc::clone(&shared);
+        let thread_halt = Arc::clone(&halt);
+        let handle = std::thread::Builder::new()
+            .name("vsched-env-engine".to_string())
+            .spawn(move || run_episode(scenario, seed, relay, thread_shared, thread_halt))
+            .expect("spawn engine thread");
+        let mut episode = LiveEpisode {
+            act_tx,
+            epoch_rx,
+            shared,
+            halt,
+            handle,
+            prev_scalar: 0.0,
+            generation_seen: 0,
+            last_views: (Vec::new(), Vec::new()),
+        };
+        match episode.epoch_rx.recv() {
+            Ok(epoch) => {
+                let obs = self.observe(&mut episode, epoch);
+                self.episode = Some(episode);
+                Ok(obs)
+            }
+            // The engine died before the first epoch: surface its error.
+            Err(_) => match episode.handle.join() {
+                Ok(Ok(_)) => Err(EnvError::EmptyScenario),
+                Ok(Err(e)) => Err(EnvError::Engine(e)),
+                Err(_) => Err(EnvError::EngineThreadPanicked),
+            },
+        }
+    }
+
+    /// Applies the agent's decision at the pending epoch and advances to
+    /// the next one (or to the terminal state).
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::NoEpisode`] without a live episode;
+    /// [`EnvError::Engine`] when the engine fails — including
+    /// [`CoreError::PolicyViolation`] when `action` fails
+    /// `validate_decision`, which ends the episode as an agent fault.
+    pub fn step(&mut self, action: &ScheduleDecision) -> Result<Step, EnvError> {
+        let mut episode = self.episode.take().ok_or(EnvError::NoEpisode)?;
+        // A send failure means the engine already exited; the recv below
+        // observes why.
+        let _ = episode.act_tx.send(ToSim::Act(action.clone()));
+        match episode.epoch_rx.recv() {
+            Ok(epoch) => {
+                let (reward, info) = episode.settle_reward(self.weights);
+                let obs = self.observe(&mut episode, epoch);
+                self.episode = Some(episode);
+                Ok(Step {
+                    obs,
+                    reward,
+                    done: false,
+                    info,
+                })
+            }
+            Err(_) => match episode.handle.join() {
+                Ok(Ok(end)) => {
+                    let scalar = self.weights.scalar(&end.metrics);
+                    let reward = scalar - episode.prev_scalar;
+                    let info = StepInfo::from_metrics(Some(&end.metrics));
+                    let (vcpus, pcpus) = &episode.last_views;
+                    let obs = Observation::masked(
+                        vcpus,
+                        pcpus,
+                        self.scenario.epochs(),
+                        self.scenario.config.timeslice(),
+                        self.fields,
+                    );
+                    self.last_end = Some(end);
+                    Ok(Step {
+                        obs,
+                        reward,
+                        done: true,
+                        info,
+                    })
+                }
+                Ok(Err(e)) => Err(EnvError::Engine(e)),
+                Err(_) => Err(EnvError::EngineThreadPanicked),
+            },
+        }
+    }
+
+    fn observe(&self, episode: &mut LiveEpisode, epoch: Epoch) -> Observation {
+        let obs = Observation::masked(
+            &epoch.vcpus,
+            &epoch.pcpus,
+            epoch.timestamp,
+            epoch.default_timeslice,
+            self.fields,
+        );
+        episode.last_views = (epoch.vcpus, epoch.pcpus);
+        obs
+    }
+}
+
+impl Drop for Env {
+    fn drop(&mut self) {
+        if let Some(episode) = self.episode.take() {
+            episode.abort();
+        }
+    }
+}
+
+/// Record of one driven episode, for replay comparison.
+#[derive(Debug, Clone)]
+pub struct EpisodeRun {
+    /// Every action taken, in epoch order.
+    pub actions: Vec<ScheduleDecision>,
+    /// Every reward received, in epoch order.
+    pub rewards: Vec<f64>,
+    /// FNV-1a digest over the observation stream.
+    pub obs_digest: u64,
+    /// Terminal summary.
+    pub end: EpisodeEnd,
+}
+
+/// Drives one full episode with an in-process policy fed **from the
+/// observations** — the policy sees exactly what a remote agent would.
+/// With a contract-honoring policy this reproduces the monolithic
+/// `run_replication` trace bit-for-bit.
+///
+/// # Errors
+///
+/// Propagates [`Env::reset`]/[`Env::step`] errors.
+pub fn drive_policy(
+    env: &mut Env,
+    policy: &mut dyn SchedulingPolicy,
+    seed: u64,
+) -> Result<EpisodeRun, EnvError> {
+    drive_with(env, seed, |obs| {
+        policy.schedule(&obs.vcpus, &obs.pcpus, obs.timestamp, obs.default_timeslice)
+    })
+}
+
+/// Replays a recorded action sequence. Feeding back [`EpisodeRun::actions`]
+/// from the same seed reproduces the run's digests and rewards exactly.
+///
+/// # Errors
+///
+/// Propagates [`Env::reset`]/[`Env::step`] errors; excess epochs beyond
+/// the recorded actions receive empty decisions.
+pub fn replay_actions(
+    env: &mut Env,
+    actions: &[ScheduleDecision],
+    seed: u64,
+) -> Result<EpisodeRun, EnvError> {
+    let mut it = actions.iter();
+    drive_with(env, seed, |_| {
+        it.next().cloned().unwrap_or_else(ScheduleDecision::none)
+    })
+}
+
+/// The shared episode loop behind [`drive_policy`] and [`replay_actions`].
+fn drive_with(
+    env: &mut Env,
+    seed: u64,
+    mut act: impl FnMut(&Observation) -> ScheduleDecision,
+) -> Result<EpisodeRun, EnvError> {
+    let mut obs = env.reset(seed)?;
+    let mut digest = Fnv::new();
+    let mut actions = Vec::new();
+    let mut rewards = Vec::new();
+    loop {
+        digest.push(obs.digest());
+        let action = act(&obs);
+        let step = env.step(&action)?;
+        actions.push(action);
+        rewards.push(step.reward);
+        if step.done {
+            digest.push(step.obs.digest());
+            let end = env.last_end().cloned().expect("episode end after done");
+            return Ok(EpisodeRun {
+                actions,
+                rewards,
+                obs_digest: digest.finish(),
+                end,
+            });
+        }
+        obs = step.obs;
+    }
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Random agent for the vsched-env JSON-lines protocol.
+
+Spawned by `vsched tournament --agent` or `vsched env --agent`: reads the
+environment's hello on stdin, replies with its own, then answers every
+observation with a random legal decision — each unassigned ("Inactive")
+VCPU may be placed on at most one idle PCPU. Seeded for reproducibility.
+
+Usage:  vsched env configs/fig8_fairness.json --agent examples/random_agent.py
+"""
+import json
+import random
+import sys
+
+
+def say(msg):
+    sys.stdout.write(json.dumps(msg) + "\n")
+    sys.stdout.flush()
+
+
+json.loads(sys.stdin.readline())["hello"]  # env speaks first
+say({"hello": {"proto": 1, "role": "agent", "name": "py-random",
+               "fields": ["remaining_load"]}})
+rng = random.Random(2013)
+
+for line in sys.stdin:
+    msg = json.loads(line)
+    if msg == "bye" or "error" in msg:
+        break
+    obs = msg["obs"]
+    if obs["done"]:
+        continue  # terminal observation; wait for the trailing "bye"
+    o = obs["observation"]
+    runnable = [v["id"]["global"] for v in o["vcpus"] if v["status"] == "Inactive"]
+    idle = [p["id"] for p in o["pcpus"] if p["assigned"] is None]
+    rng.shuffle(runnable)
+    say({"act": {"preemptions": [],
+                 "assignments": [{"vcpu": v, "pcpu": p,
+                                  "timeslice": o["default_timeslice"]}
+                                 for v, p in zip(runnable, idle)]}})

@@ -1,0 +1,175 @@
+//! Episode-level contract of `vsched-env`: the environment is the same
+//! game as the monolithic engines, bit for bit.
+//!
+//! * an episode driven by an in-process policy fed **from observations**
+//!   reproduces `ExperimentBuilder::run_replication` exactly — markings
+//!   (via the terminal fingerprint), metrics, and RNG draws (any
+//!   divergence in draws would change both);
+//! * replaying the recorded actions reproduces the observation, reward,
+//!   and fingerprint streams;
+//! * rewards telescope to the weighted final metric scalar;
+//! * an illegal action fails the episode as a typed engine error and the
+//!   environment resets cleanly afterwards.
+
+use proptest::prelude::*;
+use vsched_core::{
+    Engine, ExperimentBuilder, PolicyKind, SampleMetrics, ScheduleDecision, SystemConfig,
+};
+use vsched_env::{drive_policy, replay_actions, Env, EnvError, EpisodeRun, Scenario};
+
+const WARMUP: u64 = 60;
+const HORIZON: u64 = 240;
+
+fn config(pcpus: usize, vm_sizes: &[usize]) -> SystemConfig {
+    let mut b = SystemConfig::builder().pcpus(pcpus);
+    for &n in vm_sizes {
+        b = b.vm(n);
+    }
+    b.build().unwrap()
+}
+
+fn scenario(engine: Engine, pcpus: usize, vm_sizes: &[usize]) -> Scenario {
+    Scenario::new(config(pcpus, vm_sizes))
+        .engine(engine)
+        .warmup(WARMUP)
+        .horizon(HORIZON)
+}
+
+fn monolithic(
+    engine: Engine,
+    pcpus: usize,
+    vm_sizes: &[usize],
+    kind: &PolicyKind,
+    seed: u64,
+) -> SampleMetrics {
+    ExperimentBuilder::new(config(pcpus, vm_sizes), kind.clone())
+        .engine(engine)
+        .warmup(WARMUP)
+        .horizon(HORIZON)
+        .seed(seed)
+        .run_replication(0)
+        .unwrap()
+}
+
+fn drive(
+    engine: Engine,
+    pcpus: usize,
+    vm_sizes: &[usize],
+    kind: &PolicyKind,
+    seed: u64,
+) -> EpisodeRun {
+    let mut policy = kind.create();
+    let fields = policy.snapshot_view();
+    let mut env = Env::new(scenario(engine, pcpus, vm_sizes))
+        .fields(fields)
+        .agent_name("episode-test");
+    drive_policy(&mut env, policy.as_mut(), seed).unwrap()
+}
+
+#[test]
+fn episode_metrics_match_the_monolithic_run_on_both_engines() {
+    for engine in [Engine::Direct, Engine::San] {
+        for kind in PolicyKind::paper_trio() {
+            let run = drive(engine, 2, &[2, 1], &kind, 11);
+            let mono = monolithic(engine, 2, &[2, 1], &kind, 11);
+            assert_eq!(
+                run.end.metrics, mono,
+                "{engine:?}/{kind}: env-driven metrics differ from run_replication"
+            );
+            assert_eq!(run.end.ticks, WARMUP + HORIZON);
+            assert_eq!(run.actions.len() as u64, WARMUP + HORIZON);
+        }
+    }
+}
+
+#[test]
+fn replaying_recorded_actions_reproduces_the_episode() {
+    for engine in [Engine::Direct, Engine::San] {
+        let kind = PolicyKind::credit_default();
+        let run = drive(engine, 2, &[2, 2], &kind, 3);
+        let mut env = Env::new(scenario(engine, 2, &[2, 2]))
+            .fields(kind.create().snapshot_view())
+            .agent_name("episode-test");
+        let replay = replay_actions(&mut env, &run.actions, 3).unwrap();
+        assert_eq!(
+            replay.obs_digest, run.obs_digest,
+            "{engine:?}: observation stream"
+        );
+        assert_eq!(replay.rewards, run.rewards, "{engine:?}: reward stream");
+        assert_eq!(
+            replay.end.fingerprint, run.end.fingerprint,
+            "{engine:?}: terminal fingerprint"
+        );
+        assert_eq!(replay.end.metrics, run.end.metrics);
+    }
+}
+
+#[test]
+fn rewards_telescope_to_the_final_metric_scalar() {
+    let run = drive(Engine::Direct, 2, &[2, 1], &PolicyKind::RoundRobin, 5);
+    let total: f64 = run.rewards.iter().sum();
+    let m = &run.end.metrics;
+    let scalar = m.avg_vcpu_utilization() + m.avg_vcpu_availability() + m.avg_pcpu_utilization();
+    assert!(
+        (total - scalar).abs() < 1e-9,
+        "episode return {total} != final weighted scalar {scalar}"
+    );
+}
+
+#[test]
+fn an_illegal_action_is_a_typed_fault_and_the_env_survives() {
+    let mut env = Env::new(scenario(Engine::Direct, 2, &[2])).agent_name("rogue");
+    let obs = env.reset(1).unwrap();
+    // Assign the same VCPU to both PCPUs: invariant 3 of validate_decision.
+    let mut action = ScheduleDecision::none();
+    action.assign(0, 0, obs.default_timeslice);
+    action.assign(0, 1, obs.default_timeslice);
+    match env.step(&action) {
+        Err(EnvError::Engine(e)) => {
+            let msg = e.to_string();
+            assert!(msg.contains("rogue"), "fault names the agent: {msg}");
+        }
+        other => panic!("expected a policy violation, got {other:?}"),
+    }
+    // The process and the environment both survive: a fresh episode runs.
+    let run = drive_policy(&mut env, PolicyKind::RoundRobin.create().as_mut(), 1).unwrap();
+    assert_eq!(run.end.ticks, WARMUP + HORIZON);
+}
+
+#[test]
+fn step_without_reset_is_rejected() {
+    let mut env = Env::new(scenario(Engine::Direct, 1, &[1]));
+    assert!(matches!(
+        env.step(&ScheduleDecision::none()),
+        Err(EnvError::NoEpisode)
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any small system, any registry policy, both engines: the
+    /// env-driven episode is bit-identical to the monolithic run, and a
+    /// replay of its actions is bit-identical to the episode.
+    #[test]
+    fn episodes_are_bit_identical_to_monolithic_runs(
+        pcpus in 1usize..4,
+        vm_sizes in proptest::collection::vec(1usize..3, 1..3),
+        policy_idx in 0usize..8,
+        seed in 0u64..1_000,
+        engine_is_san in 0u8..2,
+    ) {
+        let engine = if engine_is_san == 1 { Engine::San } else { Engine::Direct };
+        let kind = PolicyKind::all().remove(policy_idx);
+        let run = drive(engine, pcpus, &vm_sizes, &kind, seed);
+        let mono = monolithic(engine, pcpus, &vm_sizes, &kind, seed);
+        prop_assert_eq!(&run.end.metrics, &mono);
+
+        let mut env = Env::new(scenario(engine, pcpus, &vm_sizes))
+            .fields(kind.create().snapshot_view());
+        let replay = replay_actions(&mut env, &run.actions, seed).unwrap();
+        prop_assert_eq!(replay.obs_digest, run.obs_digest);
+        prop_assert_eq!(replay.end.fingerprint, run.end.fingerprint);
+        prop_assert_eq!(replay.rewards, run.rewards);
+    }
+}
