@@ -154,6 +154,7 @@ fn initial_vcpus(vm_sizes: &[usize]) -> Vec<VcpuView> {
                 timeslice_remaining: 0,
                 last_scheduled_in: None,
                 vm_weight: vm as u32 + 1,
+                present: true,
             });
         }
     }

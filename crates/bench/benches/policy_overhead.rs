@@ -31,6 +31,7 @@ fn snapshot(vm_sizes: &[usize], pcpus: usize) -> (Vec<VcpuView>, Vec<PcpuView>) 
                 timeslice_remaining: u64::from(busy) * 7,
                 last_scheduled_in: Some(100),
                 vm_weight: 1,
+                present: true,
             });
         }
     }

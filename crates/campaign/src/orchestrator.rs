@@ -5,15 +5,16 @@
 //! [`vsched_exec::run_indexed`] — the same work-stealing indexed executor
 //! the replication engine uses, so cells are claimed dynamically by
 //! whichever worker frees up first (cross-cell work stealing). Each cell
-//! runs its replications single-threaded ([`CellConfig::builder`] sets
-//! `parallel(false)`); parallelism lives at the cell level, where cells
-//! vastly outnumber cores in a real campaign.
+//! runs its replications single-threaded ([`CellConfig::run_report`]
+//! disables replication parallelism for both static and trace cells);
+//! parallelism lives at the cell level, where cells vastly outnumber
+//! cores in a real campaign.
 //!
 //! Results are committed to the store atomically as each cell finishes,
 //! which is the whole crash-safety story: killing the process loses at
 //! most the cells still in flight.
 //!
-//! [`CellConfig::builder`]: crate::spec::CellConfig::builder
+//! [`CellConfig::run_report`]: crate::spec::CellConfig::run_report
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -76,7 +77,7 @@ pub fn ensure_cells(
     vsched_exec::run_indexed(jobs, 0, total, |i| {
         #[allow(clippy::cast_possible_truncation)]
         let cell = missing[i as usize];
-        let report = cell.config.builder()?.run()?;
+        let report = cell.config.run_report()?;
         store.put(&ResultStore::entry(
             cell.key.clone(),
             cell.config.clone(),

@@ -19,79 +19,16 @@
 
 use serde::{Deserialize, Serialize};
 use vsched_core::{
-    config::SyncMechanism, CoreError, Engine, ExperimentBuilder, PolicyKind, SystemConfig, VmSpec,
+    CoreError, Engine, ExperimentBuilder, MetricsReport, PolicyKind, SystemConfig, VmSpec,
     WorkloadSpec,
 };
-use vsched_des::Dist;
 use vsched_stats::StoppingRule;
 
-/// A load or interarrival distribution, as written in config files.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case", deny_unknown_fields)]
-pub enum DistSpec {
-    /// Constant value.
-    Deterministic {
-        /// The constant.
-        value: f64,
-    },
-    /// Continuous uniform on `[low, high)`.
-    Uniform {
-        /// Inclusive lower bound.
-        low: f64,
-        /// Exclusive upper bound.
-        high: f64,
-    },
-    /// Exponential with the given mean.
-    Exponential {
-        /// Mean of the distribution.
-        mean: f64,
-    },
-    /// Erlang with `k` stages and total mean `mean`.
-    Erlang {
-        /// Number of stages.
-        k: u32,
-        /// Mean of the sum.
-        mean: f64,
-    },
-    /// Normal truncated at zero.
-    Normal {
-        /// Mean.
-        mean: f64,
-        /// Standard deviation.
-        std_dev: f64,
-    },
-    /// Geometric number of trials (support 1, 2, …).
-    Geometric {
-        /// Success probability.
-        p: f64,
-    },
-    /// Discrete uniform over `low..=high`.
-    DiscreteUniform {
-        /// Inclusive lower bound.
-        low: u64,
-        /// Inclusive upper bound.
-        high: u64,
-    },
-}
-
-impl DistSpec {
-    /// Converts to a validated kernel distribution.
-    ///
-    /// # Errors
-    ///
-    /// [`CoreError::Des`] for out-of-domain parameters.
-    pub fn to_dist(&self) -> Result<Dist, CoreError> {
-        Ok(match *self {
-            DistSpec::Deterministic { value } => Dist::deterministic(value)?,
-            DistSpec::Uniform { low, high } => Dist::uniform(low, high)?,
-            DistSpec::Exponential { mean } => Dist::exponential(mean)?,
-            DistSpec::Erlang { k, mean } => Dist::erlang(k, mean)?,
-            DistSpec::Normal { mean, std_dev } => Dist::normal(mean, std_dev)?,
-            DistSpec::Geometric { p } => Dist::geometric(p)?,
-            DistSpec::DiscreteUniform { low, high } => Dist::discrete_uniform(low, high)?,
-        })
-    }
-}
+// The serde spellings of kernel parameters moved to `vsched-core` (the
+// trace frontend parses them too); re-exported here unchanged, so the
+// canonical cell JSON — and every content-addressed store key — is
+// identical to before the move.
+pub use vsched_core::spec::{DistSpec, SyncMechanismSpec};
 
 /// A scheduling policy in a config file: a bare label (`"rrs"`) or a
 /// parameterized object (`{"rcs": {"skew_threshold": 5, "skew_resume": 2}}`).
@@ -283,26 +220,6 @@ impl EngineSpec {
     }
 }
 
-/// Synchronization-point semantics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "lowercase", deny_unknown_fields)]
-pub enum SyncMechanismSpec {
-    /// Barrier synchronization (the paper's semantics; default).
-    #[default]
-    Barrier,
-    /// Spinlock critical sections (the §V future-work extension).
-    Spinlock,
-}
-
-impl SyncMechanismSpec {
-    fn to_mechanism(self) -> SyncMechanism {
-        match self {
-            SyncMechanismSpec::Barrier => SyncMechanism::Barrier,
-            SyncMechanismSpec::Spinlock => SyncMechanism::SpinLock,
-        }
-    }
-}
-
 /// How many replications a cell runs: a bare count (`5`) for an exact
 /// number, or `{"min": 5, "max": 20}` for the paper's sequential stopping
 /// rule (95% level, CI width < 0.1) bracketed by those bounds.
@@ -426,10 +343,23 @@ impl VmWorkloadSpec {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
 pub struct CellConfig {
-    /// Number of physical CPUs.
+    /// Number of physical CPUs. Omitted for trace cells (the trace header
+    /// carries the platform) — except CSV traces, whose datasets carry no
+    /// platform, where it supplies the PCPU count.
+    #[serde(default, skip_serializing_if = "is_zero")]
     pub pcpus: usize,
-    /// VCPU count of each VM, e.g. `[2, 1, 1]`.
+    /// VCPU count of each VM, e.g. `[2, 1, 1]`. Empty (and omitted from
+    /// the canonical form) for trace cells: the trace defines the VMs.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub vms: Vec<usize>,
+    /// Path to a workload trace (`.jsonl` standard format, or `.csv`
+    /// Azure-style lifetimes). When set, the cell is **trace-driven**: the
+    /// trace supplies topology and workload, and the cell's `policy`,
+    /// `engine`, `warmup`, `horizon`, `seed` and `replications` control
+    /// the run. The path enters the canonical cell JSON, so distinct
+    /// traces get distinct store keys.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<String>,
     /// Proportional-share weight of each VM (default: all 1). When set,
     /// the length must match `vms`.
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -496,6 +426,34 @@ impl CellConfig {
         if self.timeslice == 0 {
             return invalid("timeslice must be at least 1 tick".into());
         }
+        if let Some(trace) = &self.trace {
+            // The trace defines the topology; conflicting static fields
+            // are rejected rather than silently ignored.
+            if !self.vms.is_empty() {
+                return invalid("trace cells must omit `vms` (the trace defines the VMs)".into());
+            }
+            if self.weights.is_some() || self.vm_workloads.is_some() {
+                return invalid(
+                    "trace cells must omit `weights`/`vm_workloads` (per-VM shape lives in the trace)"
+                        .into(),
+                );
+            }
+            let is_csv = std::path::Path::new(trace)
+                .extension()
+                .is_some_and(|e| e.eq_ignore_ascii_case("csv"));
+            if is_csv && self.pcpus == 0 {
+                return invalid(format!(
+                    "CSV trace `{trace}` carries no platform: set `pcpus`"
+                ));
+            }
+            if !is_csv && self.pcpus != 0 {
+                return invalid(format!(
+                    "trace `{trace}` carries its own platform: omit `pcpus`"
+                ));
+            }
+        } else if self.pcpus == 0 || self.vms.is_empty() {
+            return invalid("need at least 1 PCPU and 1 VM (or a `trace`)".into());
+        }
         if let Some(weights) = &self.weights {
             if weights.len() != self.vms.len() {
                 return invalid(format!(
@@ -529,14 +487,40 @@ impl CellConfig {
         self.policy.to_kind()?.validate()
     }
 
-    /// Builds the [`SystemConfig`] this cell describes.
+    /// Loads and compiles this cell's trace schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when the cell has no `trace`, or with
+    /// the trace reader/compiler's `path:line`-annotated message when the
+    /// file is missing or malformed.
+    pub fn schedule(&self) -> Result<vsched_trace::TraceSchedule, CoreError> {
+        let Some(trace) = &self.trace else {
+            return Err(CoreError::InvalidConfig {
+                reason: "cell has no `trace` field".into(),
+            });
+        };
+        let csv_meta = vsched_trace::TraceMeta::new(self.pcpus);
+        vsched_trace::load_trace(std::path::Path::new(trace), &csv_meta).map_err(|e| {
+            CoreError::InvalidConfig {
+                reason: e.to_string(),
+            }
+        })
+    }
+
+    /// Builds the [`SystemConfig`] this cell describes. For trace cells
+    /// this is the trace's **union** topology (every VM that ever
+    /// appears) — what lint inspects and what sizes the metric vectors.
     ///
     /// # Errors
     ///
     /// [`CoreError::InvalidConfig`] for invalid parameters (no VMs, zero
-    /// timeslice, bad sync ratio, …).
+    /// timeslice, bad sync ratio, …) or an unreadable trace.
     pub fn system(&self) -> Result<SystemConfig, CoreError> {
         self.validate()?;
+        if self.trace.is_some() {
+            return Ok(self.schedule()?.config().clone());
+        }
         let mut workload = WorkloadSpec::paper_default();
         workload.load = self.load.to_dist()?;
         workload = workload.with_sync_ratio(self.sync_ratio.0, self.sync_ratio.1)?;
@@ -602,9 +586,15 @@ impl CellConfig {
     /// # Errors
     ///
     /// Propagates validation errors from [`CellConfig::system`] and
-    /// [`CellConfig::policy_kind`].
+    /// [`CellConfig::policy_kind`]; rejects trace cells (which run
+    /// through [`CellConfig::run_report`], not the static builder).
     pub fn builder(&self) -> Result<ExperimentBuilder, CoreError> {
         self.validate()?;
+        if self.trace.is_some() {
+            return Err(CoreError::InvalidConfig {
+                reason: "trace cells have no static builder; use run_report()".into(),
+            });
+        }
         let mut b = ExperimentBuilder::new(self.system()?, self.policy_kind()?)
             .engine(self.engine.to_engine())
             .warmup(self.warmup)
@@ -622,13 +612,62 @@ impl CellConfig {
         Ok(b)
     }
 
+    /// Runs the cell to completion — the orchestrator's single entry
+    /// point. Static cells go through [`CellConfig::builder`]; trace
+    /// cells compile their schedule and run a
+    /// [`vsched_trace::TraceExperiment`] with this cell's policy, engine,
+    /// warmup, horizon and seed, then aggregate the per-replication
+    /// samples into the same [`MetricsReport`] shape, so the result store
+    /// and every renderer are agnostic to how the cell was driven.
+    ///
+    /// Trace cells use a fixed replication count (there is no stopping
+    /// rule mid-trace): `replications: N` runs N; the default rule runs
+    /// its `min`.
+    ///
+    /// # Errors
+    ///
+    /// Validation, trace-loading and engine errors.
+    pub fn run_report(&self) -> Result<MetricsReport, CoreError> {
+        self.validate()?;
+        if self.trace.is_none() {
+            return self.builder()?.run();
+        }
+        let schedule = self.schedule()?;
+        let (vcpus, pcpus) = (schedule.config().total_vcpus(), schedule.config().pcpus());
+        let replications = match self.replications {
+            ReplicationSpec::Exact(n) => n,
+            ReplicationSpec::Rule { min, .. } => min,
+        };
+        let report = vsched_trace::TraceExperiment::new(schedule, self.policy_kind()?)
+            .engine(self.engine.to_engine())
+            .warmup(self.warmup)
+            .horizon(self.horizon)
+            .seed(self.seed)
+            .replications(replications)
+            .parallel(false)
+            .run()?;
+        report.metrics_report(vcpus, pcpus, StoppingRule::paper_default().level)
+    }
+
     /// One-line description for progress reporting, e.g.
-    /// `rcs 4p [2,4] 1:5 san`.
+    /// `rcs 4p [2,4] 1:5 san` — or, for a trace cell,
+    /// `rcs trace:churn_small.jsonl san`.
     ///
     /// # Errors
     ///
     /// [`CoreError::InvalidConfig`] for an unknown policy label.
     pub fn summary(&self) -> Result<String, CoreError> {
+        if let Some(trace) = &self.trace {
+            let name = std::path::Path::new(trace)
+                .file_name()
+                .map_or_else(|| trace.clone(), |f| f.to_string_lossy().into_owned());
+            return Ok(format!(
+                "{} trace:{} {}",
+                self.policy_kind()?.label(),
+                name,
+                self.engine.label()
+            ));
+        }
         let vms: Vec<String> = self.vms.iter().map(ToString::to_string).collect();
         Ok(format!(
             "{} {}p [{}] {}:{} {}",
@@ -640,6 +679,14 @@ impl CellConfig {
             self.engine.label()
         ))
     }
+}
+
+/// `skip_serializing_if` gate for `pcpus`: `0` means "the trace supplies
+/// the platform" and is omitted from the canonical form; every static
+/// cell has a nonzero count, so pre-trace store keys are unchanged.
+#[allow(clippy::trivially_copy_pass_by_ref)]
+fn is_zero(n: &usize) -> bool {
+    *n == 0
 }
 
 fn default_version() -> u32 {
@@ -759,6 +806,7 @@ impl SweepSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vsched_core::config::SyncMechanism;
 
     #[test]
     fn minimal_cell_uses_paper_defaults() {
@@ -940,9 +988,92 @@ mod tests {
         let cell: CellConfig =
             serde_json::from_str(r#"{ "pcpus": 4, "vms": [2, 4], "sync_ratio": [1, 3] }"#).unwrap();
         let canonical = serde_json::to_string(&cell).unwrap();
-        for absent in ["weights", "sync_probability", "vm_workloads"] {
+        for absent in ["weights", "sync_probability", "vm_workloads", "trace"] {
             assert!(!canonical.contains(absent), "{absent} leaked: {canonical}");
         }
+        // … and the static fields still serialize.
+        assert!(canonical.contains("\"pcpus\":4"), "{canonical}");
+        assert!(canonical.contains("\"vms\":[2,4]"), "{canonical}");
+    }
+
+    fn write_tiny_trace() -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("vsched-cell-trace-{}.jsonl", std::process::id()));
+        std::fs::write(
+            &path,
+            "{\"meta\":{\"pcpus\":2}}\n\
+             {\"time\":0,\"vm\":\"a\",\"arrive\":{\"vcpus\":2}}\n\
+             {\"time\":0,\"vm\":\"b\",\"arrive\":{\"vcpus\":1}}\n\
+             {\"time\":100,\"vm\":\"b\",\"depart\":true}\n",
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn trace_cells_validate_and_enter_the_canonical_form() {
+        let cell: CellConfig =
+            serde_json::from_str(r#"{ "trace": "configs/traces/churn_small.jsonl" }"#).unwrap();
+        cell.validate().unwrap();
+        let canonical = serde_json::to_string(&cell).unwrap();
+        assert!(canonical.contains("churn_small.jsonl"), "{canonical}");
+        assert!(
+            !canonical.contains("pcpus") && !canonical.contains("vms"),
+            "omitted topology leaked: {canonical}"
+        );
+        // Distinct traces hash to distinct store keys.
+        let other: CellConfig =
+            serde_json::from_str(r#"{ "trace": "configs/traces/other.jsonl" }"#).unwrap();
+        assert_ne!(crate::key::cell_key(&cell), crate::key::cell_key(&other));
+        // The static builder refuses trace cells.
+        assert!(cell.builder().is_err());
+    }
+
+    #[test]
+    fn trace_cell_validation_rejects_conflicts() {
+        let bad = |json: &str, needle: &str| {
+            let cell: CellConfig = serde_json::from_str(json).unwrap();
+            let err = cell.validate().unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        };
+        bad(r#"{ "trace": "t.jsonl", "vms": [2] }"#, "omit `vms`");
+        bad(r#"{ "trace": "t.jsonl", "pcpus": 2 }"#, "omit `pcpus`");
+        bad(r#"{ "trace": "t.csv" }"#, "set `pcpus`");
+        bad(r#"{ }"#, "at least 1 PCPU");
+        bad(r#"{ "pcpus": 2 }"#, "at least 1 PCPU");
+        // A CSV trace with a platform is fine.
+        let cell: CellConfig = serde_json::from_str(r#"{ "trace": "t.csv", "pcpus": 4 }"#).unwrap();
+        cell.validate().unwrap();
+    }
+
+    #[test]
+    fn trace_cell_runs_to_a_metrics_report() {
+        let path = write_tiny_trace();
+        let cell: CellConfig = serde_json::from_str(&format!(
+            r#"{{ "trace": {:?}, "policy": "rrs", "engine": "direct",
+                  "warmup": 50, "horizon": 300, "replications": 3 }}"#,
+            path.to_string_lossy()
+        ))
+        .unwrap();
+        assert_eq!(cell.summary().unwrap().split(' ').next(), Some("RRS"));
+        assert!(cell.summary().unwrap().contains("trace:"));
+        let system = cell.system().unwrap();
+        assert_eq!(system.total_vcpus(), 3, "union topology");
+        let report = cell.run_report().unwrap();
+        assert_eq!(report.replications, 3);
+        assert_eq!(report.vcpu_availability.len(), 3);
+        // Bit-stable across runs (same seeds, sequential merge order).
+        let again = cell.run_report().unwrap();
+        assert_eq!(report, again);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn trace_cell_with_missing_file_reports_the_path() {
+        let cell: CellConfig =
+            serde_json::from_str(r#"{ "trace": "/nonexistent/t.jsonl" }"#).unwrap();
+        let err = cell.run_report().unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/t.jsonl"), "{err}");
     }
 
     #[test]

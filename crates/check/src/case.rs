@@ -10,7 +10,10 @@
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
-use vsched_core::{CoreError, PolicyKind, SyncMechanism, SystemConfig, WorkloadSpec};
+use vsched_core::{
+    CoreError, DistSpec, PolicyKind, SyncMechanism, SyncMechanismSpec, SystemConfig, WorkloadSpec,
+};
+use vsched_trace::{RawEvent, TraceMeta, TraceSchedule, VmShape};
 
 use crate::CheckError;
 
@@ -59,6 +62,36 @@ pub struct VmCase {
     pub weight: u32,
 }
 
+/// What one churn event does to a VM. The fuzz vocabulary is the
+/// *saturated* subset of the trace crate's: VMs re-arrive with their
+/// original shape, so the union topology is always the case's own
+/// static topology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceOpCase {
+    /// The VM departs: its VCPUs retire and their PCPUs free up.
+    Depart,
+    /// The VM is re-admitted with the shape it had in
+    /// [`FuzzCase::vms`].
+    Arrive,
+    /// The VM's demand changes to this per-mille level.
+    SetLoad {
+        /// Per-mille demand level (`0..=1000`).
+        level: u32,
+    },
+}
+
+/// One churn event of a case's trace scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct TraceEventCase {
+    /// Tick at which the event applies (an event boundary, `> 0`).
+    pub at: u64,
+    /// Index into [`FuzzCase::vms`].
+    pub vm: usize,
+    /// What happens.
+    pub op: TraceOpCase,
+}
+
 /// A complete, replayable fuzz scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
@@ -85,6 +118,12 @@ pub struct FuzzCase {
     pub horizon: u64,
     /// Replications per engine.
     pub replications: usize,
+    /// Churn scenario replayed by the oracle's `trace` verdict: every VM
+    /// arrives at tick 0, then these events apply in time order. Empty
+    /// means the case is purely static and the trace verdict is skipped.
+    /// Defaulted so pre-trace reproducer files keep parsing unchanged.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub trace: Vec<TraceEventCase>,
 }
 
 impl FuzzCase {
@@ -119,6 +158,66 @@ impl FuzzCase {
             });
         }
         builder.build()
+    }
+
+    /// Compiles the case's churn scenario into an executable
+    /// [`TraceSchedule`]: every VM arrives at tick 0 carrying the case's
+    /// shared workload as per-VM shape overrides, then [`FuzzCase::trace`]
+    /// events apply. The resulting union topology resolves to the same
+    /// [`SystemConfig`] as [`FuzzCase::system_config`], so the trace
+    /// verdict exercises exactly the case's system under churn.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] for an invalid event sequence
+    /// (possible in hand-edited reproducers: out-of-order times, double
+    /// arrivals, departures while absent, bad levels).
+    pub fn trace_schedule(&self) -> Result<TraceSchedule, CoreError> {
+        let mut meta = TraceMeta::new(self.pcpus);
+        meta.timeslice = self.timeslice;
+        let shape = |vm: &VmCase| {
+            let mut s = VmShape::new(vm.vcpus);
+            s.weight = vm.weight;
+            s.load = Some(match self.load {
+                LoadSpec::Deterministic { value } => DistSpec::Deterministic { value },
+                LoadSpec::Uniform { low, high } => DistSpec::Uniform { low, high },
+                LoadSpec::Exponential { mean } => DistSpec::Exponential { mean },
+            });
+            s.sync_probability = Some(self.sync.probability);
+            s.sync_every = self.sync.every;
+            s.sync_mechanism = Some(match self.sync.mechanism {
+                SyncMechanism::Barrier => SyncMechanismSpec::Barrier,
+                SyncMechanism::SpinLock => SyncMechanismSpec::Spinlock,
+            });
+            s
+        };
+        let mut events: Vec<RawEvent> = self
+            .vms
+            .iter()
+            .enumerate()
+            .map(|(i, vm)| RawEvent::arrive(0, format!("vm{i}"), shape(vm)))
+            .collect();
+        for e in &self.trace {
+            let Some(vm) = self.vms.get(e.vm) else {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "trace: event at tick {} names VM index {} of {}",
+                        e.at,
+                        e.vm,
+                        self.vms.len()
+                    ),
+                });
+            };
+            let name = format!("vm{}", e.vm);
+            events.push(match e.op {
+                TraceOpCase::Depart => RawEvent::depart(e.at, name),
+                TraceOpCase::Arrive => RawEvent::arrive(e.at, name, shape(vm)),
+                TraceOpCase::SetLoad { level } => RawEvent::set_load(e.at, name, level),
+            });
+        }
+        TraceSchedule::from_events(&meta, &events).map_err(|e| CoreError::InvalidConfig {
+            reason: format!("trace: {e}"),
+        })
     }
 }
 
@@ -194,6 +293,7 @@ mod tests {
             warmup: 200,
             horizon: 800,
             replications: 3,
+            trace: vec![],
         }
     }
 
@@ -224,6 +324,79 @@ mod tests {
         let mut case = sample_case();
         case.pcpus = 0;
         assert!(case.system_config().is_err());
+    }
+
+    #[test]
+    fn traced_case_compiles_and_matches_the_static_union() {
+        let mut case = sample_case();
+        case.trace = vec![
+            TraceEventCase {
+                at: 300,
+                vm: 1,
+                op: TraceOpCase::Depart,
+            },
+            TraceEventCase {
+                at: 400,
+                vm: 0,
+                op: TraceOpCase::SetLoad { level: 500 },
+            },
+            TraceEventCase {
+                at: 600,
+                vm: 1,
+                op: TraceOpCase::Arrive,
+            },
+        ];
+        let schedule = case.trace_schedule().unwrap();
+        // The union topology IS the case's static topology.
+        let static_config = case.system_config().unwrap();
+        assert_eq!(schedule.config(), &static_config);
+        assert!(schedule.initially_present().iter().all(|&p| p));
+        assert_eq!(schedule.events().len(), 3);
+        assert_eq!(schedule.end_time(), 600);
+
+        // An empty trace degenerates to the static topology.
+        let empty = sample_case().trace_schedule().unwrap();
+        assert!(empty.is_static());
+
+        // The trace field round-trips, and legacy JSON (no `trace`)
+        // still parses as an empty scenario.
+        let json = serde_json::to_string(&case).unwrap();
+        let back: FuzzCase = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, case);
+        let legacy = serde_json::to_string(&sample_case()).unwrap();
+        assert!(!legacy.contains("trace"));
+        let parsed: FuzzCase = serde_json::from_str(&legacy).unwrap();
+        assert!(parsed.trace.is_empty());
+    }
+
+    #[test]
+    fn invalid_trace_scenarios_surface_typed_errors() {
+        // Departure of an absent VM.
+        let mut case = sample_case();
+        case.trace = vec![
+            TraceEventCase {
+                at: 100,
+                vm: 1,
+                op: TraceOpCase::Depart,
+            },
+            TraceEventCase {
+                at: 200,
+                vm: 1,
+                op: TraceOpCase::Depart,
+            },
+        ];
+        let err = case.trace_schedule().unwrap_err();
+        assert!(err.to_string().contains("trace:"), "{err}");
+
+        // Out-of-range VM index.
+        let mut case = sample_case();
+        case.trace = vec![TraceEventCase {
+            at: 100,
+            vm: 9,
+            op: TraceOpCase::Depart,
+        }];
+        let err = case.trace_schedule().unwrap_err();
+        assert!(err.to_string().contains("VM index 9"), "{err}");
     }
 
     #[test]

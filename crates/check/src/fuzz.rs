@@ -76,6 +76,9 @@ pub struct FuzzReport {
     pub sharded_divergences: usize,
     /// Env episode-vs-monolithic or episode-vs-replay divergences.
     pub env_divergences: usize,
+    /// Traced-replay divergences (invariants under churn, engine
+    /// disagreement on traced metrics, jobs/shard fingerprint drift).
+    pub trace_divergences: usize,
     /// Outright run errors.
     pub errors: usize,
     /// The shrunk failures, in case order.
@@ -96,7 +99,7 @@ impl FuzzReport {
             "fuzz: {} cases, {} lint findings, {} invariant violations, \
              {} differential mismatches, {} metamorphic mismatches, \
              {} incremental divergences, {} sharded divergences, \
-             {} env divergences, {} errors",
+             {} env divergences, {} trace divergences, {} errors",
             self.cases,
             self.lint_findings,
             self.invariant_violations,
@@ -105,6 +108,7 @@ impl FuzzReport {
             self.incremental_divergences,
             self.sharded_divergences,
             self.env_divergences,
+            self.trace_divergences,
             self.errors
         )
     }
@@ -136,6 +140,7 @@ pub fn run_fuzz(opts: &FuzzOpts) -> Result<FuzzReport, CheckError> {
         incremental_divergences: 0,
         sharded_divergences: 0,
         env_divergences: 0,
+        trace_divergences: 0,
         errors: 0,
         failures: Vec::new(),
     };
@@ -153,6 +158,7 @@ pub fn run_fuzz(opts: &FuzzOpts) -> Result<FuzzReport, CheckError> {
                 FailureKind::Incremental => report.incremental_divergences += 1,
                 FailureKind::Sharded => report.sharded_divergences += 1,
                 FailureKind::Env => report.env_divergences += 1,
+                FailureKind::Trace => report.trace_divergences += 1,
                 FailureKind::Error => report.errors += 1,
             }
         }
@@ -226,6 +232,7 @@ mod tests {
         assert!(a.clean(), "{:?}", a.failures);
         assert!(a.summary().contains("6 cases"));
         assert!(a.summary().contains("0 invariant violations"));
+        assert!(a.summary().contains("0 trace divergences"));
         let b = run_fuzz(&quick_opts(6)).unwrap();
         assert_eq!(a.cases, b.cases);
         assert!(b.clean());

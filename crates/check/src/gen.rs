@@ -13,7 +13,7 @@
 use vsched_core::PolicyKind;
 use vsched_des::rng::{RngStreams, Xoshiro256StarStar};
 
-use crate::case::{FuzzCase, LoadSpec, SyncSpec, VmCase};
+use crate::case::{FuzzCase, LoadSpec, SyncSpec, TraceEventCase, TraceOpCase, VmCase};
 use vsched_core::SyncMechanism;
 
 /// Warm-up ticks for generated cases — long enough to leave the empty
@@ -100,6 +100,11 @@ impl CaseGen {
 
         let policy = Self::policy(&mut rng);
         let seed = rng.next();
+        // Trace draws come strictly AFTER every static draw, so the
+        // static prefix of a case (pcpus through seed) is byte-identical
+        // to what pre-trace generator versions produced for the same
+        // `(seed, index)` — old reproducer digests stay comparable.
+        let trace = Self::trace(&mut rng, &vms);
 
         FuzzCase {
             case_index: index,
@@ -113,7 +118,46 @@ impl CaseGen {
             warmup: GEN_WARMUP,
             horizon: GEN_HORIZON,
             replications: GEN_REPLICATIONS,
+            trace,
         }
+    }
+
+    /// Draws a bounded churn scenario over the case's VMs. Half the
+    /// cases stay purely static (preserving the pre-trace coverage);
+    /// the rest get up to 4 events — departures, re-arrivals with the
+    /// original shape, load-level steps — at strictly increasing ticks
+    /// inside the run window. Sequences are valid by construction:
+    /// departures only while present, arrivals only while absent, and at
+    /// least one VM stays admitted at all times (the saturated envelope
+    /// never goes fully idle).
+    fn trace(rng: &mut Xoshiro256StarStar, vms: &[VmCase]) -> Vec<TraceEventCase> {
+        if rng.next_bool(0.5) {
+            return Vec::new();
+        }
+        let n = 1 + rng.next_below(4) as usize;
+        let mut present = vec![true; vms.len()];
+        let mut t = 0u64;
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            t += 40 + rng.next_below(160);
+            if t >= GEN_WARMUP + GEN_HORIZON {
+                break;
+            }
+            let vm = rng.next_below(vms.len() as u64) as usize;
+            let op = if !present[vm] {
+                present[vm] = true;
+                TraceOpCase::Arrive
+            } else if present.iter().filter(|&&p| p).count() > 1 && rng.next_bool(0.5) {
+                present[vm] = false;
+                TraceOpCase::Depart
+            } else {
+                TraceOpCase::SetLoad {
+                    level: 250 * (1 + rng.next_below(4) as u32),
+                }
+            };
+            events.push(TraceEventCase { at: t, vm, op });
+        }
+        events
     }
 
     /// Draws a policy from the canonical [`PolicyKind::all`] registry
@@ -187,5 +231,36 @@ mod tests {
             let config = case.system_config().unwrap();
             assert_eq!(config.pcpus(), case.pcpus);
         }
+    }
+
+    #[test]
+    fn generated_traces_are_valid_and_bounded() {
+        let g = CaseGen::new(7);
+        let mut traced = 0;
+        for i in 0..100 {
+            let case = g.case(i);
+            assert!(case.trace.len() <= 4, "case {i}: too many events");
+            for pair in case.trace.windows(2) {
+                assert!(pair[0].at < pair[1].at, "case {i}: times not increasing");
+            }
+            for e in &case.trace {
+                assert!(e.vm < case.vms.len(), "case {i}: VM index");
+                assert!(
+                    (0 < e.at) && (e.at < GEN_WARMUP + GEN_HORIZON),
+                    "case {i}: event outside the run window"
+                );
+            }
+            if !case.trace.is_empty() {
+                traced += 1;
+                // Every generated scenario compiles to the case's own
+                // static topology as the union.
+                let s = case.trace_schedule().unwrap();
+                assert_eq!(s.config(), &case.system_config().unwrap());
+            }
+        }
+        assert!(
+            (20..=80).contains(&traced),
+            "expected roughly half the cases traced, got {traced}/100"
+        );
     }
 }

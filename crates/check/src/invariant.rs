@@ -545,6 +545,7 @@ mod tests {
                 timeslice_remaining: 0,
                 last_scheduled_in: None,
                 vm_weight: 1,
+                present: true,
             })
             .collect();
         let pcpus: Vec<PcpuView> = (0..2).map(|id| PcpuView { id, assigned: None }).collect();
@@ -621,6 +622,7 @@ mod tests {
             timeslice_remaining: ts,
             last_scheduled_in: Some(1),
             vm_weight: 1,
+            present: true,
         };
         let pcpus = |pcpu: usize| {
             (0..2)

@@ -17,7 +17,12 @@
 //!    and a differential oracle that runs every generated case on both
 //!    engines (and on `jobs=1` vs `jobs=N`), comparing metrics within
 //!    confidence-interval tolerance, plus metamorphic relations
-//!    (VM-rotation invariance and time-unit co-scaling).
+//!    (VM-rotation invariance and time-unit co-scaling). Roughly half
+//!    the generated cases carry a bounded churn scenario
+//!    ([`case::TraceEventCase`]); the `trace` verdict replays it through
+//!    `vsched-trace` on both engines with invariants attached and
+//!    requires fingerprint bit-identity across `--jobs` and SAN shard
+//!    counts.
 //! 3. [`fuzz`] — the `vsched fuzz` driver: runs cases on the shared
 //!    `vsched-exec` pool, shrinks failures by greedy component removal
 //!    ([`shrink`]) and writes replayable JSON reproducers ([`case`]).

@@ -1,7 +1,7 @@
 //! The differential and metamorphic oracle: decides whether one fuzz
 //! case passes.
 //!
-//! Eight independent verdicts feed [`run_case`]:
+//! Nine independent verdicts feed [`run_case`]:
 //!
 //! 0. **Lint** — the static analyzer (`vsched-analyze`, quick budget)
 //!    examines the case's built SAN model and policy before anything is
@@ -42,6 +42,15 @@
 //!    divergence in RNG draws or markings would change them), and a
 //!    replay of the recorded actions must reproduce the episode's
 //!    observation, reward, and fingerprint streams exactly.
+//! 8. **Trace** — cases that carry a churn scenario
+//!    ([`FuzzCase::trace`]) replay it through `vsched-trace` on both
+//!    engines: one invariant-checked segmented run per engine (the §11
+//!    catalogue must hold across retire/re-admit boundaries), the
+//!    Direct-vs-SAN differential on the bridged reports (same tolerance
+//!    and confirm pass as verdict 2), `jobs = 1` vs `jobs = 3`
+//!    fingerprint bit-identity, and sequential-vs-sharded SAN
+//!    fingerprint bit-identity — determinism under churn is the trace
+//!    frontend's headline claim.
 //!
 //! Tolerances are calibrated so a 200-case run makes ~6000 comparisons
 //! with a near-zero false-positive budget; see [`OracleOpts`].
@@ -52,6 +61,7 @@ use std::rc::Rc;
 use vsched_core::direct::DirectSim;
 use vsched_core::san_model::SanSystem;
 use vsched_core::{CoreError, Engine, ExperimentBuilder, MetricsReport, PolicyKind, SystemConfig};
+use vsched_trace::{TraceAction, TraceExperiment, TraceReport, TraceSchedule, FULL_LEVEL};
 
 use crate::case::{FuzzCase, LoadSpec};
 use crate::invariant::InvariantChecker;
@@ -78,6 +88,10 @@ pub enum FailureKind {
     /// A `vsched-env` episode diverged from the monolithic run, or a
     /// replay of its recorded actions diverged from the episode.
     Env,
+    /// A traced (churn) replay diverged: an invariant broke across a
+    /// membership boundary, the engines disagreed on the traced metrics,
+    /// or a parallel/sharded trace run was not bit-identical.
+    Trace,
     /// A run errored outright (bad config, engine failure).
     Error,
 }
@@ -92,6 +106,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::Incremental => "incremental",
             FailureKind::Sharded => "sharded",
             FailureKind::Env => "env",
+            FailureKind::Trace => "trace",
             FailureKind::Error => "error",
         };
         f.write_str(s)
@@ -170,6 +185,11 @@ pub struct OracleOpts {
     /// and replay its recorded actions — the environment's episode-replay
     /// determinism claim.
     pub check_env: bool,
+    /// Replay the case's churn scenario (if any) through the trace
+    /// frontend on both engines: invariant-checked segmented runs, the
+    /// Direct-vs-SAN differential on the bridged reports, and
+    /// fingerprint bit-identity across `--jobs` and SAN shard counts.
+    pub check_trace: bool,
 }
 
 impl Default for OracleOpts {
@@ -186,6 +206,7 @@ impl Default for OracleOpts {
             check_incremental: true,
             check_sharded: true,
             check_env: true,
+            check_trace: true,
         }
     }
 }
@@ -309,6 +330,10 @@ pub fn run_case(case: &FuzzCase, opts: &OracleOpts) -> CaseOutcome {
 
     if opts.check_env {
         failures.extend(env_check(&config, case));
+    }
+
+    if opts.check_trace {
+        failures.extend(trace_check(case, opts));
     }
 
     CaseOutcome {
@@ -614,6 +639,256 @@ fn env_check(config: &SystemConfig, case: &FuzzCase) -> Vec<Failure> {
         }
     }
     failures
+}
+
+/// The trace verdict: replays the case's churn scenario through the
+/// trace frontend on both engines. Empty for purely static cases. Four
+/// claims are checked: the §11 invariant catalogue holds across
+/// retire/re-admit boundaries (one checked segmented run per engine),
+/// the engines agree on the traced metrics within the differential
+/// tolerance (with the same triple-replication confirm pass as the
+/// static differential — churn phases can be just as bimodal), parallel
+/// replication is bit-identical (`jobs = 1` vs `jobs = 3`
+/// fingerprints), and SAN sharding is bit-identical under dynamic
+/// membership (sequential vs 4-shard fingerprints).
+fn trace_check(case: &FuzzCase, opts: &OracleOpts) -> Vec<Failure> {
+    if case.trace.is_empty() {
+        return Vec::new();
+    }
+    let schedule = match case.trace_schedule() {
+        Ok(s) => s,
+        Err(e) => {
+            return vec![Failure {
+                kind: FailureKind::Error,
+                detail: format!("trace compile: {e}"),
+            }];
+        }
+    };
+    let mut failures = traced_invariant_runs(case, &schedule);
+
+    let experiment = |engine: Engine, reps: usize, jobs: usize, shards: usize| {
+        TraceExperiment::new(schedule.clone(), case.policy.clone())
+            .engine(engine)
+            .warmup(case.warmup)
+            .horizon(case.horizon)
+            .seed(case.seed)
+            .replications(reps)
+            .jobs(jobs)
+            .shards(shards)
+            .run()
+    };
+    let (vcpus, pcpus) = (schedule.config().total_vcpus(), schedule.config().pcpus());
+    let bridged = |r: &TraceReport| r.metrics_report(vcpus, pcpus, opts.ci_level);
+    // Traced divergences carry the trace verdict's kind, whatever
+    // comparison surfaced them.
+    let as_trace = |fs: Vec<Failure>| {
+        fs.into_iter().map(|f| Failure {
+            kind: FailureKind::Trace,
+            detail: f.detail,
+        })
+    };
+
+    let direct = experiment(Engine::Direct, case.replications, 1, 0);
+    let san = experiment(Engine::San, case.replications, 1, 0);
+    match (&direct, &san) {
+        (Ok(d), Ok(s)) => {
+            match experiment(Engine::Direct, case.replications, 3, 0) {
+                Ok(par) => {
+                    if par.fingerprint != d.fingerprint {
+                        failures.push(Failure {
+                            kind: FailureKind::Trace,
+                            detail: "jobs=1 and jobs=3 trace fingerprints differ — parallel \
+                                     trace replication is not deterministic"
+                                .into(),
+                        });
+                    }
+                }
+                Err(e) => failures.push(Failure {
+                    kind: FailureKind::Error,
+                    detail: format!("trace jobs=3 run: {e}"),
+                }),
+            }
+            match experiment(Engine::San, case.replications, 1, 4) {
+                Ok(sharded) => {
+                    if sharded.fingerprint != s.fingerprint {
+                        failures.push(Failure {
+                            kind: FailureKind::Trace,
+                            detail: "sequential and 4-shard SAN trace fingerprints differ \
+                                     under churn"
+                                .into(),
+                        });
+                    }
+                }
+                Err(e) => failures.push(Failure {
+                    kind: FailureKind::Error,
+                    detail: format!("trace sharded run: {e}"),
+                }),
+            }
+            match (bridged(d), bridged(s)) {
+                (Ok(dr), Ok(sr)) => {
+                    let diffs = compare_reports("trace direct-vs-san", &dr, &sr, opts);
+                    if !diffs.is_empty() {
+                        let reps = case.replications * 3;
+                        let confirm = (
+                            experiment(Engine::Direct, reps, 1, 0),
+                            experiment(Engine::San, reps, 1, 0),
+                        );
+                        match confirm {
+                            (Ok(d3), Ok(s3)) => {
+                                match (bridged(&d3), bridged(&s3)) {
+                                    (Ok(dr3), Ok(sr3)) => failures.extend(as_trace(
+                                        compare_reports("trace direct-vs-san", &dr3, &sr3, opts),
+                                    )),
+                                    _ => failures.extend(as_trace(diffs)),
+                                }
+                            }
+                            _ => failures.extend(as_trace(diffs)),
+                        }
+                    }
+                }
+                (dr, sr) => {
+                    for (name, r) in [("direct", dr), ("san", sr)] {
+                        if let Err(e) = r {
+                            failures.push(Failure {
+                                kind: FailureKind::Error,
+                                detail: format!("trace {name} report: {e}"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        _ => {
+            for (name, r) in [("direct", &direct), ("san", &san)] {
+                if let Err(e) = r {
+                    failures.push(Failure {
+                        kind: FailureKind::Error,
+                        detail: format!("trace {name} engine: {e}"),
+                    });
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// One invariant-checked segmented trace replay per engine: the same
+/// engine-agnostic [`InvariantChecker`] that rides static runs observes
+/// every tick of the churn replay — retired VCPUs must go (and stay)
+/// INACTIVE holding no PCPU, transitions across re-admission must be
+/// legal, and the policy contracts (gang atomicity, skew bound) must
+/// survive membership changes.
+fn traced_invariant_runs(case: &FuzzCase, schedule: &TraceSchedule) -> Vec<Failure> {
+    let total = case.warmup + case.horizon;
+    let mut failures = Vec::new();
+    for engine in ["direct", "san"] {
+        let ck = Rc::new(RefCell::new(InvariantChecker::for_policy(
+            schedule.config(),
+            &case.policy,
+        )));
+        match run_traced_checked(case, schedule, engine, total, Rc::clone(&ck)) {
+            Ok(()) => debug_assert_eq!(ck.borrow().ticks_checked(), total),
+            Err(CoreError::InvariantViolation {
+                invariant,
+                tick,
+                reason,
+            }) => failures.push(Failure {
+                kind: FailureKind::Trace,
+                detail: format!(
+                    "[{engine}] invariant `{invariant}` at tick {tick} under churn: {reason}"
+                ),
+            }),
+            Err(e) => failures.push(Failure {
+                kind: FailureKind::Error,
+                detail: format!("[{engine}] traced checked run: {e}"),
+            }),
+        }
+    }
+    failures
+}
+
+/// Replays the compiled schedule on one engine with an observer
+/// attached, mirroring `TraceExperiment::run_replication`'s segment
+/// loop (initial retirement/levels, then events at their boundaries).
+fn run_traced_checked(
+    case: &FuzzCase,
+    schedule: &TraceSchedule,
+    engine: &str,
+    total: u64,
+    ck: Rc<RefCell<InvariantChecker>>,
+) -> Result<(), CoreError> {
+    enum Exec {
+        Direct(Box<DirectSim>),
+        San(Box<SanSystem>),
+    }
+    impl Exec {
+        fn run(&mut self, ticks: u64) -> Result<(), CoreError> {
+            match self {
+                Exec::Direct(sim) => sim.run(ticks),
+                Exec::San(sys) => sys.run(ticks),
+            }
+        }
+        fn set_admitted(&mut self, vm: usize, admitted: bool) {
+            match self {
+                Exec::Direct(sim) => sim.set_admitted(vm, admitted),
+                Exec::San(sys) => sys.set_admitted(vm, admitted),
+            }
+        }
+        fn set_load_level(&mut self, vm: usize, level: u32) {
+            match self {
+                Exec::Direct(sim) => sim.set_load_level(vm, level),
+                Exec::San(sys) => sys.set_load_level(vm, level),
+            }
+        }
+    }
+
+    let config = schedule.config().clone();
+    let mut exec = match engine {
+        "direct" => {
+            let mut sim = Box::new(DirectSim::new(config, case.policy.create(), case.seed));
+            sim.attach_observer(Box::new(ck));
+            Exec::Direct(sim)
+        }
+        _ => {
+            let mut sys = SanSystem::new_dynamic(config, case.policy.create(), case.seed)?;
+            sys.attach_observer(Box::new(ck));
+            Exec::San(Box::new(sys))
+        }
+    };
+    for (vm, &present) in schedule.initially_present().iter().enumerate() {
+        if !present {
+            exec.set_admitted(vm, false);
+        }
+    }
+    for (vm, &level) in schedule.initial_levels().iter().enumerate() {
+        if level != FULL_LEVEL {
+            exec.set_load_level(vm, level);
+        }
+    }
+    let events = schedule.events();
+    let mut boundaries: Vec<u64> = events
+        .iter()
+        .map(|e| e.time)
+        .filter(|&t| t < total)
+        .collect();
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    let mut now = 0u64;
+    let mut next = 0usize;
+    for t in boundaries {
+        exec.run(t - now)?;
+        now = t;
+        while next < events.len() && events[next].time == t {
+            let e = events[next];
+            match e.action {
+                TraceAction::Admit => exec.set_admitted(e.vm, true),
+                TraceAction::Retire => exec.set_admitted(e.vm, false),
+                TraceAction::SetLoad(level) => exec.set_load_level(e.vm, level),
+            }
+            next += 1;
+        }
+    }
+    exec.run(total - now)
 }
 
 /// One invariant-checked run per engine.
@@ -1035,6 +1310,36 @@ mod tests {
         let outcome = run_case(&case, &OracleOpts::default());
         assert_eq!(outcome.failures.len(), 1);
         assert_eq!(outcome.failures[0].kind, FailureKind::Error);
+    }
+
+    #[test]
+    fn trace_verdict_passes_on_generated_churn_cases() {
+        let g = CaseGen::new(11);
+        let case = (0..50)
+            .map(|i| g.case(i))
+            .find(|c| !c.trace.is_empty())
+            .expect("roughly half the generated cases carry a trace");
+        let failures = trace_check(&case, &OracleOpts::default());
+        assert!(failures.is_empty(), "failures: {failures:?}");
+    }
+
+    #[test]
+    fn trace_verdict_skips_static_cases_and_types_bad_traces() {
+        let mut case = CaseGen::new(11).case(0);
+        case.trace.clear();
+        assert!(trace_check(&case, &OracleOpts::default()).is_empty());
+
+        // A hand-edited reproducer with an impossible sequence surfaces
+        // as a typed Error failure, not a panic.
+        case.trace = vec![crate::case::TraceEventCase {
+            at: 100,
+            vm: 0,
+            op: crate::case::TraceOpCase::Arrive,
+        }];
+        let failures = trace_check(&case, &OracleOpts::default());
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].kind, FailureKind::Error);
+        assert!(failures[0].detail.contains("trace compile"), "{failures:?}");
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! generator happened to draw. Before writing a reproducer, the driver
 //! shrinks the case by trying a fixed family of simplifications — drop a
 //! VM, shed a sibling VCPU, remove synchronization, flatten the load
-//! distribution, halve the horizon — and greedily adopting any candidate
+//! distribution, halve the horizon, thin out the churn scenario one
+//! trace event at a time — and greedily adopting any candidate
 //! that still fails the oracle *with the same failure kinds*. The result
 //! is the smallest case this family reaches, typically one or two VMs
 //! with a deterministic workload, which is what a human wants to stare
@@ -65,11 +66,18 @@ fn kinds(outcome: &CaseOutcome) -> Vec<FailureKind> {
 fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
     let mut out = Vec::new();
 
-    // Drop whole VMs (keep at least one).
+    // Drop whole VMs (keep at least one). Trace events referencing the
+    // dropped VM go with it; later indices shift down to stay valid.
     if case.vms.len() > 1 {
         for drop in 0..case.vms.len() {
             let mut c = case.clone();
             c.vms.remove(drop);
+            c.trace.retain(|e| e.vm != drop);
+            for e in &mut c.trace {
+                if e.vm > drop {
+                    e.vm -= 1;
+                }
+            }
             out.push(c);
         }
     }
@@ -151,6 +159,22 @@ fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
         out.push(c);
     }
 
+    // Drop the whole churn scenario (adopted when the failure was never
+    // about churn), then single trace events back to front — a dropped
+    // event that breaks the sequence (e.g. a departure whose re-arrival
+    // remains) just fails compilation with a different failure kind and
+    // is rejected by the greedy loop, never adopted.
+    if !case.trace.is_empty() {
+        let mut c = case.clone();
+        c.trace.clear();
+        out.push(c);
+        for drop in (0..case.trace.len()).rev() {
+            let mut c = case.clone();
+            c.trace.remove(drop);
+            out.push(c);
+        }
+    }
+
     out
 }
 
@@ -170,6 +194,11 @@ mod tests {
                 let widest = c.vms.iter().map(|vm| vm.vcpus).max().unwrap();
                 assert!(widest <= c.pcpus, "case {i}: gang wider than machine");
                 assert!(c.system_config().is_ok(), "case {i}: candidate must build");
+                // VM-index remapping must keep trace events in range.
+                assert!(
+                    c.trace.iter().all(|e| e.vm < c.vms.len()),
+                    "case {i}: dangling trace VM index"
+                );
             }
         }
     }

@@ -81,6 +81,13 @@ pub struct VmConfig {
     pub workload: Option<WorkloadConfig>,
 }
 
+/// `skip_serializing_if` gate for `pcpus`: `0` means "the trace supplies
+/// the platform".
+#[allow(clippy::trivially_copy_pass_by_ref)]
+fn is_zero(n: &usize) -> bool {
+    *n == 0
+}
+
 fn default_policies() -> Vec<PolicySpec> {
     vec![
         PolicySpec::Label("rrs".into()),
@@ -109,10 +116,22 @@ fn default_horizon() -> u64 {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
 pub struct ExperimentConfig {
-    /// Number of physical CPUs.
+    /// Number of physical CPUs. With a `trace`, omit it (the trace header
+    /// carries the platform) — unless the trace is a CSV dataset, which
+    /// carries none, where this supplies the PCPU count.
+    #[serde(default, skip_serializing_if = "is_zero")]
     pub pcpus: usize,
-    /// The VMs.
+    /// The VMs. Empty when a `trace` defines them.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub vms: Vec<VmConfig>,
+    /// Path to a workload trace (`.jsonl` standard format or `.csv`
+    /// Azure-style lifetimes, resolved relative to the working
+    /// directory). When set, the run is **trace-driven**: VMs arrive,
+    /// depart and change load as the trace dictates, and the config's
+    /// `policies`, `engine`, `warmup`, `horizon`, `seed` and
+    /// `replications` control the comparison.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<String>,
     /// Scheduler timeslice in ticks (default 30).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub timeslice: Option<u64>,
@@ -164,6 +183,31 @@ impl ExperimentConfig {
                 reason: "replications must be at least 1".into(),
             });
         }
+        if let Some(trace) = &config.trace {
+            if !config.vms.is_empty() {
+                return Err(CoreError::InvalidConfig {
+                    reason: "a trace-driven config must omit `vms` (the trace defines the VMs)"
+                        .into(),
+                });
+            }
+            let is_csv = std::path::Path::new(trace)
+                .extension()
+                .is_some_and(|e| e.eq_ignore_ascii_case("csv"));
+            if is_csv && config.pcpus == 0 {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!("CSV trace `{trace}` carries no platform: set `pcpus`"),
+                });
+            }
+            if !is_csv && config.pcpus != 0 {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!("trace `{trace}` carries its own platform: omit `pcpus`"),
+                });
+            }
+        } else if config.pcpus == 0 || config.vms.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "need at least 1 PCPU and 1 VM (or a `trace`)".into(),
+            });
+        }
         for spec in &config.policies {
             // Unknown labels keep failing later, in `policy_kinds`, with
             // their own message; here we only range-check resolvable ones.
@@ -174,12 +218,37 @@ impl ExperimentConfig {
         Ok(config)
     }
 
-    /// Builds the [`SystemConfig`] this experiment describes.
+    /// Loads and compiles this config's trace schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when no `trace` is set, or with the
+    /// trace reader's `path:line`-annotated message when the file is
+    /// missing or malformed.
+    pub fn schedule(&self) -> Result<vsched_trace::TraceSchedule, CoreError> {
+        let Some(trace) = &self.trace else {
+            return Err(CoreError::InvalidConfig {
+                reason: "config has no `trace` field".into(),
+            });
+        };
+        let csv_meta = vsched_trace::TraceMeta::new(self.pcpus);
+        vsched_trace::load_trace(std::path::Path::new(trace), &csv_meta).map_err(|e| {
+            CoreError::InvalidConfig {
+                reason: e.to_string(),
+            }
+        })
+    }
+
+    /// Builds the [`SystemConfig`] this experiment describes — for a
+    /// trace-driven config, the trace's union topology.
     ///
     /// # Errors
     ///
     /// Propagates validation errors from the builder.
     pub fn system(&self) -> Result<SystemConfig, CoreError> {
+        if self.trace.is_some() {
+            return Ok(self.schedule()?.config().clone());
+        }
         let mut b = SystemConfig::builder().pcpus(self.pcpus);
         if let Some(ts) = self.timeslice {
             b = b.timeslice(ts);
@@ -367,6 +436,44 @@ mod tests {
                  "vms": [{ "vcpus": 1, "workload": { "sync_ration": [1, 5] } }] }"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn trace_config_validates_and_round_trips() {
+        let cfg = ExperimentConfig::from_json(
+            r#"{ "trace": "configs/traces/churn_small.jsonl", "policies": ["rrs"] }"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.pcpus, 0);
+        assert!(cfg.vms.is_empty());
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert!(!json.contains("pcpus"), "{json}");
+        assert_eq!(cfg, ExperimentConfig::from_json(&json).unwrap());
+
+        // Conflicting topology is rejected at load time.
+        let err = ExperimentConfig::from_json(r#"{ "trace": "t.jsonl", "vms": [{ "vcpus": 1 }] }"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("omit `vms`"), "{err}");
+        let err = ExperimentConfig::from_json(r#"{ "trace": "t.jsonl", "pcpus": 2 }"#).unwrap_err();
+        assert!(err.to_string().contains("omit `pcpus`"), "{err}");
+        let err = ExperimentConfig::from_json(r#"{ "trace": "t.csv" }"#).unwrap_err();
+        assert!(err.to_string().contains("set `pcpus`"), "{err}");
+        ExperimentConfig::from_json(r#"{ "trace": "t.csv", "pcpus": 4 }"#).unwrap();
+        // No trace and no topology is still an error.
+        let err = ExperimentConfig::from_json(r#"{ }"#).unwrap_err();
+        assert!(err.to_string().contains("at least 1 PCPU"), "{err}");
+    }
+
+    #[test]
+    fn trace_config_missing_file_reports_the_path() {
+        let cfg = ExperimentConfig::from_json(r#"{ "trace": "/nonexistent/t.jsonl" }"#).unwrap();
+        let err = cfg.schedule().unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/t.jsonl"), "{err}");
+        // `system()` on a non-trace config never consults the reader.
+        let cfg =
+            ExperimentConfig::from_json(r#"{ "pcpus": 2, "vms": [{ "vcpus": 1 }] }"#).unwrap();
+        assert!(cfg.schedule().is_err());
+        cfg.system().unwrap();
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! vsched run <config.json> [--out results.json] [--jobs N]
+//! vsched trace <validate|describe|head|run> <trace> [--pcpus N] [...]
 //! vsched sweep <spec.json> [--store DIR] [--out-dir DIR] [...]
 //! vsched fuzz [--cases N] [--seed S] [--jobs N] [--reproducer-dir DIR]
 //! vsched fuzz --replay <case.json>
@@ -30,6 +31,13 @@ vsched — simulate and compare VCPU scheduling algorithms
 
 USAGE:
     vsched run <config.json> [--out <results.json>] [--jobs <N>]
+    vsched trace validate <trace> [--pcpus <N>]
+    vsched trace describe <trace> [--pcpus <N>]
+    vsched trace head <trace> [--pcpus <N>] [--events <N>]
+    vsched trace run <trace> [--pcpus <N>] [--policy <label>]
+                 [--engine <direct|san>] [--warmup <N>] [--horizon <N>]
+                 [--seed <S>] [--replications <N>] [--jobs <N>]
+                 [--shards <N>] [--out <results.json>]
     vsched sweep <spec.json> [--store <dir>] [--out-dir <dir>] [--jobs <N>]
                  [--only <experiment>] [--max-cells <N>] [--dry-run] [--quiet]
     vsched fuzz [--cases <N>] [--seed <S>] [--jobs <N>]
@@ -54,7 +62,20 @@ USAGE:
 
 COMMANDS:
     run       Simulate the experiment described by a JSON config file and
-              print a comparison of the configured policies.
+              print a comparison of the configured policies. With a
+              `trace` field the run is trace-driven: VMs arrive, depart
+              and change load level as the trace dictates.
+    trace     Work with workload traces — timestamped VM arrival,
+              departure and load-level events in the standard JSON-lines
+              format (`.jsonl`, self-describing header) or Azure-style
+              lifetime CSV (`.csv`, platform supplied with --pcpus).
+              `validate` compiles the trace and reports the first typed
+              `path:line` error; `describe` prints the compiled shape;
+              `head` prints the first events in standard form (CSV rows
+              are converted); `run` replays the trace under one policy
+              and prints the metrics plus an order-independent run
+              fingerprint — bit-identical for every --jobs/--shards, so
+              two runs can be diffed to prove determinism.
     sweep     Run a declarative campaign: expand the spec's experiment
               grids into cells, simulate whatever the content-addressed
               result store is missing (crash-safe and resumable — re-run
@@ -107,6 +128,25 @@ OPTIONS (run):
     --jobs <N>     Replication worker threads (default: one per core;
                    overrides the config's `jobs` field). Results are
                    bit-identical for every N.
+
+OPTIONS (trace):
+    --pcpus <N>        Platform size for CSV traces, which carry none.
+                       Standard-format traces carry their own and reject
+                       the flag.
+    --events <N>       (head) Events to print (default 10).
+    --policy <label>   (run) Scheduling policy (default rrs).
+    --engine <name>    (run) `direct` (default) or `san`.
+    --warmup <N>       (run) Warm-up ticks; the trace clock is absolute,
+                       so events inside warmup still apply (default 0).
+    --horizon <N>      (run) Observed ticks after warmup (default: last
+                       event time + 1000).
+    --seed <S>         (run) Base seed; replication r uses S + r
+                       (default 0x5eed).
+    --replications <N> (run) Replications (default 3).
+    --jobs <N>         (run) Replication worker threads (default: one per
+                       core). Results are bit-identical for every N.
+    --shards <N>       (run) SAN engine shard count (ignored by direct).
+    --out <path>       (run) Also write the report as JSON.
 
 OPTIONS (sweep):
     --store <dir>      Result-store directory (default: the spec's `store`
@@ -218,6 +258,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
+        Some("trace") => trace_cmd(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
         Some("fuzz") => fuzz(&args[1..]),
         Some("lint") => lint(&args[1..]),
@@ -282,6 +323,338 @@ fn run(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn trace_cmd(args: &[String]) -> ExitCode {
+    let Some(verb) = args.first().map(String::as_str) else {
+        eprintln!("error: `vsched trace` needs a verb: validate, describe, head or run\n\n{HELP}");
+        return ExitCode::FAILURE;
+    };
+    if !matches!(verb, "validate" | "describe" | "head" | "run") {
+        eprintln!("error: unknown trace verb `{verb}` (expected validate, describe, head or run)");
+        return ExitCode::FAILURE;
+    }
+    let mut opts = TraceOpts::default();
+    let mut path: Option<&str> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--pcpus" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => opts.pcpus = n,
+                _ => {
+                    eprintln!("error: --pcpus requires a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--events" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => opts.events = n,
+                _ => {
+                    eprintln!("error: --events requires a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--policy" => match it.next() {
+                Some(label) => opts.policy = label.clone(),
+                None => {
+                    eprintln!("error: --policy requires a label");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--engine" => match it.next().map(String::as_str) {
+                Some("direct") => opts.engine = vsched_core::Engine::Direct,
+                Some("san") => opts.engine = vsched_core::Engine::San,
+                _ => {
+                    eprintln!("error: --engine takes `direct` or `san`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--warmup" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) => opts.warmup = n,
+                _ => {
+                    eprintln!("error: --warmup requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--horizon" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => opts.horizon = Some(n),
+                _ => {
+                    eprintln!("error: --horizon requires a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) => opts.seed = n,
+                _ => {
+                    eprintln!("error: --seed requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--replications" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => opts.replications = n,
+                _ => {
+                    eprintln!("error: --replications requires a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => opts.jobs = Some(n),
+                _ => {
+                    eprintln!("error: --jobs requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shards" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => opts.shards = n,
+                _ => {
+                    eprintln!("error: --shards requires a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => opts.out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            p if path.is_none() && !p.starts_with('-') => path = Some(p),
+            p => {
+                eprintln!("error: unexpected argument `{p}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("error: `vsched trace {verb}` needs a trace file");
+        return ExitCode::FAILURE;
+    };
+    match run_trace_verb(verb, Path::new(path), &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parsed `vsched trace` flags with their defaults.
+struct TraceOpts {
+    pcpus: usize,
+    events: usize,
+    policy: String,
+    engine: vsched_core::Engine,
+    warmup: u64,
+    horizon: Option<u64>,
+    seed: u64,
+    replications: usize,
+    jobs: Option<usize>,
+    shards: usize,
+    out: Option<PathBuf>,
+}
+
+impl Default for TraceOpts {
+    fn default() -> Self {
+        TraceOpts {
+            pcpus: 0,
+            events: 10,
+            policy: "rrs".into(),
+            engine: vsched_core::Engine::Direct,
+            warmup: 0,
+            horizon: None,
+            seed: 0x5eed,
+            replications: 3,
+            jobs: None,
+            shards: 0,
+            out: None,
+        }
+    }
+}
+
+/// The JSON written by `vsched trace run --out`.
+#[derive(serde::Serialize)]
+struct TraceRunJson {
+    trace: String,
+    policy: String,
+    engine: String,
+    warmup: u64,
+    horizon: u64,
+    seed: u64,
+    replications: usize,
+    /// FNV-1a 64 over every observation bit; equal strings mean
+    /// bit-identical runs.
+    fingerprint: String,
+    /// Confidence-interval report (absent with a single replication).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    report: Option<vsched_core::MetricsReport>,
+}
+
+fn is_csv_trace(path: &Path) -> bool {
+    path.extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("csv"))
+}
+
+/// Loads a trace for the `trace` subcommand, enforcing the `--pcpus`
+/// contract: required by CSV datasets, rejected by self-describing
+/// standard traces.
+fn load_trace_arg(
+    path: &Path,
+    opts: &TraceOpts,
+) -> Result<vsched_trace::TraceSchedule, Box<dyn std::error::Error>> {
+    if is_csv_trace(path) {
+        if opts.pcpus == 0 {
+            return Err(format!(
+                "CSV trace `{}` carries no platform: pass --pcpus",
+                path.display()
+            )
+            .into());
+        }
+    } else if opts.pcpus != 0 {
+        return Err(format!(
+            "trace `{}` carries its own platform: drop --pcpus",
+            path.display()
+        )
+        .into());
+    }
+    let csv_meta = vsched_trace::TraceMeta::new(opts.pcpus);
+    Ok(vsched_trace::load_trace(path, &csv_meta)?)
+}
+
+fn run_trace_verb(
+    verb: &str,
+    path: &Path,
+    opts: &TraceOpts,
+) -> Result<(), Box<dyn std::error::Error>> {
+    match verb {
+        "validate" => {
+            let schedule = load_trace_arg(path, opts)?;
+            println!("ok: {}", schedule.describe());
+            Ok(())
+        }
+        "describe" => {
+            let schedule = load_trace_arg(path, opts)?;
+            let (mut admits, mut retires, mut loads) = (0usize, 0, 0);
+            for e in schedule.events() {
+                match e.action {
+                    vsched_trace::TraceAction::Admit => admits += 1,
+                    vsched_trace::TraceAction::Retire => retires += 1,
+                    vsched_trace::TraceAction::SetLoad(_) => loads += 1,
+                }
+            }
+            println!("trace: {}", path.display());
+            println!("  {}", schedule.describe());
+            println!(
+                "  platform: {} pcpus, {} vcpus total, timeslice {}",
+                schedule.config().pcpus(),
+                schedule.config().total_vcpus(),
+                schedule.config().timeslice()
+            );
+            println!(
+                "  events after tick 0: {admits} arrival(s), {retires} departure(s), \
+                 {loads} load change(s)"
+            );
+            Ok(())
+        }
+        "head" => {
+            let (meta, events) = if is_csv_trace(path) {
+                if opts.pcpus == 0 {
+                    return Err(format!(
+                        "CSV trace `{}` carries no platform: pass --pcpus",
+                        path.display()
+                    )
+                    .into());
+                }
+                (
+                    vsched_trace::TraceMeta::new(opts.pcpus),
+                    vsched_trace::read_azure_csv(path)?,
+                )
+            } else {
+                if opts.pcpus != 0 {
+                    return Err(format!(
+                        "trace `{}` carries its own platform: drop --pcpus",
+                        path.display()
+                    )
+                    .into());
+                }
+                vsched_trace::read_standard(path)?
+            };
+            let total = events.len();
+            let head: Vec<vsched_trace::RawEvent> = events
+                .into_iter()
+                .take(opts.events)
+                .map(|(_, e)| e)
+                .collect();
+            print!("{}", vsched_trace::write_standard(&meta, &head));
+            if total > head.len() {
+                eprintln!("[{} more event(s)]", total - head.len());
+            }
+            Ok(())
+        }
+        "run" => run_trace_experiment(path, opts),
+        _ => unreachable!("verb checked by trace_cmd"),
+    }
+}
+
+fn run_trace_experiment(path: &Path, opts: &TraceOpts) -> Result<(), Box<dyn std::error::Error>> {
+    let schedule = load_trace_arg(path, opts)?;
+    let system = schedule.config().clone();
+    let horizon = opts.horizon.unwrap_or(schedule.end_time() + 1_000);
+    let policy = vsched_cli::config::PolicySpec::Label(opts.policy.clone()).to_kind()?;
+    let engine_label = match opts.engine {
+        vsched_core::Engine::Direct => "direct",
+        vsched_core::Engine::San => "san",
+    };
+    println!("trace: {}", schedule.describe());
+    println!(
+        "policy {}   engine {engine_label}   warmup {} / horizon {horizon} ticks   \
+         seed {:#x}   replications {}",
+        policy.label(),
+        opts.warmup,
+        opts.seed,
+        opts.replications
+    );
+    let mut exp = vsched_trace::TraceExperiment::new(schedule, policy.clone())
+        .engine(opts.engine)
+        .warmup(opts.warmup)
+        .horizon(horizon)
+        .seed(opts.seed)
+        .replications(opts.replications)
+        .shards(opts.shards);
+    if let Some(jobs) = opts.jobs {
+        exp = exp.jobs(jobs);
+    }
+    let result = exp.run()?;
+    println!("fingerprint {:016x}", result.fingerprint);
+    let report = if opts.replications >= 2 {
+        let report = result.metrics_report(system.total_vcpus(), system.pcpus(), 0.95)?;
+        print!("{}", render_report(&system, &policy, &report));
+        Some(report)
+    } else {
+        let sample = &result.samples[0];
+        println!(
+            "  vcpu_availability {:.4}   vcpu_utilization {:.4}   pcpu_utilization {:.4}",
+            sample.avg_vcpu_availability(),
+            sample.avg_vcpu_utilization(),
+            sample.avg_pcpu_utilization()
+        );
+        None
+    };
+    if let Some(out) = &opts.out {
+        let body = TraceRunJson {
+            trace: path.display().to_string(),
+            policy: policy.label().to_string(),
+            engine: engine_label.to_string(),
+            warmup: opts.warmup,
+            horizon,
+            seed: opts.seed,
+            replications: opts.replications,
+            fingerprint: format!("{:016x}", result.fingerprint),
+            report,
+        };
+        write_atomic(out, &serde_json::to_string_pretty(&body)?)
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        println!("[wrote {}]", out.display());
+    }
+    Ok(())
 }
 
 fn sweep(args: &[String]) -> ExitCode {
@@ -1041,6 +1414,9 @@ fn run_experiment(
         config.warmup,
         config.horizon
     );
+    if config.trace.is_some() {
+        return run_traced_config(&config, &system, out_path, jobs);
+    }
     let mut json_results = Vec::new();
     for policy in config.policy_kinds()? {
         let mut builder = ExperimentBuilder::new(system.clone(), policy.clone())
@@ -1067,6 +1443,62 @@ fn run_experiment(
         }))?;
         // Atomic (temp file + rename): a crash mid-write can't leave a
         // truncated results file behind.
+        write_atomic(std::path::Path::new(out), &body)
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("[wrote {out}]");
+    }
+    Ok(())
+}
+
+/// The trace-driven arm of `vsched run`: replays the config's trace under
+/// each configured policy and prints the same comparison tables as a
+/// static run, plus the per-policy run fingerprint.
+fn run_traced_config(
+    config: &ExperimentConfig,
+    system: &vsched_core::SystemConfig,
+    out_path: Option<&str>,
+    jobs: Option<usize>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let schedule = config.schedule()?;
+    let engine = config.engine_kind()?;
+    // No stopping rule mid-trace: trace runs use a fixed count.
+    let replications = config.replications.unwrap_or(3);
+    println!("trace: {}", schedule.describe());
+    let mut json_results = Vec::new();
+    for policy in config.policy_kinds()? {
+        let mut exp = vsched_trace::TraceExperiment::new(schedule.clone(), policy.clone())
+            .engine(engine)
+            .warmup(config.warmup)
+            .horizon(config.horizon)
+            .replications(replications);
+        if let Some(seed) = config.seed {
+            exp = exp.seed(seed);
+        }
+        if let Some(jobs) = jobs {
+            exp = exp.jobs(jobs);
+        }
+        let result = exp.run()?;
+        println!(
+            "fingerprint {:016x}  ({})",
+            result.fingerprint,
+            policy.label()
+        );
+        let report = result.metrics_report(system.total_vcpus(), system.pcpus(), 0.95)?;
+        print!("{}", render_report(system, &policy, &report));
+        let mut entry = report_to_json(system, &policy, &report);
+        if let serde_json::Value::Map(entries) = &mut entry {
+            entries.push((
+                "fingerprint".to_string(),
+                serde_json::Value::Str(format!("{:016x}", result.fingerprint)),
+            ));
+        }
+        json_results.push(entry);
+    }
+    if let Some(out) = out_path {
+        let body = serde_json::to_string_pretty(&serde_json::json!({
+            "config": config,
+            "results": json_results,
+        }))?;
         write_atomic(std::path::Path::new(out), &body)
             .map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("[wrote {out}]");

@@ -289,6 +289,7 @@ fn cell_from_config(
     Ok(CellConfig {
         pcpus: config.pcpus,
         vms: config.vms.iter().map(|vm| vm.vcpus).collect(),
+        trace: None,
         weights: if weights.iter().all(|&w| w == 1) {
             None
         } else {
@@ -351,6 +352,7 @@ fn cell_from_case(case: &FuzzCase, opts: &TournamentOpts) -> CellConfig {
     CellConfig {
         pcpus: case.pcpus,
         vms: case.vms.iter().map(|vm| vm.vcpus).collect(),
+        trace: None,
         weights: if weights.iter().all(|&w| w == 1) {
             None
         } else {
@@ -420,6 +422,12 @@ pub fn build_corpus(
             || path.display().to_string(),
             |s| s.to_string_lossy().into(),
         );
+        // Trace-driven configs describe a churning VM population; the
+        // tournament normalizes every contestant onto static scenarios
+        // (episodes included), so they are out of scope here.
+        if config.trace.is_some() {
+            continue;
+        }
         let cell = cell_from_config(&config, opts).map_err(|e| format!("{name}: {e}"))?;
         scenarios.push(TournamentScenario { name, cell });
     }

@@ -12,7 +12,13 @@ use vsched_cli::ExperimentConfig;
 use vsched_core::ExperimentBuilder;
 
 fn configs_dir() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../configs")
+    // Shipped configs are written to be run from the repo root (relative
+    // `trace` paths resolve against the working directory); make the test
+    // process match. Both tests set the same directory, so concurrent
+    // execution is safe.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    std::env::set_current_dir(&root).expect("repo root exists");
+    root.join("configs")
 }
 
 fn is_sweep_spec(path: &std::path::Path) -> bool {

@@ -36,7 +36,7 @@ pub mod trace;
 
 pub use trace::{Trace, TraceEvent};
 
-use vsched_des::{Dist, RngStreams, Xoshiro256StarStar};
+use vsched_des::{RngStreams, Xoshiro256StarStar};
 
 use crate::config::{SyncMechanism, SystemConfig};
 use crate::error::CoreError;
@@ -44,6 +44,7 @@ use crate::metrics::SampleMetrics;
 use crate::observe::TickObserver;
 use crate::sched::{validate_decision, SchedulingPolicy};
 use crate::types::{PcpuView, VcpuId, VcpuStatus, VcpuView};
+use crate::util::{duty_allows, sample_ticks, sample_ticks_scaled, FULL_LEVEL};
 
 #[derive(Debug, Clone)]
 struct VcpuState {
@@ -102,6 +103,13 @@ pub struct DirectSim {
     /// `pcpus[p]` = global index of the VCPU holding PCPU `p`.
     pcpus: Vec<Option<usize>>,
     vms: Vec<VmState>,
+    /// Whether each VM is currently admitted (dynamic membership; all
+    /// `true` for static configurations).
+    admitted: Vec<bool>,
+    /// Per-VM workload-generation level in per-mille (`1000` = the
+    /// configured full rate; `0` = paused). Drives the trace frontend's
+    /// load models.
+    load_level: Vec<u32>,
     vm_rngs: Vec<Xoshiro256StarStar>,
     pcpu_ticks: Vec<u64>,
     observed_ticks: u64,
@@ -159,6 +167,8 @@ impl DirectSim {
         DirectSim {
             pcpus: vec![None; config.pcpus()],
             pcpu_ticks: vec![0; config.pcpus()],
+            admitted: vec![true; config.vms().len()],
+            load_level: vec![FULL_LEVEL; config.vms().len()],
             vcpus,
             vms,
             vm_rngs,
@@ -229,6 +239,104 @@ impl DirectSim {
         self.vms[vm].blocked
     }
 
+    /// Whether VM `vm` is currently admitted (present in the system).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is out of range.
+    #[must_use]
+    pub fn vm_admitted(&self, vm: usize) -> bool {
+        self.admitted[vm]
+    }
+
+    /// The workload-generation level of VM `vm` in per-mille.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is out of range.
+    #[must_use]
+    pub fn load_level(&self, vm: usize) -> u32 {
+        self.load_level[vm]
+    }
+
+    /// Admits or retires VM `vm` at the current tick boundary (trace
+    /// frontend). A no-op when the VM is already in the target state, so
+    /// a degenerate trace (all VMs present from the start) is bit-identical
+    /// to the static path.
+    ///
+    /// Retiring schedules out every VCPU of the VM, discards its partial
+    /// work and synchronization state, and stops workload generation; the
+    /// VCPUs disappear from policy candidate sets (their views turn
+    /// non-present). Re-admission restarts generation from an empty queue;
+    /// in interarrival mode the first arrival is drawn from the admission
+    /// tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is out of range.
+    pub fn set_admitted(&mut self, vm: usize, admitted: bool) {
+        if self.admitted[vm] == admitted {
+            return;
+        }
+        self.admitted[vm] = admitted;
+        if admitted {
+            // Fresh interarrival draw on re-admission, anchored "now":
+            // the lazy static-path draw is anchored at tick 0 and would
+            // otherwise flood the queue with phantom arrivals.
+            if let Some(inter) = &self.config.vms()[vm].workload.interarrival {
+                let lm = self.load_level[vm];
+                if lm > 0 {
+                    let d = sample_ticks_scaled(inter, &mut self.vm_rngs[vm], lm);
+                    self.vms[vm].next_arrival = Some(self.tick + d);
+                }
+            }
+            return;
+        }
+        let members: Vec<usize> = self.config.vm_vcpus(vm);
+        for g in members {
+            self.schedule_out(g);
+            let v = &mut self.vcpus[g];
+            v.remaining_load = 0;
+            v.sync_point = false;
+            v.needs_lock = false;
+        }
+        let state = &mut self.vms[vm];
+        state.blocked = false;
+        state.lock = None;
+        state.pending = 0;
+        state.next_arrival = None;
+    }
+
+    /// Sets VM `vm`'s workload-generation level in per-mille of the
+    /// configured rate (trace frontend; `1000` = full rate, `0` = paused).
+    /// A no-op when the level is unchanged. In saturated mode the level
+    /// duty-cycles generation ticks; in interarrival mode it scales the
+    /// interarrival times, resampling the pending arrival from the
+    /// current tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is out of range or `per_mille > 1000`.
+    pub fn set_load_level(&mut self, vm: usize, per_mille: u32) {
+        assert!(
+            per_mille <= FULL_LEVEL,
+            "load level {per_mille} out of range"
+        );
+        if self.load_level[vm] == per_mille {
+            return;
+        }
+        self.load_level[vm] = per_mille;
+        if let Some(inter) = &self.config.vms()[vm].workload.interarrival {
+            if per_mille == 0 {
+                // Pause: abort the pending arrival (re-drawn on resume).
+                self.vms[vm].next_arrival = None;
+            } else if self.admitted[vm] {
+                let d = sample_ticks_scaled(inter, &mut self.vm_rngs[vm], per_mille);
+                self.vms[vm].next_arrival = Some(self.tick + d);
+            }
+        }
+    }
+
     /// Snapshot of every VCPU, as a policy would see it.
     #[must_use]
     pub fn vcpu_views(&self) -> Vec<VcpuView> {
@@ -243,6 +351,7 @@ impl DirectSim {
                 timeslice_remaining: v.timeslice,
                 last_scheduled_in: v.last_in,
                 vm_weight: self.config.vms()[v.id.vm].weight,
+                present: self.admitted[v.id.vm],
             })
             .collect()
     }
@@ -478,21 +587,35 @@ impl DirectSim {
 
     /// Phase-5 workload generation for one VM.
     fn dispatch(&mut self, vm: usize) {
+        if !self.admitted[vm] {
+            return;
+        }
         let spec = self.config.vms()[vm].workload.clone();
-        // Interarrival mode: accrue arrivals up to the current tick.
+        let level = self.load_level[vm];
+        // Saturated mode: the load level duty-cycles generation — tick T
+        // generates iff the integer ramp T·level/1000 steps at T. Level
+        // 1000 passes every tick (the static path, bit for bit).
+        if spec.interarrival.is_none() && !duty_allows(self.tick, level) {
+            return;
+        }
+        // Interarrival mode: accrue arrivals up to the current tick, with
+        // interarrival times scaled by 1000/level (level 0 = paused; the
+        // next arrival is re-drawn when the level turns positive again).
         if let Some(inter) = &spec.interarrival {
-            let state = &mut self.vms[vm];
-            if state.next_arrival.is_none() {
-                let d = sample_ticks(inter, &mut self.vm_rngs[vm]);
-                state.next_arrival = Some(d);
-            }
-            while let Some(next) = self.vms[vm].next_arrival {
-                if next > self.tick {
-                    break;
+            if level > 0 {
+                let state = &mut self.vms[vm];
+                if state.next_arrival.is_none() {
+                    let d = sample_ticks_scaled(inter, &mut self.vm_rngs[vm], level);
+                    state.next_arrival = Some(d);
                 }
-                self.vms[vm].pending += 1;
-                let d = sample_ticks(inter, &mut self.vm_rngs[vm]);
-                self.vms[vm].next_arrival = Some(next + d);
+                while let Some(next) = self.vms[vm].next_arrival {
+                    if next > self.tick {
+                        break;
+                    }
+                    self.vms[vm].pending += 1;
+                    let d = sample_ticks_scaled(inter, &mut self.vm_rngs[vm], level);
+                    self.vms[vm].next_arrival = Some(next + d);
+                }
             }
         }
         loop {
@@ -547,16 +670,6 @@ impl DirectSim {
                 self.emit(TraceEvent::Blocked { tick, vm });
             }
         }
-    }
-}
-
-/// Samples a distribution as a whole number of ticks, at least 1.
-fn sample_ticks(dist: &Dist, rng: &mut Xoshiro256StarStar) -> u64 {
-    let x = dist.sample(rng).round();
-    if x < 1.0 {
-        1
-    } else {
-        x as u64
     }
 }
 

@@ -523,3 +523,146 @@ fn deterministic_and_bernoulli_sync_agree_statistically() {
         "patterns should agree at equal rates: {bernoulli:.3} vs {every_kth:.3}"
     );
 }
+
+#[test]
+fn retire_masks_views_and_frees_pcpus_direct() {
+    let cfg = config_with_workload(2, &[1, 1], det_workload(5.0));
+    let mut sim = DirectSim::new(cfg, Box::new(RoundRobin::new()), 11);
+    sim.run(10).unwrap();
+    assert!(sim.vm_admitted(1));
+    sim.set_admitted(1, false);
+    assert!(!sim.vm_admitted(1));
+    let views = sim.vcpu_views();
+    assert!(views[0].present);
+    assert!(!views[1].present);
+    assert_eq!(views[1].status, VcpuStatus::Inactive);
+    assert_eq!(views[1].remaining_load, 0);
+    assert!(
+        !views[1].is_schedulable(),
+        "retired VCPUs are not candidates"
+    );
+    assert!(
+        sim.pcpu_views()
+            .iter()
+            .all(|p| p.assigned.is_none_or(|id| id.vm != 1)),
+        "retirement freed VM 1's PCPU"
+    );
+    sim.run(50).unwrap();
+    assert_eq!(
+        sim.vcpu_views()[1].status,
+        VcpuStatus::Inactive,
+        "a retired VM never runs"
+    );
+    sim.set_admitted(1, true);
+    sim.run(2).unwrap();
+    assert_eq!(
+        sim.vcpu_views()[1].status,
+        VcpuStatus::Busy,
+        "a re-admitted VM resumes generating work"
+    );
+}
+
+#[test]
+fn load_level_zero_pauses_saturated_generation_direct() {
+    let cfg = config_with_workload(1, &[1], det_workload(3.0));
+    let mut sim = DirectSim::new(cfg, Box::new(RoundRobin::new()), 13);
+    sim.run(10).unwrap();
+    assert_eq!(sim.load_level(0), 1000);
+    sim.set_load_level(0, 0);
+    assert_eq!(sim.load_level(0), 0);
+    sim.run(10).unwrap();
+    assert_ne!(
+        sim.vcpu_views()[0].status,
+        VcpuStatus::Busy,
+        "no new jobs at level 0"
+    );
+    sim.set_load_level(0, 1000);
+    sim.run(2).unwrap();
+    assert_eq!(sim.vcpu_views()[0].status, VcpuStatus::Busy);
+}
+
+#[test]
+fn duty_cycle_halves_generated_jobs_direct() {
+    let mk = || config_with_workload(1, &[1], det_workload(1.0));
+    let run_at = |level: u32| {
+        let mut sim = DirectSim::new(mk(), Box::new(RoundRobin::new()), 17);
+        sim.set_load_level(0, level);
+        sim.run(2000).unwrap();
+        sim.metrics().vcpu_utilization[0]
+    };
+    let full = run_at(1000);
+    let half = run_at(500);
+    assert!(full > 0.95, "saturated at load 1: {full}");
+    assert!(
+        (half - full / 2.0).abs() < 0.05,
+        "level 500 should halve utilization: full {full}, half {half}"
+    );
+}
+
+#[test]
+fn no_op_setters_keep_run_bit_identical_direct() {
+    // The degenerate-trace path calls the setters with identity values;
+    // that must not disturb RNG streams or any state.
+    let mk = || config_with_workload(2, &[2, 1], det_workload(3.0));
+    let mut plain = DirectSim::new(mk(), Box::new(RoundRobin::new()), 9);
+    plain.run(300).unwrap();
+    let mut touched = DirectSim::new(mk(), Box::new(RoundRobin::new()), 9);
+    touched.set_admitted(0, true);
+    touched.set_load_level(1, 1000);
+    touched.run(150).unwrap();
+    touched.set_admitted(1, true);
+    touched.set_load_level(0, 1000);
+    touched.run(150).unwrap();
+    assert_eq!(
+        plain.metrics().to_observations(),
+        touched.metrics().to_observations()
+    );
+    assert_eq!(plain.vcpu_views(), touched.vcpu_views());
+    assert_eq!(plain.pcpu_views(), touched.pcpu_views());
+}
+
+#[test]
+fn engines_track_each_other_under_churn() {
+    // The same churn script on both engines: the long-run metric estimates
+    // must stay close (the same statistical-agreement contract the static
+    // differential tests use).
+    let mk = || config_with_workload(2, &[2, 1], det_workload(4.0));
+    let script_d = |sim: &mut DirectSim| {
+        sim.run(2000).unwrap();
+        sim.set_admitted(1, false);
+        sim.run(2000).unwrap();
+        sim.set_admitted(1, true);
+        sim.set_load_level(0, 500);
+        sim.run(2000).unwrap();
+    };
+    let mut d = DirectSim::new(mk(), Box::new(RoundRobin::new()), 21);
+    script_d(&mut d);
+    let mut s =
+        crate::san_model::SanSystem::new_dynamic(mk(), Box::new(RoundRobin::new()), 21).unwrap();
+    s.run(2000).unwrap();
+    s.set_admitted(1, false);
+    s.run(2000).unwrap();
+    s.set_admitted(1, true);
+    s.set_load_level(0, 500);
+    s.run(2000).unwrap();
+    let (dm, sm) = (d.metrics(), s.metrics());
+    for (i, (a, b)) in dm
+        .vcpu_availability
+        .iter()
+        .zip(&sm.vcpu_availability)
+        .enumerate()
+    {
+        assert!(
+            (a - b).abs() < 0.05,
+            "availability[{i}]: direct {a} san {b}"
+        );
+    }
+    for (i, (a, b)) in dm
+        .pcpu_utilization
+        .iter()
+        .zip(&sm.pcpu_utilization)
+        .enumerate()
+    {
+        assert!((a - b).abs() < 0.05, "pcpu util[{i}]: direct {a} san {b}");
+    }
+}

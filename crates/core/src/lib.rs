@@ -82,6 +82,7 @@ pub mod observe;
 pub mod runner;
 pub mod san_model;
 pub mod sched;
+pub mod spec;
 pub mod types;
 pub(crate) mod util;
 
@@ -91,4 +92,5 @@ pub use metrics::{MetricsReport, SampleMetrics};
 pub use observe::TickObserver;
 pub use runner::{Engine, ExperimentBuilder};
 pub use sched::{PolicyKind, ScheduleDecision, SchedulingPolicy};
+pub use spec::{DistSpec, SyncMechanismSpec};
 pub use types::{PcpuView, VcpuId, VcpuStatus, VcpuView};

@@ -34,10 +34,10 @@ use vsched_san::{Model, ModelBuilder, PlaceId, SanError};
 
 use crate::config::{SyncMechanism, SystemConfig};
 use crate::error::CoreError;
-use crate::san_model::layout::{Layout, VcpuPlaces, VmPlaces};
+use crate::san_model::layout::{DynVmPlaces, Layout, VcpuPlaces, VmPlaces};
 use crate::sched::{validate_decision, SchedulingPolicy};
 use crate::types::VcpuStatus;
-use crate::util::sample_ticks;
+use crate::util::{duty_allows, sample_ticks, FULL_LEVEL};
 
 /// Intra-tick phase priorities (higher completes first).
 pub(crate) mod priority {
@@ -62,9 +62,18 @@ pub(crate) type ErrorCell = Arc<Mutex<Option<CoreError>>>;
 
 /// Builds the flattened composed model. Returns the model, its place
 /// layout, and the shared error cell for policy violations.
+///
+/// With `dynamic` set the model additionally carries per-VM `admitted`
+/// (init 1) and `load_level` (init 1000, per-mille) places — appended
+/// *after* every static place so static place ids are unchanged — and the
+/// workload generators are gated/scaled by them. At the identity marking
+/// (all admitted, full level) the dynamic model is bit-identical to the
+/// static one: the extra guard terms are tautologies, the rate multiplier
+/// is exactly 1.0, and no activity indices or RNG stream assignments move.
 pub(crate) fn build_model(
     config: &SystemConfig,
     policy: Box<dyn SchedulingPolicy>,
+    dynamic: bool,
 ) -> Result<(Model, Layout, ErrorCell), SanError> {
     let mut mb = ModelBuilder::new();
 
@@ -115,6 +124,20 @@ pub(crate) fn build_model(
         .map(|p| mb.place(&format!("pcpu{p}.assigned"), 0))
         .collect::<Result<_, _>>()?;
 
+    // Membership places come last so every static place id is unchanged.
+    let dyn_vms: Option<Vec<DynVmPlaces>> = if dynamic {
+        let mut d = Vec::with_capacity(config.vms().len());
+        for k in 0..config.vms().len() {
+            d.push(DynVmPlaces {
+                admitted: mb.place(&format!("vm{k}.admitted"), 1)?,
+                load_level: mb.place(&format!("vm{k}.load_level"), i64::from(FULL_LEVEL))?,
+            });
+        }
+        Some(d)
+    } else {
+        None
+    };
+
     let layout = Layout::new(
         vcpu_places,
         pcpu_places,
@@ -123,6 +146,7 @@ pub(crate) fn build_model(
         halt,
         tick_expire,
         tick_sched,
+        dyn_vms,
         vm_of_table,
     );
 
@@ -291,6 +315,7 @@ pub(crate) fn build_model(
     for (k, vm) in layout.vms.iter().copied().enumerate() {
         let spec = config.vms()[k].workload.clone();
         let mechanism = spec.sync_mechanism;
+        let dvm = layout.dyn_vms.as_ref().map(|d| d[k]);
         mb.scope(&format!("vm{k}"), |mb| {
             match spec.interarrival.clone() {
                 None => {
@@ -300,7 +325,8 @@ pub(crate) fn build_model(
                     let load_dist = spec.load.clone();
                     let sync_p = spec.sync_probability;
                     let sync_every = spec.sync_every;
-                    mb.activity("WL_Generate")?
+                    let mut gen = mb
+                        .activity("WL_Generate")?
                         .instantaneous(priority::GENERATE)
                         .guard("can_generate", move |m| {
                             m.tokens(halt) == 0
@@ -309,31 +335,63 @@ pub(crate) fn build_model(
                                 && m.tokens(vm.ready_count) > 0
                                 && m.tokens(vm.window) > 0
                         })
-                        .reads([halt, vm.wl_pending, vm.blocked, vm.ready_count, vm.window])
-                        .output_gate("WL_Output", move |m, rng| {
-                            let load = sample_ticks(&load_dist, rng) as i64;
-                            m.add(vm.generated, 1);
-                            let sync = match sync_every {
-                                Some(k) => i64::from(m.tokens(vm.generated) % i64::from(k) == 0),
-                                None => i64::from(rng.next_bool(sync_p)),
-                            };
-                            m.set(vm.wl_load, load);
-                            m.set(vm.wl_sync, sync);
-                            m.set(vm.wl_pending, 1);
-                        })
-                        .reads([vm.generated])
-                        .writes([vm.generated, vm.wl_load, vm.wl_sync, vm.wl_pending])
-                        .done()?;
+                        .reads([halt, vm.wl_pending, vm.blocked, vm.ready_count, vm.window]);
+                    if let Some(d) = dvm {
+                        // Trace frontend: generation is admission-gated and
+                        // duty-cycled by the per-mille load level. At the
+                        // identity marking (admitted, level 1000) this
+                        // guard is a tautology for every tick >= 1 — the
+                        // only ticks the window token permits — so the
+                        // degenerate trace stays bit-identical to the
+                        // static model.
+                        gen = gen
+                            .guard("trace_duty", move |m| {
+                                m.tokens(d.admitted) == 1 && {
+                                    let t = m.tokens(clock);
+                                    t >= 1 && duty_allows(t as u64, m.tokens(d.load_level) as u32)
+                                }
+                            })
+                            .reads([d.admitted, d.load_level, clock]);
+                    }
+                    gen.output_gate("WL_Output", move |m, rng| {
+                        let load = sample_ticks(&load_dist, rng) as i64;
+                        m.add(vm.generated, 1);
+                        let sync = match sync_every {
+                            Some(k) => i64::from(m.tokens(vm.generated) % i64::from(k) == 0),
+                            None => i64::from(rng.next_bool(sync_p)),
+                        };
+                        m.set(vm.wl_load, load);
+                        m.set(vm.wl_sync, sync);
+                        m.set(vm.wl_pending, 1);
+                    })
+                    .reads([vm.generated])
+                    .writes([vm.generated, vm.wl_load, vm.wl_sync, vm.wl_pending])
+                    .done()?;
                 }
                 Some(inter) => {
                     // Rate-limited generator: arrivals accumulate in the
                     // buffer as a counter; fields are sampled at dispatch.
-                    mb.activity("WL_Generate")?
+                    let mut gen = mb
+                        .activity("WL_Generate")?
                         .timed(inter)
                         .guard("not_halted", move |m| m.tokens(halt) == 0)
-                        .reads([halt])
-                        .output_arc(vm.wl_pending, 1)
-                        .done()?;
+                        .reads([halt]);
+                    if let Some(d) = dvm {
+                        // Trace frontend: interarrival times stretch by
+                        // 1000/level. Level 0 drives the multiplier to 0,
+                        // which *disables* the activity (the pending
+                        // arrival aborts; resuming resamples anchored at
+                        // the current instant). At level 1000 the
+                        // multiplier is exactly 1.0 and `base / 1.0` is
+                        // bit-exact, so the degenerate trace changes
+                        // nothing.
+                        gen = gen
+                            .guard("admitted", move |m| m.tokens(d.admitted) == 1)
+                            .reads([d.admitted])
+                            .rate_multiplier(move |m| m.tokens(d.load_level) as f64 / 1000.0)
+                            .reads([d.load_level]);
+                    }
+                    gen.output_arc(vm.wl_pending, 1).done()?;
                 }
             }
 

@@ -58,6 +58,17 @@ pub struct VmPlaces {
     pub generated: PlaceId,
 }
 
+/// Per-VM membership places of a *dynamic* model (trace frontend). These
+/// are appended after every static place, so a dynamic model's static
+/// place ids are identical to the equivalent static model's.
+#[derive(Debug, Clone, Copy)]
+pub struct DynVmPlaces {
+    /// 1 while the VM is admitted (present); 0 after retirement.
+    pub admitted: PlaceId,
+    /// Workload-generation level in per-mille (1000 = full rate).
+    pub load_level: PlaceId,
+}
+
 /// Complete place layout of the composed virtualization model.
 #[derive(Debug, Clone)]
 pub struct Layout {
@@ -75,6 +86,8 @@ pub struct Layout {
     pub tick_expire: PlaceId,
     /// Clock-tick token for the scheduling-function activity.
     pub tick_sched: PlaceId,
+    /// Per-VM membership places (`Some` only for dynamic models).
+    pub dyn_vms: Option<Vec<DynVmPlaces>>,
     /// VM index of each global VCPU id.
     vm_of_table: Vec<usize>,
 }
@@ -98,9 +111,62 @@ impl Layout {
                     timeslice_remaining: marking.tokens(p.timeslice) as u64,
                     last_scheduled_in: (last_in > 0).then(|| (last_in - 1) as u64),
                     vm_weight: config.vms()[id.vm].weight,
+                    present: self.vm_admitted(marking, id.vm),
                 }
             })
             .collect()
+    }
+
+    /// Whether VM `vm` is admitted in `marking`. Static models are always
+    /// fully admitted.
+    #[must_use]
+    pub fn vm_admitted(&self, marking: &Marking, vm: usize) -> bool {
+        match &self.dyn_vms {
+            None => true,
+            Some(d) => marking.tokens(d[vm].admitted) == 1,
+        }
+    }
+
+    /// VM `vm`'s workload-generation level in per-mille. Static models are
+    /// always at full level (1000).
+    #[must_use]
+    pub fn vm_load_level(&self, marking: &Marking, vm: usize) -> u32 {
+        match &self.dyn_vms {
+            None => crate::util::FULL_LEVEL,
+            Some(d) => marking.tokens(d[vm].load_level) as u32,
+        }
+    }
+
+    /// Retires VM `vm` in `marking`: every member VCPU is scheduled out
+    /// with its job state erased, the VM's join places are cleared, and
+    /// the `admitted` token drops to 0 so the generators stay disabled and
+    /// policies see `present = false`. `Last_Scheduled_In` and `generated`
+    /// are deliberately kept — the direct engine keeps the same history
+    /// across a retire/re-admit cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout is not dynamic.
+    pub fn retire_vm(&self, marking: &mut Marking, vm: usize) {
+        let d = self.dyn_vms.as_ref().expect("retire_vm on a static model")[vm];
+        for g in 0..self.vcpus.len() {
+            if self.vm_of(g) != vm {
+                continue;
+            }
+            self.schedule_out(marking, g);
+            let v = &self.vcpus[g];
+            marking.set(v.remaining_load, 0);
+            marking.set(v.sync_point, 0);
+            marking.set(v.spinning, 0);
+        }
+        let p = &self.vms[vm];
+        marking.set(p.blocked, 0);
+        marking.set(p.ready_count, 0);
+        marking.set(p.wl_pending, 0);
+        marking.set(p.wl_load, 0);
+        marking.set(p.wl_sync, 0);
+        marking.set(p.lock_holder, 0);
+        marking.set(d.admitted, 0);
     }
 
     /// Builds the [`PcpuView`] array from a marking.
@@ -179,6 +245,7 @@ impl Layout {
         halt: PlaceId,
         tick_expire: PlaceId,
         tick_sched: PlaceId,
+        dyn_vms: Option<Vec<DynVmPlaces>>,
         vm_of_table: Vec<usize>,
     ) -> Self {
         Layout {
@@ -189,6 +256,7 @@ impl Layout {
             halt,
             tick_expire,
             tick_sched,
+            dyn_vms,
             vm_of_table,
         }
     }

@@ -21,7 +21,7 @@ mod layout;
 mod tests;
 
 pub use invariants::{expected_invariants, InvariantKind, ModelInvariant};
-pub use layout::{Layout, VcpuPlaces, VmPlaces};
+pub use layout::{DynVmPlaces, Layout, VcpuPlaces, VmPlaces};
 
 use vsched_san::{RewardId, Simulator};
 
@@ -80,7 +80,7 @@ pub fn build_analysis_model(
     config: &SystemConfig,
     policy: Box<dyn SchedulingPolicy>,
 ) -> Result<AnalysisModel, CoreError> {
-    let (model, layout, error) = build::build_model(config, policy)?;
+    let (model, layout, error) = build::build_model(config, policy, false)?;
     Ok(AnalysisModel {
         model,
         layout,
@@ -138,7 +138,35 @@ impl SanSystem {
         policy: Box<dyn SchedulingPolicy>,
         seed: u64,
     ) -> Result<Self, CoreError> {
-        let (model, layout, error) = build::build_model(&config, policy)?;
+        Self::build(config, policy, seed, false)
+    }
+
+    /// Like [`SanSystem::new`] but compiles a *dynamic* model carrying
+    /// per-VM admission and load-level places (the trace frontend). At the
+    /// identity marking — every VM admitted at full level, which is how
+    /// the system starts — a dynamic system is bit-identical to the static
+    /// one; [`SanSystem::set_admitted`] and [`SanSystem::set_load_level`]
+    /// then retire/re-admit VMs and modulate generation rates at event
+    /// boundaries.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::San`] if model construction fails.
+    pub fn new_dynamic(
+        config: SystemConfig,
+        policy: Box<dyn SchedulingPolicy>,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        Self::build(config, policy, seed, true)
+    }
+
+    fn build(
+        config: SystemConfig,
+        policy: Box<dyn SchedulingPolicy>,
+        seed: u64,
+        dynamic: bool,
+    ) -> Result<Self, CoreError> {
+        let (model, layout, error) = build::build_model(&config, policy, dynamic)?;
         let mut sim = Simulator::new(model, seed);
         let mut avail = Vec::with_capacity(config.total_vcpus());
         let mut util = Vec::with_capacity(config.total_vcpus());
@@ -348,6 +376,91 @@ impl SanSystem {
     #[must_use]
     pub fn vm_blocked(&self, vm: usize) -> bool {
         self.sim.marking().tokens(self.layout.vms[vm].blocked) == 1
+    }
+
+    /// Whether VM `vm` is currently admitted (always true on a static
+    /// model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is out of range.
+    #[must_use]
+    pub fn vm_admitted(&self, vm: usize) -> bool {
+        self.layout.vm_admitted(self.sim.marking(), vm)
+    }
+
+    /// VM `vm`'s workload-generation level in per-mille (1000 on a static
+    /// model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is out of range.
+    #[must_use]
+    pub fn load_level(&self, vm: usize) -> u32 {
+        self.layout.vm_load_level(self.sim.marking(), vm)
+    }
+
+    /// Admits or retires VM `vm` at the current instant (trace frontend).
+    /// A no-op when the admission state is unchanged, so replaying a
+    /// degenerate trace leaves the system bit-identical to a static run.
+    ///
+    /// Retirement schedules every member VCPU out, erases the VM's job
+    /// and synchronization state, and drops the `admitted` token, which
+    /// disables the VM's workload generator and removes its VCPUs from
+    /// every policy's candidate set (`present = false`). The mutation goes
+    /// through [`vsched_san::Simulator::apply_external`], which keeps the
+    /// reward accumulators exact and re-derives the shard plan on the next
+    /// sharded run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system was not built with [`SanSystem::new_dynamic`]
+    /// or `vm` is out of range.
+    pub fn set_admitted(&mut self, vm: usize, admitted: bool) {
+        let d = self
+            .layout
+            .dyn_vms
+            .as_ref()
+            .expect("set_admitted on a static SAN model")[vm];
+        if (self.sim.marking().tokens(d.admitted) == 1) == admitted {
+            return;
+        }
+        let layout = &self.layout;
+        self.sim.apply_external(|m| {
+            if admitted {
+                m.set(d.admitted, 1);
+            } else {
+                layout.retire_vm(m, vm);
+            }
+        });
+    }
+
+    /// Sets VM `vm`'s workload-generation level in per-mille of the
+    /// configured rate (trace frontend; `1000` = full rate, `0` = paused).
+    /// A no-op when the level is unchanged. Saturated generators are
+    /// duty-cycled on the shared clock; interarrival generators rescale
+    /// their rate, resampling the pending arrival from the current
+    /// instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system was not built with [`SanSystem::new_dynamic`],
+    /// `vm` is out of range, or `per_mille > 1000`.
+    pub fn set_load_level(&mut self, vm: usize, per_mille: u32) {
+        assert!(
+            per_mille <= crate::util::FULL_LEVEL,
+            "load level {per_mille} out of range"
+        );
+        let d = self
+            .layout
+            .dyn_vms
+            .as_ref()
+            .expect("set_load_level on a static SAN model")[vm];
+        if self.sim.marking().tokens(d.load_level) == i64::from(per_mille) {
+            return;
+        }
+        self.sim
+            .apply_external(|m| m.set(d.load_level, i64::from(per_mille)));
     }
 
     /// The underlying SAN simulator (for reward/statistics inspection).

@@ -497,3 +497,139 @@ fn sharded_run_is_bit_identical_on_paper_model() {
         );
     }
 }
+
+#[test]
+fn dynamic_identity_is_bit_identical_to_static() {
+    // A dynamic model left at the identity marking (every VM admitted at
+    // full level), with no-op setters sprinkled in, must be bit-identical
+    // to the static model: same static-place marking, same metrics.
+    let mk = || config_with_workload(2, &[2, 1], det_workload(3.0));
+    let mut stat = SanSystem::new(mk(), Box::new(RoundRobin::new()), 9).unwrap();
+    let mut dynamic = SanSystem::new_dynamic(mk(), Box::new(RoundRobin::new()), 9).unwrap();
+    dynamic.set_admitted(0, true);
+    dynamic.set_load_level(1, 1000);
+    stat.run(300).unwrap();
+    dynamic.run(150).unwrap();
+    dynamic.set_admitted(1, true);
+    dynamic.set_load_level(0, 1000);
+    dynamic.run(150).unwrap();
+    let s = stat.simulator().marking().as_slice();
+    let d = dynamic.simulator().marking().as_slice();
+    assert_eq!(&d[..s.len()], s, "static places agree");
+    assert_eq!(
+        stat.metrics().to_observations(),
+        dynamic.metrics().to_observations()
+    );
+}
+
+#[test]
+fn retire_masks_views_and_frees_pcpus() {
+    let cfg = config_with_workload(2, &[1, 1], det_workload(5.0));
+    let mut sys = SanSystem::new_dynamic(cfg, Box::new(RoundRobin::new()), 11).unwrap();
+    sys.run(10).unwrap();
+    assert!(sys.vm_admitted(1));
+    sys.set_admitted(1, false);
+    assert!(!sys.vm_admitted(1));
+    let views = sys.vcpu_views();
+    assert!(views[0].present);
+    assert!(!views[1].present);
+    assert_eq!(views[1].status, VcpuStatus::Inactive);
+    assert_eq!(views[1].remaining_load, 0);
+    assert!(
+        !views[1].is_schedulable(),
+        "retired VCPUs are not candidates"
+    );
+    assert!(
+        sys.pcpu_views()
+            .iter()
+            .all(|p| p.assigned.is_none_or(|id| id.vm != 1)),
+        "retirement freed VM 1's PCPU"
+    );
+    sys.run(50).unwrap();
+    assert_eq!(
+        sys.vcpu_views()[1].status,
+        VcpuStatus::Inactive,
+        "a retired VM never runs"
+    );
+    sys.set_admitted(1, true);
+    sys.run(2).unwrap();
+    assert_eq!(
+        sys.vcpu_views()[1].status,
+        VcpuStatus::Busy,
+        "a re-admitted VM resumes generating work"
+    );
+}
+
+#[test]
+fn load_level_zero_pauses_saturated_generation() {
+    let cfg = config_with_workload(1, &[1], det_workload(3.0));
+    let mut sys = SanSystem::new_dynamic(cfg, Box::new(RoundRobin::new()), 13).unwrap();
+    sys.run(10).unwrap();
+    assert_eq!(sys.load_level(0), 1000);
+    sys.set_load_level(0, 0);
+    assert_eq!(sys.load_level(0), 0);
+    sys.run(10).unwrap();
+    assert_ne!(
+        sys.vcpu_views()[0].status,
+        VcpuStatus::Busy,
+        "no new jobs at level 0"
+    );
+    sys.set_load_level(0, 1000);
+    sys.run(2).unwrap();
+    assert_eq!(sys.vcpu_views()[0].status, VcpuStatus::Busy);
+}
+
+#[test]
+fn duty_cycle_halves_generated_jobs() {
+    // Level 500 thins generation ticks to every other tick; with load 1
+    // each job completes inside its tick, so VCPU utilization lands near
+    // one half of the full-level run.
+    let mk = || config_with_workload(1, &[1], det_workload(1.0));
+    let run_at = |level: u32| {
+        let mut sys = SanSystem::new_dynamic(mk(), Box::new(RoundRobin::new()), 17).unwrap();
+        sys.set_load_level(0, level);
+        sys.run(2000).unwrap();
+        sys.metrics().vcpu_utilization[0]
+    };
+    let full = run_at(1000);
+    let half = run_at(500);
+    assert!(full > 0.95, "saturated at load 1: {full}");
+    assert!(
+        (half - full / 2.0).abs() < 0.05,
+        "level 500 should halve utilization: full {full}, half {half}"
+    );
+}
+
+#[test]
+fn dynamic_sharded_run_is_bit_identical_after_churn() {
+    // Membership events invalidate the shard plan; the re-derived plan
+    // must keep sharded execution bit-identical to sequential across the
+    // retire / load-level / re-admit cycle.
+    let mk = || config_with_workload(3, &[2, 2, 1], det_workload(4.0));
+    let script = |sys: &mut SanSystem| {
+        sys.run(100).unwrap();
+        sys.set_admitted(1, false);
+        sys.set_load_level(2, 250);
+        sys.run(100).unwrap();
+        sys.set_admitted(1, true);
+        sys.set_load_level(2, 1000);
+        sys.run(100).unwrap();
+    };
+    let mut sequential = SanSystem::new_dynamic(mk(), Box::new(RoundRobin::new()), 77).unwrap();
+    script(&mut sequential);
+    for shards in [2, 4] {
+        let mut sharded = SanSystem::new_dynamic(mk(), Box::new(RoundRobin::new()), 77).unwrap();
+        sharded.set_shards(shards);
+        script(&mut sharded);
+        assert_eq!(
+            sharded.simulator().marking().as_slice(),
+            sequential.simulator().marking().as_slice(),
+            "marking with {shards} shards"
+        );
+        assert_eq!(
+            sharded.metrics().to_observations(),
+            sequential.metrics().to_observations(),
+            "metrics with {shards} shards"
+        );
+    }
+}

@@ -518,6 +518,7 @@ pub(crate) mod tests_support {
                     timeslice_remaining: 0,
                     last_scheduled_in: None,
                     vm_weight: 1,
+                    present: true,
                 });
             }
         }
@@ -576,6 +577,7 @@ mod tests {
             timeslice_remaining: if pcpu.is_some() { 5 } else { 0 },
             last_scheduled_in: None,
             vm_weight: 1,
+            present: true,
         }
     }
 

@@ -1,0 +1,162 @@
+//! Serde-facing parameter specs shared by every config surface.
+//!
+//! These types are the JSON spelling of kernel parameters — distributions
+//! and synchronization mechanisms — used by campaign sweep specs, trace
+//! files, and the CLI. They live in `vsched-core` so that every frontend
+//! (campaign cells, trace readers, experiment configs) parses the *same*
+//! spelling to the same validated kernel value; `vsched-campaign`
+//! re-exports them unchanged, so canonical cell JSON (and therefore every
+//! content-addressed store key) is unaffected by the move.
+
+use serde::{Deserialize, Serialize};
+use vsched_des::Dist;
+
+use crate::config::SyncMechanism;
+use crate::error::CoreError;
+
+/// A load or interarrival distribution, as written in config files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", deny_unknown_fields)]
+pub enum DistSpec {
+    /// Constant value.
+    Deterministic {
+        /// The constant.
+        value: f64,
+    },
+    /// Continuous uniform on `[low, high)`.
+    Uniform {
+        /// Inclusive lower bound.
+        low: f64,
+        /// Exclusive upper bound.
+        high: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Erlang with `k` stages and total mean `mean`.
+    Erlang {
+        /// Number of stages.
+        k: u32,
+        /// Mean of the sum.
+        mean: f64,
+    },
+    /// Normal truncated at zero.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+    /// Geometric number of trials (support 1, 2, …).
+    Geometric {
+        /// Success probability.
+        p: f64,
+    },
+    /// Discrete uniform over `low..=high`.
+    DiscreteUniform {
+        /// Inclusive lower bound.
+        low: u64,
+        /// Inclusive upper bound.
+        high: u64,
+    },
+}
+
+impl DistSpec {
+    /// Converts to a validated kernel distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Des`] for out-of-domain parameters.
+    pub fn to_dist(&self) -> Result<Dist, CoreError> {
+        Ok(match *self {
+            DistSpec::Deterministic { value } => Dist::deterministic(value)?,
+            DistSpec::Uniform { low, high } => Dist::uniform(low, high)?,
+            DistSpec::Exponential { mean } => Dist::exponential(mean)?,
+            DistSpec::Erlang { k, mean } => Dist::erlang(k, mean)?,
+            DistSpec::Normal { mean, std_dev } => Dist::normal(mean, std_dev)?,
+            DistSpec::Geometric { p } => Dist::geometric(p)?,
+            DistSpec::DiscreteUniform { low, high } => Dist::discrete_uniform(low, high)?,
+        })
+    }
+}
+
+/// Synchronization-point semantics, as written in config files.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase", deny_unknown_fields)]
+pub enum SyncMechanismSpec {
+    /// Barrier synchronization (the paper's semantics; default).
+    #[default]
+    Barrier,
+    /// Spinlock critical sections (the §V future-work extension).
+    Spinlock,
+}
+
+impl SyncMechanismSpec {
+    /// The kernel mechanism this spec selects.
+    #[must_use]
+    pub fn to_mechanism(self) -> SyncMechanism {
+        match self {
+            SyncMechanismSpec::Barrier => SyncMechanism::Barrier,
+            SyncMechanismSpec::Spinlock => SyncMechanism::SpinLock,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_spec_json_spelling_is_stable() {
+        // Store keys hash this spelling; it must never drift.
+        let spec = DistSpec::Uniform {
+            low: 5.0,
+            high: 15.0,
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        assert_eq!(json, r#"{"uniform":{"low":5.0,"high":15.0}}"#);
+        let back: DistSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn every_variant_converts() {
+        let specs = [
+            DistSpec::Deterministic { value: 4.0 },
+            DistSpec::Uniform {
+                low: 1.0,
+                high: 2.0,
+            },
+            DistSpec::Exponential { mean: 3.0 },
+            DistSpec::Erlang { k: 2, mean: 6.0 },
+            DistSpec::Normal {
+                mean: 5.0,
+                std_dev: 1.0,
+            },
+            DistSpec::Geometric { p: 0.5 },
+            DistSpec::DiscreteUniform { low: 1, high: 9 },
+        ];
+        for s in specs {
+            s.to_dist().unwrap();
+        }
+        assert!(DistSpec::Exponential { mean: -1.0 }.to_dist().is_err());
+    }
+
+    #[test]
+    fn sync_mechanism_spelling() {
+        assert_eq!(
+            serde_json::to_string(&SyncMechanismSpec::Spinlock).unwrap(),
+            r#""spinlock""#
+        );
+        assert_eq!(
+            SyncMechanismSpec::Spinlock.to_mechanism(),
+            SyncMechanism::SpinLock
+        );
+        assert_eq!(
+            SyncMechanismSpec::default().to_mechanism(),
+            SyncMechanism::Barrier
+        );
+    }
+}

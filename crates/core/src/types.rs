@@ -107,14 +107,27 @@ pub struct VcpuView {
     pub last_scheduled_in: Option<u64>,
     /// Proportional-share weight of the owning VM (1 unless configured).
     pub vm_weight: u32,
+    /// Whether the owning VM is currently admitted. Static configurations
+    /// are always fully present; a trace schedule retires departed VMs by
+    /// clearing this flag, which removes their VCPUs from every policy's
+    /// candidate set (see [`VcpuView::is_schedulable`]).
+    #[serde(default = "default_present")]
+    pub present: bool,
+}
+
+/// Serde default for [`VcpuView::present`]: views serialized before the
+/// trace frontend existed describe static (fully present) systems.
+fn default_present() -> bool {
+    true
 }
 
 impl VcpuView {
     /// Whether the VCPU currently lacks a PCPU and therefore can be
-    /// assigned one.
+    /// assigned one. VCPUs of a retired (departed) VM are never
+    /// schedulable.
     #[must_use]
     pub fn is_schedulable(&self) -> bool {
-        self.status == VcpuStatus::Inactive
+        self.present && self.status == VcpuStatus::Inactive
     }
 }
 
@@ -191,8 +204,17 @@ mod tests {
             timeslice_remaining: 0,
             last_scheduled_in: None,
             vm_weight: 1,
+            present: true,
         };
         assert!(v.is_schedulable());
+        let retired = VcpuView {
+            present: false,
+            ..v
+        };
+        assert!(
+            !retired.is_schedulable(),
+            "retired VMs are never schedulable"
+        );
         let p = PcpuView {
             id: 0,
             assigned: None,

@@ -15,6 +15,37 @@ pub(crate) fn sample_ticks(dist: &Dist, rng: &mut Xoshiro256StarStar) -> u64 {
     }
 }
 
+/// Full workload-generation level in per-mille (the static-path identity).
+pub(crate) const FULL_LEVEL: u32 = 1000;
+
+/// [`sample_ticks`] with the sample stretched by `1000/level` — interarrival
+/// times under a partial load level. At full level this *is* `sample_ticks`
+/// (explicit branch, so the static path stays bit-identical).
+pub(crate) fn sample_ticks_scaled(dist: &Dist, rng: &mut Xoshiro256StarStar, level: u32) -> u64 {
+    if level == FULL_LEVEL {
+        return sample_ticks(dist, rng);
+    }
+    debug_assert!(level > 0, "level 0 must pause sampling, not stretch it");
+    let x = (dist.sample(rng) * 1000.0 / f64::from(level)).round();
+    if x < 1.0 {
+        1
+    } else {
+        x as u64
+    }
+}
+
+/// Whether a saturated generator at `level` per-mille generates at `tick`:
+/// true iff the integer ramp `tick * level / 1000` steps at `tick`. Level
+/// 1000 steps every tick (`tick >= 1`); level 0 never steps; intermediate
+/// levels thin generation ticks evenly and deterministically — no RNG draw,
+/// so pausing and resuming cannot shift the random streams, and both
+/// engines compute the identical generation pattern from their shared
+/// clock.
+pub(crate) fn duty_allows(tick: u64, level: u32) -> bool {
+    let level = u64::from(level);
+    (tick * level) / 1000 > tick.saturating_sub(1) * level / 1000
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,7 +7,7 @@
 //! output gate. A gym-style interface needs the opposite — the caller
 //! *pushes* an action and receives the next observation. The inversion is
 //! a rendezvous: the engine runs on its own thread behind a
-//! [`RelayPolicy`], an ordinary `SchedulingPolicy` whose `schedule()`
+//! `RelayPolicy`, an ordinary `SchedulingPolicy` whose `schedule()`
 //! ships the views over a channel and blocks until the environment sends
 //! the action back. Every decision epoch the agent sees is therefore
 //! *exactly* a point where the in-process policy would have been

@@ -10,7 +10,7 @@
 //!
 //! Three layers:
 //!
-//! * [`Env`] ([`env`]): the environment core. The engine runs on a
+//! * [`Env`] ([`mod@env`]): the environment core. The engine runs on a
 //!   dedicated thread behind a rendezvous relay policy; observations are
 //!   masked to the agent's declared [`vsched_core::sched::ViewFields`];
 //!   rewards are the paper's three metrics as a differenced weighted

@@ -225,6 +225,7 @@ mod tests {
             timeslice_remaining: 3,
             last_scheduled_in: Some(11),
             vm_weight: 4,
+            present: true,
         }
     }
 

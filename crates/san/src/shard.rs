@@ -12,9 +12,9 @@
 //!
 //! * it is instantaneous (timed activities interleave with the clock and
 //!   always take the sequential path),
-//! * its enablement reads are declared ([`ActivitySpec::enablement_reads`]),
-//! * its completion reads are declared ([`ActivitySpec::fire_reads`]), and
-//! * its write footprint is declared ([`ActivitySpec::declared_writes`]).
+//! * its enablement reads are declared ([`crate::activity::ActivitySpec::enablement_reads`]),
+//! * its completion reads are declared ([`crate::activity::ActivitySpec::fire_reads`]), and
+//! * its write footprint is declared ([`crate::activity::ActivitySpec::declared_writes`]).
 //!
 //! Candidates are then **demoted** back to the sequential path when their
 //! firing could *enable* an instantaneous activity of strictly higher

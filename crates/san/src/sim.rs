@@ -375,6 +375,47 @@ impl Simulator {
         }
     }
 
+    /// Applies an external marking mutation at the current instant —
+    /// the hook the trace frontend uses for VM arrival, departure and
+    /// load-level changes at event boundaries, between
+    /// [`Simulator::run_until`] calls.
+    ///
+    /// The mutation behaves exactly like the marking update of an
+    /// anonymous completion at the current time: any rate-reward interval
+    /// ending now is closed at the pre-mutation reward values, `f` runs
+    /// with dirty-place tracking, then dependent rewards are recomputed
+    /// and dependent activities reevaluated (newly enabled activities
+    /// activate, newly disabled ones abort, and rate-scaled activities
+    /// whose multiplier changed resample) — so the event schedule and
+    /// every RNG stream stay deterministic across membership changes.
+    /// The shard plan is invalidated and re-derived on the next sharded
+    /// run.
+    ///
+    /// Calling this before the first `run_until` performs the initial
+    /// full activation pass first, so activation order (and therefore
+    /// every subsequent draw) matches a run whose mutation happened after
+    /// startup.
+    pub fn apply_external(&mut self, f: impl FnOnce(&mut Marking)) {
+        if !self.started {
+            self.started = true;
+            for idx in 0..self.model.activities.len() {
+                self.reevaluate_one(idx);
+            }
+        }
+        let now = self.time.as_f64();
+        if now > self.reward_clock {
+            for r in &mut self.rate_rewards {
+                r.acc.update(now, r.current);
+            }
+            self.reward_clock = now;
+        }
+        self.marking.clear_dirty();
+        f(&mut self.marking);
+        self.recompute_rewards();
+        self.reevaluate(None);
+        self.shard_plan = None;
+    }
+
     /// Runs the simulation until virtual time `t_end`.
     ///
     /// All events with completion time ≤ `t_end` are processed; the clock
@@ -702,12 +743,18 @@ impl Simulator {
             }
         }
 
-        // Rate rewards: the signal takes its new value from now on. Reward
-        // functions are pure, so in incremental mode only rewards that may
-        // read a touched place can have a new value; the time-integral
-        // updates above are skipped only when zero time has elapsed (a
-        // bit-exact no-op), and both modes share that rule, so the
-        // accumulation grouping stays identical between modes.
+        self.recompute_rewards();
+        self.reevaluate(Some(act_id.0));
+    }
+
+    /// Rate rewards: the signal takes its new value from now on. Reward
+    /// functions are pure, so in incremental mode only rewards that may
+    /// read a touched place can have a new value; the time-integral
+    /// updates happening before the marking change are skipped only when
+    /// zero time has elapsed (a bit-exact no-op), and both modes share
+    /// that rule, so the accumulation grouping stays identical between
+    /// modes.
+    fn recompute_rewards(&mut self) {
         if self.full_rescan {
             for r in &mut self.rate_rewards {
                 r.current = (r.f)(&self.marking);
@@ -727,8 +774,6 @@ impl Simulator {
                 r.current = (r.f)(&self.marking);
             }
         }
-
-        self.reevaluate(act_id.0);
     }
 
     /// Activates newly enabled activities, aborts newly disabled ones, and
@@ -745,7 +790,7 @@ impl Simulator {
     /// missing (unchanged reads ⇒ unchanged `enabled()` and multiplier ⇒
     /// no queue operation, no RNG draw), so both modes schedule the same
     /// events with the same ids and consume the same random numbers.
-    fn reevaluate(&mut self, fired: usize) {
+    fn reevaluate(&mut self, fired: Option<usize>) {
         if self.full_rescan {
             for idx in 0..self.model.activities.len() {
                 self.reevaluate_one(idx);
@@ -758,7 +803,9 @@ impl Simulator {
             cand.extend_from_slice(self.model.enable_index.dependents(p));
         }
         cand.extend_from_slice(&self.model.enable_index.conservative);
-        cand.push(fired as u32);
+        if let Some(fired) = fired {
+            cand.push(fired as u32);
+        }
         cand.sort_unstable();
         cand.dedup();
         for &idx in &cand {
@@ -1593,6 +1640,133 @@ mod tests {
         sim.run_until(200.0).unwrap();
         assert_eq!(sim.marking().tokens(a), 100, "selector forces case 0");
         assert_eq!(sim.marking().tokens(b), 0);
+    }
+
+    #[test]
+    fn apply_external_enables_and_disables_activities() {
+        let build = || {
+            let mut mb = ModelBuilder::new();
+            let fuel = mb.place("fuel", 0).unwrap();
+            let out = mb.place("out", 0).unwrap();
+            mb.activity("burn")
+                .unwrap()
+                .timed(Dist::deterministic(1.0).unwrap())
+                .input_arc(fuel, 1)
+                .output_arc(out, 1)
+                .done()
+                .unwrap();
+            mb.build().unwrap()
+        };
+        let mut sim = Simulator::new(build(), 3);
+        sim.run_until(5.0).unwrap();
+        let fuel = sim.model().place_by_name("fuel").unwrap();
+        let out = sim.model().place_by_name("out").unwrap();
+        assert_eq!(sim.marking().tokens(out), 0, "nothing to burn yet");
+        // Inject two tokens externally: the activity activates and fires.
+        sim.apply_external(|m| m.set(fuel, 2));
+        sim.run_until(10.0).unwrap();
+        assert_eq!(sim.marking().tokens(out), 2, "externally injected work ran");
+        // Draining the place externally aborts the pending activation.
+        sim.apply_external(|m| m.set(fuel, 1));
+        let aborts_before = sim.stats().aborts;
+        sim.apply_external(|m| m.set(fuel, 0));
+        assert_eq!(sim.stats().aborts, aborts_before + 1, "activation aborted");
+        sim.run_until(20.0).unwrap();
+        assert_eq!(sim.marking().tokens(out), 2, "drained token never fires");
+    }
+
+    #[test]
+    fn apply_external_before_first_run_matches_initial_marking() {
+        // Injecting tokens before the first run must behave like a model
+        // built with them: same completions, same reward average.
+        let build = |initial: i64| {
+            let mut mb = ModelBuilder::new();
+            let src = mb.place("src", initial).unwrap();
+            let sink = mb.place("sink", 0).unwrap();
+            mb.activity("mv")
+                .unwrap()
+                .timed(Dist::exponential(1.0).unwrap())
+                .input_arc(src, 1)
+                .output_arc(sink, 1)
+                .done()
+                .unwrap();
+            mb.build().unwrap()
+        };
+        let mut a = Simulator::new(build(4), 9);
+        let mut b = Simulator::new(build(4), 9);
+        let src = a.model().place_by_name("src").unwrap();
+        a.apply_external(|_| {}); // no-op external call before start
+        a.run_until(50.0).unwrap();
+        b.run_until(50.0).unwrap();
+        assert_eq!(a.marking().as_slice(), b.marking().as_slice());
+        assert_eq!(a.stats().completions, b.stats().completions);
+        assert_eq!(a.marking().tokens(src), 0);
+    }
+
+    #[test]
+    fn apply_external_reactivates_rate_scaled_activities() {
+        let mut mb = ModelBuilder::new();
+        let speed = mb.place("speed", 1).unwrap();
+        let out = mb.place("out", 0).unwrap();
+        mb.activity("work")
+            .unwrap()
+            .timed(Dist::deterministic(10.0).unwrap())
+            .rate_multiplier(move |m| m.tokens(speed) as f64)
+            .reads([speed])
+            .guard("cap", move |m| m.tokens(out) < 100)
+            .reads([out])
+            .output_arc(out, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 3);
+        sim.run_until(5.0).unwrap();
+        assert_eq!(sim.marking().tokens(out), 0, "delay 10 not yet elapsed");
+        // Multiplier 0 disables the activity entirely.
+        sim.apply_external(|m| m.set(speed, 0));
+        sim.run_until(40.0).unwrap();
+        assert_eq!(sim.marking().tokens(out), 0, "zero rate never fires");
+        // Restoring a positive rate resamples from now.
+        sim.apply_external(|m| m.set(speed, 10));
+        sim.run_until(45.0).unwrap();
+        assert!(sim.marking().tokens(out) > 0, "rescaled delay 1 fires");
+    }
+
+    #[test]
+    fn apply_external_invalidates_shard_plan() {
+        let mut mb = ModelBuilder::new();
+        let a = mb.place("a", 2).unwrap();
+        let b = mb.place("b", 2).unwrap();
+        mb.activity("da")
+            .unwrap()
+            .instantaneous(0)
+            .input_arc(a, 1)
+            .done()
+            .unwrap();
+        mb.activity("db")
+            .unwrap()
+            .instantaneous(0)
+            .input_arc(b, 1)
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 1);
+        sim.set_shards(2);
+        sim.run_until(0.5).unwrap();
+        assert!(
+            sim.shard_plan().is_some(),
+            "plan derived by the sharded run"
+        );
+        let place_a = sim.model().place_by_name("a").unwrap();
+        sim.apply_external(|m| m.set(place_a, 1));
+        assert!(
+            sim.shard_plan().is_none(),
+            "membership change drops the plan"
+        );
+        sim.run_until(1.0).unwrap();
+        assert_eq!(
+            sim.marking().tokens(place_a),
+            0,
+            "re-derived plan still runs"
+        );
     }
 
     /// A gate that lies about its write-set (declares `acc_b`, writes

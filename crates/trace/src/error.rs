@@ -1,0 +1,201 @@
+//! Typed, position-annotated errors for trace ingestion.
+//!
+//! Every variant that originates from a trace file carries the file path
+//! (or a synthetic label such as `<inline>`) and, where meaningful, the
+//! 1-based line number — malformed datasets must be diagnosable without a
+//! debugger.
+
+use std::error::Error;
+use std::fmt;
+
+use vsched_core::CoreError;
+
+/// Errors from reading, validating, or compiling a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The trace file could not be read.
+    Io {
+        /// Path of the file.
+        path: String,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A line is not valid JSON / CSV for the expected record type.
+    Parse {
+        /// Path of the file.
+        path: String,
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// Event timestamps must be non-decreasing.
+    OutOfOrder {
+        /// Path of the file.
+        path: String,
+        /// 1-based line number of the offending event.
+        line: usize,
+        /// Timestamp that went backwards.
+        time: u64,
+        /// The previous (larger) timestamp.
+        previous: u64,
+    },
+    /// A `set_load` or `depart` names a VM that has never arrived.
+    UnknownVm {
+        /// Path of the file.
+        path: String,
+        /// 1-based line number.
+        line: usize,
+        /// The unknown VM name.
+        vm: String,
+    },
+    /// A VM departs while it is not present.
+    DepartureBeforeArrival {
+        /// Path of the file.
+        path: String,
+        /// 1-based line number.
+        line: usize,
+        /// The VM name.
+        vm: String,
+    },
+    /// A VM arrives while it is already present.
+    DoubleArrival {
+        /// Path of the file.
+        path: String,
+        /// 1-based line number.
+        line: usize,
+        /// The VM name.
+        vm: String,
+    },
+    /// A VM re-arrives with a different shape than its first arrival.
+    ///
+    /// Re-admission reuses the VM's slot in the union topology, so the
+    /// shape (VCPU count, weight, workload) is fixed at first arrival.
+    ShapeMismatch {
+        /// Path of the file.
+        path: String,
+        /// 1-based line number.
+        line: usize,
+        /// The VM name.
+        vm: String,
+    },
+    /// A load level is outside `0..=1000` per-mille.
+    BadLevel {
+        /// Path of the file.
+        path: String,
+        /// 1-based line number.
+        line: usize,
+        /// The offending level.
+        level: u32,
+    },
+    /// A record is structurally wrong (e.g. not exactly one action per
+    /// event, or a bad timestamp field).
+    BadRecord {
+        /// Path of the file.
+        path: String,
+        /// 1-based line number.
+        line: usize,
+        /// What is wrong.
+        reason: String,
+    },
+    /// The trace contains no arrivals — there is nothing to simulate.
+    Empty {
+        /// Path of the file.
+        path: String,
+    },
+    /// The compiled union configuration was rejected by the kernel.
+    Core(CoreError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io { path, source } => write!(f, "{path}: {source}"),
+            TraceError::Parse {
+                path,
+                line,
+                message,
+            } => write!(f, "{path}:{line}: parse error: {message}"),
+            TraceError::OutOfOrder {
+                path,
+                line,
+                time,
+                previous,
+            } => write!(
+                f,
+                "{path}:{line}: out-of-order event: time {time} after {previous}"
+            ),
+            TraceError::UnknownVm { path, line, vm } => {
+                write!(f, "{path}:{line}: unknown VM `{vm}` (never arrived)")
+            }
+            TraceError::DepartureBeforeArrival { path, line, vm } => {
+                write!(f, "{path}:{line}: VM `{vm}` departs while not present")
+            }
+            TraceError::DoubleArrival { path, line, vm } => {
+                write!(f, "{path}:{line}: VM `{vm}` arrives while already present")
+            }
+            TraceError::ShapeMismatch { path, line, vm } => write!(
+                f,
+                "{path}:{line}: VM `{vm}` re-arrives with a different shape"
+            ),
+            TraceError::BadLevel { path, line, level } => write!(
+                f,
+                "{path}:{line}: load level {level} outside 0..=1000 per-mille"
+            ),
+            TraceError::BadRecord { path, line, reason } => {
+                write!(f, "{path}:{line}: {reason}")
+            }
+            TraceError::Empty { path } => write!(f, "{path}: trace has no arrivals"),
+            TraceError::Core(e) => write!(f, "compiled trace rejected: {e}"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io { source, .. } => Some(source),
+            TraceError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for TraceError {
+    fn from(e: CoreError) -> Self {
+        TraceError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_path_and_line() {
+        let e = TraceError::OutOfOrder {
+            path: "t.jsonl".into(),
+            line: 7,
+            time: 3,
+            previous: 9,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("t.jsonl:7"), "{msg}");
+        assert!(msg.contains("time 3 after 9"), "{msg}");
+
+        let e = TraceError::BadLevel {
+            path: "t.jsonl".into(),
+            line: 2,
+            level: 1500,
+        };
+        assert!(e.to_string().contains("t.jsonl:2"));
+        assert!(e.source().is_none());
+
+        let e: TraceError = CoreError::InvalidConfig {
+            reason: "no PCPUs".into(),
+        }
+        .into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("no PCPUs"));
+    }
+}

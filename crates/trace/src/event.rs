@@ -1,0 +1,296 @@
+//! The raw trace vocabulary: timestamped VM lifecycle events.
+//!
+//! A trace is a header ([`TraceMeta`]) plus a time-ordered stream of
+//! [`RawEvent`]s. Each event carries **exactly one** action — an arrival
+//! (with the VM's shape), a departure, or a load-level change. The
+//! stream is validated and compiled into a
+//! [`crate::schedule::TraceSchedule`] before anything touches an engine.
+
+use serde::{Deserialize, Serialize};
+use vsched_core::{CoreError, DistSpec, SyncMechanismSpec, VmSpec, WorkloadSpec};
+
+use crate::load::LoadModel;
+
+/// Trace-wide parameters: the physical platform and workload defaults
+/// that arrival records may override per VM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct TraceMeta {
+    /// Number of physical CPUs.
+    pub pcpus: usize,
+    /// Scheduler timeslice in ticks (default 30, as in the paper).
+    #[serde(default = "default_timeslice")]
+    pub timeslice: u64,
+    /// Default job-load distribution for VMs that do not specify one
+    /// (default: the paper's uniform `[5, 15)`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub load: Option<DistSpec>,
+    /// Default synchronization probability (default 0.2, the 1:5 ratio).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sync_probability: Option<f64>,
+}
+
+fn default_timeslice() -> u64 {
+    30
+}
+
+impl TraceMeta {
+    /// A meta block with `pcpus` PCPUs and paper-default everything else.
+    #[must_use]
+    pub fn new(pcpus: usize) -> Self {
+        TraceMeta {
+            pcpus,
+            timeslice: default_timeslice(),
+            load: None,
+            sync_probability: None,
+        }
+    }
+
+    /// The workload defaults this meta block implies.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Des`] if the default load distribution is invalid.
+    pub fn default_workload(&self) -> Result<WorkloadSpec, CoreError> {
+        let mut w = WorkloadSpec::paper_default();
+        if let Some(spec) = &self.load {
+            w.load = spec.to_dist()?;
+        }
+        if let Some(p) = self.sync_probability {
+            w.sync_probability = p;
+        }
+        Ok(w)
+    }
+}
+
+/// The shape of an arriving VM: topology plus workload characterization.
+///
+/// Everything except `vcpus` is optional and falls back to the trace's
+/// [`TraceMeta`] defaults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct VmShape {
+    /// Number of VCPUs.
+    pub vcpus: usize,
+    /// Proportional-share weight (default 1).
+    #[serde(default = "default_weight")]
+    pub weight: u32,
+    /// Job-load distribution override.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub load: Option<DistSpec>,
+    /// Synchronization-probability override.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sync_probability: Option<f64>,
+    /// Deterministic sync pattern: every `k`-th workload synchronizes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sync_every: Option<u32>,
+    /// Synchronization mechanism override (barrier or spinlock).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sync_mechanism: Option<SyncMechanismSpec>,
+    /// Interarrival distribution; omitted means a saturated generator.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub interarrival: Option<DistSpec>,
+    /// How the VM's demand varies over its lifetime (default: constant
+    /// full demand).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub load_model: Option<LoadModel>,
+}
+
+fn default_weight() -> u32 {
+    1
+}
+
+impl VmShape {
+    /// A shape with `vcpus` VCPUs and all defaults.
+    #[must_use]
+    pub fn new(vcpus: usize) -> Self {
+        VmShape {
+            vcpus,
+            weight: default_weight(),
+            load: None,
+            sync_probability: None,
+            sync_every: None,
+            sync_mechanism: None,
+            interarrival: None,
+            load_model: None,
+        }
+    }
+
+    /// Resolves this shape against the trace defaults into a kernel
+    /// [`VmSpec`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] for invalid distribution parameters or a zero
+    /// `sync_every`.
+    pub fn to_vm_spec(&self, meta: &TraceMeta) -> Result<VmSpec, CoreError> {
+        let mut w = meta.default_workload()?;
+        if let Some(spec) = &self.load {
+            w.load = spec.to_dist()?;
+        }
+        if let Some(p) = self.sync_probability {
+            w.sync_probability = p;
+        }
+        if let Some(k) = self.sync_every {
+            w = w.with_sync_every(k)?;
+        }
+        if let Some(m) = self.sync_mechanism {
+            w.sync_mechanism = m.to_mechanism();
+        }
+        if let Some(spec) = &self.interarrival {
+            w.interarrival = Some(spec.to_dist()?);
+        }
+        Ok(VmSpec {
+            vcpus: self.vcpus,
+            workload: w,
+            weight: self.weight,
+        })
+    }
+}
+
+/// One line of a trace: a timestamped action on a named VM.
+///
+/// Exactly one of `arrive`, `set_load`, `depart` must be present —
+/// enforced by [`RawEvent::validate`], not serde, so the error can carry
+/// the file position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct RawEvent {
+    /// Tick at which the event takes effect (event boundary).
+    pub time: u64,
+    /// The VM's stable name within the trace.
+    pub vm: String,
+    /// The VM arrives with this shape.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub arrive: Option<VmShape>,
+    /// The VM's demand changes to this per-mille level.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub set_load: Option<u32>,
+    /// The VM departs (`true` is the only meaningful value; present for
+    /// JSON spelling symmetry).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub depart: Option<bool>,
+}
+
+impl RawEvent {
+    /// An arrival event.
+    #[must_use]
+    pub fn arrive(time: u64, vm: impl Into<String>, shape: VmShape) -> Self {
+        RawEvent {
+            time,
+            vm: vm.into(),
+            arrive: Some(shape),
+            set_load: None,
+            depart: None,
+        }
+    }
+
+    /// A departure event.
+    #[must_use]
+    pub fn depart(time: u64, vm: impl Into<String>) -> Self {
+        RawEvent {
+            time,
+            vm: vm.into(),
+            arrive: None,
+            set_load: None,
+            depart: Some(true),
+        }
+    }
+
+    /// A load-level change event.
+    #[must_use]
+    pub fn set_load(time: u64, vm: impl Into<String>, level: u32) -> Self {
+        RawEvent {
+            time,
+            vm: vm.into(),
+            arrive: None,
+            set_load: Some(level),
+            depart: None,
+        }
+    }
+
+    /// Checks the exactly-one-action rule; returns the offending reason.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when zero or multiple actions are set, the
+    /// VM name is empty, or `depart` is spelled `false`.
+    pub fn validate(&self) -> Result<(), String> {
+        let actions = usize::from(self.arrive.is_some())
+            + usize::from(self.set_load.is_some())
+            + usize::from(self.depart.is_some());
+        if actions != 1 {
+            return Err(format!(
+                "event must have exactly one of arrive/set_load/depart, got {actions}"
+            ));
+        }
+        if self.vm.is_empty() {
+            return Err("event has an empty VM name".into());
+        }
+        if self.depart == Some(false) {
+            return Err("`depart: false` is meaningless; omit the field".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_one_action() {
+        assert!(RawEvent::arrive(0, "a", VmShape::new(1)).validate().is_ok());
+        assert!(RawEvent::depart(5, "a").validate().is_ok());
+        assert!(RawEvent::set_load(5, "a", 500).validate().is_ok());
+
+        let mut both = RawEvent::depart(5, "a");
+        both.set_load = Some(1);
+        assert!(both.validate().is_err());
+
+        let none = RawEvent {
+            time: 0,
+            vm: "a".into(),
+            arrive: None,
+            set_load: None,
+            depart: None,
+        };
+        assert!(none.validate().is_err());
+        assert!(RawEvent::depart(0, "").validate().is_err());
+
+        let mut f = RawEvent::depart(0, "a");
+        f.depart = Some(false);
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn shape_resolves_defaults_and_overrides() {
+        let meta = TraceMeta::new(4);
+        let spec = VmShape::new(2).to_vm_spec(&meta).unwrap();
+        assert_eq!(spec.vcpus, 2);
+        assert_eq!(spec.weight, 1);
+        assert!((spec.workload.sync_probability - 0.2).abs() < 1e-12);
+        assert!(spec.workload.interarrival.is_none());
+
+        let mut meta = TraceMeta::new(4);
+        meta.sync_probability = Some(0.5);
+        meta.load = Some(DistSpec::Deterministic { value: 8.0 });
+        let mut shape = VmShape::new(1);
+        shape.sync_probability = Some(0.1);
+        let spec = shape.to_vm_spec(&meta).unwrap();
+        assert!((spec.workload.sync_probability - 0.1).abs() < 1e-12);
+        assert_eq!(spec.workload.load.mean(), 8.0);
+    }
+
+    #[test]
+    fn event_json_round_trip() {
+        let e = RawEvent::arrive(10, "web-1", VmShape::new(2));
+        let json = serde_json::to_string(&e).unwrap();
+        assert_eq!(
+            json,
+            r#"{"time":10,"vm":"web-1","arrive":{"vcpus":2,"weight":1}}"#
+        );
+        let back: RawEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-VM load models: how a VM's demand varies over its lifetime.
+//!
+//! A load model is declared once on the VM's arrival record and expanded
+//! at compile time into ordinary set-load events, so both engines see only
+//! the uniform event stream. Levels are per-mille of full demand
+//! (`1000` = the VM's configured workload generator at full rate, `0` =
+//! paused); see `DirectSim::set_load_level` for the duty-cycle semantics.
+
+use serde::{Deserialize, Serialize};
+
+/// Full demand, in per-mille.
+pub const FULL_LEVEL: u32 = 1000;
+
+/// One step of a piecewise-constant load model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct LoadStep {
+    /// Offset in ticks **relative to the VM's arrival**.
+    pub at: u64,
+    /// Demand level from this offset on, per-mille in `0..=1000`.
+    pub level: u32,
+}
+
+/// How a VM's demand evolves after it arrives.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", deny_unknown_fields)]
+pub enum LoadModel {
+    /// Constant demand at `level` per-mille for the VM's whole lifetime.
+    Constant {
+        /// Demand level, per-mille in `0..=1000`.
+        level: u32,
+    },
+    /// Piecewise-constant demand: each step takes effect at its offset.
+    /// Steps must be strictly increasing in `at`; a step at offset 0
+    /// replaces the initial full level.
+    Steps {
+        /// The steps, strictly increasing in `at`.
+        steps: Vec<LoadStep>,
+    },
+}
+
+impl LoadModel {
+    /// Expands the model into absolute `(time, level)` set-load points for
+    /// a VM arriving at `arrival`. The first point may be at `arrival`
+    /// itself (initial level).
+    #[must_use]
+    pub fn expand(&self, arrival: u64) -> Vec<(u64, u32)> {
+        match self {
+            LoadModel::Constant { level } => vec![(arrival, *level)],
+            LoadModel::Steps { steps } => steps
+                .iter()
+                .map(|s| (arrival.saturating_add(s.at), s.level))
+                .collect(),
+        }
+    }
+
+    /// The highest level the model ever requests (for validation).
+    #[must_use]
+    pub fn max_level(&self) -> u32 {
+        match self {
+            LoadModel::Constant { level } => *level,
+            LoadModel::Steps { steps } => steps.iter().map(|s| s.level).max().unwrap_or(0),
+        }
+    }
+
+    /// Whether step offsets are strictly increasing (vacuously true for
+    /// `Constant`).
+    #[must_use]
+    pub fn is_ordered(&self) -> bool {
+        match self {
+            LoadModel::Constant { .. } => true,
+            LoadModel::Steps { steps } => steps.windows(2).all(|w| w[0].at < w[1].at),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_expands_to_one_point() {
+        let m = LoadModel::Constant { level: 400 };
+        assert_eq!(m.expand(50), vec![(50, 400)]);
+        assert_eq!(m.max_level(), 400);
+        assert!(m.is_ordered());
+    }
+
+    #[test]
+    fn steps_expand_relative_to_arrival() {
+        let m = LoadModel::Steps {
+            steps: vec![
+                LoadStep { at: 0, level: 200 },
+                LoadStep {
+                    at: 100,
+                    level: 1000,
+                },
+            ],
+        };
+        assert_eq!(m.expand(30), vec![(30, 200), (130, 1000)]);
+        assert_eq!(m.max_level(), 1000);
+        assert!(m.is_ordered());
+        let bad = LoadModel::Steps {
+            steps: vec![LoadStep { at: 5, level: 1 }, LoadStep { at: 5, level: 2 }],
+        };
+        assert!(!bad.is_ordered());
+    }
+
+    #[test]
+    fn json_spelling() {
+        let m = LoadModel::Constant { level: 250 };
+        assert_eq!(
+            serde_json::to_string(&m).unwrap(),
+            r#"{"constant":{"level":250}}"#
+        );
+    }
+}

@@ -1,0 +1,490 @@
+//! Compiling a raw event stream into an executable schedule.
+//!
+//! A [`TraceSchedule`] is the validated, engine-ready form of a trace:
+//! the **union topology** (every VM that ever appears, in first-arrival
+//! order, as one [`SystemConfig`]), the initial presence/level of each
+//! VM (all time-0 events folded in), and a time-sorted list of
+//! [`CompiledEvent`]s to apply at event boundaries. VM indices in the
+//! union are stable for the whole trace — a departed VM keeps its slot
+//! and may be re-admitted later with the **same shape**.
+
+use std::collections::HashMap;
+
+use vsched_core::SystemConfig;
+
+use crate::error::TraceError;
+use crate::event::{RawEvent, TraceMeta, VmShape};
+use crate::load::FULL_LEVEL;
+
+/// What happens to a VM at an event boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceAction {
+    /// The VM is (re-)admitted.
+    Admit,
+    /// The VM departs: its VCPUs are retired and its PCPUs freed.
+    Retire,
+    /// The VM's demand changes to this per-mille level.
+    SetLoad(u32),
+}
+
+/// One compiled event: an action on a union-indexed VM at a tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledEvent {
+    /// Tick at which the action takes effect (the boundary *before* this
+    /// tick runs).
+    pub time: u64,
+    /// VM index in the union topology.
+    pub vm: usize,
+    /// The action.
+    pub action: TraceAction,
+}
+
+/// A validated, engine-ready trace.
+#[derive(Debug, Clone)]
+pub struct TraceSchedule {
+    config: SystemConfig,
+    vm_names: Vec<String>,
+    initially_present: Vec<bool>,
+    initial_levels: Vec<u32>,
+    events: Vec<CompiledEvent>,
+    end_time: u64,
+}
+
+impl TraceSchedule {
+    /// Compiles a stream of `(line, event)` pairs against `meta`.
+    ///
+    /// `path` labels errors; `line` is the 1-based source line of each
+    /// event (readers track real lines, synthetic streams may enumerate).
+    ///
+    /// # Errors
+    ///
+    /// Every [`TraceError`] trace-shape variant: out-of-order timestamps,
+    /// unknown VMs, double arrivals, departures while absent, re-arrival
+    /// shape mismatches, bad levels, malformed records, empty traces, and
+    /// kernel rejection of the union configuration.
+    pub fn compile(
+        meta: &TraceMeta,
+        events: &[(usize, RawEvent)],
+        path: &str,
+    ) -> Result<Self, TraceError> {
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut shapes: Vec<VmShape> = Vec::new();
+        let mut names: Vec<String> = Vec::new();
+        let mut present: Vec<bool> = Vec::new();
+        let mut compiled: Vec<CompiledEvent> = Vec::new();
+        let mut prev_time = 0u64;
+
+        for &(line, ref ev) in events {
+            ev.validate().map_err(|reason| TraceError::BadRecord {
+                path: path.into(),
+                line,
+                reason,
+            })?;
+            if ev.time < prev_time {
+                return Err(TraceError::OutOfOrder {
+                    path: path.into(),
+                    line,
+                    time: ev.time,
+                    previous: prev_time,
+                });
+            }
+            prev_time = ev.time;
+
+            if let Some(shape) = &ev.arrive {
+                if let Some(model) = &shape.load_model {
+                    if model.max_level() > FULL_LEVEL {
+                        return Err(TraceError::BadLevel {
+                            path: path.into(),
+                            line,
+                            level: model.max_level(),
+                        });
+                    }
+                    if !model.is_ordered() {
+                        return Err(TraceError::BadRecord {
+                            path: path.into(),
+                            line,
+                            reason: "load model steps must be strictly increasing in `at`".into(),
+                        });
+                    }
+                }
+                let vm = match index.get(&ev.vm) {
+                    Some(&vm) => {
+                        if present[vm] {
+                            return Err(TraceError::DoubleArrival {
+                                path: path.into(),
+                                line,
+                                vm: ev.vm.clone(),
+                            });
+                        }
+                        if shapes[vm] != *shape {
+                            return Err(TraceError::ShapeMismatch {
+                                path: path.into(),
+                                line,
+                                vm: ev.vm.clone(),
+                            });
+                        }
+                        vm
+                    }
+                    None => {
+                        let vm = shapes.len();
+                        index.insert(ev.vm.clone(), vm);
+                        shapes.push(shape.clone());
+                        names.push(ev.vm.clone());
+                        present.push(false);
+                        vm
+                    }
+                };
+                present[vm] = true;
+                compiled.push(CompiledEvent {
+                    time: ev.time,
+                    vm,
+                    action: TraceAction::Admit,
+                });
+                if let Some(model) = &shape.load_model {
+                    // Load models re-anchor at every (re-)admission.
+                    for (t, level) in model.expand(ev.time) {
+                        compiled.push(CompiledEvent {
+                            time: t,
+                            vm,
+                            action: TraceAction::SetLoad(level),
+                        });
+                    }
+                }
+            } else if let Some(level) = ev.set_load {
+                if level > FULL_LEVEL {
+                    return Err(TraceError::BadLevel {
+                        path: path.into(),
+                        line,
+                        level,
+                    });
+                }
+                let Some(&vm) = index.get(&ev.vm) else {
+                    return Err(TraceError::UnknownVm {
+                        path: path.into(),
+                        line,
+                        vm: ev.vm.clone(),
+                    });
+                };
+                // A level set while the VM is absent persists and is in
+                // effect when it is re-admitted.
+                compiled.push(CompiledEvent {
+                    time: ev.time,
+                    vm,
+                    action: TraceAction::SetLoad(level),
+                });
+            } else {
+                let Some(&vm) = index.get(&ev.vm) else {
+                    return Err(TraceError::UnknownVm {
+                        path: path.into(),
+                        line,
+                        vm: ev.vm.clone(),
+                    });
+                };
+                if !present[vm] {
+                    return Err(TraceError::DepartureBeforeArrival {
+                        path: path.into(),
+                        line,
+                        vm: ev.vm.clone(),
+                    });
+                }
+                present[vm] = false;
+                compiled.push(CompiledEvent {
+                    time: ev.time,
+                    vm,
+                    action: TraceAction::Retire,
+                });
+            }
+        }
+
+        if shapes.is_empty() {
+            return Err(TraceError::Empty { path: path.into() });
+        }
+
+        // Load-model expansions can postdate later input events; restore
+        // global time order. The sort is stable, so same-instant actions
+        // keep their generation order.
+        compiled.sort_by_key(|e| e.time);
+
+        let mut builder = SystemConfig::builder()
+            .pcpus(meta.pcpus)
+            .timeslice(meta.timeslice);
+        for shape in &shapes {
+            builder = builder.vm_spec(shape.to_vm_spec(meta)?);
+        }
+        let config = builder.build()?;
+
+        // Fold time-0 events into the initial state.
+        let mut initially_present = vec![false; shapes.len()];
+        let mut initial_levels = vec![FULL_LEVEL; shapes.len()];
+        let mut events = Vec::with_capacity(compiled.len());
+        let mut end_time = 0u64;
+        for e in compiled {
+            end_time = end_time.max(e.time);
+            if e.time == 0 {
+                match e.action {
+                    TraceAction::Admit => initially_present[e.vm] = true,
+                    TraceAction::Retire => initially_present[e.vm] = false,
+                    TraceAction::SetLoad(level) => initial_levels[e.vm] = level,
+                }
+            } else {
+                events.push(e);
+            }
+        }
+
+        Ok(TraceSchedule {
+            config,
+            vm_names: names,
+            initially_present,
+            initial_levels,
+            events,
+            end_time,
+        })
+    }
+
+    /// Compiles a synthetic event stream (fuzzing, tests) with enumerated
+    /// line numbers and the label `<events>`.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceSchedule::compile`].
+    pub fn from_events(meta: &TraceMeta, events: &[RawEvent]) -> Result<Self, TraceError> {
+        let located: Vec<(usize, RawEvent)> = events
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, e)| (i + 1, e))
+            .collect();
+        Self::compile(meta, &located, "<events>")
+    }
+
+    /// The union topology: every VM the trace ever admits.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// VM names, indexed like the union topology.
+    #[must_use]
+    pub fn vm_names(&self) -> &[String] {
+        &self.vm_names
+    }
+
+    /// Which VMs are present at tick 0.
+    #[must_use]
+    pub fn initially_present(&self) -> &[bool] {
+        &self.initially_present
+    }
+
+    /// Per-VM demand level at tick 0, per-mille.
+    #[must_use]
+    pub fn initial_levels(&self) -> &[u32] {
+        &self.initial_levels
+    }
+
+    /// Time-sorted events at ticks `> 0`.
+    #[must_use]
+    pub fn events(&self) -> &[CompiledEvent] {
+        &self.events
+    }
+
+    /// The last event's tick (0 for a static trace).
+    #[must_use]
+    pub fn end_time(&self) -> u64 {
+        self.end_time
+    }
+
+    /// Whether this trace degenerates to a static topology: everything
+    /// present from tick 0 at full demand, no later events.
+    #[must_use]
+    pub fn is_static(&self) -> bool {
+        self.events.is_empty()
+            && self.initially_present.iter().all(|&p| p)
+            && self.initial_levels.iter().all(|&l| l == FULL_LEVEL)
+    }
+
+    /// A short human-readable summary.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!(
+            "{} VMs ({} initially present) on {} PCPUs, {} events through tick {}",
+            self.vm_names.len(),
+            self.initially_present.iter().filter(|&&p| p).count(),
+            self.config.pcpus(),
+            self.events.len(),
+            self.end_time,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::{LoadModel, LoadStep};
+
+    fn meta() -> TraceMeta {
+        TraceMeta::new(2)
+    }
+
+    #[test]
+    fn compiles_union_in_first_arrival_order() {
+        let events = vec![
+            RawEvent::arrive(0, "b", VmShape::new(2)),
+            RawEvent::arrive(10, "a", VmShape::new(1)),
+            RawEvent::depart(50, "b"),
+        ];
+        let s = TraceSchedule::from_events(&meta(), &events).unwrap();
+        assert_eq!(s.vm_names(), ["b", "a"]);
+        assert_eq!(s.config().vms().len(), 2);
+        assert_eq!(s.config().vms()[0].vcpus, 2);
+        assert_eq!(s.initially_present(), [true, false]);
+        assert_eq!(s.events().len(), 2);
+        assert_eq!(s.end_time(), 50);
+        assert!(!s.is_static());
+        assert!(s.describe().contains("2 VMs"));
+    }
+
+    #[test]
+    fn degenerate_trace_is_static() {
+        let events = vec![
+            RawEvent::arrive(0, "a", VmShape::new(1)),
+            RawEvent::arrive(0, "b", VmShape::new(1)),
+        ];
+        let s = TraceSchedule::from_events(&meta(), &events).unwrap();
+        assert!(s.is_static());
+        assert_eq!(s.end_time(), 0);
+    }
+
+    #[test]
+    fn load_model_expands_and_reanchors() {
+        let mut shape = VmShape::new(1);
+        shape.load_model = Some(LoadModel::Steps {
+            steps: vec![
+                LoadStep { at: 0, level: 200 },
+                LoadStep { at: 30, level: 800 },
+            ],
+        });
+        let events = vec![
+            RawEvent::arrive(0, "a", VmShape::new(1)),
+            RawEvent::arrive(10, "m", shape.clone()),
+            RawEvent::depart(50, "m"),
+            RawEvent::arrive(100, "m", shape),
+        ];
+        let s = TraceSchedule::from_events(&meta(), &events).unwrap();
+        let set_loads: Vec<(u64, u32)> = s
+            .events()
+            .iter()
+            .filter_map(|e| match e.action {
+                TraceAction::SetLoad(l) => Some((e.time, l)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(set_loads, [(10, 200), (40, 800), (100, 200), (130, 800)]);
+    }
+
+    #[test]
+    fn rejects_malformed_streams() {
+        let m = meta();
+        // Out of order.
+        let err = TraceSchedule::from_events(
+            &m,
+            &[
+                RawEvent::arrive(10, "a", VmShape::new(1)),
+                RawEvent::arrive(5, "b", VmShape::new(1)),
+            ],
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, TraceError::OutOfOrder { line: 2, .. }),
+            "{err}"
+        );
+
+        // Unknown VM.
+        let err = TraceSchedule::from_events(&m, &[RawEvent::set_load(0, "ghost", 5)]).unwrap_err();
+        assert!(matches!(err, TraceError::UnknownVm { .. }), "{err}");
+
+        // Departure while absent.
+        let err = TraceSchedule::from_events(
+            &m,
+            &[
+                RawEvent::arrive(0, "a", VmShape::new(1)),
+                RawEvent::depart(5, "a"),
+                RawEvent::depart(6, "a"),
+            ],
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, TraceError::DepartureBeforeArrival { line: 3, .. }),
+            "{err}"
+        );
+
+        // Double arrival.
+        let err = TraceSchedule::from_events(
+            &m,
+            &[
+                RawEvent::arrive(0, "a", VmShape::new(1)),
+                RawEvent::arrive(5, "a", VmShape::new(1)),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TraceError::DoubleArrival { .. }), "{err}");
+
+        // Shape mismatch on re-admission.
+        let err = TraceSchedule::from_events(
+            &m,
+            &[
+                RawEvent::arrive(0, "a", VmShape::new(1)),
+                RawEvent::depart(5, "a"),
+                RawEvent::arrive(9, "a", VmShape::new(2)),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TraceError::ShapeMismatch { .. }), "{err}");
+
+        // Bad level.
+        let err = TraceSchedule::from_events(
+            &m,
+            &[
+                RawEvent::arrive(0, "a", VmShape::new(1)),
+                RawEvent::set_load(5, "a", 1001),
+            ],
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, TraceError::BadLevel { level: 1001, .. }),
+            "{err}"
+        );
+
+        // Empty.
+        let err = TraceSchedule::from_events(&m, &[]).unwrap_err();
+        assert!(matches!(err, TraceError::Empty { .. }), "{err}");
+
+        // Union rejected by the kernel (zero VCPUs).
+        let err = TraceSchedule::from_events(&m, &[RawEvent::arrive(0, "a", VmShape::new(0))])
+            .unwrap_err();
+        assert!(matches!(err, TraceError::Core(_)), "{err}");
+    }
+
+    #[test]
+    fn set_load_persists_across_absence() {
+        let events = vec![
+            RawEvent::arrive(0, "a", VmShape::new(1)),
+            RawEvent::depart(5, "a"),
+            RawEvent::set_load(6, "a", 300),
+            RawEvent::arrive(10, "a", VmShape::new(1)),
+        ];
+        let s = TraceSchedule::from_events(&meta(), &events).unwrap();
+        assert_eq!(s.events().len(), 3);
+    }
+
+    #[test]
+    fn time_zero_set_load_becomes_initial_level() {
+        let events = vec![
+            RawEvent::arrive(0, "a", VmShape::new(1)),
+            RawEvent::set_load(0, "a", 250),
+        ];
+        let s = TraceSchedule::from_events(&meta(), &events).unwrap();
+        assert_eq!(s.initial_levels(), [250]);
+        assert!(s.events().is_empty());
+        assert!(!s.is_static());
+    }
+}

@@ -1,0 +1,41 @@
+//! Shared configuration builders for the repo-root test tiers.
+//!
+//! Every integration suite used to re-declare these; they live here once
+//! now. Each test binary compiles this file independently via
+//! `mod common;`, so helpers unused by a given suite are expected.
+#![allow(dead_code)]
+
+use vsched_core::{SystemConfig, VmSpec, WorkloadSpec};
+
+/// A system with default (paper) workloads: `vm_sizes[i]` VCPUs per VM.
+pub fn config(pcpus: usize, vm_sizes: &[usize]) -> SystemConfig {
+    let mut b = SystemConfig::builder().pcpus(pcpus);
+    for &n in vm_sizes {
+        b = b.vm(n);
+    }
+    b.build().unwrap()
+}
+
+/// Like [`config`], with an explicit `points:per_workloads` sync ratio.
+pub fn config_sync(pcpus: usize, vm_sizes: &[usize], sync: (u32, u32)) -> SystemConfig {
+    let mut b = SystemConfig::builder()
+        .pcpus(pcpus)
+        .sync_ratio(sync.0, sync.1);
+    for &n in vm_sizes {
+        b = b.vm(n);
+    }
+    b.build().unwrap()
+}
+
+/// Like [`config`], with the same explicit workload on every VM.
+pub fn config_workload(pcpus: usize, vm_sizes: &[usize], workload: &WorkloadSpec) -> SystemConfig {
+    let mut b = SystemConfig::builder().pcpus(pcpus);
+    for &n in vm_sizes {
+        b = b.vm_spec(VmSpec {
+            vcpus: n,
+            workload: workload.clone(),
+            weight: 1,
+        });
+    }
+    b.build().unwrap()
+}

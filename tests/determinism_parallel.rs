@@ -6,14 +6,10 @@
 use vsched_core::{Engine, ExperimentBuilder, MetricsReport, PolicyKind, SystemConfig};
 use vsched_stats::StoppingRule;
 
+mod common;
+
 fn config() -> SystemConfig {
-    SystemConfig::builder()
-        .pcpus(2)
-        .vm(2)
-        .vm(1)
-        .sync_ratio(1, 5)
-        .build()
-        .unwrap()
+    common::config_sync(2, &[2, 1], (1, 5))
 }
 
 fn builder(engine: Engine) -> ExperimentBuilder {

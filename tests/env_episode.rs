@@ -12,21 +12,14 @@
 //!   environment resets cleanly afterwards.
 
 use proptest::prelude::*;
-use vsched_core::{
-    Engine, ExperimentBuilder, PolicyKind, SampleMetrics, ScheduleDecision, SystemConfig,
-};
+use vsched_core::{Engine, ExperimentBuilder, PolicyKind, SampleMetrics, ScheduleDecision};
 use vsched_env::{drive_policy, replay_actions, Env, EnvError, EpisodeRun, Scenario};
 
 const WARMUP: u64 = 60;
 const HORIZON: u64 = 240;
 
-fn config(pcpus: usize, vm_sizes: &[usize]) -> SystemConfig {
-    let mut b = SystemConfig::builder().pcpus(pcpus);
-    for &n in vm_sizes {
-        b = b.vm(n);
-    }
-    b.build().unwrap()
-}
+mod common;
+use common::config;
 
 fn scenario(engine: Engine, pcpus: usize, vm_sizes: &[usize]) -> Scenario {
     Scenario::new(config(pcpus, vm_sizes))

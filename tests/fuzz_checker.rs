@@ -128,7 +128,7 @@ fn full_oracle_fuzz_sweep_is_clean() {
         "fuzz: 12 cases, 0 lint findings, 0 invariant violations, \
          0 differential mismatches, 0 metamorphic mismatches, \
          0 incremental divergences, 0 sharded divergences, \
-         0 env divergences, 0 errors"
+         0 env divergences, 0 trace divergences, 0 errors"
     );
 }
 
@@ -146,6 +146,10 @@ fn reproducers_replay_bit_identically() {
         check_invariants: false,
         check_parallel_determinism: false,
         check_metamorphic: false,
+        // The trace verdict shares compare_reports, so the impossible
+        // tolerance would drown the Differential-only assertion below
+        // in Trace failures for traced cases.
+        check_trace: false,
         ..OracleOpts::default()
     };
     let report = run_fuzz(&FuzzOpts {

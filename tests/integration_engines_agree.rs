@@ -8,15 +8,8 @@
 
 use vsched_core::{Engine, ExperimentBuilder, PolicyKind, SystemConfig};
 
-fn config(pcpus: usize, vms: &[usize], sync: (u32, u32)) -> SystemConfig {
-    let mut b = SystemConfig::builder()
-        .pcpus(pcpus)
-        .sync_ratio(sync.0, sync.1);
-    for &n in vms {
-        b = b.vm(n);
-    }
-    b.build().unwrap()
-}
+mod common;
+use common::config_sync as config;
 
 /// Runs both engines over several replications and checks that each metric
 /// mean agrees within `tol`.

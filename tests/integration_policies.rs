@@ -4,15 +4,8 @@
 use vsched_core::{direct::DirectSim, PolicyKind, SystemConfig, VmSpec, WorkloadSpec};
 use vsched_des::Dist;
 
-fn config(pcpus: usize, vms: &[usize], sync: (u32, u32)) -> SystemConfig {
-    let mut b = SystemConfig::builder()
-        .pcpus(pcpus)
-        .sync_ratio(sync.0, sync.1);
-    for &n in vms {
-        b = b.vm(n);
-    }
-    b.build().unwrap()
-}
+mod common;
+use common::config_sync as config;
 
 fn run_metrics(cfg: SystemConfig, kind: &PolicyKind, seed: u64) -> vsched_core::SampleMetrics {
     let mut sim = DirectSim::new(cfg, kind.create(), seed);

@@ -19,17 +19,8 @@ fn spinlock_workload(load: Dist, sync_probability: f64) -> WorkloadSpec {
     .with_spinlock()
 }
 
-fn config(pcpus: usize, vms: &[usize], workload: &WorkloadSpec) -> SystemConfig {
-    let mut b = SystemConfig::builder().pcpus(pcpus);
-    for &n in vms {
-        b = b.vm_spec(VmSpec {
-            vcpus: n,
-            workload: workload.clone(),
-            weight: 1,
-        });
-    }
-    b.build().unwrap()
-}
+mod common;
+use common::config_workload as config;
 
 /// Mutual exclusion: among BUSY critical-section jobs of one VM, at most
 /// one makes progress per tick; the others spin.

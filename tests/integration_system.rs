@@ -6,13 +6,8 @@ use vsched_core::{
     direct::DirectSim, san_model::SanSystem, Engine, ExperimentBuilder, PolicyKind, SystemConfig,
 };
 
-fn config(pcpus: usize, vms: &[usize]) -> SystemConfig {
-    let mut b = SystemConfig::builder().pcpus(pcpus);
-    for &n in vms {
-        b = b.vm(n);
-    }
-    b.build().unwrap()
-}
+mod common;
+use common::config;
 
 fn all_policies() -> Vec<PolicyKind> {
     vec![
