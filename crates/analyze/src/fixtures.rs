@@ -109,6 +109,44 @@ pub fn stale_write_set_model() -> Model {
     mb.build().expect("valid model")
 }
 
+/// A planted disagreement between exact reachability and a (simulated)
+/// stale structural analysis, for the `stale-bound` cross-check:
+///
+/// * `pump` feeds `acc` two tokens per layer, so exhaustive exploration
+///   reaches `acc = 4` by layer 2 — but the returned structural claim
+///   caps `acc` at 1 (stale bound);
+/// * `spike` only enables once `acc >= 4`, so exhaustive exploration
+///   proves it live — but the returned walk-coverage claim says it was
+///   never enabled (stale liveness verdict).
+///
+/// Returns `(model, claimed structural bounds, claimed walk enablement)`.
+/// Verifying with a horizon of at least 2 and cross-checking must raise
+/// `stale-bound` for both claims.
+#[must_use]
+pub fn stale_bound_model() -> (Model, Vec<Option<i64>>, Vec<bool>) {
+    let mut mb = ModelBuilder::new();
+    let src = mb.place("src", 1).expect("fresh builder");
+    let acc = mb.place("acc", 0).expect("fresh builder");
+    mb.activity("pump")
+        .expect("fresh name")
+        .timed(vsched_des::Dist::Deterministic { value: 1.0 })
+        .input_arc(src, 1)
+        .output_arc(src, 1)
+        .output_arc(acc, 2)
+        .done()
+        .expect("valid activity");
+    mb.activity("spike")
+        .expect("fresh name")
+        .instantaneous(0)
+        .input_arc(acc, 4)
+        .done()
+        .expect("valid activity");
+    let model = mb.build().expect("valid model");
+    // The claims a stale analysis would make: `src` correctly bounded at
+    // 1, `acc` wrongly bounded at 1; `pump` seen enabled, `spike` not.
+    (model, vec![Some(1), Some(1)], vec![true, false])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +171,30 @@ mod tests {
         let model = stale_write_set_model();
         let plan = vsched_san::ShardPlan::derive(&model);
         assert_eq!(plan.num_shards(), 2, "the lie hides the overlap");
+    }
+
+    #[test]
+    fn stale_bound_fixture_trips_both_cross_checks() {
+        use crate::verify_pass::{cross_check, verify_model, VerifyHooks, VerifyOpts};
+        let (model, claimed_bounds, claimed_walk) = stale_bound_model();
+        let report = verify_model(
+            "fixture:stale-bound",
+            &model,
+            &VerifyHooks::default(),
+            &[],
+            &VerifyOpts {
+                horizon: 3,
+                ..VerifyOpts::default()
+            },
+        );
+        assert_eq!(report.place_bounds[1], 4, "acc provably reaches 4");
+        let diags = cross_check(&model, &report, &claimed_bounds, &claimed_walk);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags
+            .iter()
+            .any(|d| d.lint == "stale-bound" && d.subject == "acc"));
+        assert!(diags
+            .iter()
+            .any(|d| d.lint == "stale-bound" && d.subject == "spike"));
     }
 }

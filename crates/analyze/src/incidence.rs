@@ -65,6 +65,11 @@ pub struct Exploration {
     pub diagnostics: Vec<Diagnostic>,
     /// Markings visited across all walks (including the initial one).
     pub markings_visited: usize,
+    /// Every visited marking, in visit order (duplicates included). The
+    /// verify pass compares this against its exhaustive visit set to
+    /// cross-check that bounded walks never escape the reachable space it
+    /// enumerates.
+    pub visited: Vec<Vec<i64>>,
 }
 
 /// Runs the bounded exploration. `expected` supplies the relation
@@ -85,6 +90,7 @@ pub fn explore(model: &mut Model, expected: &[ModelInvariant], opts: &AnalyzeOpt
         relation_failures: vec![None; expected.len()],
         diagnostics: Vec::new(),
         markings_visited: 0,
+        visited: Vec::new(),
     };
 
     // Exact columns and static weight checks, straight from the specs.
@@ -128,6 +134,7 @@ pub fn explore(model: &mut Model, expected: &[ModelInvariant], opts: &AnalyzeOpt
     let initial = model.initial_marking();
     check_relations(&mut exp, expected, &initial, "initial marking");
     exp.markings_visited += 1;
+    exp.visited.push(initial.as_slice().to_vec());
 
     let mut seen_deltas: Vec<HashSet<Vec<i64>>> = vec![HashSet::new(); num_activities];
     let mut probed_pairs: HashSet<(usize, usize)> = HashSet::new();
@@ -200,6 +207,7 @@ pub fn explore(model: &mut Model, expected: &[ModelInvariant], opts: &AnalyzeOpt
             exp.fired_ever[idx] = true;
             exp.case_seen[idx][case] = true;
             exp.markings_visited += 1;
+            exp.visited.push(marking.as_slice().to_vec());
 
             let spec = model.activity(act);
             if spec.has_gate_functions() || spec.has_dynamic_case_weights() {

@@ -20,7 +20,13 @@
 //!   `invalid-case-weights`, `policy-halt` ([`model_pass`]);
 //! * **Policy lints** — `invalid-policy-params`, `invalid-decision`,
 //!   `undeclared-field-read`, `inert-policy`, checked against the static
-//!   contract surface of [`vsched_core::sched`] ([`policy_pass`]).
+//!   contract surface of [`vsched_core::sched`] ([`policy_pass`]);
+//! * **Exhaustive verification** — explicit-state reachability with
+//!   VM-rotation symmetry reduction, proving invariant catalogues,
+//!   deadlock-freedom, exact place bounds and exact activity liveness
+//!   with concretely replayable counterexamples ([`verify_pass`]);
+//!   its exact results are cross-checked against the structural pass
+//!   (`stale-bound`).
 //!
 //! The catalogue with per-lint rationale lives in [`lints::CATALOGUE`];
 //! `vsched lint` is the CLI frontend and DESIGN.md §12 the narrative
@@ -36,10 +42,15 @@ pub mod matrix;
 pub mod model_pass;
 pub mod policy_pass;
 pub mod ratio;
+pub mod verify_pass;
 
 pub use lints::{Certificate, Diagnostic, LintDef, LintReport, Severity, CATALOGUE};
-pub use model_pass::analyze_model;
+pub use model_pass::{analyze_model, semiflow_bounds};
 pub use policy_pass::lint_policy;
+pub use verify_pass::{
+    cross_check, replay_trace, verify_model, Counterexample, StateRotation, TraceStep, VerifyHooks,
+    VerifyOpts, VerifyOutcome, VerifyReport,
+};
 
 use vsched_core::san_model::{build_analysis_model, expected_invariants};
 use vsched_core::{CoreError, PolicyKind, SystemConfig};

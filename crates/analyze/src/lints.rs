@@ -132,6 +132,17 @@ pub const STALE_WRITE_SET: LintDef = LintDef {
                 does not own the place, and a parallel batch could fire it concurrently \
                 with the place's true owner",
 };
+/// `stale-bound`: exhaustive verification contradicts a structural or
+/// bounded-walk claim.
+pub const STALE_BOUND: LintDef = LintDef {
+    name: "stale-bound",
+    severity: Severity::Error,
+    rationale: "exhaustive reachability contradicts a structural or bounded-walk claim — \
+                a semiflow place bound below an exactly reached token count, or a \
+                never-enabled verdict on an activity the exact search enabled — so any \
+                conclusion built on the stale claim (dead-activity, shard sizing) is \
+                unsound",
+};
 /// `inert-policy`: the policy never assigns.
 pub const INERT_POLICY: LintDef = LintDef {
     name: "inert-policy",
@@ -154,6 +165,7 @@ pub const CATALOGUE: &[LintDef] = &[
     INVALID_DECISION,
     STALE_READ_SET,
     STALE_WRITE_SET,
+    STALE_BOUND,
     INERT_POLICY,
 ];
 

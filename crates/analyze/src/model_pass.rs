@@ -151,18 +151,7 @@ pub fn analyze_model(
         .iter()
         .map(|c| c.delta.clone())
         .collect();
-    let (semiflows, _truncated) = nonnegative_semiflows(&all_columns, num_places, FARKAS_MAX_ROWS);
-    let m0 = model.initial_marking();
-    let mut bound: Vec<Option<i64>> = vec![None; num_places];
-    for y in &semiflows {
-        let budget: i64 = y.iter().zip(m0.as_slice()).map(|(&w, &t)| w * t).sum();
-        for (p, &w) in y.iter().enumerate() {
-            if w > 0 {
-                let b = budget / w;
-                bound[p] = Some(bound[p].map_or(b, |prev: i64| prev.min(b)));
-            }
-        }
-    }
+    let bound = semiflow_bounds(&all_columns, model.initial_marking().as_slice(), num_places);
     let mut dead: Vec<bool> = vec![false; model.num_activities()];
     for (id, spec) in model.activities() {
         for &(p, w) in spec.input_arcs() {
@@ -234,6 +223,32 @@ pub fn analyze_model(
         certificates,
         diagnostics,
     }
+}
+
+/// Structural per-place bounds from non-negative P-semiflows: for each
+/// semiflow `y`, the conserved budget `y·m0` caps every place `p` with
+/// `y[p] > 0` at `budget / y[p]`. Places no semiflow covers are unbounded
+/// (`None`). The bounds are sound with respect to the supplied columns —
+/// the verify pass cross-checks them against exact reachability
+/// ([`crate::verify_pass::cross_check`]).
+#[must_use]
+pub fn semiflow_bounds(
+    columns: &[Vec<i64>],
+    initial_marking: &[i64],
+    num_places: usize,
+) -> Vec<Option<i64>> {
+    let (semiflows, _truncated) = nonnegative_semiflows(columns, num_places, FARKAS_MAX_ROWS);
+    let mut bound: Vec<Option<i64>> = vec![None; num_places];
+    for y in &semiflows {
+        let budget: i64 = y.iter().zip(initial_marking).map(|(&w, &t)| w * t).sum();
+        for (p, &w) in y.iter().enumerate() {
+            if w > 0 {
+                let b = budget / w;
+                bound[p] = Some(bound[p].map_or(b, |prev: i64| prev.min(b)));
+            }
+        }
+    }
+    bound
 }
 
 /// Renders the small members of the P-invariant basis as human-readable

@@ -135,6 +135,11 @@ impl PolicySpec {
     /// to the bare label (so the spec hashes to the same cell key as a
     /// hand-written `"rcs"`), non-default parameters stay explicit.
     /// Round-trips: `from_kind(k).to_kind() == k` for every kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`PolicyKind::Fault`], the verification-internal
+    /// fault-injection wrapper, which has no campaign spec form.
     #[must_use]
     pub fn from_kind(kind: &PolicyKind) -> PolicySpec {
         let label = |s: &str| PolicySpec::Label(s.into());
@@ -185,6 +190,12 @@ impl PolicySpec {
                 }
             }
             PolicyKind::Fcfs => label("fcfs"),
+            // The fault-injection wrapper exists for verification fixtures
+            // only; it deliberately has no spec form — a sweep cell that
+            // sabotages its own policy would poison the result store.
+            PolicyKind::Fault { .. } => {
+                panic!("fault-injection wrappers have no campaign spec")
+            }
         }
     }
 }

@@ -230,6 +230,12 @@ pub struct Reproducer {
     pub case: FuzzCase,
     /// Human-readable failure descriptions observed at record time.
     pub failures: Vec<String>,
+    /// Machine-checkable counterexample from the exhaustive verifier
+    /// (`vsched verify`), when the reproducer came from one: a concrete
+    /// SAN firing trace that `vsched fuzz --replay` re-executes on both
+    /// engines. Defaulted so pre-verify reproducer files keep parsing.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub verify: Option<crate::verify::VerifyCounterexample>,
 }
 
 impl Reproducer {
@@ -303,6 +309,7 @@ mod tests {
         let rep = Reproducer {
             case: case.clone(),
             failures: vec!["differential: vcpu_availability".into()],
+            verify: None,
         };
         let json = rep.to_json();
         let back: Reproducer = serde_json::from_str(&json).unwrap();
@@ -407,6 +414,7 @@ mod tests {
         let rep = Reproducer {
             case: sample_case(),
             failures: vec![],
+            verify: None,
         };
         rep.store(&path).unwrap();
         assert_eq!(Reproducer::load(&path).unwrap(), rep);

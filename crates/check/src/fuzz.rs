@@ -187,6 +187,7 @@ fn write_reproducer(
     let reproducer = Reproducer {
         case: case.clone(),
         failures: outcome.failures.iter().map(ToString::to_string).collect(),
+        verify: None,
     };
     reproducer.store(&path)?;
     Ok(path)

@@ -119,6 +119,50 @@ impl InvariantChecker {
         self.ticks_checked
     }
 
+    /// The checker's cumulative per-VCPU progress ledger (global VCPU
+    /// order) — the auxiliary state the exhaustive verifier threads from
+    /// edge to edge (see [`InvariantChecker::resume_at`]).
+    #[must_use]
+    pub fn progress(&self) -> &[u64] {
+        &self.progress
+    }
+
+    /// Rewinds the checker to the middle of a run: the next
+    /// [`TickObserver::on_tick`] call is validated as if `tick` had just
+    /// been observed with snapshot `views` and cumulative progress
+    /// `progress`.
+    ///
+    /// This is the exhaustive verifier's entry point: the state graph is
+    /// explored out of order, so each edge `src → dst` is checked by a
+    /// fresh checker resumed at `src` and stepped once to `dst`. Per-VCPU
+    /// status tallies are not part of the verifier's state vector, so the
+    /// accounting-closure invariant degrades gracefully here: the total is
+    /// seeded to `tick` (as if every past tick were INACTIVE), which keeps
+    /// the closure `busy + ready + inactive = ticks checked` exact while
+    /// forgetting the per-status split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `progress` does not have one entry per VCPU.
+    pub fn resume_at(&mut self, tick: u64, views: Vec<VcpuView>, progress: Vec<u64>) {
+        assert_eq!(
+            progress.len(),
+            self.num_vcpus,
+            "resume_at progress vector must have one entry per VCPU"
+        );
+        self.prev = Some((tick, views));
+        self.ticks_checked = tick;
+        self.tallies = vec![
+            Tally {
+                busy: 0,
+                ready: 0,
+                inactive: tick,
+            };
+            self.num_vcpus
+        ];
+        self.progress = progress;
+    }
+
     /// Largest cumulative-progress lead currently observed within any
     /// gang (0 when every gang is balanced or there are no gangs).
     #[must_use]
@@ -527,6 +571,68 @@ mod tests {
             }
             other => panic!("expected skew-bound violation, got {other}"),
         }
+    }
+
+    #[test]
+    fn resumed_checker_tracks_a_sequential_run_edge_by_edge() {
+        // Record a real run's snapshots, check them sequentially, then
+        // re-check every edge with a fresh checker resumed at the edge's
+        // source — the verifier's out-of-order pattern. Verdicts and the
+        // progress ledger must match the sequential reference exactly.
+        struct Recorder {
+            snaps: Vec<(u64, Vec<VcpuView>, Vec<PcpuView>)>,
+        }
+        impl TickObserver for Recorder {
+            fn on_tick(
+                &mut self,
+                tick: u64,
+                vcpus: &[VcpuView],
+                pcpus: &[PcpuView],
+            ) -> Result<(), CoreError> {
+                self.snaps.push((tick, vcpus.to_vec(), pcpus.to_vec()));
+                Ok(())
+            }
+        }
+        let policy = PolicyKind::relaxed_co_default();
+        let config = two_vm_config();
+        let rec = Rc::new(RefCell::new(Recorder { snaps: Vec::new() }));
+        let mut sim = DirectSim::new(config.clone(), policy.create(), 11);
+        sim.attach_observer(Box::new(Rc::clone(&rec)));
+        sim.run(60).unwrap();
+        let rec = rec.borrow();
+
+        let mut seq = InvariantChecker::for_policy(&config, &policy);
+        let mut progress_after: Vec<Vec<u64>> = Vec::new();
+        for (t, v, p) in &rec.snaps {
+            seq.on_tick(*t, v, p).unwrap();
+            progress_after.push(seq.progress().to_vec());
+        }
+
+        for i in 1..rec.snaps.len() {
+            let (t0, v0, _) = &rec.snaps[i - 1];
+            let (t1, v1, p1) = &rec.snaps[i];
+            let mut ck = InvariantChecker::for_policy(&config, &policy);
+            ck.resume_at(*t0, v0.clone(), progress_after[i - 1].clone());
+            ck.on_tick(*t1, v1, p1).unwrap();
+            assert_eq!(ck.progress(), &progress_after[i][..], "edge into tick {t1}");
+            assert_eq!(ck.ticks_checked(), t0 + 1);
+        }
+
+        // A resumed checker still rejects a corrupt successor.
+        let (t0, v0, _) = &rec.snaps[10];
+        let mut ck = InvariantChecker::for_policy(&config, &policy);
+        ck.resume_at(*t0, v0.clone(), progress_after[10].clone());
+        let (_, v1, p1) = &rec.snaps[11];
+        let err = ck.on_tick(t0 + 5, v1, p1).unwrap_err();
+        assert!(err.to_string().contains("clock-monotonicity"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per VCPU")]
+    fn resume_at_rejects_a_malformed_progress_vector() {
+        let config = two_vm_config();
+        let mut ck = InvariantChecker::new(&config);
+        ck.resume_at(3, Vec::new(), vec![0; 99]);
     }
 
     #[test]

@@ -44,11 +44,15 @@ pub mod gen;
 pub mod invariant;
 pub mod oracle;
 pub mod shrink;
+pub mod verify;
 
 pub use case::{FuzzCase, Reproducer};
 pub use fuzz::{run_fuzz, FuzzOpts, FuzzReport};
 pub use invariant::InvariantChecker;
 pub use oracle::{CaseOutcome, Failure, FailureKind, OracleOpts};
+pub use verify::{
+    replay_verify_counterexample, verify_config, verify_fixture, VerifyCounterexample, VerifyRun,
+};
 pub use vsched_core::sched::validate_decision;
 
 use std::fmt;

@@ -6,6 +6,7 @@
 //! vsched sweep <spec.json> [--store DIR] [--out-dir DIR] [...]
 //! vsched fuzz [--cases N] [--seed S] [--jobs N] [--reproducer-dir DIR]
 //! vsched fuzz --replay <case.json>
+//! vsched verify [--policy LABEL] [--horizon N] [--fixture deadlock]
 //! vsched lint [<config.json>...] [--deny warnings] [--format json]
 //! vsched perf [--out BENCH_perf.json] [--ticks N] [--baseline FILE]
 //! vsched tournament [--configs DIR] [--agent CMD] [--policies LIST]
@@ -43,6 +44,10 @@ USAGE:
     vsched fuzz [--cases <N>] [--seed <S>] [--jobs <N>]
                 [--reproducer-dir <dir>]
     vsched fuzz --replay <case.json>
+    vsched verify [--policy <label>] [--vms <N>] [--vcpus <N>] [--pcpus <N>]
+                  [--timeslice <N>] [--horizon <N>] [--max-states <N>]
+                  [--symmetry <on|off>] [--seed <S>] [--format <text|json>]
+                  [--fixture deadlock] [--counterexample <case.json>]
     vsched lint [<config.json>...] [--deny warnings] [--format <text|json>]
                 [--seed <S>] [--fixture broken]
     vsched perf [--out <report.json>] [--ticks <N>] [--seed <S>]
@@ -86,6 +91,19 @@ COMMANDS:
               both engines, engine-vs-engine differential comparison,
               parallel-determinism and metamorphic relations. Failures
               are shrunk and written as replayable JSON reproducers.
+    verify    Model-check the paper model exhaustively: enumerate every
+              reachable SAN state up to a tick horizon (all instantaneous
+              interleavings, every positive-weight case), quotient the
+              space by VM-rotation symmetry where the policy permits, and
+              prove named certificates — the runtime seven-invariant
+              catalogue on every reachable edge, deadlock-freedom, exact
+              per-place token bounds (reported alongside the structural
+              semiflow bounds), and exact activity liveness. Violations
+              come with concrete firing traces packaged as fuzz
+              reproducers: `vsched fuzz --replay` re-fires the trace
+              bit-exactly and re-runs the scenario on both engines.
+              Exits 0 when everything is proved, 1 on a violation, 2 when
+              the search was cut short (state cap) and nothing is claimed.
     lint      Statically analyze SAN models and policies before running
               anything: extract the incidence matrix, compute P-/T-
               invariants by exact rational elimination, check the model's
@@ -168,6 +186,31 @@ OPTIONS (fuzz):
     --replay <case.json>   Re-judge one reproducer and print its outcome
                            (byte-identical across replays of the same
                            file — CI diffs two replays to prove it).
+
+OPTIONS (verify):
+    --policy <label>       Verify one policy (default: every built-in).
+    --vms <N>              Identical VMs in the model (default 2).
+    --vcpus <N>            VCPUs per VM (default 2).
+    --pcpus <N>            Physical CPUs (default 2).
+    --timeslice <N>        Scheduling timeslice in ticks (default 5).
+    --horizon <N>          Tick layers to explore exhaustively; states at
+                           the horizon are recorded, not expanded
+                           (default 16).
+    --max-states <N>       Stored-state cap; exceeding it exits 2
+                           (inconclusive), never silently partial
+                           (default 200000).
+    --symmetry <on|off>    VM-rotation symmetry quotient (default on;
+                           used only for rotation-equivariant policies).
+    --seed <S>             Base seed for stochastic-gate probes
+                           (default 0x5eed; the default workload is
+                           deterministic, where the seed is irrelevant).
+    --format <text|json>   Report format (default text).
+    --fixture deadlock     Verify the planted-deadlock fixture instead: a
+                           fault-injected Round-Robin that must trip
+                           `deadlock-freedom` with a replayable trace.
+    --counterexample <p>   Write the first counterexample as a fuzz
+                           reproducer JSON at <p> (replay it with
+                           `vsched fuzz --replay <p>`).
 
 OPTIONS (lint):
     --deny warnings        Exit non-zero on Warn findings too, not only on
@@ -261,6 +304,7 @@ fn main() -> ExitCode {
         Some("trace") => trace_cmd(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
         Some("fuzz") => fuzz(&args[1..]),
+        Some("verify") => verify_cmd(&args[1..]),
         Some("lint") => lint(&args[1..]),
         Some("perf") => perf(&args[1..]),
         Some("tournament") => tournament(&args[1..]),
@@ -769,6 +813,40 @@ fn fuzz(args: &[String]) -> ExitCode {
     }
 
     if let Some(path) = replay_path {
+        // A reproducer carrying a verifier counterexample replays through
+        // the verify bridge instead of the differential oracle: re-fire
+        // the recorded trace on a fresh model (bit-identical final
+        // marking) and re-run the scenario on both engines.
+        if let Ok(rep) = vsched_check::Reproducer::load(&path) {
+            if rep.verify.is_some() {
+                return match vsched_check::replay_verify_counterexample(&rep) {
+                    Ok(replay) => {
+                        println!(
+                            "replay: verify counterexample for `{}`: {} firings re-fired, \
+                             final marking bit-identical",
+                            replay.certificate, replay.trace_len
+                        );
+                        if let Some(e) = &replay.direct_error {
+                            println!("  direct engine: {e}");
+                        }
+                        if let Some(e) = &replay.san_error {
+                            println!("  san engine: {e}");
+                        }
+                        if replay.engines_agree() {
+                            println!("  engines agree");
+                            ExitCode::SUCCESS
+                        } else {
+                            eprintln!("error: the engines disagree on the counterexample");
+                            ExitCode::FAILURE
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+        }
         return match vsched_check::fuzz::replay(&path, &opts.oracle) {
             Ok(outcome) => {
                 println!(
@@ -814,6 +892,292 @@ fn fuzz(args: &[String]) -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Exit status of one or more verification runs: violations dominate,
+/// then inconclusive searches, then a clean proof.
+fn verify_exit(outcomes: &[vsched_analyze::VerifyOutcome]) -> ExitCode {
+    use vsched_analyze::VerifyOutcome;
+    if outcomes.contains(&VerifyOutcome::Violated) {
+        ExitCode::FAILURE
+    } else if outcomes.contains(&VerifyOutcome::Inconclusive) {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Renders one bridged verification run as text: the report, the exact
+/// bounds alongside the structural semiflow claims, and any cross-check
+/// findings.
+fn render_verify_run(run: &vsched_check::VerifyRun) -> String {
+    use std::fmt::Write as _;
+    let model = &run.analysis.model;
+    let mut out = run.report.render_text(model);
+    let _ = writeln!(out, "  place bounds (exact vs structural):");
+    for (p, &exact) in run.report.place_bounds.iter().enumerate() {
+        let structural = match run.structural_bounds.get(p) {
+            Some(Some(b)) => b.to_string(),
+            _ => "unbounded".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "    {:<28} {exact:>6}  {structural:>10}",
+            model.place_name(vsched_san::PlaceId::from_index(p)),
+        );
+    }
+    if run.cross_findings.is_empty() {
+        let _ = writeln!(out, "  cross-check: exact and structural passes agree");
+    }
+    for d in &run.cross_findings {
+        let _ = writeln!(
+            out,
+            "  cross-check {}: {}: {}",
+            d.lint, d.subject, d.message
+        );
+    }
+    out
+}
+
+fn verify_cmd(args: &[String]) -> ExitCode {
+    use vsched_core::{PolicyKind, SystemConfig, VmSpec, WorkloadSpec};
+
+    let mut opts = vsched_analyze::VerifyOpts::default();
+    let mut policy_label: Option<String> = None;
+    let mut vms = 2usize;
+    let mut vcpus = 2usize;
+    let mut pcpus = 2usize;
+    let mut timeslice = 5u64;
+    let mut fixture: Option<String> = None;
+    let mut cx_path: Option<PathBuf> = None;
+    let mut json = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        macro_rules! num_flag {
+            ($name:literal, $slot:expr, $ty:ty) => {
+                match it.next().map(|n| n.parse::<$ty>()) {
+                    Some(Ok(n)) => $slot = n,
+                    _ => {
+                        eprintln!(concat!("error: ", $name, " requires a number"));
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+        }
+        match arg.as_str() {
+            "--policy" => match it.next() {
+                Some(l) => policy_label = Some(l.clone()),
+                None => {
+                    eprintln!("error: --policy requires a label");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--vms" => num_flag!("--vms", vms, usize),
+            "--vcpus" => num_flag!("--vcpus", vcpus, usize),
+            "--pcpus" => num_flag!("--pcpus", pcpus, usize),
+            "--timeslice" => num_flag!("--timeslice", timeslice, u64),
+            "--horizon" => num_flag!("--horizon", opts.horizon, u64),
+            "--max-states" => num_flag!("--max-states", opts.max_states, usize),
+            "--seed" => num_flag!("--seed", opts.seed, u64),
+            "--symmetry" => match it.next().map(String::as_str) {
+                Some("on") => opts.symmetry = true,
+                Some("off") => opts.symmetry = false,
+                _ => {
+                    eprintln!("error: --symmetry requires `on` or `off`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                _ => {
+                    eprintln!("error: --format requires `text` or `json`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fixture" => match it.next() {
+                Some(f) => fixture = Some(f.clone()),
+                None => {
+                    eprintln!("error: --fixture requires a name (deadlock)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--counterexample" => match it.next() {
+                Some(p) => cx_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --counterexample requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            p => {
+                eprintln!("error: unexpected argument `{p}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(name) = fixture {
+        if name != "deadlock" {
+            eprintln!("error: unknown fixture `{name}` (expected `deadlock`)");
+            return ExitCode::FAILURE;
+        }
+        return match vsched_check::verify_fixture(&opts) {
+            Ok((rep, run)) => {
+                if json {
+                    match serde_json::to_string_pretty(&run.report.to_json(&run.analysis.model)) {
+                        Ok(body) => println!("{body}"),
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    print!("{}", render_verify_run(&run));
+                }
+                if let Some(path) = &cx_path {
+                    if rep.verify.is_none() {
+                        eprintln!("error: the fixture run produced no counterexample to write");
+                        return ExitCode::FAILURE;
+                    }
+                    if let Err(e) = write_atomic(path, &rep.to_json()) {
+                        eprintln!("error: cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    println!("counterexample reproducer written to {}", path.display());
+                }
+                verify_exit(&[run.report.outcome()])
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let policies: Vec<PolicyKind> = match policy_label {
+        Some(label) => match vsched_cli::config::PolicySpec::Label(label).to_kind() {
+            Ok(kind) => vec![kind],
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => PolicyKind::all(),
+    };
+
+    // The verifier's diet is deterministic: a fixed per-tick load and a
+    // sync point every third unit make the exploration exhaustive (no
+    // stochastic gates to probe under a seed budget).
+    let workload = match vsched_des::Dist::deterministic(4.0) {
+        Ok(load) => WorkloadSpec {
+            load,
+            sync_probability: 0.0,
+            sync_mechanism: vsched_core::SyncMechanism::Barrier,
+            sync_every: Some(3),
+            interarrival: None,
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut b = SystemConfig::builder().pcpus(pcpus).timeslice(timeslice);
+    for _ in 0..vms {
+        b = b.vm_spec(VmSpec {
+            vcpus,
+            workload: workload.clone(),
+            weight: 1,
+        });
+    }
+    let config = match b.build() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut outcomes = Vec::new();
+    let mut json_reports = Vec::new();
+    let mut counterexample_written = false;
+    for policy in &policies {
+        let target = format!("{vms}x{vcpus}x{pcpus} {}", policy.label());
+        let run = match vsched_check::verify_config(&target, &config, policy, &opts) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if json {
+            json_reports.push(run.report.to_json(&run.analysis.model));
+        } else {
+            print!("{}", render_verify_run(&run));
+        }
+        if let (Some(path), Some(vcx), false) = (
+            cx_path.as_ref(),
+            run.counterexample.clone(),
+            counterexample_written,
+        ) {
+            let rep = vsched_check::Reproducer {
+                case: verify_case(&config, policy, vcx.horizon),
+                failures: vec![format!("verify: {}: {}", vcx.certificate, vcx.detail)],
+                verify: Some(vcx),
+            };
+            if let Err(e) = write_atomic(path, &rep.to_json()) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("counterexample reproducer written to {}", path.display());
+            counterexample_written = true;
+        }
+        outcomes.push(run.report.outcome());
+    }
+    if json {
+        match serde_json::to_string_pretty(&serde_json::Value::Seq(json_reports)) {
+            Ok(body) => println!("{body}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    verify_exit(&outcomes)
+}
+
+/// Packages the ad-hoc verification scenario as a fuzz case so a
+/// counterexample reproducer is self-contained and replayable.
+fn verify_case(
+    config: &vsched_core::SystemConfig,
+    policy: &vsched_core::PolicyKind,
+    horizon: u64,
+) -> vsched_check::FuzzCase {
+    vsched_check::FuzzCase {
+        case_index: 0,
+        pcpus: config.pcpus(),
+        vms: config
+            .vms()
+            .iter()
+            .map(|vm| vsched_check::case::VmCase {
+                vcpus: vm.vcpus,
+                weight: vm.weight,
+            })
+            .collect(),
+        load: vsched_check::case::LoadSpec::Deterministic { value: 4.0 },
+        sync: vsched_check::case::SyncSpec {
+            probability: 0.0,
+            every: Some(3),
+            mechanism: vsched_core::SyncMechanism::Barrier,
+        },
+        timeslice: config.timeslice(),
+        policy: policy.clone(),
+        seed: 7,
+        warmup: 0,
+        horizon,
+        replications: 1,
+        trace: vec![],
     }
 }
 

@@ -60,6 +60,12 @@ pub(crate) mod priority {
 /// Error slot shared between the `Scheduling_Func` gate and [`super::SanSystem`].
 pub(crate) type ErrorCell = Arc<Mutex<Option<CoreError>>>;
 
+/// Shared handle on the policy captured inside the `Scheduling_Func` gate.
+/// The exhaustive-state verifier uses it to snapshot/restore the policy's
+/// hidden state (cursors, credits, skew counters) between probe firings;
+/// the lock is uncontended for the same reason as inside the gate.
+pub type PolicyHandle = Arc<Mutex<Box<dyn SchedulingPolicy>>>;
+
 /// Builds the flattened composed model. Returns the model, its place
 /// layout, and the shared error cell for policy violations.
 ///
@@ -74,7 +80,7 @@ pub(crate) fn build_model(
     config: &SystemConfig,
     policy: Box<dyn SchedulingPolicy>,
     dynamic: bool,
-) -> Result<(Model, Layout, ErrorCell), SanError> {
+) -> Result<(Model, Layout, ErrorCell, PolicyHandle), SanError> {
     let mut mb = ModelBuilder::new();
 
     // ----- Places ---------------------------------------------------------
@@ -281,14 +287,16 @@ pub(crate) fn build_model(
 
     // ----- Scheduling_Func (Figure 6): the pluggable policy ----------------
     let error_cell: ErrorCell = Arc::new(Mutex::new(None));
+    let policy_handle: PolicyHandle = Arc::new(Mutex::new(policy));
     {
         let l = layout.clone();
         let cfg = config.clone();
         let cell = Arc::clone(&error_cell);
         // Gate closures are `Fn`; the stateful policy lives behind a lock
         // (uncontended: `Scheduling_Func` is global, never fired on a
-        // worker thread).
-        let policy = Mutex::new(policy);
+        // worker thread). The handle is shared with the caller so the
+        // verifier can snapshot/restore the policy between probe firings.
+        let policy = Arc::clone(&policy_handle);
         mb.activity("Scheduling_Func")?
             .instantaneous(priority::SCHED)
             .input_arc(tick_sched, 1)
@@ -486,5 +494,5 @@ pub(crate) fn build_model(
     }
 
     let model = mb.build()?;
-    Ok((model, layout, error_cell))
+    Ok((model, layout, error_cell, policy_handle))
 }

@@ -16,12 +16,15 @@
 mod build;
 pub mod invariants;
 mod layout;
+mod symmetry;
 
 #[cfg(test)]
 mod tests;
 
+pub use build::PolicyHandle;
 pub use invariants::{expected_invariants, InvariantKind, ModelInvariant};
 pub use layout::{DynVmPlaces, Layout, VcpuPlaces, VmPlaces};
+pub use symmetry::{vm_rotations, MarkingRotation};
 
 use vsched_san::{RewardId, Simulator};
 
@@ -44,6 +47,7 @@ pub struct AnalysisModel {
     /// The place layout of the composed model.
     pub layout: Layout,
     error: ErrorCell,
+    policy: PolicyHandle,
 }
 
 impl std::fmt::Debug for AnalysisModel {
@@ -69,6 +73,37 @@ impl AnalysisModel {
         let cell = std::sync::Arc::clone(&self.error);
         move || cell.lock().expect("error cell").take()
     }
+
+    /// Snapshots the embedded policy's internal state (see
+    /// [`crate::sched::SchedulingPolicy::save_state`]); `None` if the
+    /// policy does not support snapshotting.
+    #[must_use]
+    pub fn save_policy_state(&self) -> Option<crate::sched::PolicyState> {
+        self.policy.lock().expect("policy lock").save_state()
+    }
+
+    /// Restores a snapshot into the embedded policy; `false` if rejected.
+    pub fn load_policy_state(&self, state: &crate::sched::PolicyState) -> bool {
+        self.policy.lock().expect("policy lock").load_state(state)
+    }
+
+    /// Whether the embedded policy declares VM-rotation equivariance (see
+    /// [`crate::sched::SchedulingPolicy::rotation_equivariant`]).
+    #[must_use]
+    pub fn policy_rotation_equivariant(&self) -> bool {
+        self.policy
+            .lock()
+            .expect("policy lock")
+            .rotation_equivariant()
+    }
+
+    /// A clone of the shared policy handle, for callers that need repeated
+    /// access without borrowing `self` (the verifier holds `self.model`
+    /// mutably while probing).
+    #[must_use]
+    pub fn policy_handle(&self) -> PolicyHandle {
+        std::sync::Arc::clone(&self.policy)
+    }
 }
 
 /// Compiles `config` + `policy` into a bare model for static analysis.
@@ -80,11 +115,12 @@ pub fn build_analysis_model(
     config: &SystemConfig,
     policy: Box<dyn SchedulingPolicy>,
 ) -> Result<AnalysisModel, CoreError> {
-    let (model, layout, error) = build::build_model(config, policy, false)?;
+    let (model, layout, error, policy) = build::build_model(config, policy, false)?;
     Ok(AnalysisModel {
         model,
         layout,
         error,
+        policy,
     })
 }
 
@@ -166,7 +202,7 @@ impl SanSystem {
         seed: u64,
         dynamic: bool,
     ) -> Result<Self, CoreError> {
-        let (model, layout, error) = build::build_model(&config, policy, dynamic)?;
+        let (model, layout, error, _policy) = build::build_model(&config, policy, dynamic)?;
         let mut sim = Simulator::new(model, seed);
         let mut avail = Vec::with_capacity(config.total_vcpus());
         let mut util = Vec::with_capacity(config.total_vcpus());

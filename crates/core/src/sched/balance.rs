@@ -18,7 +18,7 @@
 //! VM thus spread over PCPUs as evenly as the load allows — the essence of
 //! balance scheduling in a time-multiplexed model.
 
-use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy, ViewFields};
+use crate::sched::{idle_pcpus, PolicyState, ScheduleDecision, SchedulingPolicy, ViewFields};
 use crate::types::{PcpuView, VcpuView};
 
 /// The balance-scheduling policy. See the module docs.
@@ -89,6 +89,30 @@ impl SchedulingPolicy for Balance {
             self.cursor = (v + 1) % n;
         }
         decision
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        Some(PolicyState {
+            vcpu_ids: vec![self.cursor as i64],
+            ..PolicyState::default()
+        })
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> bool {
+        match state.vcpu_ids.as_slice() {
+            [c] if *c >= 0 => {
+                self.cursor = *c as usize;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The candidate scan runs cyclically from the cursor and prefers a
+    /// strictly-less-held VM, so the winner is determined by cursor-relative
+    /// position and per-VM held counts — both of which rotate with the VMs.
+    fn rotation_equivariant(&self) -> bool {
+        true
     }
 }
 

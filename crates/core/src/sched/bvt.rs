@@ -9,7 +9,7 @@
 //! when it wakes, its EVT is clamped to lag at most one *context-switch
 //! allowance* behind the current minimum.
 
-use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy, ViewFields};
+use crate::sched::{idle_pcpus, PolicyState, ScheduleDecision, SchedulingPolicy, ViewFields};
 use crate::types::{PcpuView, VcpuView};
 
 /// The BVT policy. See the module docs.
@@ -102,6 +102,28 @@ impl SchedulingPolicy for Bvt {
         }
         decision
     }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        Some(PolicyState {
+            per_vcpu: self.evt.iter().map(|&e| vec![e as i64]).collect(),
+            ..PolicyState::default()
+        })
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> bool {
+        if state
+            .per_vcpu
+            .iter()
+            .any(|row| row.len() != 1 || row[0] < 0)
+        {
+            return false;
+        }
+        self.evt = state.per_vcpu.iter().map(|row| row[0] as u64).collect();
+        true
+    }
+
+    // NOT rotation-equivariant: EVT ties are broken on the raw global
+    // index `(evt, g)`, which a cyclic shift reorders.
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 //! Work-conserving: OVER VCPUs still run when PCPUs would otherwise idle,
 //! exactly like Xen's credit scheduler in its default work-conserving mode.
 
-use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy, ViewFields};
+use crate::sched::{idle_pcpus, PolicyState, ScheduleDecision, SchedulingPolicy, ViewFields};
 use crate::types::{PcpuView, VcpuView};
 
 /// The credit policy. See the module docs.
@@ -135,6 +135,36 @@ impl SchedulingPolicy for Credit {
             self.cursor = (v + 1) % n;
         }
         decision
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        Some(PolicyState {
+            global: vec![self.last_refill.map_or(-1, |t| t as i64)],
+            per_vcpu: self.credits.iter().map(|&c| vec![c]).collect(),
+            vcpu_ids: vec![self.cursor as i64],
+            ..PolicyState::default()
+        })
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> bool {
+        let (&[refill], &[cursor]) = (state.global.as_slice(), state.vcpu_ids.as_slice()) else {
+            return false;
+        };
+        if cursor < 0 || state.per_vcpu.iter().any(|row| row.len() != 1) {
+            return false;
+        }
+        self.last_refill = (refill >= 0).then_some(refill as u64);
+        self.credits = state.per_vcpu.iter().map(|row| row[0]).collect();
+        self.cursor = cursor as usize;
+        true
+    }
+
+    /// The ordering key is `(under, -credits, distance-from-cursor)`;
+    /// the distance term is invariant under a common cyclic shift of VCPU
+    /// and cursor, and is injective over candidates — no raw-index
+    /// tie-break sneaks in. Refill and burn are per-VCPU-uniform.
+    fn rotation_equivariant(&self) -> bool {
+        true
     }
 }
 

@@ -1,0 +1,105 @@
+//! Fault-injection wrapper — a policy that deliberately violates the
+//! decision contract at a chosen tick.
+//!
+//! Used by planted-failure fixtures: `vsched verify --fixture deadlock`
+//! proves the SAN model dead-ends when the scheduling function misbehaves,
+//! and the counterexample round-trip tests check that both engines reject
+//! the same sabotaged decision with the same [`CoreError::PolicyViolation`]
+//! (the direct engine by erroring out of the run, the SAN by halting the
+//! clock, which leaves a dead marking).
+//!
+//! The sabotage is a preemption of VCPU index `vcpus.len()` — out of range
+//! in every system, so [`super::validate_decision`] rejects it regardless
+//! of the marking it is probed on.
+
+#[cfg(doc)]
+use crate::error::CoreError;
+
+use super::{PolicyState, ScheduleDecision, SchedulingPolicy, ViewFields};
+use crate::types::{PcpuView, VcpuView};
+
+/// Behaves as the wrapped policy until `at_tick`, then emits an invalid
+/// decision every tick from there on.
+pub struct FaultInjection {
+    at_tick: u64,
+    inner: Box<dyn SchedulingPolicy>,
+}
+
+impl FaultInjection {
+    /// Wraps `inner`, sabotaging from tick `at_tick` onward.
+    #[must_use]
+    pub fn new(at_tick: u64, inner: Box<dyn SchedulingPolicy>) -> Self {
+        FaultInjection { at_tick, inner }
+    }
+}
+
+impl SchedulingPolicy for FaultInjection {
+    fn name(&self) -> &str {
+        "FaultInjection"
+    }
+
+    fn schedule(
+        &mut self,
+        vcpus: &[VcpuView],
+        pcpus: &[PcpuView],
+        timestamp: u64,
+        default_timeslice: u64,
+    ) -> ScheduleDecision {
+        if timestamp >= self.at_tick {
+            let mut d = ScheduleDecision::none();
+            d.preempt(vcpus.len());
+            return d;
+        }
+        self.inner
+            .schedule(vcpus, pcpus, timestamp, default_timeslice)
+    }
+
+    fn snapshot_view(&self) -> ViewFields {
+        self.inner.snapshot_view()
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        self.inner.save_state()
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> bool {
+        self.inner.load_state(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::{pcpus_for, vcpus_inactive};
+    use super::super::{validate_decision, PolicyKind};
+
+    #[test]
+    fn sabotages_exactly_from_the_configured_tick() {
+        let kind = PolicyKind::Fault {
+            at_tick: 3,
+            inner: Box::new(PolicyKind::RoundRobin),
+        };
+        kind.validate().unwrap();
+        let mut policy = kind.create();
+        let vcpus = vcpus_inactive(2);
+        let pcpus = pcpus_for(2, &vcpus);
+        for t in 0..3 {
+            let d = policy.schedule(&vcpus, &pcpus, t, 5);
+            validate_decision(policy.name(), &vcpus, &pcpus, &d).unwrap();
+        }
+        let d = policy.schedule(&vcpus, &pcpus, 3, 5);
+        let err = validate_decision(policy.name(), &vcpus, &pcpus, &d).unwrap_err();
+        assert!(err.to_string().contains("unknown VCPU index"));
+    }
+
+    #[test]
+    fn nested_fault_wrappers_are_rejected() {
+        let kind = PolicyKind::Fault {
+            at_tick: 1,
+            inner: Box::new(PolicyKind::Fault {
+                at_tick: 2,
+                inner: Box::new(PolicyKind::RoundRobin),
+            }),
+        };
+        assert!(kind.validate().is_err());
+    }
+}

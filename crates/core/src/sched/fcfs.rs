@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy, ViewFields};
+use crate::sched::{idle_pcpus, PolicyState, ScheduleDecision, SchedulingPolicy, ViewFields};
 use crate::types::{PcpuView, VcpuView};
 
 /// The FCFS policy. See the module docs.
@@ -70,6 +70,32 @@ impl SchedulingPolicy for Fcfs {
         }
         decision
     }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        Some(PolicyState {
+            per_vcpu: self.queued.iter().map(|&q| vec![i64::from(q)]).collect(),
+            vcpu_ids: self.queue.iter().map(|&g| g as i64).collect(),
+            ..PolicyState::default()
+        })
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> bool {
+        if state.vcpu_ids.iter().any(|&g| g < 0)
+            || state
+                .per_vcpu
+                .iter()
+                .any(|row| row.len() != 1 || !(0..=1).contains(&row[0]))
+        {
+            return false;
+        }
+        self.queue = state.vcpu_ids.iter().map(|&g| g as usize).collect();
+        self.queued = state.per_vcpu.iter().map(|row| row[0] != 0).collect();
+        true
+    }
+
+    // NOT rotation-equivariant: VCPUs becoming schedulable in the same
+    // tick enqueue in raw global-index order, which a cyclic shift
+    // reorders.
 }
 
 #[cfg(test)]

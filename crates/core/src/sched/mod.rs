@@ -23,6 +23,7 @@
 mod balance;
 mod bvt;
 mod credit;
+mod fault;
 mod fcfs;
 mod rcs;
 mod rrs;
@@ -32,6 +33,7 @@ mod sedf;
 pub use balance::Balance;
 pub use bvt::Bvt;
 pub use credit::Credit;
+pub use fault::FaultInjection;
 pub use fcfs::Fcfs;
 pub use rcs::RelaxedCo;
 pub use rrs::RoundRobin;
@@ -149,6 +151,104 @@ impl ViewFields {
     }
 }
 
+/// A structured snapshot of a policy's internal state, used by the
+/// exhaustive-state verifier (`vsched verify`) to branch exploration: the
+/// policy is saved at every stable state and restored before probing each
+/// successor, so hidden cursors and counters are part of the explored
+/// state, not an accident of visit order.
+///
+/// The split into index-free scalars, per-VCPU rows, per-VM rows, and
+/// id-valued words exists so the verifier can apply a VM rotation to the
+/// snapshot without knowing anything about the concrete policy: `per_vcpu`
+/// / `per_vm` rows rotate positionally, `vcpu_ids` / `vm_ids` *values* are
+/// remapped, and `global` is untouched.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PolicyState {
+    /// Index-free scalars (accumulated clocks, phase flags, ...).
+    pub global: Vec<i64>,
+    /// One row per VCPU in global-id order. May be empty when the policy
+    /// keeps no per-VCPU state (or has not lazily sized it yet); otherwise
+    /// its length must equal the VCPU count.
+    pub per_vcpu: Vec<Vec<i64>>,
+    /// One row per VM. Same length contract as `per_vcpu`.
+    pub per_vm: Vec<Vec<i64>>,
+    /// Words whose *values* are VCPU global ids (cursors, queue entries);
+    /// `-1` encodes "none". Variable length.
+    pub vcpu_ids: Vec<i64>,
+    /// Words whose values are VM indices; `-1` encodes "none".
+    pub vm_ids: Vec<i64>,
+}
+
+impl PolicyState {
+    /// Appends an unambiguous flat encoding (every section is
+    /// length-prefixed) — the verifier hashes this alongside the marking.
+    pub fn encode_into(&self, out: &mut Vec<i64>) {
+        let push_rows = |out: &mut Vec<i64>, rows: &[Vec<i64>]| {
+            out.push(rows.len() as i64);
+            for row in rows {
+                out.push(row.len() as i64);
+                out.extend_from_slice(row);
+            }
+        };
+        out.push(self.global.len() as i64);
+        out.extend_from_slice(&self.global);
+        push_rows(out, &self.per_vcpu);
+        push_rows(out, &self.per_vm);
+        out.push(self.vcpu_ids.len() as i64);
+        out.extend_from_slice(&self.vcpu_ids);
+        out.push(self.vm_ids.len() as i64);
+        out.extend_from_slice(&self.vm_ids);
+    }
+
+    /// The image of this snapshot under the VM rotation that shifts VM `v`
+    /// to `v + vm_shift` (and therefore VCPU `g` to `g + vcpu_shift`, all
+    /// modulo the respective counts — valid only when every VM has the
+    /// same shape, which is when the verifier uses rotations at all).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a per-VCPU/per-VM section is non-empty but does not match
+    /// the given counts — such a snapshot cannot be rotated soundly.
+    #[must_use]
+    pub fn rotated(
+        &self,
+        vcpu_shift: usize,
+        num_vcpus: usize,
+        vm_shift: usize,
+        num_vms: usize,
+    ) -> PolicyState {
+        fn rotate_rows(rows: &[Vec<i64>], shift: usize, n: usize, what: &str) -> Vec<Vec<i64>> {
+            if rows.is_empty() {
+                return Vec::new();
+            }
+            assert_eq!(rows.len(), n, "cannot rotate partial {what} state");
+            let mut out = vec![Vec::new(); n];
+            for (i, row) in rows.iter().enumerate() {
+                out[(i + shift) % n] = row.clone();
+            }
+            out
+        }
+        let remap = |ids: &[i64], shift: usize, n: usize| {
+            ids.iter()
+                .map(|&v| {
+                    if v >= 0 {
+                        (v as usize + shift) as i64 % n as i64
+                    } else {
+                        v
+                    }
+                })
+                .collect()
+        };
+        PolicyState {
+            global: self.global.clone(),
+            per_vcpu: rotate_rows(&self.per_vcpu, vcpu_shift, num_vcpus, "per-VCPU"),
+            per_vm: rotate_rows(&self.per_vm, vm_shift, num_vms, "per-VM"),
+            vcpu_ids: remap(&self.vcpu_ids, vcpu_shift, num_vcpus),
+            vm_ids: remap(&self.vm_ids, vm_shift, num_vms),
+        }
+    }
+}
+
 /// A VCPU scheduling algorithm.
 ///
 /// Implementations may keep arbitrary internal state (round-robin cursors,
@@ -183,6 +283,34 @@ pub trait SchedulingPolicy: Send {
     /// the declaration by sensitivity probing.
     fn snapshot_view(&self) -> ViewFields {
         ViewFields::all()
+    }
+
+    /// Snapshots the policy's internal state for the exhaustive-state
+    /// verifier. `None` (the default) declares snapshotting unsupported,
+    /// which makes `vsched verify` refuse the policy as *inconclusive*
+    /// rather than silently explore an unsound graph. Every built-in
+    /// implements it.
+    fn save_state(&self) -> Option<PolicyState> {
+        None
+    }
+
+    /// Restores a snapshot previously produced by
+    /// [`SchedulingPolicy::save_state`] on a policy of the same kind and
+    /// parameters. Returns `false` if the snapshot shape is foreign.
+    fn load_state(&mut self, state: &PolicyState) -> bool {
+        let _ = state;
+        false
+    }
+
+    /// Whether the policy's decisions commute with a cyclic rotation of
+    /// *identical* VMs: rotating the VCPU views, PCPU-held ids, and the
+    /// [`PolicyState`] must yield the rotated decision. This is the
+    /// license the verifier needs to quotient the state graph by VM
+    /// rotation; declaring `false` (the default) merely disables the
+    /// reduction. Policies that break ties on raw global indices (SEDF,
+    /// BVT, FCFS) are **not** equivariant and must keep the default.
+    fn rotation_equivariant(&self) -> bool {
+        false
     }
 }
 
@@ -323,6 +451,20 @@ pub enum PolicyKind {
     },
     /// First-come-first-served run queue.
     Fcfs,
+    /// Fault-injection wrapper: behaves as `inner` until tick `at_tick`,
+    /// then deliberately emits an invalid decision (a preemption of an
+    /// out-of-range VCPU index), which both engines reject as a
+    /// [`CoreError::PolicyViolation`] — the direct engine by erroring out,
+    /// the SAN by halting into a dead marking. Not part of
+    /// [`PolicyKind::all`]: it exists so planted-failure fixtures
+    /// (`vsched verify --fixture deadlock`, reproducer round-trip tests)
+    /// can be expressed in the ordinary case vocabulary.
+    Fault {
+        /// Tick at which the wrapper sabotages the decision.
+        at_tick: u64,
+        /// The policy emulated before the fault.
+        inner: Box<PolicyKind>,
+    },
 }
 
 impl PolicyKind {
@@ -401,6 +543,9 @@ impl PolicyKind {
             PolicyKind::Sedf { period } => Box::new(Sedf::new(*period)),
             PolicyKind::Bvt { max_lag } => Box::new(Bvt::new(*max_lag)),
             PolicyKind::Fcfs => Box::new(Fcfs::new()),
+            PolicyKind::Fault { at_tick, inner } => {
+                Box::new(FaultInjection::new(*at_tick, inner.create()))
+            }
         }
     }
 
@@ -440,6 +585,12 @@ impl PolicyKind {
             PolicyKind::Sedf { period } if *period == 0 => {
                 invalid("SEDF period must be at least 1".into())
             }
+            PolicyKind::Fault { inner, .. } => {
+                if matches!(**inner, PolicyKind::Fault { .. }) {
+                    return invalid("fault-injection wrappers must not nest".into());
+                }
+                inner.validate()
+            }
             _ => Ok(()),
         }
     }
@@ -456,6 +607,7 @@ impl PolicyKind {
             PolicyKind::Sedf { .. } => "SEDF",
             PolicyKind::Bvt { .. } => "BVT",
             PolicyKind::Fcfs => "FCFS",
+            PolicyKind::Fault { .. } => "FAULT",
         }
     }
 
@@ -485,6 +637,9 @@ impl PolicyKind {
                 "borrowed virtual time: weighted fair queueing with bounded wake-up lag"
             }
             PolicyKind::Fcfs => "first-come-first-served run queue, no rotation",
+            PolicyKind::Fault { .. } => {
+                "fault-injection wrapper: inner policy until a chosen tick, then an invalid decision"
+            }
         }
     }
 }

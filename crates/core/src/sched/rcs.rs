@@ -33,7 +33,7 @@
 //! first in line when its VM's turn comes.
 
 use crate::sched::scs::vcpus_by_vm;
-use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy, ViewFields};
+use crate::sched::{idle_pcpus, PolicyState, ScheduleDecision, SchedulingPolicy, ViewFields};
 use crate::types::{PcpuView, VcpuView};
 
 /// The Relaxed Co-Scheduling policy. See the module docs.
@@ -187,6 +187,46 @@ impl SchedulingPolicy for RelaxedCo {
         }
         self.vm_cursor = next_cursor;
         decision
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        Some(PolicyState {
+            per_vcpu: self
+                .progress
+                .iter()
+                .zip(&self.stopped)
+                .map(|(&p, &s)| vec![p as i64, i64::from(s)])
+                .collect(),
+            vm_ids: vec![self.vm_cursor as i64],
+            ..PolicyState::default()
+        })
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> bool {
+        let [cursor] = state.vm_ids.as_slice() else {
+            return false;
+        };
+        if *cursor < 0
+            || state
+                .per_vcpu
+                .iter()
+                .any(|row| row.len() != 2 || row[0] < 0 || !(0..=1).contains(&row[1]))
+        {
+            return false;
+        }
+        self.progress = state.per_vcpu.iter().map(|row| row[0] as u64).collect();
+        self.stopped = state.per_vcpu.iter().map(|row| row[1] != 0).collect();
+        self.vm_cursor = *cursor as usize;
+        true
+    }
+
+    /// Progress accounting and co-stop are per-VCPU-uniform; assignment
+    /// scans VMs cyclically from the cursor and orders candidates by
+    /// progress with a *stable* sort, so ties keep within-VM sibling
+    /// order. Rotating VMs, the cursor, and the progress rows rotates the
+    /// decision.
+    fn rotation_equivariant(&self) -> bool {
+        true
     }
 }
 

@@ -10,7 +10,7 @@
 //! state — which is exactly why it is perfectly fair (Figure 8) but
 //! suffers synchronization latency (Figure 10).
 
-use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy, ViewFields};
+use crate::sched::{idle_pcpus, PolicyState, ScheduleDecision, SchedulingPolicy, ViewFields};
 use crate::types::{PcpuView, VcpuView};
 
 /// The Round-Robin policy. See the module docs.
@@ -68,6 +68,30 @@ impl SchedulingPolicy for RoundRobin {
         }
         self.cursor = next_cursor;
         decision
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        Some(PolicyState {
+            vcpu_ids: vec![self.cursor as i64],
+            ..PolicyState::default()
+        })
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> bool {
+        match state.vcpu_ids.as_slice() {
+            [c] if *c >= 0 => {
+                self.cursor = *c as usize;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The cyclic scan starts at the cursor and visits VCPUs in circular
+    /// order, so shifting every index (cursor included) shifts the
+    /// decision — exactly the equivariance contract.
+    fn rotation_equivariant(&self) -> bool {
+        true
     }
 }
 

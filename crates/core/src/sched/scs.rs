@@ -15,7 +15,7 @@
 //! the same tick, so they co-stop on expiry. VMs are considered in
 //! round-robin order for fairness among gangs.
 
-use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy, ViewFields};
+use crate::sched::{idle_pcpus, PolicyState, ScheduleDecision, SchedulingPolicy, ViewFields};
 use crate::types::{PcpuView, VcpuView};
 
 /// The Strict Co-Scheduling policy. See the module docs.
@@ -91,6 +91,30 @@ impl SchedulingPolicy for StrictCo {
         }
         self.vm_cursor = next_cursor;
         decision
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        Some(PolicyState {
+            vm_ids: vec![self.vm_cursor as i64],
+            ..PolicyState::default()
+        })
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> bool {
+        match state.vm_ids.as_slice() {
+            [c] if *c >= 0 => {
+                self.vm_cursor = *c as usize;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Gangs are scanned cyclically from the VM cursor and filled in
+    /// within-VM sibling order; rotating VMs (and the cursor with them)
+    /// rotates the gang order without reordering siblings.
+    fn rotation_equivariant(&self) -> bool {
+        true
     }
 }
 

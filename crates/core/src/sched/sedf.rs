@@ -12,7 +12,7 @@
 //! Reservations here are derived from the VM weight: each VM reserves
 //! `weight / total_weight` of the host, split equally among its VCPUs.
 
-use crate::sched::{idle_pcpus, ScheduleDecision, SchedulingPolicy, ViewFields};
+use crate::sched::{idle_pcpus, PolicyState, ScheduleDecision, SchedulingPolicy, ViewFields};
 use crate::types::{PcpuView, VcpuView};
 
 /// Per-VCPU reservation state.
@@ -148,6 +148,48 @@ impl SchedulingPolicy for Sedf {
         }
         decision
     }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        Some(PolicyState {
+            per_vcpu: self
+                .reservations
+                .iter()
+                .zip(&self.slices)
+                .map(|(r, &s)| vec![r.deadline as i64, r.remaining as i64, s as i64])
+                .collect(),
+            vcpu_ids: vec![self.cursor as i64],
+            ..PolicyState::default()
+        })
+    }
+
+    fn load_state(&mut self, state: &PolicyState) -> bool {
+        let [cursor] = state.vcpu_ids.as_slice() else {
+            return false;
+        };
+        if *cursor < 0
+            || state
+                .per_vcpu
+                .iter()
+                .any(|row| row.len() != 3 || row.iter().any(|&w| w < 0))
+        {
+            return false;
+        }
+        self.reservations = state
+            .per_vcpu
+            .iter()
+            .map(|row| Reservation {
+                deadline: row[0] as u64,
+                remaining: row[1] as u64,
+            })
+            .collect();
+        self.slices = state.per_vcpu.iter().map(|row| row[2] as u64).collect();
+        self.cursor = *cursor as usize;
+        true
+    }
+
+    // NOT rotation-equivariant: the reserved pass breaks deadline ties on
+    // the raw global index `(deadline, g)`, which a cyclic shift reorders
+    // (all deadlines coincide at start-up, so the ties are real).
 }
 
 #[cfg(test)]

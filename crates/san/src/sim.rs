@@ -930,6 +930,74 @@ impl Model {
         Some(case_idx)
     }
 
+    /// The first half of a completion — input gate functions and input-arc
+    /// consumption (steps 1–2) — plus evaluation of the case-weight vector,
+    /// *without* selecting a case. The exhaustive-state verifier uses this
+    /// to enumerate every positive-weight branch of a firing instead of
+    /// sampling one; each branch is then finished on its own marking clone
+    /// with [`Model::probe_complete_case`].
+    ///
+    /// Returns the case-weight vector (`vec![1.0]` for a single-case
+    /// activity), or `None` if dynamic weights had the wrong arity. Weights
+    /// that are not positive and finite are the caller's to reject, exactly
+    /// as [`try_pick_case`] would.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Model::probe_fire`]: fire only enabled
+    /// activities, probe only along reachable markings.
+    pub fn probe_cases(
+        &self,
+        act: ActivityId,
+        marking: &mut Marking,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Option<Vec<f64>> {
+        let spec = &self.activities[act.0];
+        // 1. Input gate functions.
+        for gate in &spec.input_gates {
+            if let Some(f) = &gate.function {
+                f(marking, rng);
+            }
+        }
+        // 2. Consume input arcs.
+        for &(p, w) in &spec.input_arcs {
+            marking.add(p, -w);
+        }
+        // 3. Evaluate (but do not sample) the case weights.
+        match &spec.case_weights {
+            CaseWeights::Fixed(w) if w.len() == 1 => Some(vec![1.0]),
+            CaseWeights::Fixed(w) => Some(w.clone()),
+            CaseWeights::Dynamic(f) => {
+                let mut w = Vec::new();
+                f(marking, &mut w);
+                (w.len() == spec.cases.len()).then_some(w)
+            }
+        }
+    }
+
+    /// The second half of a completion for a chosen case — output arcs and
+    /// the case's output gate functions (steps 4–5). `marking` must be the
+    /// state [`Model::probe_cases`] left behind (or a clone of it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `case` is out of range for the activity.
+    pub fn probe_complete_case(
+        &self,
+        act: ActivityId,
+        case: usize,
+        marking: &mut Marking,
+        rng: &mut Xoshiro256StarStar,
+    ) {
+        let spec = &self.activities[act.0];
+        for &(p, w) in &spec.cases[case].output_arcs {
+            marking.add(p, w);
+        }
+        for gate in &spec.cases[case].output_gates {
+            (gate.function)(marking, rng);
+        }
+    }
+
     /// The marking update of one completion — steps 1–5 of the atomic SAN
     /// completion rule — on a caller-supplied marking with caller-supplied
     /// RNG streams. The single body shared by the sequential engine

@@ -382,6 +382,18 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        T::deserialize_content(content).map(Box::new)
+    }
+}
+
 impl Serialize for Content {
     fn serialize_content(&self) -> Content {
         self.clone()
