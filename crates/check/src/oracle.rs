@@ -60,7 +60,9 @@ use std::rc::Rc;
 
 use vsched_core::direct::DirectSim;
 use vsched_core::san_model::SanSystem;
-use vsched_core::{CoreError, Engine, ExperimentBuilder, MetricsReport, PolicyKind, SystemConfig};
+use vsched_core::{
+    CoreError, Engine, ExperimentBuilder, MetricsReport, PolicyKind, ShardMode, SystemConfig,
+};
 use vsched_trace::{TraceAction, TraceExperiment, TraceReport, TraceSchedule, FULL_LEVEL};
 
 use crate::case::{FuzzCase, LoadSpec};
@@ -488,18 +490,23 @@ fn incremental_check(config: &SystemConfig, case: &FuzzCase) -> Vec<Failure> {
 }
 
 /// Sequential-vs-sharded differential on the SAN engine: the same case
-/// and seed run once with `shards = 1` (the sequential event loop) and
-/// once with `shards = 4` (conflict-free per-VM shards fired in parallel
-/// with a deterministic merge). Bit-identity is the sharded engine's
-/// contract — shard derivation is provably conflict-free and the merge
-/// replays sequential order — so *any* divergence in the final marking,
-/// the run statistics, or any metric's bit pattern is a bug in the shard
-/// plan, the batch protocol, or a gate's declared footprint.
+/// and seed run with the sequential event loop, with `shards = 4`
+/// (conflict-free per-VM shards fired on real lanes with a deterministic
+/// merge — the parallelism override forces helper threads regardless of
+/// the host), and with forced auto mode (threshold lowered so auto
+/// actually engages lanes on plans wide enough to batch). Bit-identity is
+/// the sharded engine's contract — shard derivation is provably
+/// conflict-free and the merge replays sequential order — so *any*
+/// divergence in the final marking, the run statistics, or any metric's
+/// bit pattern is a bug in the shard plan, the lane/feed protocol, or a
+/// gate's declared footprint.
 fn sharded_check(config: &SystemConfig, case: &FuzzCase) -> Vec<Failure> {
     let ticks = case.warmup + case.horizon;
-    let run = |shards: usize| {
+    let run = |mode: ShardMode, avail: usize| {
         let mut sys = SanSystem::new(config.clone(), case.policy.create(), case.seed)?;
-        sys.set_shards(shards);
+        sys.set_shard_mode(mode);
+        sys.set_shard_available_override(Some(avail));
+        sys.set_auto_shard_threshold(2);
         sys.run(ticks)?;
         let m = sys.metrics();
         let bits: Vec<u64> = m
@@ -516,34 +523,43 @@ fn sharded_check(config: &SystemConfig, case: &FuzzCase) -> Vec<Failure> {
             bits,
         ))
     };
-    match (run(1), run(4)) {
-        (Ok(seq), Ok(sharded)) => {
+    match (
+        run(ShardMode::Off, 1),
+        run(ShardMode::Fixed(4), 4),
+        run(ShardMode::Auto, 4),
+    ) {
+        (Ok(seq), Ok(sharded), Ok(auto)) => {
             let mut failures = Vec::new();
-            if seq.0 != sharded.0 {
-                failures.push(Failure {
-                    kind: FailureKind::Sharded,
-                    detail: "final marking differs between sequential and sharded modes".into(),
-                });
-            }
-            if seq.1 != sharded.1 {
-                failures.push(Failure {
-                    kind: FailureKind::Sharded,
-                    detail: format!(
-                        "run statistics differ: sequential {:?} vs sharded {:?}",
-                        seq.1, sharded.1
-                    ),
-                });
-            }
-            if seq.2 != sharded.2 {
-                failures.push(Failure {
-                    kind: FailureKind::Sharded,
-                    detail: "metric bit patterns differ between sequential and sharded modes"
-                        .into(),
-                });
+            for (label, other) in [("sharded", &sharded), ("auto", &auto)] {
+                if seq.0 != other.0 {
+                    failures.push(Failure {
+                        kind: FailureKind::Sharded,
+                        detail: format!(
+                            "final marking differs between sequential and {label} modes"
+                        ),
+                    });
+                }
+                if seq.1 != other.1 {
+                    failures.push(Failure {
+                        kind: FailureKind::Sharded,
+                        detail: format!(
+                            "run statistics differ: sequential {:?} vs {label} {:?}",
+                            seq.1, other.1
+                        ),
+                    });
+                }
+                if seq.2 != other.2 {
+                    failures.push(Failure {
+                        kind: FailureKind::Sharded,
+                        detail: format!(
+                            "metric bit patterns differ between sequential and {label} modes"
+                        ),
+                    });
+                }
             }
             failures
         }
-        (ra, rb) => [("sequential", ra), ("sharded", rb)]
+        (ra, rb, rc) => [("sequential", ra), ("sharded", rb), ("auto", rc)]
             .into_iter()
             .filter_map(|(name, r)| {
                 r.err().map(|e| Failure {

@@ -38,7 +38,7 @@ USAGE:
     vsched trace run <trace> [--pcpus <N>] [--policy <label>]
                  [--engine <direct|san>] [--warmup <N>] [--horizon <N>]
                  [--seed <S>] [--replications <N>] [--jobs <N>]
-                 [--shards <N>] [--out <results.json>]
+                 [--shards <N|auto>] [--out <results.json>]
     vsched sweep <spec.json> [--store <dir>] [--out-dir <dir>] [--jobs <N>]
                  [--only <experiment>] [--max-cells <N>] [--dry-run] [--quiet]
     vsched fuzz [--cases <N>] [--seed <S>] [--jobs <N>]
@@ -52,7 +52,8 @@ USAGE:
                 [--seed <S>] [--fixture broken]
     vsched perf [--out <report.json>] [--ticks <N>] [--seed <S>]
                 [--baseline <report.json>] [--max-regression <X>]
-                [--max-vms <N>] [--shards <N,N,...>]
+                [--max-vms <N>] [--shards <N,...,auto>] [--commit <hash>]
+                [--format <text|json|csv>]
     vsched tournament [--configs <dir>] [--store <dir>] [--out <report.json>]
                       [--policies <l1,l2,...>] [--agent <cmd>]...
                       [--fuzz-scenarios <N>] [--fuzz-seed <S>]
@@ -163,7 +164,9 @@ OPTIONS (trace):
     --replications <N> (run) Replications (default 3).
     --jobs <N>         (run) Replication worker threads (default: one per
                        core). Results are bit-identical for every N.
-    --shards <N>       (run) SAN engine shard count (ignored by direct).
+    --shards <N|auto>  (run) SAN engine shard count, or `auto` to let
+                       the engine pick per model size (ignored by
+                       direct). Results are bit-identical either way.
     --out <path>       (run) Also write the report as JSON.
 
 OPTIONS (sweep):
@@ -236,9 +239,18 @@ OPTIONS (perf):
     --max-vms <N>          Cap the large-model scale axis (64/256/1024
                            VMs) at N VMs; below 64 the axis is skipped
                            entirely (default 1024).
-    --shards <N,N,...>     Shard worker counts to time on the scale
-                           axis, each >= 2 (default 4). The sequential
-                           engine always runs as the reference.
+    --shards <N,...,auto>  Shard worker counts to time on the scale
+                           axis, each >= 2, plus optionally the word
+                           `auto` for the auto-tuned mode (default
+                           `4,auto`). The sequential engine always runs
+                           as the reference; an explicit list without
+                           `auto` skips the auto column.
+    --commit <hash>        Commit hash recorded in the report's host
+                           block, next to the logical core count and
+                           engine version.
+    --format <f>           Print the report as `text` (default), `json`,
+                           or `csv` (one timed run per row — the
+                           machine-readable crossover matrix).
 
 OPTIONS (tournament):
     --configs <dir>        Directory of run-config scenarios (default
@@ -447,10 +459,18 @@ fn trace_cmd(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "--shards" => match it.next().map(|n| n.parse::<usize>()) {
-                Some(Ok(n)) => opts.shards = n,
-                _ => {
-                    eprintln!("error: --shards requires a number");
+            "--shards" => match it.next().map(String::as_str) {
+                Some("auto") => opts.shards = vsched_core::ShardMode::Auto,
+                Some(n) => match n.parse::<usize>() {
+                    Ok(n) if n >= 2 => opts.shards = vsched_core::ShardMode::Fixed(n),
+                    Ok(_) => opts.shards = vsched_core::ShardMode::Off,
+                    Err(_) => {
+                        eprintln!("error: --shards requires a number or `auto`");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("error: --shards requires a number or `auto`");
                     return ExitCode::FAILURE;
                 }
             },
@@ -492,7 +512,7 @@ struct TraceOpts {
     seed: u64,
     replications: usize,
     jobs: Option<usize>,
-    shards: usize,
+    shards: vsched_core::ShardMode,
     out: Option<PathBuf>,
 }
 
@@ -508,7 +528,7 @@ impl Default for TraceOpts {
             seed: 0x5eed,
             replications: 3,
             jobs: None,
-            shards: 0,
+            shards: vsched_core::ShardMode::Off,
             out: None,
         }
     }
@@ -662,7 +682,7 @@ fn run_trace_experiment(path: &Path, opts: &TraceOpts) -> Result<(), Box<dyn std
         .horizon(horizon)
         .seed(opts.seed)
         .replications(opts.replications)
-        .shards(opts.shards);
+        .shard_mode(opts.shards);
     if let Some(jobs) = opts.jobs {
         exp = exp.jobs(jobs);
     }
@@ -1186,6 +1206,7 @@ fn perf(args: &[String]) -> ExitCode {
     let mut out_path: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut max_regression = 2.0_f64;
+    let mut format = String::from("text");
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -1239,22 +1260,51 @@ fn perf(args: &[String]) -> ExitCode {
                 }
             },
             "--shards" => {
-                let parsed: Option<Vec<usize>> = it
-                    .next()
-                    .and_then(|list| {
-                        list.split(',')
-                            .map(|n| n.trim().parse::<usize>().ok().filter(|&s| s >= 2))
-                            .collect()
-                    })
-                    .filter(|v: &Vec<usize>| !v.is_empty());
-                match parsed {
-                    Some(shards) => opts.shards = shards,
-                    None => {
-                        eprintln!("error: --shards requires a comma-separated list of counts >= 2");
-                        return ExitCode::FAILURE;
-                    }
+                // A comma-separated list of counts >= 2; the word `auto`
+                // may appear to (re-)enable the auto-mode column. Passing
+                // an explicit list without `auto` disables it.
+                let mut counts = Vec::new();
+                let mut auto = false;
+                let ok = match it.next() {
+                    Some(list) => list.split(',').all(|tok| match tok.trim() {
+                        "auto" => {
+                            auto = true;
+                            true
+                        }
+                        n => match n.parse::<usize>() {
+                            Ok(s) if s >= 2 => {
+                                counts.push(s);
+                                true
+                            }
+                            _ => false,
+                        },
+                    }),
+                    None => false,
+                };
+                if !ok || (counts.is_empty() && !auto) {
+                    eprintln!(
+                        "error: --shards requires a comma-separated list of \
+                         counts >= 2 and/or `auto`"
+                    );
+                    return ExitCode::FAILURE;
                 }
+                opts.shards = counts;
+                opts.auto = auto;
             }
+            "--commit" => match it.next() {
+                Some(hash) => opts.commit = Some(hash.clone()),
+                None => {
+                    eprintln!("error: --commit requires a hash");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some(f @ ("text" | "json" | "csv")) => format = f.to_string(),
+                _ => {
+                    eprintln!("error: --format requires text, json or csv");
+                    return ExitCode::FAILURE;
+                }
+            },
             p => {
                 eprintln!("error: unexpected argument `{p}`");
                 return ExitCode::FAILURE;
@@ -1263,7 +1313,17 @@ fn perf(args: &[String]) -> ExitCode {
     }
 
     let report = vsched_cli::run_perf(&opts);
-    print!("{}", report.render_text());
+    match format.as_str() {
+        "json" => match serde_json::to_string_pretty(&report.to_json()) {
+            Ok(b) => println!("{b}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        "csv" => print!("{}", report.render_csv()),
+        _ => print!("{}", report.render_text()),
+    }
     if let Some(out) = &out_path {
         let body = match serde_json::to_string_pretty(&report.to_json()) {
             Ok(b) => b,
@@ -1279,19 +1339,26 @@ fn perf(args: &[String]) -> ExitCode {
         println!("[wrote {}]", out.display());
     }
     if !report.all_identical() {
-        eprintln!("error: incremental and full-rescan modes diverged (see `identical` column)");
+        eprintln!("error: engine modes diverged (see `identical` column)");
         return ExitCode::FAILURE;
+    }
+    for loss in report.auto_losses() {
+        eprintln!("warning: auto mode lost: {loss}");
     }
     if let Some(base) = &baseline {
         match vsched_cli::perf::check_against_baseline(&report, base, max_regression) {
-            Ok(regressions) if regressions.is_empty() => {
-                println!("baseline: no regression beyond {max_regression:.1}x");
-            }
-            Ok(regressions) => {
-                for r in &regressions {
-                    eprintln!("regression: {r}");
+            Ok(check) => {
+                for w in &check.warnings {
+                    eprintln!("warning: {w}");
                 }
-                return ExitCode::FAILURE;
+                if check.regressions.is_empty() {
+                    println!("baseline: no regression beyond {max_regression:.1}x");
+                } else {
+                    for r in &check.regressions {
+                        eprintln!("regression: {r}");
+                    }
+                    return ExitCode::FAILURE;
+                }
             }
             Err(e) => {
                 eprintln!("error: {e}");

@@ -26,7 +26,7 @@ pub use invariants::{expected_invariants, InvariantKind, ModelInvariant};
 pub use layout::{DynVmPlaces, Layout, VcpuPlaces, VmPlaces};
 pub use symmetry::{vm_rotations, MarkingRotation};
 
-use vsched_san::{RewardId, Simulator};
+use vsched_san::{RewardId, ShardMode, Simulator};
 
 use crate::config::SystemConfig;
 use crate::error::CoreError;
@@ -250,12 +250,41 @@ impl SanSystem {
         })
     }
 
-    /// Sets the worker count for intra-replication sharding (see
+    /// Sets the lane budget for intra-replication sharding (see
     /// [`vsched_san::Simulator::set_shards`]): `0` or `1` is the
     /// sequential engine, `>= 2` fires conflict-free per-VM shards in
     /// parallel with bit-identical results.
     pub fn set_shards(&mut self, shards: usize) {
         self.sim.set_shards(shards);
+    }
+
+    /// Sets the engine selection policy (see
+    /// [`vsched_san::Simulator::set_shard_mode`]); [`ShardMode::Auto`]
+    /// engages the sharded engine only where measurement says it pays.
+    pub fn set_shard_mode(&mut self, mode: ShardMode) {
+        self.sim.set_shard_mode(mode);
+    }
+
+    /// Overrides the available parallelism the shard-mode resolution sees
+    /// (see [`vsched_san::Simulator::set_shard_available_override`]) —
+    /// tests and the perf harness force lane counts through this.
+    pub fn set_shard_available_override(&mut self, avail: Option<usize>) {
+        self.sim.set_shard_available_override(avail);
+    }
+
+    /// Sets the minimum shard-plan width at which [`ShardMode::Auto`]
+    /// engages lanes (see
+    /// [`vsched_san::Simulator::set_auto_shard_threshold`]).
+    pub fn set_auto_shard_threshold(&mut self, min_shards: usize) {
+        self.sim.set_auto_shard_threshold(min_shards);
+    }
+
+    /// Lane count the sharded engine used on the most recent run, or
+    /// `None` if the sequential engine ran (see
+    /// [`vsched_san::Simulator::resolved_shards`]).
+    #[must_use]
+    pub fn resolved_shards(&self) -> Option<usize> {
+        self.sim.resolved_shards()
     }
 
     /// Attaches an end-of-tick observer (see [`crate::observe`]); replaces

@@ -499,6 +499,95 @@ fn sharded_run_is_bit_identical_on_paper_model() {
 }
 
 #[test]
+fn auto_mode_fingerprint_matches_explicit_shards() {
+    // The ISSUE's regression contract: `--shards auto` on the paper model
+    // produces the same fingerprint (final marking + metrics) as explicit
+    // `--shards 1` and `--shards 4`. The paper plan is one shard per VM
+    // (width 3, below the default auto threshold of 64), so auto is
+    // exercised on both of its decision branches: the default threshold
+    // (auto resolves to sequential) and a lowered threshold with forced
+    // parallelism (auto resolves to real lanes).
+    use vsched_san::ShardMode;
+    let cfg = || config(2, &[2, 2, 1]);
+    let fingerprint = |sys: &mut SanSystem| {
+        let m = sys.metrics();
+        (
+            sys.simulator().marking().as_slice().to_vec(),
+            m.to_observations(),
+        )
+    };
+    let mut reference = SanSystem::new(cfg(), Box::new(RoundRobin::new()), 5).unwrap();
+    reference.set_shards(1); // explicit `--shards 1` spelling: sequential
+    reference.run(400).unwrap();
+    let want = fingerprint(&mut reference);
+
+    let mut fixed = SanSystem::new(cfg(), Box::new(RoundRobin::new()), 5).unwrap();
+    fixed.set_shards(4);
+    fixed.run(400).unwrap();
+    assert_eq!(fingerprint(&mut fixed), want, "--shards 4");
+
+    let mut auto_seq = SanSystem::new(cfg(), Box::new(RoundRobin::new()), 5).unwrap();
+    auto_seq.set_shard_mode(ShardMode::Auto);
+    auto_seq.set_shard_available_override(Some(4));
+    auto_seq.run(400).unwrap();
+    assert_eq!(
+        auto_seq.resolved_shards(),
+        None,
+        "plan width 3 is below the default auto threshold"
+    );
+    assert_eq!(
+        fingerprint(&mut auto_seq),
+        want,
+        "--shards auto (sequential)"
+    );
+
+    let mut auto_lanes = SanSystem::new(cfg(), Box::new(RoundRobin::new()), 5).unwrap();
+    auto_lanes.set_shard_mode(ShardMode::Auto);
+    auto_lanes.set_shard_available_override(Some(4));
+    auto_lanes.set_auto_shard_threshold(2);
+    auto_lanes.run(400).unwrap();
+    assert_eq!(
+        auto_lanes.resolved_shards(),
+        Some(3),
+        "lowered threshold engages one lane per VM shard"
+    );
+    assert_eq!(fingerprint(&mut auto_lanes), want, "--shards auto (lanes)");
+}
+
+#[test]
+fn sharded_run_with_forced_threads_is_bit_identical() {
+    // Same contract as `sharded_run_is_bit_identical_on_paper_model`, but
+    // with available parallelism pinned to 4 so helper threads spawn even
+    // on single-core machines — this is the variant the TSan CI job leans
+    // on to race-check the lane pool under a real model.
+    let cfg = || config(2, &[2, 2, 1]);
+    let mut sequential = SanSystem::new(cfg(), Box::new(RoundRobin::new()), 31).unwrap();
+    sequential.run(300).unwrap();
+    let seq_metrics = sequential.metrics();
+    for shards in [2, 3] {
+        let mut sharded = SanSystem::new(cfg(), Box::new(RoundRobin::new()), 31).unwrap();
+        sharded.set_shards(shards);
+        sharded.set_shard_available_override(Some(4));
+        sharded.run(300).unwrap();
+        assert_eq!(
+            sharded.resolved_shards(),
+            Some(shards.min(3)),
+            "forced parallelism must engage {shards} lanes (capped at plan width)"
+        );
+        assert_eq!(
+            sharded.simulator().marking().as_slice(),
+            sequential.simulator().marking().as_slice(),
+            "marking with {shards} threaded shards"
+        );
+        assert_eq!(
+            sharded.metrics().to_observations(),
+            seq_metrics.to_observations(),
+            "metrics with {shards} threaded shards"
+        );
+    }
+}
+
+#[test]
 fn dynamic_identity_is_bit_identical_to_static() {
     // A dynamic model left at the identity marking (every VM admitted at
     // full level), with no-op setters sprinkled in, must be bit-identical

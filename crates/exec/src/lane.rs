@@ -1,0 +1,642 @@
+//! A persistent lane pool: repeated parallel fan-outs over short-lived
+//! item batches, with the **calling thread participating as lane 0** and
+//! per-worker state that survives between waves.
+//!
+//! This replaces the retired wave pool, whose per-dispatch protocol was a
+//! mutex + condvar barrier across *every* worker: each batch locked the
+//! shared control block, woke all workers, and waited for all of them to
+//! check back in — on a single-core host that is two context switches per
+//! worker per batch, which made the SAN engine's sharded path ~8× slower
+//! than sequential execution. The lane pool removes both costs:
+//!
+//! * **Lane 0 is the driver.** The thread calling [`LaneHandle::dispatch`]
+//!   runs its own share of every batch inline. A pool built with
+//!   `lanes == 1` therefore spawns **no threads at all** and dispatch is a
+//!   plain function call — the single-core configuration has no
+//!   synchronization on its hot path whatsoever.
+//! * **Per-helper mailboxes, not a shared barrier.** Each helper lane owns
+//!   an SPSC mailbox: a `Mutex` slot for the item/result hand-off plus
+//!   `epoch`/`done` atomics for the handshake. Dispatch engages only the
+//!   helpers that actually received items; idle lanes are neither locked
+//!   nor woken. A parked helper spins briefly on the epoch counter before
+//!   sleeping, so in steady state (waves arriving back-to-back) the
+//!   request is a store + wake with no contended lock.
+//!
+//! The protocol, all safe Rust:
+//!
+//! * [`run`] spawns `lanes - 1` helpers inside a [`std::thread::scope`],
+//!   hands the caller a [`LaneHandle`], and joins the pool when the
+//!   caller's drive closure returns (or unwinds — a drop guard signals
+//!   shutdown first, so a panicking caller never deadlocks the scope).
+//! * [`LaneHandle::dispatch`] assigns item `i` to lane `i % lanes`,
+//!   engages each helper with items (and, with `engage_all`, every helper
+//!   — the hook callers use to force a state sync on lagging lanes), runs
+//!   lane 0's share inline, then collects. Results land **in item order**
+//!   regardless of which lane ran what.
+//! * Each lane owns its state (`make_worker`, built lazily on the lane's
+//!   own thread) and runs `on_wave` exactly once per engagement *before*
+//!   stepping any item — the hook where the SAN engine replays its marking
+//!   delta feed.
+//! * A panic in helper code is caught, parked until the wave's engaged
+//!   lanes have all checked in, and resumed on the dispatching thread with
+//!   its original payload. A panic in lane 0's own closures unwinds
+//!   directly; the shutdown guard releases the helpers either way.
+//!
+//! Determinism: item `i`'s result depends only on the worker-state
+//! invariants the caller maintains (in the SAN engine: every lane's
+//! marking replica is identical at wave start), never on the lane count or
+//! scheduling, so `dispatch` output is bit-identical for any `lanes`.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Epoch value that tells helpers to exit their loop.
+const SHUTDOWN: u64 = u64::MAX;
+
+/// Iterations a waiter burns on its atomic before parking on the condvar.
+/// Large enough to catch back-to-back waves without a sleep transition,
+/// small enough that an idle pool parks almost immediately.
+const SPIN_LIMIT: u32 = 256;
+
+/// The SPSC hand-off slot of one helper lane. Items go in and results come
+/// out under the mutex; by protocol the lock is never contended (the
+/// driver touches it only while the helper is idle, and vice versa — the
+/// `epoch`/`done` counters sequence the ownership transfer).
+struct MailSlot<I, R> {
+    items: Vec<(usize, I)>,
+    results: Vec<(usize, R)>,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// One helper lane's mailbox.
+struct Mailbox<I, R> {
+    /// Request counter: the driver stores wave number `k` (under `slot`)
+    /// to engage the helper; `SHUTDOWN` ends the helper loop.
+    epoch: AtomicU64,
+    /// Acknowledge counter: the helper stores `k` once wave `k`'s results
+    /// are in the slot.
+    done: AtomicU64,
+    slot: Mutex<MailSlot<I, R>>,
+    /// Helper parks here between waves.
+    wake: Condvar,
+    /// The driver parks here when a helper outlasts its spin budget.
+    ack: Condvar,
+}
+
+impl<I, R> Mailbox<I, R> {
+    fn new() -> Self {
+        Mailbox {
+            epoch: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            slot: Mutex::new(MailSlot {
+                items: Vec::new(),
+                results: Vec::new(),
+                panic: None,
+            }),
+            wake: Condvar::new(),
+            ack: Condvar::new(),
+        }
+    }
+}
+
+/// The driving thread's handle onto a running lane pool; created by
+/// [`run`]. Owns lane 0's worker state and the reusable dispatch buffers.
+pub struct LaneHandle<'a, I, R, W, FM, FW, FS>
+where
+    I: Send,
+    R: Send,
+    FM: Fn(usize) -> W + Sync,
+    FW: Fn(usize, &mut W) + Sync,
+    FS: Fn(&mut W, I) -> R + Sync,
+{
+    helpers: &'a [Mailbox<I, R>],
+    make_worker: &'a FM,
+    on_wave: &'a FW,
+    step: &'a FS,
+    /// Lane 0's state, built lazily on first engagement.
+    own: Option<W>,
+    /// Per-helper request counters (mirror of each mailbox's `epoch`).
+    requests: Vec<u64>,
+    /// Reusable per-helper send buffers (capacity ping-pongs with the
+    /// mailbox slot vectors).
+    send_bufs: Vec<Vec<(usize, I)>>,
+    /// Reusable in-order result assembly buffer.
+    scratch: Vec<Option<R>>,
+}
+
+impl<I, R, W, FM, FW, FS> LaneHandle<'_, I, R, W, FM, FW, FS>
+where
+    I: Send,
+    R: Send,
+    FM: Fn(usize) -> W + Sync,
+    FW: Fn(usize, &mut W) + Sync,
+    FS: Fn(&mut W, I) -> R + Sync,
+{
+    /// Total lane count, including the driving thread's lane 0.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.helpers.len() + 1
+    }
+
+    /// Runs one wave: items drain out of `items` (item `i` goes to lane
+    /// `i % lanes`), every engaged lane syncs (`on_wave`) and steps its
+    /// share, and `results` fills with the outputs **in item order**.
+    /// Both vectors are caller-owned so their capacity survives across
+    /// waves; `results` is cleared first.
+    ///
+    /// `engage_all` additionally engages every helper lane — even those
+    /// with no items this wave — so each one runs `on_wave`. Callers use
+    /// this to bound how far an idle lane's state can lag behind (the SAN
+    /// engine's feed-compaction hook).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (with the original payload) any panic from lane code.
+    pub fn dispatch(&mut self, items: &mut Vec<I>, results: &mut Vec<R>, engage_all: bool) {
+        results.clear();
+        let lanes = self.lanes();
+        if lanes == 1 {
+            // Single-lane fast path: no synchronization of any kind.
+            let w = self.own.get_or_insert_with(|| (self.make_worker)(0));
+            (self.on_wave)(0, w);
+            for item in items.drain(..) {
+                results.push((self.step)(w, item));
+            }
+            return;
+        }
+
+        let helpers = self.helpers;
+        let count = items.len();
+        debug_assert!(self.scratch.is_empty(), "previous wave drained");
+        // Deal items round-robin: lane 0 keeps its share, helpers get
+        // theirs via the reusable `send_bufs`.
+        let mut own_items: Vec<(usize, I)> = Vec::with_capacity(count / lanes + 1);
+        for (i, item) in items.drain(..).enumerate() {
+            let lane = i % lanes;
+            if lane == 0 {
+                own_items.push((i, item));
+            } else {
+                self.send_bufs[lane - 1].push((i, item));
+            }
+        }
+        // Engage helpers first so they work while lane 0 steps its share.
+        for (h, mailbox) in helpers.iter().enumerate() {
+            if self.send_bufs[h].is_empty() && !engage_all {
+                continue;
+            }
+            self.requests[h] += 1;
+            {
+                let mut slot = mailbox.slot.lock().expect("lane mailbox");
+                std::mem::swap(&mut slot.items, &mut self.send_bufs[h]);
+                // Published under the slot lock: a helper checks the epoch
+                // while holding the lock before parking, so the store
+                // cannot fall between its check and its wait.
+                mailbox.epoch.store(self.requests[h], Ordering::Release);
+            }
+            mailbox.wake.notify_one();
+        }
+
+        // Lane 0's own share.
+        self.scratch.resize_with(count, || None);
+        let own_wave = !own_items.is_empty() || engage_all;
+        let own_outcome = if own_wave {
+            let own = &mut self.own;
+            let (make_worker, on_wave, step) = (self.make_worker, self.on_wave, self.step);
+            let scratch = &mut self.scratch;
+            catch_unwind(AssertUnwindSafe(move || {
+                let w = own.get_or_insert_with(|| make_worker(0));
+                on_wave(0, w);
+                for (i, item) in own_items {
+                    scratch[i] = Some(step(w, item));
+                }
+            }))
+        } else {
+            Ok(())
+        };
+
+        // Collect from every engaged helper, in lane order.
+        let mut helper_panic: Option<Box<dyn Any + Send>> = None;
+        for (h, mailbox) in helpers.iter().enumerate() {
+            let want = self.requests[h];
+            if mailbox.done.load(Ordering::Acquire) < want {
+                let mut spins = 0u32;
+                while mailbox.done.load(Ordering::Acquire) < want {
+                    spins += 1;
+                    if spins < SPIN_LIMIT {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    let mut slot = mailbox.slot.lock().expect("lane mailbox");
+                    while mailbox.done.load(Ordering::Acquire) < want {
+                        slot = mailbox.ack.wait(slot).expect("lane mailbox");
+                    }
+                    break;
+                }
+            }
+            let mut slot = mailbox.slot.lock().expect("lane mailbox");
+            for (i, r) in slot.results.drain(..) {
+                self.scratch[i] = Some(r);
+            }
+            if let Some(payload) = slot.panic.take() {
+                helper_panic.get_or_insert(payload);
+            }
+        }
+
+        if let Err(payload) = own_outcome {
+            // Lane 0's own failure wins: it is what a sequential run of
+            // this wave would have hit first.
+            self.own = None;
+            resume_unwind(payload);
+        }
+        if let Some(payload) = helper_panic {
+            resume_unwind(payload);
+        }
+        results.extend(
+            self.scratch
+                .drain(..)
+                .map(|r| r.expect("every item processed")),
+        );
+    }
+}
+
+/// Signals shutdown when dropped, so the helper scope always joins — on
+/// normal return and on unwind through the drive closure alike.
+struct ShutdownGuard<'a, I, R> {
+    helpers: &'a [Mailbox<I, R>],
+}
+
+impl<I, R> Drop for ShutdownGuard<'_, I, R> {
+    fn drop(&mut self) {
+        for mailbox in self.helpers {
+            // Store under the slot lock (poisoned or not — the guard in
+            // the error still holds it) so a helper between its epoch
+            // check and its wait cannot miss the shutdown.
+            let slot = mailbox.slot.lock();
+            mailbox.epoch.store(SHUTDOWN, Ordering::Release);
+            drop(slot);
+            mailbox.wake.notify_one();
+        }
+    }
+}
+
+/// Runs `drive` with a [`LaneHandle`] onto a pool of `lanes` persistent
+/// lanes — the calling thread as lane 0 plus `lanes - 1` helper threads —
+/// joining the helpers when `drive` returns.
+///
+/// * `make_worker(lane)` builds lane `lane`'s private state, on the lane's
+///   own thread, the first time that lane is engaged.
+/// * `on_wave(lane, state)` runs once per lane per engagement, before any
+///   item is stepped.
+/// * `step(state, item)` processes one item.
+///
+/// With `lanes <= 1` no threads are spawned and every dispatch runs inline
+/// on the calling thread. Callers wanting parallelism cap `lanes` by
+/// [`crate::resolve_jobs`]/`available_parallelism` themselves — the pool
+/// spawns exactly what it is asked for (tests and sanitizer runs rely on
+/// forcing real threads on any host).
+pub fn run<I, R, W, T, FM, FW, FS, FD>(
+    lanes: usize,
+    make_worker: FM,
+    on_wave: FW,
+    step: FS,
+    drive: FD,
+) -> T
+where
+    I: Send,
+    R: Send,
+    FM: Fn(usize) -> W + Sync,
+    FW: Fn(usize, &mut W) + Sync,
+    FS: Fn(&mut W, I) -> R + Sync,
+    FD: for<'h> FnOnce(&mut LaneHandle<'h, I, R, W, FM, FW, FS>) -> T,
+{
+    let helpers: Vec<Mailbox<I, R>> = (1..lanes.max(1)).map(|_| Mailbox::new()).collect();
+    std::thread::scope(|scope| {
+        for (h, mailbox) in helpers.iter().enumerate() {
+            let (make_worker, on_wave, step) = (&make_worker, &on_wave, &step);
+            scope.spawn(move || helper_loop(h + 1, mailbox, make_worker, on_wave, step));
+        }
+        let _guard = ShutdownGuard { helpers: &helpers };
+        let mut handle = LaneHandle {
+            helpers: &helpers,
+            make_worker: &make_worker,
+            on_wave: &on_wave,
+            step: &step,
+            own: None,
+            requests: vec![0; helpers.len()],
+            send_bufs: (0..helpers.len()).map(|_| Vec::new()).collect(),
+            scratch: Vec::new(),
+        };
+        drive(&mut handle)
+    })
+}
+
+fn helper_loop<I, R, W>(
+    lane: usize,
+    mailbox: &Mailbox<I, R>,
+    make_worker: &(impl Fn(usize) -> W + Sync),
+    on_wave: &(impl Fn(usize, &mut W) + Sync),
+    step: &(impl Fn(&mut W, I) -> R + Sync),
+) where
+    I: Send,
+    R: Send,
+{
+    let mut state: Option<W> = None;
+    let mut poisoned = false;
+    let mut wave: u64 = 0;
+    loop {
+        let target = wave + 1;
+        // Spin briefly, then park under the slot lock (the driver stores
+        // the epoch while holding that lock, so the re-check inside the
+        // lock cannot miss a wakeup).
+        let mut spins = 0u32;
+        loop {
+            let e = mailbox.epoch.load(Ordering::Acquire);
+            if e >= target {
+                break;
+            }
+            spins += 1;
+            if spins < SPIN_LIMIT {
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut slot = mailbox.slot.lock().expect("lane mailbox");
+            while mailbox.epoch.load(Ordering::Acquire) < target {
+                slot = mailbox.wake.wait(slot).expect("lane mailbox");
+            }
+            break;
+        }
+        if mailbox.epoch.load(Ordering::Acquire) == SHUTDOWN {
+            return;
+        }
+        wave = target;
+
+        // Results reuse the slot vector's capacity from the previous wave
+        // (the driver drains it in place, leaving the allocation behind).
+        let (mut items, mut out) = {
+            let mut slot = mailbox.slot.lock().expect("lane mailbox");
+            (
+                std::mem::take(&mut slot.items),
+                std::mem::take(&mut slot.results),
+            )
+        };
+        let mut payload: Option<Box<dyn Any + Send>> = None;
+        // A helper that panicked earlier keeps acknowledging waves (so the
+        // driver never hangs) but does no further work.
+        if !poisoned {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let w = state.get_or_insert_with(|| make_worker(lane));
+                on_wave(lane, w);
+                for (i, item) in items.drain(..) {
+                    out.push((i, step(w, item)));
+                }
+            }));
+            if let Err(p) = outcome {
+                poisoned = true;
+                state = None;
+                out.clear();
+                payload = Some(p);
+            }
+        }
+        {
+            let mut slot = mailbox.slot.lock().expect("lane mailbox");
+            slot.results = out;
+            slot.items = items; // return the (drained) buffer's capacity
+            if payload.is_some() && slot.panic.is_none() {
+                slot.panic = payload;
+            }
+            mailbox.done.store(wave, Ordering::Release);
+        }
+        mailbox.ack.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn collect(handle_items: Vec<u64>, lanes: usize) -> Vec<u64> {
+        run(
+            lanes,
+            |_lane| (),
+            |_lane, ()| {},
+            |(), x: u64| x * 10 + 1,
+            |h| {
+                assert_eq!(h.lanes(), lanes.max(1));
+                let mut items = handle_items.clone();
+                let mut results = Vec::new();
+                h.dispatch(&mut items, &mut results, false);
+                assert!(items.is_empty(), "dispatch drains the item buffer");
+                results
+            },
+        )
+    }
+
+    #[test]
+    fn results_come_back_in_item_order_for_any_lane_count() {
+        let expected: Vec<u64> = (0..200).map(|x| x * 10 + 1).collect();
+        for lanes in [1, 2, 3, 8] {
+            assert_eq!(
+                collect((0..200).collect(), lanes),
+                expected,
+                "lanes={lanes}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_lane_pool_spawns_no_threads_and_runs_inline() {
+        // The step closure records which thread it ran on; with one lane
+        // everything runs on the driving thread.
+        let driver = std::thread::current().id();
+        let out: Vec<bool> = run(
+            1,
+            |_lane| (),
+            |_lane, ()| {},
+            |(), _x: u32| std::thread::current().id() == driver,
+            |h| {
+                let mut results = Vec::new();
+                h.dispatch(&mut (0..32).collect(), &mut results, false);
+                results
+            },
+        );
+        assert!(out.iter().all(|&on_driver| on_driver));
+    }
+
+    #[test]
+    fn lane_state_persists_across_waves_and_on_wave_runs_once_per_engagement() {
+        // Lane state counts its own on_wave calls; every item's result
+        // carries that count. With `lanes` > item count per wave some
+        // lanes idle — engaged lanes' counts equal their engagement count.
+        let built = AtomicUsize::new(0);
+        let waves: Vec<Vec<usize>> = run(
+            2,
+            |_lane| {
+                built.fetch_add(1, Ordering::SeqCst);
+                0usize // on_wave counter
+            },
+            |_lane, n| *n += 1,
+            |n, _item: usize| *n,
+            |h| {
+                (0..3)
+                    .map(|w| {
+                        let mut results = Vec::new();
+                        h.dispatch(&mut vec![w; 8], &mut results, false);
+                        results
+                    })
+                    .collect()
+            },
+        );
+        for (w, results) in waves.iter().enumerate() {
+            for &r in results {
+                assert_eq!(r, w + 1, "wave {w}: on_wave ran once per engagement");
+            }
+        }
+        assert_eq!(built.load(Ordering::SeqCst), 2, "one state per lane");
+    }
+
+    #[test]
+    fn unengaged_lanes_skip_on_wave_unless_engage_all() {
+        // One item per wave engages only lane 0; helpers stay parked until
+        // an engage_all wave syncs them.
+        let synced = AtomicUsize::new(0);
+        run(
+            4,
+            |_lane| (),
+            |lane, ()| {
+                if lane > 0 {
+                    synced.fetch_add(1, Ordering::SeqCst);
+                }
+            },
+            |(), _x: u32| (),
+            |h| {
+                let mut results = Vec::new();
+                for _ in 0..5 {
+                    h.dispatch(&mut vec![7], &mut results, false);
+                }
+                assert_eq!(synced.load(Ordering::SeqCst), 0, "helpers untouched");
+                h.dispatch(&mut vec![7], &mut results, true);
+                assert_eq!(synced.load(Ordering::SeqCst), 3, "engage_all syncs all");
+            },
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_dispatches_work() {
+        let out: Vec<Vec<u32>> = run(
+            4,
+            |_lane| (),
+            |_lane, ()| {},
+            |(), x: u32| x + 1,
+            |h| {
+                [vec![], vec![7], vec![1, 2]]
+                    .into_iter()
+                    .map(|mut items| {
+                        let mut results = Vec::new();
+                        h.dispatch(&mut items, &mut results, false);
+                        results
+                    })
+                    .collect()
+            },
+        );
+        assert_eq!(out, vec![vec![], vec![8], vec![2, 3]]);
+    }
+
+    #[test]
+    fn many_waves_are_cheap_enough_to_run() {
+        // Smoke for the persistent-pool point: thousands of dispatches
+        // complete promptly for both the inline and the threaded shape.
+        for lanes in [1, 2] {
+            let total: u64 = run(
+                lanes,
+                |_lane| (),
+                |_lane, ()| {},
+                |(), x: u64| x,
+                |h| {
+                    let (mut items, mut results) = (Vec::new(), Vec::new());
+                    let mut sum = 0;
+                    for w in 0..2000u64 {
+                        items.extend([w, w]);
+                        h.dispatch(&mut items, &mut results, false);
+                        sum += results.iter().sum::<u64>();
+                    }
+                    sum
+                },
+            );
+            assert_eq!(total, 2 * (0..2000u64).sum::<u64>(), "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate step panic")]
+    fn helper_panic_propagates_without_deadlock() {
+        let _: () = run(
+            3,
+            |_lane| (),
+            |_lane, ()| {},
+            |(), x: u32| {
+                assert!(x != 13, "deliberate step panic");
+            },
+            |h| {
+                let mut results = Vec::new();
+                h.dispatch(&mut (0..64).collect(), &mut results, false);
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate lane-0 panic")]
+    fn own_lane_panic_propagates_and_releases_helpers() {
+        let _: () = run(
+            2,
+            |_lane| (),
+            |_lane, ()| {},
+            |(), x: u32| {
+                assert!(x != 0, "deliberate lane-0 panic"); // item 0 → lane 0
+            },
+            |h| {
+                let mut results = Vec::new();
+                h.dispatch(&mut (0..64).collect(), &mut results, false);
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate drive panic")]
+    fn drive_panic_shuts_the_pool_down() {
+        let _: () = run(
+            2,
+            |_lane| (),
+            |_lane, ()| {},
+            |(), _x: u32| (),
+            |h| {
+                let mut results = Vec::new();
+                h.dispatch(&mut vec![1, 2, 3], &mut results, false);
+                panic!("deliberate drive panic");
+            },
+        );
+    }
+
+    #[test]
+    fn pool_survives_a_poisoned_helper_wave_then_reports() {
+        // After a helper panic the wave still completes its collection;
+        // the panic is re-raised by dispatch on the driving thread.
+        let result = std::panic::catch_unwind(|| {
+            run(
+                2,
+                |_lane| (),
+                |_lane, ()| {},
+                |(), x: u32| {
+                    assert!(x.is_multiple_of(2), "helper boom"); // odd items → lane 1
+                },
+                |h| {
+                    let mut results = Vec::new();
+                    h.dispatch(&mut vec![0, 1, 2, 3], &mut results, false);
+                },
+            );
+        });
+        assert!(result.is_err());
+    }
+}

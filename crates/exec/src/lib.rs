@@ -12,6 +12,11 @@
 //!   [`ReplicationController`] in ascending replication order, and re-check
 //!   the stopping rule between records.
 //!
+//! A third primitive lives in the [`lane`] module: a persistent pool of
+//! long-lived helper threads ([`lane::LaneHandle`]) for *intra*-replication
+//! sharded firing, where waves arrive far too often to pay a thread spawn
+//! per dispatch (see `DESIGN.md` §19).
+//!
 //! # Determinism
 //!
 //! Results are **bit-identical for any worker count**, which the drivers
@@ -40,9 +45,9 @@ use std::thread;
 
 use vsched_stats::{ReplicationController, StoppingRule};
 
-pub mod wave;
+pub mod lane;
 
-pub use wave::WaveHandle;
+pub use lane::LaneHandle;
 
 /// Resolves a jobs knob to a concrete worker count.
 ///

@@ -1,0 +1,186 @@
+//! The sharded engine's marking **delta feed**: an append-only,
+//! cursor-indexed log of `(place, new value)` writes that keeps every
+//! lane's marking replica in sync with the authoritative marking.
+//!
+//! The retired design replayed the *entire* patch log into every worker
+//! replica on every wave, and appended to it under a mutex once per
+//! sequential fire. The feed fixes both costs:
+//!
+//! * **Per-lane cursors.** Each lane remembers the absolute feed position
+//!   it has replayed up to; an engagement replays only the entries
+//!   appended since that lane's previous wave. Entries are absolute
+//!   `(place, value)` pairs in authoritative apply order, so replaying a
+//!   suffix always lands the replica exactly on the authoritative marking
+//!   (last write wins, and re-applying a lane's own writes is a no-op).
+//! * **Batched appends.** The merge loop buffers writes — sequential
+//!   fires and batch patches alike — into a plain `Vec` and publishes
+//!   them with **one** `append_batch` call before the next dispatch, so
+//!   the feed lock is taken once per wave instead of once per fire.
+//!
+//! Memory stays bounded by compaction: once every cursor has passed a
+//! prefix, [`Feed::compact`] drops it (the driver forces a
+//! lagging-lane sync via the pool's `engage_all` before compacting, so
+//! the minimum cursor is guaranteed to be at the tip).
+
+use crate::marking::Marking;
+
+/// Entries the feed may hold before the driver forces an all-lane sync
+/// and compacts. Bounds replica lag and feed memory alike.
+pub(crate) const COMPACT_THRESHOLD: usize = 4096;
+
+/// The append-only write log plus every lane's replay cursor.
+#[derive(Debug)]
+pub(crate) struct Feed {
+    /// Absolute position of `entries[0]` (grows with compaction).
+    base: u64,
+    /// `(place, new value)` pairs in authoritative apply order.
+    entries: Vec<(u32, i64)>,
+    /// Per lane: absolute position up to which it has replayed.
+    cursors: Vec<u64>,
+    /// `append_batch` calls that published at least one entry (the
+    /// per-wave locking contract is asserted through this counter).
+    appends: u64,
+}
+
+impl Feed {
+    /// An empty feed serving `lanes` replicas, all cursors at zero — the
+    /// position replicas cloned at feed creation correspond to.
+    pub(crate) fn new(lanes: usize) -> Self {
+        Feed {
+            base: 0,
+            entries: Vec::new(),
+            cursors: vec![0; lanes],
+            appends: 0,
+        }
+    }
+
+    /// Publishes the buffered writes in one append, draining `pending`
+    /// (its capacity is retained by the caller for the next wave).
+    pub(crate) fn append_batch(&mut self, pending: &mut Vec<(u32, i64)>) {
+        if pending.is_empty() {
+            return;
+        }
+        self.entries.append(pending);
+        self.appends += 1;
+    }
+
+    /// Replays everything `lane` has not yet seen into its replica and
+    /// advances its cursor to the tip.
+    pub(crate) fn replay_into(&mut self, lane: usize, replica: &mut Marking) {
+        let from =
+            usize::try_from(self.cursors[lane] - self.base).expect("cursor within feed range");
+        replica.apply_patch(&self.entries[from..]);
+        self.cursors[lane] = self.base + self.entries.len() as u64;
+    }
+
+    /// Entries currently held (the driver's compaction trigger).
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Batched appends so far (one per publishing wave — the counter the
+    /// lock-per-fire regression test pins).
+    #[cfg(test)]
+    pub(crate) fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Drops every entry all lanes have replayed past.
+    pub(crate) fn compact(&mut self) {
+        let min = self.cursors.iter().copied().min().unwrap_or(self.base);
+        let keep_from = usize::try_from(min - self.base).expect("cursor within feed range");
+        if keep_from > 0 {
+            self.entries.drain(..keep_from);
+            self.base = min;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marking::PlaceId;
+    use std::sync::Arc;
+
+    fn marking(tokens: &[i64]) -> Marking {
+        let names = Arc::new((0..tokens.len()).map(|i| format!("p{i}")).collect());
+        let mut m = Marking::new(tokens.to_vec(), names);
+        m.enable_dirty_tracking();
+        m
+    }
+
+    #[test]
+    fn delta_replay_matches_full_replay_per_lane() {
+        // Two lanes with different sync schedules: replaying only the
+        // suffix past each cursor lands both on the authoritative values.
+        let mut feed = Feed::new(2);
+        let auth = marking(&[9, 7, 5]);
+        let mut lane0 = marking(&[0, 0, 0]);
+        let mut lane1 = marking(&[0, 0, 0]);
+
+        let mut pending = vec![(0u32, 3i64), (1, 1)];
+        feed.append_batch(&mut pending);
+        feed.replay_into(0, &mut lane0); // lane 0 syncs early
+        assert_eq!(lane0.as_slice(), &[3, 1, 0]);
+
+        pending.extend([(0u32, 9i64), (2, 5), (1, 7)]);
+        feed.append_batch(&mut pending);
+        feed.replay_into(0, &mut lane0);
+        feed.replay_into(1, &mut lane1); // lane 1 replays everything
+        assert_eq!(lane0.as_slice(), auth.as_slice());
+        assert_eq!(lane1.as_slice(), auth.as_slice());
+    }
+
+    #[test]
+    fn replaying_own_writes_is_idempotent() {
+        // Entries carry absolute values, so a lane re-applying writes it
+        // produced itself (they round-trip through the merge) is a no-op.
+        let mut feed = Feed::new(1);
+        let mut lane = marking(&[2, 2]);
+        lane.set(PlaceId(0), 6); // the lane's own phase-A write
+        feed.append_batch(&mut vec![(0u32, 6i64), (1, 3)]);
+        feed.replay_into(0, &mut lane);
+        assert_eq!(lane.as_slice(), &[6, 3]);
+    }
+
+    #[test]
+    fn buffered_writes_publish_as_one_append_per_wave() {
+        // The per-fire-mutex fix: any number of sequential fires between
+        // waves buffer into `pending` and hit the feed exactly once.
+        let mut feed = Feed::new(1);
+        let mut pending = Vec::new();
+        for i in 0..100u32 {
+            pending.push((i % 3, i64::from(i))); // 100 "fires"
+        }
+        feed.append_batch(&mut pending);
+        assert_eq!(feed.appends(), 1, "one lock per wave, not per fire");
+        assert!(
+            pending.is_empty() && pending.capacity() > 0,
+            "buffer reusable"
+        );
+        feed.append_batch(&mut pending);
+        assert_eq!(feed.appends(), 1, "empty publishes are free");
+    }
+
+    #[test]
+    fn compaction_drops_only_fully_replayed_prefixes() {
+        let mut feed = Feed::new(2);
+        let mut fast = marking(&[0]);
+        let mut slow = marking(&[0]);
+        feed.append_batch(&mut vec![(0u32, 1i64), (0, 2)]);
+        feed.replay_into(0, &mut fast);
+        feed.compact();
+        assert_eq!(feed.len(), 2, "lane 1 still needs the prefix");
+
+        feed.replay_into(1, &mut slow);
+        feed.compact();
+        assert_eq!(feed.len(), 0, "all cursors past the tip");
+
+        // Cursors stay valid across the base shift.
+        feed.append_batch(&mut vec![(0u32, 4i64)]);
+        feed.replay_into(0, &mut fast);
+        feed.replay_into(1, &mut slow);
+        assert_eq!(fast.as_slice(), &[4]);
+        assert_eq!(slow.as_slice(), &[4]);
+    }
+}

@@ -71,6 +71,7 @@ pub mod activity;
 pub mod builder;
 pub mod error;
 pub mod experiment;
+mod feed;
 pub mod gate;
 pub mod marking;
 pub mod numerical;
@@ -89,4 +90,4 @@ pub use numerical::{solve_steady_state, solve_transient, CtmcOptions, CtmcSoluti
 pub use record::RecordRef;
 pub use reward::RewardId;
 pub use shard::ShardPlan;
-pub use sim::{RunStats, Simulator};
+pub use sim::{RunStats, ShardMode, Simulator};

@@ -7,6 +7,7 @@ use vsched_des::{CalEventId, CalendarQueue, RngStreams, SimTime, Xoshiro256StarS
 use crate::activity::{ActivityId, ActivitySpec, CaseWeights, Timing};
 use crate::builder::Model;
 use crate::error::SanError;
+use crate::feed::{Feed, COMPACT_THRESHOLD};
 use crate::marking::{Marking, PlaceId, ReadSet};
 use crate::reward::{ImpulseReward, RateReward, RewardFn, RewardId};
 use crate::shard::ShardPlan;
@@ -14,6 +15,34 @@ use crate::shard::ShardPlan;
 /// Priority offset that makes instantaneous activities preempt timed ones
 /// scheduled at the same instant.
 const INSTANTANEOUS_BASE: i32 = 1_000_000;
+
+/// Default plan width below which [`ShardMode::Auto`] stays sequential.
+/// Narrow plans cannot form batches often enough to amortize the lane
+/// handshake; the `vsched perf` crossover matrix is the measured basis.
+const DEFAULT_AUTO_SHARD_THRESHOLD: usize = 64;
+
+/// How [`Simulator::run_until`] chooses between the sequential and the
+/// sharded engine. Every choice is **bit-identical** in its results — the
+/// mode only trades wall-clock and the [`SanError::ShardViolation`]
+/// footprint check (which only the sharded engine performs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardMode {
+    /// Sequential engine, no shard bookkeeping (the default).
+    #[default]
+    Off,
+    /// Sharded engine with a lane budget of `n` (values below 2 behave
+    /// like [`ShardMode::Off`]). The lane count actually used is capped by
+    /// the shard plan's width and the host's available parallelism — on a
+    /// single-core host the engine runs its one-lane form, which keeps the
+    /// footprint validation at near-sequential speed instead of paying for
+    /// threads that cannot run concurrently.
+    Fixed(usize),
+    /// Pick per model and host: the sharded engine engages only when the
+    /// host has parallelism to spare **and** the plan is at least
+    /// [`Simulator::set_auto_shard_threshold`] shards wide; everything
+    /// else runs sequentially, so the default configuration never loses.
+    Auto,
+}
 
 /// Statistics from one [`Simulator::run_until`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -92,22 +121,34 @@ pub struct Simulator {
     reward_scratch: Vec<u32>,
     /// Scratch buffer for dynamic case weights (reused across completions).
     weight_scratch: Vec<f64>,
-    /// Worker count for intra-replication sharding (`< 2` = sequential).
-    shards: usize,
+    /// Engine selection policy for intra-replication sharding.
+    shard_mode: ShardMode,
+    /// Test/bench override of the host's available parallelism (forces a
+    /// lane count regardless of what the machine reports).
+    avail_override: Option<usize>,
+    /// Auto mode engages lanes only for plans at least this wide.
+    auto_min_shards: usize,
+    /// Lane count the sharded engine used on the most recent run
+    /// (`None` = the sequential engine ran).
+    resolved_shards: Option<usize>,
     /// Lazily derived shard plan (only when sharding is requested).
     shard_plan: Option<Arc<ShardPlan>>,
     stats: RunStats,
 }
 
 /// One parallel firing: the activity plus its private RNG streams, moved
-/// to the worker and returned (advanced) in [`FireResult`].
+/// to the lane and returned (advanced) in [`FireResult`].
 struct FireItem {
     idx: usize,
     case_rng: Xoshiro256StarStar,
     gate_rng: Xoshiro256StarStar,
+    /// Recycled patch buffer: the lane fills it and hands it back as
+    /// [`FireResult::patch`]; the merge returns it to the driver's pool,
+    /// so steady-state waves allocate nothing.
+    patch: Vec<(u32, i64)>,
 }
 
-/// What a shard worker hands back: the advanced RNG streams and the fired
+/// What a lane hands back: the advanced RNG streams and the fired
 /// activity's marking writes as `(place, new value)` pairs in first-touch
 /// order — exactly the dirty set a sequential firing would have produced.
 struct FireResult {
@@ -116,8 +157,8 @@ struct FireResult {
     patch: Vec<(u32, i64)>,
 }
 
-/// Per-worker state of the shard pool: a marking replica (kept in sync by
-/// replaying the patch log at each wave) and a private scratch buffer.
+/// Per-lane state of the sharded engine: a marking replica (kept in sync
+/// by replaying the delta feed at each wave) and a private scratch buffer.
 struct ShardWorker {
     marking: Marking,
     weight_scratch: Vec<f64>,
@@ -162,27 +203,65 @@ impl Simulator {
             eval_scratch: Vec::new(),
             reward_scratch: Vec::new(),
             weight_scratch: Vec::new(),
-            shards: 0,
+            shard_mode: ShardMode::Off,
+            avail_override: None,
+            auto_min_shards: DEFAULT_AUTO_SHARD_THRESHOLD,
+            resolved_shards: None,
             shard_plan: None,
             stats: RunStats::default(),
             model: Arc::new(model),
         }
     }
 
-    /// Sets the worker count for intra-replication sharding. `0` or `1`
+    /// Sets the lane budget for intra-replication sharding. `0` or `1`
     /// selects the sequential engine; `>= 2` fires statically derived
     /// conflict-free shards (see [`ShardPlan`]) in parallel, with a
     /// deterministic sequential merge. Results are **bit-identical for any
     /// value** — marking, statistics, rewards, event ordering and every
     /// RNG draw match the sequential engine exactly.
+    ///
+    /// Shorthand for [`Simulator::set_shard_mode`] with
+    /// [`ShardMode::Fixed`] (or [`ShardMode::Off`] below 2).
     pub fn set_shards(&mut self, shards: usize) {
-        self.shards = shards;
+        self.shard_mode = if shards >= 2 {
+            ShardMode::Fixed(shards)
+        } else {
+            ShardMode::Off
+        };
     }
 
-    /// The configured shard worker count.
+    /// Sets the engine selection policy; see [`ShardMode`].
+    pub fn set_shard_mode(&mut self, mode: ShardMode) {
+        self.shard_mode = mode;
+    }
+
+    /// The engine selection policy in force.
     #[must_use]
-    pub fn shards(&self) -> usize {
-        self.shards
+    pub fn shard_mode(&self) -> ShardMode {
+        self.shard_mode
+    }
+
+    /// Overrides what the engine treats as the host's available
+    /// parallelism (`None` restores the real value). Tests and sanitizer
+    /// runs use this to force real helper threads on any machine; the
+    /// perf harness uses it to measure the crossover matrix honestly.
+    pub fn set_shard_available_override(&mut self, avail: Option<usize>) {
+        self.avail_override = avail.map(|a| a.max(1));
+    }
+
+    /// Sets the minimum shard-plan width at which [`ShardMode::Auto`]
+    /// engages the sharded engine (default 64; clamped to at least 2).
+    pub fn set_auto_shard_threshold(&mut self, min_shards: usize) {
+        self.auto_min_shards = min_shards.max(2);
+    }
+
+    /// Lane count the sharded engine used on the most recent
+    /// [`Simulator::run_until`], or `None` if the sequential engine ran —
+    /// how a [`ShardMode::Auto`] (or capped [`ShardMode::Fixed`])
+    /// resolution is reported honestly.
+    #[must_use]
+    pub fn resolved_shards(&self) -> Option<usize> {
+        self.resolved_shards
     }
 
     /// The shard plan in force (derived on first sharded run).
@@ -436,10 +515,9 @@ impl Simulator {
             }
         }
         let mut run = RunStats::default();
-        if self.shards >= 2 {
-            self.run_events_sharded(t_end, &mut run)?;
-        } else {
-            self.run_events(t_end, &mut run)?;
+        match self.resolve_shard_lanes() {
+            Some(lanes) => self.run_events_sharded(t_end, &mut run, lanes)?,
+            None => self.run_events(t_end, &mut run)?,
         }
         // Advance the clock and the reward windows to the horizon.
         self.time = self.time.max(t_end);
@@ -453,6 +531,53 @@ impl Simulator {
         self.stats.completions += run.completions;
         run.aborts = self.stats.aborts;
         Ok(run)
+    }
+
+    /// Resolves the shard mode against the plan and the host: `Some(n)`
+    /// selects the sharded engine with `n` lanes, `None` the sequential
+    /// engine. Derives the plan lazily, and records the outcome for
+    /// [`Simulator::resolved_shards`].
+    fn resolve_shard_lanes(&mut self) -> Option<usize> {
+        self.resolved_shards = None;
+        let budget = match self.shard_mode {
+            ShardMode::Off => return None,
+            ShardMode::Fixed(n) if n < 2 => return None,
+            ShardMode::Fixed(n) => Some(n),
+            ShardMode::Auto => None,
+        };
+        let plan_width = match &self.shard_plan {
+            Some(p) => p.num_shards(),
+            None => {
+                let p = Arc::new(ShardPlan::derive(&self.model));
+                let width = p.num_shards();
+                self.shard_plan = Some(p);
+                width
+            }
+        };
+        let avail = self.avail_override.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        let lanes = match budget {
+            // An explicit shard count keeps the sharded engine (and its
+            // footprint validation) even when capped to one lane; only
+            // plans too narrow to ever batch skip it entirely.
+            Some(n) => {
+                if plan_width < 2 {
+                    return None;
+                }
+                n.min(plan_width).min(avail).max(1)
+            }
+            // Auto engages lanes only where they can pay for themselves:
+            // real parallelism available and a plan wide enough to batch.
+            None => {
+                if avail < 2 || plan_width < self.auto_min_shards {
+                    return None;
+                }
+                avail.min(plan_width)
+            }
+        };
+        self.resolved_shards = Some(lanes);
+        Some(lanes)
     }
 
     /// The sequential event loop of [`Simulator::run_until`].
@@ -495,45 +620,67 @@ impl Simulator {
         Ok(())
     }
 
-    /// The shard-parallel event loop: pops of the same instant and queue
+    /// The sharded event loop: pops of the same instant and queue
     /// priority whose activities belong to pairwise-distinct shards form a
-    /// *batch*; the batch's marking updates run concurrently on worker
+    /// *batch*; the batch's marking updates run concurrently on lane
     /// replicas (phase A), then the results merge sequentially in pop
     /// order (phase B) — patch application, rewards, reevaluation and all
-    /// queue operations happen on the merge thread exactly as the
+    /// queue operations happen on the driving thread exactly as the
     /// sequential engine would have done them. See `DESIGN.md` §14 for the
-    /// bit-identity argument.
-    fn run_events_sharded(&mut self, t_end: SimTime, run: &mut RunStats) -> Result<(), SanError> {
-        let plan = match &self.shard_plan {
-            Some(p) => Arc::clone(p),
-            None => {
-                let p = Arc::new(ShardPlan::derive(&self.model));
-                self.shard_plan = Some(Arc::clone(&p));
-                p
-            }
-        };
-        if plan.num_shards() < 2 {
-            // Nothing can ever batch: skip the pool entirely.
-            return self.run_events(t_end, run);
+    /// bit-identity argument and §19 for the lane/feed runtime.
+    ///
+    /// With one lane the replica machinery would be pure overhead, so the
+    /// engine switches to its direct-fire form
+    /// ([`Simulator::run_events_shard_checked`]), which preserves the
+    /// footprint validation at near-sequential cost.
+    fn run_events_sharded(
+        &mut self,
+        t_end: SimTime,
+        run: &mut RunStats,
+        lanes: usize,
+    ) -> Result<(), SanError> {
+        let plan = Arc::clone(
+            self.shard_plan
+                .as_ref()
+                .expect("plan derived during lane resolution"),
+        );
+        if lanes < 2 {
+            return self.run_events_shard_checked(t_end, run, &plan);
         }
-        let workers = self.shards.min(plan.num_shards());
         let model = Arc::clone(&self.model);
-        // Every marking write since the last wave, as `(place, value)`
-        // pairs: batch patches and sequential fires alike. Workers replay
-        // the whole log in their wave prologue; the merge thread clears it
-        // right after each dispatch returns (all workers are then synced).
-        let patch_log: Mutex<Vec<(u32, i64)>> = Mutex::new(Vec::new());
+        // Every marking write since the previous wave flows through the
+        // cursor-indexed delta feed; each lane replays only what it has
+        // not yet seen (its wave prologue below).
+        let feed: Mutex<Feed> = Mutex::new(Feed::new(lanes));
+        // Debug-builds-only audit: the authoritative wave-start marking,
+        // snapshotted before each dispatch so every lane can assert its
+        // replica landed exactly on it after delta replay (empty = unset).
+        let audit: Mutex<Vec<i64>> = Mutex::new(Vec::new());
         let mut replica = self.marking.clone();
         replica.clear_dirty();
-        vsched_exec::wave::run(
-            workers,
-            |_id| ShardWorker {
+        vsched_exec::lane::run(
+            lanes,
+            // Lane replicas clone the engine-start marking, which is what
+            // feed cursor 0 corresponds to — a lane first engaged at wave
+            // k simply replays waves 0..k in its first prologue.
+            |_lane| ShardWorker {
                 marking: replica.clone(),
                 weight_scratch: Vec::new(),
             },
-            |_id, w: &mut ShardWorker| {
-                for &(p, v) in patch_log.lock().expect("patch log lock").iter() {
-                    w.marking.set(PlaceId(p as usize), v);
+            |lane, w: &mut ShardWorker| {
+                feed.lock()
+                    .expect("feed lock")
+                    .replay_into(lane, &mut w.marking);
+                if cfg!(debug_assertions) {
+                    let snap = audit.lock().expect("audit lock");
+                    if !snap.is_empty() {
+                        assert_eq!(
+                            w.marking.as_slice(),
+                            &snap[..],
+                            "lane {lane} replica must equal the authoritative \
+                             wave-start marking after delta replay"
+                        );
+                    }
                 }
             },
             |w: &mut ShardWorker, mut item: FireItem| {
@@ -545,37 +692,56 @@ impl Simulator {
                     &mut item.gate_rng,
                     &mut w.weight_scratch,
                 );
-                let patch = w
-                    .marking
-                    .dirty()
-                    .iter()
-                    .map(|&p| (p as u32, w.marking.tokens(PlaceId(p))))
-                    .collect();
+                item.patch.clear();
+                item.patch.extend(
+                    w.marking
+                        .dirty()
+                        .iter()
+                        .map(|&p| (p as u32, w.marking.tokens(PlaceId(p)))),
+                );
                 FireResult {
                     case_rng: item.case_rng,
                     gate_rng: item.gate_rng,
-                    patch,
+                    patch: item.patch,
                 }
             },
-            |handle| self.drive_sharded(handle, t_end, run, &plan, &patch_log),
+            |handle| self.drive_sharded(handle, t_end, run, &plan, &feed, &audit),
         )
     }
 
-    /// The merge thread's loop inside the shard pool scope.
-    fn drive_sharded(
+    /// The driving thread's loop inside the lane pool scope.
+    fn drive_sharded<FM, FW, FS>(
         &mut self,
-        handle: &mut vsched_exec::WaveHandle<'_, FireItem, FireResult>,
+        handle: &mut vsched_exec::LaneHandle<'_, FireItem, FireResult, ShardWorker, FM, FW, FS>,
         t_end: SimTime,
         run: &mut RunStats,
         plan: &ShardPlan,
-        patch_log: &Mutex<Vec<(u32, i64)>>,
-    ) -> Result<(), SanError> {
+        feed: &Mutex<Feed>,
+        audit: &Mutex<Vec<i64>>,
+    ) -> Result<(), SanError>
+    where
+        FM: Fn(usize) -> ShardWorker + Sync,
+        FW: Fn(usize, &mut ShardWorker) + Sync,
+        FS: Fn(&mut ShardWorker, FireItem) -> FireResult + Sync,
+    {
         let act_shard = plan.act_shard_raw();
         let place_shard = plan.place_shard_raw();
         let mut last_time = self.time;
         let mut zero_advance: u64 = 0;
         let mut batch: Vec<ActivityId> = Vec::new();
-        let mut batch_shards: Vec<i32> = Vec::new();
+        // Batch membership by generation stamp: `shard_stamp[s] == gen`
+        // iff shard `s` is already in the batch being formed — O(1) per
+        // candidate where the old `Vec::contains` scan was O(batch).
+        let mut shard_stamp: Vec<u64> = vec![0; plan.num_shards()];
+        let mut batch_gen: u64 = 0;
+        // Marking writes since the last feed publish — sequential fires
+        // and merged batch patches alike — published in ONE `append_batch`
+        // per wave (the per-fire-mutex fix; `Feed::appends` pins it).
+        let mut pending: Vec<(u32, i64)> = Vec::new();
+        // Reusable dispatch vectors and recycled patch buffers.
+        let mut items: Vec<FireItem> = Vec::new();
+        let mut results: Vec<FireResult> = Vec::new();
+        let mut buf_pool: Vec<Vec<(u32, i64)>> = Vec::new();
         while let Some(next) = self.queue.peek_time() {
             if next > t_end {
                 break;
@@ -585,7 +751,7 @@ impl Simulator {
             self.time = t;
             let first_shard = act_shard[act.0];
             if first_shard < 0 {
-                self.fire_logged(act, patch_log);
+                self.fire_buffered(act, &mut pending);
                 run.completions += 1;
                 continue;
             }
@@ -595,43 +761,55 @@ impl Simulator {
             // activity's completion priority.
             let prio = instantaneous_queue_priority(&self.model.activities[act.0]);
             batch.clear();
-            batch_shards.clear();
+            batch_gen += 1;
             batch.push(act);
-            batch_shards.push(first_shard);
+            shard_stamp[first_shard as usize] = batch_gen;
             while let Some((nt, np, &na)) = self.queue.peek() {
                 if nt != t || np != prio {
                     break;
                 }
                 let shard = act_shard[na.0];
-                if shard < 0 || batch_shards.contains(&shard) {
+                if shard < 0 || shard_stamp[shard as usize] == batch_gen {
                     break;
                 }
                 let (pt, _, popped) = self.queue.pop().expect("peeked event must pop");
                 self.note_advance(&mut last_time, &mut zero_advance, pt)?;
                 batch.push(popped);
-                batch_shards.push(shard);
+                shard_stamp[shard as usize] = batch_gen;
             }
             if batch.len() == 1 {
-                self.fire_logged(act, patch_log);
+                self.fire_buffered(act, &mut pending);
                 run.completions += 1;
                 continue;
             }
-            // Phase A: fire every batch member on a worker replica.
-            let items = batch
-                .iter()
-                .map(|a| FireItem {
-                    idx: a.0,
-                    case_rng: self.case_rngs[a.0].clone(),
-                    gate_rng: self.gate_rngs[a.0].clone(),
-                })
-                .collect();
-            let results = handle.dispatch(items);
-            // All workers replayed the log in their prologue — reset it.
-            patch_log.lock().expect("patch log lock").clear();
+            // Publish everything since the previous wave; when the feed
+            // has grown past its bound, this wave also engages idle lanes
+            // so every cursor reaches the tip and the feed can compact.
+            let engage_all = {
+                let mut f = feed.lock().expect("feed lock");
+                f.append_batch(&mut pending);
+                f.len() >= COMPACT_THRESHOLD
+            };
+            if cfg!(debug_assertions) {
+                let mut snap = audit.lock().expect("audit lock");
+                snap.clear();
+                snap.extend_from_slice(self.marking.as_slice());
+            }
+            // Phase A: fire every batch member on a lane replica.
+            items.extend(batch.iter().map(|a| FireItem {
+                idx: a.0,
+                case_rng: self.case_rngs[a.0].clone(),
+                gate_rng: self.gate_rngs[a.0].clone(),
+                patch: buf_pool.pop().unwrap_or_default(),
+            }));
+            handle.dispatch(&mut items, &mut results, engage_all);
+            if engage_all {
+                feed.lock().expect("feed lock").compact();
+            }
             // Phase B: merge in pop order. Everything a sequential firing
             // would do after its marking update happens here, on the main
             // marking, which is in the exact sequential state at each step.
-            for (a, result) in batch.iter().zip(results) {
+            for (a, result) in batch.iter().zip(results.drain(..)) {
                 for &(place, _) in &result.patch {
                     if place_shard[place as usize] != act_shard[a.0] {
                         return Err(SanError::ShardViolation {
@@ -642,29 +820,78 @@ impl Simulator {
                 }
                 self.case_rngs[a.0] = result.case_rng;
                 self.gate_rngs[a.0] = result.gate_rng;
-                self.apply_fire(*a, &result.patch, patch_log);
+                self.apply_fire(*a, &result.patch, &mut pending);
                 run.completions += 1;
+                let mut patch = result.patch;
+                patch.clear();
+                buf_pool.push(patch);
             }
         }
         Ok(())
     }
 
-    /// Sequential fire plus patch-log append (sharded loop only).
-    fn fire_logged(&mut self, act: ActivityId, patch_log: &Mutex<Vec<(u32, i64)>>) {
+    /// The sharded engine's one-lane form: fires sequentially on the
+    /// authoritative marking — no replicas, no feed, no pool — and
+    /// validates each sharded activity's write footprint against the plan
+    /// afterwards, preserving the [`SanError::ShardViolation`] guarantee
+    /// at near-sequential speed. Bit-identity with the multi-lane form is
+    /// structural: batch members have pairwise-disjoint footprints
+    /// (exactly what the validation enforces), so firing them in pop
+    /// order on the live marking performs the same writes and draws as
+    /// firing them on wave-start replicas; a violating fire errors here
+    /// no later than its merge would have.
+    fn run_events_shard_checked(
+        &mut self,
+        t_end: SimTime,
+        run: &mut RunStats,
+        plan: &ShardPlan,
+    ) -> Result<(), SanError> {
+        let act_shard = plan.act_shard_raw();
+        let place_shard = plan.place_shard_raw();
+        let mut last_time = self.time;
+        let mut zero_advance: u64 = 0;
+        while let Some(next) = self.queue.peek_time() {
+            if next > t_end {
+                break;
+            }
+            let (t, _, act) = self.queue.pop().expect("peeked event must pop");
+            self.note_advance(&mut last_time, &mut zero_advance, t)?;
+            self.time = t;
+            self.fire(act);
+            run.completions += 1;
+            let shard = act_shard[act.0];
+            if shard >= 0 {
+                for &p in self.marking.dirty() {
+                    if place_shard[p] != shard {
+                        return Err(SanError::ShardViolation {
+                            activity: self.model.activities[act.0].name.clone(),
+                            place: self.model.names[p].clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sequential fire inside the sharded loop: the fired activity's
+    /// dirty places buffer into `pending` for the next feed publish — no
+    /// lock is taken here (fires between waves batch into one append).
+    fn fire_buffered(&mut self, act: ActivityId, pending: &mut Vec<(u32, i64)>) {
         self.fire(act);
-        let mut log = patch_log.lock().expect("patch log lock");
         for &p in self.marking.dirty() {
-            log.push((p as u32, self.marking.tokens(PlaceId(p))));
+            pending.push((p as u32, self.marking.tokens(PlaceId(p))));
         }
     }
 
     /// Phase B of one batched firing: everything [`Simulator::fire`] does,
-    /// with the marking update replaced by the worker-computed patch.
+    /// with the marking update replaced by the lane-computed patch, which
+    /// also buffers into `pending` for the next feed publish.
     fn apply_fire(
         &mut self,
         act_id: ActivityId,
         patch: &[(u32, i64)],
-        patch_log: &Mutex<Vec<(u32, i64)>>,
+        pending: &mut Vec<(u32, i64)>,
     ) {
         let idx = act_id.0;
         self.scheduled[idx] = None;
@@ -684,10 +911,7 @@ impl Simulator {
         for &(p, v) in patch {
             self.marking.set(PlaceId(p as usize), v);
         }
-        patch_log
-            .lock()
-            .expect("patch log lock")
-            .extend_from_slice(patch);
+        pending.extend_from_slice(patch);
         self.post_fire(act_id);
     }
 
@@ -940,7 +1164,7 @@ impl Model {
     /// Returns the case-weight vector (`vec![1.0]` for a single-case
     /// activity), or `None` if dynamic weights had the wrong arity. Weights
     /// that are not positive and finite are the caller's to reject, exactly
-    /// as [`try_pick_case`] would.
+    /// as `try_pick_case` would.
     ///
     /// # Panics
     ///
@@ -1882,6 +2106,102 @@ mod tests {
             }
             other => panic!("expected ShardViolation, got {other:?}"),
         }
+    }
+
+    /// An explicit shard request capped to one lane (single-core host)
+    /// takes the direct-fire form of the sharded engine — which must keep
+    /// the footprint validation, not silently fall back to sequential.
+    #[test]
+    fn fixed_mode_capped_to_one_lane_still_detects_violations() {
+        let mut mb = ModelBuilder::new();
+        let src_a = mb.place("src_a", 3).unwrap();
+        let acc_a = mb.place("acc_a", 0).unwrap();
+        let src_b = mb.place("src_b", 3).unwrap();
+        let acc_b = mb.place("acc_b", 0).unwrap();
+        mb.activity("honest")
+            .unwrap()
+            .instantaneous(0)
+            .input_arc(src_a, 1)
+            .output_gate("bump_a", move |m, _| m.add(acc_a, 1))
+            .reads([])
+            .writes([acc_a])
+            .done()
+            .unwrap();
+        mb.activity("liar")
+            .unwrap()
+            .instantaneous(0)
+            .input_arc(src_b, 1)
+            .output_gate("bump_b", move |m, _| m.add(acc_a, 1))
+            .reads([])
+            .writes([acc_b])
+            .done()
+            .unwrap();
+        let mut sim = Simulator::new(mb.build().unwrap(), 1);
+        sim.set_shards(4);
+        sim.set_shard_available_override(Some(1));
+        let err = sim.run_until(1.0).unwrap_err();
+        match err {
+            SanError::ShardViolation { activity, place } => {
+                assert_eq!(activity, "liar");
+                assert_eq!(place, "acc_a");
+            }
+            other => panic!("expected ShardViolation, got {other:?}"),
+        }
+        assert_eq!(sim.resolved_shards(), Some(1), "one lane resolved");
+    }
+
+    /// Auto mode stays sequential on narrow plans or single-core hosts
+    /// and engages `min(avail, plan width)` lanes otherwise.
+    #[test]
+    fn auto_mode_resolution_follows_plan_width_and_parallelism() {
+        let build = || {
+            let mut mb = ModelBuilder::new();
+            let a = mb.place("a", 5).unwrap();
+            let b = mb.place("b", 5).unwrap();
+            mb.activity("da")
+                .unwrap()
+                .instantaneous(0)
+                .input_arc(a, 1)
+                .done()
+                .unwrap();
+            mb.activity("db")
+                .unwrap()
+                .instantaneous(0)
+                .input_arc(b, 1)
+                .done()
+                .unwrap();
+            mb.build().unwrap()
+        };
+
+        // Plan width 2 < default threshold: sequential even with cores.
+        let mut sim = Simulator::new(build(), 1);
+        sim.set_shard_mode(ShardMode::Auto);
+        sim.set_shard_available_override(Some(8));
+        sim.run_until(0.5).unwrap();
+        assert_eq!(sim.resolved_shards(), None, "narrow plan stays sequential");
+
+        // Threshold lowered: lanes = min(avail, plan width) = 2.
+        let mut sim = Simulator::new(build(), 1);
+        sim.set_shard_mode(ShardMode::Auto);
+        sim.set_shard_available_override(Some(8));
+        sim.set_auto_shard_threshold(2);
+        sim.run_until(0.5).unwrap();
+        assert_eq!(sim.resolved_shards(), Some(2), "plan caps the lanes");
+
+        // Single core: auto never pays for the sharded engine.
+        let mut sim = Simulator::new(build(), 1);
+        sim.set_shard_mode(ShardMode::Auto);
+        sim.set_shard_available_override(Some(1));
+        sim.set_auto_shard_threshold(2);
+        sim.run_until(0.5).unwrap();
+        assert_eq!(sim.resolved_shards(), None, "no parallelism, no lanes");
+
+        // Compat shorthand: set_shards maps to Fixed / Off.
+        let mut sim = Simulator::new(build(), 1);
+        sim.set_shards(3);
+        assert_eq!(sim.shard_mode(), ShardMode::Fixed(3));
+        sim.set_shards(1);
+        assert_eq!(sim.shard_mode(), ShardMode::Off);
     }
 
     /// The same lie is harmless sequentially — pins that the violation is

@@ -13,7 +13,7 @@
 
 use vsched_core::direct::DirectSim;
 use vsched_core::san_model::SanSystem;
-use vsched_core::{CoreError, Engine, MetricsReport, PolicyKind, SampleMetrics};
+use vsched_core::{CoreError, Engine, MetricsReport, PolicyKind, SampleMetrics, ShardMode};
 use vsched_stats::ConfidenceInterval;
 
 use crate::load::FULL_LEVEL;
@@ -31,7 +31,7 @@ pub struct TraceExperiment {
     replications: usize,
     parallel: bool,
     jobs: Option<usize>,
-    shards: usize,
+    shard_mode: ShardMode,
 }
 
 /// The result of a trace run: one [`SampleMetrics`] per replication plus
@@ -196,7 +196,7 @@ impl TraceExperiment {
             replications: 3,
             parallel: true,
             jobs: None,
-            shards: 0,
+            shard_mode: ShardMode::Off,
         }
     }
 
@@ -259,10 +259,24 @@ impl TraceExperiment {
     }
 
     /// Intra-replication SAN shard count (`0`/`1` sequential; ignored by
-    /// the Direct engine).
+    /// the Direct engine). Shorthand for [`TraceExperiment::shard_mode`]
+    /// with [`ShardMode::Fixed`].
     #[must_use]
     pub fn shards(mut self, shards: usize) -> Self {
-        self.shards = shards;
+        self.shard_mode = if shards >= 2 {
+            ShardMode::Fixed(shards)
+        } else {
+            ShardMode::Off
+        };
+        self
+    }
+
+    /// Intra-replication SAN engine selection policy (ignored by the
+    /// Direct engine). [`ShardMode::Auto`] lets each replication pick the
+    /// engine per model and host — bit-identical results either way.
+    #[must_use]
+    pub fn shard_mode(mut self, mode: ShardMode) -> Self {
+        self.shard_mode = mode;
         self
     }
 
@@ -274,8 +288,8 @@ impl TraceExperiment {
             }
             Engine::San => {
                 let mut sys = SanSystem::new_dynamic(config, self.policy.create(), seed)?;
-                if self.shards >= 2 {
-                    sys.set_shards(self.shards);
+                if self.shard_mode != ShardMode::Off {
+                    sys.set_shard_mode(self.shard_mode);
                 }
                 Exec::San(Box::new(sys))
             }
@@ -414,8 +428,13 @@ mod tests {
             .horizon(400)
             .replications(2);
         let seq = base.clone().run().unwrap();
-        let sharded = base.shards(4).run().unwrap();
+        let sharded = base.clone().shards(4).run().unwrap();
         assert_eq!(seq.fingerprint, sharded.fingerprint);
+        let auto = base.shard_mode(ShardMode::Auto).run().unwrap();
+        assert_eq!(
+            seq.fingerprint, auto.fingerprint,
+            "auto mode fingerprints identically"
+        );
         assert!(seq.avg_pcpu_utilization() > 0.5);
     }
 
